@@ -1,0 +1,86 @@
+//! Shot-audio clip segmentation (paper Sec. 4.2).
+//!
+//! "For each video shot, we separate the audio stream into adjacent clips,
+//! such that each is about 2 seconds long (a video shot with its length less
+//! than 2 seconds is discarded)."
+
+use medvid_types::{AudioClip, AudioTrack};
+
+/// Target clip length in seconds.
+pub const CLIP_SECS: f64 = 2.0;
+
+/// Splits a sample range `[start, end)` into adjacent ~2-second clips.
+///
+/// Returns an empty vector when the span is shorter than 2 seconds (the shot
+/// is discarded for audio purposes). The final clip absorbs any remainder
+/// shorter than a full clip.
+pub fn segment_clips(start: usize, end: usize, sample_rate: u32) -> Vec<AudioClip> {
+    let clip_len = (CLIP_SECS * sample_rate as f64) as usize;
+    if end <= start || end - start < clip_len || clip_len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut pos = start;
+    while pos + clip_len <= end {
+        let mut clip_end = pos + clip_len;
+        // Absorb a trailing fragment into the last clip.
+        if end - clip_end < clip_len {
+            clip_end = end;
+        }
+        out.push(AudioClip::new(pos, clip_end).expect("non-empty by construction"));
+        pos = clip_end;
+    }
+    out
+}
+
+/// Convenience: clips for a shot given the track and the shot's sample span.
+pub fn shot_clips(track: &AudioTrack, start: usize, end: usize) -> Vec<AudioClip> {
+    segment_clips(start, end.min(track.len()), track.sample_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_second_span_gives_two_clips() {
+        // 5 s at 8 kHz = 40000 samples: clip 1 = 16000, clip 2 absorbs the
+        // remaining 24000.
+        let clips = segment_clips(0, 40_000, 8000);
+        assert_eq!(clips.len(), 2);
+        assert_eq!(clips[0].len(), 16_000);
+        assert_eq!(clips[1].len(), 24_000);
+        assert_eq!(clips[1].end, 40_000);
+    }
+
+    #[test]
+    fn exact_multiple_splits_evenly() {
+        let clips = segment_clips(0, 48_000, 8000);
+        assert_eq!(clips.len(), 3);
+        assert!(clips.iter().all(|c| c.len() == 16_000));
+    }
+
+    #[test]
+    fn short_shot_discarded() {
+        assert!(segment_clips(0, 15_999, 8000).is_empty());
+        assert!(segment_clips(100, 100, 8000).is_empty());
+        assert!(segment_clips(100, 50, 8000).is_empty());
+    }
+
+    #[test]
+    fn clips_are_adjacent_and_cover_span() {
+        let clips = segment_clips(1000, 51_000, 8000);
+        assert_eq!(clips.first().unwrap().start, 1000);
+        assert_eq!(clips.last().unwrap().end, 51_000);
+        for pair in clips.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn shot_clips_clamps_to_track() {
+        let track = AudioTrack::new(8000, vec![0.0; 20_000]).unwrap();
+        let clips = shot_clips(&track, 0, 100_000);
+        assert_eq!(clips.last().unwrap().end, 20_000);
+    }
+}

@@ -1,0 +1,271 @@
+//! The 14 clip-level audio features (paper Sec. 4.2, after Liu & Huang \[22\]).
+//!
+//! Each ~2-second clip is framed at 30 ms / 10 ms hop; frame-level
+//! measurements are aggregated into exactly [`CLIP_FEATURE_DIMS`] = 14
+//! clip-level features chosen to separate clean speech from music, noise and
+//! silence:
+//!
+//!  0. mean frame RMS energy
+//!  1. std of frame RMS (speech is strongly amplitude-modulated)
+//!  2. silence-frame ratio (speech has inter-word pauses)
+//!  3. mean zero-crossing rate
+//!  4. std of zero-crossing rate
+//!  5. mean spectral centroid (normalised to Nyquist)
+//!  6. std of spectral centroid
+//!  7. mean spectral roll-off (85%)
+//!  8. mean spectral flux
+//!  9. sub-band energy ratio 0–500 Hz
+//! 10. sub-band energy ratio 500–1000 Hz
+//! 11. sub-band energy ratio 1–2 kHz
+//! 12. sub-band energy ratio 2–4 kHz
+//! 13. pitch strength (autocorrelation peak in the 80–320 Hz lag range)
+
+use medvid_signal::fft::power_spectrum;
+use medvid_signal::stats::{mean, rms, std_dev, zero_crossing_rate};
+use medvid_signal::window::{apply_window, frames, hamming};
+
+/// Number of clip-level features.
+pub const CLIP_FEATURE_DIMS: usize = 14;
+
+/// Extracts the 14 clip features from a waveform at `sample_rate`.
+///
+/// Returns `None` for clips shorter than one analysis frame.
+pub fn clip_features(signal: &[f32], sample_rate: u32) -> Option<Vec<f64>> {
+    let frame_len = (0.030 * sample_rate as f64).round() as usize;
+    let hop = (0.010 * sample_rate as f64).round() as usize;
+    if signal.len() < frame_len || frame_len == 0 || hop == 0 {
+        return None;
+    }
+    let window = hamming(frame_len);
+    let nyquist = sample_rate as f64 / 2.0;
+
+    let mut energies = Vec::new();
+    let mut zcrs = Vec::new();
+    let mut centroids = Vec::new();
+    let mut rolloffs = Vec::new();
+    let mut fluxes = Vec::new();
+    let mut band_energy = [0.0f64; 4];
+    let mut total_energy = 0.0f64;
+    let mut prev_spectrum: Option<Vec<f64>> = None;
+
+    for frame in frames(signal, frame_len, hop) {
+        energies.push(rms(frame));
+        zcrs.push(zero_crossing_rate(frame));
+        let windowed = apply_window(frame, &window);
+        let power = power_spectrum(&windowed);
+        let bins = power.len();
+        let bin_hz = nyquist / (bins - 1).max(1) as f64;
+        let total: f64 = power.iter().sum();
+        if total > 1e-12 {
+            // Centroid.
+            let centroid: f64 = power
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| k as f64 * bin_hz * p)
+                .sum::<f64>()
+                / total;
+            centroids.push(centroid / nyquist);
+            // Roll-off at 85%.
+            let mut acc = 0.0;
+            let mut roll = 0usize;
+            for (k, &p) in power.iter().enumerate() {
+                acc += p;
+                if acc >= 0.85 * total {
+                    roll = k;
+                    break;
+                }
+            }
+            rolloffs.push(roll as f64 * bin_hz / nyquist);
+        } else {
+            centroids.push(0.0);
+            rolloffs.push(0.0);
+        }
+        // Flux.
+        if let Some(prev) = &prev_spectrum {
+            let flux: f64 = power
+                .iter()
+                .zip(prev.iter())
+                .map(|(&a, &b)| (a.sqrt() - b.sqrt()).abs())
+                .sum::<f64>()
+                / bins as f64;
+            fluxes.push(flux);
+        }
+        // Sub-bands: 0-500, 500-1000, 1000-2000, 2000-4000 Hz.
+        for (k, &p) in power.iter().enumerate() {
+            let hz = k as f64 * bin_hz;
+            let band = if hz < 500.0 {
+                0
+            } else if hz < 1000.0 {
+                1
+            } else if hz < 2000.0 {
+                2
+            } else {
+                3
+            };
+            band_energy[band] += p;
+            total_energy += p;
+        }
+        prev_spectrum = Some(power);
+    }
+
+    let peak = energies.iter().copied().fold(0.0f64, f64::max);
+    let silence_thresh = (peak * 0.1).max(1e-4);
+    let silence_ratio =
+        energies.iter().filter(|&&e| e < silence_thresh).count() as f64 / energies.len() as f64;
+
+    let mut out = Vec::with_capacity(CLIP_FEATURE_DIMS);
+    out.push(mean(&energies));
+    out.push(std_dev(&energies));
+    out.push(silence_ratio);
+    out.push(mean(&zcrs));
+    out.push(std_dev(&zcrs));
+    out.push(mean(&centroids));
+    out.push(std_dev(&centroids));
+    out.push(mean(&rolloffs));
+    out.push(mean(&fluxes));
+    for band in band_energy {
+        out.push(if total_energy > 1e-12 {
+            band / total_energy
+        } else {
+            0.0
+        });
+    }
+    out.push(pitch_strength(signal, sample_rate));
+    debug_assert_eq!(out.len(), CLIP_FEATURE_DIMS);
+    Some(out)
+}
+
+/// Pitch strength: the median, over the clip's highest-energy analysis
+/// frames, of the normalised autocorrelation peak in the 80–320 Hz
+/// fundamental range. High for voiced speech; low for noise (even coloured
+/// noise, whose correlation decays monotonically rather than peaking at a
+/// period).
+pub fn pitch_strength(signal: &[f32], sample_rate: u32) -> f64 {
+    let sr = sample_rate as f64;
+    let min_lag = (sr / 320.0) as usize;
+    let max_lag = (sr / 80.0) as usize;
+    let frame_len = max_lag * 3; // three fundamental periods at the low end
+    if signal.len() < frame_len || min_lag == 0 {
+        return 0.0;
+    }
+    // Rank frames by energy; analyse the top third (the voiced parts).
+    let hop = frame_len / 2;
+    let mut frames_by_energy: Vec<(f64, usize)> = (0..)
+        .map(|i| i * hop)
+        .take_while(|&s| s + frame_len <= signal.len())
+        .map(|s| {
+            let e: f64 = signal[s..s + frame_len]
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum();
+            (e, s)
+        })
+        .collect();
+    if frames_by_energy.is_empty() {
+        return 0.0;
+    }
+    frames_by_energy.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite energy"));
+    let take = (frames_by_energy.len() / 3).max(1);
+    let mut peaks: Vec<f64> = Vec::with_capacity(take);
+    for &(energy, start) in frames_by_energy.iter().take(take) {
+        if energy < 1e-9 {
+            peaks.push(0.0);
+            continue;
+        }
+        let seg: Vec<f64> = signal[start..start + frame_len]
+            .iter()
+            .map(|&s| s as f64)
+            .collect();
+        let mean = seg.iter().sum::<f64>() / seg.len() as f64;
+        let seg: Vec<f64> = seg.iter().map(|s| s - mean).collect();
+        let mut best = 0.0f64;
+        for lag in min_lag..=max_lag.min(seg.len() - 1) {
+            let (a, b) = (&seg[..seg.len() - lag], &seg[lag..]);
+            let corr: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            let ea: f64 = a.iter().map(|x| x * x).sum();
+            let eb: f64 = b.iter().map(|x| x * x).sum();
+            let denom = (ea * eb).sqrt();
+            if denom > 1e-12 {
+                best = best.max(corr / denom);
+            }
+        }
+        peaks.push(best);
+    }
+    peaks.sort_by(|a, b| a.partial_cmp(b).expect("finite peak"));
+    peaks[peaks.len() / 2].clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::voice::{synth_ambient, synth_music, synth_speech, voice_for_speaker};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SR: u32 = 8000;
+
+    fn two_secs_speech(seed: u64, speaker: u32) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        synth_speech(&voice_for_speaker(speaker), 16000, 0, SR, &mut rng)
+    }
+
+    #[test]
+    fn features_have_14_dims() {
+        let f = clip_features(&two_secs_speech(1, 1), SR).unwrap();
+        assert_eq!(f.len(), CLIP_FEATURE_DIMS);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn too_short_clip_is_none() {
+        assert!(clip_features(&[0.0; 100], SR).is_none());
+        assert!(clip_features(&[], SR).is_none());
+    }
+
+    #[test]
+    fn speech_has_higher_pitch_strength_than_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let speech = two_secs_speech(2, 1);
+        let noise = synth_ambient(16000, 0, SR, &mut rng);
+        let ps_speech = pitch_strength(&speech, SR);
+        let ps_noise = pitch_strength(&noise, SR);
+        assert!(
+            ps_speech > ps_noise + 0.2,
+            "speech {ps_speech} vs noise {ps_noise}"
+        );
+    }
+
+    #[test]
+    fn speech_has_higher_energy_modulation_than_music() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let speech = clip_features(&two_secs_speech(3, 2), SR).unwrap();
+        let music = clip_features(&synth_music(16000, 0, SR, &mut rng), SR).unwrap();
+        // Feature 1 is the std of frame RMS; feature 2 the silence ratio.
+        assert!(
+            speech[1] > music[1],
+            "speech RMS std {} vs music {}",
+            speech[1],
+            music[1]
+        );
+        assert!(
+            speech[2] > music[2],
+            "speech silence {} vs music {}",
+            speech[2],
+            music[2]
+        );
+    }
+
+    #[test]
+    fn silence_clip_features_are_degenerate() {
+        let f = clip_features(&vec![0.0f32; 16000], SR).unwrap();
+        assert!(f[0] < 1e-9, "zero energy");
+        assert_eq!(f[13], 0.0, "no pitch");
+    }
+
+    #[test]
+    fn subband_ratios_sum_to_one_for_nonsilent() {
+        let f = clip_features(&two_secs_speech(4, 3), SR).unwrap();
+        let sum: f64 = f[9..13].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "band ratios sum {sum}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Within-track speaker segmentation (DISTBIC-style, the paper's reference
+//! \[23\]: Delacourt & Wellekens).
+//!
+//! The shot-level BIC test ([`crate::bic`]) answers "do these two shots share
+//! a speaker?". This module answers the stream question: *where inside an
+//! audio track do speaker turns fall?* A window pair slides over the MFCC
+//! sequence; at each candidate boundary the BIC hypothesis test compares the
+//! two sides, and local minima of `Delta BIC` below zero become turn points,
+//! subject to a minimum segment length.
+
+use crate::bic::{bic_speaker_change, BicConfig};
+use medvid_signal::mel::MfccExtractor;
+
+/// Speaker-segmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentationConfig {
+    /// Analysis half-window in MFCC frames (each side of a candidate).
+    pub window: usize,
+    /// Candidate stride in frames.
+    pub step: usize,
+    /// Minimum distance between accepted turns, in frames.
+    pub min_segment: usize,
+    /// The BIC penalty configuration.
+    pub bic: BicConfig,
+}
+
+impl Default for SegmentationConfig {
+    fn default() -> Self {
+        Self {
+            window: 100, // 1 s at the paper's 10 ms hop
+            step: 10,
+            min_segment: 100,
+            bic: BicConfig::default(),
+        }
+    }
+}
+
+/// A detected speaker turn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeakerTurn {
+    /// MFCC frame index of the turn.
+    pub frame: usize,
+    /// `Delta BIC` at the turn (negative = change).
+    pub delta_bic: f64,
+}
+
+/// Detects speaker turns in an MFCC sequence.
+pub fn speaker_turns(mfcc: &[Vec<f64>], config: &SegmentationConfig) -> Vec<SpeakerTurn> {
+    let w = config.window.max(8);
+    let n = mfcc.len();
+    if n < 2 * w {
+        return Vec::new();
+    }
+    // Scan candidates, recording Delta BIC where a change is signalled.
+    let mut scores: Vec<(usize, f64)> = Vec::new();
+    let mut t = w;
+    while t + w <= n {
+        if let Ok(outcome) =
+            bic_speaker_change(&mfcc[t - w..t], &mfcc[t..t + w], &config.bic)
+        {
+            scores.push((t, outcome.delta_bic));
+        }
+        t += config.step.max(1);
+    }
+    // Local minima below zero, greedily thinned by min_segment.
+    let mut turns: Vec<SpeakerTurn> = Vec::new();
+    for (i, &(frame, score)) in scores.iter().enumerate() {
+        if score >= 0.0 {
+            continue;
+        }
+        let left_ok = i == 0 || scores[i - 1].1 >= score;
+        let right_ok = i + 1 == scores.len() || scores[i + 1].1 > score;
+        if !(left_ok && right_ok) {
+            continue;
+        }
+        match turns.last() {
+            Some(last) if frame - last.frame < config.min_segment => {
+                // Keep the stronger of the two conflicting turns.
+                if score < last.delta_bic {
+                    *turns.last_mut().expect("non-empty") = SpeakerTurn {
+                        frame,
+                        delta_bic: score,
+                    };
+                }
+            }
+            _ => turns.push(SpeakerTurn {
+                frame,
+                delta_bic: score,
+            }),
+        }
+    }
+    turns
+}
+
+/// Convenience: extracts MFCCs from a waveform (voiced frames are *not*
+/// filtered — turn positions need the full timeline) and maps detected turn
+/// frames back to sample positions.
+pub fn speaker_turns_in_waveform(
+    samples: &[f32],
+    extractor: &MfccExtractor,
+    config: &SegmentationConfig,
+) -> Vec<(usize, SpeakerTurn)> {
+    let mfcc = extractor.extract(samples);
+    speaker_turns(&mfcc, config)
+        .into_iter()
+        .map(|t| (t.frame * extractor.hop(), t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::voice::{synth_speech, voice_for_speaker};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SR: u32 = 8000;
+
+    fn two_speaker_track(turn_at_secs: f64, total_secs: f64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n1 = (turn_at_secs * SR as f64) as usize;
+        let n2 = (total_secs * SR as f64) as usize - n1;
+        let mut track = synth_speech(&voice_for_speaker(1), n1, 0, SR, &mut rng);
+        track.extend(synth_speech(&voice_for_speaker(2), n2, n1, SR, &mut rng));
+        track
+    }
+
+    #[test]
+    fn detects_the_turn_between_two_speakers() {
+        let track = two_speaker_track(4.0, 8.0);
+        let ex = MfccExtractor::paper_default(SR);
+        let turns = speaker_turns_in_waveform(&track, &ex, &SegmentationConfig::default());
+        assert!(!turns.is_empty(), "no turn detected");
+        // The strongest turn lies within 0.5 s of the true change at 4 s.
+        let (sample, _) = *turns
+            .iter()
+            .min_by(|a, b| a.1.delta_bic.partial_cmp(&b.1.delta_bic).unwrap())
+            .unwrap();
+        let secs = sample as f64 / SR as f64;
+        assert!(
+            (secs - 4.0).abs() < 0.5,
+            "turn at {secs:.2} s, expected ~4.0 s"
+        );
+    }
+
+    #[test]
+    fn single_speaker_track_has_no_turns() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let track = synth_speech(&voice_for_speaker(3), 8 * SR as usize, 0, SR, &mut rng);
+        let ex = MfccExtractor::paper_default(SR);
+        let turns = speaker_turns_in_waveform(&track, &ex, &SegmentationConfig::default());
+        assert!(
+            turns.is_empty(),
+            "false turns in single-speaker audio: {turns:?}"
+        );
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let cfg = SegmentationConfig::default();
+        assert!(speaker_turns(&[], &cfg).is_empty());
+        let few = vec![vec![0.0; 14]; 50];
+        assert!(speaker_turns(&few, &cfg).is_empty());
+    }
+
+    #[test]
+    fn min_segment_thins_adjacent_turns() {
+        // Three speakers with a very short middle segment: the two turns are
+        // closer than min_segment, so only the stronger survives when thinned
+        // with a huge min_segment.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 3 * SR as usize;
+        let mut track = synth_speech(&voice_for_speaker(1), n, 0, SR, &mut rng);
+        track.extend(synth_speech(&voice_for_speaker(2), n, n, SR, &mut rng));
+        track.extend(synth_speech(&voice_for_speaker(4), n, 2 * n, SR, &mut rng));
+        let ex = MfccExtractor::paper_default(SR);
+        let loose = speaker_turns_in_waveform(
+            &track,
+            &ex,
+            &SegmentationConfig {
+                min_segment: 100,
+                ..Default::default()
+            },
+        );
+        let thinned = speaker_turns_in_waveform(
+            &track,
+            &ex,
+            &SegmentationConfig {
+                min_segment: 100_000,
+                ..Default::default()
+            },
+        );
+        assert!(thinned.len() <= loose.len());
+        assert!(thinned.len() <= 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests on the audio pipeline.
+
+use medvid_audio::bic::voiced_frames;
+use medvid_audio::clips::segment_clips;
+use medvid_audio::features::{clip_features, CLIP_FEATURE_DIMS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn clips_partition_their_span(
+        start in 0usize..100_000, len in 0usize..200_000, sr in 4000u32..48_000,
+    ) {
+        let clips = segment_clips(start, start + len, sr);
+        let clip_len = (2.0 * sr as f64) as usize;
+        if len < clip_len {
+            prop_assert!(clips.is_empty());
+        } else {
+            prop_assert_eq!(clips.first().unwrap().start, start);
+            prop_assert_eq!(clips.last().unwrap().end, start + len);
+            for w in clips.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            for c in &clips {
+                prop_assert!(c.len() >= clip_len);
+                prop_assert!(c.len() < 2 * clip_len);
+            }
+        }
+    }
+
+    #[test]
+    fn clip_features_always_14_finite_dims(
+        samples in prop::collection::vec(-1.0f32..1.0, 240..4000),
+    ) {
+        if let Some(f) = clip_features(&samples, 8000) {
+            prop_assert_eq!(f.len(), CLIP_FEATURE_DIMS);
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn voiced_frames_is_subset_preserving_dims(
+        frames in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 14), 0..60),
+    ) {
+        let kept = voiced_frames(&frames);
+        prop_assert!(kept.len() <= frames.len());
+        for f in &kept {
+            prop_assert_eq!(f.len(), 14);
+            prop_assert!(frames.contains(f));
+        }
+        if !frames.is_empty() {
+            prop_assert!(!kept.is_empty(), "filter must keep something");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Baseline scene-detection methods the paper compares against (Sec. 6.1).
+//!
+//! * **Method B** — Rui, Huang & Mehrotra, "Constructing table-of-content
+//!   for video" (1999): time-adaptive grouping, where a shot joins an
+//!   existing group when its visual similarity — attenuated by temporal
+//!   distance — is high enough, followed by merging interleaved/similar
+//!   groups into scenes ([`rui`]).
+//! * **Method C** — Lin & Zhang, "Automatic Video Scene Extraction by Shot
+//!   Grouping" (ICPR 2000): sliding-window coherence, declaring a scene
+//!   boundary wherever the best cross-boundary shot similarity within a
+//!   window drops below a threshold ([`linzhang`]).
+//!
+//! * **Method D** (extra baseline, not in the paper's comparison) — Yeung &
+//!   Yeo's time-constrained clustering + Scene Transition Graph, the paper's
+//!   reference \[15\] ([`stg`]).
+//!
+//! All return scenes as contiguous shot spans, the representation the
+//! evaluation harness scores with the paper's precision (Eq. 20) and
+//! compression-rate (Eq. 21) metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linzhang;
+pub mod rui;
+pub mod stg;
+
+pub use linzhang::{lin_zhang_scenes, LinZhangConfig};
+pub use rui::{rui_scenes, RuiConfig};
+pub use stg::{stg_scenes, StgConfig};
+
+/// A detected scene: a contiguous, non-empty run of shot ids.
+pub type SceneSpan = Vec<medvid_types::ShotId>;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use medvid_types::{ColorHistogram, FrameFeatures, Shot, ShotId, TamuraTexture};
+
+    /// Builds shots whose colour mass sits in the given bins; equal bins
+    /// mean visually identical shots.
+    pub fn shots_from_bins(bins: &[usize]) -> Vec<Shot> {
+        bins.iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let mut hist = vec![0.0f32; 256];
+                hist[b] = 1.0;
+                let mut tex = vec![0.0f32; 10];
+                tex[b % 10] = 1.0;
+                Shot::new(
+                    ShotId(i),
+                    i * 30,
+                    (i + 1) * 30,
+                    FrameFeatures {
+                        color: ColorHistogram::new(hist).unwrap(),
+                        texture: TamuraTexture::new(tex).unwrap(),
+                    },
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+}

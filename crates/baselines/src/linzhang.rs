@@ -1,0 +1,159 @@
+//! Method C: Lin & Zhang sliding-window shot-grouping scene extraction.
+
+use crate::SceneSpan;
+use medvid_signal::entropy::entropy_threshold;
+use medvid_structure::similarity::{shot_similarity, SimilarityWeights};
+use medvid_types::{Shot, ShotId};
+
+/// Method-C parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinZhangConfig {
+    /// Window size in shots on each side of a candidate boundary.
+    pub window: usize,
+    /// Coherence threshold; `None` = automatic. The factor below scales the
+    /// automatic threshold, making the method merge aggressively (the
+    /// behaviour the paper observes: best compression, worst precision).
+    pub threshold: Option<f32>,
+    /// Scale applied to the automatic threshold.
+    pub auto_scale: f32,
+}
+
+impl Default for LinZhangConfig {
+    fn default() -> Self {
+        Self {
+            window: 5,
+            threshold: None,
+            auto_scale: 0.5,
+        }
+    }
+}
+
+/// Cross-boundary coherence before shot `i`: the best similarity between any
+/// shot in the preceding window and any in the following window.
+fn coherence(shots: &[Shot], i: usize, window: usize, w: SimilarityWeights) -> f32 {
+    let lo = i.saturating_sub(window);
+    let hi = (i + window).min(shots.len());
+    let mut best = 0.0f32;
+    for a in lo..i {
+        for b in i..hi {
+            best = best.max(shot_similarity(&shots[a], &shots[b], w));
+        }
+    }
+    best
+}
+
+/// Runs Method C and returns its scenes as contiguous shot spans.
+pub fn lin_zhang_scenes(
+    shots: &[Shot],
+    w: SimilarityWeights,
+    config: &LinZhangConfig,
+) -> Vec<SceneSpan> {
+    let n = shots.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let window = config.window.max(1);
+    let coherences: Vec<f32> = (1..n).map(|i| coherence(shots, i, window, w)).collect();
+    let threshold = config
+        .threshold
+        .unwrap_or_else(|| entropy_threshold(&coherences) * config.auto_scale);
+    let mut boundaries = vec![0usize];
+    for (idx, &c) in coherences.iter().enumerate() {
+        if c < threshold {
+            boundaries.push(idx + 1);
+        }
+    }
+    boundaries.push(n);
+    boundaries.dedup();
+    boundaries
+        .windows(2)
+        .filter(|wnd| wnd[1] > wnd[0])
+        .map(|wnd| (wnd[0]..wnd[1]).map(ShotId).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shots_from_bins;
+
+    #[test]
+    fn hard_boundary_detected() {
+        let shots = shots_from_bins(&[1, 1, 1, 1, 200, 200, 200, 200]);
+        let scenes = lin_zhang_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &LinZhangConfig::default(),
+        );
+        assert_eq!(scenes.len(), 2, "{scenes:?}");
+        assert_eq!(scenes[0].len(), 4);
+    }
+
+    #[test]
+    fn window_bridges_interleaved_shots() {
+        // A-B-A-B: within a window of 3, the far-side A matches the near
+        // side, so no boundary falls inside the dialog.
+        let shots = shots_from_bins(&[1, 2, 1, 2, 1, 2]);
+        let scenes = lin_zhang_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &LinZhangConfig {
+                threshold: Some(0.5),
+                ..Default::default()
+            },
+        );
+        assert_eq!(scenes.len(), 1, "{scenes:?}");
+    }
+
+    #[test]
+    fn scenes_partition_shots() {
+        let shots = shots_from_bins(&[1, 1, 80, 80, 7, 7, 7]);
+        let scenes = lin_zhang_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &LinZhangConfig::default(),
+        );
+        let flat: Vec<usize> = scenes.iter().flatten().map(|s| s.index()).collect();
+        assert_eq!(flat, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lower_threshold_merges_more() {
+        let shots = shots_from_bins(&[1, 1, 30, 30, 60, 60, 90, 90]);
+        let strict = lin_zhang_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &LinZhangConfig {
+                threshold: Some(0.9),
+                ..Default::default()
+            },
+        );
+        let loose = lin_zhang_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &LinZhangConfig {
+                threshold: Some(0.0),
+                ..Default::default()
+            },
+        );
+        assert!(loose.len() <= strict.len());
+        assert_eq!(loose.len(), 1, "zero threshold merges everything");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(lin_zhang_scenes(
+            &[],
+            SimilarityWeights::default(),
+            &LinZhangConfig::default()
+        )
+        .is_empty());
+        let one = shots_from_bins(&[4]);
+        let scenes = lin_zhang_scenes(
+            &one,
+            SimilarityWeights::default(),
+            &LinZhangConfig::default(),
+        );
+        assert_eq!(scenes.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Method B: Rui et al. time-adaptive grouping and table-of-content scene
+//! construction.
+
+use crate::SceneSpan;
+use medvid_signal::entropy::entropy_threshold;
+use medvid_structure::similarity::{shot_similarity, SimilarityWeights};
+use medvid_types::{Shot, ShotId};
+
+/// Method-B parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuiConfig {
+    /// Temporal attenuation constant: similarity to a group decays as
+    /// `1 / (1 + alpha * gap)` where `gap` is the distance (in shots) to the
+    /// group's most recent member.
+    pub alpha: f32,
+    /// Group-join threshold; `None` = automatic (entropy over adjacent-shot
+    /// similarities, scaled by `auto_scale`).
+    pub group_threshold: Option<f32>,
+    /// Scale applied to the automatic group threshold.
+    pub auto_scale: f32,
+    /// Scene-merge threshold as a fraction of the group threshold.
+    pub scene_factor: f32,
+}
+
+impl Default for RuiConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            group_threshold: None,
+            auto_scale: 0.8,
+            scene_factor: 0.85,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RuiGroup {
+    members: Vec<usize>,
+    last: usize,
+}
+
+/// Runs Method B and returns its scenes as contiguous shot spans.
+pub fn rui_scenes(shots: &[Shot], w: SimilarityWeights, config: &RuiConfig) -> Vec<SceneSpan> {
+    let n = shots.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let tg = config.group_threshold.unwrap_or_else(|| {
+        let sims: Vec<f32> = (0..n.saturating_sub(1))
+            .map(|i| shot_similarity(&shots[i], &shots[i + 1], w))
+            .collect();
+        entropy_threshold(&sims) * config.auto_scale
+    });
+
+    // Stage 1: time-adaptive grouping. A shot joins the group whose most
+    // recent member it best matches, with temporal attenuation.
+    let mut groups: Vec<RuiGroup> = Vec::new();
+    let mut group_of = vec![0usize; n];
+    for i in 0..n {
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, g) in groups.iter().enumerate() {
+            let gap = (i - g.last) as f32;
+            let sim = shot_similarity(&shots[i], &shots[g.last], w) / (1.0 + config.alpha * gap);
+            if best.map(|(_, b)| sim > b).unwrap_or(true) {
+                best = Some((gi, sim));
+            }
+        }
+        match best {
+            Some((gi, sim)) if sim > tg => {
+                groups[gi].members.push(i);
+                groups[gi].last = i;
+                group_of[i] = gi;
+            }
+            _ => {
+                group_of[i] = groups.len();
+                groups.push(RuiGroup {
+                    members: vec![i],
+                    last: i,
+                });
+            }
+        }
+    }
+
+    // Stage 2: table-of-content construction over group time spans. Groups
+    // whose spans overlap belong to one scene (interleaved dialog); an
+    // adjacent non-overlapping group still joins when it is similar enough
+    // to the scene's most recent material.
+    let ts = tg * config.scene_factor;
+    let mut boundaries = vec![0usize];
+    let mut scene_end = groups[group_of[0]].members.last().copied().unwrap_or(0);
+    let mut scene_last_shot = 0usize;
+    for i in 1..n {
+        let gi = group_of[i];
+        let g_first = groups[gi].members.first().copied().unwrap_or(i);
+        if g_first < i {
+            // The group started earlier: it is already part of this scene.
+            scene_end = scene_end.max(groups[gi].members.last().copied().unwrap_or(i));
+            scene_last_shot = i;
+            continue;
+        }
+        if i <= scene_end {
+            // A new group opening while older groups are still running:
+            // interleaved material stays in the scene.
+            scene_end = scene_end.max(groups[gi].members.last().copied().unwrap_or(i));
+            scene_last_shot = i;
+            continue;
+        }
+        // The scene's groups have all ended; a similar continuation merges,
+        // a dissimilar one opens a new scene.
+        let sim = shot_similarity(&shots[i], &shots[scene_last_shot], w);
+        if sim > ts {
+            scene_end = scene_end.max(groups[gi].members.last().copied().unwrap_or(i));
+        } else {
+            boundaries.push(i);
+            scene_end = groups[gi].members.last().copied().unwrap_or(i);
+        }
+        scene_last_shot = i;
+    }
+    boundaries.push(n);
+    boundaries
+        .windows(2)
+        .filter(|wnd| wnd[1] > wnd[0])
+        .map(|wnd| (wnd[0]..wnd[1]).map(ShotId).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shots_from_bins;
+
+    #[test]
+    fn distinct_blocks_separate() {
+        let shots = shots_from_bins(&[1, 1, 1, 1, 200, 200, 200, 200]);
+        let scenes = rui_scenes(&shots, SimilarityWeights::default(), &RuiConfig::default());
+        assert_eq!(scenes.len(), 2, "{scenes:?}");
+        assert_eq!(scenes[0].len(), 4);
+    }
+
+    #[test]
+    fn interleaved_dialog_stays_one_scene() {
+        let shots = shots_from_bins(&[1, 2, 1, 2, 1, 2]);
+        let scenes = rui_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &RuiConfig {
+                group_threshold: Some(0.5),
+                ..Default::default()
+            },
+        );
+        assert_eq!(scenes.len(), 1, "{scenes:?}");
+    }
+
+    #[test]
+    fn scenes_partition_all_shots_in_order() {
+        let shots = shots_from_bins(&[1, 1, 9, 9, 40, 40, 1, 1]);
+        let scenes = rui_scenes(&shots, SimilarityWeights::default(), &RuiConfig::default());
+        let flat: Vec<usize> = scenes.iter().flatten().map(|s| s.index()).collect();
+        assert_eq!(flat, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_no_scenes() {
+        assert!(rui_scenes(&[], SimilarityWeights::default(), &RuiConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_shot_is_one_scene() {
+        let shots = shots_from_bins(&[5]);
+        let scenes = rui_scenes(&shots, SimilarityWeights::default(), &RuiConfig::default());
+        assert_eq!(scenes.len(), 1);
+        assert_eq!(scenes[0], vec![medvid_types::ShotId(0)]);
+    }
+
+    #[test]
+    fn attenuation_blocks_rejoining_distant_groups() {
+        // Same bin reappears far away: with strong attenuation it opens a
+        // new group and a new scene.
+        let shots = shots_from_bins(&[1, 1, 50, 50, 50, 50, 50, 50, 1, 1]);
+        let scenes = rui_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &RuiConfig {
+                alpha: 2.0,
+                group_threshold: Some(0.6),
+                scene_factor: 0.9,
+                ..Default::default()
+            },
+        );
+        assert!(scenes.len() >= 3, "{scenes:?}");
+    }
+}

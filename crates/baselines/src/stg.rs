@@ -1,0 +1,164 @@
+//! Method D (additional baseline): Yeung & Yeo time-constrained clustering
+//! with a Scene Transition Graph (the paper's reference [15]).
+//!
+//! Shots are clustered under a visual-similarity threshold *and* a temporal
+//! window; the Scene Transition Graph has one node per cluster and an edge
+//! for every temporal succession between clusters. Story units (scenes) are
+//! the segments between the graph's cut edges — equivalently, a boundary
+//! falls after shot `i` exactly when no cluster contains shots on both sides
+//! of `i`.
+
+use crate::SceneSpan;
+use medvid_signal::entropy::entropy_threshold;
+use medvid_structure::similarity::{shot_similarity, SimilarityWeights};
+use medvid_types::{Shot, ShotId};
+
+/// Method-D parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StgConfig {
+    /// Temporal window in shots: two shots further apart than this never
+    /// share a cluster (the "time-constrained" part).
+    pub time_window: usize,
+    /// Similarity threshold for joining a cluster; `None` = automatic
+    /// (scaled bipartition threshold over adjacent-shot similarities).
+    pub threshold: Option<f32>,
+    /// Scale applied to the automatic threshold.
+    pub auto_scale: f32,
+}
+
+impl Default for StgConfig {
+    fn default() -> Self {
+        Self {
+            time_window: 10,
+            threshold: None,
+            auto_scale: 0.9,
+        }
+    }
+}
+
+/// Time-constrained single-link clustering of shots.
+fn cluster_shots(shots: &[Shot], w: SimilarityWeights, config: &StgConfig) -> Vec<usize> {
+    let n = shots.len();
+    let threshold = config.threshold.unwrap_or_else(|| {
+        let sims: Vec<f32> = (0..n.saturating_sub(1))
+            .map(|i| shot_similarity(&shots[i], &shots[i + 1], w))
+            .collect();
+        entropy_threshold(&sims) * config.auto_scale
+    });
+    // Union-find over shots.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..n {
+        let hi = (i + config.time_window).min(n.saturating_sub(1));
+        for j in i + 1..=hi {
+            if shot_similarity(&shots[i], &shots[j], w) > threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| find(&mut parent, i)).collect()
+}
+
+/// Runs Method D and returns its story units as contiguous shot spans.
+pub fn stg_scenes(shots: &[Shot], w: SimilarityWeights, config: &StgConfig) -> Vec<SceneSpan> {
+    let n = shots.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cluster_of = cluster_shots(shots, w, config);
+    // For each shot i, the furthest shot index reachable by a cluster that
+    // contains a shot at or before i. A story-unit boundary (cut edge of the
+    // STG) falls after i when that reach equals i.
+    let mut last_of_cluster = vec![0usize; n];
+    for (i, &c) in cluster_of.iter().enumerate() {
+        last_of_cluster[c] = last_of_cluster[c].max(i);
+    }
+    let mut scenes = Vec::new();
+    let mut start = 0usize;
+    let mut reach = 0usize;
+    for (i, &c) in cluster_of.iter().enumerate() {
+        reach = reach.max(last_of_cluster[c]);
+        if reach == i {
+            scenes.push((start..=i).map(ShotId).collect());
+            start = i + 1;
+        }
+    }
+    scenes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shots_from_bins;
+
+    #[test]
+    fn repeating_pattern_is_one_story_unit() {
+        // A-B-A-B dialog followed by C-C: the A cluster spans shots 0..4, so
+        // no boundary can fall inside the dialog.
+        let shots = shots_from_bins(&[1, 2, 1, 2, 1, 200, 200]);
+        let scenes = stg_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &StgConfig {
+                threshold: Some(0.5),
+                ..Default::default()
+            },
+        );
+        assert_eq!(scenes.len(), 2, "{scenes:?}");
+        assert_eq!(scenes[0].len(), 5);
+    }
+
+    #[test]
+    fn time_window_separates_distant_repeats() {
+        // The same look reappears far outside the window: it must not bridge
+        // the story units between.
+        let bins = [1usize, 1, 50, 50, 60, 60, 70, 70, 80, 80, 90, 90, 1, 1];
+        let shots = shots_from_bins(&bins);
+        let scenes = stg_scenes(
+            &shots,
+            SimilarityWeights::default(),
+            &StgConfig {
+                time_window: 4,
+                threshold: Some(0.5),
+                ..Default::default()
+            },
+        );
+        assert!(scenes.len() >= 3, "{scenes:?}");
+        // The final 1-1 pair forms its own unit, not merged with shots 0-1.
+        let last = scenes.last().unwrap();
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0], ShotId(12));
+    }
+
+    #[test]
+    fn scenes_partition_shots() {
+        let shots = shots_from_bins(&[1, 1, 9, 9, 40, 40, 1, 1]);
+        let scenes = stg_scenes(&shots, SimilarityWeights::default(), &StgConfig::default());
+        let flat: Vec<usize> = scenes.iter().flatten().map(|s| s.index()).collect();
+        assert_eq!(flat, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(stg_scenes(&[], SimilarityWeights::default(), &StgConfig::default()).is_empty());
+        let one = shots_from_bins(&[3]);
+        let scenes = stg_scenes(&one, SimilarityWeights::default(), &StgConfig::default());
+        assert_eq!(scenes.len(), 1);
+    }
+
+    #[test]
+    fn distinct_blocks_separate() {
+        let shots = shots_from_bins(&[1, 1, 1, 200, 200, 200]);
+        let scenes = stg_scenes(&shots, SimilarityWeights::default(), &StgConfig::default());
+        assert_eq!(scenes.len(), 2, "{scenes:?}");
+    }
+}

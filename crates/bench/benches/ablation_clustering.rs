@@ -1,0 +1,83 @@
+//! E-ABL2: PCS with validity-selected cluster count vs a fixed 40% reduction
+//! vs seeded k-means over scene representative features.
+//!
+//! The paper motivates PCS by k-means' seed sensitivity and uses cluster
+//! validity to pick N; this ablation quantifies both choices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::signal::kmeans::kmeans;
+use medvid::structure::cluster::{cluster_scenes, ClusterConfig};
+use medvid::structure::{mine_structure, MiningConfig};
+use medvid::structure::similarity::SimilarityWeights;
+use medvid::synth::{standard_corpus, CorpusScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let cs = mine_structure(&corpus[0], &MiningConfig::default());
+    let w = SimilarityWeights::default();
+
+    let validity = cluster_scenes(&cs.scenes, &cs.groups, &cs.shots, w, &ClusterConfig::default());
+    println!(
+        "[abl-clustering] PCS+validity: {} scenes -> {} clusters",
+        cs.scenes.len(),
+        validity.len()
+    );
+    let fixed = cluster_scenes(
+        &cs.scenes,
+        &cs.groups,
+        &cs.shots,
+        w,
+        &ClusterConfig {
+            target: Some((cs.scenes.len() as f64 * 0.6) as usize),
+            ..Default::default()
+        },
+    );
+    println!(
+        "[abl-clustering] fixed 40% reduction: {} clusters",
+        fixed.len()
+    );
+    // k-means over the scenes' representative-shot features: show seed
+    // sensitivity by counting distinct partitions over 5 seeds.
+    let points: Vec<Vec<f64>> = cs
+        .scenes
+        .iter()
+        .map(|se| {
+            let g = &cs.groups[se.representative_group.index()];
+            let s = &cs.shots[g.representative_shots[0].index()];
+            s.features.concat().iter().map(|&x| x as f64).collect()
+        })
+        .collect();
+    let k = validity.len().min(points.len().max(1));
+    let mut partitions = std::collections::HashSet::new();
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(km) = kmeans(&points, k, 30, &mut rng) {
+            partitions.insert(km.assignments);
+        }
+    }
+    println!(
+        "[abl-clustering] k-means over 5 seeds: {} distinct partitions (PCS is seedless: always 1)",
+        partitions.len()
+    );
+
+    let mut g = c.benchmark_group("ablation_clustering");
+    g.sample_size(10);
+    g.bench_function("pcs_with_validity", |b| {
+        b.iter(|| {
+            cluster_scenes(
+                black_box(&cs.scenes),
+                &cs.groups,
+                &cs.shots,
+                w,
+                &ClusterConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

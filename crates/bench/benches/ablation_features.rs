@@ -1,0 +1,60 @@
+//! E-ABL3: colour+texture similarity (the paper's WC=0.7/WT=0.3) vs
+//! colour-only similarity, measured on scene-detection precision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::structure::group::{detect_groups, GroupConfig};
+use medvid::structure::scene::{detect_scenes, SceneConfig};
+use medvid::structure::shot::{detect_shots, ShotDetectorConfig};
+use medvid::structure::similarity::SimilarityWeights;
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid_eval::metrics::scene_precision;
+use medvid::types::ShotId;
+use std::hint::black_box;
+
+fn scenes_for(w: SimilarityWeights, shots: &[medvid::types::Shot]) -> Vec<Vec<ShotId>> {
+    let groups = detect_groups(shots, w, &GroupConfig::default()).groups;
+    detect_scenes(&groups, shots, w, &SceneConfig::default())
+        .scenes
+        .iter()
+        .map(|se| {
+            let mut v: Vec<ShotId> = se
+                .groups
+                .iter()
+                .flat_map(|&g| groups[g.index()].shots.clone())
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let video = &corpus[0];
+    let truth = video.truth.as_ref().unwrap();
+    let det = detect_shots(video, &ShotDetectorConfig::default());
+    for (name, w) in [
+        ("paper WC=0.7/WT=0.3", SimilarityWeights::default()),
+        ("color_only", SimilarityWeights::color_only()),
+        (
+            "texture_heavy WC=0.3/WT=0.7",
+            SimilarityWeights {
+                color: 0.3,
+                texture: 0.7,
+            },
+        ),
+    ] {
+        let j = scene_precision(&scenes_for(w, &det.shots), &det.shots, truth);
+        println!("[abl-features] {name}: P={:.3} CRF={:.3}", j.precision(), j.crf());
+    }
+    let w = SimilarityWeights::default();
+    let mut g = c.benchmark_group("ablation_features");
+    g.sample_size(10);
+    g.bench_function("paper_weights", |b| {
+        b.iter(|| scenes_for(black_box(w), black_box(&det.shots)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E-ABL1: automatic (fast-entropy) group thresholds vs fixed thresholds.
+//!
+//! DESIGN.md calls out the entropy-adaptive thresholds as a design choice;
+//! this ablation measures scene precision with the automatic thresholds
+//! against a sweep of fixed T2 values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::structure::group::{detect_groups, GroupConfig};
+use medvid::structure::scene::{detect_scenes, SceneConfig};
+use medvid::structure::shot::{detect_shots, ShotDetectorConfig};
+use medvid::structure::similarity::SimilarityWeights;
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid_eval::metrics::scene_precision;
+use medvid::types::ShotId;
+use std::hint::black_box;
+
+fn scenes_for(cfg: &GroupConfig, shots: &[medvid::types::Shot]) -> Vec<Vec<ShotId>> {
+    let w = SimilarityWeights::default();
+    let groups = detect_groups(shots, w, cfg).groups;
+    detect_scenes(&groups, shots, w, &SceneConfig::default())
+        .scenes
+        .iter()
+        .map(|se| {
+            let mut v: Vec<ShotId> = se
+                .groups
+                .iter()
+                .flat_map(|&g| groups[g.index()].shots.clone())
+                .collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let video = &corpus[0];
+    let truth = video.truth.as_ref().unwrap();
+    let det = detect_shots(video, &ShotDetectorConfig::default());
+
+    let auto = GroupConfig::default();
+    let j = scene_precision(&scenes_for(&auto, &det.shots), &det.shots, truth);
+    println!("[abl-thresholds] auto entropy: P={:.3} CRF={:.3}", j.precision(), j.crf());
+    for t2 in [0.3f32, 0.5, 0.7, 0.9] {
+        let fixed = GroupConfig {
+            t1: Some(1.2),
+            t2: Some(t2),
+            th: None,
+        };
+        let j = scene_precision(&scenes_for(&fixed, &det.shots), &det.shots, truth);
+        println!(
+            "[abl-thresholds] fixed T2={t2}: P={:.3} CRF={:.3}",
+            j.precision(),
+            j.crf()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_thresholds");
+    g.sample_size(10);
+    g.bench_function("auto_thresholds", |b| {
+        b.iter(|| scenes_for(black_box(&auto), black_box(&det.shots)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E-AUD bench (substrate sanity): BIC speaker-change accuracy vs the
+//! penalty factor lambda, plus runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::audio::bic::{bic_on_waveforms, BicConfig};
+use medvid::signal::mel::MfccExtractor;
+use medvid::synth::voice::{synth_speech, voice_for_speaker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SR: u32 = 8000;
+
+fn speech(speaker: u32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    synth_speech(&voice_for_speaker(speaker), 16000, 0, SR, &mut rng)
+}
+
+fn bench_bic(c: &mut Criterion) {
+    let ex = MfccExtractor::paper_default(SR);
+    // Operating-point sweep: accuracy on 10 same / 10 different pairs.
+    for lambda in [0.5, 1.0, 2.0, 4.0] {
+        let cfg = BicConfig { lambda };
+        let mut correct = 0usize;
+        for i in 0..10u64 {
+            let a = speech(1 + (i % 5) as u32, i);
+            let b = speech(1 + (i % 5) as u32, 100 + i);
+            if !bic_on_waveforms(&a, &b, &ex, &cfg).unwrap().speaker_change {
+                correct += 1;
+            }
+            let d = speech(6 + (i % 5) as u32, 200 + i);
+            if bic_on_waveforms(&a, &d, &ex, &cfg).unwrap().speaker_change {
+                correct += 1;
+            }
+        }
+        println!("[bic] lambda={lambda}: accuracy {}/20", correct);
+    }
+    let a = speech(1, 1);
+    let b = speech(2, 2);
+    let cfg = BicConfig::default();
+    let mut g = c.benchmark_group("audio_bic");
+    g.sample_size(20);
+    g.bench_function("bic_two_2s_clips", |b2| {
+        b2.iter(|| bic_on_waveforms(black_box(&a), black_box(&b), &ex, &cfg).unwrap())
+    });
+    g.bench_function("mfcc_2s_clip", |b2| {
+        b2.iter(|| ex.extract(black_box(&a)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bic);
+criterion_main!(benches);

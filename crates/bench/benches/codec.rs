@@ -1,0 +1,43 @@
+//! E-COD bench (substrate sanity): codec throughput, bitrate and PSNR.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use medvid::codec::{decode_video, encode_video, psnr, EncoderConfig, Quality};
+use medvid::synth::{standard_corpus, CorpusScale};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let frames: Vec<_> = corpus[0].frames.iter().take(60).cloned().collect();
+    let pixels: u64 = frames.iter().map(|f| f.pixel_count() as u64).sum();
+    for q in [25u8, 75] {
+        let cfg = EncoderConfig {
+            quality: Quality::new(q).unwrap(),
+            ..Default::default()
+        };
+        let bits = encode_video(&frames, &cfg).unwrap();
+        let decoded = decode_video(&bits).unwrap();
+        let p = psnr(&frames[0], &decoded[0]);
+        println!(
+            "[codec] q={q}: {} bytes for {} frames ({:.2} bpp), PSNR {:.1} dB",
+            bits.len(),
+            frames.len(),
+            bits.len() as f64 * 8.0 / pixels as f64,
+            p
+        );
+    }
+    let cfg = EncoderConfig::default();
+    let bits = encode_video(&frames, &cfg).unwrap();
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(frames.len() as u64));
+    g.bench_function("encode_60_frames", |b| {
+        b.iter(|| encode_video(black_box(&frames), black_box(&cfg)).unwrap())
+    });
+    g.bench_function("decode_60_frames", |b| {
+        b.iter(|| decode_video(black_box(&bits)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E-TAB1 bench: event mining — runtime plus the Table 1 rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_eval::events_exp::run_event_mining;
+use std::hint::black_box;
+
+fn bench_event_mining(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 2003).unwrap();
+    // Print Table 1 once.
+    let t = run_event_mining(&corpus, &miner);
+    for r in t.rows.iter().chain(std::iter::once(&t.average)) {
+        println!(
+            "[table1] {:<20} SN={} DN={} TN={} PR={:.3} RE={:.3}",
+            r.name, r.selected, r.detected, r.true_positive, r.precision, r.recall
+        );
+    }
+    let video = &corpus[0];
+    let mined = miner.mine(video);
+    let mut g = c.benchmark_group("event_mining");
+    g.sample_size(10);
+    g.bench_function("mine_events_tiny_video", |b| {
+        b.iter(|| {
+            miner
+                .event_miner()
+                .mine(black_box(video), black_box(&mined.structure))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_mining);
+criterion_main!(benches);

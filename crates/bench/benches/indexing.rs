@@ -1,0 +1,30 @@
+//! E-IDX bench: flat scan (Eq. 24) vs hierarchical retrieval (Eq. 25).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvid_eval::indexing_exp::synthetic_database;
+use std::hint::black_box;
+
+fn bench_indexing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retrieval");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (db, queries) = synthetic_database(n, 2003, 4);
+        let q = queries[0].clone();
+        let (_, flat) = db.flat_search(&q, 10, None);
+        let (_, hier) = db.hierarchical_search(&q, 10, None);
+        println!(
+            "[sec6.2] N={n}: flat {} cmp vs hier {} cmp",
+            flat.comparisons, hier.comparisons
+        );
+        g.bench_with_input(BenchmarkId::new("flat_eq24", n), &n, |b, _| {
+            b.iter(|| db.flat_search(black_box(&q), 10, None))
+        });
+        g.bench_with_input(BenchmarkId::new("hierarchical_eq25", n), &n, |b, _| {
+            b.iter(|| db.hierarchical_search(black_box(&q), 10, None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E-FIG12/E-FIG13 bench: methods A, B, C — runtime plus the paper's
+//! precision/CRF rows (Figs. 12-13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::structure::shot::{detect_shots, ShotDetectorConfig};
+use medvid::structure::similarity::SimilarityWeights;
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid_eval::scenedet::{run_comparison, scenes_with_method, Method};
+use std::hint::black_box;
+
+fn bench_scene_detection(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    // Print the Figs. 12-13 rows once.
+    for r in run_comparison(&corpus) {
+        println!(
+            "[fig12/13] method {:?}: P={:.3} CRF={:.3} ({} scenes / {} shots)",
+            r.method, r.precision, r.crf, r.judgement.detected, r.judgement.shots
+        );
+    }
+    let det = detect_shots(&corpus[0], &ShotDetectorConfig::default());
+    let w = SimilarityWeights::default();
+    let mut g = c.benchmark_group("scene_detection");
+    g.sample_size(10);
+    for method in Method::ALL {
+        g.bench_function(format!("{method:?}"), |b| {
+            b.iter(|| scenes_with_method(black_box(method), black_box(&det.shots), w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scene_detection);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E-FIG5 bench: shot-detection throughput and quality on the synthetic
+//! corpus (paper Fig. 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::structure::shot::{detect_shots, ShotDetectorConfig};
+use medvid::synth::{standard_corpus, CorpusScale};
+use std::hint::black_box;
+
+fn bench_shot_detection(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let video = &corpus[0];
+    let cfg = ShotDetectorConfig::default();
+
+    // Print the Fig. 5 quality row once.
+    let truth = video.truth.as_ref().unwrap();
+    let det = detect_shots(video, &cfg);
+    let detected: Vec<usize> = det.shots.iter().skip(1).map(|s| s.start_frame).collect();
+    let recall = truth
+        .shot_cuts
+        .iter()
+        .filter(|&&t| detected.iter().any(|&d| d.abs_diff(t) <= 2))
+        .count() as f64
+        / truth.shot_cuts.len() as f64;
+    println!(
+        "[fig5] {} frames, {} true cuts, {} detected, recall {recall:.3}",
+        video.frame_count(),
+        truth.shot_cuts.len(),
+        detected.len()
+    );
+
+    let mut g = c.benchmark_group("shot_detection");
+    g.sample_size(10);
+    g.bench_function("detect_shots_tiny_video", |b| {
+        b.iter(|| detect_shots(black_box(video), black_box(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shot_detection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E-FIG14/E-FIG15 bench: skim construction and the viewer study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medvid::skim::{build_skim, frame_compression_ratio, simulate_panel, SkimLevel, StudyInputs};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+use std::hint::black_box;
+
+fn bench_skimming(c: &mut Criterion) {
+    let corpus = standard_corpus(CorpusScale::Tiny, 2003);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 2003).unwrap();
+    let video = &corpus[0];
+    let mined = miner.mine(video);
+    let truth = video.truth.as_ref().unwrap();
+    let inputs = StudyInputs {
+        structure: &mined.structure,
+        truth,
+    };
+    // Print the Figs. 14-15 rows once.
+    for level in SkimLevel::ALL {
+        let scores = simulate_panel(&inputs, level, 2003);
+        let fcr = frame_compression_ratio(&mined.structure, &build_skim(&mined.structure, level));
+        println!(
+            "[fig14/15] level {}: Q1={:.2} Q2={:.2} Q3={:.2} FCR={:.3}",
+            level.number(),
+            scores.q1_topic,
+            scores.q2_scenario,
+            scores.q3_concise,
+            fcr
+        );
+    }
+    let mut g = c.benchmark_group("skimming");
+    g.sample_size(20);
+    g.bench_function("build_all_levels", |b| {
+        b.iter(|| {
+            for level in SkimLevel::ALL {
+                black_box(build_skim(black_box(&mined.structure), level));
+            }
+        })
+    });
+    g.bench_function("simulate_panel_level3", |b| {
+        b.iter(|| simulate_panel(black_box(&inputs), SkimLevel::Scenes, 2003))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_skimming);
+criterion_main!(benches);

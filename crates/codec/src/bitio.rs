@@ -1,0 +1,159 @@
+//! Byte-oriented bitstream I/O: LEB128 varints with zig-zag signing.
+
+/// Writes unsigned LEB128.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Writes a signed value with zig-zag mapping.
+pub fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A cursor over an encoded byte stream.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Errors from bitstream reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// Ran out of bytes mid-value.
+    UnexpectedEof,
+    /// A varint exceeded 64 bits.
+    Overlong,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::UnexpectedEof => write!(f, "unexpected end of bitstream"),
+            ReadError::Overlong => write!(f, "overlong varint in bitstream"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads one raw byte.
+    pub fn read_byte(&mut self) -> Result<u8, ReadError> {
+        let b = *self.buf.get(self.pos).ok_or(ReadError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads unsigned LEB128.
+    pub fn read_uvarint(&mut self) -> Result<u64, ReadError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_byte()?;
+            if shift >= 64 {
+                return Err(ReadError::Overlong);
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zig-zag signed varint.
+    pub fn read_ivarint(&mut self) -> Result<i64, ReadError> {
+        let u = self.read_uvarint()?;
+        Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_uvarint(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.read_uvarint().unwrap(), v);
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        let values = [0i64, 1, -1, 63, -64, 1000, -100000, i64::MAX, i64::MIN];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_ivarint(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &values {
+            assert_eq!(r.read_ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_ivarint(&mut buf, -50);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 300);
+        let mut r = Reader::new(&buf[..1]); // continuation bit set, no next byte
+        assert_eq!(r.read_uvarint().unwrap_err(), ReadError::UnexpectedEof);
+    }
+
+    #[test]
+    fn overlong_detected() {
+        let buf = vec![0x80u8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_uvarint().unwrap_err(), ReadError::Overlong);
+    }
+
+    #[test]
+    fn remaining_tracks_position() {
+        let buf = vec![1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.remaining(), 3);
+        r.read_byte().unwrap();
+        assert_eq!(r.remaining(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! RGB ↔ YCbCr conversion (BT.601 full-range).
+
+use medvid_types::Rgb;
+
+/// Converts an RGB pixel to full-range YCbCr.
+pub fn rgb_to_ycbcr(p: Rgb) -> (f64, f64, f64) {
+    let r = p.r as f64;
+    let g = p.g as f64;
+    let b = p.b as f64;
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    (y, cb, cr)
+}
+
+/// Converts full-range YCbCr back to RGB with clamping.
+pub fn ycbcr_to_rgb(y: f64, cb: f64, cr: f64) -> Rgb {
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    let clamp = |v: f64| -> u8 { v.round().clamp(0.0, 255.0) as u8 };
+    Rgb::new(clamp(r), clamp(g), clamp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_near_lossless() {
+        for (r, g, b) in [
+            (0u8, 0u8, 0u8),
+            (255, 255, 255),
+            (255, 0, 0),
+            (0, 255, 0),
+            (0, 0, 255),
+            (123, 45, 210),
+        ] {
+            let p = Rgb::new(r, g, b);
+            let (y, cb, cr) = rgb_to_ycbcr(p);
+            let q = ycbcr_to_rgb(y, cb, cr);
+            assert!((p.r as i16 - q.r as i16).abs() <= 1, "{p:?} -> {q:?}");
+            assert!((p.g as i16 - q.g as i16).abs() <= 1);
+            assert!((p.b as i16 - q.b as i16).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn grey_has_neutral_chroma() {
+        let (_, cb, cr) = rgb_to_ycbcr(Rgb::new(128, 128, 128));
+        assert!((cb - 128.0).abs() < 0.5);
+        assert!((cr - 128.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn luma_matches_types_definition() {
+        let p = Rgb::new(10, 200, 50);
+        let (y, _, _) = rgb_to_ycbcr(p);
+        assert!((y - p.luma() as f64).abs() < 0.01);
+    }
+}

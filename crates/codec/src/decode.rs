@@ -1,0 +1,212 @@
+//! Video decoding.
+
+use crate::bitio::{ReadError, Reader};
+use crate::color::ycbcr_to_rgb;
+use crate::encode::{Planes, FRAME_I, FRAME_P, MAGIC};
+use crate::quant::{dequantise, flat_matrix, scaled_matrix, JPEG_LUMA};
+use crate::zigzag::{rle_decode, unscan, RunLevel};
+use medvid_signal::dct::{idct2_8x8, BLOCK};
+use medvid_types::Image;
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with the codec magic.
+    BadMagic,
+    /// The stream ended prematurely or contained malformed varints.
+    Bitstream(ReadError),
+    /// A frame-type marker was invalid.
+    BadFrameType(u8),
+    /// Run-length data overflowed a block.
+    BlockOverflow,
+    /// Header fields describe an implausible video (e.g. gigantic dims).
+    BadHeader,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a MVC1 bitstream"),
+            DecodeError::Bitstream(e) => write!(f, "bitstream error: {e}"),
+            DecodeError::BadFrameType(t) => write!(f, "invalid frame type {t}"),
+            DecodeError::BlockOverflow => write!(f, "run-length data overflows block"),
+            DecodeError::BadHeader => write!(f, "implausible header fields"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<ReadError> for DecodeError {
+    fn from(e: ReadError) -> Self {
+        DecodeError::Bitstream(e)
+    }
+}
+
+/// Sanity limit on header dimensions (pixels per side).
+const MAX_DIM: u64 = 1 << 16;
+/// Sanity limit on frame count.
+const MAX_FRAMES: u64 = 1 << 24;
+
+/// Decodes a bitstream produced by [`crate::encode_video`].
+///
+/// # Errors
+/// Returns [`DecodeError`] for malformed or truncated streams.
+pub fn decode_video(bits: &[u8]) -> Result<Vec<Image>, DecodeError> {
+    let mut r = Reader::new(bits);
+    for &m in MAGIC.iter() {
+        if r.read_byte()? != m {
+            return Err(DecodeError::BadMagic);
+        }
+    }
+    let width = r.read_uvarint()?;
+    let height = r.read_uvarint()?;
+    let n_frames = r.read_uvarint()?;
+    if width > MAX_DIM || height > MAX_DIM || n_frames > MAX_FRAMES {
+        return Err(DecodeError::BadHeader);
+    }
+    let (width, height) = (width as usize, height as usize);
+    let quality = r.read_byte()?;
+    let _gop = r.read_uvarint()?;
+    if n_frames > 0 && (width == 0 || height == 0) {
+        return Err(DecodeError::BadHeader);
+    }
+
+    let intra_matrix = scaled_matrix(&JPEG_LUMA, quality);
+    let pred_matrix = flat_matrix(quality);
+    let (pw, ph) = Planes::padded_dims(width.max(1), height.max(1));
+    let (bw, bh) = (pw / BLOCK, ph / BLOCK);
+    let mut prev = Planes::zero(pw, ph);
+    let mut frames = Vec::with_capacity(n_frames as usize);
+
+    for _ in 0..n_frames {
+        let ftype = r.read_byte()?;
+        let intra = match ftype {
+            FRAME_I => true,
+            FRAME_P => false,
+            other => return Err(DecodeError::BadFrameType(other)),
+        };
+        let matrix = if intra { &intra_matrix } else { &pred_matrix };
+        let mut recon = Planes::zero(pw, ph);
+        for by in 0..bh {
+            for bx in 0..bw {
+                let (dx, dy) = if intra {
+                    (0i64, 0i64)
+                } else {
+                    let dx = r.read_ivarint()?;
+                    let dy = r.read_ivarint()?;
+                    if dx.unsigned_abs() > 127 || dy.unsigned_abs() > 127 {
+                        return Err(DecodeError::BadHeader);
+                    }
+                    (dx, dy)
+                };
+                for plane in 0..3 {
+                    let n_sym = r.read_uvarint()? as usize;
+                    if n_sym > BLOCK * BLOCK {
+                        return Err(DecodeError::BlockOverflow);
+                    }
+                    let mut symbols = Vec::with_capacity(n_sym);
+                    for _ in 0..n_sym {
+                        let run = r.read_uvarint()?;
+                        let level = r.read_ivarint()?;
+                        if run > (BLOCK * BLOCK) as u64 {
+                            return Err(DecodeError::BlockOverflow);
+                        }
+                        symbols.push(RunLevel {
+                            run: run as u16,
+                            level: level as i32,
+                        });
+                    }
+                    let zz = rle_decode(&symbols).ok_or(DecodeError::BlockOverflow)?;
+                    let levels = unscan(&zz);
+                    let coeffs = dequantise(&levels, matrix);
+                    let residual = idct2_8x8(&coeffs);
+                    let mut rec = [0.0; BLOCK * BLOCK];
+                    if intra {
+                        for (o, &v) in rec.iter_mut().zip(residual.iter()) {
+                            *o = (v + 128.0).clamp(0.0, 255.0);
+                        }
+                    } else {
+                        let pred = prev.block_at(
+                            plane,
+                            (bx * BLOCK) as isize + dx as isize,
+                            (by * BLOCK) as isize + dy as isize,
+                        );
+                        for ((o, &v), &p) in rec.iter_mut().zip(residual.iter()).zip(pred.iter())
+                        {
+                            *o = (v + p).clamp(0.0, 255.0);
+                        }
+                    }
+                    recon.set_block(plane, bx, by, &rec);
+                }
+            }
+        }
+        frames.push(planes_to_image(&recon, width, height));
+        prev = recon;
+    }
+    Ok(frames)
+}
+
+fn planes_to_image(p: &Planes, width: usize, height: usize) -> Image {
+    debug_assert!(width <= p.w && height <= p.h, "crop within padded planes");
+    let mut img = Image::black(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let i = y * p.w + x;
+            img.set(
+                x,
+                y,
+                ycbcr_to_rgb(p.data[0][i], p.data[1][i], p.data[2][i]),
+            );
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_video, EncoderConfig};
+    use medvid_types::Rgb;
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_video(b"XXXX rest").unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn bad_frame_type_rejected() {
+        let frames = vec![Image::black(8, 8)];
+        let mut bits = encode_video(&frames, &EncoderConfig::default()).unwrap();
+        // Frame type byte follows magic(4) + w/h/count varints (3 x 1 byte
+        // here) + quality byte + gop varint (1 byte) = offset 9.
+        bits[9] = 7;
+        assert_eq!(decode_video(&bits).unwrap_err(), DecodeError::BadFrameType(7));
+    }
+
+    #[test]
+    fn implausible_header_rejected() {
+        let mut bits = Vec::new();
+        bits.extend_from_slice(b"MVC1");
+        crate::bitio::write_uvarint(&mut bits, u64::MAX); // width
+        crate::bitio::write_uvarint(&mut bits, 1);
+        crate::bitio::write_uvarint(&mut bits, 1);
+        bits.push(75);
+        crate::bitio::write_uvarint(&mut bits, 12);
+        assert_eq!(decode_video(&bits).unwrap_err(), DecodeError::BadHeader);
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dims_roundtrip() {
+        let mut img = Image::filled(13, 11, Rgb::new(120, 90, 200));
+        img.fill_rect(0, 0, 6, 6, Rgb::new(20, 180, 60));
+        let bits = encode_video(&[img.clone()], &EncoderConfig::default()).unwrap();
+        let out = decode_video(&bits).unwrap();
+        assert_eq!(out[0].width(), 13);
+        assert_eq!(out[0].height(), 11);
+        assert!(crate::psnr(&img, &out[0]) > 25.0);
+    }
+}

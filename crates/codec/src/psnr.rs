@@ -1,0 +1,62 @@
+//! Peak signal-to-noise ratio between frames.
+
+use medvid_types::Image;
+
+/// PSNR in dB between two images of identical dimensions. Returns
+/// `f64::INFINITY` for identical images.
+///
+/// # Panics
+/// Panics if dimensions differ.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "images must share dimensions"
+    );
+    let n = a.raw().len();
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let mse: f64 = a
+        .raw()
+        .iter()
+        .zip(b.raw().iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::Rgb;
+
+    #[test]
+    fn identical_images_infinite_psnr() {
+        let img = Image::filled(8, 8, Rgb::new(10, 20, 30));
+        assert_eq!(psnr(&img, &img.clone()), f64::INFINITY);
+    }
+
+    #[test]
+    fn opposite_images_low_psnr() {
+        let a = Image::black(8, 8);
+        let b = Image::filled(8, 8, Rgb::WHITE);
+        assert!((psnr(&a, &b) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_noise_high_psnr() {
+        let a = Image::filled(8, 8, Rgb::new(100, 100, 100));
+        let b = Image::filled(8, 8, Rgb::new(101, 101, 101));
+        let p = psnr(&a, &b);
+        assert!(p > 45.0, "1-LSB error should be ~48 dB, got {p}");
+    }
+}

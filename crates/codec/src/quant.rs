@@ -1,0 +1,109 @@
+//! Quantisation tables.
+//!
+//! Intra blocks use the JPEG luminance matrix scaled by the quality factor;
+//! predicted (difference) blocks use a flat matrix, as MPEG does for
+//! non-intra macroblocks.
+
+use medvid_signal::dct::BLOCK;
+
+/// The JPEG Annex K luminance quantisation matrix.
+pub const JPEG_LUMA: [u16; BLOCK * BLOCK] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Scales a base matrix by JPEG's quality convention: quality 50 is the base
+/// matrix, higher quality divides, lower multiplies.
+pub fn scaled_matrix(base: &[u16; BLOCK * BLOCK], quality: u8) -> [f64; BLOCK * BLOCK] {
+    let q = quality.clamp(1, 100) as f64;
+    let scale = if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q };
+    let mut out = [1.0; BLOCK * BLOCK];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        *o = ((b as f64 * scale + 50.0) / 100.0).clamp(1.0, 255.0);
+    }
+    out
+}
+
+/// Flat quantisation matrix for predicted blocks.
+pub fn flat_matrix(quality: u8) -> [f64; BLOCK * BLOCK] {
+    let q = quality.clamp(1, 100) as f64;
+    let step = (16.0 * (if q < 50.0 { 5000.0 / q } else { 200.0 - 2.0 * q }) / 100.0).clamp(1.0, 255.0);
+    [step; BLOCK * BLOCK]
+}
+
+/// Quantises DCT coefficients.
+pub fn quantise(coeffs: &[f64; BLOCK * BLOCK], matrix: &[f64; BLOCK * BLOCK]) -> [i32; BLOCK * BLOCK] {
+    let mut out = [0i32; BLOCK * BLOCK];
+    for ((o, &c), &m) in out.iter_mut().zip(coeffs.iter()).zip(matrix.iter()) {
+        *o = (c / m).round() as i32;
+    }
+    out
+}
+
+/// Dequantises coefficients.
+pub fn dequantise(
+    levels: &[i32; BLOCK * BLOCK],
+    matrix: &[f64; BLOCK * BLOCK],
+) -> [f64; BLOCK * BLOCK] {
+    let mut out = [0.0; BLOCK * BLOCK];
+    for ((o, &l), &m) in out.iter_mut().zip(levels.iter()).zip(matrix.iter()) {
+        *o = l as f64 * m;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_base_matrix() {
+        let m = scaled_matrix(&JPEG_LUMA, 50);
+        for (a, &b) in m.iter().zip(JPEG_LUMA.iter()) {
+            assert!((a - b as f64).abs() <= 1.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn higher_quality_means_finer_steps() {
+        let hi = scaled_matrix(&JPEG_LUMA, 90);
+        let lo = scaled_matrix(&JPEG_LUMA, 10);
+        for (h, l) in hi.iter().zip(lo.iter()) {
+            assert!(h <= l);
+        }
+    }
+
+    #[test]
+    fn quantise_dequantise_bounds_error() {
+        let mut coeffs = [0.0; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f64 - 32.0) * 7.3;
+        }
+        let m = scaled_matrix(&JPEG_LUMA, 75);
+        let q = quantise(&coeffs, &m);
+        let d = dequantise(&q, &m);
+        for ((orig, rec), &step) in coeffs.iter().zip(d.iter()).zip(m.iter()) {
+            assert!((orig - rec).abs() <= step / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn flat_matrix_is_uniform() {
+        let m = flat_matrix(50);
+        assert!(m.iter().all(|&v| (v - m[0]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn extreme_qualities_clamped() {
+        let m1 = scaled_matrix(&JPEG_LUMA, 1);
+        assert!(m1.iter().all(|&v| v <= 255.0));
+        let m100 = scaled_matrix(&JPEG_LUMA, 100);
+        assert!(m100.iter().all(|&v| v >= 1.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! `medvid` — command-line front-end to the ClassMiner pipeline.
+//!
+//! ```text
+//! medvid corpus     [--scale tiny|small|full] [--seed N]
+//! medvid mine       [--scale ...] [--seed N] [--video I]
+//! medvid index      [--scale ...] [--seed N] --out DB.json
+//! medvid query      --db DB.json [--event presentation|dialog|clinical] [--limit N]
+//! medvid storyboard [--scale ...] [--seed N] [--video I] --out DIR
+//! ```
+//!
+//! Everything operates on the synthetic corpus (the repository's stand-in
+//! for real tapes), so every subcommand is self-contained and reproducible
+//! from a seed.
+
+use medvid::index::{Strategy, VideoDatabase};
+use medvid::skim::storyboard::{export_storyboard, storyboard};
+use medvid::skim::SkimLevel;
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::types::EventKind;
+use medvid::{ClassMiner, ClassMinerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    command: String,
+    scale: CorpusScale,
+    seed: u64,
+    video: usize,
+    out: Option<PathBuf>,
+    db: Option<PathBuf>,
+    event: Option<EventKind>,
+    limit: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        command: args.first().cloned().ok_or_else(usage)?,
+        scale: CorpusScale::Tiny,
+        seed: 2003,
+        video: 0,
+        out: None,
+        db: None,
+        event: None,
+        limit: 10,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1).ok_or(format!("{flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                opts.scale = match value()?.as_str() {
+                    "tiny" => CorpusScale::Tiny,
+                    "small" => CorpusScale::Small,
+                    "full" => CorpusScale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--video" => {
+                opts.video = value()?.parse().map_err(|e| format!("--video: {e}"))?;
+                i += 2;
+            }
+            "--limit" => {
+                opts.limit = value()?.parse().map_err(|e| format!("--limit: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--db" => {
+                opts.db = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--event" => {
+                opts.event = Some(match value()?.as_str() {
+                    "presentation" => EventKind::Presentation,
+                    "dialog" => EventKind::Dialog,
+                    "clinical" => EventKind::ClinicalOperation,
+                    other => return Err(format!("unknown event '{other}'")),
+                });
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: medvid <corpus|mine|index|query|storyboard> [flags]\n\
+     flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
+     --db PATH  --event presentation|dialog|clinical  --limit N"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    match opts.command.as_str() {
+        "corpus" => {
+            let corpus = standard_corpus(opts.scale, opts.seed);
+            println!("corpus: {} videos (seed {})", corpus.len(), opts.seed);
+            for v in &corpus {
+                let truth = v.truth.as_ref().expect("synthetic corpus has truth");
+                println!(
+                    "  {} '{}': {} frames, {:.0} s, {} true shots, {} semantic units",
+                    v.id,
+                    v.title,
+                    v.frame_count(),
+                    v.duration_secs(),
+                    truth.shot_count(),
+                    truth.semantic_units.len()
+                );
+            }
+            Ok(())
+        }
+        "mine" => {
+            let (video, miner) = load_video(opts)?;
+            let mined = miner.mine(&video);
+            println!(
+                "'{}': {} shots -> {} groups -> {} scenes -> {} clustered scenes",
+                video.title,
+                mined.structure.shots.len(),
+                mined.structure.groups.len(),
+                mined.structure.scenes.len(),
+                mined.structure.clustered_scenes.len()
+            );
+            for ev in &mined.events {
+                let (a, b) = mined.structure.scene_frame_span(ev.scene);
+                println!("  scene {} [{a}..{b}): {}", ev.scene, ev.event);
+            }
+            Ok(())
+        }
+        "index" => {
+            let out = opts.out.as_ref().ok_or("index needs --out DB.json")?;
+            let corpus = standard_corpus(opts.scale, opts.seed);
+            let miner = make_miner(opts)?;
+            let (db, _) = miner.index_corpus(&corpus);
+            db.save_json(out).map_err(|e| e.to_string())?;
+            println!("indexed {} shots into {}", db.len(), out.display());
+            Ok(())
+        }
+        "query" => {
+            let db_path = opts.db.as_ref().ok_or("query needs --db DB.json")?;
+            let db = VideoDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            let mut q = db.query().limit(opts.limit).strategy(Strategy::Flat);
+            if let Some(e) = opts.event {
+                q = q.event(e);
+            }
+            let (hits, stats) = q.run();
+            println!(
+                "{} hits ({} records scanned) in {}",
+                hits.len(),
+                stats.comparisons,
+                db_path.display()
+            );
+            for h in hits {
+                let r = db.record(h.shot).expect("hit is indexed");
+                println!("  video {} shot {}: {}", h.shot.video, h.shot.shot, r.event);
+            }
+            Ok(())
+        }
+        "storyboard" => {
+            let out = opts.out.as_ref().ok_or("storyboard needs --out DIR")?;
+            let (video, miner) = load_video(opts)?;
+            let mined = miner.mine(&video);
+            let cards = storyboard(
+                &mined.structure,
+                &mined.events,
+                SkimLevel::Scenes,
+                video.fps,
+            );
+            let paths =
+                export_storyboard(&cards, &video.frames, out).map_err(|e| e.to_string())?;
+            println!(
+                "exported {} storyboard cards for '{}' to {}",
+                paths.len(),
+                video.title,
+                out.display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn make_miner(opts: &Options) -> Result<ClassMiner, String> {
+    ClassMiner::new(ClassMinerConfig::default(), opts.seed).map_err(|e| e.to_string())
+}
+
+fn load_video(opts: &Options) -> Result<(medvid::types::Video, ClassMiner), String> {
+    let mut corpus = standard_corpus(opts.scale, opts.seed);
+    if opts.video >= corpus.len() {
+        return Err(format!(
+            "--video {} out of range (corpus has {})",
+            opts.video,
+            corpus.len()
+        ));
+    }
+    Ok((corpus.swap_remove(opts.video), make_miner(opts)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Options, String> {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse(&[
+            "query", "--scale", "full", "--seed", "7", "--video", "2", "--limit", "5", "--db",
+            "x.json", "--event", "dialog",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "query");
+        assert_eq!(o.scale, CorpusScale::Full);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.video, 2);
+        assert_eq!(o.limit, 5);
+        assert_eq!(o.db, Some(PathBuf::from("x.json")));
+        assert_eq!(o.event, Some(EventKind::Dialog));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse(&["mine"]).unwrap();
+        assert_eq!(o.scale, CorpusScale::Tiny);
+        assert_eq!(o.seed, 2003);
+        assert_eq!(o.limit, 10);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["mine", "--scale", "gigantic"]).is_err());
+        assert!(parse(&["mine", "--seed"]).is_err());
+        assert!(parse(&["mine", "--frobnicate", "1"]).is_err());
+        assert!(parse(&["query", "--event", "opera"]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Dataset persistence: write a corpus to disk and read it back.
+//!
+//! Each video becomes a directory holding the codec bitstream (frames), raw
+//! 16-bit PCM (audio) and a JSON sidecar (title, fps, sample rate, ground
+//! truth). This is the repository's interchange format — a generated corpus
+//! can be saved once and reloaded by experiments, instead of regenerated.
+
+use medvid_codec::{decode_video, encode_video, EncoderConfig};
+use medvid_types::{AudioTrack, GroundTruth, Video, VideoId};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Sidecar metadata for one stored video.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VideoMeta {
+    title: String,
+    fps: f64,
+    sample_rate: u32,
+    truth: Option<GroundTruth>,
+}
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Sidecar (de)serialisation failure.
+    Meta(serde_json::Error),
+    /// Frame bitstream failure.
+    Codec(String),
+    /// The directory does not look like a stored video.
+    NotAVideo(PathBuf),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "I/O: {e}"),
+            DatasetError::Meta(e) => write!(f, "metadata: {e}"),
+            DatasetError::Codec(e) => write!(f, "codec: {e}"),
+            DatasetError::NotAVideo(p) => write!(f, "{} is not a stored video", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Meta(e)
+    }
+}
+
+/// Writes one video into `dir` (created if needed): `frames.mvc`,
+/// `audio.pcm` (16-bit LE mono) and `meta.json`.
+///
+/// # Errors
+/// Propagates I/O, serialisation and codec failures.
+pub fn save_video(video: &Video, dir: &Path, codec: &EncoderConfig) -> Result<(), DatasetError> {
+    fs::create_dir_all(dir)?;
+    let bits =
+        encode_video(&video.frames, codec).map_err(|e| DatasetError::Codec(e.to_string()))?;
+    fs::write(dir.join("frames.mvc"), bits)?;
+    let mut pcm = Vec::with_capacity(video.audio.len() * 2);
+    for &s in video.audio.samples() {
+        let v = (s.clamp(-1.0, 1.0) * i16::MAX as f32) as i16;
+        pcm.extend_from_slice(&v.to_le_bytes());
+    }
+    fs::write(dir.join("audio.pcm"), pcm)?;
+    let meta = VideoMeta {
+        title: video.title.clone(),
+        fps: video.fps,
+        sample_rate: video.audio.sample_rate(),
+        truth: video.truth.clone(),
+    };
+    fs::write(dir.join("meta.json"), serde_json::to_vec_pretty(&meta)?)?;
+    Ok(())
+}
+
+/// Reads a video back from a directory written by [`save_video`].
+///
+/// # Errors
+/// Propagates I/O, serialisation and codec failures; returns
+/// [`DatasetError::NotAVideo`] when the sidecar is missing.
+pub fn load_video(dir: &Path, id: VideoId) -> Result<Video, DatasetError> {
+    let meta_path = dir.join("meta.json");
+    if !meta_path.exists() {
+        return Err(DatasetError::NotAVideo(dir.to_path_buf()));
+    }
+    let meta: VideoMeta = serde_json::from_slice(&fs::read(meta_path)?)?;
+    let bits = fs::read(dir.join("frames.mvc"))?;
+    let frames = decode_video(&bits).map_err(|e| DatasetError::Codec(e.to_string()))?;
+    let pcm = fs::read(dir.join("audio.pcm"))?;
+    let samples: Vec<f32> = pcm
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]) as f32 / i16::MAX as f32)
+        .collect();
+    let audio = AudioTrack::new(meta.sample_rate, samples)
+        .map_err(|e| DatasetError::Codec(e.to_string()))?;
+    Ok(Video {
+        id,
+        title: meta.title,
+        frames,
+        audio,
+        fps: meta.fps,
+        truth: meta.truth,
+    })
+}
+
+/// Saves a corpus under `root` as `video_000/`, `video_001/`, ...
+///
+/// # Errors
+/// Propagates per-video failures.
+pub fn save_corpus(
+    corpus: &[Video],
+    root: &Path,
+    codec: &EncoderConfig,
+) -> Result<(), DatasetError> {
+    for (i, v) in corpus.iter().enumerate() {
+        save_video(v, &root.join(format!("video_{i:03}")), codec)?;
+    }
+    Ok(())
+}
+
+/// Loads every `video_*` directory under `root`, in name order.
+///
+/// # Errors
+/// Propagates per-video failures.
+pub fn load_corpus(root: &Path) -> Result<Vec<Video>, DatasetError> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("video_"))
+                    .unwrap_or(false)
+        })
+        .collect();
+    dirs.sort();
+    dirs.iter()
+        .enumerate()
+        .map(|(i, d)| load_video(d, VideoId(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_codec::psnr;
+    use medvid_synth::{standard_corpus, CorpusScale};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("medvid_dataset_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn corpus_roundtrip_preserves_structure() {
+        let dir = tmp("roundtrip");
+        let corpus = standard_corpus(CorpusScale::Tiny, 77);
+        save_corpus(&corpus, &dir, &EncoderConfig::default()).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        for (orig, back) in corpus.iter().zip(loaded.iter()) {
+            assert_eq!(orig.title, back.title);
+            assert_eq!(orig.frame_count(), back.frame_count());
+            assert_eq!(orig.audio.len(), back.audio.len());
+            assert_eq!(orig.truth, back.truth);
+            // Frames are lossy but close.
+            let p = psnr(&orig.frames[10], &back.frames[10]);
+            assert!(p > 28.0, "frame PSNR {p}");
+            // Audio is 16-bit quantised but close.
+            let max_err = orig
+                .audio
+                .samples()
+                .iter()
+                .zip(back.audio.samples())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 1e-3, "audio error {max_err}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_mining_matches_in_memory_mining() {
+        // The stored corpus must mine to (nearly) the same structure.
+        let dir = tmp("mining");
+        let corpus = standard_corpus(CorpusScale::Tiny, 78);
+        save_corpus(&corpus[..1], &dir, &EncoderConfig::default()).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        let miner = crate::ClassMiner::new(crate::ClassMinerConfig::default(), 78).unwrap();
+        let a = miner.mine(&corpus[0]).structure.shots.len() as f64;
+        let b = miner.mine(&loaded[0]).structure.shots.len() as f64;
+        assert!((a - b).abs() / a < 0.15, "in-memory {a} vs loaded {b}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sidecar_is_rejected() {
+        let dir = tmp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            load_video(&dir, VideoId(0)),
+            Err(DatasetError::NotAVideo(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_root_loads_empty_corpus() {
+        let dir = tmp("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_corpus(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

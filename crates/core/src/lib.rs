@@ -1,0 +1,58 @@
+//! **medvid** — ClassMiner: medical video mining for efficient database
+//! indexing, management and access.
+//!
+//! A Rust reproduction of Zhu, Aref, Fan, Catlin & Elmagarmid (ICDE 2003).
+//! This facade crate re-exports every subsystem and wires them into the
+//! end-to-end [`ClassMiner`] pipeline:
+//!
+//! ```no_run
+//! use medvid::{ClassMiner, ClassMinerConfig};
+//! use medvid::synth::{standard_corpus, CorpusScale};
+//!
+//! let corpus = standard_corpus(CorpusScale::Tiny, 42);
+//! let miner = ClassMiner::new(ClassMinerConfig::default(), 42).unwrap();
+//! let mined = miner.mine(&corpus[0]);
+//! println!(
+//!     "{} shots, {} scenes, {} events",
+//!     mined.structure.shots.len(),
+//!     mined.structure.scenes.len(),
+//!     mined.events.len()
+//! );
+//! ```
+//!
+//! Subsystems (each re-exported as a module):
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | shared data model (shots, groups, scenes, events, ground truth) |
+//! | [`signal`] | FFT/DCT/MFCC/histograms/GMM substrate |
+//! | [`synth`] | synthetic medical corpus generator |
+//! | [`codec`] | block-DCT video codec (MPEG-I stand-in) |
+//! | [`vision`] | slide/black/clip-art, skin, blood and face detectors |
+//! | [`audio`] | clip features, speech GMM, BIC speaker change |
+//! | [`structure`] | shot → group → scene → clustered-scene mining |
+//! | [`events`] | presentation/dialog/clinical-operation rules |
+//! | [`index`] | hierarchical database, retrieval, access control |
+//! | [`skim`] | scalable skimming, colour bar, viewer study |
+//! | [`baselines`] | Rui et al. and Lin–Zhang scene detectors |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use medvid_audio as audio;
+pub use medvid_baselines as baselines;
+pub use medvid_codec as codec;
+pub use medvid_events as events;
+pub use medvid_index as index;
+pub use medvid_signal as signal;
+pub use medvid_skim as skim;
+pub use medvid_structure as structure;
+pub use medvid_synth as synth;
+pub use medvid_types as types;
+pub use medvid_vision as vision;
+
+pub mod dataset;
+pub mod pipeline;
+
+pub use dataset::{load_corpus, save_corpus, DatasetError};
+pub use pipeline::{ClassMiner, ClassMinerConfig, MinedVideo};

@@ -1,0 +1,154 @@
+//! The end-to-end ClassMiner pipeline (paper Fig. 3).
+//!
+//! [`ClassMiner`] owns a trained speech classifier and the full mining
+//! configuration; [`ClassMiner::mine`] runs shot detection, content-structure
+//! mining and event mining on one video, and [`ClassMiner::index_corpus`]
+//! builds the hierarchical database over a mined corpus.
+
+use medvid_audio::bic::BicConfig;
+use medvid_audio::{AudioMiner, SpeechClassifier};
+use medvid_events::{EventMiner, SceneEvent};
+use medvid_index::db::IndexConfig;
+use medvid_index::VideoDatabase;
+use medvid_signal::gmm::GmmError;
+use medvid_skim::{build_skim, Skim, SkimLevel};
+use medvid_structure::{mine_structure, MiningConfig};
+use medvid_synth::generate::speech_training_clips;
+use medvid_types::{ContentStructure, Video};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassMinerConfig {
+    /// Content-structure mining parameters.
+    pub mining: MiningConfig,
+    /// BIC speaker-change parameters.
+    pub bic: BicConfig,
+    /// Database index parameters.
+    pub index: IndexConfig,
+    /// Audio sample rate the speech classifier is trained at (0 = 8 kHz).
+    pub sample_rate: u32,
+}
+
+/// Everything mined from one video.
+#[derive(Debug, Clone)]
+pub struct MinedVideo {
+    /// The content-structure hierarchy.
+    pub structure: ContentStructure,
+    /// Per-scene mined events.
+    pub events: Vec<SceneEvent>,
+}
+
+impl MinedVideo {
+    /// Builds the skim of one level from the mined structure.
+    pub fn skim(&self, level: SkimLevel) -> Skim {
+        build_skim(&self.structure, level)
+    }
+}
+
+/// The ClassMiner system: a trained event miner plus mining configuration.
+#[derive(Debug, Clone)]
+pub struct ClassMiner {
+    config: ClassMinerConfig,
+    event_miner: EventMiner,
+}
+
+impl ClassMiner {
+    /// Creates a ClassMiner, training the speech/non-speech GMM classifier
+    /// on synthesised labelled clips (deterministic for a given seed).
+    ///
+    /// # Errors
+    /// Propagates [`GmmError`] from classifier training.
+    pub fn new(config: ClassMinerConfig, seed: u64) -> Result<Self, GmmError> {
+        let sample_rate = if config.sample_rate == 0 {
+            8000
+        } else {
+            config.sample_rate
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (speech, nonspeech) = speech_training_clips(sample_rate, 2.0, 24, &mut rng);
+        let classifier =
+            SpeechClassifier::train(&speech, &nonspeech, sample_rate, 2, &mut rng)?;
+        let audio = AudioMiner::new(classifier, config.bic);
+        Ok(Self {
+            config,
+            event_miner: EventMiner::new(audio),
+        })
+    }
+
+    /// Creates a ClassMiner around an already-trained speech classifier.
+    pub fn with_classifier(config: ClassMinerConfig, classifier: SpeechClassifier) -> Self {
+        let audio = AudioMiner::new(classifier, config.bic);
+        Self {
+            config,
+            event_miner: EventMiner::new(audio),
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &ClassMinerConfig {
+        &self.config
+    }
+
+    /// The event-mining front-end.
+    pub fn event_miner(&self) -> &EventMiner {
+        &self.event_miner
+    }
+
+    /// Mines one video end-to-end: content structure, then scene events.
+    pub fn mine(&self, video: &Video) -> MinedVideo {
+        let structure = mine_structure(video, &self.config.mining);
+        let events = self.event_miner.mine(video, &structure);
+        MinedVideo { structure, events }
+    }
+
+    /// Mines a corpus and builds the hierarchical database over it.
+    pub fn index_corpus(&self, corpus: &[Video]) -> (VideoDatabase, Vec<MinedVideo>) {
+        let mut db = VideoDatabase::medical();
+        let mut mined = Vec::with_capacity(corpus.len());
+        for video in corpus {
+            let m = self.mine(video);
+            let events: Vec<_> = m.events.iter().map(|e| (e.scene, e.event)).collect();
+            db.insert_video(video.id, &m.structure, &events);
+            mined.push(m);
+        }
+        db.build();
+        (db, mined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::{standard_corpus, CorpusScale};
+
+    #[test]
+    fn pipeline_mines_and_indexes_tiny_corpus() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 31);
+        let miner = ClassMiner::new(ClassMinerConfig::default(), 31).unwrap();
+        let (db, mined) = miner.index_corpus(&corpus);
+        assert_eq!(mined.len(), corpus.len());
+        assert!(!db.is_empty());
+        for m in &mined {
+            assert_eq!(m.structure.validate(), Ok(()));
+            assert_eq!(m.events.len(), m.structure.scenes.len());
+        }
+        // Query the database with one of its own shots.
+        let q = mined[0].structure.shots[0].features.concat();
+        let (hits, stats) = db.hierarchical_search(&q, 5, None);
+        assert!(!hits.is_empty());
+        assert!(stats.comparisons < db.len());
+    }
+
+    #[test]
+    fn skims_available_from_mined_video() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 32);
+        let miner = ClassMiner::new(ClassMinerConfig::default(), 32).unwrap();
+        let m = miner.mine(&corpus[0]);
+        let s4 = m.skim(SkimLevel::ClusteredScenes);
+        let s1 = m.skim(SkimLevel::Shots);
+        assert!(s4.len() <= s1.len());
+        assert_eq!(s1.len(), m.structure.shots.len());
+    }
+}

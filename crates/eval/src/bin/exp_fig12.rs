@@ -1,0 +1,28 @@
+//! E-FIG12: scene-detection precision, methods A/B/C (Fig. 12).
+
+use medvid_eval::corpus::{evaluation_corpus, EvalScale};
+use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::scenedet::run_comparison;
+
+fn main() {
+    let scale = EvalScale::from_args();
+    let corpus = evaluation_corpus(scale);
+    let results = run_comparison(&corpus);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.method),
+                r.judgement.rightly.to_string(),
+                r.judgement.detected.to_string(),
+                f3(r.precision),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — scene detection precision (paper: A~0.65 best, then B, C)",
+        &["method", "rightly", "detected", "P"],
+        &rows,
+    );
+    dump_json("fig12", &results);
+}

@@ -1,0 +1,28 @@
+//! E-FIG13: compression-rate factor, methods A/B/C (Fig. 13).
+
+use medvid_eval::corpus::{evaluation_corpus, EvalScale};
+use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::scenedet::run_comparison;
+
+fn main() {
+    let scale = EvalScale::from_args();
+    let corpus = evaluation_corpus(scale);
+    let results = run_comparison(&corpus);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.method),
+                r.judgement.detected.to_string(),
+                r.judgement.shots.to_string(),
+                f3(r.crf),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 13 — compression rate factor (paper: A lowest ~0.086, C highest compression)",
+        &["method", "scenes", "shots", "CRF"],
+        &rows,
+    );
+    dump_json("fig13", &results);
+}

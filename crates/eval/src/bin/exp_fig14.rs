@@ -1,0 +1,29 @@
+//! E-FIG14: skimming quality scores per level (Fig. 14).
+
+use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
+use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::skim_exp::run_skim_study;
+
+fn main() {
+    let scale = EvalScale::from_args();
+    let corpus = evaluation_corpus(scale);
+    let miner = default_miner();
+    let rows = run_skim_study(&corpus, &miner, 2003);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.level.to_string(),
+                f3(r.q1_topic),
+                f3(r.q2_scenario),
+                f3(r.q3_concise),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 14 — skimming scores (paper: Q1/Q2 rise toward level 1, Q3 falls; level 3 best overall)",
+        &["level", "Q1 topic", "Q2 scenario", "Q3 concise"],
+        &table,
+    );
+    dump_json("fig14", &rows);
+}

@@ -1,0 +1,22 @@
+//! E-FIG15: frame compression ratio per skimming level (Fig. 15).
+
+use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
+use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::skim_exp::run_skim_study;
+
+fn main() {
+    let scale = EvalScale::from_args();
+    let corpus = evaluation_corpus(scale);
+    let miner = default_miner();
+    let rows = run_skim_study(&corpus, &miner, 2003);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.level.to_string(), f3(r.fcr)])
+        .collect();
+    print_table(
+        "Fig. 15 — frame compression ratio (paper: ~0.10 at level 4, 1.0 at level 1)",
+        &["level", "FCR"],
+        &table,
+    );
+    dump_json("fig15", &rows);
+}

@@ -1,0 +1,30 @@
+//! E-FIG8: qualitative scene detection listing (Fig. 8).
+
+use medvid_eval::corpus::{evaluation_corpus, EvalScale};
+use medvid_eval::report::{dump_json, print_table};
+use medvid_eval::scenedet::run_listing;
+
+fn main() {
+    let scale = EvalScale::from_args();
+    let corpus = evaluation_corpus(scale);
+    for video in &corpus {
+        let listing = run_listing(video);
+        let rows: Vec<Vec<String>> = listing
+            .iter()
+            .map(|l| {
+                vec![
+                    l.scene.to_string(),
+                    format!("{:?}", l.shots),
+                    l.dominant_topic.clone(),
+                    if l.pure { "ok".into() } else { "mixed".into() },
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 8 — detected scenes of '{}'", video.title),
+            &["scene", "shots", "dominant GT topic", "purity"],
+            &rows,
+        );
+        dump_json(&format!("fig8_video{}", video.id.index()), &listing);
+    }
+}

@@ -1,0 +1,33 @@
+//! E-IDX: retrieval cost, flat scan (Eq. 24) vs cluster-based index (Eq. 25).
+
+use medvid_eval::indexing_exp::run_sweep;
+use medvid_eval::report::{dump_json, f3, print_table};
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("full");
+    let sizes: &[usize] = if full {
+        &[1_000, 5_000, 20_000, 50_000, 100_000]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    let rows = run_sweep(sizes, 16, 2003);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shots.to_string(),
+                f3(r.flat_comparisons),
+                f3(r.hier_comparisons),
+                f3(r.flat_micros),
+                f3(r.hier_micros),
+                f3(r.top1_agreement),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sec. 6.2 — retrieval cost (paper: Tc << Te)",
+        &["N shots", "flat cmps", "hier cmps", "flat us", "hier us", "top1 agree"],
+        &table,
+    );
+    dump_json("indexing", &rows);
+}

@@ -1,0 +1,68 @@
+//! Shared corpus and pipeline construction for the experiment binaries.
+
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_synth::{standard_corpus, CorpusScale};
+use medvid_types::Video;
+
+/// Experiment scale, selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalScale {
+    /// Smoke-test scale (seconds).
+    Tiny,
+    /// Development scale (tens of seconds).
+    Small,
+    /// The paper-shaped evaluation corpus (minutes).
+    Full,
+}
+
+impl EvalScale {
+    /// Parses the first CLI argument (`tiny`/`small`/`full`), defaulting to
+    /// `small`.
+    pub fn from_args() -> Self {
+        match std::env::args().nth(1).as_deref() {
+            Some("tiny") => EvalScale::Tiny,
+            Some("full") => EvalScale::Full,
+            _ => EvalScale::Small,
+        }
+    }
+
+    /// The corresponding corpus scale.
+    pub fn corpus_scale(self) -> CorpusScale {
+        match self {
+            EvalScale::Tiny => CorpusScale::Tiny,
+            EvalScale::Small => CorpusScale::Small,
+            EvalScale::Full => CorpusScale::Full,
+        }
+    }
+}
+
+/// The deterministic seed every experiment uses.
+pub const EVAL_SEED: u64 = 2003; // the paper's year
+
+/// Generates the evaluation corpus at a scale.
+pub fn evaluation_corpus(scale: EvalScale) -> Vec<Video> {
+    standard_corpus(scale.corpus_scale(), EVAL_SEED)
+}
+
+/// Builds the default ClassMiner used by all experiments.
+pub fn default_miner() -> ClassMiner {
+    ClassMiner::new(ClassMinerConfig::default(), EVAL_SEED)
+        .expect("classifier training on synthetic clips cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_corpus_materialises() {
+        let corpus = evaluation_corpus(EvalScale::Tiny);
+        assert_eq!(corpus.len(), 2);
+    }
+
+    #[test]
+    fn scales_map_to_corpus_scales() {
+        assert_eq!(EvalScale::Tiny.corpus_scale(), CorpusScale::Tiny);
+        assert_eq!(EvalScale::Full.corpus_scale(), CorpusScale::Full);
+    }
+}

@@ -1,0 +1,156 @@
+//! Sec. 6.2: retrieval-cost comparison between the flat scan (Eq. 24) and
+//! the cluster-based hierarchical index (Eq. 25).
+//!
+//! The database is populated with synthetic shot features clustered around
+//! per-scene-node modes (the distribution the hierarchy models); the sweep
+//! over database sizes reports comparisons, dimensions touched and wall
+//! time per query for both retrieval paths.
+
+use medvid_index::db::{IndexConfig, ShotRef, VideoDatabase};
+use medvid_types::{EventKind, ShotId, VideoId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexingRow {
+    /// Database size in shots (`N_T`).
+    pub shots: usize,
+    /// Mean flat-scan comparisons per query.
+    pub flat_comparisons: f64,
+    /// Mean hierarchical comparisons per query.
+    pub hier_comparisons: f64,
+    /// Mean flat dims touched per query.
+    pub flat_dims: f64,
+    /// Mean hierarchical dims touched per query.
+    pub hier_dims: f64,
+    /// Mean flat wall time per query (microseconds).
+    pub flat_micros: f64,
+    /// Mean hierarchical wall time per query (microseconds).
+    pub hier_micros: f64,
+    /// Fraction of queries whose hierarchical top-1 equals the flat top-1.
+    pub top1_agreement: f64,
+}
+
+/// Builds a synthetic database of `n` shots with features clustered around
+/// each scene node's mode, and returns held-in query vectors.
+pub fn synthetic_database(n: usize, seed: u64, queries: usize) -> (VideoDatabase, Vec<Vec<f32>>) {
+    let mut db = VideoDatabase::new(
+        medvid_index::ConceptHierarchy::medical(),
+        IndexConfig::default(),
+    );
+    let scene_nodes = db.hierarchy().scene_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qs = Vec::with_capacity(queries);
+    for i in 0..n {
+        let node = scene_nodes[i % scene_nodes.len()];
+        let mut f = vec![0.0f32; 266];
+        // Node-specific colour mode with noise, plus a node texture mode.
+        let base = (node.0 * 11) % 250;
+        f[base] = (0.7 + rng.gen_range(-0.1..0.1f32)).clamp(0.0, 1.0);
+        f[base + 5] = (0.3 + rng.gen_range(-0.1..0.1f32)).clamp(0.0, 1.0);
+        f[256 + node.0 % 10] = 0.6;
+        // Background noise over a few random dims.
+        for _ in 0..6 {
+            let d = rng.gen_range(0..256);
+            f[d] += rng.gen_range(0.0..0.05);
+        }
+        db.insert_shot(
+            ShotRef {
+                video: VideoId(i / 997),
+                shot: ShotId(i),
+            },
+            f.clone(),
+            EventKind::DETERMINATE[i % 3],
+            node,
+        );
+        if qs.len() < queries && i % (n / queries.max(1)).max(1) == 0 {
+            qs.push(f);
+        }
+    }
+    db.build();
+    (db, qs)
+}
+
+/// Runs the sweep over the given database sizes.
+pub fn run_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<IndexingRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let (db, queries) = synthetic_database(n, seed, queries_per_size);
+            let mut row = IndexingRow {
+                shots: n,
+                flat_comparisons: 0.0,
+                hier_comparisons: 0.0,
+                flat_dims: 0.0,
+                hier_dims: 0.0,
+                flat_micros: 0.0,
+                hier_micros: 0.0,
+                top1_agreement: 0.0,
+            };
+            for q in &queries {
+                let t0 = Instant::now();
+                let (flat_hits, flat_stats) = db.flat_search(q, 10, None);
+                row.flat_micros += t0.elapsed().as_secs_f64() * 1e6;
+                let t1 = Instant::now();
+                let (hier_hits, hier_stats) = db.hierarchical_search(q, 10, None);
+                row.hier_micros += t1.elapsed().as_secs_f64() * 1e6;
+                row.flat_comparisons += flat_stats.comparisons as f64;
+                row.hier_comparisons += hier_stats.comparisons as f64;
+                row.flat_dims += flat_stats.dims_touched as f64;
+                row.hier_dims += hier_stats.dims_touched as f64;
+                if let (Some(f), Some(h)) = (flat_hits.first(), hier_hits.first()) {
+                    if f.shot == h.shot {
+                        row.top1_agreement += 1.0;
+                    }
+                }
+            }
+            let qn = queries.len().max(1) as f64;
+            row.flat_comparisons /= qn;
+            row.hier_comparisons /= qn;
+            row.flat_dims /= qn;
+            row.hier_dims /= qn;
+            row.flat_micros /= qn;
+            row.hier_micros /= qn;
+            row.top1_agreement /= qn;
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_cost_grows_much_slower() {
+        let rows = run_sweep(&[500, 2000], 8, 7);
+        for r in &rows {
+            assert!(
+                r.hier_comparisons * 3.0 < r.flat_comparisons,
+                "N={}: hier {} vs flat {}",
+                r.shots,
+                r.hier_comparisons,
+                r.flat_comparisons
+            );
+            assert!(r.hier_dims < r.flat_dims);
+        }
+        // Flat cost scales ~linearly with N; hierarchical much slower.
+        let flat_growth = rows[1].flat_comparisons / rows[0].flat_comparisons;
+        let hier_growth = rows[1].hier_comparisons / rows[0].hier_comparisons;
+        assert!(flat_growth > 3.5, "flat growth {flat_growth}");
+        assert!(hier_growth < flat_growth, "hier growth {hier_growth}");
+    }
+
+    #[test]
+    fn hierarchical_top1_mostly_agrees() {
+        let rows = run_sweep(&[1000], 10, 9);
+        assert!(
+            rows[0].top1_agreement >= 0.7,
+            "agreement {}",
+            rows[0].top1_agreement
+        );
+    }
+}

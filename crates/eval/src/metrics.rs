@@ -1,0 +1,291 @@
+//! Evaluation metrics: scene-detection precision (Eq. 20), compression-rate
+//! factor (Eq. 21) and event precision/recall (Eqs. 22–23).
+
+use medvid_types::{EventKind, GroundTruth, Shot, ShotId};
+use serde::Serialize;
+
+/// Judgement of one corpus' scene detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SceneJudgement {
+    /// Scenes judged rightly detected (all shots in one semantic unit).
+    pub rightly: usize,
+    /// All detected scenes.
+    pub detected: usize,
+    /// Total shots in the corpus.
+    pub shots: usize,
+}
+
+impl SceneJudgement {
+    /// Eq. 20: `P = rightly detected / all detected`.
+    pub fn precision(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.rightly as f64 / self.detected as f64
+        }
+    }
+
+    /// Eq. 21: `CRF = detected scenes / total shots`.
+    pub fn crf(&self) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.shots as f64
+        }
+    }
+
+    /// Accumulates another video's judgement.
+    pub fn add(&mut self, other: SceneJudgement) {
+        self.rightly += other.rightly;
+        self.detected += other.detected;
+        self.shots += other.shots;
+    }
+
+    /// The zero judgement.
+    pub fn zero() -> Self {
+        Self {
+            rightly: 0,
+            detected: 0,
+            shots: 0,
+        }
+    }
+}
+
+/// The ground-truth semantic unit a shot belongs to: the unit containing the
+/// majority of its frames (`None` if uncovered).
+pub fn unit_of_shot(shot: &Shot, truth: &GroundTruth) -> Option<usize> {
+    let mid = shot.start_frame + shot.len() / 2;
+    truth.unit_of_frame(mid)
+}
+
+/// Judges detected scenes against ground truth: a scene is rightly detected
+/// iff all its shots belong to the same semantic unit (the paper's rule).
+pub fn scene_precision(
+    scenes: &[Vec<ShotId>],
+    shots: &[Shot],
+    truth: &GroundTruth,
+) -> SceneJudgement {
+    let mut rightly = 0usize;
+    for scene in scenes {
+        let mut units = scene
+            .iter()
+            .map(|&s| unit_of_shot(&shots[s.index()], truth));
+        let first = units.next().flatten();
+        let ok = match first {
+            None => false,
+            Some(u) => units.all(|x| x == Some(u)),
+        };
+        if ok {
+            rightly += 1;
+        }
+    }
+    SceneJudgement {
+        rightly,
+        detected: scenes.len(),
+        shots: shots.len(),
+    }
+}
+
+/// Eq. 21 as a free function.
+pub fn crf(detected_scenes: usize, total_shots: usize) -> f64 {
+    if total_shots == 0 {
+        0.0
+    } else {
+        detected_scenes as f64 / total_shots as f64
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EventRow {
+    /// Selected (benchmark) scenes of this category.
+    pub selected: usize,
+    /// Scenes the miner assigned to this category.
+    pub detected: usize,
+    /// Correct assignments.
+    pub true_positive: usize,
+}
+
+impl EventRow {
+    /// Eq. 22: `PR = TN / DN`.
+    pub fn precision(&self) -> f64 {
+        if self.detected == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / self.detected as f64
+        }
+    }
+
+    /// Eq. 23: `RE = TN / SN`.
+    pub fn recall(&self) -> f64 {
+        if self.selected == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / self.selected as f64
+        }
+    }
+}
+
+/// Builds Table 1 from (ground-truth category, mined category) pairs over
+/// the benchmark scenes. Returns rows in the paper's order plus the average
+/// row.
+pub fn event_table(pairs: &[(EventKind, EventKind)]) -> Vec<(EventKind, EventRow)> {
+    let mut rows: Vec<(EventKind, EventRow)> = EventKind::DETERMINATE
+        .iter()
+        .map(|&k| {
+            let selected = pairs.iter().filter(|(gt, _)| *gt == k).count();
+            let detected = pairs.iter().filter(|(_, mined)| *mined == k).count();
+            let true_positive = pairs
+                .iter()
+                .filter(|(gt, mined)| *gt == k && *mined == k)
+                .count();
+            (
+                k,
+                EventRow {
+                    selected,
+                    detected,
+                    true_positive,
+                },
+            )
+        })
+        .collect();
+    let total = EventRow {
+        selected: rows.iter().map(|(_, r)| r.selected).sum(),
+        detected: rows.iter().map(|(_, r)| r.detected).sum(),
+        true_positive: rows.iter().map(|(_, r)| r.true_positive).sum(),
+    };
+    rows.push((EventKind::Undetermined, total)); // sentinel slot = "Average"
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{FrameFeatures, SemanticUnit};
+
+    fn shots(n: usize, len: usize) -> Vec<Shot> {
+        (0..n)
+            .map(|i| {
+                Shot::new(ShotId(i), i * len, (i + 1) * len, FrameFeatures::zeros()).unwrap()
+            })
+            .collect()
+    }
+
+    fn truth_units(spans: &[(usize, usize)]) -> GroundTruth {
+        GroundTruth {
+            semantic_units: spans
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| SemanticUnit {
+                    start_frame: a,
+                    end_frame: b,
+                    topic: format!("t{i}"),
+                    event: None,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pure_scene_is_rightly_detected() {
+        let shots = shots(4, 10);
+        let truth = truth_units(&[(0, 20), (20, 40)]);
+        let scenes = vec![
+            vec![ShotId(0), ShotId(1)],
+            vec![ShotId(2), ShotId(3)],
+        ];
+        let j = scene_precision(&scenes, &shots, &truth);
+        assert_eq!(j.rightly, 2);
+        assert_eq!(j.precision(), 1.0);
+        assert_eq!(j.crf(), 0.5);
+    }
+
+    #[test]
+    fn mixed_scene_is_falsely_detected() {
+        let shots = shots(4, 10);
+        let truth = truth_units(&[(0, 20), (20, 40)]);
+        let scenes = vec![vec![ShotId(0), ShotId(1), ShotId(2)], vec![ShotId(3)]];
+        let j = scene_precision(&scenes, &shots, &truth);
+        assert_eq!(j.rightly, 1);
+        assert_eq!(j.precision(), 0.5);
+    }
+
+    #[test]
+    fn per_shot_scenes_are_all_right() {
+        // The paper's observation: treating each shot as a scene gives
+        // P = 100% (at terrible compression).
+        let shots = shots(6, 10);
+        let truth = truth_units(&[(0, 30), (30, 60)]);
+        let scenes: Vec<Vec<ShotId>> = (0..6).map(|i| vec![ShotId(i)]).collect();
+        let j = scene_precision(&scenes, &shots, &truth);
+        assert_eq!(j.precision(), 1.0);
+        assert_eq!(j.crf(), 1.0);
+    }
+
+    #[test]
+    fn uncovered_shots_make_scene_wrong() {
+        let shots = shots(2, 10);
+        let truth = truth_units(&[]); // no units at all
+        let scenes = vec![vec![ShotId(0), ShotId(1)]];
+        let j = scene_precision(&scenes, &shots, &truth);
+        assert_eq!(j.rightly, 0);
+    }
+
+    #[test]
+    fn judgement_accumulates() {
+        let mut acc = SceneJudgement::zero();
+        acc.add(SceneJudgement {
+            rightly: 2,
+            detected: 4,
+            shots: 10,
+        });
+        acc.add(SceneJudgement {
+            rightly: 1,
+            detected: 1,
+            shots: 5,
+        });
+        assert_eq!(acc.precision(), 0.6);
+        assert_eq!(acc.shots, 15);
+    }
+
+    #[test]
+    fn event_table_counts_match_paper_semantics() {
+        use EventKind::*;
+        let pairs = vec![
+            (Presentation, Presentation),
+            (Presentation, Dialog),
+            (Dialog, Dialog),
+            (Dialog, Dialog),
+            (ClinicalOperation, Undetermined),
+            (ClinicalOperation, ClinicalOperation),
+        ];
+        let table = event_table(&pairs);
+        let (_, pres) = table[0];
+        assert_eq!(pres.selected, 2);
+        assert_eq!(pres.detected, 1);
+        assert_eq!(pres.true_positive, 1);
+        let (_, dia) = table[1];
+        assert_eq!(dia.detected, 3);
+        assert_eq!(dia.true_positive, 2);
+        assert!((dia.recall() - 1.0).abs() < 1e-12);
+        let (_, avg) = table[3];
+        assert_eq!(avg.selected, 6);
+        assert_eq!(avg.true_positive, 4);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        assert_eq!(crf(0, 0), 0.0);
+        let j = SceneJudgement::zero();
+        assert_eq!(j.precision(), 0.0);
+        assert_eq!(j.crf(), 0.0);
+        let row = EventRow {
+            selected: 0,
+            detected: 0,
+            true_positive: 0,
+        };
+        assert_eq!(row.precision(), 0.0);
+        assert_eq!(row.recall(), 0.0);
+    }
+}

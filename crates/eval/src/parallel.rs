@@ -1,0 +1,71 @@
+//! Parallel per-video fan-out for the experiment harnesses.
+//!
+//! Corpus experiments are embarrassingly parallel across videos; this module
+//! fans a pure per-video function out over crossbeam scoped threads and
+//! returns results in corpus order.
+
+use medvid_types::Video;
+use parking_lot::Mutex;
+
+/// Applies `f` to every video concurrently (one thread per video, capped at
+/// the available parallelism) and returns results in input order.
+pub fn map_videos<T, F>(corpus: &[Video], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Video) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(corpus.len().max(1));
+    if threads <= 1 || corpus.len() <= 1 {
+        return corpus.iter().map(f).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..corpus.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(video) = corpus.get(i) else { break };
+                let value = f(video);
+                results.lock()[i] = Some(value);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every video processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::{standard_corpus, CorpusScale};
+
+    #[test]
+    fn results_arrive_in_corpus_order() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 55);
+        let titles = map_videos(&corpus, |v| v.title.clone());
+        let expected: Vec<String> = corpus.iter().map(|v| v.title.clone()).collect();
+        assert_eq!(titles, expected);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 56);
+        let par = map_videos(&corpus, |v| v.frame_count());
+        let seq: Vec<usize> = corpus.iter().map(|v| v.frame_count()).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        let out: Vec<usize> = map_videos(&[], |v| v.frame_count());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Figs. 14–15: scalable skimming quality scores and frame compression
+//! ratios across the four levels.
+
+use medvid::ClassMiner;
+use medvid_skim::{simulate_panel, SkimLevel, StudyInputs};
+use medvid_types::Video;
+use serde::Serialize;
+
+/// Per-level pooled results across the corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkimRow {
+    /// Paper level number (4 = coarsest).
+    pub level: u8,
+    /// Mean Q1 (topic) score.
+    pub q1_topic: f64,
+    /// Mean Q2 (scenario) score.
+    pub q2_scenario: f64,
+    /// Mean Q3 (conciseness) score.
+    pub q3_concise: f64,
+    /// Mean frame compression ratio (Fig. 15).
+    pub fcr: f64,
+}
+
+/// Runs the skimming study over a corpus.
+pub fn run_skim_study(corpus: &[Video], miner: &ClassMiner, seed: u64) -> Vec<SkimRow> {
+    let mut rows: Vec<SkimRow> = SkimLevel::ALL
+        .iter()
+        .map(|&l| SkimRow {
+            level: l.number(),
+            q1_topic: 0.0,
+            q2_scenario: 0.0,
+            q3_concise: 0.0,
+            fcr: 0.0,
+        })
+        .collect();
+    let mut counted = 0usize;
+    for video in corpus {
+        let Some(truth) = video.truth.as_ref() else {
+            continue;
+        };
+        let mined = miner.mine(video);
+        let inputs = StudyInputs {
+            structure: &mined.structure,
+            truth,
+        };
+        for (i, &level) in SkimLevel::ALL.iter().enumerate() {
+            let scores = simulate_panel(&inputs, level, seed ^ video.id.index() as u64);
+            rows[i].q1_topic += scores.q1_topic;
+            rows[i].q2_scenario += scores.q2_scenario;
+            rows[i].q3_concise += scores.q3_concise;
+            rows[i].fcr += scores.fcr;
+        }
+        counted += 1;
+    }
+    if counted > 0 {
+        for r in &mut rows {
+            r.q1_topic /= counted as f64;
+            r.q2_scenario /= counted as f64;
+            r.q3_concise /= counted as f64;
+            r.fcr /= counted as f64;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{default_miner, evaluation_corpus, EvalScale};
+
+    #[test]
+    fn skim_study_reproduces_fig14_fig15_shapes() {
+        let corpus = evaluation_corpus(EvalScale::Tiny);
+        let miner = default_miner();
+        let rows = run_skim_study(&corpus, &miner, 1);
+        assert_eq!(rows.len(), 4);
+        // Fig. 15 shape: FCR rises monotonically from level 4 to level 1,
+        // reaching 1.0 at level 1.
+        for w in rows.windows(2) {
+            assert!(w[0].fcr <= w[1].fcr + 1e-9, "{rows:?}");
+        }
+        assert!((rows[3].fcr - 1.0).abs() < 1e-9);
+        assert!(rows[0].fcr < 0.7, "level 4 FCR {:.3}", rows[0].fcr);
+        // Fig. 14 shape: scenario coverage (Q2) improves toward level 1;
+        // conciseness (Q3) degrades toward level 1.
+        assert!(rows[3].q2_scenario >= rows[0].q2_scenario - 0.3, "{rows:?}");
+        assert!(rows[0].q3_concise > rows[3].q3_concise, "{rows:?}");
+    }
+}

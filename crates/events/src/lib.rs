@@ -1,0 +1,19 @@
+//! Event mining among video scenes (paper Sec. 4).
+//!
+//! Integrates the visual cues of `medvid-vision` and the audio cues of
+//! `medvid-audio` over the mined content structure of `medvid-structure`,
+//! and classifies each scene as *Presentation*, *Dialog*, *Clinical
+//! operation* or *Undetermined* by the decision procedure of Sec. 4.3.
+//!
+//! * [`rules`] — the per-scene decision procedure over pre-extracted cues;
+//! * [`miner`] — the end-to-end front-end: extract cues from representative
+//!   frames + shot audio, then run the rules for every scene.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod rules;
+
+pub use miner::{mine_events, EventMiner, SceneEvent};
+pub use rules::{classify_scene, SceneEvidence, ShotEvidence};

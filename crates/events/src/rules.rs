@@ -1,0 +1,334 @@
+//! The per-scene event decision procedure (paper Sec. 4.3).
+//!
+//! Pure logic over pre-extracted evidence, so every branch is unit-testable
+//! without media. The procedure tests, in order: Presentation → Dialog →
+//! Clinical operation → Undetermined.
+
+use medvid_types::EventKind;
+
+/// Cue summary of one shot (visual cues of its representative frame plus the
+/// speech flag of its representative audio clip).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShotEvidence {
+    /// Representative frame is a slide or clip-art frame.
+    pub slide_or_clipart: bool,
+    /// Representative frame contains a verified face.
+    pub face: bool,
+    /// Representative frame contains a face close-up (>= 10% of frame).
+    pub face_close_up: bool,
+    /// Representative frame contains a notable skin region.
+    pub skin: bool,
+    /// Representative frame contains a skin close-up (>= 20% of frame).
+    pub skin_close_up: bool,
+    /// Representative frame contains a blood-red region.
+    pub blood_red: bool,
+    /// The shot's representative audio clip classifies as clean speech.
+    pub speech: bool,
+}
+
+/// Evidence for one scene.
+#[derive(Debug, Clone)]
+pub struct SceneEvidence {
+    /// Per-shot evidence in temporal order.
+    pub shots: Vec<ShotEvidence>,
+    /// Whether at least one group of the scene is temporally related
+    /// (i.e. not all groups consist of spatially related shots).
+    pub any_temporally_related_group: bool,
+    /// Whether at least one group of the scene is spatially related.
+    ///
+    /// Note: the paper's Sec. 4.3 *definition* of a dialog requires "at
+    /// least one group ... of spatially related shots", while its decision
+    /// *procedure* repeats the presentation clause ("if all groups consist
+    /// of spatially related shots, go to step 4"). On real dialog footage
+    /// the A/B close-ups at one location are visually similar, which makes
+    /// their groups spatially related — we follow the definition.
+    pub any_spatially_related_group: bool,
+    /// Symmetric speaker-change matrix: `speaker_change[i][j]` is
+    /// `Some(true)` when the BIC test declares different speakers between
+    /// shots `i` and `j`, `Some(false)` for the same speaker, and `None`
+    /// when untestable (either shot lacks speech).
+    pub speaker_change: Vec<Vec<Option<bool>>>,
+}
+
+impl SceneEvidence {
+    /// Change verdict between adjacent shots `i` and `i+1`.
+    fn adjacent_change(&self, i: usize) -> Option<bool> {
+        self.speaker_change[i][i + 1]
+    }
+
+    /// Whether any adjacent shot pair has a confirmed speaker change.
+    fn any_adjacent_change(&self) -> bool {
+        (0..self.shots.len().saturating_sub(1))
+            .any(|i| self.adjacent_change(i) == Some(true))
+    }
+}
+
+/// Runs the Sec. 4.3 decision procedure on one scene.
+pub fn classify_scene(ev: &SceneEvidence) -> EventKind {
+    assert_eq!(
+        ev.shots.len(),
+        ev.speaker_change.len(),
+        "speaker matrix must be square over the shots"
+    );
+    if is_presentation(ev) {
+        EventKind::Presentation
+    } else if is_dialog(ev) {
+        EventKind::Dialog
+    } else if is_clinical(ev) {
+        EventKind::ClinicalOperation
+    } else {
+        EventKind::Undetermined
+    }
+}
+
+/// Step 2: Presentation — slides/clip-art present, a face close-up present,
+/// not all groups spatially related, and no speaker change between adjacent
+/// shots.
+fn is_presentation(ev: &SceneEvidence) -> bool {
+    if !ev.shots.iter().any(|s| s.slide_or_clipart) {
+        return false;
+    }
+    if !ev.shots.iter().any(|s| s.face_close_up) {
+        return false;
+    }
+    if !ev.any_temporally_related_group {
+        return false;
+    }
+    !ev.any_adjacent_change()
+}
+
+/// Step 3: Dialog — adjacent face pairs exist, not all groups spatially
+/// related, a speaker change occurs between adjacent face shots, and at
+/// least one speaker is duplicated (two face shots test as the same
+/// speaker).
+fn is_dialog(ev: &SceneEvidence) -> bool {
+    let n = ev.shots.len();
+    let adjacent_face_pairs: Vec<usize> = (0..n.saturating_sub(1))
+        .filter(|&i| ev.shots[i].face && ev.shots[i + 1].face)
+        .collect();
+    if adjacent_face_pairs.is_empty() {
+        return false;
+    }
+    if !ev.any_spatially_related_group {
+        return false;
+    }
+    // A speaker change between some adjacent pair of face shots.
+    let changing_pairs: Vec<usize> = adjacent_face_pairs
+        .iter()
+        .copied()
+        .filter(|&i| ev.speaker_change[i][i + 1] == Some(true))
+        .collect();
+    if changing_pairs.is_empty() {
+        return false;
+    }
+    // Duplication: among the face shots participating in changes, two
+    // distinct shots must test as the same speaker.
+    let mut participants: Vec<usize> = changing_pairs
+        .iter()
+        .flat_map(|&i| [i, i + 1])
+        .collect();
+    participants.sort_unstable();
+    participants.dedup();
+    for (a_pos, &a) in participants.iter().enumerate() {
+        for &b in participants.iter().skip(a_pos + 1) {
+            if ev.speaker_change[a][b] == Some(false) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Step 4: Clinical operation — no adjacent speaker change, and either a
+/// skin close-up / blood-red region exists, or more than half the shots
+/// contain skin regions.
+fn is_clinical(ev: &SceneEvidence) -> bool {
+    if ev.any_adjacent_change() {
+        return false;
+    }
+    if ev.shots.iter().any(|s| s.skin_close_up || s.blood_red) {
+        return true;
+    }
+    let with_skin = ev.shots.iter().filter(|s| s.skin).count();
+    with_skin * 2 > ev.shots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_change_matrix(n: usize) -> Vec<Vec<Option<bool>>> {
+        vec![vec![None; n]; n]
+    }
+
+    fn evidence(shots: Vec<ShotEvidence>, temporal: bool) -> SceneEvidence {
+        let n = shots.len();
+        SceneEvidence {
+            shots,
+            any_temporally_related_group: temporal,
+            any_spatially_related_group: !temporal,
+            speaker_change: no_change_matrix(n),
+        }
+    }
+
+    fn presenter_shot() -> ShotEvidence {
+        ShotEvidence {
+            face: true,
+            face_close_up: true,
+            skin: true,
+            speech: true,
+            ..Default::default()
+        }
+    }
+
+    fn slide_shot() -> ShotEvidence {
+        ShotEvidence {
+            slide_or_clipart: true,
+            speech: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn presentation_recognised() {
+        let ev = evidence(
+            vec![presenter_shot(), slide_shot(), presenter_shot(), slide_shot()],
+            true,
+        );
+        assert_eq!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    #[test]
+    fn presentation_requires_slides() {
+        let ev = evidence(vec![presenter_shot(), presenter_shot(), presenter_shot()], true);
+        assert_ne!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    #[test]
+    fn presentation_requires_face_close_up() {
+        let mut shot = slide_shot();
+        shot.face = true; // face but not close-up
+        let ev = evidence(vec![shot, slide_shot()], true);
+        assert_ne!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    #[test]
+    fn presentation_rejected_on_speaker_change() {
+        let mut ev = evidence(
+            vec![presenter_shot(), slide_shot(), presenter_shot()],
+            true,
+        );
+        ev.speaker_change[1][2] = Some(true);
+        ev.speaker_change[2][1] = Some(true);
+        assert_ne!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    #[test]
+    fn presentation_rejected_when_all_groups_spatial() {
+        let ev = evidence(vec![presenter_shot(), slide_shot()], false);
+        assert_ne!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    fn dialog_evidence() -> SceneEvidence {
+        // A-B-A-B faces, speakers alternate.
+        let n = 4;
+        let mut ev = evidence(vec![presenter_shot(); n], false);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    // Same parity = same speaker.
+                    ev.speaker_change[i][j] = Some(i % 2 != j % 2);
+                }
+            }
+        }
+        ev
+    }
+
+    #[test]
+    fn dialog_recognised() {
+        assert_eq!(classify_scene(&dialog_evidence()), EventKind::Dialog);
+    }
+
+    #[test]
+    fn dialog_requires_duplicated_speaker() {
+        // Two shots only: change but nobody repeats.
+        let mut ev = evidence(vec![presenter_shot(), presenter_shot()], false);
+        ev.speaker_change[0][1] = Some(true);
+        ev.speaker_change[1][0] = Some(true);
+        assert_ne!(classify_scene(&ev), EventKind::Dialog);
+    }
+
+    #[test]
+    fn dialog_requires_faces_on_both_sides() {
+        let mut ev = dialog_evidence();
+        for (i, s) in ev.shots.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                s.face = false;
+                s.face_close_up = false;
+            }
+        }
+        assert_ne!(classify_scene(&ev), EventKind::Dialog);
+    }
+
+    fn surgery_shot() -> ShotEvidence {
+        ShotEvidence {
+            skin: true,
+            skin_close_up: true,
+            blood_red: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clinical_recognised_via_blood() {
+        let ev = evidence(vec![surgery_shot(), surgery_shot(), surgery_shot()], false);
+        assert_eq!(classify_scene(&ev), EventKind::ClinicalOperation);
+    }
+
+    #[test]
+    fn clinical_recognised_via_majority_skin() {
+        let skin_only = ShotEvidence {
+            skin: true,
+            ..Default::default()
+        };
+        let plain = ShotEvidence::default();
+        let ev = evidence(vec![skin_only, skin_only, plain], false);
+        assert_eq!(classify_scene(&ev), EventKind::ClinicalOperation);
+    }
+
+    #[test]
+    fn clinical_rejected_on_speaker_change() {
+        let mut ev = evidence(vec![surgery_shot(), surgery_shot()], false);
+        ev.speaker_change[0][1] = Some(true);
+        ev.speaker_change[1][0] = Some(true);
+        assert_eq!(classify_scene(&ev), EventKind::Undetermined);
+    }
+
+    #[test]
+    fn plain_scene_is_undetermined() {
+        let ev = evidence(vec![ShotEvidence::default(); 4], false);
+        assert_eq!(classify_scene(&ev), EventKind::Undetermined);
+    }
+
+    #[test]
+    fn presentation_takes_precedence_over_clinical() {
+        // A presentation whose presenter frames also show skin close-ups
+        // must classify as presentation (tested first).
+        let mut shot = presenter_shot();
+        shot.skin_close_up = true;
+        let ev = evidence(vec![shot, slide_shot()], true);
+        assert_eq!(classify_scene(&ev), EventKind::Presentation);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn mismatched_matrix_panics() {
+        let ev = SceneEvidence {
+            shots: vec![ShotEvidence::default(); 3],
+            any_temporally_related_group: false,
+            any_spatially_related_group: true,
+            speaker_change: vec![vec![None; 2]; 2],
+        };
+        classify_scene(&ev);
+    }
+}

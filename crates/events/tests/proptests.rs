@@ -1,0 +1,103 @@
+//! Property-based tests on the event decision rules.
+
+use medvid_events::rules::{classify_scene, SceneEvidence, ShotEvidence};
+use medvid_types::EventKind;
+use proptest::prelude::*;
+
+fn arb_shot() -> impl Strategy<Value = ShotEvidence> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(slide, face, fcu, skin, scu, blood, speech)| ShotEvidence {
+                slide_or_clipart: slide,
+                face,
+                face_close_up: fcu && face,
+                skin,
+                skin_close_up: scu && skin,
+                blood_red: blood,
+                speech,
+            },
+        )
+}
+
+fn arb_evidence() -> impl Strategy<Value = SceneEvidence> {
+    (
+        prop::collection::vec(arb_shot(), 1..10),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(shots, temporal, spatial, seed)| {
+            let n = shots.len();
+            let mut matrix = vec![vec![None; n]; n];
+            let mut s = seed;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..n {
+                for j in i + 1..n {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let v = match s >> 62 {
+                        0 => Some(true),
+                        1 => Some(false),
+                        _ => None,
+                    };
+                    matrix[i][j] = v;
+                    matrix[j][i] = v;
+                }
+            }
+            SceneEvidence {
+                shots,
+                any_temporally_related_group: temporal,
+                any_spatially_related_group: spatial,
+                speaker_change: matrix,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn classify_never_panics_and_is_deterministic(ev in arb_evidence()) {
+        let a = classify_scene(&ev);
+        let b = classify_scene(&ev);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presentation_requires_its_cues(ev in arb_evidence()) {
+        if classify_scene(&ev) == EventKind::Presentation {
+            prop_assert!(ev.shots.iter().any(|s| s.slide_or_clipart));
+            prop_assert!(ev.shots.iter().any(|s| s.face_close_up));
+            prop_assert!(ev.any_temporally_related_group);
+        }
+    }
+
+    #[test]
+    fn dialog_requires_faces_and_change(ev in arb_evidence()) {
+        if classify_scene(&ev) == EventKind::Dialog {
+            let n = ev.shots.len();
+            prop_assert!((0..n.saturating_sub(1))
+                .any(|i| ev.shots[i].face && ev.shots[i + 1].face));
+            prop_assert!((0..n.saturating_sub(1))
+                .any(|i| ev.speaker_change[i][i + 1] == Some(true)));
+            prop_assert!(ev.any_spatially_related_group);
+        }
+    }
+
+    #[test]
+    fn clinical_requires_skin_or_blood_and_no_change(ev in arb_evidence()) {
+        if classify_scene(&ev) == EventKind::ClinicalOperation {
+            let n = ev.shots.len();
+            prop_assert!(!(0..n.saturating_sub(1))
+                .any(|i| ev.speaker_change[i][i + 1] == Some(true)));
+            let has_cue = ev.shots.iter().any(|s| s.skin_close_up || s.blood_red)
+                || ev.shots.iter().filter(|s| s.skin).count() * 2 > n;
+            prop_assert!(has_cue);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Hierarchical multilevel access control (paper Sec. 2, after Bertino et
+//! al. \[11\]).
+//!
+//! "The inherent hierarchical video classification and indexing structure can
+//! support a wide range of protection granularity levels, for which it is
+//! possible to specify filtering rules that apply to different semantic
+//! concepts." A rule attaches a required clearance to a concept node (and
+//! thereby to its whole subtree) or to an event category; a user sees a shot
+//! only when their clearance meets every rule on the shot's concept path.
+
+use crate::concepts::{ConceptHierarchy, NodeId};
+use medvid_types::EventKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A security clearance level (higher sees more).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Clearance(pub u8);
+
+impl Clearance {
+    /// The public (lowest) clearance.
+    pub const PUBLIC: Clearance = Clearance(0);
+    /// Staff clearance.
+    pub const STAFF: Clearance = Clearance(1);
+    /// Clinician clearance.
+    pub const CLINICIAN: Clearance = Clearance(2);
+    /// Administrator clearance.
+    pub const ADMIN: Clearance = Clearance(3);
+}
+
+/// A querying user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserContext {
+    /// The user's clearance.
+    pub clearance: Clearance,
+}
+
+impl UserContext {
+    /// Creates a user context.
+    pub fn new(clearance: Clearance) -> Self {
+        Self { clearance }
+    }
+}
+
+/// The database's filtering rules.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessPolicy {
+    /// Required clearance per concept node; inherited by the node's subtree.
+    node_rules: HashMap<NodeId, Clearance>,
+    /// Required clearance per event category.
+    event_rules: HashMap<String, Clearance>,
+}
+
+fn event_key(e: EventKind) -> String {
+    e.to_string()
+}
+
+impl AccessPolicy {
+    /// An empty (allow-all) policy.
+    pub fn allow_all() -> Self {
+        Self::default()
+    }
+
+    /// The paper's motivating example: clinical material needs clinician
+    /// clearance, everything else is public.
+    pub fn clinical_protection() -> Self {
+        let mut p = Self::default();
+        p.require_event(EventKind::ClinicalOperation, Clearance::CLINICIAN);
+        p
+    }
+
+    /// Requires `clearance` for a concept node and its subtree.
+    pub fn require_node(&mut self, node: NodeId, clearance: Clearance) -> &mut Self {
+        self.node_rules.insert(node, clearance);
+        self
+    }
+
+    /// Requires `clearance` for an event category.
+    pub fn require_event(&mut self, event: EventKind, clearance: Clearance) -> &mut Self {
+        self.event_rules.insert(event_key(event), clearance);
+        self
+    }
+
+    /// The clearance required to see a shot indexed at `scene_node` with
+    /// event `event`: the maximum over all rules on the node's root path and
+    /// the event rule.
+    pub fn required(
+        &self,
+        hierarchy: &ConceptHierarchy,
+        scene_node: NodeId,
+        event: EventKind,
+    ) -> Clearance {
+        let mut req = Clearance::PUBLIC;
+        for node in hierarchy.path(scene_node) {
+            if let Some(&c) = self.node_rules.get(&node) {
+                req = req.max(c);
+            }
+        }
+        if let Some(&c) = self.event_rules.get(&event_key(event)) {
+            req = req.max(c);
+        }
+        req
+    }
+
+    /// Whether a user may see a shot. `None` (no user context) bypasses
+    /// access control, as for internal maintenance scans.
+    pub fn allows(
+        &self,
+        hierarchy: &ConceptHierarchy,
+        scene_node: NodeId,
+        event: EventKind,
+        user: Option<&UserContext>,
+    ) -> bool {
+        match user {
+            None => true,
+            Some(u) => u.clearance >= self.required(hierarchy, scene_node, event),
+        }
+    }
+
+    /// Whether a user may descend into an index node at all: true unless a
+    /// node rule on the node's path exceeds the user's clearance. (Event
+    /// rules are checked per shot, since a node can mix events.)
+    pub fn node_visible(
+        &self,
+        hierarchy: &ConceptHierarchy,
+        node: NodeId,
+        user: Option<&UserContext>,
+    ) -> bool {
+        let Some(u) = user else { return true };
+        for n in hierarchy.path(node) {
+            if let Some(&c) = self.node_rules.get(&n) {
+                if u.clearance < c {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::NodeKind;
+
+    #[test]
+    fn clearances_order() {
+        assert!(Clearance::PUBLIC < Clearance::STAFF);
+        assert!(Clearance::CLINICIAN < Clearance::ADMIN);
+    }
+
+    #[test]
+    fn event_rule_filters_low_clearance() {
+        let h = ConceptHierarchy::medical();
+        let p = AccessPolicy::clinical_protection();
+        let scene = h.scene_nodes()[0];
+        let public = UserContext::new(Clearance::PUBLIC);
+        let clinician = UserContext::new(Clearance::CLINICIAN);
+        assert!(!p.allows(&h, scene, EventKind::ClinicalOperation, Some(&public)));
+        assert!(p.allows(&h, scene, EventKind::ClinicalOperation, Some(&clinician)));
+        assert!(p.allows(&h, scene, EventKind::Presentation, Some(&public)));
+    }
+
+    #[test]
+    fn node_rule_covers_subtree() {
+        let h = ConceptHierarchy::medical();
+        let cluster = h.node(h.root()).children[1]; // Medical Education
+        let mut p = AccessPolicy::allow_all();
+        p.require_node(cluster, Clearance::STAFF);
+        // Any scene under the protected cluster requires STAFF.
+        let sub = h.node(cluster).children[0];
+        let scene = h.node(sub).children[0];
+        let public = UserContext::new(Clearance::PUBLIC);
+        assert!(!p.allows(&h, scene, EventKind::Presentation, Some(&public)));
+        // Scenes under other clusters stay public.
+        let other_cluster = h.node(h.root()).children[0];
+        let other_scene = h.node(h.node(other_cluster).children[0]).children[0];
+        assert!(p.allows(&h, other_scene, EventKind::Presentation, Some(&public)));
+    }
+
+    #[test]
+    fn rules_combine_by_maximum() {
+        let h = ConceptHierarchy::medical();
+        let scene = h.scene_nodes()[2];
+        let mut p = AccessPolicy::allow_all();
+        p.require_node(h.root(), Clearance::STAFF);
+        p.require_event(EventKind::ClinicalOperation, Clearance::ADMIN);
+        assert_eq!(
+            p.required(&h, scene, EventKind::ClinicalOperation),
+            Clearance::ADMIN
+        );
+        assert_eq!(p.required(&h, scene, EventKind::Dialog), Clearance::STAFF);
+    }
+
+    #[test]
+    fn missing_user_bypasses() {
+        let h = ConceptHierarchy::medical();
+        let p = AccessPolicy::clinical_protection();
+        assert!(p.allows(&h, h.scene_nodes()[0], EventKind::ClinicalOperation, None));
+    }
+
+    #[test]
+    fn node_visibility_prunes_protected_subtrees() {
+        let mut h = ConceptHierarchy::new("root");
+        let c = h.add_child(h.root(), "c", NodeKind::Cluster, None);
+        let s = h.add_child(c, "s", NodeKind::Scene, Some(EventKind::Dialog));
+        let mut p = AccessPolicy::allow_all();
+        p.require_node(c, Clearance::ADMIN);
+        let public = UserContext::new(Clearance::PUBLIC);
+        assert!(!p.node_visible(&h, s, Some(&public)));
+        assert!(p.node_visible(&h, h.root(), Some(&public)));
+        assert!(p.node_visible(&h, s, None));
+    }
+}

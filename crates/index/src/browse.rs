@@ -1,0 +1,163 @@
+//! Hierarchical video browsing (paper Sec. 2 / Sec. 5).
+//!
+//! The database's concept hierarchy doubles as a browsing tree: at each node
+//! the user sees the child concepts, how much material lives under each, and
+//! sample shots to preview — exactly the "hierarchical browsing" application
+//! the paper derives from the mined structure.
+
+use crate::access::UserContext;
+use crate::concepts::{NodeId, NodeKind};
+use crate::db::{ShotRef, VideoDatabase};
+
+/// A child entry of a browse view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseEntry {
+    /// The child node.
+    pub node: NodeId,
+    /// Its concept name.
+    pub name: String,
+    /// Its level.
+    pub kind: NodeKind,
+    /// Number of shots indexed under the child's subtree (after access
+    /// filtering).
+    pub shot_count: usize,
+    /// Up to [`SAMPLE_SHOTS`] preview shots.
+    pub samples: Vec<ShotRef>,
+}
+
+/// Preview shots per entry.
+pub const SAMPLE_SHOTS: usize = 3;
+
+/// The view of one node while browsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseView {
+    /// The node being viewed.
+    pub node: NodeId,
+    /// Path of concept names from the root to this node.
+    pub path: Vec<String>,
+    /// Child entries, in hierarchy order; empty at scene level.
+    pub children: Vec<BrowseEntry>,
+    /// Shots at this node (only non-empty at scene level), after access
+    /// filtering.
+    pub shots: Vec<ShotRef>,
+}
+
+impl VideoDatabase {
+    /// Browses one node of the hierarchy as `user` (None = unrestricted).
+    pub fn browse(&self, node: NodeId, user: Option<&UserContext>) -> BrowseView {
+        let h = self.hierarchy();
+        let path = h
+            .path(node)
+            .iter()
+            .map(|&n| h.node(n).name.clone())
+            .collect();
+        let visible = |r: &crate::db::ShotRecord| {
+            self.policy().allows(h, r.scene_node, r.event, user)
+        };
+        let subtree_shots = |root: NodeId| -> Vec<ShotRef> {
+            self.records_iter()
+                .filter(|r| h.is_ancestor_or_self(root, r.scene_node) && visible(r))
+                .map(|r| r.shot)
+                .collect()
+        };
+        let children = h
+            .node(node)
+            .children
+            .iter()
+            .filter(|&&c| self.policy().node_visible(h, c, user))
+            .map(|&c| {
+                let shots = subtree_shots(c);
+                BrowseEntry {
+                    node: c,
+                    name: h.node(c).name.clone(),
+                    kind: h.node(c).kind,
+                    shot_count: shots.len(),
+                    samples: shots.into_iter().take(SAMPLE_SHOTS).collect(),
+                }
+            })
+            .collect();
+        let shots = if h.node(node).kind == NodeKind::Scene {
+            subtree_shots(node)
+        } else {
+            Vec::new()
+        };
+        BrowseView {
+            node,
+            path,
+            children,
+            shots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessPolicy, Clearance};
+    use crate::db::IndexConfig;
+    use crate::ConceptHierarchy;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn db_with_shots() -> VideoDatabase {
+        let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..20 {
+            let mut f = vec![0.0f32; 266];
+            f[i] = 1.0;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(i),
+                },
+                f,
+                EventKind::DETERMINATE[i % 3],
+                scenes[i % scenes.len()],
+            );
+        }
+        db.build();
+        db
+    }
+
+    #[test]
+    fn root_view_lists_clusters_with_counts() {
+        let db = db_with_shots();
+        let view = db.browse(db.hierarchy().root(), None);
+        assert_eq!(view.children.len(), 3);
+        let total: usize = view.children.iter().map(|c| c.shot_count).sum();
+        assert_eq!(total, db.len());
+        assert_eq!(view.path, vec!["Database Root".to_string()]);
+        assert!(view.shots.is_empty());
+    }
+
+    #[test]
+    fn scene_view_lists_shots() {
+        let db = db_with_shots();
+        let scene = db.hierarchy().scene_nodes()[0];
+        let view = db.browse(scene, None);
+        assert!(view.children.is_empty());
+        assert!(!view.shots.is_empty());
+        assert_eq!(view.path.len(), 4);
+    }
+
+    #[test]
+    fn samples_are_capped() {
+        let db = db_with_shots();
+        let view = db.browse(db.hierarchy().root(), None);
+        for c in &view.children {
+            assert!(c.samples.len() <= SAMPLE_SHOTS);
+            assert!(c.samples.len() <= c.shot_count);
+        }
+    }
+
+    #[test]
+    fn browsing_respects_access_policy() {
+        let mut db = db_with_shots();
+        db.set_policy(AccessPolicy::clinical_protection());
+        let public = UserContext::new(Clearance::PUBLIC);
+        let unrestricted = db.browse(db.hierarchy().root(), None);
+        let restricted = db.browse(db.hierarchy().root(), Some(&public));
+        let total_open: usize = unrestricted.children.iter().map(|c| c.shot_count).sum();
+        let total_public: usize = restricted.children.iter().map(|c| c.shot_count).sum();
+        assert!(total_public < total_open, "clinical shots must be hidden");
+    }
+}

@@ -1,0 +1,129 @@
+//! Non-leaf multi-centre index.
+//!
+//! "For the non-leaf node ... we use multiple centers to index video shots
+//! because they may consist of multiple low-level components, and it would be
+//! very difficult to use any single Gaussian function to model their data
+//! distribution." Each non-leaf node keeps up to `k` centres (k-means over
+//! its population, in the node's subspace); a query is routed to the child
+//! whose nearest centre is closest.
+
+use crate::features::Subspace;
+use medvid_signal::kmeans::kmeans;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The multi-centre summary of one index node.
+#[derive(Debug, Clone, Default)]
+pub struct MultiCenter {
+    /// Centres in the node's subspace.
+    pub centers: Vec<Vec<f32>>,
+}
+
+impl MultiCenter {
+    /// Fits up to `k` centres to a population of *projected* vectors.
+    /// Deterministic (fixed k-means seed).
+    pub fn fit(projected: &[Vec<f32>], k: usize) -> Self {
+        if projected.is_empty() || k == 0 {
+            return Self::default();
+        }
+        let points: Vec<Vec<f64>> = projected
+            .iter()
+            .map(|v| v.iter().map(|&x| x as f64).collect())
+            .collect();
+        let k = k.min(points.len());
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let km = kmeans(&points, k, 30, &mut rng).expect("validated inputs");
+        Self {
+            centers: km
+                .centroids
+                .into_iter()
+                .map(|c| c.into_iter().map(|x| x as f32).collect())
+                .collect(),
+        }
+    }
+
+    /// Distance from a projected query to the nearest centre; `None` when
+    /// the node has no centres. Counts one comparison per centre in
+    /// `comparisons`.
+    pub fn distance(&self, projected: &[f32], comparisons: &mut usize) -> Option<f32> {
+        *comparisons += self.centers.len();
+        self.centers
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(projected.iter())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f32>()
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distance"))
+    }
+
+    /// Number of centres.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether the node has no centres.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+}
+
+/// Fits a multi-centre summary from full vectors through a subspace.
+pub fn fit_node(population: &[&[f32]], subspace: &Subspace, k: usize) -> MultiCenter {
+    let projected: Vec<Vec<f32>> = population.iter().map(|v| subspace.project(v)).collect();
+    MultiCenter::fit(&projected, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_centres_to_modes() {
+        let mut pop = Vec::new();
+        for i in 0..20 {
+            pop.push(vec![0.1 + (i % 3) as f32 * 0.001, 0.1]);
+            pop.push(vec![0.9, 0.9 + (i % 3) as f32 * 0.001]);
+        }
+        let mc = MultiCenter::fit(&pop, 2);
+        assert_eq!(mc.len(), 2);
+        let mut comps = 0;
+        let d_low = mc.distance(&[0.1, 0.1], &mut comps).unwrap();
+        assert!(d_low < 0.01);
+        assert_eq!(comps, 2);
+    }
+
+    #[test]
+    fn routing_prefers_own_mode() {
+        let a = MultiCenter::fit(&[vec![0.0, 0.0], vec![0.05, 0.0]], 1);
+        let b = MultiCenter::fit(&[vec![1.0, 1.0], vec![0.95, 1.0]], 1);
+        let q = [0.1f32, 0.05];
+        let mut c = 0;
+        assert!(a.distance(&q, &mut c).unwrap() < b.distance(&q, &mut c).unwrap());
+    }
+
+    #[test]
+    fn empty_population_yields_empty() {
+        let mc = MultiCenter::fit(&[], 3);
+        assert!(mc.is_empty());
+        let mut c = 0;
+        assert!(mc.distance(&[0.0], &mut c).is_none());
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let mc = MultiCenter::fit(&[vec![1.0]], 5);
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn fit_node_projects() {
+        let sub = Subspace::full(2);
+        let v0: Vec<f32> = vec![0.0, 0.0];
+        let v1: Vec<f32> = vec![1.0, 1.0];
+        let mc = fit_node(&[&v0, &v1], &sub, 2);
+        assert_eq!(mc.len(), 2);
+    }
+}

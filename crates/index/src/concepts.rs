@@ -1,0 +1,253 @@
+//! The concept hierarchy of video content (paper Fig. 2).
+//!
+//! "The hierarchical structure of our semantic-sensitive video classifier is
+//! derived from the concept hierarchy of video content and is provided by
+//! domain experts or obtained using WordNet." We hard-code the medical
+//! hierarchy of Fig. 2 and accept user-supplied hierarchies through the same
+//! builder API.
+
+use medvid_types::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`ConceptHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub usize);
+
+/// The level a node occupies in Fig. 1/Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// The database root.
+    Root,
+    /// A semantic cluster (e.g. "Medical Education").
+    Cluster,
+    /// A sub-level cluster (e.g. "Medicine"); may nest several levels.
+    SubCluster,
+    /// A semantic scene node (e.g. "Presentation") — the leaves that hold
+    /// shot indexes.
+    Scene,
+}
+
+/// One node of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptNode {
+    /// Node identifier (its index).
+    pub id: NodeId,
+    /// Human-readable concept name.
+    pub name: String,
+    /// The node's level.
+    pub kind: NodeKind,
+    /// Parent (None for the root).
+    pub parent: Option<NodeId>,
+    /// Children in insertion order.
+    pub children: Vec<NodeId>,
+    /// For scene nodes: the mined event kind the node aggregates.
+    pub event: Option<EventKind>,
+}
+
+/// A concept hierarchy: an arena of nodes rooted at node 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptHierarchy {
+    nodes: Vec<ConceptNode>,
+}
+
+impl ConceptHierarchy {
+    /// Creates a hierarchy containing only a root node.
+    pub fn new(root_name: &str) -> Self {
+        Self {
+            nodes: vec![ConceptNode {
+                id: NodeId(0),
+                name: root_name.to_string(),
+                kind: NodeKind::Root,
+                parent: None,
+                children: Vec::new(),
+                event: None,
+            }],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Adds a child node and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is out of range.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        kind: NodeKind,
+        event: Option<EventKind>,
+    ) -> NodeId {
+        assert!(parent.0 < self.nodes.len(), "unknown parent node");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(ConceptNode {
+            id,
+            name: name.to_string(),
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            event,
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> &ConceptNode {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[ConceptNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a hierarchy has at least its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All scene-level nodes.
+    pub fn scene_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Scene)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The path from the root to `id`, inclusive.
+    pub fn path(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur.0].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Whether `ancestor` lies on the path from the root to `node`
+    /// (inclusive).
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.path(node).contains(&ancestor)
+    }
+
+    /// Finds the first scene node under `subcluster` whose event matches.
+    pub fn scene_for_event(&self, subcluster: NodeId, event: EventKind) -> Option<NodeId> {
+        self.nodes[subcluster.0]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c.0].event == Some(event))
+    }
+
+    /// Builds the medical hierarchy of Fig. 2: root → {Health care, Medical
+    /// Education, Medical report} → {Medicine, Nursing, Dentistry} (under
+    /// Medical Education) → {Presentation, Dialog, Clinical Operation,
+    /// General} under every subcluster.
+    pub fn medical() -> Self {
+        let mut h = Self::new("Database Root");
+        let clusters = ["Health care", "Medical Education", "Medical report"];
+        for cluster_name in clusters {
+            let c = h.add_child(h.root(), cluster_name, NodeKind::Cluster, None);
+            let subclusters: &[&str] = if cluster_name == "Medical Education" {
+                &["Medicine", "Nursing", "Dentistry"]
+            } else {
+                &["General"]
+            };
+            for sub_name in subclusters {
+                let s = h.add_child(c, sub_name, NodeKind::SubCluster, None);
+                h.add_child(s, "Presentation", NodeKind::Scene, Some(EventKind::Presentation));
+                h.add_child(s, "Dialog", NodeKind::Scene, Some(EventKind::Dialog));
+                h.add_child(
+                    s,
+                    "Clinical Operation",
+                    NodeKind::Scene,
+                    Some(EventKind::ClinicalOperation),
+                );
+                h.add_child(
+                    s,
+                    "General",
+                    NodeKind::Scene,
+                    Some(EventKind::Undetermined),
+                );
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medical_hierarchy_shape() {
+        let h = ConceptHierarchy::medical();
+        let root = h.node(h.root());
+        assert_eq!(root.kind, NodeKind::Root);
+        assert_eq!(root.children.len(), 3);
+        // Medical Education has 3 subclusters; others 1 => 5 subclusters,
+        // each with 4 scene nodes => 1 + 3 + 5 + 20 nodes.
+        assert_eq!(h.len(), 29);
+        assert_eq!(h.scene_nodes().len(), 20);
+    }
+
+    #[test]
+    fn paths_run_root_to_leaf() {
+        let h = ConceptHierarchy::medical();
+        let scene = h.scene_nodes()[0];
+        let path = h.path(scene);
+        assert_eq!(path[0], h.root());
+        assert_eq!(*path.last().unwrap(), scene);
+        assert_eq!(path.len(), 4); // root, cluster, subcluster, scene
+    }
+
+    #[test]
+    fn ancestor_test() {
+        let h = ConceptHierarchy::medical();
+        let scene = h.scene_nodes()[0];
+        assert!(h.is_ancestor_or_self(h.root(), scene));
+        assert!(h.is_ancestor_or_self(scene, scene));
+        let other = h.scene_nodes()[5];
+        assert!(!h.is_ancestor_or_self(other, scene));
+    }
+
+    #[test]
+    fn scene_for_event_finds_matching_leaf() {
+        let h = ConceptHierarchy::medical();
+        // First subcluster of the first cluster.
+        let cluster = h.node(h.root()).children[0];
+        let sub = h.node(cluster).children[0];
+        let scene = h.scene_for_event(sub, EventKind::Dialog).unwrap();
+        assert_eq!(h.node(scene).event, Some(EventKind::Dialog));
+        assert_eq!(h.node(scene).kind, NodeKind::Scene);
+    }
+
+    #[test]
+    fn custom_hierarchy_construction() {
+        let mut h = ConceptHierarchy::new("root");
+        let c = h.add_child(h.root(), "c", NodeKind::Cluster, None);
+        let s = h.add_child(c, "s", NodeKind::Scene, Some(EventKind::Dialog));
+        assert_eq!(h.node(s).parent, Some(c));
+        assert_eq!(h.node(c).children, vec![s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn bad_parent_panics() {
+        let mut h = ConceptHierarchy::new("root");
+        h.add_child(NodeId(99), "x", NodeKind::Cluster, None);
+    }
+}

@@ -1,0 +1,624 @@
+//! The video database: ingest, flat-scan retrieval (Eq. 24) and
+//! cluster-based hierarchical retrieval (Eq. 25).
+
+use crate::access::{AccessPolicy, UserContext};
+use crate::centers::MultiCenter;
+use crate::concepts::{ConceptHierarchy, NodeId, NodeKind};
+use crate::features::Subspace;
+use crate::hash::ShotHashIndex;
+use medvid_types::{ContentStructure, EventKind, SceneId, ShotId, VideoId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A database-wide shot reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShotRef {
+    /// Owning video.
+    pub video: VideoId,
+    /// Shot within that video.
+    pub shot: ShotId,
+}
+
+/// One indexed shot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShotRecord {
+    /// Reference to the shot.
+    pub shot: ShotRef,
+    /// Concatenated 266-dim feature vector (colour + texture).
+    pub features: Vec<f32>,
+    /// Mined event of the owning scene.
+    pub event: EventKind,
+    /// The scene-level concept node the shot is indexed under.
+    pub scene_node: NodeId,
+}
+
+/// Retrieval cost counters, the empirical counterpart of Eqs. 24–25.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetrievalStats {
+    /// Feature-distance evaluations performed (`N_T` vs
+    /// `M_c + M_sc + M_s + M_o`).
+    pub comparisons: usize,
+    /// Candidates that entered the ranking stage (`N_T` vs `M_o`).
+    pub ranked: usize,
+    /// Index nodes visited.
+    pub nodes_visited: usize,
+    /// Total feature dimensions touched by all comparisons (captures the
+    /// reduced-dimension effect `T_o <= T_m`).
+    pub dims_touched: usize,
+}
+
+/// A ranked retrieval hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResult {
+    /// The matching shot.
+    pub shot: ShotRef,
+    /// Squared feature distance to the query (smaller is better).
+    pub distance: f32,
+}
+
+/// Index-construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Subspace dimensionality at cluster nodes.
+    pub cluster_dims: usize,
+    /// Subspace dimensionality at subcluster nodes.
+    pub subcluster_dims: usize,
+    /// Subspace dimensionality at scene (leaf) nodes.
+    pub scene_dims: usize,
+    /// Centres per non-leaf node.
+    pub centers: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            cluster_dims: 16,
+            subcluster_dims: 24,
+            scene_dims: 32,
+            centers: 4,
+        }
+    }
+}
+
+/// The hierarchical video database of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct VideoDatabase {
+    hierarchy: ConceptHierarchy,
+    config: IndexConfig,
+    records: Vec<ShotRecord>,
+    policy: AccessPolicy,
+    // Built state.
+    node_subspace: HashMap<NodeId, Subspace>,
+    node_centers: HashMap<NodeId, MultiCenter>,
+    leaf_index: HashMap<NodeId, ShotHashIndex>,
+    leaf_records: HashMap<NodeId, Vec<usize>>,
+    /// Projected population mean per scene node (the routing centroid),
+    /// precomputed at build time.
+    leaf_mean: HashMap<NodeId, Vec<f32>>,
+    shot_lookup: HashMap<ShotRef, usize>,
+    built: bool,
+}
+
+impl VideoDatabase {
+    /// Creates an empty database over a concept hierarchy.
+    pub fn new(hierarchy: ConceptHierarchy, config: IndexConfig) -> Self {
+        Self {
+            hierarchy,
+            config,
+            records: Vec::new(),
+            policy: AccessPolicy::default(),
+            node_subspace: HashMap::new(),
+            node_centers: HashMap::new(),
+            leaf_index: HashMap::new(),
+            leaf_records: HashMap::new(),
+            leaf_mean: HashMap::new(),
+            shot_lookup: HashMap::new(),
+            built: false,
+        }
+    }
+
+    /// Creates a database over the paper's medical hierarchy.
+    pub fn medical() -> Self {
+        Self::new(ConceptHierarchy::medical(), IndexConfig::default())
+    }
+
+    /// The concept hierarchy.
+    pub fn hierarchy(&self) -> &ConceptHierarchy {
+        &self.hierarchy
+    }
+
+    /// Sets the access-control policy.
+    pub fn set_policy(&mut self, policy: AccessPolicy) {
+        self.policy = policy;
+    }
+
+    /// The access-control policy.
+    pub fn policy(&self) -> &AccessPolicy {
+        &self.policy
+    }
+
+    /// The index-construction parameters.
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Number of indexed shots.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database holds no shots.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks up a record by shot reference.
+    pub fn record(&self, shot: ShotRef) -> Option<&ShotRecord> {
+        self.shot_lookup.get(&shot).map(|&i| &self.records[i])
+    }
+
+    /// Iterates over all indexed records.
+    pub fn records_iter(&self) -> impl Iterator<Item = &ShotRecord> {
+        self.records.iter()
+    }
+
+    /// Ingests a mined video: every shot of every scene is indexed under the
+    /// scene node matching its scene's mined event, beneath `subcluster`.
+    ///
+    /// # Panics
+    /// Panics if `subcluster` is not a subcluster node of the hierarchy or
+    /// lacks a scene child for an event.
+    pub fn insert_video(
+        &mut self,
+        video: VideoId,
+        structure: &ContentStructure,
+        scene_events: &[(SceneId, EventKind)],
+    ) {
+        let subcluster = self.default_subcluster();
+        self.insert_video_under(video, structure, scene_events, subcluster);
+    }
+
+    /// Like [`Self::insert_video`], under an explicit subcluster node.
+    pub fn insert_video_under(
+        &mut self,
+        video: VideoId,
+        structure: &ContentStructure,
+        scene_events: &[(SceneId, EventKind)],
+        subcluster: NodeId,
+    ) {
+        let events: HashMap<SceneId, EventKind> = scene_events.iter().copied().collect();
+        for scene in &structure.scenes {
+            let event = events
+                .get(&scene.id)
+                .copied()
+                .unwrap_or(EventKind::Undetermined);
+            let node = self
+                .hierarchy
+                .scene_for_event(subcluster, event)
+                .unwrap_or_else(|| {
+                    panic!("subcluster {subcluster:?} lacks a scene node for {event}")
+                });
+            for sid in structure.scene_shots(scene.id) {
+                let shot = &structure.shots[sid.index()];
+                self.insert_shot(
+                    ShotRef { video, shot: sid },
+                    shot.features.concat(),
+                    event,
+                    node,
+                );
+            }
+        }
+        self.built = false;
+    }
+
+    /// Low-level ingest of a single shot (used by synthetic benchmarks).
+    pub fn insert_shot(
+        &mut self,
+        shot: ShotRef,
+        features: Vec<f32>,
+        event: EventKind,
+        scene_node: NodeId,
+    ) {
+        debug_assert_eq!(
+            self.hierarchy.node(scene_node).kind,
+            NodeKind::Scene,
+            "shots index under scene nodes"
+        );
+        let idx = self.records.len();
+        self.shot_lookup.insert(shot, idx);
+        self.records.push(ShotRecord {
+            shot,
+            features,
+            event,
+            scene_node,
+        });
+        self.built = false;
+    }
+
+    /// The first subcluster of the first cluster (the default ingest target
+    /// when the caller does not classify videos beyond their events).
+    pub fn default_subcluster(&self) -> NodeId {
+        let cluster = self.hierarchy.node(self.hierarchy.root()).children[0];
+        self.hierarchy.node(cluster).children[0]
+    }
+
+    /// Builds all per-node index structures. Idempotent.
+    pub fn build(&mut self) {
+        if self.built {
+            return;
+        }
+        self.node_subspace.clear();
+        self.node_centers.clear();
+        self.leaf_index.clear();
+        self.leaf_records.clear();
+        self.leaf_mean.clear();
+        // Population per node = records below it.
+        let mut node_population: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            for node in self.hierarchy.path(r.scene_node) {
+                node_population.entry(node).or_default().push(i);
+            }
+        }
+        for node in self.hierarchy.nodes() {
+            let Some(pop) = node_population.get(&node.id) else {
+                continue;
+            };
+            let dims = match node.kind {
+                NodeKind::Root => continue,
+                NodeKind::Cluster => self.config.cluster_dims,
+                NodeKind::SubCluster => self.config.subcluster_dims,
+                NodeKind::Scene => self.config.scene_dims,
+            };
+            let vectors: Vec<&[f32]> = pop
+                .iter()
+                .map(|&i| self.records[i].features.as_slice())
+                .collect();
+            let subspace = Subspace::top_variance(&vectors, dims);
+            match node.kind {
+                NodeKind::Scene => {
+                    let mut index = ShotHashIndex::new();
+                    for &i in pop {
+                        index.insert(
+                            &subspace.project(&self.records[i].features),
+                            self.records[i].shot,
+                        );
+                    }
+                    self.leaf_index.insert(node.id, index);
+                    self.leaf_records.insert(node.id, pop.clone());
+                    if let Some(mean) = mean_projected(
+                        pop.iter().map(|&i| self.records[i].features.as_slice()),
+                        &subspace,
+                    ) {
+                        self.leaf_mean.insert(node.id, mean);
+                    }
+                }
+                _ => {
+                    let projected: Vec<Vec<f32>> = vectors
+                        .iter()
+                        .map(|v| subspace.project(v))
+                        .collect();
+                    self.node_centers
+                        .insert(node.id, MultiCenter::fit(&projected, self.config.centers));
+                }
+            }
+            self.node_subspace.insert(node.id, subspace);
+        }
+        self.built = true;
+    }
+
+    /// Flat-scan retrieval (Eq. 24): compares the query against every shot in
+    /// the full feature space and ranks all of them.
+    pub fn flat_search(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+    ) -> (Vec<QueryResult>, RetrievalStats) {
+        let mut stats = RetrievalStats::default();
+        let mut hits: Vec<QueryResult> = self
+            .records
+            .iter()
+            .filter(|r| self.accessible(r, user))
+            .map(|r| {
+                stats.comparisons += 1;
+                stats.dims_touched += r.features.len();
+                QueryResult {
+                    shot: r.shot,
+                    distance: sq_dist(query, &r.features),
+                }
+            })
+            .collect();
+        stats.ranked = hits.len();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distance"));
+        hits.truncate(top_k);
+        (hits, stats)
+    }
+
+    /// Cluster-based hierarchical retrieval (Eq. 25): routes the query down
+    /// the hierarchy by nearest multi-centre, probes the chosen scene node's
+    /// hash index and ranks only the shots that reside there.
+    ///
+    /// # Panics
+    /// Panics if [`Self::build`] has not been called since the last insert.
+    pub fn hierarchical_search(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+    ) -> (Vec<QueryResult>, RetrievalStats) {
+        assert!(self.built, "call build() before hierarchical_search()");
+        let mut stats = RetrievalStats::default();
+        // Route: root -> cluster -> ... -> scene node.
+        let mut current = self.hierarchy.root();
+        loop {
+            let children: Vec<NodeId> = self
+                .hierarchy
+                .node(current)
+                .children
+                .iter()
+                .copied()
+                .filter(|c| {
+                    // Only descend into populated, user-visible nodes.
+                    let populated = self.node_subspace.contains_key(c);
+                    populated && self.policy.node_visible(&self.hierarchy, *c, user)
+                })
+                .collect();
+            if children.is_empty() {
+                break;
+            }
+            stats.nodes_visited += children.len();
+            let best = children
+                .iter()
+                .copied()
+                .filter_map(|c| {
+                    let d = self.route_distance(c, query, &mut stats)?;
+                    Some((c, d))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+            let Some((next, _)) = best else { break };
+            current = next;
+            if self.hierarchy.node(current).kind == NodeKind::Scene {
+                break;
+            }
+        }
+        if self.hierarchy.node(current).kind != NodeKind::Scene {
+            return (Vec::new(), stats);
+        }
+        // Probe the leaf hash table.
+        let subspace = &self.node_subspace[&current];
+        let index = &self.leaf_index[&current];
+        let projected = subspace.project(query);
+        let mut candidates = index.probe(&projected);
+        if candidates.is_empty() {
+            candidates = index.all();
+        }
+        let mut hits: Vec<QueryResult> = candidates
+            .into_iter()
+            .filter_map(|shot| {
+                let r = &self.records[self.shot_lookup[&shot]];
+                if !self.accessible(r, user) {
+                    return None;
+                }
+                stats.comparisons += 1;
+                stats.dims_touched += subspace.len();
+                Some(QueryResult {
+                    shot,
+                    distance: subspace.sq_distance(query, &r.features),
+                })
+            })
+            .collect();
+        stats.ranked = hits.len();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distance"));
+        hits.truncate(top_k);
+        (hits, stats)
+    }
+
+    fn route_distance(
+        &self,
+        node: NodeId,
+        query: &[f32],
+        stats: &mut RetrievalStats,
+    ) -> Option<f32> {
+        let subspace = self.node_subspace.get(&node)?;
+        let projected = subspace.project(query);
+        match self.hierarchy.node(node).kind {
+            NodeKind::Scene => {
+                // Scene nodes route by their precomputed population mean.
+                let mean = self.leaf_mean.get(&node)?;
+                stats.comparisons += 1;
+                stats.dims_touched += subspace.len();
+                Some(sq_dist(&projected, mean))
+            }
+            _ => {
+                let centers = self.node_centers.get(&node)?;
+                let mut comparisons = 0usize;
+                let d = centers.distance(&projected, &mut comparisons);
+                stats.comparisons += comparisons;
+                stats.dims_touched += comparisons * subspace.len();
+                d
+            }
+        }
+    }
+
+    fn accessible(&self, record: &ShotRecord, user: Option<&UserContext>) -> bool {
+        self.policy
+            .allows(&self.hierarchy, record.scene_node, record.event, user)
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+fn mean_projected<'a>(
+    vectors: impl Iterator<Item = &'a [f32]>,
+    subspace: &Subspace,
+) -> Option<Vec<f32>> {
+    let mut acc: Option<Vec<f32>> = None;
+    let mut n = 0usize;
+    for v in vectors {
+        let p = subspace.project(v);
+        match &mut acc {
+            None => acc = Some(p),
+            Some(a) => {
+                for (ai, pi) in a.iter_mut().zip(p.iter()) {
+                    *ai += pi;
+                }
+            }
+        }
+        n += 1;
+    }
+    acc.map(|mut a| {
+        for ai in &mut a {
+            *ai /= n as f32;
+        }
+        a
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a database with `n` synthetic shots spread over the medical
+    /// hierarchy's scene nodes, clustered around per-node feature modes.
+    fn synthetic_db(n: usize, seed: u64) -> (VideoDatabase, Vec<Vec<f32>>) {
+        let mut db = VideoDatabase::medical();
+        let scenes = db.hierarchy().scene_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::new();
+        for i in 0..n {
+            let node = scenes[i % scenes.len()];
+            let mut f = vec![0.0f32; 266];
+            // A node-specific mode plus noise.
+            let base = (node.0 * 7) % 260;
+            f[base] = 0.8 + rng.gen_range(-0.05..0.05);
+            f[(base + 3) % 266] = 0.2;
+            f[260 + node.0 % 6] = 0.5;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(i),
+                },
+                f.clone(),
+                EventKind::Presentation,
+                node,
+            );
+            if i < 8 {
+                queries.push(f);
+            }
+        }
+        db.build();
+        (db, queries)
+    }
+
+    #[test]
+    fn flat_search_finds_exact_match_first() {
+        let (db, queries) = synthetic_db(200, 1);
+        for q in &queries {
+            let (hits, stats) = db.flat_search(q, 5, None);
+            assert_eq!(stats.comparisons, 200);
+            assert_eq!(stats.ranked, 200);
+            assert!(hits[0].distance < 1e-9, "top hit should be the query itself");
+        }
+    }
+
+    #[test]
+    fn hierarchical_search_is_much_cheaper() {
+        let (db, queries) = synthetic_db(400, 2);
+        let q = &queries[0];
+        let (_, flat) = db.flat_search(q, 5, None);
+        let (hits, hier) = db.hierarchical_search(q, 5, None);
+        assert!(!hits.is_empty());
+        assert!(
+            hier.comparisons * 4 < flat.comparisons,
+            "hierarchical {} vs flat {}",
+            hier.comparisons,
+            flat.comparisons
+        );
+        assert!(hier.ranked < flat.ranked);
+        assert!(hier.dims_touched * 4 < flat.dims_touched);
+    }
+
+    #[test]
+    fn hierarchical_search_returns_relevant_shot() {
+        let (db, queries) = synthetic_db(300, 3);
+        for q in queries.iter().take(4) {
+            let (hits, _) = db.hierarchical_search(q, 3, None);
+            assert!(!hits.is_empty());
+            assert!(
+                hits[0].distance < 0.01,
+                "nearest hit distance {}",
+                hits[0].distance
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "build()")]
+    fn hierarchical_search_requires_build() {
+        let mut db = VideoDatabase::medical();
+        let scenes = db.hierarchy().scene_nodes();
+        db.insert_shot(
+            ShotRef {
+                video: VideoId(0),
+                shot: ShotId(0),
+            },
+            vec![0.0; 266],
+            EventKind::Dialog,
+            scenes[0],
+        );
+        db.hierarchical_search(&[0.0; 266], 1, None);
+    }
+
+    #[test]
+    fn empty_database_searches_cleanly() {
+        let mut db = VideoDatabase::medical();
+        db.build();
+        let (hits, stats) = db.flat_search(&[0.0; 266], 5, None);
+        assert!(hits.is_empty());
+        assert_eq!(stats.comparisons, 0);
+        let (hits, _) = db.hierarchical_search(&[0.0; 266], 5, None);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn record_lookup_roundtrips() {
+        let (db, _) = synthetic_db(50, 4);
+        let r = ShotRef {
+            video: VideoId(0),
+            shot: ShotId(7),
+        };
+        assert_eq!(db.record(r).unwrap().shot, r);
+        assert!(db
+            .record(ShotRef {
+                video: VideoId(9),
+                shot: ShotId(0)
+            })
+            .is_none());
+        assert_eq!(db.len(), 50);
+    }
+
+    #[test]
+    fn rebuild_after_insert_is_required_and_works() {
+        let (mut db, queries) = synthetic_db(100, 5);
+        let scenes = db.hierarchy().scene_nodes();
+        db.insert_shot(
+            ShotRef {
+                video: VideoId(1),
+                shot: ShotId(0),
+            },
+            queries[0].clone(),
+            EventKind::Dialog,
+            scenes[0],
+        );
+        db.build();
+        let (hits, _) = db.hierarchical_search(&queries[0], 3, None);
+        assert!(!hits.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-node discriminating-feature selection.
+//!
+//! Eq. 25's `T_c, T_sc, T_s, T_o <= T_m` rests on "dimension reduction
+//! techniques ... so that only the discriminating features are selected for
+//! video representation and indexing". We implement variance-ranked feature
+//! selection: each index node keeps the `k` dimensions with the highest
+//! variance over its population and compares in that subspace.
+
+/// A selected feature subspace: indices into the full feature vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subspace {
+    dims: Vec<usize>,
+}
+
+impl Subspace {
+    /// The identity subspace over `d` dimensions.
+    pub fn full(d: usize) -> Self {
+        Self {
+            dims: (0..d).collect(),
+        }
+    }
+
+    /// Selects the `k` highest-variance dimensions of a population.
+    /// Falls back to the full space when the population is empty.
+    pub fn top_variance(population: &[&[f32]], k: usize) -> Self {
+        let Some(first) = population.first() else {
+            return Self { dims: Vec::new() };
+        };
+        let d = first.len();
+        let n = population.len() as f64;
+        let mut mean = vec![0.0f64; d];
+        for v in population {
+            for (m, &x) in mean.iter_mut().zip(v.iter()) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; d];
+        for v in population {
+            for i in 0..d {
+                let diff = v[i] as f64 - mean[i];
+                var[i] += diff * diff;
+            }
+        }
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| var[b].partial_cmp(&var[a]).expect("finite variance"));
+        let mut dims: Vec<usize> = order.into_iter().take(k.max(1).min(d)).collect();
+        dims.sort_unstable();
+        Self { dims }
+    }
+
+    /// The selected dimension indices (sorted ascending).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of selected dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the subspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Projects a full vector onto the subspace.
+    pub fn project(&self, v: &[f32]) -> Vec<f32> {
+        self.dims.iter().map(|&i| v[i]).collect()
+    }
+
+    /// Squared Euclidean distance between two full vectors, evaluated only
+    /// on the subspace (no allocation).
+    pub fn sq_distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.dims
+            .iter()
+            .map(|&i| {
+                let d = a[i] - b[i];
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_high_variance_dims() {
+        // Dim 1 varies wildly, dim 0 and 2 are constant.
+        let data: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![1.0, i as f32 * 5.0, 2.0])
+            .collect();
+        let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+        let s = Subspace::top_variance(&refs, 1);
+        assert_eq!(s.dims(), &[1]);
+    }
+
+    #[test]
+    fn projection_extracts_dims() {
+        let s = Subspace {
+            dims: vec![0, 2],
+        };
+        assert_eq!(s.project(&[1.0, 2.0, 3.0]), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn subspace_distance_ignores_unselected() {
+        let s = Subspace {
+            dims: vec![1],
+        };
+        let a = [100.0, 1.0, -50.0];
+        let b = [0.0, 4.0, 50.0];
+        assert_eq!(s.sq_distance(&a, &b), 9.0);
+    }
+
+    #[test]
+    fn k_clamped_to_dimensionality() {
+        let data = [vec![1.0f32, 2.0]];
+        let refs: Vec<&[f32]> = data.iter().map(|v| v.as_slice()).collect();
+        let s = Subspace::top_variance(&refs, 99);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_population_gives_empty_subspace() {
+        let s = Subspace::top_variance(&[], 4);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_subspace_distance_is_euclidean() {
+        let s = Subspace::full(3);
+        let a = [0.0, 3.0, 4.0];
+        let b = [0.0, 0.0, 0.0];
+        assert_eq!(s.sq_distance(&a, &b), 25.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Leaf-node hash-table shot index.
+//!
+//! "For the leaf node of the proposed hierarchical indexing tree, we use a
+//! hash table to index video shots." Shots are bucketed by a coarse grid
+//! signature of their (reduced) feature vector; a query probes its own cell
+//! and the adjacent cells along each selected dimension.
+
+use crate::db::ShotRef;
+use crate::features::Subspace;
+use std::collections::HashMap;
+
+/// Grid quantisation levels per dimension.
+const LEVELS: i32 = 4;
+
+/// A hash index over shots at one leaf (scene) node.
+#[derive(Debug, Clone, Default)]
+pub struct ShotHashIndex {
+    buckets: HashMap<Vec<i16>, Vec<ShotRef>>,
+    len: usize,
+}
+
+fn signature(projected: &[f32]) -> Vec<i16> {
+    projected
+        .iter()
+        .map(|&v| ((v * LEVELS as f32).floor() as i32).clamp(0, LEVELS - 1) as i16)
+        .collect()
+}
+
+impl ShotHashIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a shot by its projected feature vector.
+    pub fn insert(&mut self, projected: &[f32], shot: ShotRef) {
+        self.buckets.entry(signature(projected)).or_default().push(shot);
+        self.len += 1;
+    }
+
+    /// Number of indexed shots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All shots in the bucket of `projected` and the buckets differing by
+    /// one level in exactly one dimension (the query's neighbourhood).
+    pub fn probe(&self, projected: &[f32]) -> Vec<ShotRef> {
+        let sig = signature(projected);
+        let mut out = Vec::new();
+        if let Some(b) = self.buckets.get(&sig) {
+            out.extend_from_slice(b);
+        }
+        for d in 0..sig.len() {
+            for delta in [-1i16, 1] {
+                let mut n = sig.clone();
+                n[d] += delta;
+                if n[d] < 0 || n[d] >= LEVELS as i16 {
+                    continue;
+                }
+                if let Some(b) = self.buckets.get(&n) {
+                    out.extend_from_slice(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every indexed shot (used for exhaustive fallback).
+    pub fn all(&self) -> Vec<ShotRef> {
+        self.buckets.values().flatten().copied().collect()
+    }
+}
+
+/// Builds an index over a population of full feature vectors using a
+/// subspace projection.
+pub fn build_index(
+    shots: &[(ShotRef, &[f32])],
+    subspace: &Subspace,
+) -> ShotHashIndex {
+    let mut idx = ShotHashIndex::new();
+    for (shot, features) in shots {
+        idx.insert(&subspace.project(features), *shot);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{ShotId, VideoId};
+
+    fn shot(v: usize, s: usize) -> ShotRef {
+        ShotRef {
+            video: VideoId(v),
+            shot: ShotId(s),
+        }
+    }
+
+    #[test]
+    fn insert_and_probe_same_cell() {
+        let mut idx = ShotHashIndex::new();
+        idx.insert(&[0.1, 0.1], shot(0, 0));
+        idx.insert(&[0.12, 0.11], shot(0, 1));
+        idx.insert(&[0.9, 0.9], shot(0, 2));
+        let hits = idx.probe(&[0.1, 0.1]);
+        assert!(hits.contains(&shot(0, 0)));
+        assert!(hits.contains(&shot(0, 1)));
+        assert!(!hits.contains(&shot(0, 2)));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn probe_reaches_adjacent_cells() {
+        let mut idx = ShotHashIndex::new();
+        // 0.24 and 0.26 land in adjacent cells at 4 levels (cell width 0.25).
+        idx.insert(&[0.24], shot(0, 0));
+        let hits = idx.probe(&[0.26]);
+        assert!(hits.contains(&shot(0, 0)));
+    }
+
+    #[test]
+    fn all_returns_everything() {
+        let mut idx = ShotHashIndex::new();
+        for i in 0..5 {
+            idx.insert(&[i as f32 / 5.0], shot(0, i));
+        }
+        assert_eq!(idx.all().len(), 5);
+    }
+
+    #[test]
+    fn signatures_clamp_out_of_range() {
+        let mut idx = ShotHashIndex::new();
+        idx.insert(&[-3.0, 7.0], shot(0, 0));
+        let hits = idx.probe(&[-1.0, 2.0]);
+        assert!(hits.contains(&shot(0, 0)));
+    }
+
+    #[test]
+    fn build_index_projects_through_subspace() {
+        let sub = Subspace::full(2);
+        let f0 = vec![0.1f32, 0.1];
+        let f1 = vec![0.9f32, 0.9];
+        let idx = build_index(&[(shot(0, 0), &f0), (shot(0, 1), &f1)], &sub);
+        assert_eq!(idx.len(), 2);
+        let hits = idx.probe(&sub.project(&f0));
+        assert!(hits.contains(&shot(0, 0)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Hierarchical video database: indexing, retrieval and access control
+//! (paper Sec. 2 and Sec. 6.2).
+//!
+//! The database model of Fig. 1, instantiated with the medical concept
+//! hierarchy of Fig. 2:
+//!
+//! * [`concepts`] — the concept hierarchy (database root → semantic clusters
+//!   → subclusters → semantic scenes), with the paper's medical hierarchy
+//!   built in;
+//! * [`features`] — per-node discriminating-feature selection (dimension
+//!   reduction) for the cluster-based cost model of Eq. 25;
+//! * [`hash`] — the leaf-node hash-table index over video shots;
+//! * [`centers`] — the non-leaf multi-centre index ("it would be very
+//!   difficult to use any single Gaussian to model their data
+//!   distribution");
+//! * [`db`] — the [`db::VideoDatabase`]: ingest of mined videos, flat-scan
+//!   retrieval (Eq. 24) and cluster-based retrieval (Eq. 25), with
+//!   comparison counters for the cost reproduction;
+//! * [`access`] — hierarchical multilevel access control with per-concept
+//!   filtering rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod browse;
+pub mod centers;
+pub mod concepts;
+pub mod db;
+pub mod features;
+pub mod hash;
+pub mod persist;
+pub mod query;
+
+pub use access::{AccessPolicy, Clearance, UserContext};
+pub use browse::{BrowseEntry, BrowseView};
+pub use concepts::{ConceptHierarchy, ConceptNode, NodeId, NodeKind};
+pub use db::{QueryResult, RetrievalStats, ShotRecord, ShotRef, VideoDatabase};
+pub use persist::{DatabaseSnapshot, PersistError};
+pub use query::{Query, Strategy};

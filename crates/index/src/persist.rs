@@ -1,0 +1,207 @@
+//! Database persistence: snapshot to / restore from a serde document.
+//!
+//! The snapshot carries the logical state — hierarchy, config, policy and
+//! shot records. Derived index structures (subspaces, centres, hash tables)
+//! are rebuilt on load: they are deterministic functions of the records, and
+//! rebuilding keeps the format stable across index-layout changes.
+
+use crate::access::AccessPolicy;
+use crate::concepts::ConceptHierarchy;
+use crate::db::{IndexConfig, ShotRecord, VideoDatabase};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The serialisable snapshot of a [`VideoDatabase`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatabaseSnapshot {
+    /// Format version (see [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The concept hierarchy.
+    pub hierarchy: ConceptHierarchy,
+    /// Index construction parameters.
+    pub config: IndexConfig,
+    /// Access-control policy.
+    pub policy: AccessPolicy,
+    /// All shot records.
+    pub records: Vec<ShotRecord>,
+}
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialisation failure.
+    Format(serde_json::Error),
+    /// The snapshot's version is not supported.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O: {e}"),
+            PersistError::Format(e) => write!(f, "format: {e}"),
+            PersistError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl VideoDatabase {
+    /// Takes a snapshot of the database's logical state.
+    pub fn snapshot(&self) -> DatabaseSnapshot {
+        DatabaseSnapshot {
+            version: SNAPSHOT_VERSION,
+            hierarchy: self.hierarchy().clone(),
+            config: self.config(),
+            policy: self.policy().clone(),
+            records: self.records_iter().cloned().collect(),
+        }
+    }
+
+    /// Restores a database from a snapshot and rebuilds its indexes.
+    ///
+    /// # Errors
+    /// Returns [`PersistError::Version`] for unknown versions.
+    pub fn from_snapshot(snapshot: DatabaseSnapshot) -> Result<Self, PersistError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(PersistError::Version(snapshot.version));
+        }
+        let mut db = VideoDatabase::new(snapshot.hierarchy, snapshot.config);
+        db.set_policy(snapshot.policy);
+        for r in snapshot.records {
+            db.insert_shot(r.shot, r.features, r.event, r.scene_node);
+        }
+        db.build();
+        Ok(db)
+    }
+
+    /// Saves the database as JSON.
+    ///
+    /// # Errors
+    /// Propagates I/O and serialisation failures.
+    pub fn save_json(&self, path: &Path) -> Result<(), PersistError> {
+        let json = serde_json::to_vec(&self.snapshot())?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a database from JSON (rebuilding indexes).
+    ///
+    /// # Errors
+    /// Propagates I/O, format and version failures.
+    pub fn load_json(path: &Path) -> Result<Self, PersistError> {
+        let bytes = std::fs::read(path)?;
+        let snapshot: DatabaseSnapshot = serde_json::from_slice(&bytes)?;
+        Self::from_snapshot(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Clearance, UserContext};
+    use crate::db::ShotRef;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn sample_db() -> VideoDatabase {
+        let mut db = VideoDatabase::medical();
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..30 {
+            let mut f = vec![0.0f32; 266];
+            f[i * 7 % 266] = 1.0;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(i / 10),
+                    shot: ShotId(i),
+                },
+                f,
+                EventKind::DETERMINATE[i % 3],
+                scenes[i % scenes.len()],
+            );
+        }
+        db.set_policy(AccessPolicy::clinical_protection());
+        db.build();
+        db
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        let db = sample_db();
+        let restored = VideoDatabase::from_snapshot(db.snapshot()).unwrap();
+        assert_eq!(restored.len(), db.len());
+        let q = db
+            .record(ShotRef {
+                video: VideoId(0),
+                shot: ShotId(3),
+            })
+            .unwrap()
+            .features
+            .clone();
+        let (h1, _) = db.hierarchical_search(&q, 5, None);
+        let (h2, _) = restored.hierarchical_search(&q, 5, None);
+        assert_eq!(h1.len(), h2.len());
+        assert_eq!(h1[0].shot, h2[0].shot);
+    }
+
+    #[test]
+    fn policy_survives_roundtrip() {
+        let db = sample_db();
+        let restored = VideoDatabase::from_snapshot(db.snapshot()).unwrap();
+        let public = UserContext::new(Clearance::PUBLIC);
+        let q = vec![0.0f32; 266];
+        let (a, _) = db.flat_search(&q, 100, Some(&public));
+        let (b, _) = restored.flat_search(&q, 100, Some(&public));
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() < db.len(), "clinical shots filtered");
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("medvid_db_test.json");
+        db.save_json(&path).unwrap();
+        let restored = VideoDatabase::load_json(&path).unwrap();
+        assert_eq!(restored.len(), db.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let db = sample_db();
+        let mut snap = db.snapshot();
+        snap.version = 99;
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = std::env::temp_dir().join("medvid_db_corrupt.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(matches!(
+            VideoDatabase::load_json(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,270 @@
+//! Fluent query API over the video database.
+//!
+//! Wraps the two retrieval paths (flat Eq. 24, hierarchical Eq. 25) together
+//! with the semantic filters the paper motivates ("Show me all patient-doctor
+//! dialogs within the video"): event category, concept subtree, clearance.
+
+use crate::access::UserContext;
+use crate::concepts::NodeId;
+use crate::db::{QueryResult, RetrievalStats, VideoDatabase};
+use medvid_types::EventKind;
+
+/// Which retrieval path executes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Cluster-based hierarchical retrieval (Eq. 25) — the default.
+    #[default]
+    Hierarchical,
+    /// Exhaustive flat scan (Eq. 24).
+    Flat,
+}
+
+/// A query under construction. Build with [`VideoDatabase::query`].
+#[derive(Debug)]
+pub struct Query<'a> {
+    db: &'a VideoDatabase,
+    vector: Option<Vec<f32>>,
+    event: Option<EventKind>,
+    under: Option<NodeId>,
+    user: Option<&'a UserContext>,
+    limit: usize,
+    strategy: Strategy,
+}
+
+impl VideoDatabase {
+    /// Starts building a query.
+    pub fn query(&self) -> Query<'_> {
+        Query {
+            db: self,
+            vector: None,
+            event: None,
+            under: None,
+            user: None,
+            limit: 10,
+            strategy: Strategy::default(),
+        }
+    }
+}
+
+impl<'a> Query<'a> {
+    /// Query-by-example: rank by similarity to this 266-dim feature vector.
+    pub fn similar_to(mut self, features: Vec<f32>) -> Self {
+        self.vector = Some(features);
+        self
+    }
+
+    /// Keep only shots of this mined event category.
+    pub fn event(mut self, event: EventKind) -> Self {
+        self.event = Some(event);
+        self
+    }
+
+    /// Keep only shots indexed under this concept node's subtree.
+    pub fn under(mut self, node: NodeId) -> Self {
+        self.under = Some(node);
+        self
+    }
+
+    /// Apply access control for this user.
+    pub fn as_user(mut self, user: &'a UserContext) -> Self {
+        self.user = Some(user);
+        self
+    }
+
+    /// Maximum results (default 10).
+    pub fn limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Choose the retrieval path (default hierarchical).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Executes the query.
+    ///
+    /// With a feature vector, ranks by similarity through the chosen
+    /// retrieval path and then applies the semantic filters. Without one,
+    /// returns (up to `limit`) shots matching the filters with zero
+    /// distance, in insertion order — the pure semantic query of Sec. 4
+    /// ("show me all dialogs").
+    pub fn run(self) -> (Vec<QueryResult>, RetrievalStats) {
+        let matches_filters = |r: &crate::db::ShotRecord| {
+            if let Some(e) = self.event {
+                if r.event != e {
+                    return false;
+                }
+            }
+            if let Some(n) = self.under {
+                if !self.db.hierarchy().is_ancestor_or_self(n, r.scene_node) {
+                    return false;
+                }
+            }
+            true
+        };
+        match &self.vector {
+            None => {
+                let mut stats = RetrievalStats::default();
+                let hits: Vec<QueryResult> = self
+                    .db
+                    .records_iter()
+                    .filter(|r| {
+                        stats.comparisons += 1;
+                        matches_filters(r)
+                            && self.db.policy().allows(
+                                self.db.hierarchy(),
+                                r.scene_node,
+                                r.event,
+                                self.user,
+                            )
+                    })
+                    .take(self.limit)
+                    .map(|r| QueryResult {
+                        shot: r.shot,
+                        distance: 0.0,
+                    })
+                    .collect();
+                stats.ranked = hits.len();
+                (hits, stats)
+            }
+            Some(v) => {
+                // Over-fetch so post-filters still fill the limit.
+                let fetch = self.limit.saturating_mul(4).max(self.limit);
+                let (hits, stats) = match self.strategy {
+                    Strategy::Flat => self.db.flat_search(v, fetch, self.user),
+                    Strategy::Hierarchical => {
+                        self.db.hierarchical_search(v, fetch, self.user)
+                    }
+                };
+                let filtered: Vec<QueryResult> = hits
+                    .into_iter()
+                    .filter(|h| {
+                        self.db
+                            .record(h.shot)
+                            .map(matches_filters)
+                            .unwrap_or(false)
+                    })
+                    .take(self.limit)
+                    .collect();
+                (filtered, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessPolicy, Clearance};
+    use crate::db::{IndexConfig, ShotRef};
+    use crate::ConceptHierarchy;
+    use medvid_types::{ShotId, VideoId};
+
+    fn db() -> VideoDatabase {
+        let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..300 {
+            let mut f = vec![0.0f32; 266];
+            f[(i * 9) % 266] = 1.0;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(i),
+                },
+                f,
+                EventKind::DETERMINATE[i % 3],
+                scenes[i % scenes.len()],
+            );
+        }
+        db.build();
+        db
+    }
+
+    #[test]
+    fn semantic_query_filters_by_event() {
+        let db = db();
+        let (hits, _) = db.query().event(EventKind::Dialog).limit(100).run();
+        assert_eq!(hits.len(), 100);
+        for h in &hits {
+            assert_eq!(db.record(h.shot).unwrap().event, EventKind::Dialog);
+        }
+    }
+
+    #[test]
+    fn subtree_filter_restricts_results() {
+        let db = db();
+        let cluster = db.hierarchy().node(db.hierarchy().root()).children[0];
+        let (hits, _) = db.query().under(cluster).limit(100).run();
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let node = db.record(h.shot).unwrap().scene_node;
+            assert!(db.hierarchy().is_ancestor_or_self(cluster, node));
+        }
+    }
+
+    #[test]
+    fn similarity_query_ranks_and_filters() {
+        let db = db();
+        let target = db
+            .record(ShotRef {
+                video: VideoId(0),
+                shot: ShotId(4),
+            })
+            .unwrap();
+        let event = target.event;
+        let (hits, _) = db
+            .query()
+            .similar_to(target.features.clone())
+            .event(event)
+            .strategy(Strategy::Flat)
+            .limit(5)
+            .run();
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].shot.shot, ShotId(4), "self match first");
+        for h in &hits {
+            assert_eq!(db.record(h.shot).unwrap().event, event);
+        }
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn hierarchical_strategy_works_through_builder() {
+        let db = db();
+        let target = db
+            .record(ShotRef {
+                video: VideoId(0),
+                shot: ShotId(7),
+            })
+            .unwrap()
+            .features
+            .clone();
+        let (hits, stats) = db.query().similar_to(target).limit(3).run();
+        assert!(!hits.is_empty());
+        assert!(stats.comparisons < db.len());
+    }
+
+    #[test]
+    fn access_control_applies_in_builder() {
+        let mut db = db();
+        db.set_policy(AccessPolicy::clinical_protection());
+        let public = UserContext::new(Clearance::PUBLIC);
+        let (hits, _) = db
+            .query()
+            .event(EventKind::ClinicalOperation)
+            .as_user(&public)
+            .limit(100)
+            .run();
+        assert!(hits.is_empty(), "public user must not see clinical shots");
+    }
+
+    #[test]
+    fn default_limit_is_applied() {
+        let db = db();
+        let (hits, _) = db.query().run();
+        assert_eq!(hits.len(), 10);
+    }
+}

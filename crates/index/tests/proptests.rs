@@ -1,0 +1,84 @@
+//! Property-based tests on the database index.
+
+use medvid_index::db::{IndexConfig, ShotRef, VideoDatabase};
+use medvid_index::features::Subspace;
+use medvid_index::{AccessPolicy, Clearance, ConceptHierarchy, UserContext};
+use medvid_types::{EventKind, ShotId, VideoId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn subspace_distance_is_metric_like(
+        a in prop::collection::vec(0.0f32..1.0, 16),
+        b in prop::collection::vec(0.0f32..1.0, 16),
+        k in 1usize..16,
+    ) {
+        let refs = [a.as_slice(), b.as_slice()];
+        let s = Subspace::top_variance(&refs, k);
+        let dab = s.sq_distance(&a, &b);
+        let dba = s.sq_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-6);
+        prop_assert!(dab >= 0.0);
+        prop_assert_eq!(s.sq_distance(&a, &a), 0.0);
+        prop_assert!(s.len() <= k.max(1));
+    }
+
+    #[test]
+    fn flat_search_ranks_by_distance(
+        seeds in prop::collection::vec(0u64..1000, 4..20),
+    ) {
+        let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        let scenes = db.hierarchy().scene_nodes();
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut f = vec![0.0f32; 266];
+            f[(s % 200) as usize] = 1.0;
+            f[200 + (s % 60) as usize] = 0.5;
+            db.insert_shot(
+                ShotRef { video: VideoId(0), shot: ShotId(i) },
+                f,
+                EventKind::Dialog,
+                scenes[i % scenes.len()],
+            );
+        }
+        db.build();
+        let q = vec![0.1f32; 266];
+        let (hits, stats) = db.flat_search(&q, seeds.len(), None);
+        prop_assert_eq!(stats.comparisons, seeds.len());
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn access_filtering_is_monotone_in_clearance(
+        n in 4usize..20, protected_level in 1u8..4,
+    ) {
+        let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..n {
+            let mut f = vec![0.0f32; 266];
+            f[i % 266] = 1.0;
+            db.insert_shot(
+                ShotRef { video: VideoId(0), shot: ShotId(i) },
+                f,
+                EventKind::DETERMINATE[i % 3],
+                scenes[i % scenes.len()],
+            );
+        }
+        let mut policy = AccessPolicy::allow_all();
+        policy.require_event(EventKind::ClinicalOperation, Clearance(protected_level));
+        db.set_policy(policy);
+        db.build();
+        let q = vec![0.0f32; 266];
+        let mut prev = 0usize;
+        for c in 0..4u8 {
+            let user = UserContext::new(Clearance(c));
+            let (hits, _) = db.flat_search(&q, n, Some(&user));
+            prop_assert!(hits.len() >= prev, "higher clearance must see at least as much");
+            prev = hits.len();
+        }
+        prop_assert_eq!(prev, n, "top clearance sees everything");
+    }
+}

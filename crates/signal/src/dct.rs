@@ -1,0 +1,189 @@
+//! Discrete cosine transforms.
+//!
+//! Two consumers: the MFCC back-end (orthonormal DCT-II of log mel energies,
+//! arbitrary length) and the block codec (separable 8x8 DCT-II/III pair).
+
+use std::f64::consts::PI;
+
+/// Orthonormal 1-D DCT-II.
+///
+/// `X_k = s_k * sum_n x_n cos(pi/N * (n + 1/2) * k)` with
+/// `s_0 = sqrt(1/N)`, `s_k = sqrt(2/N)` for `k > 0`.
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|k| {
+            let sum: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * (PI / nf * (i as f64 + 0.5) * k as f64).cos())
+                .sum();
+            let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            scale * sum
+        })
+        .collect()
+}
+
+/// Orthonormal 1-D DCT-III (the exact inverse of [`dct2`]).
+pub fn dct3(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+                    scale * x[k] * (PI / nf * (i as f64 + 0.5) * k as f64).cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Side of the codec's transform block.
+pub const BLOCK: usize = 8;
+
+/// Precomputed 8-point DCT-II basis: `basis[k][n] = s_k cos(pi/8 (n+1/2) k)`.
+fn basis8() -> [[f64; BLOCK]; BLOCK] {
+    let mut b = [[0.0; BLOCK]; BLOCK];
+    for (k, row) in b.iter_mut().enumerate() {
+        let scale = if k == 0 {
+            (1.0 / BLOCK as f64).sqrt()
+        } else {
+            (2.0 / BLOCK as f64).sqrt()
+        };
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = scale * (PI / BLOCK as f64 * (n as f64 + 0.5) * k as f64).cos();
+        }
+    }
+    b
+}
+
+/// Separable forward 8x8 DCT-II of a row-major block.
+pub fn dct2_8x8(block: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
+    let b = basis8();
+    let mut tmp = [0.0; BLOCK * BLOCK];
+    // Rows.
+    for r in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for n in 0..BLOCK {
+                acc += b[k][n] * block[r * BLOCK + n];
+            }
+            tmp[r * BLOCK + k] = acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0; BLOCK * BLOCK];
+    for c in 0..BLOCK {
+        for k in 0..BLOCK {
+            let mut acc = 0.0;
+            for n in 0..BLOCK {
+                acc += b[k][n] * tmp[n * BLOCK + c];
+            }
+            out[k * BLOCK + c] = acc;
+        }
+    }
+    out
+}
+
+/// Separable inverse (DCT-III) of [`dct2_8x8`].
+pub fn idct2_8x8(coeffs: &[f64; BLOCK * BLOCK]) -> [f64; BLOCK * BLOCK] {
+    let b = basis8();
+    let mut tmp = [0.0; BLOCK * BLOCK];
+    // Columns.
+    for c in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for k in 0..BLOCK {
+                acc += b[k][n] * coeffs[k * BLOCK + c];
+            }
+            tmp[n * BLOCK + c] = acc;
+        }
+    }
+    // Rows.
+    let mut out = [0.0; BLOCK * BLOCK];
+    for r in 0..BLOCK {
+        for n in 0..BLOCK {
+            let mut acc = 0.0;
+            for k in 0..BLOCK {
+                acc += b[k][n] * tmp[r * BLOCK + k];
+            }
+            out[r * BLOCK + n] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} != {b}");
+    }
+
+    #[test]
+    fn dct2_dct3_roundtrip() {
+        let x: Vec<f64> = (0..26).map(|i| (i as f64 * 0.71).sin()).collect();
+        let y = dct3(&dct2(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct2_of_constant_is_dc_only() {
+        let x = vec![3.0; 16];
+        let y = dct2(&x);
+        assert_close(y[0], 3.0 * 16.0_f64.sqrt(), 1e-10);
+        for v in &y[1..] {
+            assert_close(*v, 0.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct2_is_orthonormal_energy_preserving() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 11 % 7) as f64) - 3.0).collect();
+        let y = dct2(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert_close(ex, ey, 1e-9);
+    }
+
+    #[test]
+    fn dct_8x8_roundtrip() {
+        let mut block = [0.0; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 % 255) as f64) - 128.0;
+        }
+        let coeffs = dct2_8x8(&block);
+        let back = idct2_8x8(&coeffs);
+        for (a, b) in block.iter().zip(back.iter()) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_8x8_constant_block_is_dc() {
+        let block = [100.0; 64];
+        let coeffs = dct2_8x8(&block);
+        assert_close(coeffs[0], 100.0 * 8.0, 1e-9);
+        for (i, v) in coeffs.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-9, "coeff {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        assert!(dct2(&[]).is_empty());
+        assert!(dct3(&[]).is_empty());
+    }
+}

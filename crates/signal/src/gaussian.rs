@@ -1,0 +1,165 @@
+//! Multivariate Gaussians.
+//!
+//! Diagonal-covariance Gaussians back the GMM speech classifier; full-
+//! covariance log-likelihoods back the BIC speaker-change test.
+
+use crate::matrix::{Matrix, MatrixError};
+use crate::stats::{covariance_matrix, mean_vector};
+use std::f64::consts::PI;
+
+/// Variance floor applied to diagonal Gaussians to avoid singular components.
+pub const VAR_FLOOR: f64 = 1e-6;
+
+/// A diagonal-covariance multivariate Gaussian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagGaussian {
+    /// Mean vector.
+    pub mean: Vec<f64>,
+    /// Per-dimension variance (floored at [`VAR_FLOOR`]).
+    pub var: Vec<f64>,
+}
+
+impl DiagGaussian {
+    /// Creates a Gaussian, flooring variances.
+    ///
+    /// # Panics
+    /// Panics if `mean.len() != var.len()` or both are empty.
+    pub fn new(mean: Vec<f64>, var: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), var.len(), "mean/var dimension mismatch");
+        assert!(!mean.is_empty(), "zero-dimensional Gaussian");
+        let var = var.into_iter().map(|v| v.max(VAR_FLOOR)).collect();
+        Self { mean, var }
+    }
+
+    /// Fits a Gaussian to samples by moment matching.
+    ///
+    /// Returns `None` for empty input.
+    pub fn fit(samples: &[Vec<f64>]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mean = mean_vector(samples);
+        let var = crate::stats::variance_vector(samples);
+        Some(Self::new(mean, var))
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Log probability density at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the Gaussian's dimensionality.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims(), "dimension mismatch");
+        let mut acc = -0.5 * self.dims() as f64 * (2.0 * PI).ln();
+        for ((xi, mi), vi) in x.iter().zip(self.mean.iter()).zip(self.var.iter()) {
+            acc -= 0.5 * vi.ln();
+            acc -= 0.5 * (xi - mi) * (xi - mi) / vi;
+        }
+        acc
+    }
+}
+
+/// A full-covariance Gaussian summary of a sample set, as used by the BIC
+/// test: only the mean, covariance and its log-determinant are retained.
+#[derive(Debug, Clone)]
+pub struct FullGaussianSummary {
+    /// Sample mean.
+    pub mean: Vec<f64>,
+    /// Sample covariance.
+    pub cov: Matrix,
+    /// `ln |cov|` (diagonal-loaded if near-singular).
+    pub log_det: f64,
+    /// Number of samples summarised.
+    pub n: usize,
+}
+
+impl FullGaussianSummary {
+    /// Summarises a sample set.
+    ///
+    /// # Errors
+    /// Returns a [`MatrixError`] when the covariance log-determinant cannot
+    /// be computed. Returns `Ok(None)` for empty input.
+    pub fn fit(samples: &[Vec<f64>]) -> Result<Option<Self>, MatrixError> {
+        if samples.is_empty() {
+            return Ok(None);
+        }
+        let mean = mean_vector(samples);
+        let cov = covariance_matrix(samples);
+        let log_det = cov.log_det_spd()?;
+        Ok(Some(Self {
+            mean,
+            cov,
+            log_det,
+            n: samples.len(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let g = DiagGaussian::new(vec![1.0, -1.0], vec![1.0, 1.0]);
+        let at_mean = g.log_pdf(&[1.0, -1.0]);
+        let off = g.log_pdf(&[2.0, 0.0]);
+        assert!(at_mean > off);
+        // Standard bivariate normal at mean: -ln(2*pi).
+        assert!((at_mean + (2.0 * PI).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_moments() {
+        let samples: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, 3.0])
+            .collect();
+        let g = DiagGaussian::fit(&samples).unwrap();
+        assert!((g.mean[0] - 4.5).abs() < 1e-9);
+        assert!((g.mean[1] - 3.0).abs() < 1e-9);
+        assert!((g.var[0] - 8.25).abs() < 1e-9);
+        // Constant dim hits the floor.
+        assert_eq!(g.var[1], VAR_FLOOR);
+    }
+
+    #[test]
+    fn fit_empty_is_none() {
+        assert!(DiagGaussian::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn variance_floor_applied_on_new() {
+        let g = DiagGaussian::new(vec![0.0], vec![0.0]);
+        assert_eq!(g.var[0], VAR_FLOOR);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn log_pdf_checks_dims() {
+        let g = DiagGaussian::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        g.log_pdf(&[0.0]);
+    }
+
+    #[test]
+    fn full_summary_fits_and_logdet_finite() {
+        let samples: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.3;
+                vec![t.sin(), t.cos(), 0.5 * t.sin() + 0.1 * (t * 1.7).cos()]
+            })
+            .collect();
+        let s = FullGaussianSummary::fit(&samples).unwrap().unwrap();
+        assert_eq!(s.n, 50);
+        assert_eq!(s.mean.len(), 3);
+        assert!(s.log_det.is_finite());
+    }
+
+    #[test]
+    fn full_summary_empty_is_none() {
+        assert!(FullGaussianSummary::fit(&[]).unwrap().is_none());
+    }
+}

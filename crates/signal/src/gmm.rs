@@ -1,0 +1,302 @@
+//! Gaussian mixture models trained with expectation-maximisation.
+//!
+//! The paper classifies 2-second audio clips into clean speech vs non-clean
+//! speech with a GMM classifier (Sec. 4.2). We train one diagonal-covariance
+//! GMM per class and classify by maximum log-likelihood.
+
+use crate::gaussian::{DiagGaussian, VAR_FLOOR};
+use crate::kmeans::kmeans;
+use rand::Rng;
+
+/// A diagonal-covariance Gaussian mixture model.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    /// Mixture weights, summing to 1.
+    pub weights: Vec<f64>,
+    /// Mixture components.
+    pub components: Vec<DiagGaussian>,
+}
+
+/// Errors from GMM training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmmError {
+    /// Fewer samples than components.
+    TooFewSamples {
+        /// Samples provided.
+        samples: usize,
+        /// Components requested.
+        components: usize,
+    },
+    /// Zero components requested.
+    ZeroComponents,
+}
+
+impl std::fmt::Display for GmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GmmError::TooFewSamples {
+                samples,
+                components,
+            } => write!(f, "GMM: {samples} samples for {components} components"),
+            GmmError::ZeroComponents => write!(f, "GMM: zero components requested"),
+        }
+    }
+}
+
+impl std::error::Error for GmmError {}
+
+impl Gmm {
+    /// Trains a `k`-component GMM with EM, initialised from k-means.
+    ///
+    /// # Errors
+    /// Returns [`GmmError`] for degenerate inputs.
+    pub fn train<R: Rng + ?Sized>(
+        samples: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        rng: &mut R,
+    ) -> Result<Self, GmmError> {
+        if k == 0 {
+            return Err(GmmError::ZeroComponents);
+        }
+        if samples.len() < k {
+            return Err(GmmError::TooFewSamples {
+                samples: samples.len(),
+                components: k,
+            });
+        }
+        let km = kmeans(samples, k, 25, rng).expect("inputs validated above");
+        let d = samples[0].len();
+        // Initialise from k-means partition.
+        let mut weights = vec![0.0; k];
+        let mut means = vec![vec![0.0; d]; k];
+        let mut vars = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (x, &a) in samples.iter().zip(km.assignments.iter()) {
+            counts[a] += 1;
+            for (m, xi) in means[a].iter_mut().zip(x.iter()) {
+                *m += xi;
+            }
+        }
+        for j in 0..k {
+            let c = counts[j].max(1) as f64;
+            for m in &mut means[j] {
+                *m /= c;
+            }
+            weights[j] = counts[j] as f64 / samples.len() as f64;
+        }
+        for (x, &a) in samples.iter().zip(km.assignments.iter()) {
+            for i in 0..d {
+                let diff = x[i] - means[a][i];
+                vars[a][i] += diff * diff;
+            }
+        }
+        for j in 0..k {
+            let c = counts[j].max(1) as f64;
+            for v in &mut vars[j] {
+                *v = (*v / c).max(VAR_FLOOR);
+            }
+        }
+        let mut gmm = Gmm {
+            weights,
+            components: means
+                .into_iter()
+                .zip(vars)
+                .map(|(m, v)| DiagGaussian::new(m, v))
+                .collect(),
+        };
+        // EM refinement.
+        let n = samples.len();
+        let mut resp = vec![vec![0.0f64; k]; n];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..max_iters {
+            // E-step.
+            let mut ll = 0.0;
+            for (i, x) in samples.iter().enumerate() {
+                let logs: Vec<f64> = (0..k)
+                    .map(|j| gmm.weights[j].max(1e-300).ln() + gmm.components[j].log_pdf(x))
+                    .collect();
+                let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let denom: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+                ll += max + denom.ln();
+                for j in 0..k {
+                    resp[i][j] = (logs[j] - max).exp() / denom;
+                }
+            }
+            // M-step.
+            for j in 0..k {
+                let nj: f64 = resp.iter().map(|r| r[j]).sum();
+                if nj < 1e-9 {
+                    continue; // dead component: keep previous parameters
+                }
+                let mut mean = vec![0.0; d];
+                for (x, r) in samples.iter().zip(resp.iter()) {
+                    for (m, xi) in mean.iter_mut().zip(x.iter()) {
+                        *m += r[j] * xi;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= nj;
+                }
+                let mut var = vec![0.0; d];
+                for (x, r) in samples.iter().zip(resp.iter()) {
+                    for i in 0..d {
+                        let diff = x[i] - mean[i];
+                        var[i] += r[j] * diff * diff;
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / nj).max(VAR_FLOOR);
+                }
+                gmm.weights[j] = nj / n as f64;
+                gmm.components[j] = DiagGaussian::new(mean, var);
+            }
+            if (ll - prev_ll).abs() < 1e-6 * ll.abs().max(1.0) {
+                break;
+            }
+            prev_ll = ll;
+        }
+        Ok(gmm)
+    }
+
+    /// Log-likelihood of one sample under the mixture.
+    pub fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let logs: Vec<f64> = self
+            .weights
+            .iter()
+            .zip(self.components.iter())
+            .map(|(w, g)| w.max(1e-300).ln() + g.log_pdf(x))
+            .collect();
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        max + logs.iter().map(|l| (l - max).exp()).sum::<f64>().ln()
+    }
+
+    /// Mean log-likelihood over a sample sequence (0.0 for empty input).
+    pub fn avg_log_likelihood(&self, xs: &[Vec<f64>]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().map(|x| self.log_likelihood(x)).sum::<f64>() / xs.len() as f64
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// A two-class maximum-likelihood classifier over GMMs, used for the paper's
+/// clean-speech vs non-clean-speech decision.
+#[derive(Debug, Clone)]
+pub struct GmmClassifier {
+    /// Model of the positive class (clean speech).
+    pub positive: Gmm,
+    /// Model of the negative class (non-clean speech).
+    pub negative: Gmm,
+}
+
+impl GmmClassifier {
+    /// Trains both class models.
+    ///
+    /// # Errors
+    /// Propagates [`GmmError`] from either class.
+    pub fn train<R: Rng + ?Sized>(
+        positive_samples: &[Vec<f64>],
+        negative_samples: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        rng: &mut R,
+    ) -> Result<Self, GmmError> {
+        Ok(Self {
+            positive: Gmm::train(positive_samples, k, max_iters, rng)?,
+            negative: Gmm::train(negative_samples, k, max_iters, rng)?,
+        })
+    }
+
+    /// Returns `true` when `x` scores higher under the positive model, along
+    /// with the log-likelihood margin.
+    pub fn classify(&self, x: &[f64]) -> (bool, f64) {
+        let margin = self.positive.log_likelihood(x) - self.negative.log_likelihood(x);
+        (margin > 0.0, margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob<R: Rng>(rng: &mut R, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    cx + crate::rng::standard_normal(rng) * 0.5,
+                    cy + crate::rng::standard_normal(rng) * 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gmm_recovers_two_modes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut data = blob(&mut rng, 0.0, 0.0, 200);
+        data.extend(blob(&mut rng, 8.0, 8.0, 200));
+        let gmm = Gmm::train(&data, 2, 50, &mut rng).unwrap();
+        let mut means: Vec<f64> = gmm.components.iter().map(|c| c.mean[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.0).abs() < 0.5, "mean {}", means[0]);
+        assert!((means[1] - 8.0).abs() < 0.5, "mean {}", means[1]);
+        let wsum: f64 = gmm.weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn likelihood_higher_near_training_data() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = blob(&mut rng, 0.0, 0.0, 100);
+        let gmm = Gmm::train(&data, 1, 20, &mut rng).unwrap();
+        assert!(gmm.log_likelihood(&[0.0, 0.0]) > gmm.log_likelihood(&[10.0, 10.0]));
+    }
+
+    #[test]
+    fn training_errors_on_degenerate_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            Gmm::train(&[], 1, 10, &mut rng).unwrap_err(),
+            GmmError::TooFewSamples {
+                samples: 0,
+                components: 1
+            }
+        );
+        assert_eq!(
+            Gmm::train(&[vec![0.0]], 0, 10, &mut rng).unwrap_err(),
+            GmmError::ZeroComponents
+        );
+    }
+
+    #[test]
+    fn classifier_separates_classes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pos = blob(&mut rng, 0.0, 0.0, 150);
+        let neg = blob(&mut rng, 6.0, -6.0, 150);
+        let clf = GmmClassifier::train(&pos, &neg, 2, 30, &mut rng).unwrap();
+        let (is_pos, margin) = clf.classify(&[0.1, -0.1]);
+        assert!(is_pos && margin > 0.0);
+        let (is_pos2, margin2) = clf.classify(&[6.0, -6.0]);
+        assert!(!is_pos2 && margin2 < 0.0);
+    }
+
+    #[test]
+    fn avg_log_likelihood_empty_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gmm = Gmm::train(&blob(&mut rng, 0.0, 0.0, 20), 1, 5, &mut rng).unwrap();
+        assert_eq!(gmm.avg_log_likelihood(&[]), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! RGB→HSV conversion and the 256-bin HSV colour histogram.
+//!
+//! The paper represents each representative frame by a 256-dimensional HSV
+//! colour histogram (Sec. 3.1). We quantise HSV as 16 hue x 4 saturation x 4
+//! value bins = 256 bins, a standard decomposition for this dimensionality.
+
+use medvid_types::{ColorHistogram, Image, Rgb};
+
+/// HSV triple with `h` in degrees `[0, 360)`, `s` and `v` in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hsv {
+    /// Hue in degrees.
+    pub h: f32,
+    /// Saturation.
+    pub s: f32,
+    /// Value (brightness).
+    pub v: f32,
+}
+
+/// Converts an RGB pixel to HSV.
+pub fn rgb_to_hsv(p: Rgb) -> Hsv {
+    let r = p.r as f32 / 255.0;
+    let g = p.g as f32 / 255.0;
+    let b = p.b as f32 / 255.0;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let h = if delta == 0.0 {
+        0.0
+    } else if max == r {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if max == g {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let s = if max == 0.0 { 0.0 } else { delta / max };
+    Hsv { h, s, v: max }
+}
+
+/// Number of hue bins.
+pub const HUE_BINS: usize = 16;
+/// Number of saturation bins.
+pub const SAT_BINS: usize = 4;
+/// Number of value bins.
+pub const VAL_BINS: usize = 4;
+
+/// Maps an HSV triple to its bin index in `0..256`.
+#[inline]
+pub fn hsv_bin(hsv: Hsv) -> usize {
+    let h = ((hsv.h / 360.0) * HUE_BINS as f32).min(HUE_BINS as f32 - 1.0) as usize;
+    let s = (hsv.s * SAT_BINS as f32).min(SAT_BINS as f32 - 1.0) as usize;
+    let v = (hsv.v * VAL_BINS as f32).min(VAL_BINS as f32 - 1.0) as usize;
+    (h * SAT_BINS + s) * VAL_BINS + v
+}
+
+/// Computes the normalised 256-bin HSV histogram of an image.
+pub fn hsv_histogram(img: &Image) -> ColorHistogram {
+    let mut bins = vec![0.0f32; HUE_BINS * SAT_BINS * VAL_BINS];
+    for p in img.pixels() {
+        bins[hsv_bin(rgb_to_hsv(p))] += 1.0;
+    }
+    let n = img.pixel_count() as f32;
+    if n > 0.0 {
+        for b in &mut bins {
+            *b /= n;
+        }
+    }
+    ColorHistogram::new(bins).expect("bin count is 256 by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_colors_convert_correctly() {
+        let red = rgb_to_hsv(Rgb::new(255, 0, 0));
+        assert!((red.h - 0.0).abs() < 0.5 && (red.s - 1.0).abs() < 1e-6);
+        let green = rgb_to_hsv(Rgb::new(0, 255, 0));
+        assert!((green.h - 120.0).abs() < 0.5);
+        let blue = rgb_to_hsv(Rgb::new(0, 0, 255));
+        assert!((blue.h - 240.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn greys_have_zero_saturation() {
+        for g in [0u8, 100, 255] {
+            let hsv = rgb_to_hsv(Rgb::new(g, g, g));
+            assert_eq!(hsv.s, 0.0);
+            assert!((hsv.v - g as f32 / 255.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bins_are_in_range() {
+        for (r, g, b) in [(0, 0, 0), (255, 255, 255), (255, 0, 0), (12, 200, 90)] {
+            let bin = hsv_bin(rgb_to_hsv(Rgb::new(r, g, b)));
+            assert!(bin < 256);
+        }
+    }
+
+    #[test]
+    fn histogram_of_uniform_image_is_delta() {
+        let img = Image::filled(8, 8, Rgb::new(200, 30, 30));
+        let h = hsv_histogram(&img);
+        assert!((h.mass() - 1.0).abs() < 1e-5);
+        let nonzero = h.bins().iter().filter(|&&b| b > 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn histogram_separates_different_colors() {
+        let a = hsv_histogram(&Image::filled(8, 8, Rgb::new(255, 0, 0)));
+        let b = hsv_histogram(&Image::filled(8, 8, Rgb::new(0, 0, 255)));
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_of_mixed_image_splits_mass() {
+        let mut img = Image::filled(4, 2, Rgb::new(255, 0, 0));
+        img.fill_rect(0, 0, 2, 2, Rgb::new(0, 0, 255));
+        let h = hsv_histogram(&img);
+        let top: Vec<f32> = h
+            .bins()
+            .iter()
+            .copied()
+            .filter(|&b| b > 0.0)
+            .collect();
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|&b| (b - 0.5).abs() < 1e-6));
+    }
+}

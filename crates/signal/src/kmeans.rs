@@ -1,0 +1,223 @@
+//! Seeded k-means over `f64` feature vectors.
+//!
+//! Used to initialise GMM training and as the comparison clusterer in the
+//! scene-clustering ablation (the paper motivates its seedless PCS scheme by
+//! k-means' sensitivity to seeding).
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Squared Euclidean distance.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Runs Lloyd's algorithm with k-means++ seeding.
+///
+/// Returns `None` when `k == 0`, `points` is empty, or `k > points.len()`.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> Option<KMeans> {
+    if k == 0 || points.is_empty() || k > points.len() {
+        return None;
+    }
+    let mut centroids = seed_plus_plus(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    sq_dist(p, a.1)
+                        .partial_cmp(&sq_dist(p, b.1))
+                        .expect("finite distances")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update.
+        let d = points[0].len();
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        for (j, (sum, &count)) in sums.iter().zip(counts.iter()).enumerate() {
+            if count > 0 {
+                for (c, s) in centroids[j].iter_mut().zip(sum.iter()) {
+                    *c = s / count as f64;
+                }
+            } else {
+                // Re-seed an empty cluster at the farthest point.
+                let far = points
+                    .iter()
+                    .max_by(|a, b| {
+                        let da = sq_dist(a, &centroids[assignments_nearest(a, &centroids)]);
+                        let db = sq_dist(b, &centroids[assignments_nearest(b, &centroids)]);
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .expect("points non-empty");
+                centroids[j] = far.clone();
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Some(KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+fn assignments_nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            sq_dist(p, a.1)
+                .partial_cmp(&sq_dist(p, b.1))
+                .expect("finite")
+        })
+        .map(|(j, _)| j)
+        .expect("non-empty centroids")
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+fn seed_plus_plus<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let km = kmeans(&pts, 2, 50, &mut rng).unwrap();
+        // Points alternate blob membership; assignments must alternate too.
+        let a0 = km.assignments[0];
+        for (i, &a) in km.assignments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(a, a0);
+            } else {
+                assert_ne!(a, a0);
+            }
+        }
+        assert!(km.inertia < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(kmeans(&[], 2, 10, &mut rng).is_none());
+        assert!(kmeans(&[vec![1.0]], 0, 10, &mut rng).is_none());
+        assert!(kmeans(&[vec![1.0]], 2, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let mut rng = StdRng::seed_from_u64(11);
+        let km = kmeans(&pts, 3, 20, &mut rng).unwrap();
+        assert!(km.inertia < 1e-18);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![vec![2.0, 2.0]; 8];
+        let mut rng = StdRng::seed_from_u64(5);
+        let km = kmeans(&pts, 3, 10, &mut rng).unwrap();
+        assert!(km.inertia < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = two_blobs();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            kmeans(&pts, 2, 50, &mut rng).unwrap().assignments
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

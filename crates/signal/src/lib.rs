@@ -1,0 +1,46 @@
+//! Signal-processing and small-ML substrate for the ClassMiner reproduction.
+//!
+//! Everything in here is deliberately self-contained (no BLAS, no FFT crate):
+//! the algorithms the paper builds on are classical and small, and Rust's
+//! numeric ecosystem for media processing is immature enough that owning them
+//! is both safer and easier to test.
+//!
+//! Contents:
+//!
+//! * [`fft`] — iterative radix-2 complex FFT and power spectra;
+//! * [`dct`] — DCT-II/III in 1-D (arbitrary length) and the 8x8 2-D transform
+//!   used by the codec;
+//! * [`window`] — Hamming/Hann analysis windows and framing;
+//! * [`mel`] — mel filterbank and MFCC extraction (30 ms windows, 20 ms
+//!   overlap, 14 coefficients, paper Sec. 4.2);
+//! * [`hist`] — RGB→HSV conversion and the 256-bin HSV colour histogram;
+//! * [`tamura`] — the 10-dim Tamura coarseness descriptor;
+//! * [`entropy`] — the "fast entropy" automatic threshold selection the paper
+//!   uses for shot and group boundaries;
+//! * [`matrix`] — small dense matrices, Cholesky factorisation, log-dets;
+//! * [`stats`] — means, variances, covariance matrices;
+//! * [`gaussian`] — multivariate Gaussians (diagonal and full);
+//! * [`kmeans`] — seeded k-means for feature vectors;
+//! * [`gmm`] — Gaussian mixture models trained with EM;
+//! * [`rng`] — deterministic normal sampling helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dct;
+pub mod entropy;
+pub mod fft;
+pub mod gaussian;
+pub mod gmm;
+pub mod hist;
+pub mod kmeans;
+pub mod matrix;
+pub mod mel;
+pub mod rng;
+pub mod stats;
+pub mod tamura;
+pub mod window;
+
+pub use entropy::entropy_threshold;
+pub use fft::Complex;
+pub use matrix::Matrix;

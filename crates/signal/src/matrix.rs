@@ -1,0 +1,288 @@
+//! Small dense matrices with the few decompositions the pipeline needs.
+//!
+//! The BIC speaker-change test (paper Eq. 18) needs `log |Sigma|` of 14x14
+//! covariance matrices; we compute it via Cholesky factorisation with a
+//! diagonal-loading fallback for near-singular matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is not square where a square matrix is required.
+    NotSquare,
+    /// Cholesky failed: the matrix is not positive definite even after
+    /// diagonal loading.
+    NotPositiveDefinite,
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+            MatrixError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            MatrixError::DimensionMismatch => write!(f, "operand dimensions do not match"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of side `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if v.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self[(r, c)] * v[c])
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Cholesky factor `L` (lower-triangular, `A = L L^T`).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::NotSquare`] or
+    /// [`MatrixError::NotPositiveDefinite`].
+    pub fn cholesky(&self) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(MatrixError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// `ln |A|` for a symmetric positive-definite matrix, via Cholesky.
+    /// If the matrix is near-singular, progressively loads the diagonal
+    /// (ridge) until the factorisation succeeds.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::NotSquare`], or
+    /// [`MatrixError::NotPositiveDefinite`] if even heavy loading fails.
+    pub fn log_det_spd(&self) -> Result<f64, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let mut ridge = 0.0f64;
+        for _ in 0..12 {
+            let mut a = self.clone();
+            if ridge > 0.0 {
+                for i in 0..a.rows {
+                    a[(i, i)] += ridge;
+                }
+            }
+            match a.cholesky() {
+                Ok(l) => {
+                    let mut ld = 0.0;
+                    for i in 0..l.rows {
+                        ld += l[(i, i)].ln();
+                    }
+                    return Ok(2.0 * ld);
+                }
+                Err(_) => {
+                    ridge = if ridge == 0.0 { 1e-9 } else { ridge * 10.0 };
+                }
+            }
+        }
+        Err(MatrixError::NotPositiveDefinite)
+    }
+
+    /// Solves `A x = b` for SPD `A` via Cholesky.
+    ///
+    /// # Errors
+    /// Propagates Cholesky errors; [`MatrixError::DimensionMismatch`] if
+    /// `b.len() != n`.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if b.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        // Backward: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[(k, i)] * x[k];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_log_det_is_zero() {
+        let i = Matrix::identity(5);
+        assert!(i.log_det_spd().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_log_det_is_sum_of_logs() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 0)] = 2.0;
+        m[(1, 1)] = 3.0;
+        m[(2, 2)] = 4.0;
+        let ld = m.log_det_spd().unwrap();
+        assert!((ld - (24.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        // SPD matrix A = B B^T for B with full rank.
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        );
+        let l = a.cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += l[(i, k)] * l[(j, k)];
+                }
+                assert!((acc - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(m.cholesky().unwrap_err(), MatrixError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn log_det_loads_singular_diagonal() {
+        // Rank-deficient: duplicate rows.
+        let m = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let ld = m.log_det_spd().unwrap();
+        assert!(ld.is_finite());
+        assert!(ld < 0.0, "near-singular log-det should be very negative");
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
+        let x = a.solve_spd(&[1.0, 2.0]).unwrap();
+        let b = a.mul_vec(&x).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-10 && (b[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.cholesky().unwrap_err(), MatrixError::NotSquare);
+        assert_eq!(m.log_det_spd().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn mul_vec_checks_dims() {
+        let m = Matrix::identity(3);
+        assert!(m.mul_vec(&[1.0, 2.0]).is_err());
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+}

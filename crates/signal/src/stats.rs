@@ -1,0 +1,189 @@
+//! Sample statistics over scalar series and vector sequences.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean. Returns 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance. Returns 0.0 for inputs shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Per-dimension mean of a sequence of equal-length vectors.
+///
+/// # Panics
+/// Panics if vectors have inconsistent lengths.
+pub fn mean_vector(xs: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = xs.first() else {
+        return Vec::new();
+    };
+    let d = first.len();
+    let mut m = vec![0.0; d];
+    for x in xs {
+        assert_eq!(x.len(), d, "inconsistent vector lengths");
+        for (mi, xi) in m.iter_mut().zip(x.iter()) {
+            *mi += xi;
+        }
+    }
+    for mi in &mut m {
+        *mi /= xs.len() as f64;
+    }
+    m
+}
+
+/// Population covariance matrix of a sequence of equal-length vectors.
+/// Returns a `0x0` matrix for empty input.
+///
+/// # Panics
+/// Panics if vectors have inconsistent lengths.
+pub fn covariance_matrix(xs: &[Vec<f64>]) -> Matrix {
+    let Some(first) = xs.first() else {
+        return Matrix::zeros(0, 0);
+    };
+    let d = first.len();
+    let m = mean_vector(xs);
+    let mut cov = Matrix::zeros(d, d);
+    for x in xs {
+        assert_eq!(x.len(), d, "inconsistent vector lengths");
+        for i in 0..d {
+            let di = x[i] - m[i];
+            for j in i..d {
+                let v = di * (x[j] - m[j]);
+                cov[(i, j)] += v;
+            }
+        }
+    }
+    let n = xs.len() as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[(i, j)] /= n;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    cov
+}
+
+/// Per-dimension population variance of a sequence of vectors (the diagonal
+/// of the covariance matrix, computed without the full matrix).
+pub fn variance_vector(xs: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = xs.first() else {
+        return Vec::new();
+    };
+    let d = first.len();
+    let m = mean_vector(xs);
+    let mut v = vec![0.0; d];
+    for x in xs {
+        for i in 0..d {
+            let di = x[i] - m[i];
+            v[i] += di * di;
+        }
+    }
+    for vi in &mut v {
+        *vi /= xs.len() as f64;
+    }
+    v
+}
+
+/// Zero-crossing rate of a signal: fraction of adjacent sample pairs with a
+/// sign change.
+pub fn zero_crossing_rate(xs: &[f32]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let crossings = xs
+        .windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count();
+    crossings as f64 / (xs.len() - 1) as f64
+}
+
+/// Root-mean-square level of a signal.
+pub fn rms(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(zero_crossing_rate(&[0.5]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert!(mean_vector(&[]).is_empty());
+        assert_eq!(covariance_matrix(&[]).rows(), 0);
+    }
+
+    #[test]
+    fn mean_vector_componentwise() {
+        let xs = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        assert_eq!(mean_vector(&xs), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn covariance_of_independent_dims_is_diagonal() {
+        // x-dim varies, y-dim constant.
+        let xs = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let c = covariance_matrix(&xs);
+        assert!((c[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c[(1, 1)], 0.0);
+        assert_eq!(c[(0, 1)], 0.0);
+        assert_eq!(c[(1, 0)], c[(0, 1)]);
+    }
+
+    #[test]
+    fn covariance_captures_correlation() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let c = covariance_matrix(&xs);
+        assert!((c[(0, 1)] - 2.0 * c[(0, 0)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_vector_matches_cov_diagonal() {
+        let xs = vec![vec![1.0, 4.0], vec![2.0, 6.0], vec![4.0, 5.0]];
+        let v = variance_vector(&xs);
+        let c = covariance_matrix(&xs);
+        assert!((v[0] - c[(0, 0)]).abs() < 1e-12);
+        assert!((v[1] - c[(1, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zcr_of_alternating_signal_is_one() {
+        let xs = [1.0f32, -1.0, 1.0, -1.0, 1.0];
+        assert_eq!(zero_crossing_rate(&xs), 1.0);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[0.5f32; 100]) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Analysis windows and frame slicing for short-time audio processing.
+
+use std::f64::consts::PI;
+
+/// Hamming window of length `n`.
+pub fn hamming(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| 0.54 - 0.46 * (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+        .collect()
+}
+
+/// Hann window of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+        .collect()
+}
+
+/// Iterator over sliding frames of `signal`: windows of `size` samples every
+/// `hop` samples. Trailing samples that do not fill a frame are dropped.
+pub fn frames(signal: &[f32], size: usize, hop: usize) -> impl Iterator<Item = &[f32]> {
+    assert!(size > 0 && hop > 0, "frame size and hop must be positive");
+    let count = if signal.len() < size {
+        0
+    } else {
+        (signal.len() - size) / hop + 1
+    };
+    (0..count).map(move |i| &signal[i * hop..i * hop + size])
+}
+
+/// Applies a window to a frame, promoting to `f64`.
+pub fn apply_window(frame: &[f32], window: &[f64]) -> Vec<f64> {
+    frame
+        .iter()
+        .zip(window.iter())
+        .map(|(&s, &w)| s as f64 * w)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_endpoints_and_peak() {
+        let w = hamming(11);
+        assert!((w[0] - 0.08).abs() < 1e-9);
+        assert!((w[10] - 0.08).abs() < 1e-9);
+        assert!((w[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = hann(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert!(hamming(0).is_empty());
+        assert_eq!(hamming(1), vec![1.0]);
+        assert!(hann(0).is_empty());
+        assert_eq!(hann(1), vec![1.0]);
+    }
+
+    #[test]
+    fn frames_cover_signal_with_overlap() {
+        let sig: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let fs: Vec<&[f32]> = frames(&sig, 4, 2).collect();
+        assert_eq!(fs.len(), 4);
+        assert_eq!(fs[0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(fs[3], &[6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn frames_short_signal_yields_none() {
+        let sig = vec![0.0f32; 3];
+        assert_eq!(frames(&sig, 4, 2).count(), 0);
+    }
+
+    #[test]
+    fn apply_window_multiplies_pairwise() {
+        let out = apply_window(&[2.0, 4.0], &[0.5, 0.25]);
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+}

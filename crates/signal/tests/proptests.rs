@@ -1,0 +1,62 @@
+//! Property-based tests on the signal substrate.
+
+use medvid_signal::dct::{dct2, dct3};
+use medvid_signal::entropy::entropy_threshold;
+use medvid_signal::fft::{fft_real, ifft};
+use medvid_signal::kmeans::kmeans;
+use medvid_signal::matrix::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn fft_ifft_recovers_signal(sig in prop::collection::vec(-1.0f64..1.0, 1..200)) {
+        let spec = fft_real(&sig);
+        let back = ifft(&spec);
+        for (orig, rec) in sig.iter().zip(back.iter()) {
+            prop_assert!((orig - rec.re).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct_roundtrip(sig in prop::collection::vec(-10.0f64..10.0, 1..100)) {
+        let back = dct3(&dct2(&sig));
+        for (a, b) in sig.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn entropy_threshold_within_range(values in prop::collection::vec(0.0f32..100.0, 1..300)) {
+        let t = entropy_threshold(&values);
+        let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(t >= min - 1e-6 && t <= max + 1e-6, "t={t} outside [{min},{max}]");
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(
+        n in 2usize..40, k in 1usize..5, seed in 0u64..100,
+    ) {
+        prop_assume!(k <= n);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let km = kmeans(&points, k, 20, &mut rng).unwrap();
+        prop_assert_eq!(km.assignments.len(), n);
+        prop_assert!(km.assignments.iter().all(|&a| a < k));
+        prop_assert!(km.inertia >= 0.0);
+    }
+
+    #[test]
+    fn spd_logdet_matches_cholesky(d0 in 0.1f64..10.0, d1 in 0.1f64..10.0, c in -0.9f64..0.9) {
+        // 2x2 SPD matrix via correlation parameterisation.
+        let cov = c * (d0 * d1).sqrt();
+        let m = Matrix::from_rows(2, 2, vec![d0, cov, cov, d1]);
+        let ld = m.log_det_spd().unwrap();
+        let expected = (d0 * d1 - cov * cov).ln();
+        prop_assert!((ld - expected).abs() < 1e-6, "{ld} vs {expected}");
+    }
+}

@@ -1,0 +1,219 @@
+//! The event colour bar (paper Fig. 11).
+//!
+//! "A color bar is used to represent the content structure of the video so
+//! that scenes can be accessed efficiently by using event categorization."
+
+use medvid_events::SceneEvent;
+use medvid_types::{ContentStructure, EventKind};
+
+/// One coloured span of the bar: a frame range with its event category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarSpan {
+    /// First frame (inclusive).
+    pub start_frame: usize,
+    /// One past the last frame.
+    pub end_frame: usize,
+    /// Event of the covering scene; `None` for frames outside any scene.
+    pub event: Option<EventKind>,
+}
+
+/// The event indicator bar of a video.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventColorBar {
+    spans: Vec<BarSpan>,
+    total_frames: usize,
+}
+
+impl EventColorBar {
+    /// Builds the bar from the content structure and mined events.
+    pub fn build(structure: &ContentStructure, events: &[SceneEvent]) -> Self {
+        let total_frames = structure
+            .shots
+            .last()
+            .map(|s| s.end_frame)
+            .unwrap_or(0);
+        let mut spans: Vec<BarSpan> = Vec::new();
+        for ev in events {
+            let (start, end) = structure.scene_frame_span(ev.scene);
+            spans.push(BarSpan {
+                start_frame: start,
+                end_frame: end,
+                event: Some(ev.event),
+            });
+        }
+        spans.sort_by_key(|s| s.start_frame);
+        // Fill gaps (eliminated scenes / unscened shots) with None spans.
+        let mut filled = Vec::with_capacity(spans.len() * 2);
+        let mut cursor = 0usize;
+        for s in spans {
+            if s.start_frame > cursor {
+                filled.push(BarSpan {
+                    start_frame: cursor,
+                    end_frame: s.start_frame,
+                    event: None,
+                });
+            }
+            cursor = cursor.max(s.end_frame);
+            filled.push(s);
+        }
+        if cursor < total_frames {
+            filled.push(BarSpan {
+                start_frame: cursor,
+                end_frame: total_frames,
+                event: None,
+            });
+        }
+        Self {
+            spans: filled,
+            total_frames,
+        }
+    }
+
+    /// The bar's spans, in temporal order.
+    pub fn spans(&self) -> &[BarSpan] {
+        &self.spans
+    }
+
+    /// The event at a frame.
+    pub fn event_at(&self, frame: usize) -> Option<EventKind> {
+        self.spans
+            .iter()
+            .find(|s| (s.start_frame..s.end_frame).contains(&frame))
+            .and_then(|s| s.event)
+    }
+
+    /// Frame spans of a given event category (the fast-access targets).
+    pub fn spans_of(&self, event: EventKind) -> Vec<(usize, usize)> {
+        self.spans
+            .iter()
+            .filter(|s| s.event == Some(event))
+            .map(|s| (s.start_frame, s.end_frame))
+            .collect()
+    }
+
+    /// Renders the bar as `width` terminal characters
+    /// (P/D/C for the three events, '.' for none).
+    pub fn render_ascii(&self, width: usize) -> String {
+        if self.total_frames == 0 || width == 0 {
+            return String::new();
+        }
+        (0..width)
+            .map(|i| {
+                let frame = i * self.total_frames / width;
+                match self.event_at(frame) {
+                    Some(EventKind::Presentation) => 'P',
+                    Some(EventKind::Dialog) => 'D',
+                    Some(EventKind::ClinicalOperation) => 'C',
+                    Some(EventKind::Undetermined) | None => '.',
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{
+        ColorHistogram, FrameFeatures, Group, GroupId, GroupKind, Scene, SceneId, Shot, ShotId,
+        TamuraTexture,
+    };
+
+    fn structure_two_scenes() -> ContentStructure {
+        let feat = || FrameFeatures {
+            color: ColorHistogram::zeros(),
+            texture: TamuraTexture::zeros(),
+        };
+        let shots = vec![
+            Shot::new(ShotId(0), 0, 30, feat()).unwrap(),
+            Shot::new(ShotId(1), 30, 60, feat()).unwrap(),
+            Shot::new(ShotId(2), 60, 100, feat()).unwrap(),
+        ];
+        let group = |i: usize, ids: Vec<usize>| Group {
+            id: GroupId(i),
+            shots: ids.iter().map(|&x| ShotId(x)).collect(),
+            kind: GroupKind::SpatiallyRelated,
+            shot_clusters: vec![],
+            representative_shots: vec![ShotId(ids[0])],
+        };
+        ContentStructure {
+            shots,
+            groups: vec![group(0, vec![0, 1]), group(1, vec![2])],
+            scenes: vec![
+                Scene {
+                    id: SceneId(0),
+                    groups: vec![GroupId(0)],
+                    representative_group: GroupId(0),
+                },
+                Scene {
+                    id: SceneId(1),
+                    groups: vec![GroupId(1)],
+                    representative_group: GroupId(1),
+                },
+            ],
+            clustered_scenes: vec![],
+        }
+    }
+
+    fn events() -> Vec<SceneEvent> {
+        vec![
+            SceneEvent {
+                scene: SceneId(0),
+                event: EventKind::Presentation,
+            },
+            SceneEvent {
+                scene: SceneId(1),
+                event: EventKind::ClinicalOperation,
+            },
+        ]
+    }
+
+    #[test]
+    fn bar_covers_video_with_events() {
+        let bar = EventColorBar::build(&structure_two_scenes(), &events());
+        assert_eq!(bar.event_at(10), Some(EventKind::Presentation));
+        assert_eq!(bar.event_at(59), Some(EventKind::Presentation));
+        assert_eq!(bar.event_at(60), Some(EventKind::ClinicalOperation));
+        assert_eq!(bar.event_at(200), None);
+    }
+
+    #[test]
+    fn spans_of_event_found() {
+        let bar = EventColorBar::build(&structure_two_scenes(), &events());
+        assert_eq!(
+            bar.spans_of(EventKind::ClinicalOperation),
+            vec![(60, 100)]
+        );
+        assert!(bar.spans_of(EventKind::Dialog).is_empty());
+    }
+
+    #[test]
+    fn ascii_rendering_shows_letters_proportionally() {
+        let bar = EventColorBar::build(&structure_two_scenes(), &events());
+        let s = bar.render_ascii(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.starts_with("PPPPPP"), "bar: {s}");
+        assert!(s.ends_with("CCCC"), "bar: {s}");
+    }
+
+    #[test]
+    fn gaps_filled_with_none() {
+        let cs = structure_two_scenes();
+        // Only the second scene labelled: frames 0..60 become a gap.
+        let ev = vec![SceneEvent {
+            scene: SceneId(1),
+            event: EventKind::Dialog,
+        }];
+        let bar = EventColorBar::build(&cs, &ev);
+        assert_eq!(bar.event_at(10), None);
+        assert_eq!(bar.event_at(70), Some(EventKind::Dialog));
+        assert_eq!(bar.spans().len(), 2);
+    }
+
+    #[test]
+    fn empty_structure_renders_empty() {
+        let bar = EventColorBar::build(&ContentStructure::default(), &[]);
+        assert!(bar.render_ascii(10).is_empty());
+        assert!(bar.spans().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Skim-level construction and the frame compression ratio.
+
+use medvid_types::{ContentStructure, ShotId};
+
+/// The four skimming levels (paper Sec. 5). Granularity increases from
+/// level 4 down to level 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SkimLevel {
+    /// Level 4: representative shots of clustered scenes.
+    ClusteredScenes,
+    /// Level 3: representative shots of all scenes.
+    Scenes,
+    /// Level 2: representative shots of all groups.
+    Groups,
+    /// Level 1: all shots.
+    Shots,
+}
+
+impl SkimLevel {
+    /// All levels, coarsest (level 4) first.
+    pub const ALL: [SkimLevel; 4] = [
+        SkimLevel::ClusteredScenes,
+        SkimLevel::Scenes,
+        SkimLevel::Groups,
+        SkimLevel::Shots,
+    ];
+
+    /// The paper's numbering: 4 = clustered scenes ... 1 = shots.
+    pub fn number(self) -> u8 {
+        match self {
+            SkimLevel::ClusteredScenes => 4,
+            SkimLevel::Scenes => 3,
+            SkimLevel::Groups => 2,
+            SkimLevel::Shots => 1,
+        }
+    }
+}
+
+/// A video skim: an ordered subset of shots shown at one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skim {
+    /// The level this skim realises.
+    pub level: SkimLevel,
+    /// The skimming shots, in temporal order, deduplicated.
+    pub shots: Vec<ShotId>,
+}
+
+impl Skim {
+    /// Number of skimming shots.
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Whether the skim is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+}
+
+/// Builds the skim of a level from the mined content structure.
+pub fn build_skim(structure: &ContentStructure, level: SkimLevel) -> Skim {
+    let mut shots: Vec<ShotId> = match level {
+        SkimLevel::Shots => structure.shots.iter().map(|s| s.id).collect(),
+        SkimLevel::Groups => structure
+            .groups
+            .iter()
+            .flat_map(|g| g.representative_shots.clone())
+            .collect(),
+        SkimLevel::Scenes => structure
+            .scenes
+            .iter()
+            .flat_map(|se| {
+                structure
+                    .group(se.representative_group)
+                    .representative_shots
+                    .clone()
+            })
+            .collect(),
+        SkimLevel::ClusteredScenes => structure
+            .clustered_scenes
+            .iter()
+            .flat_map(|c| {
+                structure
+                    .group(c.centroid_group)
+                    .representative_shots
+                    .clone()
+            })
+            .collect(),
+    };
+    shots.sort_unstable();
+    shots.dedup();
+    Skim { level, shots }
+}
+
+/// Frame compression ratio (Fig. 15): frames shown at the level over all
+/// frames of the video.
+pub fn frame_compression_ratio(structure: &ContentStructure, skim: &Skim) -> f64 {
+    let total: usize = structure.shots.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let shown: usize = skim
+        .shots
+        .iter()
+        .map(|&s| structure.shot(s).len())
+        .sum();
+    shown as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_structure::{mine_structure, MiningConfig};
+    use medvid_synth::corpus::programme_spec;
+    use medvid_synth::{generate_video, CorpusScale};
+    use medvid_types::VideoId;
+
+    fn structure() -> ContentStructure {
+        let spec = programme_spec("t", CorpusScale::Tiny, 13);
+        let video = generate_video(VideoId(0), &spec, 13);
+        mine_structure(&video, &MiningConfig::default())
+    }
+
+    #[test]
+    fn levels_are_nested_in_size() {
+        let cs = structure();
+        let sizes: Vec<usize> = SkimLevel::ALL
+            .iter()
+            .map(|&l| build_skim(&cs, l).len())
+            .collect();
+        // Level 4 <= 3 <= 2 <= 1.
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "sizes not monotone: {sizes:?}");
+        }
+        assert!(sizes[3] > 0);
+        assert_eq!(sizes[3], cs.shots.len());
+    }
+
+    #[test]
+    fn fcr_monotone_and_full_at_level1() {
+        let cs = structure();
+        let fcrs: Vec<f64> = SkimLevel::ALL
+            .iter()
+            .map(|&l| frame_compression_ratio(&cs, &build_skim(&cs, l)))
+            .collect();
+        for w in fcrs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "FCR not monotone: {fcrs:?}");
+        }
+        assert!((fcrs[3] - 1.0).abs() < 1e-12, "level 1 shows everything");
+        assert!(fcrs[0] < 0.7, "level 4 must compress: {fcrs:?}");
+    }
+
+    #[test]
+    fn skim_shots_are_sorted_and_unique() {
+        let cs = structure();
+        for &l in &SkimLevel::ALL {
+            let skim = build_skim(&cs, l);
+            for w in skim.shots.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn level_numbers_match_paper() {
+        assert_eq!(SkimLevel::ClusteredScenes.number(), 4);
+        assert_eq!(SkimLevel::Shots.number(), 1);
+    }
+
+    #[test]
+    fn empty_structure_yields_empty_skims() {
+        let cs = ContentStructure::default();
+        for &l in &SkimLevel::ALL {
+            let skim = build_skim(&cs, l);
+            assert!(skim.is_empty());
+            assert_eq!(frame_compression_ratio(&cs, &skim), 0.0);
+        }
+    }
+}

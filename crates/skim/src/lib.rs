@@ -1,0 +1,29 @@
+//! Scalable video skimming (paper Sec. 5).
+//!
+//! Four skimming levels built from the mined content structure — level 4
+//! through level 1 consist of representative shots of clustered scenes, all
+//! scenes, all groups, and all shots — plus the event colour bar, a playback
+//! simulation of the skimming tool, and the simulated-viewer study that
+//! reproduces Fig. 14:
+//!
+//! * [`levels`] — skim construction and the frame compression ratio (FCR,
+//!   Fig. 15);
+//! * [`colorbar`] — the event indicator bar;
+//! * [`player`] — skimming playback and fast-access scroll bar;
+//! * [`study`] — coverage/conciseness proxies and the simulated viewer
+//!   panel (Fig. 14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colorbar;
+pub mod levels;
+pub mod player;
+pub mod storyboard;
+pub mod study;
+
+pub use colorbar::EventColorBar;
+pub use levels::{build_skim, frame_compression_ratio, Skim, SkimLevel};
+pub use player::SkimPlayer;
+pub use storyboard::{export_storyboard, storyboard, StoryboardCard};
+pub use study::{simulate_panel, PanelScores, StudyInputs};

@@ -1,0 +1,218 @@
+//! Skimming playback simulation (paper Fig. 11).
+//!
+//! "While video skimming is playing, only those selected skimming shots are
+//! shown, and all other shots are skipped. A scroll bar indicates the
+//! position of the current skimming shot among all shots in the video. The
+//! user can drag the tag of the scroll bar to fast-access an interesting
+//! video unit."
+
+use crate::levels::{build_skim, Skim, SkimLevel};
+use medvid_types::{ContentStructure, ShotId};
+
+/// A stateful skimming player over one video's mined structure.
+#[derive(Debug, Clone)]
+pub struct SkimPlayer<'a> {
+    structure: &'a ContentStructure,
+    level: SkimLevel,
+    skim: Skim,
+    /// Position within the skim (index into `skim.shots`).
+    cursor: usize,
+}
+
+impl<'a> SkimPlayer<'a> {
+    /// Opens a player at level 3 (the paper's recommended default overview
+    /// level).
+    pub fn new(structure: &'a ContentStructure) -> Self {
+        let level = SkimLevel::Scenes;
+        Self {
+            structure,
+            level,
+            skim: build_skim(structure, level),
+            cursor: 0,
+        }
+    }
+
+    /// The current level.
+    pub fn level(&self) -> SkimLevel {
+        self.level
+    }
+
+    /// The current skim.
+    pub fn skim(&self) -> &Skim {
+        &self.skim
+    }
+
+    /// The shot under the cursor, if any.
+    pub fn current_shot(&self) -> Option<ShotId> {
+        self.skim.shots.get(self.cursor).copied()
+    }
+
+    /// Switches level (the up/down arrows of Fig. 11), preserving the
+    /// temporal position: the cursor lands on the skimming shot nearest to
+    /// the previous one.
+    pub fn switch_level(&mut self, level: SkimLevel) {
+        let anchor = self.current_shot();
+        self.level = level;
+        self.skim = build_skim(self.structure, level);
+        self.cursor = match anchor {
+            Some(a) => nearest_position(&self.skim.shots, a),
+            None => 0,
+        };
+    }
+
+    /// Advances to the next skimming shot; returns it, or `None` at the end.
+    pub fn advance(&mut self) -> Option<ShotId> {
+        if self.cursor + 1 < self.skim.shots.len() {
+            self.cursor += 1;
+            self.current_shot()
+        } else {
+            None
+        }
+    }
+
+    /// Plays the whole skim from the start, returning the frame ranges shown
+    /// in order (the "skipped shots" never appear).
+    pub fn play_all(&self) -> Vec<(usize, usize)> {
+        self.skim
+            .shots
+            .iter()
+            .map(|&s| {
+                let shot = self.structure.shot(s);
+                (shot.start_frame, shot.end_frame)
+            })
+            .collect()
+    }
+
+    /// Fast access (scroll-bar drag): jumps to the skimming shot covering or
+    /// nearest to `frame`.
+    pub fn seek_frame(&mut self, frame: usize) -> Option<ShotId> {
+        if self.skim.shots.is_empty() {
+            return None;
+        }
+        let pos = self
+            .skim
+            .shots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| {
+                let shot = self.structure.shot(s);
+                if (shot.start_frame..shot.end_frame).contains(&frame) {
+                    0
+                } else {
+                    shot.start_frame.abs_diff(frame).min(shot.end_frame.abs_diff(frame))
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty skim");
+        self.cursor = pos;
+        self.current_shot()
+    }
+
+    /// Scroll-bar position in `[0, 1]`: the current shot's start over the
+    /// video length.
+    pub fn scroll_position(&self) -> f64 {
+        let total = self
+            .structure
+            .shots
+            .last()
+            .map(|s| s.end_frame)
+            .unwrap_or(0);
+        match (self.current_shot(), total) {
+            (Some(s), t) if t > 0 => self.structure.shot(s).start_frame as f64 / t as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+fn nearest_position(shots: &[ShotId], anchor: ShotId) -> usize {
+    shots
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &s)| s.index().abs_diff(anchor.index()))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_structure::{mine_structure, MiningConfig};
+    use medvid_synth::corpus::programme_spec;
+    use medvid_synth::{generate_video, CorpusScale};
+    use medvid_types::VideoId;
+
+    fn structure() -> ContentStructure {
+        let spec = programme_spec("t", CorpusScale::Tiny, 17);
+        let video = generate_video(VideoId(0), &spec, 17);
+        mine_structure(&video, &MiningConfig::default())
+    }
+
+    #[test]
+    fn player_starts_at_level3() {
+        let cs = structure();
+        let p = SkimPlayer::new(&cs);
+        assert_eq!(p.level(), SkimLevel::Scenes);
+        assert!(p.current_shot().is_some());
+    }
+
+    #[test]
+    fn advance_walks_the_skim_in_order() {
+        let cs = structure();
+        let mut p = SkimPlayer::new(&cs);
+        let mut seen = vec![p.current_shot().unwrap()];
+        while let Some(s) = p.advance() {
+            seen.push(s);
+        }
+        assert_eq!(seen.len(), p.skim().len());
+        for w in seen.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn switch_level_preserves_position() {
+        let cs = structure();
+        let mut p = SkimPlayer::new(&cs);
+        // Walk to the middle, note the shot, then drop to level 1.
+        for _ in 0..p.skim().len() / 2 {
+            p.advance();
+        }
+        let anchor = p.current_shot().unwrap();
+        p.switch_level(SkimLevel::Shots);
+        let landed = p.current_shot().unwrap();
+        assert_eq!(landed, anchor, "level 1 contains every shot");
+    }
+
+    #[test]
+    fn play_all_shows_only_skim_frames() {
+        let cs = structure();
+        let p = SkimPlayer::new(&cs);
+        let ranges = p.play_all();
+        assert_eq!(ranges.len(), p.skim().len());
+        let shown: usize = ranges.iter().map(|(a, b)| b - a).sum();
+        let total: usize = cs.shots.iter().map(|s| s.len()).sum();
+        assert!(shown < total, "skim must skip shots");
+    }
+
+    #[test]
+    fn seek_lands_on_covering_shot() {
+        let cs = structure();
+        let mut p = SkimPlayer::new(&cs);
+        p.switch_level(SkimLevel::Shots);
+        let target_frame = cs.shots[cs.shots.len() / 2].start_frame + 1;
+        let s = p.seek_frame(target_frame).unwrap();
+        let shot = cs.shot(s);
+        assert!((shot.start_frame..shot.end_frame).contains(&target_frame));
+        assert!(p.scroll_position() > 0.0);
+    }
+
+    #[test]
+    fn empty_structure_player_is_inert() {
+        let cs = ContentStructure::default();
+        let mut p = SkimPlayer::new(&cs);
+        assert!(p.current_shot().is_none());
+        assert!(p.advance().is_none());
+        assert!(p.seek_frame(10).is_none());
+        assert_eq!(p.scroll_position(), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Pictorial summarisation (paper Sec. 5: "the mined video content structure
+//! and event categories can also facilitate more applications like
+//! hierarchical video browsing, pictorial summarization, etc.").
+//!
+//! A storyboard is the pictorial form of a skim: one card per skimming shot,
+//! carrying the representative frame index, its timestamp and the scene's
+//! event category. Cards can be exported as binary PPM images for viewing.
+
+use crate::colorbar::EventColorBar;
+use crate::levels::{build_skim, SkimLevel};
+use medvid_events::SceneEvent;
+use medvid_types::{ContentStructure, EventKind, Image, ShotId};
+use std::io::Write;
+use std::path::Path;
+
+/// One storyboard card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoryboardCard {
+    /// The skimming shot.
+    pub shot: ShotId,
+    /// Frame index of the card's picture (the shot's representative frame).
+    pub frame: usize,
+    /// Timestamp of that frame in seconds.
+    pub time_secs: f64,
+    /// Event category of the covering scene, if mined.
+    pub event: Option<EventKind>,
+}
+
+/// Builds the storyboard of one level.
+pub fn storyboard(
+    structure: &ContentStructure,
+    events: &[SceneEvent],
+    level: SkimLevel,
+    fps: f64,
+) -> Vec<StoryboardCard> {
+    let bar = EventColorBar::build(structure, events);
+    build_skim(structure, level)
+        .shots
+        .iter()
+        .map(|&sid| {
+            let shot = structure.shot(sid);
+            StoryboardCard {
+                shot: sid,
+                frame: shot.rep_frame,
+                time_secs: shot.rep_frame as f64 / fps,
+                event: bar.event_at(shot.rep_frame),
+            }
+        })
+        .collect()
+}
+
+/// Writes an image as a binary PPM (P6) file — dependency-free export for
+/// storyboard cards.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_ppm(image: &Image, path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{} {}\n255\n", image.width(), image.height())?;
+    f.write_all(image.raw())?;
+    Ok(())
+}
+
+/// Writes an image as a 24-bit uncompressed BMP — the browser-viewable
+/// export format.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_bmp(image: &Image, path: &Path) -> std::io::Result<()> {
+    let (w, h) = (image.width(), image.height());
+    let row_bytes = w * 3;
+    let padding = (4 - row_bytes % 4) % 4;
+    let pixel_bytes = (row_bytes + padding) * h;
+    let file_size = 54 + pixel_bytes;
+    let mut out: Vec<u8> = Vec::with_capacity(file_size);
+    // BITMAPFILEHEADER.
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_size as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&54u32.to_le_bytes());
+    // BITMAPINFOHEADER.
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(h as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&24u16.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    // Pixel rows, bottom-up, BGR, 4-byte aligned.
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let p = image.get(x, y);
+            out.extend_from_slice(&[p.b, p.g, p.r]);
+        }
+        out.extend(std::iter::repeat_n(0u8, padding));
+    }
+    std::fs::write(path, out)
+}
+
+/// Exports a storyboard's cards as PPM files named
+/// `card_<index>_<shot>_<event>.ppm` under `dir`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn export_storyboard(
+    cards: &[StoryboardCard],
+    frames: &[Image],
+    dir: &Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = Vec::with_capacity(cards.len());
+    for (i, card) in cards.iter().enumerate() {
+        let Some(frame) = frames.get(card.frame) else {
+            continue;
+        };
+        let tag = match card.event {
+            Some(EventKind::Presentation) => "presentation",
+            Some(EventKind::Dialog) => "dialog",
+            Some(EventKind::ClinicalOperation) => "clinical",
+            Some(EventKind::Undetermined) => "other",
+            None => "unscened",
+        };
+        let path = dir.join(format!("card_{i:03}_{}_{tag}.ppm", card.shot));
+        write_ppm(frame, &path)?;
+        out.push(path);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{
+        ColorHistogram, FrameFeatures, Group, GroupId, GroupKind, Rgb, Scene, SceneId, Shot,
+        TamuraTexture,
+    };
+
+    fn structure() -> ContentStructure {
+        let feat = || FrameFeatures {
+            color: ColorHistogram::zeros(),
+            texture: TamuraTexture::zeros(),
+        };
+        ContentStructure {
+            shots: vec![
+                Shot::new(ShotId(0), 0, 30, feat()).unwrap(),
+                Shot::new(ShotId(1), 30, 60, feat()).unwrap(),
+            ],
+            groups: vec![Group {
+                id: GroupId(0),
+                shots: vec![ShotId(0), ShotId(1)],
+                kind: GroupKind::SpatiallyRelated,
+                shot_clusters: vec![vec![ShotId(0), ShotId(1)]],
+                representative_shots: vec![ShotId(0)],
+            }],
+            scenes: vec![Scene {
+                id: SceneId(0),
+                groups: vec![GroupId(0)],
+                representative_group: GroupId(0),
+            }],
+            clustered_scenes: vec![],
+        }
+    }
+
+    fn events() -> Vec<SceneEvent> {
+        vec![SceneEvent {
+            scene: SceneId(0),
+            event: EventKind::Dialog,
+        }]
+    }
+
+    #[test]
+    fn storyboard_cards_carry_time_and_event() {
+        let cs = structure();
+        let cards = storyboard(&cs, &events(), SkimLevel::Shots, 10.0);
+        assert_eq!(cards.len(), 2);
+        assert_eq!(cards[0].frame, 9); // 10th frame of shot 0
+        assert!((cards[0].time_secs - 0.9).abs() < 1e-9);
+        assert_eq!(cards[0].event, Some(EventKind::Dialog));
+    }
+
+    #[test]
+    fn coarser_level_has_fewer_cards() {
+        let cs = structure();
+        let fine = storyboard(&cs, &events(), SkimLevel::Shots, 10.0);
+        let coarse = storyboard(&cs, &events(), SkimLevel::Scenes, 10.0);
+        assert!(coarse.len() <= fine.len());
+        assert_eq!(coarse.len(), 1);
+    }
+
+    #[test]
+    fn ppm_export_writes_files() {
+        let dir = std::env::temp_dir().join("medvid_storyboard_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cs = structure();
+        let cards = storyboard(&cs, &events(), SkimLevel::Shots, 10.0);
+        let frames = vec![Image::filled(8, 6, Rgb::new(1, 2, 3)); 60];
+        let paths = export_storyboard(&cards, &frames, &dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let data = std::fs::read(p).unwrap();
+            assert!(data.starts_with(b"P6\n8 6\n255\n"));
+            assert_eq!(data.len(), 11 + 8 * 6 * 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bmp_export_has_valid_header_and_size() {
+        let dir = std::env::temp_dir().join("medvid_bmp_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Width 5 forces row padding (15 bytes -> 16).
+        let img = Image::filled(5, 3, Rgb::new(10, 200, 30));
+        let path = dir.join("card.bmp");
+        write_bmp(&img, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"BM"));
+        let expected = 54 + (5 * 3 + 1) * 3;
+        assert_eq!(data.len(), expected);
+        let filesize = u32::from_le_bytes([data[2], data[3], data[4], data[5]]) as usize;
+        assert_eq!(filesize, expected);
+        // First pixel (bottom-left) is BGR of the fill colour.
+        assert_eq!(&data[54..57], &[30, 200, 10]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_skips_out_of_range_frames() {
+        let dir = std::env::temp_dir().join("medvid_storyboard_test2");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cs = structure();
+        let cards = storyboard(&cs, &events(), SkimLevel::Shots, 10.0);
+        // Too few frames: cards referencing missing frames are skipped.
+        let frames = vec![Image::filled(4, 4, Rgb::BLACK); 10];
+        let paths = export_storyboard(&cards, &frames, &dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

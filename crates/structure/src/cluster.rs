@@ -1,0 +1,360 @@
+//! Seedless Pairwise Cluster Scheme (PCS) for scene clustering with
+//! cluster-validity model selection (paper Sec. 3.5, Eqs. 12–16).
+//!
+//! PCS merges the most similar pair of scenes at each step (similarity is the
+//! group similarity of the scenes' representative groups, Eq. 13) and picks
+//! the partition size `N` in `[0.5 M, 0.7 M]` minimising the validity index
+//! `rho(N)` (a Davies–Bouldin-style ratio of intra- to inter-cluster
+//! distances, Eqs. 14–15).
+
+use crate::scene::select_rep_group;
+use crate::similarity::{group_similarity, SimilarityWeights};
+use medvid_types::{ClusterId, ClusteredScene, Group, GroupId, Scene, SceneId, Shot};
+
+/// Scene-clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Fraction range of the original scene count searched for the optimal
+    /// cluster count (paper: `[0.5, 0.7]`, i.e. eliminate 30–50%).
+    pub range: (f64, f64),
+    /// Fixed target cluster count; overrides the validity search (used by
+    /// the fixed-reduction ablation).
+    pub target: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            range: (0.5, 0.7),
+            target: None,
+        }
+    }
+}
+
+/// Internal mutable cluster state.
+#[derive(Debug, Clone)]
+struct Cluster {
+    scenes: Vec<SceneId>,
+    centroid: GroupId,
+}
+
+/// Clusters scenes with PCS and returns the chosen partition.
+pub fn cluster_scenes(
+    scenes: &[Scene],
+    groups: &[Group],
+    shots: &[Shot],
+    w: SimilarityWeights,
+    config: &ClusterConfig,
+) -> Vec<ClusteredScene> {
+    let m = scenes.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut clusters: Vec<Cluster> = scenes
+        .iter()
+        .map(|s| Cluster {
+            scenes: vec![s.id],
+            centroid: s.representative_group,
+        })
+        .collect();
+
+    let (c_min, c_max) = match config.target {
+        Some(t) => {
+            let t = t.clamp(1, m);
+            (t, t)
+        }
+        None => {
+            let lo = ((m as f64 * config.range.0).floor() as usize).max(1);
+            let hi = ((m as f64 * config.range.1).floor() as usize).clamp(lo, m);
+            (lo, hi)
+        }
+    };
+
+    // Merge down, recording candidate partitions in [c_min, c_max].
+    let mut candidates: Vec<Vec<Cluster>> = Vec::new();
+    if clusters.len() <= c_max {
+        candidates.push(clusters.clone());
+    }
+    while clusters.len() > c_min {
+        // Find the most similar pair of cluster centroids (Eq. 13 / step 2).
+        let mut best: Option<(usize, usize, f32)> = None;
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let sim = group_similarity(
+                    &groups[clusters[i].centroid.index()],
+                    &groups[clusters[j].centroid.index()],
+                    shots,
+                    w,
+                );
+                if best.map(|(_, _, b)| sim > b).unwrap_or(true) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        // Merge j into i and recompute the centroid over all member groups.
+        let moved = clusters.remove(j);
+        clusters[i].scenes.extend(moved.scenes);
+        let member_groups: Vec<GroupId> = clusters[i]
+            .scenes
+            .iter()
+            .flat_map(|&sid| scenes[sid.index()].groups.clone())
+            .collect();
+        clusters[i].centroid = select_rep_group(&member_groups, groups, shots, w);
+        if clusters.len() <= c_max && clusters.len() >= c_min {
+            candidates.push(clusters.clone());
+        }
+    }
+    if candidates.is_empty() {
+        candidates.push(clusters);
+    }
+
+    // Pick the partition minimising rho(N) (Eq. 16).
+    let chosen = candidates
+        .iter()
+        .min_by(|a, b| {
+            validity(a, scenes, groups, shots, w)
+                .partial_cmp(&validity(b, scenes, groups, shots, w))
+                .expect("finite validity index")
+        })
+        .expect("at least one candidate");
+
+    chosen
+        .iter()
+        .enumerate()
+        .map(|(i, c)| ClusteredScene {
+            id: ClusterId(i),
+            scenes: c.scenes.clone(),
+            centroid_group: c.centroid,
+        })
+        .collect()
+}
+
+/// The validity index rho(N) (Eqs. 14–15): a Davies–Bouldin ratio where the
+/// intra-cluster distance of cluster `i` is the mean `1 - GpSim(member,
+/// centroid)` and the inter-cluster distance is `1 - GpSim(centroid_i,
+/// centroid_j)`.
+fn validity(
+    clusters: &[Cluster],
+    scenes: &[Scene],
+    groups: &[Group],
+    shots: &[Shot],
+    w: SimilarityWeights,
+) -> f64 {
+    let n = clusters.len();
+    if n <= 1 {
+        // A single cluster has no inter-cluster distance; treat as worst.
+        return f64::INFINITY;
+    }
+    let intra: Vec<f64> = clusters
+        .iter()
+        .map(|c| {
+            let sum: f64 = c
+                .scenes
+                .iter()
+                .map(|&sid| {
+                    1.0 - group_similarity(
+                        &groups[scenes[sid.index()].representative_group.index()],
+                        &groups[c.centroid.index()],
+                        shots,
+                        w,
+                    ) as f64
+                })
+                .sum();
+            sum / c.scenes.len() as f64
+        })
+        .collect();
+    let mut acc = 0.0;
+    for i in 0..n {
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let inter = 1.0
+                - group_similarity(
+                    &groups[clusters[i].centroid.index()],
+                    &groups[clusters[j].centroid.index()],
+                    shots,
+                    w,
+                ) as f64;
+            let ratio = (intra[i] + intra[j]) / inter.max(1e-6);
+            worst = worst.max(ratio);
+        }
+        acc += worst;
+    }
+    acc / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{ColorHistogram, FrameFeatures, GroupKind, ShotId, TamuraTexture};
+
+    fn shot_with_bin(i: usize, bin: usize) -> Shot {
+        let mut bins = vec![0.0f32; 256];
+        bins[bin] = 1.0;
+        let mut tex = vec![0.0f32; 10];
+        tex[bin % 10] = 1.0;
+        Shot::new(
+            ShotId(i),
+            i * 30,
+            (i + 1) * 30,
+            FrameFeatures {
+                color: ColorHistogram::new(bins).unwrap(),
+                texture: TamuraTexture::new(tex).unwrap(),
+            },
+        )
+        .unwrap()
+    }
+
+    /// Builds `n_scenes` single-group scenes whose shots carry the given
+    /// colour bins; scenes with equal bins should cluster together.
+    fn fixture(bins: &[usize]) -> (Vec<Shot>, Vec<Group>, Vec<Scene>) {
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_with_bin(i, b))
+            .collect();
+        let groups: Vec<Group> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Group {
+                id: GroupId(i),
+                shots: vec![ShotId(i)],
+                kind: GroupKind::SpatiallyRelated,
+                shot_clusters: vec![vec![ShotId(i)]],
+                representative_shots: vec![ShotId(i)],
+            })
+            .collect();
+        let scenes: Vec<Scene> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Scene {
+                id: SceneId(i),
+                groups: vec![GroupId(i)],
+                representative_group: GroupId(i),
+            })
+            .collect();
+        (shots, groups, scenes)
+    }
+
+    #[test]
+    fn duplicate_scenes_cluster_together() {
+        // Scenes 0 and 3 are identical; 6 scenes -> search 3..=4 clusters.
+        let (shots, groups, scenes) = fixture(&[1, 50, 100, 1, 150, 200]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        let holder = clusters
+            .iter()
+            .find(|c| c.scenes.contains(&SceneId(0)))
+            .unwrap();
+        assert!(
+            holder.scenes.contains(&SceneId(3)),
+            "identical scenes must share a cluster: {clusters:?}"
+        );
+    }
+
+    #[test]
+    fn cluster_count_within_paper_range() {
+        let (shots, groups, scenes) = fixture(&[1, 1, 50, 50, 100, 100, 150, 150, 200, 200]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        let m = scenes.len();
+        assert!(
+            clusters.len() >= m / 2 && clusters.len() <= m * 7 / 10,
+            "cluster count {} outside [{}, {}]",
+            clusters.len(),
+            m / 2,
+            m * 7 / 10
+        );
+    }
+
+    #[test]
+    fn fixed_target_respected() {
+        let (shots, groups, scenes) = fixture(&[1, 50, 100, 150]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig {
+                target: Some(2),
+                ..Default::default()
+            },
+        );
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn every_scene_lands_in_exactly_one_cluster() {
+        let (shots, groups, scenes) = fixture(&[1, 1, 50, 100, 100, 200]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        let mut seen: Vec<SceneId> = clusters.iter().flat_map(|c| c.scenes.clone()).collect();
+        seen.sort_unstable();
+        let expected: Vec<SceneId> = (0..scenes.len()).map(SceneId).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn centroid_is_a_member_group() {
+        let (shots, groups, scenes) = fixture(&[1, 1, 50, 50]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        for c in &clusters {
+            let member_groups: Vec<GroupId> = c
+                .scenes
+                .iter()
+                .flat_map(|&sid| scenes[sid.index()].groups.clone())
+                .collect();
+            assert!(member_groups.contains(&c.centroid_group));
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        let clusters = cluster_scenes(
+            &[],
+            &[],
+            &[],
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn single_scene_is_its_own_cluster() {
+        let (shots, groups, scenes) = fixture(&[1]);
+        let clusters = cluster_scenes(
+            &scenes,
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &ClusterConfig::default(),
+        );
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].scenes, vec![SceneId(0)]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Video group detection, classification and representative-shot selection
+//! (paper Sec. 3.2).
+
+use crate::similarity::{shot_similarity, SimilarityWeights};
+use medvid_signal::entropy::entropy_threshold;
+use medvid_types::{Group, GroupId, GroupKind, Shot, ShotId};
+
+/// Group-detector parameters. Thresholds left `None` are determined
+/// automatically with the fast-entropy technique, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupConfig {
+    /// Separation-factor threshold `T1` (Eq. 6); `None` = automatic.
+    pub t1: Option<f32>,
+    /// Similarity threshold `T2`; `None` = automatic.
+    pub t2: Option<f32>,
+    /// Intra-group clustering threshold `Th` for classification; `None`
+    /// defaults to `T2`.
+    pub th: Option<f32>,
+}
+
+/// Output of group detection.
+#[derive(Debug, Clone)]
+pub struct GroupDetection {
+    /// Detected groups in temporal order, classified, with representative
+    /// shots selected.
+    pub groups: Vec<Group>,
+    /// The separation-factor threshold used.
+    pub t1: f32,
+    /// The similarity threshold used.
+    pub t2: f32,
+}
+
+/// Left/right correlations of Eqs. (2)–(5): the best similarity between shot
+/// `i` and its up-to-two neighbours on each side.
+fn correlations(shots: &[Shot], w: SimilarityWeights) -> (Vec<f32>, Vec<f32>) {
+    let n = shots.len();
+    let mut cl = vec![0.0f32; n];
+    let mut cr = vec![0.0f32; n];
+    for i in 0..n {
+        for back in 1..=2usize {
+            if i >= back {
+                cl[i] = cl[i].max(shot_similarity(&shots[i], &shots[i - back], w));
+            }
+        }
+        for fwd in 1..=2usize {
+            if i + fwd < n {
+                cr[i] = cr[i].max(shot_similarity(&shots[i], &shots[i + fwd], w));
+            }
+        }
+    }
+    (cl, cr)
+}
+
+/// Eq. (6): separation factor `R(i) = (CR_i + CR_{i+1}) / (CL_i + CL_{i+1})`.
+fn separation_factor(cl: &[f32], cr: &[f32], i: usize) -> f32 {
+    let num = cr[i] + cr.get(i + 1).copied().unwrap_or(0.0);
+    let den = cl[i] + cl.get(i + 1).copied().unwrap_or(0.0);
+    if den <= 1e-6 {
+        f32::INFINITY
+    } else {
+        num / den
+    }
+}
+
+/// Detects group boundaries and assembles classified groups.
+pub fn detect_groups(shots: &[Shot], w: SimilarityWeights, config: &GroupConfig) -> GroupDetection {
+    let n = shots.len();
+    if n == 0 {
+        return GroupDetection {
+            groups: Vec::new(),
+            t1: 0.0,
+            t2: 0.0,
+        };
+    }
+    let (cl, cr) = correlations(shots, w);
+    // Automatic thresholds (paper: fast entropy technique of [10]).
+    let t2 = config.t2.unwrap_or_else(|| {
+        let sims: Vec<f32> = (0..n.saturating_sub(1))
+            .map(|i| shot_similarity(&shots[i], &shots[i + 1], w))
+            .collect();
+        entropy_threshold(&sims)
+    });
+    let t1 = config.t1.unwrap_or_else(|| {
+        let rs: Vec<f32> = (1..n)
+            .map(|i| separation_factor(&cl, &cr, i))
+            .filter(|r| r.is_finite())
+            .collect();
+        // Group detection is meant to over-segment ("our group detection
+        // scheme places much emphasis on details", Sec. 3.4): a missed group
+        // boundary can never be recovered, while an extra one is re-merged
+        // by scene detection. Keep the automatic threshold close to the
+        // natural R = 1 pivot.
+        entropy_threshold(&rs).clamp(1.05, 1.35)
+    });
+
+    // Boundary scan (paper steps 1-2): shot i starts a new group when either
+    // it correlates forward but not backward (step 1), or it is an isolated
+    // separator dissimilar to both sides (step 2).
+    let mut boundaries = vec![0usize];
+    for i in 1..n {
+        let is_boundary = if cr[i] > t2 - 0.1 {
+            separation_factor(&cl, &cr, i) > t1
+        } else {
+            cr[i] < t2 && cl[i] < t2
+        };
+        if is_boundary {
+            boundaries.push(i);
+        }
+    }
+    boundaries.push(n);
+    boundaries.dedup();
+
+    let mut groups = Vec::with_capacity(boundaries.len() - 1);
+    let th = config.th.unwrap_or(t2);
+    for (gid, wnd) in boundaries.windows(2).enumerate() {
+        let members: Vec<ShotId> = (wnd[0]..wnd[1]).map(|i| shots[i].id).collect();
+        groups.push(classify_group(GroupId(gid), members, shots, w, th));
+    }
+    GroupDetection { groups, t1, t2 }
+}
+
+/// Sec. 3.2.1: clusters a group's shots by seeded absorption at threshold
+/// `th`, classifies the group (more than one cluster = temporally related)
+/// and selects one representative shot per cluster.
+pub fn classify_group(
+    id: GroupId,
+    members: Vec<ShotId>,
+    shots: &[Shot],
+    w: SimilarityWeights,
+    th: f32,
+) -> Group {
+    let mut remaining: Vec<ShotId> = members.clone();
+    let mut clusters: Vec<Vec<ShotId>> = Vec::new();
+    while let Some(&seed) = remaining.first() {
+        let mut cluster = vec![seed];
+        remaining.retain(|&s| s != seed);
+        // Absorb iteratively until a fixed point: a shot joins when it is
+        // similar enough to the cluster seed.
+        loop {
+            let before = remaining.len();
+            remaining.retain(|&cand| {
+                let sim = shot_similarity(&shots[seed.index()], &shots[cand.index()], w);
+                if sim > th {
+                    cluster.push(cand);
+                    false
+                } else {
+                    true
+                }
+            });
+            if remaining.len() == before {
+                break;
+            }
+        }
+        cluster.sort_unstable();
+        clusters.push(cluster);
+    }
+    let kind = if clusters.len() > 1 {
+        GroupKind::TemporallyRelated
+    } else {
+        GroupKind::SpatiallyRelated
+    };
+    let representative_shots = clusters
+        .iter()
+        .map(|c| select_rep_shot(c, shots, w))
+        .collect();
+    Group {
+        id,
+        shots: members,
+        kind,
+        shot_clusters: clusters,
+        representative_shots,
+    }
+}
+
+/// SelectRepShot (Eq. 7 plus the 2-shot and 1-shot rules).
+pub fn select_rep_shot(cluster: &[ShotId], shots: &[Shot], w: SimilarityWeights) -> ShotId {
+    select_rep_shot_impl(cluster, shots, w)
+}
+
+fn select_rep_shot_impl(cluster: &[ShotId], shots: &[Shot], w: SimilarityWeights) -> ShotId {
+    match cluster.len() {
+        0 => panic!("empty cluster has no representative"),
+        1 => cluster[0],
+        2 => {
+            // The longer shot conveys more content.
+            let (a, b) = (cluster[0], cluster[1]);
+            if shots[a.index()].len() >= shots[b.index()].len() {
+                a
+            } else {
+                b
+            }
+        }
+        _ => {
+            // Eq. (7): the shot with the largest average similarity to the
+            // rest of the cluster.
+            *cluster
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let avg = |s: ShotId| -> f32 {
+                        cluster
+                            .iter()
+                            .filter(|&&o| o != s)
+                            .map(|&o| shot_similarity(&shots[s.index()], &shots[o.index()], w))
+                            .sum::<f32>()
+                            / (cluster.len() - 1) as f32
+                    };
+                    avg(a).partial_cmp(&avg(b)).expect("finite similarity")
+                })
+                .expect("non-empty cluster")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{ColorHistogram, FrameFeatures, TamuraTexture};
+
+    /// Builds a shot whose colour mass sits in one bin (identity proxy).
+    fn shot_with_bin(i: usize, bin: usize, len: usize) -> Shot {
+        let mut bins = vec![0.0f32; 256];
+        bins[bin] = 1.0;
+        let mut tex = vec![0.0f32; 10];
+        tex[bin % 10] = 1.0;
+        Shot::new(
+            ShotId(i),
+            i * 50,
+            i * 50 + len,
+            FrameFeatures {
+                color: ColorHistogram::new(bins).unwrap(),
+                texture: TamuraTexture::new(tex).unwrap(),
+            },
+        )
+        .unwrap()
+    }
+
+    /// A-B-A-B dialog pattern followed by C-C-C.
+    fn dialog_then_static() -> Vec<Shot> {
+        let pattern = [1usize, 2, 1, 2, 1, 2, 100, 100, 100];
+        pattern
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_with_bin(i, b, 30))
+            .collect()
+    }
+
+    #[test]
+    fn dialog_and_static_separate_into_two_groups() {
+        let shots = dialog_then_static();
+        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        assert!(
+            det.groups.len() >= 2,
+            "expected >= 2 groups, got {}",
+            det.groups.len()
+        );
+        // The boundary must fall at shot 6 (bin change 2 -> 100).
+        assert!(
+            det.groups.iter().any(|g| g.shots.first() == Some(&ShotId(6))),
+            "no group starts at the true boundary"
+        );
+    }
+
+    #[test]
+    fn groups_partition_shots_in_order() {
+        let shots = dialog_then_static();
+        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        let mut all: Vec<ShotId> = det.groups.iter().flat_map(|g| g.shots.clone()).collect();
+        let expected: Vec<ShotId> = (0..shots.len()).map(ShotId).collect();
+        all.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn alternating_group_is_temporally_related() {
+        let shots = dialog_then_static();
+        let g = classify_group(
+            GroupId(0),
+            (0..6).map(ShotId).collect(),
+            &shots,
+            SimilarityWeights::default(),
+            0.5,
+        );
+        assert_eq!(g.kind, GroupKind::TemporallyRelated);
+        assert_eq!(g.shot_clusters.len(), 2);
+        assert_eq!(g.representative_shots.len(), 2);
+    }
+
+    #[test]
+    fn uniform_group_is_spatially_related() {
+        let shots = dialog_then_static();
+        let g = classify_group(
+            GroupId(0),
+            (6..9).map(ShotId).collect(),
+            &shots,
+            SimilarityWeights::default(),
+            0.5,
+        );
+        assert_eq!(g.kind, GroupKind::SpatiallyRelated);
+        assert_eq!(g.shot_clusters.len(), 1);
+    }
+
+    #[test]
+    fn rep_shot_of_two_prefers_longer() {
+        let shots = vec![shot_with_bin(0, 1, 10), shot_with_bin(1, 1, 40)];
+        let rep = select_rep_shot(&[ShotId(0), ShotId(1)], &shots, SimilarityWeights::default());
+        assert_eq!(rep, ShotId(1));
+    }
+
+    #[test]
+    fn rep_shot_of_single_is_itself() {
+        let shots = vec![shot_with_bin(0, 1, 10)];
+        assert_eq!(
+            select_rep_shot(&[ShotId(0)], &shots, SimilarityWeights::default()),
+            ShotId(0)
+        );
+    }
+
+    #[test]
+    fn rep_shot_of_many_maximises_average_similarity() {
+        // Shots 0 and 2 share bin 1; shot 1 shares with both partially via
+        // texture only. The most central is the duplicated bin.
+        let shots = vec![
+            shot_with_bin(0, 1, 10),
+            shot_with_bin(1, 7, 10),
+            shot_with_bin(2, 1, 10),
+        ];
+        let rep = select_rep_shot(
+            &[ShotId(0), ShotId(1), ShotId(2)],
+            &shots,
+            SimilarityWeights::default(),
+        );
+        assert_ne!(rep, ShotId(1), "outlier must not represent the cluster");
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let det = detect_groups(&[], SimilarityWeights::default(), &GroupConfig::default());
+        assert!(det.groups.is_empty());
+    }
+
+    #[test]
+    fn single_shot_is_one_group() {
+        let shots = vec![shot_with_bin(0, 1, 10)];
+        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        assert_eq!(det.groups.len(), 1);
+        assert_eq!(det.groups[0].shots, vec![ShotId(0)]);
+    }
+
+    #[test]
+    fn manual_thresholds_respected() {
+        let shots = dialog_then_static();
+        let det = detect_groups(
+            &shots,
+            SimilarityWeights::default(),
+            &GroupConfig {
+                t1: Some(1.5),
+                t2: Some(0.4),
+                th: None,
+            },
+        );
+        assert_eq!(det.t1, 1.5);
+        assert_eq!(det.t2, 0.4);
+    }
+}

@@ -1,0 +1,73 @@
+//! The end-to-end content-structure mining pipeline (paper Fig. 3, left).
+
+use crate::cluster::{cluster_scenes, ClusterConfig};
+use crate::group::{detect_groups, GroupConfig};
+use crate::scene::{detect_scenes, SceneConfig};
+use crate::shot::{detect_shots, ShotDetectorConfig};
+use crate::similarity::SimilarityWeights;
+use medvid_types::{ContentStructure, Video};
+
+/// Configuration of the full mining pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MiningConfig {
+    /// Shot-detector parameters.
+    pub shot: ShotDetectorConfig,
+    /// Group-detector parameters.
+    pub group: GroupConfig,
+    /// Scene-detector parameters.
+    pub scene: SceneConfig,
+    /// Scene-clustering parameters.
+    pub cluster: ClusterConfig,
+    /// Similarity weights (Eq. 1).
+    pub weights: SimilarityWeights,
+}
+
+/// Mines the full content structure of a video: shots, groups, scenes and
+/// clustered scenes.
+pub fn mine_structure(video: &Video, config: &MiningConfig) -> ContentStructure {
+    let detection = detect_shots(video, &config.shot);
+    let shots = detection.shots;
+    let groups = detect_groups(&shots, config.weights, &config.group).groups;
+    let scenes = detect_scenes(&groups, &shots, config.weights, &config.scene).scenes;
+    let clustered_scenes =
+        cluster_scenes(&scenes, &groups, &shots, config.weights, &config.cluster);
+    ContentStructure {
+        shots,
+        groups,
+        scenes,
+        clustered_scenes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::corpus::programme_spec;
+    use medvid_synth::{generate_video, CorpusScale};
+    use medvid_types::VideoId;
+
+    #[test]
+    fn pipeline_produces_consistent_hierarchy() {
+        let spec = programme_spec("t", CorpusScale::Tiny, 9);
+        let video = generate_video(VideoId(0), &spec, 9);
+        let cs = mine_structure(&video, &MiningConfig::default());
+        assert_eq!(cs.validate(), Ok(()));
+        assert!(cs.shots.len() > 5, "shots: {}", cs.shots.len());
+        assert!(!cs.groups.is_empty());
+        assert!(!cs.scenes.is_empty());
+        assert!(!cs.clustered_scenes.is_empty());
+        // The hierarchy compresses: shots > groups >= scenes >= clusters.
+        assert!(cs.shots.len() > cs.groups.len());
+        assert!(cs.groups.len() >= cs.scenes.len());
+        assert!(cs.scenes.len() >= cs.clustered_scenes.len());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let spec = programme_spec("t", CorpusScale::Tiny, 4);
+        let video = generate_video(VideoId(0), &spec, 4);
+        let a = mine_structure(&video, &MiningConfig::default());
+        let b = mine_structure(&video, &MiningConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,328 @@
+//! Group merging for scene detection (paper Sec. 3.4).
+
+use crate::similarity::{group_similarity, SimilarityWeights};
+use medvid_signal::entropy::entropy_threshold;
+use medvid_types::{Group, GroupId, Scene, SceneId, Shot};
+
+/// Scene-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneConfig {
+    /// Merge threshold `TG`; `None` = automatic via the fast-entropy
+    /// technique over neighbouring-group similarities.
+    pub merge_threshold: Option<f32>,
+    /// Scenes with fewer shots than this are eliminated (paper: 3).
+    pub min_scene_shots: usize,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        Self {
+            merge_threshold: None,
+            min_scene_shots: 3,
+        }
+    }
+}
+
+/// Output of scene detection.
+#[derive(Debug, Clone)]
+pub struct SceneDetection {
+    /// Scenes in temporal order (re-indexed after elimination).
+    pub scenes: Vec<Scene>,
+    /// The merge threshold `TG` used.
+    pub merge_threshold: f32,
+}
+
+/// Merges adjacent groups into scenes (steps 1–4 of Sec. 3.4) and selects
+/// each scene's representative group.
+pub fn detect_scenes(
+    groups: &[Group],
+    shots: &[Shot],
+    w: SimilarityWeights,
+    config: &SceneConfig,
+) -> SceneDetection {
+    if groups.is_empty() {
+        return SceneDetection {
+            scenes: Vec::new(),
+            merge_threshold: 0.0,
+        };
+    }
+    // Step 1: similarities between all neighbouring groups (Eq. 10).
+    let sims: Vec<f32> = groups
+        .windows(2)
+        .map(|pair| group_similarity(&pair[0], &pair[1], shots, w))
+        .collect();
+    // Step 2: entropy merge threshold.
+    let tg = config
+        .merge_threshold
+        .unwrap_or_else(|| entropy_threshold(&sims));
+    // Step 3: merge chains of adjacent groups with similarity > TG.
+    let mut scenes_groups: Vec<Vec<GroupId>> = vec![vec![groups[0].id]];
+    for (i, &sim) in sims.iter().enumerate() {
+        if sim > tg {
+            scenes_groups
+                .last_mut()
+                .expect("seeded with first group")
+                .push(groups[i + 1].id);
+        } else {
+            scenes_groups.push(vec![groups[i + 1].id]);
+        }
+    }
+    // Step 4: eliminate scenes with too few shots, select representatives.
+    let scenes = scenes_groups
+        .into_iter()
+        .filter(|gs| {
+            let shot_count: usize = gs.iter().map(|&g| groups[g.index()].len()).sum();
+            shot_count >= config.min_scene_shots
+        })
+        .enumerate()
+        .map(|(i, gs)| {
+            let rep = select_rep_group(&gs, groups, shots, w);
+            Scene {
+                id: SceneId(i),
+                groups: gs,
+                representative_group: rep,
+            }
+        })
+        .collect();
+    SceneDetection {
+        scenes,
+        merge_threshold: tg,
+    }
+}
+
+/// SelectRepGroup (Eq. 11 plus the 2-group and 1-group rules).
+pub fn select_rep_group(
+    members: &[GroupId],
+    groups: &[Group],
+    shots: &[Shot],
+    w: SimilarityWeights,
+) -> GroupId {
+    match members.len() {
+        0 => panic!("empty scene has no representative group"),
+        1 => members[0],
+        2 => {
+            let (a, b) = (members[0], members[1]);
+            let (ga, gb) = (&groups[a.index()], &groups[b.index()]);
+            // More shots wins; ties broken by total duration.
+            match ga.len().cmp(&gb.len()) {
+                std::cmp::Ordering::Greater => a,
+                std::cmp::Ordering::Less => b,
+                std::cmp::Ordering::Equal => {
+                    let dur = |g: &Group| -> usize {
+                        g.shots.iter().map(|&s| shots[s.index()].len()).sum()
+                    };
+                    if dur(ga) >= dur(gb) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+        _ => {
+            // Eq. (11): the group with the largest average similarity to the
+            // other member groups.
+            *members
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let avg = |g: GroupId| -> f32 {
+                        members
+                            .iter()
+                            .filter(|&&o| o != g)
+                            .map(|&o| {
+                                group_similarity(
+                                    &groups[g.index()],
+                                    &groups[o.index()],
+                                    shots,
+                                    w,
+                                )
+                            })
+                            .sum::<f32>()
+                            / (members.len() - 1) as f32
+                    };
+                    avg(a).partial_cmp(&avg(b)).expect("finite similarity")
+                })
+                .expect("non-empty scene")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{ColorHistogram, FrameFeatures, GroupKind, ShotId, TamuraTexture};
+
+    fn shot_with_bin(i: usize, bin: usize, len: usize) -> Shot {
+        let mut bins = vec![0.0f32; 256];
+        bins[bin] = 1.0;
+        let mut tex = vec![0.0f32; 10];
+        tex[bin % 10] = 1.0;
+        Shot::new(
+            ShotId(i),
+            i * 50,
+            i * 50 + len,
+            FrameFeatures {
+                color: ColorHistogram::new(bins).unwrap(),
+                texture: TamuraTexture::new(tex).unwrap(),
+            },
+        )
+        .unwrap()
+    }
+
+    fn group_of(id: usize, shot_ids: &[usize]) -> Group {
+        Group {
+            id: GroupId(id),
+            shots: shot_ids.iter().map(|&i| ShotId(i)).collect(),
+            kind: GroupKind::SpatiallyRelated,
+            shot_clusters: vec![shot_ids.iter().map(|&i| ShotId(i)).collect()],
+            representative_shots: vec![ShotId(shot_ids[0])],
+        }
+    }
+
+    /// Six shots: 0-3 share bin 1 (scene A, two groups), 4-5 bin 200
+    /// (scene B).
+    fn fixture() -> (Vec<Shot>, Vec<Group>) {
+        let bins = [1usize, 1, 1, 1, 200, 200];
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_with_bin(i, b, 20 + i))
+            .collect();
+        let groups = vec![
+            group_of(0, &[0, 1]),
+            group_of(1, &[2, 3]),
+            group_of(2, &[4, 5]),
+        ];
+        (shots, groups)
+    }
+
+    #[test]
+    fn similar_adjacent_groups_merge() {
+        let (shots, groups) = fixture();
+        let det = detect_scenes(
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &SceneConfig {
+                merge_threshold: Some(0.5),
+                min_scene_shots: 1,
+            },
+        );
+        assert_eq!(det.scenes.len(), 2);
+        assert_eq!(det.scenes[0].groups, vec![GroupId(0), GroupId(1)]);
+        assert_eq!(det.scenes[1].groups, vec![GroupId(2)]);
+    }
+
+    #[test]
+    fn short_scenes_are_eliminated() {
+        let (shots, groups) = fixture();
+        let det = detect_scenes(
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &SceneConfig {
+                merge_threshold: Some(0.5),
+                min_scene_shots: 3,
+            },
+        );
+        // Scene B has only 2 shots and is dropped.
+        assert_eq!(det.scenes.len(), 1);
+        assert_eq!(det.scenes[0].id, SceneId(0));
+    }
+
+    #[test]
+    fn automatic_threshold_separates_modes() {
+        let (shots, groups) = fixture();
+        let det = detect_scenes(
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &SceneConfig {
+                merge_threshold: None,
+                min_scene_shots: 1,
+            },
+        );
+        // Similarities are [1.0, 0.0]; the entropy threshold must split them.
+        assert!(det.merge_threshold > 0.0 && det.merge_threshold < 1.0);
+        assert_eq!(det.scenes.len(), 2);
+    }
+
+    #[test]
+    fn rep_group_of_two_prefers_more_shots() {
+        let (shots, _) = fixture();
+        let groups = vec![group_of(0, &[0]), group_of(1, &[1, 2, 3])];
+        let rep = select_rep_group(
+            &[GroupId(0), GroupId(1)],
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+        );
+        assert_eq!(rep, GroupId(1));
+    }
+
+    #[test]
+    fn rep_group_tie_broken_by_duration() {
+        let shots = vec![
+            shot_with_bin(0, 1, 10),
+            shot_with_bin(1, 1, 50),
+        ];
+        let groups = vec![group_of(0, &[0]), group_of(1, &[1])];
+        let rep = select_rep_group(
+            &[GroupId(0), GroupId(1)],
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+        );
+        assert_eq!(rep, GroupId(1), "longer duration wins the tie");
+    }
+
+    #[test]
+    fn rep_group_of_many_is_most_central() {
+        let bins = [1usize, 1, 1, 1, 77, 77];
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_with_bin(i, b, 20))
+            .collect();
+        let groups = vec![
+            group_of(0, &[0, 1]),
+            group_of(1, &[2, 3]),
+            group_of(2, &[4, 5]), // the outlier
+        ];
+        let rep = select_rep_group(
+            &[GroupId(0), GroupId(1), GroupId(2)],
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+        );
+        assert_ne!(rep, GroupId(2));
+    }
+
+    #[test]
+    fn empty_groups_yield_no_scenes() {
+        let det = detect_scenes(
+            &[],
+            &[],
+            SimilarityWeights::default(),
+            &SceneConfig::default(),
+        );
+        assert!(det.scenes.is_empty());
+    }
+
+    #[test]
+    fn scene_ids_are_sequential_after_elimination() {
+        let (shots, groups) = fixture();
+        let det = detect_scenes(
+            &groups,
+            &shots,
+            SimilarityWeights::default(),
+            &SceneConfig {
+                merge_threshold: Some(0.5),
+                min_scene_shots: 2,
+            },
+        );
+        for (i, s) in det.scenes.iter().enumerate() {
+            assert_eq!(s.id, SceneId(i));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Shot and group similarity (paper Eqs. 1, 8, 9).
+
+use medvid_types::{FrameFeatures, Group, Shot};
+
+/// Colour/texture weights of Eq. (1). The paper fixes `WC = 0.7, WT = 0.3`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityWeights {
+    /// Weight of the colour-histogram intersection term.
+    pub color: f32,
+    /// Weight of the texture term.
+    pub texture: f32,
+}
+
+impl Default for SimilarityWeights {
+    fn default() -> Self {
+        Self {
+            color: 0.7,
+            texture: 0.3,
+        }
+    }
+}
+
+impl SimilarityWeights {
+    /// Colour-only weights (used by the feature ablation).
+    pub fn color_only() -> Self {
+        Self {
+            color: 1.0,
+            texture: 0.0,
+        }
+    }
+}
+
+/// Eq. (1): `StSim(Si, Sj) = WC * sum_k min(H_i,k, H_j,k)
+/// + WT * (1 - sqrt(sum_k (T_i,k - T_j,k)^2))`.
+///
+/// With normalised inputs the result lies in `[0, 1]` (the texture term is
+/// clamped at 0 for pathological descriptors).
+pub fn feature_similarity(a: &FrameFeatures, b: &FrameFeatures, w: SimilarityWeights) -> f32 {
+    let color: f32 = a
+        .color
+        .bins()
+        .iter()
+        .zip(b.color.bins().iter())
+        .map(|(&x, &y)| x.min(y))
+        .sum();
+    let tex_dist = a.texture.sq_distance(&b.texture).sqrt();
+    let texture = (1.0 - tex_dist).max(0.0);
+    w.color * color + w.texture * texture
+}
+
+/// Eq. (1) applied to two shots' representative-frame features.
+pub fn shot_similarity(a: &Shot, b: &Shot, w: SimilarityWeights) -> f32 {
+    feature_similarity(&a.features, &b.features, w)
+}
+
+/// Eq. (8): similarity between a shot and a group is the maximum similarity
+/// between the shot and any member shot.
+pub fn shot_group_similarity(shot: &Shot, group: &Group, shots: &[Shot], w: SimilarityWeights) -> f32 {
+    group
+        .shots
+        .iter()
+        .map(|&sid| shot_similarity(shot, &shots[sid.index()], w))
+        .fold(0.0, f32::max)
+}
+
+/// Eq. (9): group similarity takes the group with fewer shots as benchmark
+/// and averages, over its shots, the best match in the other group.
+pub fn group_similarity(a: &Group, b: &Group, shots: &[Shot], w: SimilarityWeights) -> f32 {
+    let (bench, other) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if bench.is_empty() {
+        return 0.0;
+    }
+    let sum: f32 = bench
+        .shots
+        .iter()
+        .map(|&sid| shot_group_similarity(&shots[sid.index()], other, shots, w))
+        .sum();
+    sum / bench.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{
+        ColorHistogram, GroupId, GroupKind, ShotId, TamuraTexture,
+    };
+
+    fn features(bin: usize, tex_dim: usize) -> FrameFeatures {
+        let mut bins = vec![0.0f32; 256];
+        bins[bin] = 1.0;
+        let mut dims = vec![0.0f32; 10];
+        dims[tex_dim] = 1.0;
+        FrameFeatures {
+            color: ColorHistogram::new(bins).unwrap(),
+            texture: TamuraTexture::new(dims).unwrap(),
+        }
+    }
+
+    fn shot(i: usize, bin: usize, tex: usize) -> Shot {
+        Shot::new(ShotId(i), i * 10, (i + 1) * 10, features(bin, tex)).unwrap()
+    }
+
+    fn group(id: usize, shot_ids: &[usize]) -> Group {
+        Group {
+            id: GroupId(id),
+            shots: shot_ids.iter().map(|&i| ShotId(i)).collect(),
+            kind: GroupKind::SpatiallyRelated,
+            shot_clusters: vec![],
+            representative_shots: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_shots_score_one() {
+        let a = shot(0, 5, 2);
+        let s = shot_similarity(&a, &a, SimilarityWeights::default());
+        assert!((s - 1.0).abs() < 1e-6, "self-similarity {s}");
+    }
+
+    #[test]
+    fn disjoint_features_score_zero() {
+        let a = shot(0, 5, 2);
+        let b = shot(1, 100, 7);
+        let s = shot_similarity(&a, &b, SimilarityWeights::default());
+        // Colour intersection 0; texture distance sqrt(2) > 1 so clamped 0.
+        assert!(s.abs() < 1e-6, "disjoint similarity {s}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = shot(0, 5, 2);
+        let b = shot(1, 5, 7);
+        let w = SimilarityWeights::default();
+        assert_eq!(shot_similarity(&a, &b, w), shot_similarity(&b, &a, w));
+    }
+
+    #[test]
+    fn similarity_in_unit_interval() {
+        let a = shot(0, 5, 2);
+        let b = shot(1, 5, 3);
+        let s = shot_similarity(&a, &b, SimilarityWeights::default());
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn shot_group_takes_best_match() {
+        let shots = vec![shot(0, 5, 2), shot(1, 50, 5), shot(2, 5, 2)];
+        let g = group(0, &[1, 2]);
+        let s = shot_group_similarity(&shots[0], &g, &shots, SimilarityWeights::default());
+        // Best match is shot 2 (identical features).
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_similarity_uses_smaller_as_benchmark() {
+        let shots = vec![
+            shot(0, 5, 2),  // in small group
+            shot(1, 5, 2),  // in large group: perfect match
+            shot(2, 99, 9), // in large group: no match
+            shot(3, 98, 8), // in large group: no match
+        ];
+        let small = group(0, &[0]);
+        let large = group(1, &[1, 2, 3]);
+        let w = SimilarityWeights::default();
+        let s = group_similarity(&small, &large, &shots, w);
+        // Benchmark = small; its single shot matches perfectly.
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(s, group_similarity(&large, &small, &shots, w));
+    }
+
+    #[test]
+    fn color_only_weights_ignore_texture() {
+        let a = shot(0, 5, 2);
+        let b = shot(1, 5, 9);
+        let s = shot_similarity(&a, &b, SimilarityWeights::color_only());
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,271 @@
+//! Streaming shot detection: bounded-memory, frame-at-a-time.
+//!
+//! The batch detector ([`crate::shot::detect_shots`]) needs the whole frame
+//! sequence in memory. Production ingest of hour-long tapes wants a streaming
+//! front-end: push frames as they decode, receive finished [`Shot`]s (with
+//! representative-frame features already extracted) as soon as their end is
+//! known. Only the current window of frame differences and the candidate
+//! representative frame are retained — O(window) memory regardless of video
+//! length.
+//!
+//! The streaming detector uses a one-sided (trailing) window for its adaptive
+//! threshold, so its cuts can differ slightly from the batch detector's
+//! centred window near sharp activity changes; both enforce the same
+//! local-maximum and minimum-length rules.
+
+use crate::shot::ShotDetectorConfig;
+use medvid_signal::entropy::entropy_threshold;
+use medvid_signal::hist::hsv_histogram;
+use medvid_signal::tamura::coarseness;
+use medvid_types::{FrameFeatures, Image, Shot, ShotId};
+use std::collections::VecDeque;
+
+/// A bounded-memory streaming shot detector.
+#[derive(Debug, Clone)]
+pub struct StreamingShotDetector {
+    config: ShotDetectorConfig,
+    /// Trailing window of frame differences.
+    window: VecDeque<f32>,
+    /// The last frame pushed (for differencing).
+    prev_frame: Option<Image>,
+    /// Recent differences for the local-maximum test (`d[i-2..=i]`).
+    recent: VecDeque<f32>,
+    /// Start frame of the current (open) shot.
+    shot_start: usize,
+    /// Frames pushed so far.
+    frames_seen: usize,
+    /// The representative frame of the open shot, captured when its index
+    /// passes by.
+    rep_frame: Option<(usize, Image)>,
+    /// Shots emitted so far (for id assignment).
+    emitted: usize,
+    /// A pending cut position awaiting the local-maximum confirmation.
+    pending_cut: Option<(usize, f32)>,
+}
+
+impl StreamingShotDetector {
+    /// Creates a detector.
+    pub fn new(config: ShotDetectorConfig) -> Self {
+        Self {
+            config,
+            window: VecDeque::new(),
+            prev_frame: None,
+            recent: VecDeque::new(),
+            shot_start: 0,
+            frames_seen: 0,
+            rep_frame: None,
+            emitted: 0,
+            pending_cut: None,
+        }
+    }
+
+    /// Number of frames pushed so far.
+    pub fn frames_seen(&self) -> usize {
+        self.frames_seen
+    }
+
+    /// Pushes the next frame; returns a completed [`Shot`] when the frame
+    /// confirms a cut (the shot that just ended).
+    pub fn push(&mut self, frame: &Image) -> Option<Shot> {
+        let idx = self.frames_seen;
+        self.frames_seen += 1;
+        // Capture the open shot's representative frame as it streams by.
+        let rep_idx = Shot::representative_frame(self.shot_start, idx + 1);
+        if self
+            .rep_frame
+            .as_ref()
+            .map(|(i, _)| *i != rep_idx)
+            .unwrap_or(true)
+            && rep_idx == idx
+        {
+            self.rep_frame = Some((idx, frame.clone()));
+        }
+        let mut completed = None;
+        if let Some(prev) = &self.prev_frame {
+            let d = prev.mean_abs_diff(frame);
+            // Maintain the trailing threshold window.
+            self.window.push_back(d);
+            if self.window.len() > self.config.window.max(4) {
+                self.window.pop_front();
+            }
+            // Local-maximum confirmation: a pending cut at difference
+            // position p (between frames p and p+1) is confirmed once the
+            // two following differences are known and smaller.
+            if let Some((cut_frame, cut_diff)) = self.pending_cut {
+                if d > cut_diff {
+                    // A bigger difference within the lookahead: the pending
+                    // cut was not a local maximum; re-evaluate at this one.
+                    self.pending_cut = None;
+                    self.try_open_cut(idx, d);
+                } else if idx >= cut_frame + 2 {
+                    self.pending_cut = None;
+                    completed = self.emit_shot(cut_frame);
+                }
+            } else {
+                self.try_open_cut(idx, d);
+            }
+            self.recent.push_back(d);
+            if self.recent.len() > 3 {
+                self.recent.pop_front();
+            }
+        }
+        self.prev_frame = Some(frame.clone());
+        completed
+    }
+
+    /// Tests whether the difference `d` between frames `idx-1` and `idx`
+    /// opens a cut candidate at frame `idx`.
+    fn try_open_cut(&mut self, idx: usize, d: f32) {
+        let slice: Vec<f32> = self.window.iter().copied().collect();
+        let te = entropy_threshold(&slice);
+        let mean = slice.iter().sum::<f32>() / slice.len().max(1) as f32;
+        let var = slice
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / slice.len().max(1) as f32;
+        let threshold = te
+            .max(mean + self.config.activity_factor * var.sqrt())
+            .max(self.config.floor);
+        if d <= threshold {
+            return;
+        }
+        // The preceding differences must not exceed d (local max, left side).
+        if self.recent.iter().any(|&r| r > d) {
+            return;
+        }
+        if idx - self.shot_start < self.config.min_shot_len {
+            return;
+        }
+        self.pending_cut = Some((idx, d));
+    }
+
+    /// Emits the shot ending at `cut_frame` (exclusive).
+    fn emit_shot(&mut self, cut_frame: usize) -> Option<Shot> {
+        let start = self.shot_start;
+        self.shot_start = cut_frame;
+        let features = self.take_features(start, cut_frame)?;
+        let shot = Shot::new(ShotId(self.emitted), start, cut_frame, features).ok()?;
+        self.emitted += 1;
+        // The new shot's representative frame may already have passed; it is
+        // re-captured from subsequent pushes (representative_frame of a
+        // growing shot moves until frame start+9).
+        self.rep_frame = None;
+        Some(shot)
+    }
+
+    fn take_features(&mut self, start: usize, end: usize) -> Option<FrameFeatures> {
+        let rep_target = Shot::representative_frame(start, end);
+        match self.rep_frame.take() {
+            Some((idx, img)) if idx <= rep_target => Some(FrameFeatures {
+                color: hsv_histogram(&img),
+                texture: coarseness(&img),
+            }),
+            Some((_, img)) => Some(FrameFeatures {
+                color: hsv_histogram(&img),
+                texture: coarseness(&img),
+            }),
+            // Degenerate: no frame captured (can only happen on empty shots).
+            None => self.prev_frame.as_ref().map(|img| FrameFeatures {
+                color: hsv_histogram(img),
+                texture: coarseness(img),
+            }),
+        }
+    }
+
+    /// Flushes the detector at end of stream, emitting the final open shot.
+    pub fn finish(mut self) -> Option<Shot> {
+        if self.frames_seen == 0 || self.shot_start >= self.frames_seen {
+            return None;
+        }
+        let start = self.shot_start;
+        let end = self.frames_seen;
+        let features = self.take_features(start, end)?;
+        Shot::new(ShotId(self.emitted), start, end, features).ok()
+    }
+}
+
+/// Convenience: runs the streaming detector over a whole frame slice.
+pub fn stream_detect(frames: &[Image], config: &ShotDetectorConfig) -> Vec<Shot> {
+    let mut det = StreamingShotDetector::new(*config);
+    let mut shots = Vec::new();
+    for f in frames {
+        if let Some(s) = det.push(f) {
+            shots.push(s);
+        }
+    }
+    if let Some(s) = det.finish() {
+        shots.push(s);
+    }
+    shots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::corpus::programme_spec;
+    use medvid_synth::{generate_video, CorpusScale};
+    use medvid_types::VideoId;
+
+    #[test]
+    fn streaming_cuts_match_truth() {
+        let spec = programme_spec("t", CorpusScale::Tiny, 71);
+        let video = generate_video(VideoId(0), &spec, 71);
+        let truth = video.truth.as_ref().unwrap();
+        let shots = stream_detect(&video.frames, &ShotDetectorConfig::default());
+        let detected: Vec<usize> = shots.iter().skip(1).map(|s| s.start_frame).collect();
+        let found = truth
+            .shot_cuts
+            .iter()
+            .filter(|&&t| detected.iter().any(|&d| d.abs_diff(t) <= 2))
+            .count();
+        let recall = found as f64 / truth.shot_cuts.len() as f64;
+        assert!(recall > 0.85, "streaming recall {recall}");
+    }
+
+    #[test]
+    fn streaming_shots_partition_frames() {
+        let spec = programme_spec("t", CorpusScale::Tiny, 72);
+        let video = generate_video(VideoId(0), &spec, 72);
+        let shots = stream_detect(&video.frames, &ShotDetectorConfig::default());
+        assert_eq!(shots[0].start_frame, 0);
+        assert_eq!(shots.last().unwrap().end_frame, video.frame_count());
+        for w in shots.windows(2) {
+            assert_eq!(w[0].end_frame, w[1].start_frame);
+        }
+        for (i, s) in shots.iter().enumerate() {
+            assert_eq!(s.id, ShotId(i));
+        }
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_on_shot_count() {
+        let spec = programme_spec("t", CorpusScale::Tiny, 73);
+        let video = generate_video(VideoId(0), &spec, 73);
+        let cfg = ShotDetectorConfig::default();
+        let batch = crate::shot::detect_shots(&video, &cfg).shots.len() as f64;
+        let streaming = stream_detect(&video.frames, &cfg).len() as f64;
+        assert!(
+            (batch - streaming).abs() / batch < 0.2,
+            "batch {batch} vs streaming {streaming}"
+        );
+    }
+
+    #[test]
+    fn empty_and_short_streams() {
+        let cfg = ShotDetectorConfig::default();
+        assert!(stream_detect(&[], &cfg).is_empty());
+        let one = vec![Image::black(8, 8)];
+        let shots = stream_detect(&one, &cfg);
+        assert_eq!(shots.len(), 1);
+        assert_eq!(shots[0].len(), 1);
+    }
+
+    #[test]
+    fn static_stream_is_one_shot() {
+        let frames = vec![Image::black(16, 16); 60];
+        let shots = stream_detect(&frames, &ShotDetectorConfig::default());
+        assert_eq!(shots.len(), 1, "{shots:?}");
+        assert_eq!(shots[0].len(), 60);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on content-structure mining invariants.
+
+use medvid_structure::group::{detect_groups, GroupConfig};
+use medvid_structure::scene::{detect_scenes, SceneConfig};
+use medvid_structure::similarity::{shot_similarity, SimilarityWeights};
+use medvid_types::{ColorHistogram, FrameFeatures, Shot, ShotId, TamuraTexture};
+use proptest::prelude::*;
+
+fn shot_from_bin(i: usize, bin: usize, len: usize) -> Shot {
+    let mut hist = vec![0.0f32; 256];
+    hist[bin % 256] = 1.0;
+    let mut tex = vec![0.0f32; 10];
+    tex[bin % 10] = 1.0;
+    Shot::new(
+        ShotId(i),
+        i * 100,
+        i * 100 + len.max(1),
+        FrameFeatures {
+            color: ColorHistogram::new(hist).unwrap(),
+            texture: TamuraTexture::new(tex).unwrap(),
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn similarity_is_symmetric_bounded(
+        b1 in 0usize..256, b2 in 0usize..256,
+        wc in 0.0f32..1.0,
+    ) {
+        let w = SimilarityWeights { color: wc, texture: 1.0 - wc };
+        let a = shot_from_bin(0, b1, 10);
+        let b = shot_from_bin(1, b2, 10);
+        let s1 = shot_similarity(&a, &b, w);
+        let s2 = shot_similarity(&b, &a, w);
+        prop_assert!((s1 - s2).abs() < 1e-6);
+        prop_assert!((-1e-6..=1.0 + 1e-6).contains(&s1));
+        let self_sim = shot_similarity(&a, &a, w);
+        prop_assert!((self_sim - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn groups_partition_shots_for_any_bin_sequence(
+        bins in prop::collection::vec(0usize..8, 1..40),
+    ) {
+        // Spread bins so that distinct values are visually distinct.
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_from_bin(i, b * 30, 10 + i % 20))
+            .collect();
+        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        let mut all: Vec<ShotId> = det.groups.iter().flat_map(|g| g.shots.clone()).collect();
+        all.sort_unstable();
+        let expected: Vec<ShotId> = (0..shots.len()).map(ShotId).collect();
+        prop_assert_eq!(all, expected);
+        // Groups are contiguous in time.
+        for g in &det.groups {
+            for w2 in g.shots.windows(2) {
+                prop_assert_eq!(w2[1].index(), w2[0].index() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_use_each_group_at_most_once(
+        bins in prop::collection::vec(0usize..6, 2..30),
+        min_shots in 1usize..4,
+    ) {
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_from_bin(i, b * 40, 12))
+            .collect();
+        let w = SimilarityWeights::default();
+        let groups = detect_groups(&shots, w, &GroupConfig::default()).groups;
+        let det = detect_scenes(
+            &groups,
+            &shots,
+            w,
+            &SceneConfig {
+                merge_threshold: None,
+                min_scene_shots: min_shots,
+            },
+        );
+        let mut seen = std::collections::HashSet::new();
+        for scene in &det.scenes {
+            prop_assert!(scene.groups.contains(&scene.representative_group));
+            for g in &scene.groups {
+                prop_assert!(seen.insert(*g), "group used twice");
+            }
+            let shot_count: usize = scene
+                .groups
+                .iter()
+                .map(|&g| groups[g.index()].len())
+                .sum();
+            prop_assert!(shot_count >= min_shots);
+        }
+    }
+
+    #[test]
+    fn rep_shots_always_members(bins in prop::collection::vec(0usize..5, 1..25)) {
+        let shots: Vec<Shot> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| shot_from_bin(i, b * 50, 10))
+            .collect();
+        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        for g in &det.groups {
+            prop_assert!(!g.representative_shots.is_empty());
+            for r in &g.representative_shots {
+                prop_assert!(g.shots.contains(r));
+            }
+            // Clusters partition the group's shots.
+            let mut cluster_shots: Vec<ShotId> =
+                g.shot_clusters.iter().flatten().copied().collect();
+            cluster_shots.sort_unstable();
+            let mut members = g.shots.clone();
+            members.sort_unstable();
+            prop_assert_eq!(cluster_shots, members);
+        }
+    }
+}

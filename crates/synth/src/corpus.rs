@@ -1,0 +1,240 @@
+//! The standard evaluation corpus.
+//!
+//! Five programmes mirroring the paper's dataset — face repair, nuclear
+//! medicine, laparoscopy, skin examination, laser eye surgery — each scripted
+//! as a cycle of presentations, dialogs, clinical operations and neutral
+//! connective scenes, with deliberate topic recurrence so that scene
+//! clustering has redundancy to remove.
+//!
+//! The paper's corpus is ~6 hours of MPEG-I video; we reproduce its
+//! *structural* scale (shots per scene, scenes per video, recurrence rate) at
+//! a reduced frame rate and resolution. [`CorpusScale`] selects how much of
+//! that structure to generate.
+
+use crate::palette::{LocationId, PersonId};
+use crate::script::{
+    clinical_scene, diagnosis_scene, dialog_scene, neutral_scene, presentation_scene, SceneScript,
+    VideoSpec,
+};
+use medvid_types::{Video, VideoId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How much of the corpus structure to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusScale {
+    /// 2 videos x ~6 scenes: unit/integration tests.
+    Tiny,
+    /// 5 videos x ~9 scenes: fast experiments.
+    Small,
+    /// 5 videos x ~16 scenes: the paper-shaped evaluation corpus.
+    Full,
+}
+
+impl CorpusScale {
+    /// Number of videos at this scale.
+    pub fn video_count(self) -> usize {
+        match self {
+            CorpusScale::Tiny => 2,
+            CorpusScale::Small | CorpusScale::Full => 5,
+        }
+    }
+
+    /// Target scene count per video.
+    pub fn scenes_per_video(self) -> usize {
+        match self {
+            CorpusScale::Tiny => 6,
+            CorpusScale::Small => 9,
+            CorpusScale::Full => 16,
+        }
+    }
+
+    /// Frame width at this scale.
+    pub fn width(self) -> usize {
+        match self {
+            CorpusScale::Tiny => 48,
+            _ => 80,
+        }
+    }
+
+    /// Frame height at this scale.
+    pub fn height(self) -> usize {
+        match self {
+            CorpusScale::Tiny => 36,
+            _ => 60,
+        }
+    }
+}
+
+/// The five programme titles of the paper's dataset.
+pub const PROGRAMME_TITLES: [&str; 5] = [
+    "Face Repair",
+    "Nuclear Medicine",
+    "Laparoscopy",
+    "Skin Examination",
+    "Laser Eye Surgery",
+];
+
+/// Builds the spec of one programme.
+///
+/// The scenario interleaves the four scene templates and revisits roughly a
+/// third of the topics later in the video (same presenter, same location),
+/// which is the redundancy the paper's scene clustering eliminates.
+pub fn programme_spec(title: &str, scale: CorpusScale, seed: u64) -> VideoSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_scenes = scale.scenes_per_video();
+    let persons = 5usize;
+    let locations = 6usize;
+    let presenter = PersonId(1);
+    let doctor = PersonId(2);
+    let patient = PersonId(3);
+
+    let mut scenes: Vec<SceneScript> = Vec::with_capacity(n_scenes);
+    // Opening: neutral establishing material then the overview presentation.
+    scenes.push(neutral_scene("establishing", LocationId(0), &mut rng));
+    scenes.push(presentation_scene(
+        "overview",
+        presenter,
+        LocationId(1),
+        &mut rng,
+    ));
+    let mut topic_no = 0usize;
+    while scenes.len() < n_scenes.saturating_sub(2) {
+        topic_no += 1;
+        let topic = format!("topic-{topic_no}");
+        match topic_no % 4 {
+            1 => scenes.push(dialog_scene(
+                &format!("{topic}-consult"),
+                doctor,
+                patient,
+                LocationId(2),
+                &mut rng,
+            )),
+            2 => scenes.push(clinical_scene(
+                &format!("{topic}-procedure"),
+                LocationId(3),
+                &mut rng,
+            )),
+            3 => scenes.push(diagnosis_scene(
+                &format!("{topic}-examination"),
+                doctor,
+                LocationId(4),
+                &mut rng,
+            )),
+            _ => scenes.push(presentation_scene(
+                &format!("{topic}-lecture"),
+                presenter,
+                LocationId(1),
+                &mut rng,
+            )),
+        }
+        // Occasional connective tissue.
+        if scenes.len() < n_scenes.saturating_sub(2) && rng.gen_bool(0.25) {
+            scenes.push(neutral_scene("corridor", LocationId(5), &mut rng));
+        }
+    }
+    // Recurrences: revisit the overview presentation and the first procedure
+    // (same template arguments => visually similar scenes elsewhere in the
+    // video, which PCS should cluster).
+    scenes.push(presentation_scene(
+        "overview",
+        presenter,
+        LocationId(1),
+        &mut rng,
+    ));
+    if n_scenes >= 6 {
+        scenes.push(clinical_scene("topic-2-procedure", LocationId(3), &mut rng));
+    }
+
+    VideoSpec {
+        title: title.to_string(),
+        width: scale.width(),
+        height: scale.height(),
+        fps: 10.0,
+        sample_rate: 8000,
+        locations,
+        persons,
+        scenes,
+    }
+}
+
+/// Generates the standard corpus at the given scale.
+pub fn standard_corpus(scale: CorpusScale, seed: u64) -> Vec<Video> {
+    (0..scale.video_count())
+        .map(|i| {
+            let title = PROGRAMME_TITLES[i % PROGRAMME_TITLES.len()];
+            let spec = programme_spec(title, scale, seed.wrapping_add(i as u64 * 101));
+            generate(i, &spec, seed)
+        })
+        .collect()
+}
+
+fn generate(i: usize, spec: &VideoSpec, seed: u64) -> Video {
+    crate::generate::generate_video(VideoId(i), spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::EventKind;
+
+    #[test]
+    fn tiny_corpus_has_two_videos() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 99);
+        assert_eq!(corpus.len(), 2);
+        for v in &corpus {
+            assert!(v.frame_count() > 50);
+            assert!(v.truth.is_some());
+        }
+    }
+
+    #[test]
+    fn programme_spec_scene_count_matches_scale() {
+        let spec = programme_spec("t", CorpusScale::Small, 1);
+        let n = spec.scenes.len();
+        // Within one of the target (connective scenes may push it slightly).
+        assert!(
+            (CorpusScale::Small.scenes_per_video() - 1..=CorpusScale::Small.scenes_per_video() + 2)
+                .contains(&n),
+            "scene count {n}"
+        );
+    }
+
+    #[test]
+    fn scenario_contains_all_event_kinds() {
+        let spec = programme_spec("t", CorpusScale::Full, 5);
+        for kind in EventKind::DETERMINATE {
+            assert!(
+                spec.scenes.iter().any(|s| s.event == Some(kind)),
+                "missing {kind}"
+            );
+        }
+        assert!(spec.scenes.iter().any(|s| s.event.is_none()));
+    }
+
+    #[test]
+    fn overview_topic_recurs() {
+        let spec = programme_spec("t", CorpusScale::Small, 5);
+        let overview_count = spec
+            .scenes
+            .iter()
+            .filter(|s| s.topic == "overview")
+            .count();
+        assert_eq!(overview_count, 2, "overview must appear twice");
+    }
+
+    #[test]
+    fn corpus_titles_follow_paper() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 3);
+        assert_eq!(corpus[0].title, "Face Repair");
+        assert_eq!(corpus[1].title, "Nuclear Medicine");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = standard_corpus(CorpusScale::Tiny, 11);
+        let b = standard_corpus(CorpusScale::Tiny, 11);
+        assert_eq!(a[0].truth, b[0].truth);
+        assert_eq!(a[0].frames[10], b[0].frames[10]);
+    }
+}

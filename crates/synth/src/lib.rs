@@ -1,0 +1,37 @@
+//! Synthetic medical-video corpus generator.
+//!
+//! The paper evaluates on ~6 hours of MPEG-I medical videos (face repair,
+//! nuclear medicine, laparoscopy, skin examination, laser eye surgery). Those
+//! tapes are unavailable, so this crate synthesises a corpus with the same
+//! *statistical structure* the ClassMiner algorithms key on, together with
+//! complete ground truth:
+//!
+//! * videos are scripted as scenes of the paper's three production styles
+//!   (presentation, dialog, clinical operation) plus neutral material
+//!   ([`script`]);
+//! * frames are rendered as RGB images with location-specific backgrounds,
+//!   faces, slides, skin and blood-red regions, camera jitter and sensor
+//!   noise ([`render`]);
+//! * the audio track is synthesised per shot: harmonic "voices" with
+//!   per-speaker fundamentals and spectral envelopes for speech, and broadband
+//!   noise or chord beds for non-speech ([`voice`]);
+//! * [`generate`] assembles videos and records every shot cut, semantic unit,
+//!   speaker span and special-frame span as [`medvid_types::GroundTruth`];
+//! * [`corpus`] provides the five-programme "6-hour-equivalent" evaluation
+//!   corpus at configurable scale.
+//!
+//! Everything is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generate;
+pub mod palette;
+pub mod render;
+pub mod script;
+pub mod voice;
+
+pub use corpus::{standard_corpus, CorpusScale};
+pub use generate::generate_video;
+pub use script::{SceneScript, ShotContent, ShotScript, VideoSpec};

@@ -1,0 +1,208 @@
+//! Visual identities: locations and persons.
+//!
+//! A *location* fixes the background look of every shot filmed there — wall
+//! and floor colours plus an accent texture. Shots of the same scene reuse
+//! the location, which is what makes intra-group/intra-scene visual
+//! similarity high and inter-scene similarity low, exactly the statistics the
+//! grouping and merging algorithms exploit.
+
+use medvid_types::Rgb;
+use rand::Rng;
+
+/// Identifier of a person appearing on screen (also the speaker id on the
+/// audio track; speaker 0 is reserved for "no speech").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersonId(pub u32);
+
+/// Identifier of a filming location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocationId(pub usize);
+
+/// The background look of a location.
+#[derive(Debug, Clone)]
+pub struct Location {
+    /// Upper background (wall) colour.
+    pub wall: Rgb,
+    /// Lower background (floor/desk) colour.
+    pub floor: Rgb,
+    /// Accent colour for the texture pattern.
+    pub accent: Rgb,
+    /// Texture cell size in pixels (drives Tamura coarseness differences).
+    pub cell: usize,
+    /// Fraction of the frame height taken by the wall band.
+    pub horizon: f32,
+}
+
+/// On-screen appearance of a person.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Skin tone (kept inside the detector's skin-colour Gaussian).
+    pub skin: Rgb,
+    /// Hair colour.
+    pub hair: Rgb,
+    /// Clothing colour.
+    pub clothes: Rgb,
+}
+
+/// Deterministically derives a location look from its id and a style seed.
+pub fn location_style<R: Rng + ?Sized>(rng: &mut R) -> Location {
+    // Walls: muted clinical tones (blues, greens, greys).
+    let hue_pick = rng.gen_range(0..4);
+    let wall = match hue_pick {
+        0 => Rgb::new(
+            rng.gen_range(150..200),
+            rng.gen_range(170..215),
+            rng.gen_range(190..235),
+        ),
+        1 => Rgb::new(
+            rng.gen_range(160..205),
+            rng.gen_range(190..230),
+            rng.gen_range(160..200),
+        ),
+        2 => Rgb::new(
+            rng.gen_range(185..220),
+            rng.gen_range(185..220),
+            rng.gen_range(185..220),
+        ),
+        _ => {
+            // Warm grey: kept blue-balanced so clinic walls never fall inside
+            // the skin-colour Gaussian.
+            let g: u8 = rng.gen_range(185..220);
+            Rgb::new(g.saturating_add(8), g, g.saturating_sub(5))
+        }
+    };
+    // Floor: the wall darkened uniformly, preserving hue so floors never
+    // drift into skin chromaticity.
+    let dim = rng.gen_range(0.55..0.75);
+    let floor = Rgb::new(
+        (wall.r as f32 * dim) as u8,
+        (wall.g as f32 * dim) as u8,
+        (wall.b as f32 * dim) as u8,
+    );
+    let accent = Rgb::new(
+        rng.gen_range(60..180),
+        rng.gen_range(60..180),
+        rng.gen_range(60..180),
+    );
+    Location {
+        wall,
+        floor,
+        accent,
+        cell: *[2usize, 3, 4, 6, 8]
+            .get(rng.gen_range(0..5))
+            .expect("index in range"),
+        horizon: rng.gen_range(0.45..0.7),
+    }
+}
+
+/// Deterministically derives a person's look.
+pub fn person_style<R: Rng + ?Sized>(rng: &mut R) -> Person {
+    // Skin tones sampled by channel ratio so every intensity lands inside
+    // the detector's chromaticity Gaussian.
+    let r = rng.gen_range(160..240) as f32;
+    let skin = Rgb::new(
+        r as u8,
+        (r * rng.gen_range(0.70..0.78)) as u8,
+        (r * rng.gen_range(0.52..0.64)) as u8,
+    );
+    let hair = Rgb::new(
+        rng.gen_range(20..90),
+        rng.gen_range(15..70),
+        rng.gen_range(10..55),
+    );
+    // Medical wardrobe: scrub blues/greens, white coats, dark suits — never
+    // skin-toned, so faces stay separable from torsos.
+    let clothes = match rng.gen_range(0..4) {
+        0 => Rgb::new(
+            rng.gen_range(40..90),
+            rng.gen_range(110..160),
+            rng.gen_range(150..210),
+        ),
+        1 => Rgb::new(
+            rng.gen_range(50..100),
+            rng.gen_range(140..190),
+            rng.gen_range(110..160),
+        ),
+        2 => Rgb::new(
+            rng.gen_range(230..250),
+            rng.gen_range(230..250),
+            rng.gen_range(235..255),
+        ),
+        _ => Rgb::new(
+            rng.gen_range(30..70),
+            rng.gen_range(30..70),
+            rng.gen_range(40..90),
+        ),
+    };
+    Person {
+        skin,
+        hair,
+        clothes,
+    }
+}
+
+/// The skin tone used for clinical skin-surface close-ups (examination,
+/// surgery fields).
+pub fn clinical_skin<R: Rng + ?Sized>(rng: &mut R) -> Rgb {
+    Rgb::new(
+        rng.gen_range(200..235),
+        rng.gen_range(152..185),
+        rng.gen_range(115..150),
+    )
+}
+
+/// A saturated blood-red for surgical fields.
+pub fn blood_red<R: Rng + ?Sized>(rng: &mut R) -> Rgb {
+    Rgb::new(
+        rng.gen_range(150..210),
+        rng.gen_range(10..45),
+        rng.gen_range(10..45),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn location_style_is_deterministic() {
+        let a = location_style(&mut StdRng::seed_from_u64(5));
+        let b = location_style(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.cell, b.cell);
+    }
+
+    #[test]
+    fn floor_darker_than_wall() {
+        for seed in 0..20 {
+            let loc = location_style(&mut StdRng::seed_from_u64(seed));
+            assert!(loc.floor.luma() < loc.wall.luma());
+        }
+    }
+
+    #[test]
+    fn person_skin_is_warm_toned() {
+        for seed in 0..20 {
+            let p = person_style(&mut StdRng::seed_from_u64(seed));
+            assert!(p.skin.r > p.skin.g && p.skin.g > p.skin.b, "skin {:?}", p.skin);
+        }
+    }
+
+    #[test]
+    fn blood_red_is_dominantly_red() {
+        for seed in 0..20 {
+            let c = blood_red(&mut StdRng::seed_from_u64(seed));
+            assert!(c.r as u16 > 2 * c.g as u16 && c.r as u16 > 2 * c.b as u16);
+        }
+    }
+
+    #[test]
+    fn clinical_skin_in_detector_range() {
+        for seed in 0..20 {
+            let c = clinical_skin(&mut StdRng::seed_from_u64(seed));
+            assert!(c.r > c.g && c.g > c.b);
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Frame rendering.
+//!
+//! Every shot is rendered frame by frame. Natural shots get a location
+//! background (two colour bands plus an accent texture), a slowly drifting
+//! camera offset and per-pixel sensor noise; man-made frames (slides,
+//! clip-art, black) are rendered flat with minimal noise — exactly the
+//! "less motion and colour information" signature the special-frame detector
+//! keys on (paper Sec. 4.1).
+
+use crate::palette::{Location, Person};
+use crate::script::ShotContent;
+use medvid_types::{Image, Rgb};
+use rand::Rng;
+
+/// Per-shot rendering state: camera jitter accumulates over the shot and a
+/// fixed layout for foreground elements keeps intra-shot variance low.
+#[derive(Debug, Clone)]
+pub struct ShotRenderer {
+    width: usize,
+    height: usize,
+    /// Camera drift in pixels (random walk, sub-pixel per frame).
+    drift_x: f32,
+    drift_y: f32,
+    /// Per-shot layout randomisation in `[-1, 1]`.
+    layout: f32,
+}
+
+impl ShotRenderer {
+    /// Starts rendering a new shot.
+    pub fn new<R: Rng + ?Sized>(width: usize, height: usize, rng: &mut R) -> Self {
+        Self {
+            width,
+            height,
+            drift_x: 0.0,
+            drift_y: 0.0,
+            layout: rng.gen_range(-1.0..1.0),
+        }
+    }
+
+    /// Renders the next frame of the shot.
+    pub fn render<R: Rng + ?Sized>(
+        &mut self,
+        content: ShotContent,
+        locations: &[Location],
+        persons: &[Person],
+        rng: &mut R,
+    ) -> Image {
+        // Camera drift: bounded random walk.
+        self.drift_x = (self.drift_x + rng.gen_range(-0.4..0.4)).clamp(-3.0, 3.0);
+        self.drift_y = (self.drift_y + rng.gen_range(-0.25..0.25)).clamp(-2.0, 2.0);
+        let mut img = match content {
+            ShotContent::Black => Image::filled(
+                self.width,
+                self.height,
+                Rgb::new(rng.gen_range(0..6), rng.gen_range(0..6), rng.gen_range(0..6)),
+            ),
+            ShotContent::Slide => self.render_slide(rng),
+            ShotContent::ClipArt => self.render_clipart(rng),
+            ShotContent::Sketch => self.render_sketch(rng),
+            ShotContent::FaceCloseUp { person, location } => {
+                let mut img = self.render_background(&locations[location.0]);
+                self.draw_face(
+                    &mut img,
+                    &persons[person.0 as usize % persons.len()],
+                    0.42, // close-up: face height fraction => area >= 10%
+                    rng,
+                );
+                img
+            }
+            ShotContent::PersonWide { person, location } => {
+                let mut img = self.render_background(&locations[location.0]);
+                self.draw_face(
+                    &mut img,
+                    &persons[person.0 as usize % persons.len()],
+                    0.16, // wide: small face
+                    rng,
+                );
+                img
+            }
+            ShotContent::SkinCloseUp { location } => {
+                let mut img = self.render_background(&locations[location.0]);
+                self.draw_skin_field(&mut img, 0.55, false, rng);
+                img
+            }
+            ShotContent::SurgicalField { location } => {
+                let mut img = self.render_background(&locations[location.0]);
+                self.draw_skin_field(&mut img, 0.5, true, rng);
+                img
+            }
+            ShotContent::OrganPicture => {
+                let mut img = Image::filled(
+                    self.width,
+                    self.height,
+                    Rgb::new(70, 25, 25),
+                );
+                self.draw_organ(&mut img, rng);
+                img
+            }
+            ShotContent::Equipment { location } => {
+                let mut img = self.render_background(&locations[location.0]);
+                self.draw_equipment(&mut img, &locations[location.0], rng);
+                img
+            }
+        };
+        // Sensor noise: man-made frames are cleaner.
+        let noise_amp = match content {
+            ShotContent::Slide | ShotContent::ClipArt | ShotContent::Sketch | ShotContent::Black => 1,
+            _ => 4,
+        };
+        add_noise(&mut img, noise_amp, rng);
+        img
+    }
+
+    /// Two-band background with accent texture, shifted by the camera drift.
+    fn render_background(&self, loc: &Location) -> Image {
+        let mut img = Image::black(self.width, self.height);
+        let horizon = (loc.horizon * self.height as f32) as usize;
+        let ox = self.drift_x.round() as isize;
+        let oy = self.drift_y.round() as isize;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let base = if y < horizon { loc.wall } else { loc.floor };
+                // Accent texture: sparse checker of the location's cell size.
+                let tx = (x as isize + ox).rem_euclid(loc.cell as isize * 4) as usize;
+                let ty = (y as isize + oy).rem_euclid(loc.cell as isize * 4) as usize;
+                let p = if tx < loc.cell && ty < loc.cell {
+                    blend(base, loc.accent, 0.45)
+                } else {
+                    base
+                };
+                img.set(x, y, p);
+            }
+        }
+        img
+    }
+
+    fn draw_face<R: Rng + ?Sized>(
+        &self,
+        img: &mut Image,
+        person: &Person,
+        face_frac: f32,
+        rng: &mut R,
+    ) {
+        let h = self.height as f32;
+        let w = self.width as f32;
+        let ry = face_frac * h / 1.6;
+        let rx = ry * 0.75;
+        let cx = w / 2.0 + self.layout * w * 0.12 + self.drift_x;
+        let cy = h * 0.42 + self.drift_y;
+        // Torso.
+        img.fill_rect(
+            (cx - rx * 1.8).max(0.0) as usize,
+            (cy + ry * 0.8) as usize,
+            (cx + rx * 1.8) as usize,
+            self.height,
+            person.clothes,
+        );
+        // Head.
+        img.fill_ellipse(cx, cy, rx, ry, person.skin);
+        // Hair cap.
+        img.fill_ellipse(cx, cy - ry * 0.62, rx * 0.95, ry * 0.45, person.hair);
+        // Eyes and mouth (dark features inside the skin blob).
+        let eye = Rgb::new(25, 20, 20);
+        img.fill_ellipse(cx - rx * 0.38, cy - ry * 0.05, rx * 0.13, ry * 0.08, eye);
+        img.fill_ellipse(cx + rx * 0.38, cy - ry * 0.05, rx * 0.13, ry * 0.08, eye);
+        let mouth_open = rng.gen_range(0.04..0.12);
+        img.fill_ellipse(
+            cx,
+            cy + ry * 0.45,
+            rx * 0.3,
+            ry * mouth_open,
+            Rgb::new(120, 50, 50),
+        );
+    }
+
+    fn draw_skin_field<R: Rng + ?Sized>(
+        &self,
+        img: &mut Image,
+        frac: f32,
+        with_blood: bool,
+        rng: &mut R,
+    ) {
+        let w = self.width as f32;
+        let h = self.height as f32;
+        // Large elliptical skin surface covering `frac` of the frame.
+        let area = frac * w * h;
+        let ry = (area / std::f32::consts::PI / 1.8).sqrt();
+        let rx = ry * 1.8;
+        let cx = w / 2.0 + self.layout * w * 0.08 + self.drift_x;
+        let cy = h / 2.0 + self.drift_y;
+        let skin = Rgb::new(215, 165, 135);
+        img.fill_ellipse(cx, cy, rx, ry, skin);
+        // Mild tone variation so the region is not perfectly flat.
+        let shade = Rgb::new(200, 150, 120);
+        img.fill_ellipse(cx - rx * 0.3, cy + ry * 0.2, rx * 0.4, ry * 0.35, shade);
+        if with_blood {
+            let blood = Rgb::new(
+                rng.gen_range(160..205),
+                rng.gen_range(12..40),
+                rng.gen_range(12..40),
+            );
+            // Incision plus satellite blobs.
+            img.fill_rect(
+                (cx - rx * 0.5) as usize,
+                (cy - 2.0).max(0.0) as usize,
+                (cx + rx * 0.5) as usize,
+                (cy + 3.0) as usize,
+                blood,
+            );
+            for _ in 0..3 {
+                let bx = cx + rng.gen_range(-rx * 0.5..rx * 0.5);
+                let by = cy + rng.gen_range(-ry * 0.4..ry * 0.4);
+                img.fill_ellipse(bx, by, rx * 0.12, ry * 0.12, blood);
+            }
+        }
+    }
+
+    fn draw_organ<R: Rng + ?Sized>(&self, img: &mut Image, rng: &mut R) {
+        let w = self.width as f32;
+        let h = self.height as f32;
+        let blood = Rgb::new(
+            rng.gen_range(165..210),
+            rng.gen_range(20..50),
+            rng.gen_range(20..50),
+        );
+        img.fill_ellipse(
+            w / 2.0 + self.drift_x,
+            h / 2.0 + self.drift_y,
+            w * 0.32,
+            h * 0.3,
+            blood,
+        );
+        img.fill_ellipse(
+            w * 0.4 + self.drift_x,
+            h * 0.45 + self.drift_y,
+            w * 0.1,
+            h * 0.1,
+            Rgb::new(220, 120, 110),
+        );
+    }
+
+    fn draw_equipment<R: Rng + ?Sized>(&self, img: &mut Image, loc: &Location, rng: &mut R) {
+        let w = self.width;
+        let h = self.height;
+        let metal = Rgb::new(120, 125, 135);
+        let dark = Rgb::new(60, 62, 70);
+        // Cabinet.
+        let x0 = (w as f32 * (0.15 + 0.1 * self.layout) + self.drift_x) as usize;
+        img.fill_rect(x0, h / 3, x0 + w / 4, h, metal);
+        // Monitor.
+        let mx = (w as f32 * 0.62 + self.drift_x) as usize;
+        img.fill_rect(mx, h / 4, mx + w / 5, h / 4 + h / 6, dark);
+        // Blinking indicator light (small, changes per frame).
+        let lit = rng.gen_bool(0.5);
+        let light = if lit {
+            Rgb::new(90, 220, 90)
+        } else {
+            loc.accent
+        };
+        img.fill_rect(mx + 2, h / 4 + 2, mx + 5, h / 4 + 5, light);
+    }
+
+    fn render_slide<R: Rng + ?Sized>(&self, rng: &mut R) -> Image {
+        let bg = Rgb::new(245, 245, 240);
+        let mut img = Image::filled(self.width, self.height, bg);
+        let ink = Rgb::new(30, 30, 80);
+        // Title bar.
+        img.fill_rect(
+            self.width / 10,
+            self.height / 12,
+            self.width * 9 / 10,
+            self.height / 12 + self.height / 10,
+            ink,
+        );
+        // Body text lines (stable within the shot via layout, slight per-frame
+        // cursor flicker).
+        let lines = 4 + (self.layout.abs() * 3.0) as usize;
+        for l in 0..lines {
+            let y0 = self.height / 3 + l * self.height / 10;
+            let len = self.width * (5 + (l * 7 + (self.layout * 10.0) as usize) % 4) / 10;
+            img.fill_rect(self.width / 10, y0, self.width / 10 + len, y0 + 2, ink);
+        }
+        let _ = rng.gen::<u8>(); // consume entropy uniformly across frame kinds
+        img
+    }
+
+    fn render_clipart<R: Rng + ?Sized>(&self, rng: &mut R) -> Image {
+        let mut img = Image::filled(self.width, self.height, Rgb::new(250, 240, 215));
+        let colors = [
+            Rgb::new(230, 60, 60),
+            Rgb::new(60, 140, 220),
+            Rgb::new(70, 190, 90),
+            Rgb::new(240, 190, 40),
+        ];
+        for (i, &c) in colors.iter().enumerate() {
+            let cx = self.width as f32 * (0.2 + 0.2 * i as f32) + self.layout * 4.0;
+            let cy = self.height as f32 * if i % 2 == 0 { 0.35 } else { 0.65 };
+            img.fill_ellipse(
+                cx,
+                cy,
+                self.width as f32 * 0.1,
+                self.height as f32 * 0.12,
+                c,
+            );
+        }
+        let _ = rng.gen::<u8>();
+        img
+    }
+
+    fn render_sketch<R: Rng + ?Sized>(&self, rng: &mut R) -> Image {
+        let mut img = Image::filled(self.width, self.height, Rgb::new(252, 252, 252));
+        let pen = Rgb::new(40, 40, 45);
+        // A few strokes: horizontal, vertical, ellipse outline approximation.
+        let y = self.height / 2 + (self.layout * 5.0) as usize;
+        img.fill_rect(self.width / 6, y, self.width * 5 / 6, y + 1, pen);
+        let x = self.width / 2;
+        img.fill_rect(x, self.height / 5, x + 1, self.height * 4 / 5, pen);
+        img.fill_ellipse(
+            self.width as f32 * 0.5,
+            self.height as f32 * 0.5,
+            self.width as f32 * 0.2,
+            self.height as f32 * 0.18,
+            Rgb::new(200, 200, 205),
+        );
+        let _ = rng.gen::<u8>();
+        img
+    }
+}
+
+/// Blends two colours: `a * (1-t) + b * t`.
+fn blend(a: Rgb, b: Rgb, t: f32) -> Rgb {
+    let mix = |x: u8, y: u8| -> u8 { (x as f32 * (1.0 - t) + y as f32 * t).round() as u8 };
+    Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+}
+
+/// Adds uniform per-pixel noise of amplitude `amp` to every channel.
+fn add_noise<R: Rng + ?Sized>(img: &mut Image, amp: i16, rng: &mut R) {
+    if amp == 0 {
+        return;
+    }
+    for byte in img.raw_mut() {
+        let n = rng.gen_range(-amp..=amp);
+        *byte = (*byte as i16 + n).clamp(0, 255) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palette::{location_style, person_style, LocationId, PersonId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vec<Location>, Vec<Person>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let locations = (0..3).map(|_| location_style(&mut rng)).collect();
+        let persons = (0..3).map(|_| person_style(&mut rng)).collect();
+        (locations, persons, rng)
+    }
+
+    #[test]
+    fn consecutive_frames_of_a_shot_are_similar() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        let content = ShotContent::FaceCloseUp {
+            person: PersonId(0),
+            location: LocationId(0),
+        };
+        let f1 = r.render(content, &locs, &pers, &mut rng);
+        let f2 = r.render(content, &locs, &pers, &mut rng);
+        assert!(f1.mean_abs_diff(&f2) < 12.0, "intra-shot diff too large");
+    }
+
+    #[test]
+    fn different_content_produces_large_difference() {
+        let (locs, pers, mut rng) = setup();
+        let mut r1 = ShotRenderer::new(80, 60, &mut rng);
+        let f1 = r1.render(
+            ShotContent::FaceCloseUp {
+                person: PersonId(0),
+                location: LocationId(0),
+            },
+            &locs,
+            &pers,
+            &mut rng,
+        );
+        let mut r2 = ShotRenderer::new(80, 60, &mut rng);
+        let f2 = r2.render(ShotContent::Slide, &locs, &pers, &mut rng);
+        assert!(f1.mean_abs_diff(&f2) > 30.0, "cut diff too small");
+    }
+
+    #[test]
+    fn black_frame_is_dark() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(40, 30, &mut rng);
+        let f = r.render(ShotContent::Black, &locs, &pers, &mut rng);
+        let mean_luma: f32 =
+            f.pixels().map(|p| p.luma()).sum::<f32>() / f.pixel_count() as f32;
+        assert!(mean_luma < 10.0);
+    }
+
+    #[test]
+    fn slide_is_bright_and_low_color() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        let f = r.render(ShotContent::Slide, &locs, &pers, &mut rng);
+        let mean_luma: f32 =
+            f.pixels().map(|p| p.luma()).sum::<f32>() / f.pixel_count() as f32;
+        assert!(mean_luma > 150.0, "slide luma {mean_luma}");
+    }
+
+    #[test]
+    fn face_closeup_has_skin_pixels() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        let f = r.render(
+            ShotContent::FaceCloseUp {
+                person: PersonId(1),
+                location: LocationId(1),
+            },
+            &locs,
+            &pers,
+            &mut rng,
+        );
+        let skin_like = f
+            .pixels()
+            .filter(|p| p.r > p.g && p.g > p.b && p.r > 120)
+            .count();
+        assert!(
+            skin_like as f32 / f.pixel_count() as f32 > 0.06,
+            "face close-up should have >=6% skin-like pixels"
+        );
+    }
+
+    #[test]
+    fn surgical_field_has_blood_red() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        let f = r.render(
+            ShotContent::SurgicalField {
+                location: LocationId(2),
+            },
+            &locs,
+            &pers,
+            &mut rng,
+        );
+        let blood = f
+            .pixels()
+            .filter(|p| p.r > 130 && p.g < 70 && p.b < 70)
+            .count();
+        assert!(blood > 20, "surgical field should contain blood-red pixels");
+    }
+
+    #[test]
+    fn skin_closeup_covers_large_area() {
+        let (locs, pers, mut rng) = setup();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        let f = r.render(
+            ShotContent::SkinCloseUp {
+                location: LocationId(0),
+            },
+            &locs,
+            &pers,
+            &mut rng,
+        );
+        let skin_like = f
+            .pixels()
+            .filter(|p| p.r > p.g && p.g > p.b && p.r > 150)
+            .count();
+        assert!(
+            skin_like as f32 / f.pixel_count() as f32 > 0.25,
+            "skin close-up should cover >=25%"
+        );
+    }
+
+    #[test]
+    fn same_location_backgrounds_similar_across_shots() {
+        let (locs, pers, mut rng) = setup();
+        let c = ShotContent::Equipment {
+            location: LocationId(0),
+        };
+        let mut r1 = ShotRenderer::new(80, 60, &mut rng);
+        let f1 = r1.render(c, &locs, &pers, &mut rng);
+        let mut r2 = ShotRenderer::new(80, 60, &mut rng);
+        let f2 = r2.render(c, &locs, &pers, &mut rng);
+        // Different shot instances of the same place stay fairly similar.
+        assert!(f1.mean_abs_diff(&f2) < 40.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Scene and shot scripting.
+//!
+//! A [`VideoSpec`] is an ordered list of [`SceneScript`]s; each scene is an
+//! ordered list of [`ShotScript`]s. Templates in this module produce scenes
+//! matching the paper's three production styles (Sec. 4) plus neutral
+//! connective material, with shot patterns chosen so that the structure-mining
+//! stages have the statistics they expect:
+//!
+//! * presentation: presenter/slide alternation (a *temporally related* group)
+//!   with a single speaker throughout;
+//! * dialog: A/B face alternation with alternating speakers;
+//! * clinical operation: skin and blood-red fields with no speech;
+//! * neutral: equipment/corridor shots, no event label.
+
+use crate::palette::{LocationId, PersonId};
+use medvid_types::EventKind;
+use rand::Rng;
+
+/// What one shot shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShotContent {
+    /// Face close-up of a person at a location (>= 10% of frame area).
+    FaceCloseUp {
+        /// Who is on screen.
+        person: PersonId,
+        /// Where the shot is filmed.
+        location: LocationId,
+    },
+    /// A person shown at a distance (face below close-up size).
+    PersonWide {
+        /// Who is on screen.
+        person: PersonId,
+        /// Where the shot is filmed.
+        location: LocationId,
+    },
+    /// Presentation slide (white background, text bars).
+    Slide,
+    /// Clip-art frame (flat saturated regions).
+    ClipArt,
+    /// Hand-drawn sketch frame (white background, dark strokes).
+    Sketch,
+    /// Near-black frame.
+    Black,
+    /// Clinical skin close-up covering >= 20% of the frame.
+    SkinCloseUp {
+        /// Where the shot is filmed (drives the surround).
+        location: LocationId,
+    },
+    /// Open surgical field: skin plus blood-red regions.
+    SurgicalField {
+        /// Where the shot is filmed.
+        location: LocationId,
+    },
+    /// Organ picture: blood-red dominant.
+    OrganPicture,
+    /// Neutral equipment / corridor shot.
+    Equipment {
+        /// Where the shot is filmed.
+        location: LocationId,
+    },
+}
+
+/// One scripted shot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotScript {
+    /// What the shot shows.
+    pub content: ShotContent,
+    /// Number of frames.
+    pub frames: usize,
+    /// Speaker on the audio track for the shot's duration (`None` = ambient
+    /// noise only).
+    pub speaker: Option<PersonId>,
+}
+
+/// One scripted scene (a ground-truth semantic unit).
+#[derive(Debug, Clone)]
+pub struct SceneScript {
+    /// Topic label; recurring scenes share a topic.
+    pub topic: String,
+    /// Ground-truth event category, if any.
+    pub event: Option<EventKind>,
+    /// The shots of the scene, in order.
+    pub shots: Vec<ShotScript>,
+}
+
+impl SceneScript {
+    /// Total frames in the scene.
+    pub fn frame_count(&self) -> usize {
+        self.shots.iter().map(|s| s.frames).sum()
+    }
+}
+
+/// Full specification of one synthetic video.
+#[derive(Debug, Clone)]
+pub struct VideoSpec {
+    /// Video title.
+    pub title: String,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Frames per second.
+    pub fps: f64,
+    /// Audio sample rate in Hz.
+    pub sample_rate: u32,
+    /// Number of distinct locations available to the renderer.
+    pub locations: usize,
+    /// Number of distinct persons available to the renderer.
+    pub persons: usize,
+    /// The scenes, in order.
+    pub scenes: Vec<SceneScript>,
+}
+
+impl VideoSpec {
+    /// Total frames across all scenes.
+    pub fn frame_count(&self) -> usize {
+        self.scenes.iter().map(|s| s.frame_count()).sum()
+    }
+}
+
+fn shot_len<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    rng.gen_range(18..=42)
+}
+
+/// A presentation scene: presenter close-ups alternating with slides, a
+/// single speaker throughout (Sec. 4.3 rule 1).
+pub fn presentation_scene<R: Rng + ?Sized>(
+    topic: &str,
+    presenter: PersonId,
+    location: LocationId,
+    rng: &mut R,
+) -> SceneScript {
+    let rounds = rng.gen_range(2..=4);
+    let mut shots = Vec::new();
+    for _ in 0..rounds {
+        shots.push(ShotScript {
+            content: ShotContent::FaceCloseUp {
+                person: presenter,
+                location,
+            },
+            frames: shot_len(rng),
+            speaker: Some(presenter),
+        });
+        shots.push(ShotScript {
+            content: ShotContent::Slide,
+            frames: shot_len(rng),
+            speaker: Some(presenter), // voice-over continues
+        });
+    }
+    // Occasionally close with a clip-art summary.
+    if rng.gen_bool(0.3) {
+        shots.push(ShotScript {
+            content: ShotContent::ClipArt,
+            frames: shot_len(rng),
+            speaker: Some(presenter),
+        });
+    }
+    SceneScript {
+        topic: topic.to_string(),
+        event: Some(EventKind::Presentation),
+        shots,
+    }
+}
+
+/// A dialog scene: two persons' close-ups alternating with alternating
+/// speakers (Sec. 4.3 rule 2).
+pub fn dialog_scene<R: Rng + ?Sized>(
+    topic: &str,
+    a: PersonId,
+    b: PersonId,
+    location: LocationId,
+    rng: &mut R,
+) -> SceneScript {
+    let rounds = rng.gen_range(3..=5);
+    let mut shots = Vec::new();
+    for _ in 0..rounds {
+        shots.push(ShotScript {
+            content: ShotContent::FaceCloseUp {
+                person: a,
+                location,
+            },
+            frames: shot_len(rng),
+            speaker: Some(a),
+        });
+        shots.push(ShotScript {
+            content: ShotContent::FaceCloseUp {
+                person: b,
+                location,
+            },
+            frames: shot_len(rng),
+            speaker: Some(b),
+        });
+    }
+    SceneScript {
+        topic: topic.to_string(),
+        event: Some(EventKind::Dialog),
+        shots,
+    }
+}
+
+/// A clinical-operation scene: surgical fields, skin close-ups and organ
+/// pictures, with no speech (Sec. 4.3 rule 3).
+pub fn clinical_scene<R: Rng + ?Sized>(
+    topic: &str,
+    location: LocationId,
+    rng: &mut R,
+) -> SceneScript {
+    let n = rng.gen_range(4..=8);
+    let mut shots = Vec::new();
+    for i in 0..n {
+        let content = match (i + rng.gen_range(0..2)) % 3 {
+            0 => ShotContent::SurgicalField { location },
+            1 => ShotContent::SkinCloseUp { location },
+            _ => {
+                if rng.gen_bool(0.5) {
+                    ShotContent::OrganPicture
+                } else {
+                    ShotContent::SurgicalField { location }
+                }
+            }
+        };
+        shots.push(ShotScript {
+            content,
+            frames: shot_len(rng),
+            speaker: None,
+        });
+    }
+    SceneScript {
+        topic: topic.to_string(),
+        event: Some(EventKind::ClinicalOperation),
+        shots,
+    }
+}
+
+/// A diagnosis scene: skin examination with an occasional doctor insert and a
+/// single narrating voice (clinical operation per the paper's taxonomy).
+pub fn diagnosis_scene<R: Rng + ?Sized>(
+    topic: &str,
+    doctor: PersonId,
+    location: LocationId,
+    rng: &mut R,
+) -> SceneScript {
+    let n = rng.gen_range(4..=7);
+    let mut shots = Vec::new();
+    for i in 0..n {
+        if i % 3 == 2 {
+            shots.push(ShotScript {
+                content: ShotContent::PersonWide {
+                    person: doctor,
+                    location,
+                },
+                frames: shot_len(rng),
+                speaker: None,
+            });
+        } else {
+            shots.push(ShotScript {
+                content: ShotContent::SkinCloseUp { location },
+                frames: shot_len(rng),
+                speaker: None,
+            });
+        }
+    }
+    SceneScript {
+        topic: topic.to_string(),
+        event: Some(EventKind::ClinicalOperation),
+        shots,
+    }
+}
+
+/// A neutral scene: equipment and corridor shots with ambient sound and no
+/// event label.
+pub fn neutral_scene<R: Rng + ?Sized>(
+    topic: &str,
+    location: LocationId,
+    rng: &mut R,
+) -> SceneScript {
+    let n = rng.gen_range(3..=5);
+    let shots = (0..n)
+        .map(|i| ShotScript {
+            content: if i == 0 && rng.gen_bool(0.2) {
+                ShotContent::Black
+            } else {
+                ShotContent::Equipment { location }
+            },
+            frames: shot_len(rng),
+            speaker: None,
+        })
+        .collect();
+    SceneScript {
+        topic: topic.to_string(),
+        event: None,
+        shots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presentation_has_slides_and_single_speaker() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = presentation_scene("p", PersonId(1), LocationId(0), &mut rng);
+        assert_eq!(s.event, Some(EventKind::Presentation));
+        assert!(s
+            .shots
+            .iter()
+            .any(|sh| matches!(sh.content, ShotContent::Slide)));
+        let speakers: Vec<_> = s.shots.iter().filter_map(|sh| sh.speaker).collect();
+        assert!(speakers.iter().all(|&sp| sp == PersonId(1)));
+        assert!(s.shots.len() >= 4);
+    }
+
+    #[test]
+    fn dialog_alternates_speakers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = dialog_scene("d", PersonId(1), PersonId(2), LocationId(0), &mut rng);
+        assert_eq!(s.event, Some(EventKind::Dialog));
+        for pair in s.shots.chunks(2) {
+            assert_eq!(pair[0].speaker, Some(PersonId(1)));
+            assert_eq!(pair[1].speaker, Some(PersonId(2)));
+        }
+    }
+
+    #[test]
+    fn clinical_scene_is_speechless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = clinical_scene("c", LocationId(1), &mut rng);
+        assert_eq!(s.event, Some(EventKind::ClinicalOperation));
+        assert!(s.shots.iter().all(|sh| sh.speaker.is_none()));
+        assert!(s.shots.len() >= 4);
+    }
+
+    #[test]
+    fn diagnosis_contains_skin_closeups() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = diagnosis_scene("dx", PersonId(3), LocationId(2), &mut rng);
+        assert!(s
+            .shots
+            .iter()
+            .any(|sh| matches!(sh.content, ShotContent::SkinCloseUp { .. })));
+        assert_eq!(s.event, Some(EventKind::ClinicalOperation));
+    }
+
+    #[test]
+    fn neutral_scene_has_no_event() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = neutral_scene("n", LocationId(0), &mut rng);
+        assert_eq!(s.event, None);
+    }
+
+    #[test]
+    fn frame_counts_sum() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = dialog_scene("d", PersonId(1), PersonId(2), LocationId(0), &mut rng);
+        let total: usize = s.shots.iter().map(|sh| sh.frames).sum();
+        assert_eq!(s.frame_count(), total);
+    }
+}

@@ -1,0 +1,200 @@
+//! Audio synthesis: speech-like voices and ambient beds.
+//!
+//! Speakers are harmonic sources with a per-speaker fundamental and spectral
+//! envelope, amplitude-modulated into syllables with pauses — enough spectral
+//! identity for MFCC + BIC to tell them apart, and enough temporal structure
+//! for the clip-level features to separate speech from non-speech.
+
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// A synthetic speaker's voice parameters.
+#[derive(Debug, Clone)]
+pub struct Voice {
+    /// Fundamental frequency in Hz.
+    pub f0: f64,
+    /// Relative amplitudes of harmonics 1..=N (the spectral envelope).
+    pub envelope: Vec<f64>,
+    /// Syllable rate in Hz.
+    pub syllable_rate: f64,
+    /// Vibrato depth as a fraction of `f0`.
+    pub vibrato: f64,
+}
+
+/// Derives a distinct voice for speaker `id` (ids start at 1; 0 is silence).
+pub fn voice_for_speaker(id: u32) -> Voice {
+    // Spread fundamentals over 105..=250 Hz deterministically by id.
+    let step = (id as u64).wrapping_mul(2654435761) % 1000;
+    let f0 = 105.0 + (step as f64 / 1000.0) * 145.0;
+    let n_harm = 10;
+    let envelope: Vec<f64> = (1..=n_harm)
+        .map(|h| {
+            // Two per-speaker "formant" bumps over the harmonic ladder.
+            let c1 = 1.5 + ((id as f64 * 0.73).sin().abs() * 3.0);
+            let c2 = 5.0 + ((id as f64 * 1.31).cos().abs() * 4.0);
+            let hf = h as f64;
+            let bump = |c: f64| (-((hf - c) * (hf - c)) / 2.5).exp();
+            (bump(c1) + 0.7 * bump(c2)) / hf.sqrt()
+        })
+        .collect();
+    Voice {
+        f0,
+        envelope,
+        syllable_rate: 3.0 + (id % 4) as f64 * 0.6,
+        vibrato: 0.01 + (id % 3) as f64 * 0.005,
+    }
+}
+
+/// Synthesises `n` samples of speech for `voice` at `sample_rate`, starting at
+/// absolute sample offset `t0` (keeps phase continuous across shots).
+pub fn synth_speech<R: Rng + ?Sized>(
+    voice: &Voice,
+    n: usize,
+    t0: usize,
+    sample_rate: u32,
+    rng: &mut R,
+) -> Vec<f32> {
+    let sr = sample_rate as f64;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = (t0 + i) as f64 / sr;
+        // Syllable envelope: raised-cosine bursts with inter-word pauses.
+        let syl_phase = (t * voice.syllable_rate).fract();
+        let word_phase = (t * voice.syllable_rate / 4.0).fract();
+        let gate = if word_phase > 0.75 {
+            0.0 // inter-word pause
+        } else {
+            (PI * syl_phase).sin().max(0.0).powf(0.7)
+        };
+        // Vibrato as phase modulation: instantaneous frequency stays within
+        // `f0 * (1 +- vibrato)` (a naive `sin(2 pi f(t) t)` would chirp).
+        let vib_phase = voice.vibrato * voice.f0 / 5.0 * (2.0 * PI * 5.0 * t).sin();
+        let mut s = 0.0;
+        for (h, &a) in voice.envelope.iter().enumerate() {
+            let f = voice.f0 * (h + 1) as f64;
+            if f >= sr / 2.0 {
+                break;
+            }
+            s += a * (2.0 * PI * f * t + 2.0 * PI * (h + 1) as f64 * vib_phase).sin();
+        }
+        // Aspiration noise.
+        let noise = (rng.gen::<f64>() - 0.5) * 0.02;
+        out.push(((s * gate * 0.22) + noise) as f32);
+    }
+    out
+}
+
+/// Synthesises ambient non-speech: low-level broadband noise with a slow hum.
+pub fn synth_ambient<R: Rng + ?Sized>(
+    n: usize,
+    t0: usize,
+    sample_rate: u32,
+    rng: &mut R,
+) -> Vec<f32> {
+    let sr = sample_rate as f64;
+    let mut out = Vec::with_capacity(n);
+    let mut lp = 0.0f64; // one-pole low-pass state for pink-ish noise
+    for i in 0..n {
+        let t = (t0 + i) as f64 / sr;
+        let white = rng.gen::<f64>() - 0.5;
+        lp = 0.95 * lp + 0.05 * white;
+        let hum = 0.015 * (2.0 * PI * 60.0 * t).sin();
+        out.push((lp * 0.25 + hum) as f32);
+    }
+    out
+}
+
+/// Synthesises a musical bed (sustained chord), used in some neutral scenes.
+pub fn synth_music<R: Rng + ?Sized>(
+    n: usize,
+    t0: usize,
+    sample_rate: u32,
+    rng: &mut R,
+) -> Vec<f32> {
+    let sr = sample_rate as f64;
+    let root = 220.0;
+    let freqs = [root, root * 1.25, root * 1.5];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = (t0 + i) as f64 / sr;
+        let mut s = 0.0;
+        for &f in &freqs {
+            s += (2.0 * PI * f * t).sin() / 3.0;
+        }
+        let tremolo = 0.8 + 0.2 * (2.0 * PI * 0.7 * t).sin();
+        let noise = (rng.gen::<f64>() - 0.5) * 0.01;
+        out.push((s * tremolo * 0.12 + noise) as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_signal::stats::rms;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn voices_differ_by_speaker() {
+        let v1 = voice_for_speaker(1);
+        let v2 = voice_for_speaker(2);
+        assert!((v1.f0 - v2.f0).abs() > 1.0, "{} vs {}", v1.f0, v2.f0);
+    }
+
+    #[test]
+    fn voice_fundamentals_in_range() {
+        for id in 1..40 {
+            let v = voice_for_speaker(id);
+            assert!((105.0..=250.0).contains(&v.f0), "f0 {}", v.f0);
+        }
+    }
+
+    #[test]
+    fn speech_louder_than_ambient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = voice_for_speaker(1);
+        let sp = synth_speech(&v, 16000, 0, 8000, &mut rng);
+        let am = synth_ambient(16000, 0, 8000, &mut rng);
+        assert!(rms(&sp) > 2.0 * rms(&am), "{} vs {}", rms(&sp), rms(&am));
+    }
+
+    #[test]
+    fn speech_has_pauses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = voice_for_speaker(3);
+        let sp = synth_speech(&v, 24000, 0, 8000, &mut rng);
+        // Split into 100 ms blocks; some must be near-silent, some loud.
+        let blocks: Vec<f64> = sp.chunks(800).map(rms).collect();
+        let loud = blocks.iter().filter(|&&b| b > 0.05).count();
+        let quiet = blocks.iter().filter(|&&b| b < 0.02).count();
+        assert!(loud > 5, "loud blocks {loud}");
+        assert!(quiet > 2, "quiet blocks {quiet}");
+    }
+
+    #[test]
+    fn samples_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = voice_for_speaker(5);
+        for s in synth_speech(&v, 8000, 0, 8000, &mut rng) {
+            assert!(s.abs() <= 1.0);
+        }
+        for s in synth_music(8000, 0, 8000, &mut rng) {
+            assert!(s.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn phase_continuity_across_offsets() {
+        // Concatenating two halves equals generating the whole (modulo rng
+        // noise): check the deterministic harmonic part dominates by
+        // comparing against a fresh full render with the same rng stream
+        // structure — here we just verify the offset parameter shifts time.
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let v = voice_for_speaker(1);
+        let a = synth_speech(&v, 100, 0, 8000, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let b = synth_speech(&v, 100, 50, 8000, &mut rng2);
+        assert_ne!(a, b, "offset must change the waveform");
+    }
+}

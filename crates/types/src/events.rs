@@ -1,0 +1,72 @@
+//! Event categories mined from scenes (paper Sec. 4).
+//!
+//! Medical education videos use three recurring production styles; the event
+//! miner assigns each scene to one of them or declares it undetermined.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three event categories of the paper, plus the "cannot be determined"
+/// outcome of the mining procedure (Sec. 4.3 step 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A doctor/expert presenting the general topics (slides + face close-up,
+    /// single speaker).
+    Presentation,
+    /// Doctor-patient (or doctor-doctor) dialog: faces plus speaker changes.
+    Dialog,
+    /// Clinical operation: surgery, diagnosis, symptoms — blood-red or skin
+    /// close-ups, no speaker change.
+    ClinicalOperation,
+    /// The miner could not assign a category.
+    Undetermined,
+}
+
+impl EventKind {
+    /// All determinate categories, in the order Table 1 reports them.
+    pub const DETERMINATE: [EventKind; 3] = [
+        EventKind::Presentation,
+        EventKind::Dialog,
+        EventKind::ClinicalOperation,
+    ];
+
+    /// Whether this is one of the three mined categories.
+    #[inline]
+    pub fn is_determinate(self) -> bool {
+        self != EventKind::Undetermined
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Presentation => "Presentation",
+            EventKind::Dialog => "Dialog",
+            EventKind::ClinicalOperation => "Clinical operation",
+            EventKind::Undetermined => "Undetermined",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinate_covers_three_categories() {
+        assert_eq!(EventKind::DETERMINATE.len(), 3);
+        assert!(EventKind::DETERMINATE.iter().all(|e| e.is_determinate()));
+        assert!(!EventKind::Undetermined.is_determinate());
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(EventKind::Presentation.to_string(), "Presentation");
+        assert_eq!(EventKind::Dialog.to_string(), "Dialog");
+        assert_eq!(
+            EventKind::ClinicalOperation.to_string(),
+            "Clinical operation"
+        );
+    }
+}

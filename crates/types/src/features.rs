@@ -1,0 +1,220 @@
+//! Low-level visual feature vectors of the paper.
+//!
+//! Section 3.1: after shot segmentation, "the 10th frame of each shot is taken
+//! as the representative frame of the current shot, and a set of visual
+//! features (256 dimensional HSV color histogram and 10 dimensional tamura
+//! coarseness texture) is extracted for processing."
+//!
+//! Both vectors are stored normalised: the histogram sums to 1 (for non-empty
+//! frames) and the texture vector is a distribution over coarseness scales.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+
+/// Number of HSV colour histogram bins (16 hue x 4 saturation x 4 value).
+pub const COLOR_BINS: usize = 256;
+
+/// Number of Tamura coarseness dimensions (histogram over "best scale" 0..=9).
+pub const TAMURA_DIMS: usize = 10;
+
+/// A normalised 256-bin HSV colour histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorHistogram(Vec<f32>);
+
+impl ColorHistogram {
+    /// Wraps a histogram vector.
+    ///
+    /// # Errors
+    /// Returns [`TypeError::Dimension`] unless `bins.len() == 256`.
+    pub fn new(bins: Vec<f32>) -> Result<Self, TypeError> {
+        if bins.len() != COLOR_BINS {
+            return Err(TypeError::Dimension {
+                what: "HSV colour histogram",
+                expected: COLOR_BINS,
+                actual: bins.len(),
+            });
+        }
+        Ok(Self(bins))
+    }
+
+    /// The all-zero histogram (used for padding/neutral elements).
+    pub fn zeros() -> Self {
+        Self(vec![0.0; COLOR_BINS])
+    }
+
+    /// Histogram bins.
+    #[inline]
+    pub fn bins(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Sum of all bins (1.0 for a normalised histogram of a non-empty frame).
+    pub fn mass(&self) -> f32 {
+        self.0.iter().sum()
+    }
+
+    /// Histogram-intersection style L1 distance term of the paper's Eq. (1):
+    /// `sum_k |H_i,k - H_j,k|`.
+    pub fn l1_distance(&self, other: &ColorHistogram) -> f32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// A normalised 10-dimensional Tamura coarseness descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TamuraTexture(Vec<f32>);
+
+impl TamuraTexture {
+    /// Wraps a texture vector.
+    ///
+    /// # Errors
+    /// Returns [`TypeError::Dimension`] unless `dims.len() == 10`.
+    pub fn new(dims: Vec<f32>) -> Result<Self, TypeError> {
+        if dims.len() != TAMURA_DIMS {
+            return Err(TypeError::Dimension {
+                what: "Tamura coarseness texture",
+                expected: TAMURA_DIMS,
+                actual: dims.len(),
+            });
+        }
+        Ok(Self(dims))
+    }
+
+    /// The all-zero texture vector.
+    pub fn zeros() -> Self {
+        Self(vec![0.0; TAMURA_DIMS])
+    }
+
+    /// Texture components.
+    #[inline]
+    pub fn dims(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Squared-difference term of the paper's Eq. (1):
+    /// `sum_k (T_i,k - T_j,k)^2`.
+    pub fn sq_distance(&self, other: &TamuraTexture) -> f32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+/// The visual features of one representative frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameFeatures {
+    /// 256-bin normalised HSV colour histogram.
+    pub color: ColorHistogram,
+    /// 10-dim normalised Tamura coarseness descriptor.
+    pub texture: TamuraTexture,
+}
+
+impl FrameFeatures {
+    /// Neutral (all-zero) features.
+    pub fn zeros() -> Self {
+        Self {
+            color: ColorHistogram::zeros(),
+            texture: TamuraTexture::zeros(),
+        }
+    }
+
+    /// Concatenates colour and texture into a single 266-dim vector, used by
+    /// the database index for centroid arithmetic.
+    pub fn concat(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(COLOR_BINS + TAMURA_DIMS);
+        v.extend_from_slice(self.color.bins());
+        v.extend_from_slice(self.texture.dims());
+        v
+    }
+
+    /// Rebuilds features from a concatenated 266-dim vector.
+    ///
+    /// # Errors
+    /// Returns [`TypeError::Dimension`] unless `v.len() == 266`.
+    pub fn from_concat(v: &[f32]) -> Result<Self, TypeError> {
+        if v.len() != COLOR_BINS + TAMURA_DIMS {
+            return Err(TypeError::Dimension {
+                what: "concatenated frame features",
+                expected: COLOR_BINS + TAMURA_DIMS,
+                actual: v.len(),
+            });
+        }
+        Ok(Self {
+            color: ColorHistogram::new(v[..COLOR_BINS].to_vec())?,
+            texture: TamuraTexture::new(v[COLOR_BINS..].to_vec())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_dimension_checked() {
+        assert!(ColorHistogram::new(vec![0.0; 256]).is_ok());
+        assert!(ColorHistogram::new(vec![0.0; 255]).is_err());
+    }
+
+    #[test]
+    fn texture_dimension_checked() {
+        assert!(TamuraTexture::new(vec![0.0; 10]).is_ok());
+        assert!(TamuraTexture::new(vec![0.0; 11]).is_err());
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric_and_zero_on_self() {
+        let mut a = vec![0.0; 256];
+        a[0] = 1.0;
+        let mut b = vec![0.0; 256];
+        b[1] = 1.0;
+        let ha = ColorHistogram::new(a).unwrap();
+        let hb = ColorHistogram::new(b).unwrap();
+        assert_eq!(ha.l1_distance(&ha), 0.0);
+        assert_eq!(ha.l1_distance(&hb), hb.l1_distance(&ha));
+        assert_eq!(ha.l1_distance(&hb), 2.0);
+    }
+
+    #[test]
+    fn sq_distance_zero_on_self() {
+        let t = TamuraTexture::new((0..10).map(|i| i as f32 / 10.0).collect()).unwrap();
+        assert_eq!(t.sq_distance(&t), 0.0);
+    }
+
+    #[test]
+    fn concat_roundtrip() {
+        let mut bins = vec![0.0f32; 256];
+        bins[10] = 0.5;
+        bins[200] = 0.5;
+        let mut dims = vec![0.0f32; 10];
+        dims[3] = 1.0;
+        let f = FrameFeatures {
+            color: ColorHistogram::new(bins).unwrap(),
+            texture: TamuraTexture::new(dims).unwrap(),
+        };
+        let v = f.concat();
+        assert_eq!(v.len(), 266);
+        let back = FrameFeatures::from_concat(&v).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn from_concat_rejects_bad_length() {
+        assert!(FrameFeatures::from_concat(&[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn mass_sums_bins() {
+        let mut bins = vec![0.0f32; 256];
+        bins[0] = 0.25;
+        bins[255] = 0.75;
+        let h = ColorHistogram::new(bins).unwrap();
+        assert!((h.mass() - 1.0).abs() < 1e-6);
+    }
+}

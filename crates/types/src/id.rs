@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers for the entities of the content hierarchy.
+//!
+//! Every level of the paper's Fig. 1 hierarchy gets its own newtype so that a
+//! shot index can never be silently used where a scene index was meant. All
+//! ids are plain `usize` indices into the owning collection (shots of a video,
+//! groups of a structure, ...), which keeps them cheap to copy and trivially
+//! serialisable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the underlying index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a video within a corpus.
+    VideoId,
+    "V"
+);
+define_id!(
+    /// Identifier of a shot within a video (0-based, temporal order).
+    ShotId,
+    "S"
+);
+define_id!(
+    /// Identifier of a group within a video (0-based, temporal order).
+    GroupId,
+    "G"
+);
+define_id!(
+    /// Identifier of a scene within a video (0-based, temporal order).
+    SceneId,
+    "SE"
+);
+define_id!(
+    /// Identifier of a clustered scene within a video.
+    ClusterId,
+    "CSE"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_usize() {
+        let s = ShotId::from(7usize);
+        assert_eq!(s.index(), 7);
+        assert_eq!(usize::from(s), 7);
+        assert_eq!(s, ShotId(7));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(VideoId(3).to_string(), "V3");
+        assert_eq!(ShotId(1).to_string(), "S1");
+        assert_eq!(GroupId(2).to_string(), "G2");
+        assert_eq!(SceneId(4).to_string(), "SE4");
+        assert_eq!(ClusterId(5).to_string(), "CSE5");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ShotId(1) < ShotId(2));
+        assert!(SceneId(0) < SceneId(10));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property: this test documents that ShotId and GroupId
+        // are distinct types; equality across them does not type-check.
+        let s = ShotId(1);
+        let g = GroupId(1);
+        assert_eq!(s.index(), g.index());
+    }
+}

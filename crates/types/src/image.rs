@@ -1,0 +1,282 @@
+//! RGB frame images.
+//!
+//! Frames are stored as interleaved 8-bit RGB. The resolution is deliberately
+//! modest (the synthetic corpus defaults to 80x60): every algorithm in the
+//! paper consumes either whole-frame statistics (histograms, texture) or
+//! coarse region geometry, neither of which needs broadcast resolution.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a pixel from channel values.
+    #[inline]
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Black pixel.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// White pixel.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    /// Perceptual luma (ITU-R BT.601), in `0.0..=255.0`.
+    #[inline]
+    pub fn luma(self) -> f32 {
+        0.299 * self.r as f32 + 0.587 * self.g as f32 + 0.114 * self.b as f32
+    }
+}
+
+/// An interleaved 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image filled with a single colour.
+    pub fn filled(width: usize, height: usize, color: Rgb) -> Self {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.push(color.r);
+            data.push(color.g);
+            data.push(color.b);
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Creates an all-black image.
+    pub fn black(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            data: vec![0; width * height * 3],
+        }
+    }
+
+    /// Wraps an existing interleaved RGB buffer.
+    ///
+    /// # Errors
+    /// Returns [`TypeError::ImageBuffer`] if `data.len() != width * height * 3`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Result<Self, TypeError> {
+        if data.len() != width * height * 3 {
+            return Err(TypeError::ImageBuffer {
+                width,
+                height,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Raw interleaved RGB bytes.
+    #[inline]
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw interleaved RGB bytes.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        Rgb::new(self.data[i], self.data[i + 1], self.data[i + 2])
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, p: Rgb) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.data[i] = p.r;
+        self.data[i + 1] = p.g;
+        self.data[i + 2] = p.b;
+    }
+
+    /// Iterates over all pixels in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = Rgb> + '_ {
+        self.data
+            .chunks_exact(3)
+            .map(|c| Rgb::new(c[0], c[1], c[2]))
+    }
+
+    /// Fills the axis-aligned rectangle `[x0, x1) x [y0, y1)` (clamped to the
+    /// image bounds) with `color`.
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, color: Rgb) {
+        let x1 = x1.min(self.width);
+        let y1 = y1.min(self.height);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.set(x, y, color);
+            }
+        }
+    }
+
+    /// Fills the ellipse centred at `(cx, cy)` with semi-axes `(rx, ry)`.
+    pub fn fill_ellipse(&mut self, cx: f32, cy: f32, rx: f32, ry: f32, color: Rgb) {
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        let x0 = (cx - rx).floor().max(0.0) as usize;
+        let x1 = ((cx + rx).ceil() as usize).min(self.width);
+        let y0 = (cy - ry).floor().max(0.0) as usize;
+        let y1 = ((cy + ry).ceil() as usize).min(self.height);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let dx = (x as f32 + 0.5 - cx) / rx;
+                let dy = (y as f32 + 0.5 - cy) / ry;
+                if dx * dx + dy * dy <= 1.0 {
+                    self.set(x, y, color);
+                }
+            }
+        }
+    }
+
+    /// Mean absolute per-channel difference to another image of identical
+    /// dimensions, in `0.0..=255.0`.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn mean_abs_diff(&self, other: &Image) -> f32 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "images must share dimensions"
+        );
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a as i32 - b as i32).unsigned_abs() as u64)
+            .sum();
+        sum as f32 / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_image_has_uniform_pixels() {
+        let img = Image::filled(4, 3, Rgb::new(10, 20, 30));
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.pixel_count(), 12);
+        assert!(img.pixels().all(|p| p == Rgb::new(10, 20, 30)));
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(Image::from_raw(2, 2, vec![0; 12]).is_ok());
+        let err = Image::from_raw(2, 2, vec![0; 11]).unwrap_err();
+        assert!(matches!(err, TypeError::ImageBuffer { actual: 11, .. }));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::black(5, 5);
+        img.set(3, 2, Rgb::new(1, 2, 3));
+        assert_eq!(img.get(3, 2), Rgb::new(1, 2, 3));
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::black(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn fill_rect_clamps_to_bounds() {
+        let mut img = Image::black(4, 4);
+        img.fill_rect(2, 2, 100, 100, Rgb::WHITE);
+        assert_eq!(img.get(3, 3), Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::BLACK);
+    }
+
+    #[test]
+    fn fill_ellipse_covers_centre_not_corners() {
+        let mut img = Image::black(10, 10);
+        img.fill_ellipse(5.0, 5.0, 3.0, 2.0, Rgb::WHITE);
+        assert_eq!(img.get(5, 5), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+        assert_eq!(img.get(9, 9), Rgb::BLACK);
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let img = Image::filled(3, 3, Rgb::new(9, 9, 9));
+        assert_eq!(img.mean_abs_diff(&img.clone()), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_full_scale() {
+        let a = Image::black(2, 2);
+        let b = Image::filled(2, 2, Rgb::WHITE);
+        assert_eq!(a.mean_abs_diff(&b), 255.0);
+    }
+
+    #[test]
+    fn luma_matches_bt601_weights() {
+        assert!((Rgb::WHITE.luma() - 255.0).abs() < 0.01);
+        assert_eq!(Rgb::BLACK.luma(), 0.0);
+        let g = Rgb::new(0, 255, 0).luma();
+        assert!((g - 0.587 * 255.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared data types for the ClassMiner medical-video mining reproduction.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * identifiers for videos, shots, groups, scenes and clustered scenes
+//!   ([`id`]);
+//! * raw media containers: RGB [`image::Image`] frames and PCM
+//!   [`audio::AudioTrack`]s ([`image`], [`audio`]);
+//! * the low-level feature vectors of the paper — the 256-bin HSV colour
+//!   histogram and the 10-dimensional Tamura coarseness descriptor
+//!   ([`features`]);
+//! * the mined content-structure hierarchy — shots, groups, scenes and
+//!   clustered scenes ([`structure`]);
+//! * event categories mined from scenes ([`events`]);
+//! * ground-truth annotations produced by the synthetic corpus generator and
+//!   consumed by the evaluation harness ([`truth`]);
+//! * the [`video::Video`] container tying frames, audio and metadata together.
+//!
+//! The crate is dependency-light on purpose: it pulls in only `serde` so that
+//! experiment artefacts can be dumped to JSON by the harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod error;
+pub mod events;
+pub mod features;
+pub mod id;
+pub mod image;
+pub mod structure;
+pub mod truth;
+pub mod video;
+
+pub use audio::{AudioClip, AudioTrack};
+pub use error::TypeError;
+pub use events::EventKind;
+pub use features::{ColorHistogram, FrameFeatures, TamuraTexture, COLOR_BINS, TAMURA_DIMS};
+pub use id::{ClusterId, GroupId, SceneId, ShotId, VideoId};
+pub use image::{Image, Rgb};
+pub use structure::{
+    ClusteredScene, ContentStructure, Group, GroupKind, Scene, Shot,
+};
+pub use truth::{GroundTruth, SemanticUnit, SpeakerSegment, SpecialFrameKind, SpecialSpan};
+pub use video::Video;

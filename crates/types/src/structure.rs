@@ -1,0 +1,420 @@
+//! The mined content-structure hierarchy (paper Definition 1 and 2).
+//!
+//! From finest to coarsest: [`Shot`] -> [`Group`] -> [`Scene`] ->
+//! [`ClusteredScene`], assembled into a [`ContentStructure`]. All
+//! cross-references are by typed id into the owning [`ContentStructure`]'s
+//! vectors, so the whole hierarchy is cheap to clone and serialise.
+
+use crate::error::TypeError;
+use crate::features::FrameFeatures;
+use crate::id::{ClusterId, GroupId, SceneId, ShotId};
+use serde::{Deserialize, Serialize};
+
+/// A video shot: the frames of one continuous camera run (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shot {
+    /// Identifier (index in temporal order).
+    pub id: ShotId,
+    /// First frame (inclusive).
+    pub start_frame: usize,
+    /// One past the last frame.
+    pub end_frame: usize,
+    /// Index of the representative frame (paper: the 10th frame of the shot,
+    /// clamped to the shot length).
+    pub rep_frame: usize,
+    /// Visual features of the representative frame.
+    pub features: FrameFeatures,
+}
+
+impl Shot {
+    /// Creates a shot and selects its representative frame per the paper:
+    /// the 10th frame, or the middle frame for shots shorter than 10 frames.
+    ///
+    /// # Errors
+    /// Returns [`TypeError::EmptyRange`] if `start_frame >= end_frame`.
+    pub fn new(
+        id: ShotId,
+        start_frame: usize,
+        end_frame: usize,
+        features: FrameFeatures,
+    ) -> Result<Self, TypeError> {
+        if start_frame >= end_frame {
+            return Err(TypeError::EmptyRange {
+                what: "shot",
+                start: start_frame,
+                end: end_frame,
+            });
+        }
+        let rep_frame = Self::representative_frame(start_frame, end_frame);
+        Ok(Self {
+            id,
+            start_frame,
+            end_frame,
+            rep_frame,
+            features,
+        })
+    }
+
+    /// The paper's representative-frame rule: the 10th frame of the shot
+    /// (index `start + 9`), clamped to the middle for shorter shots.
+    pub fn representative_frame(start_frame: usize, end_frame: usize) -> usize {
+        let len = end_frame - start_frame;
+        if len > 9 {
+            start_frame + 9
+        } else {
+            start_frame + len / 2
+        }
+    }
+
+    /// Number of frames in the shot.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end_frame - self.start_frame
+    }
+
+    /// Shots are non-empty by construction; always `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Duration in seconds at the given frame rate.
+    #[inline]
+    pub fn duration_secs(&self, fps: f64) -> f64 {
+        self.len() as f64 / fps
+    }
+}
+
+/// Whether a group's shots repeat over time or are uniformly similar
+/// (Sec. 3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// Shots related in temporal series: similar shots shown back and forth
+    /// (more than one intra-group cluster).
+    TemporallyRelated,
+    /// Shots all similar in visual perception (a single intra-group cluster).
+    SpatiallyRelated,
+}
+
+/// A video group: an intermediate entity between physical shots and semantic
+/// scenes (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Identifier (index in temporal order).
+    pub id: GroupId,
+    /// Member shots, in temporal order.
+    pub shots: Vec<ShotId>,
+    /// Temporal vs spatial classification (Sec. 3.2.1).
+    pub kind: GroupKind,
+    /// Intra-group shot clusters found during classification; used to select
+    /// representative shots.
+    pub shot_clusters: Vec<Vec<ShotId>>,
+    /// One representative shot per intra-group cluster (Eq. 7 and rules).
+    pub representative_shots: Vec<ShotId>,
+}
+
+impl Group {
+    /// Number of member shots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Whether the group has no shots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// First member shot (temporal order).
+    pub fn first_shot(&self) -> Option<ShotId> {
+        self.shots.first().copied()
+    }
+
+    /// Last member shot (temporal order).
+    pub fn last_shot(&self) -> Option<ShotId> {
+        self.shots.last().copied()
+    }
+}
+
+/// A video scene: semantically related, temporally adjacent groups
+/// (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// Identifier (index in temporal order).
+    pub id: SceneId,
+    /// Member groups, in temporal order.
+    pub groups: Vec<GroupId>,
+    /// Representative group, the scene centroid (Eq. 11 and rules).
+    pub representative_group: GroupId,
+}
+
+impl Scene {
+    /// Number of member groups.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the scene has no groups (never true for mined scenes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// A clustered scene: visually similar scenes possibly far apart in the video
+/// (Definition 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredScene {
+    /// Identifier.
+    pub id: ClusterId,
+    /// Member scenes.
+    pub scenes: Vec<SceneId>,
+    /// The centroid group of the cluster (representative group of the merged
+    /// scene, per the PCS update rule).
+    pub centroid_group: GroupId,
+}
+
+impl ClusteredScene {
+    /// Number of member scenes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the cluster has no scenes (never true for mined clusters).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+}
+
+/// The full mined hierarchy of one video: clustered scenes over scenes over
+/// groups over shots (Definition 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ContentStructure {
+    /// All shots, in temporal order.
+    pub shots: Vec<Shot>,
+    /// All groups, in temporal order.
+    pub groups: Vec<Group>,
+    /// All scenes, in temporal order.
+    pub scenes: Vec<Scene>,
+    /// All clustered scenes.
+    pub clustered_scenes: Vec<ClusteredScene>,
+}
+
+impl ContentStructure {
+    /// Looks up a shot.
+    pub fn shot(&self, id: ShotId) -> &Shot {
+        &self.shots[id.index()]
+    }
+
+    /// Looks up a group.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.index()]
+    }
+
+    /// Looks up a scene.
+    pub fn scene(&self, id: SceneId) -> &Scene {
+        &self.scenes[id.index()]
+    }
+
+    /// All shots of a scene, in temporal order.
+    pub fn scene_shots(&self, id: SceneId) -> Vec<ShotId> {
+        let mut out = Vec::new();
+        for &g in &self.scene(id).groups {
+            out.extend_from_slice(&self.group(g).shots);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Frame span `[start, end)` of a scene.
+    pub fn scene_frame_span(&self, id: SceneId) -> (usize, usize) {
+        let shots = self.scene_shots(id);
+        let start = shots
+            .first()
+            .map(|&s| self.shot(s).start_frame)
+            .unwrap_or(0);
+        let end = shots.last().map(|&s| self.shot(s).end_frame).unwrap_or(0);
+        (start, end)
+    }
+
+    /// Verifies internal consistency: ids match positions, every referenced id
+    /// is in range, groups partition a subset of shots, scenes partition
+    /// groups. Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.shots.iter().enumerate() {
+            if s.id.index() != i {
+                return Err(format!("shot at position {i} has id {}", s.id));
+            }
+            if s.start_frame >= s.end_frame {
+                return Err(format!("shot {} has empty frame range", s.id));
+            }
+        }
+        let mut shot_owner = vec![None; self.shots.len()];
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.id.index() != i {
+                return Err(format!("group at position {i} has id {}", g.id));
+            }
+            if g.shots.is_empty() {
+                return Err(format!("group {} is empty", g.id));
+            }
+            for &s in &g.shots {
+                let slot = shot_owner
+                    .get_mut(s.index())
+                    .ok_or_else(|| format!("group {} references unknown shot {s}", g.id))?;
+                if let Some(prev) = slot {
+                    return Err(format!("shot {s} owned by groups {prev} and {}", g.id));
+                }
+                *slot = Some(g.id);
+            }
+            for &r in &g.representative_shots {
+                if !g.shots.contains(&r) {
+                    return Err(format!("group {} rep shot {r} not a member", g.id));
+                }
+            }
+        }
+        let mut group_owner = vec![None; self.groups.len()];
+        for (i, se) in self.scenes.iter().enumerate() {
+            if se.id.index() != i {
+                return Err(format!("scene at position {i} has id {}", se.id));
+            }
+            if se.groups.is_empty() {
+                return Err(format!("scene {} is empty", se.id));
+            }
+            for &g in &se.groups {
+                let slot = group_owner
+                    .get_mut(g.index())
+                    .ok_or_else(|| format!("scene {} references unknown group {g}", se.id))?;
+                if let Some(prev) = slot {
+                    return Err(format!("group {g} owned by scenes {prev} and {}", se.id));
+                }
+                *slot = Some(se.id);
+            }
+            if !se.groups.contains(&se.representative_group) {
+                return Err(format!(
+                    "scene {} rep group {} not a member",
+                    se.id, se.representative_group
+                ));
+            }
+        }
+        let mut scene_owner = vec![None; self.scenes.len()];
+        for c in &self.clustered_scenes {
+            if c.scenes.is_empty() {
+                return Err(format!("clustered scene {} is empty", c.id));
+            }
+            for &se in &c.scenes {
+                let slot = scene_owner
+                    .get_mut(se.index())
+                    .ok_or_else(|| format!("cluster {} references unknown scene {se}", c.id))?;
+                if let Some(prev) = slot {
+                    return Err(format!("scene {se} owned by clusters {prev} and {}", c.id));
+                }
+                *slot = Some(c.id);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shot(i: usize, a: usize, b: usize) -> Shot {
+        Shot::new(ShotId(i), a, b, FrameFeatures::zeros()).unwrap()
+    }
+
+    #[test]
+    fn representative_frame_is_tenth_or_middle() {
+        assert_eq!(Shot::representative_frame(0, 30), 9);
+        assert_eq!(Shot::representative_frame(100, 130), 109);
+        // Short shot of 5 frames: middle.
+        assert_eq!(Shot::representative_frame(0, 5), 2);
+        assert_eq!(Shot::representative_frame(10, 11), 10);
+    }
+
+    #[test]
+    fn shot_rejects_empty_range() {
+        assert!(Shot::new(ShotId(0), 5, 5, FrameFeatures::zeros()).is_err());
+    }
+
+    #[test]
+    fn shot_duration() {
+        let s = shot(0, 0, 30);
+        assert_eq!(s.len(), 30);
+        assert!((s.duration_secs(10.0) - 3.0).abs() < 1e-12);
+    }
+
+    fn tiny_structure() -> ContentStructure {
+        let shots = vec![shot(0, 0, 30), shot(1, 30, 60), shot(2, 60, 90)];
+        let groups = vec![
+            Group {
+                id: GroupId(0),
+                shots: vec![ShotId(0), ShotId(1)],
+                kind: GroupKind::SpatiallyRelated,
+                shot_clusters: vec![vec![ShotId(0), ShotId(1)]],
+                representative_shots: vec![ShotId(0)],
+            },
+            Group {
+                id: GroupId(1),
+                shots: vec![ShotId(2)],
+                kind: GroupKind::SpatiallyRelated,
+                shot_clusters: vec![vec![ShotId(2)]],
+                representative_shots: vec![ShotId(2)],
+            },
+        ];
+        let scenes = vec![Scene {
+            id: SceneId(0),
+            groups: vec![GroupId(0), GroupId(1)],
+            representative_group: GroupId(0),
+        }];
+        let clustered_scenes = vec![ClusteredScene {
+            id: ClusterId(0),
+            scenes: vec![SceneId(0)],
+            centroid_group: GroupId(0),
+        }];
+        ContentStructure {
+            shots,
+            groups,
+            scenes,
+            clustered_scenes,
+        }
+    }
+
+    #[test]
+    fn valid_structure_validates() {
+        assert_eq!(tiny_structure().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_double_owned_shot() {
+        let mut cs = tiny_structure();
+        cs.groups[1].shots = vec![ShotId(1)];
+        let err = cs.validate().unwrap_err();
+        assert!(err.contains("owned by groups"));
+    }
+
+    #[test]
+    fn validate_catches_bad_rep_group() {
+        let mut cs = tiny_structure();
+        cs.scenes[0].representative_group = GroupId(1);
+        assert!(cs.validate().is_ok());
+        cs.scenes[0].groups = vec![GroupId(0)];
+        // Now group 1 is unowned (fine) but rep group is not a member.
+        let err = cs.validate().unwrap_err();
+        assert!(err.contains("rep group"));
+    }
+
+    #[test]
+    fn scene_shots_and_span() {
+        let cs = tiny_structure();
+        assert_eq!(
+            cs.scene_shots(SceneId(0)),
+            vec![ShotId(0), ShotId(1), ShotId(2)]
+        );
+        assert_eq!(cs.scene_frame_span(SceneId(0)), (0, 90));
+    }
+}

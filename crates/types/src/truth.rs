@@ -1,0 +1,270 @@
+//! Ground-truth annotations for synthetic videos.
+//!
+//! The paper evaluates against manual annotations of its 6-hour medical
+//! corpus. Our corpus generator knows the truth by construction and records it
+//! here: true shot cuts, true semantic units (scenes) with their event
+//! category and topic, speaker segments on the audio track, and spans of
+//! special frames (slides, black frames, faces, skin, blood-red regions).
+
+use crate::events::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// Kinds of special frames / regions the visual miner must detect (Sec. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialFrameKind {
+    /// Near-black man-made frame.
+    Black,
+    /// Presentation slide.
+    Slide,
+    /// Clip-art frame.
+    ClipArt,
+    /// Hand-drawn sketch frame.
+    Sketch,
+    /// Frame containing a face close-up (face >= 10% of frame area).
+    FaceCloseUp,
+    /// Frame containing a face that is not a close-up.
+    Face,
+    /// Frame containing a skin close-up (skin >= 20% of frame area).
+    SkinCloseUp,
+    /// Frame containing a visible but smaller skin region.
+    Skin,
+    /// Frame containing a blood-red region.
+    BloodRed,
+}
+
+/// A ground-truth semantic unit: the paper's notion of a true scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticUnit {
+    /// First frame (inclusive).
+    pub start_frame: usize,
+    /// One past the last frame.
+    pub end_frame: usize,
+    /// Topic label; recurring units (the ones scene clustering should merge)
+    /// share a topic.
+    pub topic: String,
+    /// True event category of the unit, if it is one of the three mined kinds.
+    pub event: Option<EventKind>,
+}
+
+impl SemanticUnit {
+    /// Number of frames covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end_frame.saturating_sub(self.start_frame)
+    }
+
+    /// Whether the unit covers no frames.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end_frame <= self.start_frame
+    }
+
+    /// Whether a frame lies inside the unit.
+    #[inline]
+    pub fn contains(&self, frame: usize) -> bool {
+        (self.start_frame..self.end_frame).contains(&frame)
+    }
+}
+
+/// A ground-truth speaker segment on the audio track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeakerSegment {
+    /// First sample (inclusive).
+    pub start_sample: usize,
+    /// One past the last sample.
+    pub end_sample: usize,
+    /// Speaker identity (0 = silence/no speech by convention of the
+    /// generator; real speakers start at 1).
+    pub speaker: u32,
+}
+
+/// A span of frames sharing a special-frame annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecialSpan {
+    /// First frame (inclusive).
+    pub start_frame: usize,
+    /// One past the last frame.
+    pub end_frame: usize,
+    /// What the frames contain.
+    pub kind: SpecialFrameKind,
+}
+
+/// Complete ground truth for one synthetic video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GroundTruth {
+    /// Frame indices at which a new true shot starts (excluding frame 0),
+    /// sorted ascending.
+    pub shot_cuts: Vec<usize>,
+    /// True semantic units in temporal order, covering the video.
+    pub semantic_units: Vec<SemanticUnit>,
+    /// Speaker segments on the audio track, in temporal order.
+    pub speakers: Vec<SpeakerSegment>,
+    /// Special-frame annotations.
+    pub special_spans: Vec<SpecialSpan>,
+}
+
+impl GroundTruth {
+    /// Number of true shots (cuts + 1 for a non-empty video).
+    pub fn shot_count(&self) -> usize {
+        self.shot_cuts.len() + 1
+    }
+
+    /// Index of the semantic unit containing `frame`, if any.
+    pub fn unit_of_frame(&self, frame: usize) -> Option<usize> {
+        self.semantic_units.iter().position(|u| u.contains(frame))
+    }
+
+    /// All special kinds annotated for `frame`.
+    pub fn kinds_of_frame(&self, frame: usize) -> Vec<SpecialFrameKind> {
+        self.special_spans
+            .iter()
+            .filter(|s| (s.start_frame..s.end_frame).contains(&frame))
+            .map(|s| s.kind)
+            .collect()
+    }
+
+    /// Speaker active at `sample` (0 if none).
+    pub fn speaker_at(&self, sample: usize) -> u32 {
+        self.speakers
+            .iter()
+            .find(|s| (s.start_sample..s.end_sample).contains(&sample))
+            .map(|s| s.speaker)
+            .unwrap_or(0)
+    }
+
+    /// Distinct topics, in first-appearance order.
+    pub fn topics(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for u in &self.semantic_units {
+            if !out.contains(&u.topic.as_str()) {
+                out.push(&u.topic);
+            }
+        }
+        out
+    }
+
+    /// Checks that cuts are sorted/deduped and units are contiguous and
+    /// non-overlapping. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.shot_cuts.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("shot cuts not strictly increasing at {}", w[0]));
+            }
+        }
+        for (i, w) in self.semantic_units.windows(2).enumerate() {
+            if w[0].end_frame > w[1].start_frame {
+                return Err(format!("semantic units {i} and {} overlap", i + 1));
+            }
+        }
+        for (i, u) in self.semantic_units.iter().enumerate() {
+            if u.is_empty() {
+                return Err(format!("semantic unit {i} is empty"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(a: usize, b: usize, topic: &str, event: Option<EventKind>) -> SemanticUnit {
+        SemanticUnit {
+            start_frame: a,
+            end_frame: b,
+            topic: topic.to_string(),
+            event,
+        }
+    }
+
+    #[test]
+    fn unit_contains_frames() {
+        let u = unit(10, 20, "surgery", Some(EventKind::ClinicalOperation));
+        assert!(u.contains(10));
+        assert!(u.contains(19));
+        assert!(!u.contains(20));
+        assert_eq!(u.len(), 10);
+    }
+
+    #[test]
+    fn unit_of_frame_finds_owner() {
+        let gt = GroundTruth {
+            shot_cuts: vec![10, 20],
+            semantic_units: vec![unit(0, 15, "a", None), unit(15, 30, "b", None)],
+            ..Default::default()
+        };
+        assert_eq!(gt.unit_of_frame(0), Some(0));
+        assert_eq!(gt.unit_of_frame(14), Some(0));
+        assert_eq!(gt.unit_of_frame(15), Some(1));
+        assert_eq!(gt.unit_of_frame(30), None);
+        assert_eq!(gt.shot_count(), 3);
+    }
+
+    #[test]
+    fn kinds_of_frame_collects_overlapping_spans() {
+        let gt = GroundTruth {
+            special_spans: vec![
+                SpecialSpan {
+                    start_frame: 0,
+                    end_frame: 10,
+                    kind: SpecialFrameKind::Slide,
+                },
+                SpecialSpan {
+                    start_frame: 5,
+                    end_frame: 8,
+                    kind: SpecialFrameKind::FaceCloseUp,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(gt.kinds_of_frame(2), vec![SpecialFrameKind::Slide]);
+        assert_eq!(
+            gt.kinds_of_frame(6),
+            vec![SpecialFrameKind::Slide, SpecialFrameKind::FaceCloseUp]
+        );
+        assert!(gt.kinds_of_frame(20).is_empty());
+    }
+
+    #[test]
+    fn speaker_at_defaults_to_zero() {
+        let gt = GroundTruth {
+            speakers: vec![SpeakerSegment {
+                start_sample: 100,
+                end_sample: 200,
+                speaker: 2,
+            }],
+            ..Default::default()
+        };
+        assert_eq!(gt.speaker_at(150), 2);
+        assert_eq!(gt.speaker_at(50), 0);
+        assert_eq!(gt.speaker_at(200), 0);
+    }
+
+    #[test]
+    fn topics_dedupe_in_order() {
+        let gt = GroundTruth {
+            semantic_units: vec![
+                unit(0, 1, "a", None),
+                unit(1, 2, "b", None),
+                unit(2, 3, "a", None),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(gt.topics(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn validate_catches_overlap_and_disorder() {
+        let mut gt = GroundTruth {
+            shot_cuts: vec![5, 5],
+            ..Default::default()
+        };
+        assert!(gt.validate().is_err());
+        gt.shot_cuts = vec![5, 10];
+        gt.semantic_units = vec![unit(0, 12, "a", None), unit(10, 20, "b", None)];
+        assert!(gt.validate().unwrap_err().contains("overlap"));
+        gt.semantic_units = vec![unit(0, 10, "a", None), unit(10, 20, "b", None)];
+        assert!(gt.validate().is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! The video container: frames + audio + metadata + (optional) ground truth.
+
+use crate::audio::AudioTrack;
+use crate::id::VideoId;
+use crate::image::Image;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// A decoded video: a frame sequence with an aligned mono audio track.
+///
+/// For synthetic corpora the generator also attaches the [`GroundTruth`] it
+/// used, which the evaluation harness consumes; production ingest would leave
+/// it `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    /// Corpus-wide identifier.
+    pub id: VideoId,
+    /// Human-readable title (the synthetic corpus uses the paper's five
+    /// programme names).
+    pub title: String,
+    /// Frames in temporal order.
+    pub frames: Vec<Image>,
+    /// Mono audio track aligned with the frames.
+    pub audio: AudioTrack,
+    /// Frames per second of the frame sequence.
+    pub fps: f64,
+    /// Ground truth, when known (synthetic corpora).
+    pub truth: Option<GroundTruth>,
+}
+
+impl Video {
+    /// Number of frames.
+    #[inline]
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Duration in seconds implied by the frame count.
+    #[inline]
+    pub fn duration_secs(&self) -> f64 {
+        self.frames.len() as f64 / self.fps
+    }
+
+    /// Audio sample index aligned with the start of `frame`.
+    #[inline]
+    pub fn frame_to_sample(&self, frame: usize) -> usize {
+        ((frame as f64 / self.fps) * self.audio.sample_rate() as f64).round() as usize
+    }
+
+    /// Audio sample range `[start, end)` covering frames `[f0, f1)`.
+    pub fn frame_range_to_samples(&self, f0: usize, f1: usize) -> (usize, usize) {
+        (self.frame_to_sample(f0), self.frame_to_sample(f1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    fn tiny_video() -> Video {
+        Video {
+            id: VideoId(0),
+            title: "test".into(),
+            frames: vec![Image::black(4, 4); 20],
+            audio: AudioTrack::new(8000, vec![0.0; 16000]).unwrap(),
+            fps: 10.0,
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn duration_from_frames() {
+        let v = tiny_video();
+        assert_eq!(v.frame_count(), 20);
+        assert!((v.duration_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_sample_alignment() {
+        let v = tiny_video();
+        assert_eq!(v.frame_to_sample(0), 0);
+        assert_eq!(v.frame_to_sample(10), 8000);
+        assert_eq!(v.frame_range_to_samples(5, 15), (4000, 12000));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests on the shared data types.
+
+use medvid_types::{AudioClip, ColorHistogram, Image, Rgb, Shot, ShotId, FrameFeatures};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn image_fill_rect_never_panics(
+        w in 1usize..32, h in 1usize..32,
+        x0 in 0usize..40, y0 in 0usize..40,
+        x1 in 0usize..80, y1 in 0usize..80,
+        r in 0u8..=255, g in 0u8..=255, b in 0u8..=255,
+    ) {
+        let mut img = Image::black(w, h);
+        img.fill_rect(x0, y0, x1, y1, Rgb::new(r, g, b));
+        prop_assert_eq!(img.pixel_count(), w * h);
+    }
+
+    #[test]
+    fn mean_abs_diff_is_symmetric_and_bounded(
+        w in 1usize..16, h in 1usize..16, seed in 0u64..1000,
+    ) {
+        let mut a = Image::black(w, h);
+        let mut b = Image::black(w, h);
+        let mut s = seed;
+        for byte in a.raw_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *byte = (s >> 33) as u8;
+        }
+        for byte in b.raw_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *byte = (s >> 33) as u8;
+        }
+        let d1 = a.mean_abs_diff(&b);
+        let d2 = b.mean_abs_diff(&a);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        prop_assert!((0.0..=255.0).contains(&d1));
+        prop_assert_eq!(a.mean_abs_diff(&a.clone()), 0.0);
+    }
+
+    #[test]
+    fn histogram_l1_distance_triangle(
+        b1 in 0usize..256, b2 in 0usize..256, b3 in 0usize..256,
+    ) {
+        let h = |bin: usize| {
+            let mut v = vec![0.0f32; 256];
+            v[bin] = 1.0;
+            ColorHistogram::new(v).unwrap()
+        };
+        let (x, y, z) = (h(b1), h(b2), h(b3));
+        let d = |a: &ColorHistogram, b: &ColorHistogram| a.l1_distance(b);
+        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z) + 1e-6);
+    }
+
+    #[test]
+    fn shot_rep_frame_is_inside_shot(start in 0usize..10_000, len in 1usize..500) {
+        let s = Shot::new(ShotId(0), start, start + len, FrameFeatures::zeros()).unwrap();
+        prop_assert!(s.rep_frame >= s.start_frame);
+        prop_assert!(s.rep_frame < s.end_frame);
+    }
+
+    #[test]
+    fn audio_clip_len_consistent(start in 0usize..100_000, len in 1usize..100_000) {
+        let c = AudioClip::new(start, start + len).unwrap();
+        prop_assert_eq!(c.len(), len);
+        prop_assert!((c.duration_secs(8000) - len as f64 / 8000.0).abs() < 1e-12);
+    }
+}

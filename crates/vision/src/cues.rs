@@ -1,0 +1,158 @@
+//! Per-frame visual-cue summary consumed by the event miner.
+
+use crate::face::{detect_faces, Face, FaceDetectorConfig};
+use crate::skin::{blood_regions, skin_regions};
+use crate::special::{classify_special, SpecialFrame};
+use medvid_types::Image;
+
+/// Everything the event-mining rules need to know about one representative
+/// frame (paper Secs. 4.1 and 4.3).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VisualCues {
+    /// Man-made frame classification, if any.
+    pub special: Option<SpecialFrameKindCue>,
+    /// Verified faces.
+    pub faces: Vec<Face>,
+    /// Skin coverage as a fraction of the frame (largest region).
+    pub skin_fraction: f32,
+    /// Whether any blood-red region of considerable size is present.
+    pub has_blood_red: bool,
+}
+
+/// Re-export-friendly mirror of [`SpecialFrame`].
+pub type SpecialFrameKindCue = SpecialFrame;
+
+impl VisualCues {
+    /// Whether the frame is a slide or clip-art frame (presentation cue).
+    pub fn is_slide_or_clipart(&self) -> bool {
+        matches!(
+            self.special,
+            Some(SpecialFrame::Slide) | Some(SpecialFrame::ClipArt)
+        )
+    }
+
+    /// Whether the frame contains a face close-up (>= 10% of frame).
+    pub fn has_face_close_up(&self) -> bool {
+        self.faces.iter().any(Face::is_close_up)
+    }
+
+    /// Whether the frame contains any face.
+    pub fn has_face(&self) -> bool {
+        !self.faces.is_empty()
+    }
+
+    /// Whether the frame contains a skin close-up (>= 20% of frame,
+    /// Sec. 4.3 rule 3).
+    pub fn has_skin_close_up(&self) -> bool {
+        self.skin_fraction >= 0.20
+    }
+
+    /// Whether the frame contains any notable skin region.
+    pub fn has_skin(&self) -> bool {
+        self.skin_fraction >= 0.05
+    }
+}
+
+/// Extracts all visual cues from one frame.
+pub fn extract_cues(img: &Image) -> VisualCues {
+    let special = classify_special(img);
+    if special.is_some() {
+        // Man-made frames carry no skin/face information.
+        return VisualCues {
+            special,
+            ..Default::default()
+        };
+    }
+    let faces = detect_faces(img, &FaceDetectorConfig::default());
+    let skin = skin_regions(img);
+    let skin_fraction = skin
+        .regions
+        .first()
+        .map(|r| r.frame_fraction(img.width(), img.height()))
+        .unwrap_or(0.0);
+    let blood = blood_regions(img);
+    VisualCues {
+        special,
+        faces,
+        skin_fraction,
+        has_blood_red: !blood.regions.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::palette::{location_style, person_style, LocationId, PersonId};
+    use medvid_synth::render::ShotRenderer;
+    use medvid_synth::script::ShotContent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rendered(content: ShotContent, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locs: Vec<_> = (0..3).map(|_| location_style(&mut rng)).collect();
+        let pers: Vec<_> = (0..3).map(|_| person_style(&mut rng)).collect();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        r.render(content, &locs, &pers, &mut rng)
+    }
+
+    #[test]
+    fn face_closeup_frame_yields_face_cue() {
+        let img = rendered(
+            ShotContent::FaceCloseUp {
+                person: PersonId(0),
+                location: LocationId(0),
+            },
+            11,
+        );
+        let cues = extract_cues(&img);
+        assert!(cues.has_face(), "cues: {cues:?}");
+        assert!(cues.has_face_close_up(), "cues: {cues:?}");
+        assert!(!cues.is_slide_or_clipart());
+    }
+
+    #[test]
+    fn slide_frame_yields_slide_cue() {
+        let cues = extract_cues(&rendered(ShotContent::Slide, 12));
+        assert!(cues.is_slide_or_clipart());
+        assert!(!cues.has_face());
+    }
+
+    #[test]
+    fn surgical_field_yields_blood_and_skin() {
+        let cues = extract_cues(&rendered(
+            ShotContent::SurgicalField {
+                location: LocationId(1),
+            },
+            13,
+        ));
+        assert!(cues.has_blood_red, "cues: {cues:?}");
+        assert!(cues.has_skin(), "cues: {cues:?}");
+    }
+
+    #[test]
+    fn skin_closeup_yields_skin_closeup_cue() {
+        let cues = extract_cues(&rendered(
+            ShotContent::SkinCloseUp {
+                location: LocationId(2),
+            },
+            14,
+        ));
+        assert!(cues.has_skin_close_up(), "cues: {cues:?}");
+        assert!(!cues.has_blood_red);
+    }
+
+    #[test]
+    fn equipment_frame_is_plain() {
+        let cues = extract_cues(&rendered(
+            ShotContent::Equipment {
+                location: LocationId(0),
+            },
+            15,
+        ));
+        assert!(!cues.has_face());
+        assert!(!cues.has_skin_close_up());
+        assert!(!cues.has_blood_red);
+        assert!(!cues.is_slide_or_clipart());
+    }
+}

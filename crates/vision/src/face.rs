@@ -1,0 +1,221 @@
+//! Face detection (paper Sec. 4.1, after [18–20]).
+//!
+//! Pipeline: Gaussian skin segmentation → shape analysis (aspect and fill of
+//! candidate regions) → facial-feature check (dark eye/mouth pixels inside
+//! the candidate) → template-curve verification (overlap of the region with
+//! its fitted ellipse). A face is a *close-up* when it covers at least 10% of
+//! the frame (the event rules' threshold).
+
+use crate::region::{Mask, Region};
+use crate::skin::{skin_regions, ColorModel};
+use medvid_types::Image;
+
+/// A verified face region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Face {
+    /// The underlying skin region.
+    pub region: Region,
+    /// Area as a fraction of the frame.
+    pub frame_fraction: f32,
+    /// Template-curve verification score in `[0, 1]` (ellipse overlap).
+    pub ellipse_score: f32,
+}
+
+impl Face {
+    /// Whether this face is a close-up per the paper's 10% rule.
+    pub fn is_close_up(&self) -> bool {
+        self.frame_fraction >= 0.10
+    }
+}
+
+/// Face-detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceDetectorConfig {
+    /// Acceptable width/height aspect range of a head candidate.
+    pub aspect_range: (f32, f32),
+    /// Minimum fill ratio (region area over bbox area).
+    pub min_fill: f32,
+    /// Minimum ellipse-overlap score for template verification.
+    pub min_ellipse_score: f32,
+    /// Minimum fraction of dark facial-feature pixels inside the candidate.
+    pub min_feature_fraction: f32,
+    /// Minimum region size as a fraction of the frame.
+    pub min_region_fraction: f32,
+}
+
+impl Default for FaceDetectorConfig {
+    fn default() -> Self {
+        Self {
+            aspect_range: (0.4, 1.4),
+            min_fill: 0.5,
+            min_ellipse_score: 0.6,
+            min_feature_fraction: 0.005,
+            min_region_fraction: 0.01,
+        }
+    }
+}
+
+/// Detects faces in a frame.
+pub fn detect_faces(img: &Image, config: &FaceDetectorConfig) -> Vec<Face> {
+    let seg = skin_regions(img);
+    let skin_model = ColorModel::skin();
+    let mask = skin_model.segment(img);
+    seg.regions
+        .iter()
+        .filter_map(|r| verify_face(img, &mask, r, config))
+        .collect()
+}
+
+/// Runs shape analysis, the facial-feature check and template verification on
+/// one skin region.
+fn verify_face(
+    img: &Image,
+    mask: &Mask,
+    region: &Region,
+    config: &FaceDetectorConfig,
+) -> Option<Face> {
+    // "Face size" in the paper's 10% rule is the face extent, not bare skin
+    // pixels: eyes, mouth and hair sit inside the face. Use the bounding box.
+    let frame_fraction =
+        (region.width() * region.height()) as f32 / (img.width() * img.height()).max(1) as f32;
+    if frame_fraction < config.min_region_fraction {
+        return None;
+    }
+    // Shape analysis: heads are roughly upright ellipses.
+    let aspect = region.aspect();
+    if !(config.aspect_range.0..=config.aspect_range.1).contains(&aspect) {
+        return None;
+    }
+    if region.fill_ratio() < config.min_fill {
+        return None;
+    }
+    // Facial-feature extraction: dark pixels (eyes, mouth) inside the
+    // candidate's bounding box. A bare skin patch (arm, surgical field) has
+    // none.
+    let (x0, y0, x1, y1) = region.bbox;
+    let mut dark = 0usize;
+    let mut total = 0usize;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            total += 1;
+            if img.get(x, y).luma() < 60.0 {
+                dark += 1;
+            }
+        }
+    }
+    if total == 0 || (dark as f32 / total as f32) < config.min_feature_fraction {
+        return None;
+    }
+    // Template-curve verification: overlap between the skin mask and the
+    // ellipse inscribed in the bounding box (IoU-style score).
+    let score = ellipse_overlap(mask, region);
+    if score < config.min_ellipse_score {
+        return None;
+    }
+    Some(Face {
+        region: region.clone(),
+        frame_fraction,
+        ellipse_score: score,
+    })
+}
+
+/// Overlap score between a region's mask pixels and the ellipse inscribed in
+/// its bounding box: `|mask AND ellipse| / |mask OR ellipse|`.
+fn ellipse_overlap(mask: &Mask, region: &Region) -> f32 {
+    let (x0, y0, x1, y1) = region.bbox;
+    let cx = (x0 + x1) as f32 / 2.0;
+    let cy = (y0 + y1) as f32 / 2.0;
+    let rx = (x1 - x0) as f32 / 2.0;
+    let ry = (y1 - y0) as f32 / 2.0;
+    if rx <= 0.0 || ry <= 0.0 {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let dx = (x as f32 + 0.5 - cx) / rx;
+            let dy = (y as f32 + 0.5 - cy) / ry;
+            let in_ellipse = dx * dx + dy * dy <= 1.0;
+            let in_mask = mask.get(x, y);
+            if in_ellipse && in_mask {
+                inter += 1;
+            }
+            if in_ellipse || in_mask {
+                union += 1;
+            }
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::Rgb;
+
+    /// Draws a face-like ellipse with eyes and mouth.
+    fn face_frame(face_frac: f32) -> Image {
+        let mut img = Image::filled(80, 60, Rgb::new(140, 170, 200));
+        let area = face_frac * 80.0 * 60.0;
+        let ry = (area / std::f32::consts::PI / 0.75).sqrt();
+        let rx = ry * 0.75;
+        img.fill_ellipse(40.0, 28.0, rx, ry, Rgb::new(215, 165, 135));
+        let eye = Rgb::new(25, 20, 20);
+        img.fill_ellipse(40.0 - rx * 0.4, 26.0, rx * 0.12, ry * 0.08, eye);
+        img.fill_ellipse(40.0 + rx * 0.4, 26.0, rx * 0.12, ry * 0.08, eye);
+        img.fill_ellipse(40.0, 28.0 + ry * 0.5, rx * 0.3, ry * 0.08, Rgb::new(120, 50, 50));
+        img
+    }
+
+    #[test]
+    fn detects_close_up_face() {
+        let img = face_frame(0.2);
+        let faces = detect_faces(&img, &FaceDetectorConfig::default());
+        assert_eq!(faces.len(), 1, "faces: {faces:?}");
+        assert!(faces[0].is_close_up());
+        assert!(faces[0].ellipse_score > 0.6);
+    }
+
+    #[test]
+    fn small_face_is_not_close_up() {
+        let img = face_frame(0.04);
+        let faces = detect_faces(&img, &FaceDetectorConfig::default());
+        assert_eq!(faces.len(), 1);
+        assert!(!faces[0].is_close_up());
+    }
+
+    #[test]
+    fn rectangular_skin_patch_rejected_by_template() {
+        // A full rectangle of skin has high fill everywhere and poor ellipse
+        // overlap only if large corners stick out; also no facial features.
+        let mut img = Image::filled(80, 60, Rgb::new(140, 170, 200));
+        img.fill_rect(10, 10, 70, 50, Rgb::new(215, 165, 135));
+        let faces = detect_faces(&img, &FaceDetectorConfig::default());
+        assert!(
+            faces.is_empty(),
+            "featureless rectangle must not verify as a face"
+        );
+    }
+
+    #[test]
+    fn background_without_skin_has_no_faces() {
+        let img = Image::filled(80, 60, Rgb::new(90, 120, 160));
+        assert!(detect_faces(&img, &FaceDetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn wide_skin_band_rejected_by_shape() {
+        // A thin wide band: aspect way out of range.
+        let mut img = Image::filled(80, 60, Rgb::new(140, 170, 200));
+        img.fill_rect(5, 28, 75, 36, Rgb::new(215, 165, 135));
+        // Add dark specks so the feature check alone would pass.
+        img.fill_rect(20, 30, 22, 32, Rgb::new(20, 20, 20));
+        let faces = detect_faces(&img, &FaceDetectorConfig::default());
+        assert!(faces.is_empty(), "band aspect {faces:?}");
+    }
+}

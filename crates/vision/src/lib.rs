@@ -1,0 +1,25 @@
+//! Visual cue detectors (paper Sec. 4.1).
+//!
+//! Runs over representative frames and extracts the semantic cues the event
+//! miner consumes:
+//!
+//! * [`special`] — man-made frame detection: black, slide, clip-art and
+//!   sketch frames, recognised by their low colour diversity and layout;
+//! * [`region`] — binary masks, morphological opening/closing and connected
+//!   components with shape statistics;
+//! * [`skin`] — Gaussian-model skin and blood-red segmentation;
+//! * [`face`] — face detection: skin segmentation → shape analysis → texture
+//!   filter + morphology → facial-feature check → template-curve (ellipse)
+//!   verification;
+//! * [`cues`] — the per-frame [`cues::VisualCues`] summary used downstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cues;
+pub mod face;
+pub mod region;
+pub mod skin;
+pub mod special;
+
+pub use cues::{extract_cues, VisualCues};

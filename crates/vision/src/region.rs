@@ -1,0 +1,315 @@
+//! Binary masks, morphology and connected components.
+
+use medvid_types::Image;
+
+/// A binary mask over an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    width: usize,
+    height: usize,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// Creates an all-false mask.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            bits: vec![false; width * height],
+        }
+    }
+
+    /// Builds a mask by applying a pixel predicate to an image.
+    pub fn from_predicate<F: Fn(medvid_types::Rgb) -> bool>(img: &Image, pred: F) -> Self {
+        let mut mask = Self::new(img.width(), img.height());
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                mask.set(x, y, pred(img.get(x, y)));
+            }
+        }
+        mask
+    }
+
+    /// Mask width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads a bit (false outside bounds).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        x < self.width && y < self.height && self.bits[y * self.width + x]
+    }
+
+    /// Writes a bit.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: bool) {
+        assert!(x < self.width && y < self.height);
+        self.bits[y * self.width + x] = v;
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of set bits.
+    pub fn fraction(&self) -> f32 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            self.count() as f32 / self.bits.len() as f32
+        }
+    }
+
+    /// Morphological erosion with a 3x3 cross element.
+    pub fn erode(&self) -> Mask {
+        let mut out = Mask::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y)
+                    && (x == 0 || self.get(x - 1, y))
+                    && self.get(x + 1, y)
+                    && (y == 0 || self.get(x, y - 1))
+                    && self.get(x, y + 1);
+                // Border pixels erode away unless fully surrounded inside.
+                let v = v && x > 0 && y > 0 && x + 1 < self.width && y + 1 < self.height;
+                out.set(x, y, v);
+            }
+        }
+        out
+    }
+
+    /// Morphological dilation with a 3x3 cross element.
+    pub fn dilate(&self) -> Mask {
+        let mut out = Mask::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y)
+                    || (x > 0 && self.get(x - 1, y))
+                    || self.get(x + 1, y)
+                    || (y > 0 && self.get(x, y - 1))
+                    || self.get(x, y + 1);
+                out.set(x, y, v);
+            }
+        }
+        out
+    }
+
+    /// Opening (erode then dilate): removes speckle.
+    pub fn open(&self) -> Mask {
+        self.erode().dilate()
+    }
+
+    /// Closing (dilate then erode): fills pinholes.
+    pub fn close(&self) -> Mask {
+        self.dilate().erode()
+    }
+}
+
+/// A connected component of a mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Pixel count.
+    pub area: usize,
+    /// Bounding box `(x0, y0, x1, y1)`, half-open.
+    pub bbox: (usize, usize, usize, usize),
+    /// Centroid `(x, y)`.
+    pub centroid: (f32, f32),
+}
+
+impl Region {
+    /// Bounding-box width.
+    pub fn width(&self) -> usize {
+        self.bbox.2 - self.bbox.0
+    }
+
+    /// Bounding-box height.
+    pub fn height(&self) -> usize {
+        self.bbox.3 - self.bbox.1
+    }
+
+    /// Area as a fraction of the whole frame.
+    pub fn frame_fraction(&self, frame_w: usize, frame_h: usize) -> f32 {
+        if frame_w * frame_h == 0 {
+            0.0
+        } else {
+            self.area as f32 / (frame_w * frame_h) as f32
+        }
+    }
+
+    /// Fill ratio: area over bounding-box area.
+    pub fn fill_ratio(&self) -> f32 {
+        let bb = self.width() * self.height();
+        if bb == 0 {
+            0.0
+        } else {
+            self.area as f32 / bb as f32
+        }
+    }
+
+    /// Width/height aspect ratio.
+    pub fn aspect(&self) -> f32 {
+        if self.height() == 0 {
+            0.0
+        } else {
+            self.width() as f32 / self.height() as f32
+        }
+    }
+}
+
+/// Extracts 4-connected components at least `min_area` pixels large, sorted
+/// by descending area.
+pub fn connected_components(mask: &Mask, min_area: usize) -> Vec<Region> {
+    let (w, h) = (mask.width(), mask.height());
+    let mut visited = vec![false; w * h];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for sy in 0..h {
+        for sx in 0..w {
+            if !mask.get(sx, sy) || visited[sy * w + sx] {
+                continue;
+            }
+            // Flood fill.
+            let mut area = 0usize;
+            let (mut x0, mut y0, mut x1, mut y1) = (sx, sy, sx + 1, sy + 1);
+            let (mut cx, mut cy) = (0.0f64, 0.0f64);
+            stack.push((sx, sy));
+            visited[sy * w + sx] = true;
+            while let Some((x, y)) = stack.pop() {
+                area += 1;
+                cx += x as f64;
+                cy += y as f64;
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x + 1);
+                y1 = y1.max(y + 1);
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx < w && ny < h && mask.get(nx, ny) && !visited[ny * w + nx] {
+                        visited[ny * w + nx] = true;
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            if area >= min_area {
+                out.push(Region {
+                    area,
+                    bbox: (x0, y0, x1, y1),
+                    centroid: ((cx / area as f64) as f32, (cy / area as f64) as f32),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|r| std::cmp::Reverse(r.area));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::Rgb;
+
+    fn square_mask() -> Mask {
+        let mut m = Mask::new(10, 10);
+        for y in 2..6 {
+            for x in 3..8 {
+                m.set(x, y, true);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn mask_counts_and_fraction() {
+        let m = square_mask();
+        assert_eq!(m.count(), 20);
+        assert!((m.fraction() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_predicate_selects_pixels() {
+        let mut img = Image::black(4, 4);
+        img.set(1, 1, Rgb::WHITE);
+        let m = Mask::from_predicate(&img, |p| p.r > 128);
+        assert_eq!(m.count(), 1);
+        assert!(m.get(1, 1));
+    }
+
+    #[test]
+    fn erode_shrinks_dilate_grows() {
+        let m = square_mask();
+        assert!(m.erode().count() < m.count());
+        assert!(m.dilate().count() > m.count());
+    }
+
+    #[test]
+    fn open_removes_speckle() {
+        let mut m = Mask::new(10, 10);
+        m.set(5, 5, true); // isolated pixel
+        assert_eq!(m.open().count(), 0);
+    }
+
+    #[test]
+    fn close_fills_pinhole() {
+        let mut m = square_mask();
+        m.set(5, 3, false); // pinhole
+        let closed = m.close();
+        assert!(closed.get(5, 3), "pinhole should be filled");
+    }
+
+    #[test]
+    fn components_found_with_geometry() {
+        let m = square_mask();
+        let regions = connected_components(&m, 1);
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!(r.area, 20);
+        assert_eq!(r.bbox, (3, 2, 8, 6));
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.height(), 4);
+        assert!((r.fill_ratio() - 1.0).abs() < 1e-6);
+        assert!((r.aspect() - 1.25).abs() < 1e-6);
+        assert!((r.centroid.0 - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_components_sorted_by_area() {
+        let mut m = Mask::new(10, 10);
+        m.set(0, 0, true);
+        for x in 4..9 {
+            m.set(x, 4, true);
+        }
+        let regions = connected_components(&m, 1);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].area, 5);
+        assert_eq!(regions[1].area, 1);
+    }
+
+    #[test]
+    fn min_area_filters() {
+        let mut m = Mask::new(10, 10);
+        m.set(0, 0, true);
+        assert!(connected_components(&m, 2).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_get_is_false() {
+        let m = Mask::new(3, 3);
+        assert!(!m.get(5, 5));
+    }
+}

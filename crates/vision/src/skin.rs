@@ -1,0 +1,177 @@
+//! Gaussian-model skin and blood-red segmentation (paper Sec. 4.1).
+//!
+//! "To detect faces, skin and blood-red regions, Gaussian models are first
+//! utilized to segment the skin and blood-red regions, and then a general
+//! shape analysis is executed to select those regions that have considerable
+//! width and height."
+//!
+//! The models are diagonal Gaussians in normalised-rg chromaticity plus
+//! intensity, with means set to standard skin/blood statistics.
+
+use crate::region::{connected_components, Mask, Region};
+use medvid_signal::gaussian::DiagGaussian;
+use medvid_types::{Image, Rgb};
+
+/// Chromaticity features of a pixel: `(r/(r+g+b), g/(r+g+b), intensity)`.
+fn chroma(p: Rgb) -> [f64; 3] {
+    let sum = p.r as f64 + p.g as f64 + p.b as f64;
+    if sum <= 0.0 {
+        return [1.0 / 3.0, 1.0 / 3.0, 0.0];
+    }
+    [
+        p.r as f64 / sum,
+        p.g as f64 / sum,
+        sum / (3.0 * 255.0),
+    ]
+}
+
+/// A Gaussian colour model with an acceptance log-likelihood threshold.
+#[derive(Debug, Clone)]
+pub struct ColorModel {
+    gaussian: DiagGaussian,
+    threshold: f64,
+}
+
+impl ColorModel {
+    /// Builds a model from mean/variance in chromaticity space.
+    pub fn new(mean: [f64; 3], var: [f64; 3], threshold: f64) -> Self {
+        Self {
+            gaussian: DiagGaussian::new(mean.to_vec(), var.to_vec()),
+            threshold,
+        }
+    }
+
+    /// The standard skin-colour model: warm chromaticity at medium-to-high
+    /// intensity.
+    pub fn skin() -> Self {
+        Self::new(
+            [0.455, 0.305, 0.62],
+            [0.0015, 0.0006, 0.035],
+            2.0,
+        )
+    }
+
+    /// The blood-red model: strongly red chromaticity.
+    pub fn blood() -> Self {
+        Self::new(
+            [0.72, 0.14, 0.33],
+            [0.004, 0.0025, 0.03],
+            1.0,
+        )
+    }
+
+    /// Whether a pixel is accepted by the model.
+    pub fn accepts(&self, p: Rgb) -> bool {
+        self.gaussian.log_pdf(&chroma(p)) > self.threshold
+    }
+
+    /// Segments an image into the model's acceptance mask, with a
+    /// morphological open+close cleanup.
+    pub fn segment(&self, img: &Image) -> Mask {
+        Mask::from_predicate(img, |p| self.accepts(p)).open().close()
+    }
+}
+
+/// Result of skin/blood segmentation at the region level.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentedRegions {
+    /// Accepted regions with "considerable width and height", by area desc.
+    pub regions: Vec<Region>,
+    /// Fraction of the frame covered by the raw mask.
+    pub mask_fraction: f32,
+}
+
+/// Segments with a model and keeps regions of considerable size: at least
+/// `min_frac` of the frame and at least 3 pixels in both dimensions.
+pub fn segment_regions(img: &Image, model: &ColorModel, min_frac: f32) -> SegmentedRegions {
+    let mask = model.segment(img);
+    let min_area = ((img.pixel_count() as f32 * min_frac) as usize).max(4);
+    let regions = connected_components(&mask, min_area)
+        .into_iter()
+        .filter(|r| r.width() >= 3 && r.height() >= 3)
+        .collect();
+    SegmentedRegions {
+        regions,
+        mask_fraction: mask.fraction(),
+    }
+}
+
+/// Convenience: skin regions of a frame.
+pub fn skin_regions(img: &Image) -> SegmentedRegions {
+    segment_regions(img, &ColorModel::skin(), 0.01)
+}
+
+/// Convenience: blood-red regions of a frame.
+pub fn blood_regions(img: &Image) -> SegmentedRegions {
+    segment_regions(img, &ColorModel::blood(), 0.005)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skin_model_accepts_skin_tones() {
+        let model = ColorModel::skin();
+        for tone in [
+            Rgb::new(224, 172, 142),
+            Rgb::new(200, 155, 120),
+            Rgb::new(168, 118, 90),
+            Rgb::new(215, 165, 135),
+        ] {
+            assert!(model.accepts(tone), "should accept {tone:?}");
+        }
+    }
+
+    #[test]
+    fn skin_model_rejects_non_skin() {
+        let model = ColorModel::skin();
+        for c in [
+            Rgb::new(30, 30, 30),
+            Rgb::new(30, 120, 220),
+            Rgb::new(40, 180, 60),
+            Rgb::new(250, 250, 250),
+            Rgb::new(180, 30, 30), // blood, not skin
+        ] {
+            assert!(!model.accepts(c), "should reject {c:?}");
+        }
+    }
+
+    #[test]
+    fn blood_model_separates_from_skin() {
+        let blood = ColorModel::blood();
+        assert!(blood.accepts(Rgb::new(180, 30, 30)));
+        assert!(blood.accepts(Rgb::new(200, 40, 40)));
+        assert!(!blood.accepts(Rgb::new(224, 172, 142)), "skin is not blood");
+        assert!(!blood.accepts(Rgb::new(60, 60, 200)));
+    }
+
+    #[test]
+    fn segmentation_finds_drawn_skin_patch() {
+        let mut img = Image::filled(40, 30, Rgb::new(80, 90, 120));
+        img.fill_rect(10, 8, 30, 22, Rgb::new(215, 165, 135));
+        let seg = skin_regions(&img);
+        assert_eq!(seg.regions.len(), 1);
+        let r = &seg.regions[0];
+        let frac = r.frame_fraction(40, 30);
+        assert!(
+            (0.2..0.4).contains(&frac),
+            "expected ~0.28 coverage, got {frac}"
+        );
+    }
+
+    #[test]
+    fn tiny_speckle_is_ignored() {
+        let mut img = Image::filled(40, 30, Rgb::new(80, 90, 120));
+        img.set(5, 5, Rgb::new(215, 165, 135));
+        let seg = skin_regions(&img);
+        assert!(seg.regions.is_empty());
+    }
+
+    #[test]
+    fn black_pixel_chroma_is_neutral() {
+        let c = chroma(Rgb::BLACK);
+        assert!((c[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c[2], 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Man-made special-frame detection: black, slide, clip-art and sketch
+//! frames (paper Sec. 4.1).
+//!
+//! "Since the slides, clip art frames and black frames are man-made frames,
+//! they contain less motion and color information when compared with other
+//! natural frame images." We classify a frame as man-made when a handful of
+//! quantised colours covers almost all pixels, then tell the kinds apart by
+//! brightness, saturation and ink statistics.
+
+use medvid_types::{Image, Rgb};
+
+/// The kinds of man-made frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialFrame {
+    /// Near-black frame.
+    Black,
+    /// Presentation slide: bright background, dark structured text.
+    Slide,
+    /// Clip-art: flat saturated colour regions.
+    ClipArt,
+    /// Sketch: bright background with sparse thin strokes.
+    Sketch,
+}
+
+/// Colour-diversity statistics of a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// Mean luma in `0..=255`.
+    pub mean_luma: f32,
+    /// Fraction of pixels covered by the 4 most common quantised colours.
+    pub top4_mass: f32,
+    /// Fraction of strongly saturated pixels.
+    pub saturated_fraction: f32,
+    /// Fraction of dark "ink" pixels (luma < 80).
+    pub ink_fraction: f32,
+    /// Sensor grain: median absolute luma difference between horizontally
+    /// adjacent pixels. Natural (camera) frames carry grain; man-made frames
+    /// are near-noiseless.
+    pub grain: f32,
+}
+
+/// Quantises a pixel to a 4x4x4 colour cube index.
+fn quantise(p: Rgb) -> usize {
+    ((p.r as usize >> 6) << 4) | ((p.g as usize >> 6) << 2) | (p.b as usize >> 6)
+}
+
+/// Computes the statistics the classifier uses.
+pub fn frame_stats(img: &Image) -> FrameStats {
+    let n = img.pixel_count().max(1) as f32;
+    let mut hist = [0usize; 64];
+    let mut luma_sum = 0.0f32;
+    let mut saturated = 0usize;
+    let mut ink = 0usize;
+    for p in img.pixels() {
+        hist[quantise(p)] += 1;
+        let l = p.luma();
+        luma_sum += l;
+        if l < 80.0 {
+            ink += 1;
+        }
+        let max = p.r.max(p.g).max(p.b) as f32;
+        let min = p.r.min(p.g).min(p.b) as f32;
+        if max > 60.0 && (max - min) / max.max(1.0) > 0.5 {
+            saturated += 1;
+        }
+    }
+    let mut counts: Vec<usize> = hist.to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top4: usize = counts.iter().take(4).sum();
+    // Grain: median |luma(x+1) - luma(x)| over all rows.
+    let mut diffs: Vec<f32> = Vec::with_capacity(img.pixel_count());
+    for y in 0..img.height() {
+        for x in 0..img.width().saturating_sub(1) {
+            diffs.push((img.get(x + 1, y).luma() - img.get(x, y).luma()).abs());
+        }
+    }
+    let grain = if diffs.is_empty() {
+        0.0
+    } else {
+        let mid = diffs.len() / 2;
+        *diffs
+            .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite luma"))
+            .1
+    };
+    FrameStats {
+        mean_luma: luma_sum / n,
+        top4_mass: top4 as f32 / n,
+        saturated_fraction: saturated as f32 / n,
+        ink_fraction: ink as f32 / n,
+        grain,
+    }
+}
+
+/// Classifies a frame as a man-made special frame, or `None` for natural
+/// frames.
+pub fn classify_special(img: &Image) -> Option<SpecialFrame> {
+    let s = frame_stats(img);
+    if s.mean_luma < 20.0 {
+        return Some(SpecialFrame::Black);
+    }
+    // Natural camera frames carry sensor grain and colour diversity;
+    // man-made frames are near-noiseless with mass concentrated in a few
+    // quantised colours.
+    if s.grain >= 1.2 || s.top4_mass < 0.9 {
+        return None;
+    }
+    if s.mean_luma > 150.0 {
+        // Bright man-made frame: slide (text-ink blocks), clip-art
+        // (saturated flat regions) or sketch (sparse strokes).
+        if s.ink_fraction > 0.05 {
+            return Some(SpecialFrame::Slide);
+        }
+        if s.saturated_fraction > 0.08 {
+            return Some(SpecialFrame::ClipArt);
+        }
+        return Some(SpecialFrame::Sketch);
+    }
+    if s.saturated_fraction > 0.08 {
+        return Some(SpecialFrame::ClipArt);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_synth::render::ShotRenderer;
+    use medvid_synth::script::ShotContent;
+    use medvid_synth::palette::{location_style, person_style, LocationId, PersonId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rendered(content: ShotContent) -> Image {
+        let mut rng = StdRng::seed_from_u64(33);
+        let locs: Vec<_> = (0..3).map(|_| location_style(&mut rng)).collect();
+        let pers: Vec<_> = (0..3).map(|_| person_style(&mut rng)).collect();
+        let mut r = ShotRenderer::new(80, 60, &mut rng);
+        r.render(content, &locs, &pers, &mut rng)
+    }
+
+    #[test]
+    fn black_frame_classified() {
+        assert_eq!(
+            classify_special(&rendered(ShotContent::Black)),
+            Some(SpecialFrame::Black)
+        );
+    }
+
+    #[test]
+    fn slide_classified() {
+        assert_eq!(
+            classify_special(&rendered(ShotContent::Slide)),
+            Some(SpecialFrame::Slide)
+        );
+    }
+
+    #[test]
+    fn clipart_classified() {
+        assert_eq!(
+            classify_special(&rendered(ShotContent::ClipArt)),
+            Some(SpecialFrame::ClipArt)
+        );
+    }
+
+    #[test]
+    fn sketch_classified() {
+        assert_eq!(
+            classify_special(&rendered(ShotContent::Sketch)),
+            Some(SpecialFrame::Sketch)
+        );
+    }
+
+    #[test]
+    fn natural_frames_are_not_special() {
+        for content in [
+            ShotContent::FaceCloseUp {
+                person: PersonId(0),
+                location: LocationId(0),
+            },
+            ShotContent::Equipment {
+                location: LocationId(1),
+            },
+            ShotContent::SurgicalField {
+                location: LocationId(2),
+            },
+        ] {
+            assert_eq!(
+                classify_special(&rendered(content)),
+                None,
+                "{content:?} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_bounded() {
+        let s = frame_stats(&rendered(ShotContent::Slide));
+        assert!((0.0..=255.0).contains(&s.mean_luma));
+        assert!((0.0..=1.0).contains(&s.top4_mass));
+        assert!((0.0..=1.0).contains(&s.saturated_fraction));
+        assert!((0.0..=1.0).contains(&s.ink_fraction));
+    }
+}

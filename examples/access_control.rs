@@ -1,0 +1,69 @@
+//! Hierarchical multilevel access control (paper Sec. 2): the same query
+//! returns different results for users with different clearances.
+//!
+//! Run with: `cargo run --release --example access_control`
+
+use medvid::index::{AccessPolicy, Clearance, UserContext};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::types::EventKind;
+use medvid::{ClassMiner, ClassMinerConfig};
+
+fn main() {
+    let corpus = standard_corpus(CorpusScale::Tiny, 19);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 19).expect("synthetic training data");
+    let (mut db, mined) = miner.index_corpus(&corpus);
+
+    // Policy: clinical material requires clinician clearance.
+    db.set_policy(AccessPolicy::clinical_protection());
+
+    // Query with a clinical shot as the example.
+    let query = mined
+        .iter()
+        .flat_map(|m| {
+            m.events
+                .iter()
+                .filter(|&ev| ev.event == EventKind::ClinicalOperation)
+                .map(|ev| {
+                    let shots = m.structure.scene_shots(ev.scene);
+                    m.structure.shot(shots[0]).features.concat()
+                })
+        })
+        .next()
+        .expect("corpus scripts clinical scenes");
+
+    for (label, clearance) in [
+        ("public user", Clearance::PUBLIC),
+        ("clinician", Clearance::CLINICIAN),
+    ] {
+        let user = UserContext::new(clearance);
+        let (hits, _) = db.flat_search(&query, 10, Some(&user));
+        let clinical = hits
+            .iter()
+            .filter(|h| {
+                db.record(h.shot)
+                    .map(|r| r.event == EventKind::ClinicalOperation)
+                    .unwrap_or(false)
+            })
+            .count();
+        println!(
+            "{label:12}: {:2} hits, {clinical} clinical among them",
+            hits.len()
+        );
+        assert!(
+            clearance >= Clearance::CLINICIAN || clinical == 0,
+            "policy must hide clinical shots from low clearances"
+        );
+    }
+
+    println!("\nthe hierarchy itself can also be protected:");
+    let education = db.hierarchy().node(db.hierarchy().root()).children[1];
+    let mut policy = AccessPolicy::clinical_protection();
+    policy.require_node(education, Clearance::STAFF);
+    db.set_policy(policy);
+    let public = UserContext::new(Clearance::PUBLIC);
+    let (hits, _) = db.flat_search(&query, 10, Some(&public));
+    println!(
+        "public user with 'Medical Education' subtree locked: {} hits",
+        hits.len()
+    );
+}

@@ -1,0 +1,36 @@
+//! Cluster-based indexing at database scale (paper Sec. 6.2): the flat scan
+//! of Eq. 24 versus the hierarchical search of Eq. 25, on a synthetic
+//! database of tens of thousands of shots.
+//!
+//! Run with: `cargo run --release --example corpus_indexing`
+
+use medvid_eval::indexing_exp::{run_sweep, synthetic_database};
+
+fn main() {
+    // A single large database, inspected closely.
+    let n = 20_000;
+    let (db, queries) = synthetic_database(n, 99, 4);
+    println!("database: {n} shots over {} concept nodes", db.hierarchy().len());
+    let q = &queries[0];
+    let (flat_hits, flat) = db.flat_search(q, 5, None);
+    let (hier_hits, hier) = db.hierarchical_search(q, 5, None);
+    println!("\nflat scan (Eq. 24):   {:7} comparisons, {:9} dims touched", flat.comparisons, flat.dims_touched);
+    println!("hierarchical (Eq. 25): {:7} comparisons, {:9} dims touched", hier.comparisons, hier.dims_touched);
+    println!(
+        "speed ratio by comparisons: {:.0}x",
+        flat.comparisons as f64 / hier.comparisons.max(1) as f64
+    );
+    println!(
+        "top-1 agreement: {}",
+        flat_hits.first().map(|h| h.shot) == hier_hits.first().map(|h| h.shot)
+    );
+
+    // The scaling sweep the paper's cost model predicts.
+    println!("\nscaling sweep:");
+    for row in run_sweep(&[1_000, 4_000, 16_000], 8, 99) {
+        println!(
+            "  N={:6}: flat {:8.0} cmp / {:8.1} us,   hier {:6.0} cmp / {:8.1} us",
+            row.shots, row.flat_comparisons, row.flat_micros, row.hier_comparisons, row.hier_micros
+        );
+    }
+}

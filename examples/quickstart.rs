@@ -1,0 +1,50 @@
+//! Quickstart: generate a synthetic medical video, mine its content
+//! structure and events, and print what ClassMiner found.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+
+fn main() {
+    // 1. A tiny synthetic corpus (stand-in for the paper's MPEG-I tapes).
+    let corpus = standard_corpus(CorpusScale::Tiny, 42);
+    let video = &corpus[0];
+    println!(
+        "video '{}': {} frames at {} fps, {:.1} s audio",
+        video.title,
+        video.frame_count(),
+        video.fps,
+        video.audio.duration_secs()
+    );
+
+    // 2. The full pipeline: shot detection -> groups -> scenes -> clustered
+    //    scenes, plus event mining.
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 42).expect("training data is synthetic");
+    let mined = miner.mine(video);
+    let cs = &mined.structure;
+    println!(
+        "mined hierarchy: {} shots -> {} groups -> {} scenes -> {} clustered scenes",
+        cs.shots.len(),
+        cs.groups.len(),
+        cs.scenes.len(),
+        cs.clustered_scenes.len()
+    );
+
+    // 3. Scene events (presentation / dialog / clinical operation).
+    for ev in &mined.events {
+        let (a, b) = cs.scene_frame_span(ev.scene);
+        println!("  scene {} (frames {a}..{b}): {}", ev.scene, ev.event);
+    }
+
+    // 4. Ground truth is attached for synthetic corpora, so you can see how
+    //    close the mining got.
+    if let Some(truth) = &video.truth {
+        println!(
+            "ground truth: {} shots, {} semantic units, topics {:?}",
+            truth.shot_count(),
+            truth.semantic_units.len(),
+            truth.topics()
+        );
+    }
+}

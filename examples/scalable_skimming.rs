@@ -1,0 +1,60 @@
+//! The scalable video skimming tool (paper Sec. 5, Fig. 11) in the
+//! terminal: four skim levels, the event colour bar, and the fast-access
+//! scroll bar.
+//!
+//! Run with: `cargo run --release --example scalable_skimming`
+
+use medvid::skim::{
+    build_skim, frame_compression_ratio, EventColorBar, SkimLevel, SkimPlayer,
+};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::types::EventKind;
+use medvid::{ClassMiner, ClassMinerConfig};
+
+fn main() {
+    let corpus = standard_corpus(CorpusScale::Tiny, 11);
+    let video = &corpus[0];
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 11).expect("synthetic training data");
+    let mined = miner.mine(video);
+
+    // The four levels and their frame compression ratios (Fig. 15).
+    println!("skim levels of '{}':", video.title);
+    for level in SkimLevel::ALL {
+        let skim = build_skim(&mined.structure, level);
+        let fcr = frame_compression_ratio(&mined.structure, &skim);
+        println!(
+            "  level {}: {:3} shots, FCR {:.3}",
+            level.number(),
+            skim.len(),
+            fcr
+        );
+    }
+
+    // The event colour bar (P = presentation, D = dialog, C = clinical).
+    let bar = EventColorBar::build(&mined.structure, &mined.events);
+    println!("\nevent bar: |{}|", bar.render_ascii(64));
+
+    // Drive the player: play the level-3 skim, then fast-access into the
+    // first clinical span and drop to level 1 at that position.
+    let mut player = SkimPlayer::new(&mined.structure);
+    let ranges = player.play_all();
+    println!(
+        "\nlevel-3 skim plays {} segments ({} frames of {})",
+        ranges.len(),
+        ranges.iter().map(|(a, b)| b - a).sum::<usize>(),
+        video.frame_count()
+    );
+    if let Some((start, _)) = bar.spans_of(EventKind::ClinicalOperation).first() {
+        player.seek_frame(*start);
+        println!(
+            "fast access to the first clinical span: shot {:?} at scroll position {:.2}",
+            player.current_shot(),
+            player.scroll_position()
+        );
+        player.switch_level(SkimLevel::Shots);
+        println!(
+            "after switching to level 1 the cursor stays nearby: shot {:?}",
+            player.current_shot()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Pictorial summarisation: export a storyboard of the level-3 skim as PPM
+//! images, one card per representative shot, tagged with its event.
+//!
+//! Run with: `cargo run --release --example storyboard_export`
+//! Cards land in `target/storyboard/`.
+
+use medvid::skim::storyboard::{export_storyboard, storyboard};
+use medvid::skim::SkimLevel;
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+use std::path::Path;
+
+fn main() {
+    let corpus = standard_corpus(CorpusScale::Tiny, 23);
+    let video = &corpus[0];
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 23).expect("synthetic training data");
+    let mined = miner.mine(video);
+
+    for level in [SkimLevel::ClusteredScenes, SkimLevel::Scenes] {
+        let cards = storyboard(&mined.structure, &mined.events, level, video.fps);
+        println!("level {} storyboard ({} cards):", level.number(), cards.len());
+        for c in &cards {
+            println!(
+                "  shot {} @ {:6.1}s  {}",
+                c.shot,
+                c.time_secs,
+                c.event.map(|e| e.to_string()).unwrap_or_default()
+            );
+        }
+        if level == SkimLevel::Scenes {
+            let dir = Path::new("target/storyboard");
+            match export_storyboard(&cards, &video.frames, dir) {
+                Ok(paths) => println!("exported {} PPM cards to {}", paths.len(), dir.display()),
+                Err(e) => eprintln!("export failed: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Event-mining integration: mined events against ground truth, through the
+//! public API and the Table 1 harness.
+
+use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
+use medvid_eval::events_exp::run_event_mining;
+
+#[test]
+fn table1_shape_holds_on_tiny_corpus() {
+    let corpus = evaluation_corpus(EvalScale::Tiny);
+    let miner = default_miner();
+    let results = run_event_mining(&corpus, &miner);
+    // Every scripted category appears among the benchmarks.
+    for row in &results.rows {
+        assert!(
+            row.selected > 0,
+            "no benchmark scenes for {}",
+            row.name
+        );
+    }
+    // Average clearly above the 1/3 chance level (paper: 0.72/0.71).
+    assert!(
+        results.average.precision > 0.45,
+        "avg precision {:.3}",
+        results.average.precision
+    );
+    assert!(
+        results.average.recall > 0.45,
+        "avg recall {:.3}",
+        results.average.recall
+    );
+}
+
+#[test]
+fn detected_counts_are_consistent() {
+    let corpus = evaluation_corpus(EvalScale::Tiny);
+    let miner = default_miner();
+    let results = run_event_mining(&corpus, &miner);
+    // TN <= min(SN, DN) for every row; sums match the average row.
+    let mut sn = 0;
+    let mut dn = 0;
+    let mut tn = 0;
+    for row in &results.rows {
+        assert!(row.true_positive <= row.selected);
+        assert!(row.true_positive <= row.detected);
+        sn += row.selected;
+        dn += row.detected;
+        tn += row.true_positive;
+    }
+    assert_eq!(sn, results.average.selected);
+    assert_eq!(dn, results.average.detected);
+    assert_eq!(tn, results.average.true_positive);
+}

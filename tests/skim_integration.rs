@@ -1,0 +1,66 @@
+//! Skimming integration: level construction, colour bar, player and study
+//! shapes, through the public API.
+
+use medvid::skim::{
+    build_skim, frame_compression_ratio, EventColorBar, SkimLevel, SkimPlayer,
+};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+
+fn mined(seed: u64) -> medvid::MinedVideo {
+    let corpus = standard_corpus(CorpusScale::Tiny, seed);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), seed).unwrap();
+    miner.mine(&corpus[0])
+}
+
+#[test]
+fn four_levels_nest_and_compress() {
+    let m = mined(400);
+    let mut prev_len = 0usize;
+    let mut prev_fcr = 0.0f64;
+    for level in SkimLevel::ALL {
+        let skim = build_skim(&m.structure, level);
+        let fcr = frame_compression_ratio(&m.structure, &skim);
+        assert!(skim.len() >= prev_len, "levels must not shrink downward");
+        assert!(fcr >= prev_fcr - 1e-9);
+        prev_len = skim.len();
+        prev_fcr = fcr;
+    }
+    assert!((prev_fcr - 1.0).abs() < 1e-9, "level 1 shows all frames");
+}
+
+#[test]
+fn color_bar_agrees_with_mined_events() {
+    let m = mined(401);
+    let bar = EventColorBar::build(&m.structure, &m.events);
+    for ev in &m.events {
+        let (a, b) = m.structure.scene_frame_span(ev.scene);
+        let mid = (a + b) / 2;
+        assert_eq!(bar.event_at(mid), Some(ev.event));
+    }
+}
+
+#[test]
+fn player_skips_shots_and_seeks() {
+    let m = mined(402);
+    let mut player = SkimPlayer::new(&m.structure);
+    let total: usize = m.structure.shots.iter().map(|s| s.len()).sum();
+    let shown: usize = player.play_all().iter().map(|(a, b)| b - a).sum();
+    assert!(shown <= total);
+    // Seek to the middle of the video and verify the scroll position moves.
+    let target = total / 2;
+    player.seek_frame(target);
+    let pos = player.scroll_position();
+    assert!(pos > 0.05 && pos < 0.95, "scroll {pos}");
+}
+
+#[test]
+fn skims_only_reference_existing_shots() {
+    let m = mined(403);
+    for level in SkimLevel::ALL {
+        let skim = build_skim(&m.structure, level);
+        for s in &skim.shots {
+            assert!(s.index() < m.structure.shots.len());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Content-structure mining against ground truth, through the public API.
+
+use medvid::structure::{mine_structure, MiningConfig};
+use medvid::synth::corpus::programme_spec;
+use medvid::synth::{generate_video, CorpusScale};
+use medvid::types::{GroupKind, VideoId};
+
+fn mined(seed: u64) -> (medvid::types::Video, medvid::types::ContentStructure) {
+    let spec = programme_spec("t", CorpusScale::Small, seed);
+    let video = generate_video(VideoId(0), &spec, seed);
+    let cs = mine_structure(&video, &MiningConfig::default());
+    (video, cs)
+}
+
+#[test]
+fn hierarchy_is_consistent_and_compressive() {
+    let (_, cs) = mined(200);
+    assert_eq!(cs.validate(), Ok(()));
+    assert!(cs.shots.len() > cs.groups.len());
+    assert!(cs.groups.len() >= cs.scenes.len());
+    assert!(cs.scenes.len() >= cs.clustered_scenes.len());
+}
+
+#[test]
+fn shot_cuts_align_with_truth() {
+    let (video, cs) = mined(201);
+    let truth = video.truth.as_ref().unwrap();
+    let detected: Vec<usize> = cs.shots.iter().skip(1).map(|s| s.start_frame).collect();
+    let found = truth
+        .shot_cuts
+        .iter()
+        .filter(|&&t| detected.iter().any(|&d| d.abs_diff(t) <= 2))
+        .count();
+    let recall = found as f64 / truth.shot_cuts.len() as f64;
+    assert!(recall > 0.9, "shot recall {recall}");
+}
+
+#[test]
+fn scene_clustering_stays_in_paper_range() {
+    let (_, cs) = mined(202);
+    let m = cs.scenes.len();
+    let n = cs.clustered_scenes.len();
+    if m >= 4 {
+        // The paper clusters down to 50-70% of the scene count.
+        assert!(n >= m / 2, "clusters {n} of {m} scenes");
+        assert!(n <= m * 7 / 10 + 1, "clusters {n} of {m} scenes");
+    }
+}
+
+#[test]
+fn dialog_scenes_produce_spatially_related_groups() {
+    // The A/B dialog template yields shots at one location; its groups must
+    // classify as spatially related more often than not across the video's
+    // dialog spans.
+    let (video, cs) = mined(203);
+    let truth = video.truth.as_ref().unwrap();
+    let mut spatial = 0usize;
+    let mut total = 0usize;
+    for g in &cs.groups {
+        let first = cs.shot(g.shots[0]).start_frame;
+        let unit = truth.unit_of_frame(first);
+        let is_dialog = unit
+            .map(|u| truth.semantic_units[u].topic.contains("consult"))
+            .unwrap_or(false);
+        if is_dialog && g.len() >= 2 {
+            total += 1;
+            if g.kind == GroupKind::SpatiallyRelated {
+                spatial += 1;
+            }
+        }
+    }
+    if total > 0 {
+        assert!(
+            spatial * 2 >= total,
+            "dialog groups: {spatial}/{total} spatially related"
+        );
+    }
+}
+
+#[test]
+fn representative_shots_are_members() {
+    let (_, cs) = mined(204);
+    for g in &cs.groups {
+        for r in &g.representative_shots {
+            assert!(g.shots.contains(r));
+        }
+        assert!(!g.representative_shots.is_empty());
+    }
+    for se in &cs.scenes {
+        assert!(se.groups.contains(&se.representative_group));
+    }
+}
