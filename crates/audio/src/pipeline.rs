@@ -4,6 +4,7 @@
 use crate::bic::{bic_speaker_change, BicConfig, BicOutcome};
 use crate::classifier::SpeechClassifier;
 use crate::clips::shot_clips;
+use medvid_obs::{counters, Recorder, Stage};
 use medvid_signal::mel::MfccExtractor;
 use medvid_types::{AudioClip, Shot, Video};
 
@@ -53,11 +54,26 @@ impl AudioMiner {
     /// Analyses every shot of a video: cuts clips, selects the most
     /// speech-like clip per shot, classifies it and extracts its MFCCs.
     pub fn analyze_shots(&self, video: &Video, shots: &[Shot]) -> Vec<ShotAudio> {
-        shots
+        self.analyze_shots_observed(video, shots, &Recorder::disabled())
+    }
+
+    /// Like [`Self::analyze_shots`], timing the pass under the `audio_bic`
+    /// stage and counting speech vs non-speech representative clips (plus
+    /// shots too short to carry one) through `rec`.
+    pub fn analyze_shots_observed(
+        &self,
+        video: &Video,
+        shots: &[Shot],
+        rec: &Recorder,
+    ) -> Vec<ShotAudio> {
+        let _span = rec.span(Stage::AudioBic);
+        let mut speech = 0u64;
+        let mut nonspeech = 0u64;
+        let mut silent = 0u64;
+        let analyses: Vec<ShotAudio> = shots
             .iter()
             .map(|shot| {
-                let (s0, s1) =
-                    video.frame_range_to_samples(shot.start_frame, shot.end_frame);
+                let (s0, s1) = video.frame_range_to_samples(shot.start_frame, shot.end_frame);
                 let clips = shot_clips(&video.audio, s0, s1);
                 // Representative clip: highest speech score (paper: "select
                 // the clip most like the speech clip").
@@ -72,16 +88,29 @@ impl AudioMiner {
                 match best {
                     Some((clip, score)) => {
                         let samples = video.audio.clip_samples(clip);
+                        let is_speech = score > 0.0;
+                        if is_speech {
+                            speech += 1;
+                        } else {
+                            nonspeech += 1;
+                        }
                         ShotAudio {
                             representative_clip: Some(clip),
-                            is_speech: score > 0.0,
+                            is_speech,
                             mfcc: crate::bic::voiced_frames(&self.mfcc.extract(samples)),
                         }
                     }
-                    None => ShotAudio::silent(),
+                    None => {
+                        silent += 1;
+                        ShotAudio::silent()
+                    }
                 }
             })
-            .collect()
+            .collect();
+        rec.incr(counters::SPEECH_CLIPS, speech);
+        rec.incr(counters::NONSPEECH_CLIPS, nonspeech);
+        rec.incr(counters::SILENT_SHOTS, silent);
+        analyses
     }
 
     /// BIC speaker-change test between two shots' audio summaries.

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! medvid corpus     [--scale tiny|small|full] [--seed N]
-//! medvid mine       [--scale ...] [--seed N] [--video I]
-//! medvid index      [--scale ...] [--seed N] --out DB.json
+//! medvid mine       [--scale ...] [--seed N] [--video I] [--report PATH] [--report-json PATH]
+//! medvid index      [--scale ...] [--seed N] --out DB.json [--report PATH] [--report-json PATH]
 //! medvid query      --db DB.json [--event presentation|dialog|clinical] [--limit N]
 //! medvid storyboard [--scale ...] [--seed N] [--video I] --out DIR
 //! ```
+//!
+//! `--report` writes a human-readable per-stage telemetry table;
+//! `--report-json` writes the same data as a `medvid-obs/v1` JSON report.
 //!
 //! Everything operates on the synthetic corpus (the repository's stand-in
 //! for real tapes), so every subcommand is self-contained and reproducible
 //! from a seed.
 
 use medvid::index::{Strategy, VideoDatabase};
+use medvid::obs::Recorder;
 use medvid::skim::storyboard::{export_storyboard, storyboard};
 use medvid::skim::SkimLevel;
 use medvid::synth::{standard_corpus, CorpusScale};
@@ -32,6 +36,8 @@ struct Options {
     db: Option<PathBuf>,
     event: Option<EventKind>,
     limit: usize,
+    report: Option<PathBuf>,
+    report_json: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -44,6 +50,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         db: None,
         event: None,
         limit: 10,
+        report: None,
+        report_json: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -81,6 +89,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.db = Some(PathBuf::from(value()?));
                 i += 2;
             }
+            "--report" => {
+                opts.report = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--report-json" => {
+                opts.report_json = Some(PathBuf::from(value()?));
+                i += 2;
+            }
             "--event" => {
                 opts.event = Some(match value()?.as_str() {
                     "presentation" => EventKind::Presentation,
@@ -99,7 +115,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn usage() -> String {
     "usage: medvid <corpus|mine|index|query|storyboard> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
-     --db PATH  --event presentation|dialog|clinical  --limit N"
+     --db PATH  --event presentation|dialog|clinical  --limit N  \
+     --report PATH  --report-json PATH"
         .to_string()
 }
 
@@ -142,7 +159,7 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         "mine" => {
             let (video, miner) = load_video(opts)?;
-            let mined = miner.mine(&video);
+            let (mined, report) = miner.mine_report(&video);
             println!(
                 "'{}': {} shots -> {} groups -> {} scenes -> {} clustered scenes",
                 video.title,
@@ -155,36 +172,40 @@ fn run(opts: &Options) -> Result<(), String> {
                 let (a, b) = mined.structure.scene_frame_span(ev.scene);
                 println!("  scene {} [{a}..{b}): {}", ev.scene, ev.event);
             }
-            Ok(())
+            write_report_outputs(opts, &report.render_text(), &report)
         }
         "index" => {
             let out = opts.out.as_ref().ok_or("index needs --out DB.json")?;
             let corpus = standard_corpus(opts.scale, opts.seed);
             let miner = make_miner(opts)?;
-            let (db, _) = miner.index_corpus(&corpus);
+            let (db, _, report) = miner.index_corpus_report(&corpus);
             db.save_json(out).map_err(|e| e.to_string())?;
             println!("indexed {} shots into {}", db.len(), out.display());
-            Ok(())
+            write_report_outputs(opts, &report.render_text(), &report)
         }
         "query" => {
             let db_path = opts.db.as_ref().ok_or("query needs --db DB.json")?;
             let db = VideoDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            let rec = Recorder::new();
             let mut q = db.query().limit(opts.limit).strategy(Strategy::Flat);
             if let Some(e) = opts.event {
                 q = q.event(e);
             }
-            let (hits, stats) = q.run();
+            let (hits, stats) = q.run_observed(&rec);
             println!(
-                "{} hits ({} records scanned) in {}",
+                "{} hits ({} records scanned, {} nodes visited, {} subtrees pruned) in {}",
                 hits.len(),
                 stats.comparisons,
+                stats.nodes_visited,
+                stats.pruned_subtrees,
                 db_path.display()
             );
             for h in hits {
                 let r = db.record(h.shot).expect("hit is indexed");
                 println!("  video {} shot {}: {}", h.shot.video, h.shot.shot, r.event);
             }
-            Ok(())
+            let report = rec.report();
+            write_report_outputs(opts, &report.render_text(), &report)
         }
         "storyboard" => {
             let out = opts.out.as_ref().ok_or("storyboard needs --out DIR")?;
@@ -196,8 +217,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 SkimLevel::Scenes,
                 video.fps,
             );
-            let paths =
-                export_storyboard(&cards, &video.frames, out).map_err(|e| e.to_string())?;
+            let paths = export_storyboard(&cards, &video.frames, out).map_err(|e| e.to_string())?;
             println!(
                 "exported {} storyboard cards for '{}' to {}",
                 paths.len(),
@@ -208,6 +228,25 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// Writes the telemetry report to the paths requested via `--report`
+/// (rendered table) and `--report-json` (serialised report).
+fn write_report_outputs(
+    opts: &Options,
+    text: &str,
+    json: &impl serde::Serialize,
+) -> Result<(), String> {
+    if let Some(path) = &opts.report {
+        std::fs::write(path, text).map_err(|e| format!("--report {}: {e}", path.display()))?;
+        println!("wrote telemetry report to {}", path.display());
+    }
+    if let Some(path) = &opts.report_json {
+        let body = serde_json::to_string_pretty(json).map_err(|e| e.to_string())?;
+        std::fs::write(path, body).map_err(|e| format!("--report-json {}: {e}", path.display()))?;
+        println!("wrote telemetry JSON to {}", path.display());
+    }
+    Ok(())
 }
 
 fn make_miner(opts: &Options) -> Result<ClassMiner, String> {
@@ -256,6 +295,20 @@ mod tests {
         assert_eq!(o.scale, CorpusScale::Tiny);
         assert_eq!(o.seed, 2003);
         assert_eq!(o.limit, 10);
+    }
+
+    #[test]
+    fn parses_report_flags() {
+        let o = parse(&[
+            "mine",
+            "--report",
+            "report.txt",
+            "--report-json",
+            "report.json",
+        ])
+        .unwrap();
+        assert_eq!(o.report, Some(PathBuf::from("report.txt")));
+        assert_eq!(o.report_json, Some(PathBuf::from("report.json")));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | [`structure`] | shot → group → scene → clustered-scene mining |
 //! | [`events`] | presentation/dialog/clinical-operation rules |
 //! | [`index`] | hierarchical database, retrieval, access control |
+//! | [`obs`] | pipeline telemetry: spans, counters, mining reports |
 //! | [`skim`] | scalable skimming, colour bar, viewer study |
 //! | [`baselines`] | Rui et al. and Lin–Zhang scene detectors |
 
@@ -44,6 +45,7 @@ pub use medvid_baselines as baselines;
 pub use medvid_codec as codec;
 pub use medvid_events as events;
 pub use medvid_index as index;
+pub use medvid_obs as obs;
 pub use medvid_signal as signal;
 pub use medvid_skim as skim;
 pub use medvid_structure as structure;

@@ -10,9 +10,10 @@ use medvid_audio::{AudioMiner, SpeechClassifier};
 use medvid_events::{EventMiner, SceneEvent};
 use medvid_index::db::IndexConfig;
 use medvid_index::VideoDatabase;
+use medvid_obs::{CorpusReport, MiningReport, Recorder};
 use medvid_signal::gmm::GmmError;
 use medvid_skim::{build_skim, Skim, SkimLevel};
-use medvid_structure::{mine_structure, MiningConfig};
+use medvid_structure::{mine_structure_observed, MiningConfig};
 use medvid_synth::generate::speech_training_clips;
 use medvid_types::{ContentStructure, Video};
 use rand::rngs::StdRng;
@@ -68,8 +69,7 @@ impl ClassMiner {
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let (speech, nonspeech) = speech_training_clips(sample_rate, 2.0, 24, &mut rng);
-        let classifier =
-            SpeechClassifier::train(&speech, &nonspeech, sample_rate, 2, &mut rng)?;
+        let classifier = SpeechClassifier::train(&speech, &nonspeech, sample_rate, 2, &mut rng)?;
         let audio = AudioMiner::new(classifier, config.bic);
         Ok(Self {
             config,
@@ -98,23 +98,76 @@ impl ClassMiner {
 
     /// Mines one video end-to-end: content structure, then scene events.
     pub fn mine(&self, video: &Video) -> MinedVideo {
-        let structure = mine_structure(video, &self.config.mining);
-        let events = self.event_miner.mine(video, &structure);
+        self.mine_observed(video, &Recorder::disabled())
+    }
+
+    /// Like [`Self::mine`], reporting per-stage timings and domain counters
+    /// from every pipeline stage through `rec`.
+    pub fn mine_observed(&self, video: &Video, rec: &Recorder) -> MinedVideo {
+        let structure = mine_structure_observed(video, &self.config.mining, rec);
+        let events = self.event_miner.mine_observed(video, &structure, rec);
         MinedVideo { structure, events }
+    }
+
+    /// Mines one video and returns the mining result together with its
+    /// telemetry report (stage timings + domain counters).
+    pub fn mine_report(&self, video: &Video) -> (MinedVideo, MiningReport) {
+        let rec = Recorder::new();
+        let mined = self.mine_observed(video, &rec);
+        let report = rec
+            .report()
+            .for_video(video.id.to_string(), video.title.clone());
+        (mined, report)
     }
 
     /// Mines a corpus and builds the hierarchical database over it.
     pub fn index_corpus(&self, corpus: &[Video]) -> (VideoDatabase, Vec<MinedVideo>) {
+        self.index_corpus_observed(corpus, &Recorder::disabled())
+    }
+
+    /// Like [`Self::index_corpus`], reporting mining and index-construction
+    /// telemetry through `rec`.
+    pub fn index_corpus_observed(
+        &self,
+        corpus: &[Video],
+        rec: &Recorder,
+    ) -> (VideoDatabase, Vec<MinedVideo>) {
         let mut db = VideoDatabase::medical();
         let mut mined = Vec::with_capacity(corpus.len());
         for video in corpus {
-            let m = self.mine(video);
+            let m = self.mine_observed(video, rec);
             let events: Vec<_> = m.events.iter().map(|e| (e.scene, e.event)).collect();
             db.insert_video(video.id, &m.structure, &events);
             mined.push(m);
         }
-        db.build();
+        db.build_observed(rec);
         (db, mined)
+    }
+
+    /// Mines and indexes a corpus, returning per-video telemetry reports and
+    /// the corpus-wide totals alongside the database.
+    pub fn index_corpus_report(
+        &self,
+        corpus: &[Video],
+    ) -> (VideoDatabase, Vec<MinedVideo>, CorpusReport) {
+        let total = Recorder::new();
+        let mut db = VideoDatabase::medical();
+        let mut mined = Vec::with_capacity(corpus.len());
+        let mut reports = Vec::with_capacity(corpus.len());
+        for video in corpus {
+            let per = Recorder::new();
+            let m = self.mine_observed(video, &per);
+            let events: Vec<_> = m.events.iter().map(|e| (e.scene, e.event)).collect();
+            db.insert_video(video.id, &m.structure, &events);
+            mined.push(m);
+            reports.push(
+                per.report()
+                    .for_video(video.id.to_string(), video.title.clone()),
+            );
+            per.merge_into(&total);
+        }
+        db.build_observed(&total);
+        (db, mined, CorpusReport::new(reports, total.report()))
     }
 }
 
@@ -139,6 +192,61 @@ mod tests {
         let (hits, stats) = db.hierarchical_search(&q, 5, None);
         assert!(!hits.is_empty());
         assert!(stats.comparisons < db.len());
+    }
+
+    #[test]
+    fn mine_report_times_every_pipeline_stage() {
+        use medvid_obs::{counters, Stage};
+        let corpus = standard_corpus(CorpusScale::Tiny, 33);
+        let miner = ClassMiner::new(ClassMinerConfig::default(), 33).unwrap();
+        let (mined, report) = miner.mine_report(&corpus[0]);
+        assert_eq!(report.video.as_deref(), Some("V0"));
+        assert_eq!(
+            report.counter(counters::SHOTS_DETECTED),
+            mined.structure.shots.len() as u64
+        );
+        for stage in [
+            Stage::ShotDetect,
+            Stage::GroupMine,
+            Stage::SceneMerge,
+            Stage::PcsCluster,
+            Stage::VisualCues,
+            Stage::AudioBic,
+            Stage::EventRules,
+        ] {
+            assert!(
+                report.stage_total_secs(stage) > 0.0,
+                "stage {stage} has no recorded wall clock"
+            );
+        }
+    }
+
+    #[test]
+    fn index_corpus_report_merges_per_video_telemetry() {
+        use medvid_obs::{counters, Stage};
+        let corpus = standard_corpus(CorpusScale::Tiny, 34);
+        let miner = ClassMiner::new(ClassMinerConfig::default(), 34).unwrap();
+        let (db, mined, report) = miner.index_corpus_report(&corpus);
+        assert_eq!(mined.len(), corpus.len());
+        assert_eq!(report.videos.len(), corpus.len());
+        let per_video_shots: u64 = report
+            .videos
+            .iter()
+            .map(|r| r.counter(counters::SHOTS_DETECTED))
+            .sum();
+        assert_eq!(
+            report.totals.counter(counters::SHOTS_DETECTED),
+            per_video_shots
+        );
+        assert_eq!(
+            report.totals.counter(counters::INDEX_SHOTS),
+            db.len() as u64
+        );
+        assert!(report.totals.stage_total_secs(Stage::IndexBuild) > 0.0);
+        // Per-video reports never see the corpus-level index build.
+        for r in &report.videos {
+            assert_eq!(r.stage_total_secs(Stage::IndexBuild), 0.0);
+        }
     }
 
     #[test]

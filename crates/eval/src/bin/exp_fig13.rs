@@ -1,13 +1,15 @@
 //! E-FIG13: compression-rate factor, methods A/B/C (Fig. 13).
 
 use medvid_eval::corpus::{evaluation_corpus, EvalScale};
-use medvid_eval::report::{dump_json, f3, print_table};
-use medvid_eval::scenedet::run_comparison;
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_eval::scenedet::run_comparison_observed;
+use medvid_obs::{CorpusReport, MetricsRegistry, MiningReport};
 
 fn main() {
     let scale = EvalScale::from_args();
     let corpus = evaluation_corpus(scale);
-    let results = run_comparison(&corpus);
+    let registry = MetricsRegistry::new();
+    let results = run_comparison_observed(&corpus, &registry);
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -24,5 +26,6 @@ fn main() {
         &["method", "scenes", "shots", "CRF"],
         &rows,
     );
-    dump_json("fig13", &results);
+    let telemetry = CorpusReport::from_totals(MiningReport::from_registry(&registry));
+    write_report("fig13", &telemetry, &results);
 }

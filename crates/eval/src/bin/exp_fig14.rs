@@ -1,8 +1,9 @@
 //! E-FIG14: skimming quality scores per level (Fig. 14).
 
 use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
-use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::report::{f3, print_table, write_report};
 use medvid_eval::skim_exp::run_skim_study;
+use medvid_obs::CorpusReport;
 
 fn main() {
     let scale = EvalScale::from_args();
@@ -25,5 +26,5 @@ fn main() {
         &["level", "Q1 topic", "Q2 scenario", "Q3 concise"],
         &table,
     );
-    dump_json("fig14", &rows);
+    write_report("fig14", &CorpusReport::empty(), &rows);
 }

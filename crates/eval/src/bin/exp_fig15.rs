@@ -1,8 +1,9 @@
 //! E-FIG15: frame compression ratio per skimming level (Fig. 15).
 
 use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
-use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::report::{f3, print_table, write_report};
 use medvid_eval::skim_exp::run_skim_study;
+use medvid_obs::CorpusReport;
 
 fn main() {
     let scale = EvalScale::from_args();
@@ -18,5 +19,5 @@ fn main() {
         &["level", "FCR"],
         &table,
     );
-    dump_json("fig15", &rows);
+    write_report("fig15", &CorpusReport::empty(), &rows);
 }

@@ -2,13 +2,17 @@
 
 use medvid_eval::corpus::{evaluation_corpus, EvalScale};
 use medvid_eval::fig5::run_fig5;
-use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_obs::CorpusReport;
 
 fn main() {
     let scale = EvalScale::from_args();
     let corpus = evaluation_corpus(scale);
     let video = &corpus[0];
-    println!("Fig. 5 — shot detection on '{}' (codec round trip)", video.title);
+    println!(
+        "Fig. 5 — shot detection on '{}' (codec round trip)",
+        video.title
+    );
     let r = run_fig5(video);
     // A Fig.5-style excerpt: the first 120 difference positions.
     let rows: Vec<Vec<String>> = r
@@ -23,14 +27,29 @@ fn main() {
                 i.to_string(),
                 f3(*d as f64),
                 f3(*t as f64),
-                if *d > *t { "CUT?".into() } else { String::new() },
+                if *d > *t {
+                    "CUT?".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
-    print_table("frame differences vs adaptive threshold (excerpt)", &["pos", "diff", "threshold", ""], &rows);
+    print_table(
+        "frame differences vs adaptive threshold (excerpt)",
+        &["pos", "diff", "threshold", ""],
+        &rows,
+    );
     print_table(
         "detection quality",
-        &["true cuts", "detected", "recall", "precision", "PSNR dB", "bitstream B"],
+        &[
+            "true cuts",
+            "detected",
+            "recall",
+            "precision",
+            "PSNR dB",
+            "bitstream B",
+        ],
         &[vec![
             r.true_cuts.len().to_string(),
             r.detected_cuts.len().to_string(),
@@ -40,5 +59,5 @@ fn main() {
             r.bitstream_bytes.to_string(),
         ]],
     );
-    dump_json("fig5", &r);
+    write_report("fig5", &CorpusReport::empty(), &r);
 }

@@ -1,8 +1,9 @@
 //! E-FIG8: qualitative scene detection listing (Fig. 8).
 
 use medvid_eval::corpus::{evaluation_corpus, EvalScale};
-use medvid_eval::report::{dump_json, print_table};
+use medvid_eval::report::{print_table, write_report};
 use medvid_eval::scenedet::run_listing;
+use medvid_obs::CorpusReport;
 
 fn main() {
     let scale = EvalScale::from_args();
@@ -25,6 +26,10 @@ fn main() {
             &["scene", "shots", "dominant GT topic", "purity"],
             &rows,
         );
-        dump_json(&format!("fig8_video{}", video.id.index()), &listing);
+        write_report(
+            &format!("fig8_video{}", video.id.index()),
+            &CorpusReport::empty(),
+            &listing,
+        );
     }
 }

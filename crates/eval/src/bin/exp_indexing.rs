@@ -1,7 +1,8 @@
 //! E-IDX: retrieval cost, flat scan (Eq. 24) vs cluster-based index (Eq. 25).
 
-use medvid_eval::indexing_exp::run_sweep;
-use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::indexing_exp::run_sweep_observed;
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_obs::{CorpusReport, Recorder};
 
 fn main() {
     let full = std::env::args().nth(1).as_deref() == Some("full");
@@ -10,7 +11,8 @@ fn main() {
     } else {
         &[500, 2_000, 8_000]
     };
-    let rows = run_sweep(sizes, 16, 2003);
+    let rec = Recorder::new();
+    let rows = run_sweep_observed(sizes, 16, 2003, &rec);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -26,8 +28,16 @@ fn main() {
         .collect();
     print_table(
         "Sec. 6.2 — retrieval cost (paper: Tc << Te)",
-        &["N shots", "flat cmps", "hier cmps", "flat us", "hier us", "top1 agree"],
+        &[
+            "N shots",
+            "flat cmps",
+            "hier cmps",
+            "flat us",
+            "hier us",
+            "top1 agree",
+        ],
         &table,
     );
-    dump_json("indexing", &rows);
+    let telemetry = CorpusReport::from_totals(rec.report());
+    write_report("indexing", &telemetry, &rows);
 }

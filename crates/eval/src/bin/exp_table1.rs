@@ -1,14 +1,16 @@
 //! E-TAB1: event mining precision/recall (Table 1).
 
 use medvid_eval::corpus::{default_miner, evaluation_corpus, EvalScale};
-use medvid_eval::events_exp::run_event_mining;
-use medvid_eval::report::{dump_json, f3, print_table};
+use medvid_eval::events_exp::run_event_mining_observed;
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_obs::{CorpusReport, MetricsRegistry, MiningReport};
 
 fn main() {
     let scale = EvalScale::from_args();
     let corpus = evaluation_corpus(scale);
     let miner = default_miner();
-    let results = run_event_mining(&corpus, &miner);
+    let registry = MetricsRegistry::new();
+    let results = run_event_mining_observed(&corpus, &miner, &registry);
     let mut rows: Vec<Vec<String>> = results
         .rows
         .iter()
@@ -37,5 +39,6 @@ fn main() {
         &["Events", "SN", "DN", "TN", "PR", "RE"],
         &rows,
     );
-    dump_json("table1", &results);
+    let telemetry = CorpusReport::from_totals(MiningReport::from_registry(&registry));
+    write_report("table1", &telemetry, &results);
 }

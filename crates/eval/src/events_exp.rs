@@ -8,6 +8,7 @@
 
 use crate::metrics::{event_table, EventRow};
 use medvid::ClassMiner;
+use medvid_obs::MetricsRegistry;
 use medvid_types::{EventKind, Video};
 use serde::Serialize;
 
@@ -50,12 +51,22 @@ fn to_result(name: &str, row: EventRow) -> EventCategoryResult {
 
 /// Runs the Table 1 experiment over a corpus.
 pub fn run_event_mining(corpus: &[Video], miner: &ClassMiner) -> EventResults {
-    let per_video = crate::parallel::map_videos(corpus, |video| {
+    run_event_mining_observed(corpus, miner, &MetricsRegistry::new())
+}
+
+/// Like [`run_event_mining`], merging full-pipeline telemetry from every
+/// worker into `registry`.
+pub fn run_event_mining_observed(
+    corpus: &[Video],
+    miner: &ClassMiner,
+    registry: &MetricsRegistry,
+) -> EventResults {
+    let per_video = crate::parallel::map_videos_observed(corpus, registry, |video, rec| {
         let truth = video
             .truth
             .as_ref()
             .expect("evaluation corpus carries ground truth");
-        let mined = miner.mine(video);
+        let mined = miner.mine_observed(video, rec);
         let mut pairs: Vec<(EventKind, EventKind)> = Vec::new();
         // Frame span of every mined scene, with its mined event.
         let mined_spans: Vec<(usize, usize, EventKind)> = mined
@@ -72,7 +83,9 @@ pub fn run_event_mining(corpus: &[Video], miner: &ClassMiner) -> EventResults {
             let best = mined_spans
                 .iter()
                 .map(|&(a, b, ev)| {
-                    let overlap = b.min(unit.end_frame).saturating_sub(a.max(unit.start_frame));
+                    let overlap = b
+                        .min(unit.end_frame)
+                        .saturating_sub(a.max(unit.start_frame));
                     (overlap, ev)
                 })
                 .max_by_key(|&(overlap, _)| overlap);

@@ -7,6 +7,7 @@
 //! time per query for both retrieval paths.
 
 use medvid_index::db::{IndexConfig, ShotRef, VideoDatabase};
+use medvid_obs::{Recorder, Stage};
 use medvid_types::{EventKind, ShotId, VideoId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +38,17 @@ pub struct IndexingRow {
 /// Builds a synthetic database of `n` shots with features clustered around
 /// each scene node's mode, and returns held-in query vectors.
 pub fn synthetic_database(n: usize, seed: u64, queries: usize) -> (VideoDatabase, Vec<Vec<f32>>) {
+    synthetic_database_observed(n, seed, queries, &Recorder::disabled())
+}
+
+/// Like [`synthetic_database`], timing the index construction under the
+/// `index_build` stage through `rec`.
+pub fn synthetic_database_observed(
+    n: usize,
+    seed: u64,
+    queries: usize,
+    rec: &Recorder,
+) -> (VideoDatabase, Vec<Vec<f32>>) {
     let mut db = VideoDatabase::new(
         medvid_index::ConceptHierarchy::medical(),
         IndexConfig::default(),
@@ -70,16 +82,27 @@ pub fn synthetic_database(n: usize, seed: u64, queries: usize) -> (VideoDatabase
             qs.push(f);
         }
     }
-    db.build();
+    db.build_observed(rec);
     (db, qs)
 }
 
 /// Runs the sweep over the given database sizes.
 pub fn run_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<IndexingRow> {
+    run_sweep_observed(sizes, queries_per_size, seed, &Recorder::disabled())
+}
+
+/// Like [`run_sweep`], reporting index-build timings and hierarchical query
+/// telemetry (one `query` span and cost counters per query) through `rec`.
+pub fn run_sweep_observed(
+    sizes: &[usize],
+    queries_per_size: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> Vec<IndexingRow> {
     sizes
         .iter()
         .map(|&n| {
-            let (db, queries) = synthetic_database(n, seed, queries_per_size);
+            let (db, queries) = synthetic_database_observed(n, seed, queries_per_size, rec);
             let mut row = IndexingRow {
                 shots: n,
                 flat_comparisons: 0.0,
@@ -95,7 +118,11 @@ pub fn run_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<Ind
                 let (flat_hits, flat_stats) = db.flat_search(q, 10, None);
                 row.flat_micros += t0.elapsed().as_secs_f64() * 1e6;
                 let t1 = Instant::now();
-                let (hier_hits, hier_stats) = db.hierarchical_search(q, 10, None);
+                let (hier_hits, hier_stats) = {
+                    let _span = rec.span(Stage::Query);
+                    db.hierarchical_search(q, 10, None)
+                };
+                hier_stats.record_to(rec);
                 row.hier_micros += t1.elapsed().as_secs_f64() * 1e6;
                 row.flat_comparisons += flat_stats.comparisons as f64;
                 row.hier_comparisons += hier_stats.comparisons as f64;

@@ -165,9 +165,7 @@ mod tests {
 
     fn shots(n: usize, len: usize) -> Vec<Shot> {
         (0..n)
-            .map(|i| {
-                Shot::new(ShotId(i), i * len, (i + 1) * len, FrameFeatures::zeros()).unwrap()
-            })
+            .map(|i| Shot::new(ShotId(i), i * len, (i + 1) * len, FrameFeatures::zeros()).unwrap())
             .collect()
     }
 
@@ -191,10 +189,7 @@ mod tests {
     fn pure_scene_is_rightly_detected() {
         let shots = shots(4, 10);
         let truth = truth_units(&[(0, 20), (20, 40)]);
-        let scenes = vec![
-            vec![ShotId(0), ShotId(1)],
-            vec![ShotId(2), ShotId(3)],
-        ];
+        let scenes = vec![vec![ShotId(0), ShotId(1)], vec![ShotId(2), ShotId(3)]];
         let j = scene_precision(&scenes, &shots, &truth);
         assert_eq!(j.rightly, 2);
         assert_eq!(j.precision(), 1.0);

@@ -2,49 +2,98 @@
 //!
 //! Corpus experiments are embarrassingly parallel across videos; this module
 //! fans a pure per-video function out over crossbeam scoped threads and
-//! returns results in corpus order.
+//! returns results in corpus order. [`map_videos_observed`] additionally
+//! gives each worker its own telemetry registry and merges them into the
+//! caller's at the end, so hot per-video work never contends on a shared
+//! lock.
 
+use medvid_obs::{MetricsRegistry, Recorder};
 use medvid_types::Video;
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Applies `f` to every video concurrently (one thread per video, capped at
 /// the available parallelism) and returns results in input order.
+///
+/// # Panics
+/// If `f` panics for any video, panics after all workers stop, naming the
+/// corpus indices that failed.
 pub fn map_videos<T, F>(corpus: &[Video], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&Video) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(corpus.len().max(1));
+    let threads = worker_count(corpus.len());
     if threads <= 1 || corpus.len() <= 1 {
         return corpus.iter().map(f).collect();
     }
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..corpus.len()).map(|_| None).collect());
+    // One slot per video: workers write disjoint indices without contending
+    // on a corpus-wide lock.
+    let slots: Vec<Mutex<Option<T>>> = (0..corpus.len()).map(|_| Mutex::new(None)).collect();
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(video) = corpus.get(i) else { break };
-                let value = f(video);
-                results.lock()[i] = Some(value);
+                match catch_unwind(AssertUnwindSafe(|| f(video))) {
+                    Ok(value) => *slots[i].lock() = Some(value),
+                    Err(_) => failed.lock().push(i),
+                }
             });
         }
-    })
-    .expect("worker threads do not panic");
-    results
-        .into_inner()
+    });
+    let mut failed = failed.into_inner();
+    failed.sort_unstable();
+    assert!(
+        scope_result.is_ok() && failed.is_empty(),
+        "map_videos: worker panicked on corpus video indices {failed:?}"
+    );
+    slots
         .into_iter()
-        .map(|v| v.expect("every video processed"))
+        .map(|slot| slot.into_inner().expect("every video processed"))
         .collect()
+}
+
+/// Like [`map_videos`], threading a per-worker telemetry [`Recorder`] into
+/// `f`. Each worker records into a private registry (no cross-thread
+/// contention while mining); the registries merge into `registry` once all
+/// workers finish.
+pub fn map_videos_observed<T, F>(corpus: &[Video], registry: &MetricsRegistry, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Video, &Recorder) -> T + Sync,
+{
+    let locals: Vec<Arc<MetricsRegistry>> = (0..worker_count(corpus.len()).max(1))
+        .map(|_| Arc::new(MetricsRegistry::new()))
+        .collect();
+    let worker = std::sync::atomic::AtomicUsize::new(0);
+    let results = map_videos(corpus, |video| {
+        // Stable registry per OS thread would need TLS; a round-robin pick
+        // per video is equally correct because merge is commutative.
+        let w = worker.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % locals.len();
+        let rec = Recorder::with_registry(Arc::clone(&locals[w]));
+        f(video, &rec)
+    });
+    for local in &locals {
+        registry.merge_from(local);
+    }
+    results
+}
+
+fn worker_count(videos: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(videos.max(1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medvid_obs::counters;
     use medvid_synth::{standard_corpus, CorpusScale};
 
     #[test]
@@ -67,5 +116,43 @@ mod tests {
     fn empty_corpus_is_fine() {
         let out: Vec<usize> = map_videos(&[], |v| v.frame_count());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_worker_reports_failing_indices() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 57);
+        assert!(corpus.len() >= 2, "corpus: {}", corpus.len());
+        let bad = corpus[1].title.clone();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            map_videos(&corpus, |v| {
+                assert!(v.title != bad, "boom");
+                v.frame_count()
+            })
+        }))
+        .expect_err("map_videos must propagate the panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            msg.contains("video indices [1]"),
+            "panic message should name index 1: {msg}"
+        );
+    }
+
+    #[test]
+    fn observed_fanout_merges_worker_registries() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 58);
+        let registry = MetricsRegistry::new();
+        let frames = map_videos_observed(&corpus, &registry, |v, rec| {
+            rec.incr(counters::SHOTS_DETECTED, v.frame_count() as u64);
+            v.frame_count()
+        });
+        let expected: u64 = frames.iter().map(|&n| n as u64).sum();
+        assert_eq!(
+            registry.counter(counters::SHOTS_DETECTED),
+            expected,
+            "merged counter must equal the sum over all videos"
+        );
     }
 }

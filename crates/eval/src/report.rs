@@ -1,5 +1,10 @@
-//! Table printing and artefact dumping for the experiment binaries.
+//! Table printing and artefact writing for the experiment binaries.
+//!
+//! Every binary emits the same artefact shape: a [`ReportEnvelope`] holding
+//! the experiment payload plus the pipeline telemetry gathered while
+//! producing it, written to `target/experiments/<name>.json`.
 
+use medvid_obs::{CorpusReport, ReportEnvelope};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -25,23 +30,31 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(header.iter().map(|s| s.to_string()).collect())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }
 }
 
-/// Dumps an experiment artefact as JSON under `target/experiments/`.
-/// Failures are reported but non-fatal (the printed table is the primary
-/// output).
-pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+/// Writes the experiment artefact under `target/experiments/<name>.json` in
+/// the shared [`ReportEnvelope`] schema, and prints the telemetry totals (if
+/// any were gathered). Failures are reported but non-fatal — the printed
+/// table is the primary output.
+pub fn write_report<T: Serialize>(name: &str, telemetry: &CorpusReport, payload: &T) {
+    if !telemetry.is_empty() {
+        println!("\n== telemetry ==\n{}", telemetry.totals.render_text());
+    }
     let dir = PathBuf::from("target/experiments");
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    let envelope = ReportEnvelope::new(name, telemetry, payload);
+    match serde_json::to_string_pretty(&envelope) {
         Ok(json) => {
             if let Err(e) = fs::write(&path, json) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
@@ -78,12 +91,16 @@ mod tests {
     }
 
     #[test]
-    fn dump_json_writes_artifact() {
-        dump_json("unit_test_artifact", &vec![1, 2, 3]);
-        let p = std::path::Path::new("target/experiments/unit_test_artifact.json");
+    fn write_report_writes_envelope() {
+        write_report("unit_test_artifact", &CorpusReport::empty(), &vec![1, 2, 3]);
         // The cwd during tests is the crate root; the file may land in the
         // workspace target dir. Accept either location.
+        let p = std::path::Path::new("target/experiments/unit_test_artifact.json");
         let alt = std::path::Path::new("../../target/experiments/unit_test_artifact.json");
-        assert!(p.exists() || alt.exists());
+        let found = [p, alt].into_iter().find(|p| p.exists());
+        let path = found.expect("artefact written to target/experiments");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("medvid-obs/v1"));
+        assert!(body.contains("\"payload\""));
     }
 }

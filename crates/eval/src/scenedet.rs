@@ -2,7 +2,10 @@
 //! (Figs. 12–13), plus the qualitative per-scene listing of Fig. 8.
 
 use crate::metrics::{scene_precision, unit_of_shot, SceneJudgement};
-use medvid_baselines::{lin_zhang_scenes, rui_scenes, stg_scenes, LinZhangConfig, RuiConfig, StgConfig};
+use medvid_baselines::{
+    lin_zhang_scenes, rui_scenes, stg_scenes, LinZhangConfig, RuiConfig, StgConfig,
+};
+use medvid_obs::{counters, MetricsRegistry, Recorder, Stage};
 use medvid_structure::group::{detect_groups, GroupConfig};
 use medvid_structure::scene::{detect_scenes, SceneConfig};
 use medvid_structure::shot::{detect_shots, ShotDetectorConfig};
@@ -50,10 +53,30 @@ pub fn scenes_with_method(
     shots: &[medvid_types::Shot],
     w: SimilarityWeights,
 ) -> Vec<Vec<ShotId>> {
+    scenes_with_method_observed(method, shots, w, &Recorder::disabled())
+}
+
+/// Like [`scenes_with_method`], timing Method A's group and scene stages
+/// through `rec` (the baseline methods are not instrumented).
+pub fn scenes_with_method_observed(
+    method: Method,
+    shots: &[medvid_types::Shot],
+    w: SimilarityWeights,
+    rec: &Recorder,
+) -> Vec<Vec<ShotId>> {
     match method {
         Method::A => {
-            let groups = detect_groups(shots, w, &GroupConfig::default()).groups;
-            let det = detect_scenes(&groups, shots, w, &SceneConfig::default());
+            let groups = {
+                let _span = rec.span(Stage::GroupMine);
+                detect_groups(shots, w, &GroupConfig::default()).groups
+            };
+            rec.incr(counters::GROUPS_FORMED, groups.len() as u64);
+            let det = {
+                let _span = rec.span(Stage::SceneMerge);
+                detect_scenes(&groups, shots, w, &SceneConfig::default())
+            };
+            rec.incr(counters::SCENES_DETECTED, det.scenes.len() as u64);
+            rec.incr(counters::SCENES_DROPPED, det.dropped as u64);
             det.scenes
                 .iter()
                 .map(|scene| {
@@ -76,16 +99,26 @@ pub fn scenes_with_method(
 /// Runs the Figs. 12–13 comparison across a corpus (videos processed in
 /// parallel).
 pub fn run_comparison(corpus: &[Video]) -> Vec<MethodResult> {
+    run_comparison_observed(corpus, &MetricsRegistry::new())
+}
+
+/// Like [`run_comparison`], merging per-worker telemetry (shot detection and
+/// Method A's group/scene stages) into `registry`.
+pub fn run_comparison_observed(corpus: &[Video], registry: &MetricsRegistry) -> Vec<MethodResult> {
     let w = SimilarityWeights::default();
     let shot_cfg = ShotDetectorConfig::default();
-    let per_video = crate::parallel::map_videos(corpus, |video| {
+    let per_video = crate::parallel::map_videos_observed(corpus, registry, |video, rec| {
         let truth = video
             .truth
             .as_ref()
             .expect("evaluation corpus carries ground truth");
-        let detection = detect_shots(video, &shot_cfg);
+        let detection = {
+            let _span = rec.span(Stage::ShotDetect);
+            detect_shots(video, &shot_cfg)
+        };
+        rec.incr(counters::SHOTS_DETECTED, detection.shots.len() as u64);
         Method::EXTENDED.map(|method| {
-            let scenes = scenes_with_method(method, &detection.shots, w);
+            let scenes = scenes_with_method_observed(method, &detection.shots, w, rec);
             scene_precision(&scenes, &detection.shots, truth)
         })
     });

@@ -2,6 +2,7 @@
 
 use crate::rules::{classify_scene, SceneEvidence, ShotEvidence};
 use medvid_audio::{AudioMiner, ShotAudio};
+use medvid_obs::{counters, Recorder, Stage};
 use medvid_types::{ContentStructure, EventKind, GroupKind, SceneId, Video};
 use medvid_vision::{extract_cues, VisualCues};
 
@@ -29,21 +30,53 @@ impl EventMiner {
 
     /// Extracts per-shot visual cues from the representative frames.
     pub fn visual_cues(&self, video: &Video, structure: &ContentStructure) -> Vec<VisualCues> {
-        structure
+        self.visual_cues_observed(video, structure, &Recorder::disabled())
+    }
+
+    /// Like [`Self::visual_cues`], timing the pass under the `visual_cues`
+    /// stage and counting detected faces plus skin/blood frames through `rec`.
+    pub fn visual_cues_observed(
+        &self,
+        video: &Video,
+        structure: &ContentStructure,
+        rec: &Recorder,
+    ) -> Vec<VisualCues> {
+        let _span = rec.span(Stage::VisualCues);
+        let cues: Vec<VisualCues> = structure
             .shots
             .iter()
             .map(|s| {
                 let idx = s.rep_frame.min(video.frames.len().saturating_sub(1));
                 extract_cues(&video.frames[idx])
             })
-            .collect()
+            .collect();
+        let faces: u64 = cues.iter().map(|c| c.faces.len() as u64).sum();
+        let skin = cues.iter().filter(|c| c.has_skin()).count() as u64;
+        let blood = cues.iter().filter(|c| c.has_blood_red).count() as u64;
+        rec.incr(counters::FACES_FOUND, faces);
+        rec.incr(counters::SKIN_FRAMES, skin);
+        rec.incr(counters::BLOOD_FRAMES, blood);
+        cues
     }
 
     /// Mines the event category of every scene.
     pub fn mine(&self, video: &Video, structure: &ContentStructure) -> Vec<SceneEvent> {
-        let cues = self.visual_cues(video, structure);
-        let audio = self.audio.analyze_shots(video, &structure.shots);
-        self.mine_with_cues(structure, &cues, &audio)
+        self.mine_observed(video, structure, &Recorder::disabled())
+    }
+
+    /// Like [`Self::mine`], reporting cue-extraction and rule-evaluation
+    /// timings plus the BIC speaker-change work through `rec`.
+    pub fn mine_observed(
+        &self,
+        video: &Video,
+        structure: &ContentStructure,
+        rec: &Recorder,
+    ) -> Vec<SceneEvent> {
+        let cues = self.visual_cues_observed(video, structure, rec);
+        let audio = self
+            .audio
+            .analyze_shots_observed(video, &structure.shots, rec);
+        self.mine_with_cues_observed(structure, &cues, &audio, rec)
     }
 
     /// Mines events from pre-extracted cues (used by the evaluation harness
@@ -54,7 +87,23 @@ impl EventMiner {
         cues: &[VisualCues],
         audio: &[ShotAudio],
     ) -> Vec<SceneEvent> {
-        structure
+        self.mine_with_cues_observed(structure, cues, audio, &Recorder::disabled())
+    }
+
+    /// Like [`Self::mine_with_cues`], timing the speaker-change matrices
+    /// under the `audio_bic` stage and the evidence assembly plus rule
+    /// evaluation under `event_rules`, and counting BIC tests run/accepted.
+    pub fn mine_with_cues_observed(
+        &self,
+        structure: &ContentStructure,
+        cues: &[VisualCues],
+        audio: &[ShotAudio],
+        rec: &Recorder,
+    ) -> Vec<SceneEvent> {
+        let _span = rec.span(Stage::EventRules);
+        let mut bic_run = 0u64;
+        let mut bic_accepted = 0u64;
+        let events: Vec<SceneEvent> = structure
             .scenes
             .iter()
             .map(|scene| {
@@ -76,25 +125,36 @@ impl EventMiner {
                     .collect();
                 let n = shot_ids.len();
                 let mut matrix = vec![vec![None; n]; n];
-                for i in 0..n {
-                    for j in i + 1..n {
-                        let verdict = self
-                            .audio
-                            .speaker_change(
-                                &audio[shot_ids[i].index()],
-                                &audio[shot_ids[j].index()],
-                            )
-                            .map(|o| o.speaker_change);
-                        matrix[i][j] = verdict;
-                        matrix[j][i] = verdict;
+                {
+                    let _bic_span = rec.span(Stage::AudioBic);
+                    for i in 0..n {
+                        for j in i + 1..n {
+                            let verdict = self
+                                .audio
+                                .speaker_change(
+                                    &audio[shot_ids[i].index()],
+                                    &audio[shot_ids[j].index()],
+                                )
+                                .map(|o| o.speaker_change);
+                            if verdict.is_some() {
+                                bic_run += 1;
+                            }
+                            if verdict == Some(true) {
+                                bic_accepted += 1;
+                            }
+                            matrix[i][j] = verdict;
+                            matrix[j][i] = verdict;
+                        }
                     }
                 }
-                let any_temporal = scene.groups.iter().any(|&g| {
-                    structure.group(g).kind == GroupKind::TemporallyRelated
-                });
-                let any_spatial = scene.groups.iter().any(|&g| {
-                    structure.group(g).kind == GroupKind::SpatiallyRelated
-                });
+                let any_temporal = scene
+                    .groups
+                    .iter()
+                    .any(|&g| structure.group(g).kind == GroupKind::TemporallyRelated);
+                let any_spatial = scene
+                    .groups
+                    .iter()
+                    .any(|&g| structure.group(g).kind == GroupKind::SpatiallyRelated);
                 let evidence = SceneEvidence {
                     shots,
                     any_temporally_related_group: any_temporal,
@@ -106,7 +166,10 @@ impl EventMiner {
                     event: classify_scene(&evidence),
                 }
             })
-            .collect()
+            .collect();
+        rec.incr(counters::BIC_TESTS_RUN, bic_run);
+        rec.incr(counters::BIC_CHANGES_ACCEPTED, bic_accepted);
+        events
     }
 }
 
@@ -188,8 +251,7 @@ mod tests {
         use medvid_structure::similarity::SimilarityWeights;
         use medvid_types::{GroupId, Scene, SceneId};
         let truth = video.truth.as_ref().unwrap();
-        let shots =
-            medvid_structure::shot::build_shots(&video.frames, &truth.shot_cuts);
+        let shots = medvid_structure::shot::build_shots(&video.frames, &truth.shot_cuts);
         let mut groups = Vec::new();
         let mut scenes = Vec::new();
         for (i, unit) in truth.semantic_units.iter().enumerate() {

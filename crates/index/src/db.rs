@@ -6,6 +6,7 @@ use crate::centers::MultiCenter;
 use crate::concepts::{ConceptHierarchy, NodeId, NodeKind};
 use crate::features::Subspace;
 use crate::hash::ShotHashIndex;
+use medvid_obs::{counters, Recorder, Stage};
 use medvid_types::{ContentStructure, EventKind, SceneId, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -45,6 +46,20 @@ pub struct RetrievalStats {
     /// Total feature dimensions touched by all comparisons (captures the
     /// reduced-dimension effect `T_o <= T_m`).
     pub dims_touched: usize,
+    /// Sibling subtrees skipped at routing steps (the pruning that makes
+    /// Eq. 25 cheaper than Eq. 24; always 0 for flat scans).
+    pub pruned_subtrees: usize,
+}
+
+impl RetrievalStats {
+    /// Folds these counters into the telemetry layer: feature comparisons,
+    /// nodes visited, pruned subtrees and one query executed.
+    pub fn record_to(&self, rec: &Recorder) {
+        rec.incr(counters::INDEX_COMPARISONS, self.comparisons as u64);
+        rec.incr(counters::INDEX_NODES_VISITED, self.nodes_visited as u64);
+        rec.incr(counters::INDEX_PRUNED_SUBTREES, self.pruned_subtrees as u64);
+        rec.incr(counters::QUERIES_RUN, 1);
+    }
 }
 
 /// A ranked retrieval hit.
@@ -242,6 +257,17 @@ impl VideoDatabase {
         self.hierarchy.node(cluster).children[0]
     }
 
+    /// Like [`Self::build`], timing the construction under the `index_build`
+    /// stage and counting the indexed shots through `rec`.
+    pub fn build_observed(&mut self, rec: &Recorder) {
+        if self.built {
+            return;
+        }
+        let _span = rec.span(Stage::IndexBuild);
+        self.build();
+        rec.incr(counters::INDEX_SHOTS, self.records.len() as u64);
+    }
+
     /// Builds all per-node index structures. Idempotent.
     pub fn build(&mut self) {
         if self.built {
@@ -293,10 +319,8 @@ impl VideoDatabase {
                     }
                 }
                 _ => {
-                    let projected: Vec<Vec<f32>> = vectors
-                        .iter()
-                        .map(|v| subspace.project(v))
-                        .collect();
+                    let projected: Vec<Vec<f32>> =
+                        vectors.iter().map(|v| subspace.project(v)).collect();
                     self.node_centers
                         .insert(node.id, MultiCenter::fit(&projected, self.config.centers));
                 }
@@ -329,7 +353,11 @@ impl VideoDatabase {
             })
             .collect();
         stats.ranked = hits.len();
-        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distance"));
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distance")
+        });
         hits.truncate(top_k);
         (hits, stats)
     }
@@ -376,6 +404,7 @@ impl VideoDatabase {
                 })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
             let Some((next, _)) = best else { break };
+            stats.pruned_subtrees += children.len() - 1;
             current = next;
             if self.hierarchy.node(current).kind == NodeKind::Scene {
                 break;
@@ -408,7 +437,11 @@ impl VideoDatabase {
             })
             .collect();
         stats.ranked = hits.len();
-        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distance"));
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distance")
+        });
         hits.truncate(top_k);
         (hits, stats)
     }
@@ -524,7 +557,10 @@ mod tests {
             let (hits, stats) = db.flat_search(q, 5, None);
             assert_eq!(stats.comparisons, 200);
             assert_eq!(stats.ranked, 200);
-            assert!(hits[0].distance < 1e-9, "top hit should be the query itself");
+            assert!(
+                hits[0].distance < 1e-9,
+                "top hit should be the query itself"
+            );
         }
     }
 

@@ -7,6 +7,7 @@
 use crate::access::UserContext;
 use crate::concepts::NodeId;
 use crate::db::{QueryResult, RetrievalStats, VideoDatabase};
+use medvid_obs::{Recorder, Stage};
 use medvid_types::EventKind;
 
 /// Which retrieval path executes the query.
@@ -91,6 +92,19 @@ impl<'a> Query<'a> {
     /// distance, in insertion order — the pure semantic query of Sec. 4
     /// ("show me all dialogs").
     pub fn run(self) -> (Vec<QueryResult>, RetrievalStats) {
+        self.run_observed(&Recorder::disabled())
+    }
+
+    /// Like [`Self::run`], timing the execution under the `query` stage and
+    /// folding the retrieval cost counters into `rec`.
+    pub fn run_observed(self, rec: &Recorder) -> (Vec<QueryResult>, RetrievalStats) {
+        let _span = rec.span(Stage::Query);
+        let (hits, stats) = self.execute();
+        stats.record_to(rec);
+        (hits, stats)
+    }
+
+    fn execute(self) -> (Vec<QueryResult>, RetrievalStats) {
         let matches_filters = |r: &crate::db::ShotRecord| {
             if let Some(e) = self.event {
                 if r.event != e {
@@ -134,18 +148,11 @@ impl<'a> Query<'a> {
                 let fetch = self.limit.saturating_mul(4).max(self.limit);
                 let (hits, stats) = match self.strategy {
                     Strategy::Flat => self.db.flat_search(v, fetch, self.user),
-                    Strategy::Hierarchical => {
-                        self.db.hierarchical_search(v, fetch, self.user)
-                    }
+                    Strategy::Hierarchical => self.db.hierarchical_search(v, fetch, self.user),
                 };
                 let filtered: Vec<QueryResult> = hits
                     .into_iter()
-                    .filter(|h| {
-                        self.db
-                            .record(h.shot)
-                            .map(matches_filters)
-                            .unwrap_or(false)
-                    })
+                    .filter(|h| self.db.record(h.shot).map(matches_filters).unwrap_or(false))
                     .take(self.limit)
                     .collect();
                 (filtered, stats)

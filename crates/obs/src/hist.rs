@@ -1,0 +1,230 @@
+//! Log-scale duration histograms.
+//!
+//! Durations span six orders of magnitude across the pipeline (microsecond
+//! queries to multi-second mining passes), so buckets grow geometrically:
+//! bucket `i` holds durations with `floor(log2(nanos)) == i`. 64 buckets
+//! cover every representable `u64` nanosecond count.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A power-of-two-bucketed histogram of durations in nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    count: u64,
+    sum_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Bucket index for a nanosecond duration: `floor(log2(nanos))`, with
+    /// zero mapping to bucket 0.
+    pub fn bucket_of(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, nanos: u64) {
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+        self.buckets[Self::bucket_of(nanos)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos
+    }
+
+    /// Smallest recorded duration, or 0 if empty.
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_nanos
+        }
+    }
+
+    /// Largest recorded duration, or 0 if empty.
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from bucket boundaries.
+    ///
+    /// Returns the upper edge of the bucket holding the quantile rank — an
+    /// upper bound within a factor of two of the true value, which is all a
+    /// log-scale histogram promises.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i, clamped to the observed max.
+                let edge = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return edge.min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Sparse view of the non-empty buckets as `(bucket_index, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// Serialized form: sparse buckets keep reports compact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct HistogramRepr {
+    count: u64,
+    sum_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+    /// `(bucket_index, count)` pairs for non-empty buckets.
+    buckets: Vec<(usize, u64)>,
+}
+
+impl Serialize for LogHistogram {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        HistogramRepr {
+            count: self.count,
+            sum_nanos: self.sum_nanos,
+            min_nanos: self.min_nanos(),
+            max_nanos: self.max_nanos,
+            buckets: self.nonzero_buckets(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for LogHistogram {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = HistogramRepr::deserialize(deserializer)?;
+        let mut h = LogHistogram::new();
+        for (i, c) in repr.buckets {
+            if i < BUCKETS {
+                h.buckets[i] = c;
+            }
+        }
+        h.count = repr.count;
+        h.sum_nanos = repr.sum_nanos;
+        h.max_nanos = repr.max_nanos;
+        h.min_nanos = if repr.count == 0 {
+            u64::MAX
+        } else {
+            repr.min_nanos
+        };
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(1024), 10);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.min_nanos(), 0);
+        for n in [5u64, 100, 3] {
+            h.record(n);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_nanos(), 108);
+        assert_eq!(h.min_nanos(), 3);
+        assert_eq!(h.max_nanos(), 100);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = LogHistogram::new();
+        a.record(10);
+        let mut b = LogHistogram::new();
+        b.record(1000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_nanos(), 1012);
+        assert_eq!(a.min_nanos(), 2);
+        assert_eq!(a.max_nanos(), 1000);
+    }
+
+    #[test]
+    fn quantile_brackets_the_data() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 6 (64..127)
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 13
+        }
+        let p50 = h.quantile_nanos(0.5);
+        assert!((64..=127).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_nanos(0.99);
+        assert!(p99 >= 8192, "p99 {p99}");
+        assert!(p99 <= 10_000, "clamped to observed max, got {p99}");
+    }
+}

@@ -1,0 +1,87 @@
+//! **medvid-obs** — structured telemetry for the ClassMiner pipeline.
+//!
+//! The paper's pipeline (Fig. 3) is a five-stage cascade — shot segmentation
+//! → group/scene mining → PCS clustering → audio/visual cue mining → event
+//! rules — followed by index construction and retrieval. This crate is the
+//! measurement substrate every stage reports into:
+//!
+//! * [`MetricsRegistry`] — a thread-safe store of named counters and
+//!   log-scale duration histograms;
+//! * [`Recorder`] — a cheap, cloneable handle that is either wired to a
+//!   registry or disabled (the disabled recorder performs no clock reads, no
+//!   allocation and no locking, so uninstrumented callers pay nothing);
+//! * [`Span`] — an RAII guard timing one pipeline [`Stage`]; nested spans
+//!   attribute child wall-clock time to the child stage, so every stage also
+//!   reports its *self* time;
+//! * [`MiningReport`] / [`CorpusReport`] — serializable per-video and
+//!   per-corpus aggregations of stage timings plus domain counters (shots
+//!   detected, groups formed, BIC tests run, index comparisons, …).
+//!
+//! Locking discipline: counters and histograms live behind coarse mutexes
+//! that are touched once per *stage* (span drop) or once per *batch*
+//! (counter increment), never per frame. Hot loops stay lock-free; parallel
+//! fan-outs (`medvid-eval`'s `map_videos`) give each worker thread its own
+//! registry and merge once at the end.
+//!
+//! The crate is dependency-light by design: `std` plus `serde`/`serde_json`
+//! for the report schema. No `tracing`, no `metrics`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use hist::LogHistogram;
+pub use recorder::Recorder;
+pub use registry::{MetricsRegistry, StageAccum};
+pub use report::{CorpusReport, MiningReport, ReportEnvelope, StageReport, SCHEMA_VERSION};
+pub use span::{Span, Stage};
+
+/// Names of the domain counters the pipeline records.
+///
+/// Centralised so producers (pipeline crates) and consumers (report
+/// renderers, tests) agree on spelling.
+pub mod counters {
+    /// Shots found by the shot detector.
+    pub const SHOTS_DETECTED: &str = "shots_detected";
+    /// Groups assembled by group detection.
+    pub const GROUPS_FORMED: &str = "groups_formed";
+    /// Scenes surviving the merge + elimination pass.
+    pub const SCENES_DETECTED: &str = "scenes_detected";
+    /// Candidate scenes dropped for having too few shots.
+    pub const SCENES_DROPPED: &str = "scenes_dropped";
+    /// Pairwise merge steps performed by PCS clustering.
+    pub const PCS_ITERATIONS: &str = "pcs_iterations";
+    /// The chosen cluster count `N*` (summed over videos).
+    pub const PCS_FINAL_CLUSTERS: &str = "pcs_final_clusters";
+    /// BIC speaker-change hypothesis tests actually run.
+    pub const BIC_TESTS_RUN: &str = "bic_tests_run";
+    /// BIC tests that declared a speaker change.
+    pub const BIC_CHANGES_ACCEPTED: &str = "bic_changes_accepted";
+    /// Representative clips classified as clean speech.
+    pub const SPEECH_CLIPS: &str = "speech_clips";
+    /// Representative clips classified as non-speech.
+    pub const NONSPEECH_CLIPS: &str = "nonspeech_clips";
+    /// Shots whose audio was too short to carry a representative clip.
+    pub const SILENT_SHOTS: &str = "silent_shots";
+    /// Verified faces found across representative frames.
+    pub const FACES_FOUND: &str = "faces_found";
+    /// Representative frames with a notable skin region.
+    pub const SKIN_FRAMES: &str = "skin_frames";
+    /// Representative frames with a blood-red region.
+    pub const BLOOD_FRAMES: &str = "blood_frames";
+    /// Shots ingested into the hierarchical index.
+    pub const INDEX_SHOTS: &str = "index_shots";
+    /// Feature-distance evaluations performed by retrieval.
+    pub const INDEX_COMPARISONS: &str = "index_comparisons";
+    /// Index nodes visited while routing queries.
+    pub const INDEX_NODES_VISITED: &str = "index_nodes_visited";
+    /// Sibling subtrees pruned (not descended into) while routing queries.
+    pub const INDEX_PRUNED_SUBTREES: &str = "index_pruned_subtrees";
+    /// Queries executed against the database.
+    pub const QUERIES_RUN: &str = "queries_run";
+}

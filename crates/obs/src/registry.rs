@@ -1,0 +1,157 @@
+//! The thread-safe metrics store.
+
+use crate::hist::LogHistogram;
+use crate::span::Stage;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Accumulated timing of one pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageAccum {
+    /// Wall-clock time per span, children included.
+    pub total: LogHistogram,
+    /// Self time per span: wall clock minus time spent in nested spans.
+    pub self_time: LogHistogram,
+}
+
+impl StageAccum {
+    fn merge(&mut self, other: &StageAccum) {
+        self.total.merge(&other.total);
+        self.self_time.merge(&other.self_time);
+    }
+}
+
+/// A thread-safe registry of named counters and per-stage duration
+/// histograms.
+///
+/// All methods take `&self`; the registry is safely shared behind an `Arc`.
+/// Locks are coarse but touched only once per stage completion or counter
+/// batch — never inside per-frame loops. Parallel fan-outs should give each
+/// worker its own registry and [`MetricsRegistry::merge_from`] the locals
+/// into a shared one at the end.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    stages: Mutex<BTreeMap<&'static str, StageAccum>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter, creating it at zero if absent.
+    pub fn incr(&self, name: &'static str, by: u64) {
+        let mut counters = lock(&self.counters);
+        *counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Reads one counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one completed span of `stage`.
+    pub fn record_span(&self, stage: Stage, total_nanos: u64, self_nanos: u64) {
+        let mut stages = lock(&self.stages);
+        let accum = stages.entry(stage.name()).or_default();
+        accum.total.record(total_nanos);
+        accum.self_time.record(self_nanos);
+    }
+
+    /// Accumulated timing for one stage, if it ever ran.
+    pub fn stage(&self, stage: Stage) -> Option<StageAccum> {
+        lock(&self.stages).get(stage.name()).cloned()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters_snapshot(&self) -> BTreeMap<&'static str, u64> {
+        lock(&self.counters).clone()
+    }
+
+    /// Snapshot of all stage accumulators.
+    pub fn stages_snapshot(&self) -> BTreeMap<&'static str, StageAccum> {
+        lock(&self.stages).clone()
+    }
+
+    /// Folds every counter and stage histogram of `other` into `self`.
+    ///
+    /// This is how per-thread registries from a parallel fan-out combine:
+    /// counter sums stay exact, histograms merge bucket-wise.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        {
+            let theirs = lock(&other.counters).clone();
+            let mut ours = lock(&self.counters);
+            for (name, v) in theirs {
+                *ours.entry(name).or_insert(0) += v;
+            }
+        }
+        {
+            let theirs = lock(&other.stages).clone();
+            let mut ours = lock(&self.stages);
+            for (name, accum) in theirs {
+                ours.entry(name).or_default().merge(&accum);
+            }
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.counters).is_empty() && lock(&self.stages).is_empty()
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: metrics must keep working in
+/// the face of a panicking worker thread (the eval fan-out catches worker
+/// panics and reports which video failed; telemetry from the surviving
+/// workers is still wanted).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.incr("a", 2);
+        reg.incr("a", 3);
+        reg.incr("b", 1);
+        assert_eq!(reg.counter("a"), 5);
+        assert_eq!(reg.counter("b"), 1);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_accumulate_per_stage() {
+        let reg = MetricsRegistry::new();
+        reg.record_span(Stage::ShotDetect, 100, 80);
+        reg.record_span(Stage::ShotDetect, 50, 50);
+        let accum = reg.stage(Stage::ShotDetect).unwrap();
+        assert_eq!(accum.total.count(), 2);
+        assert_eq!(accum.total.sum_nanos(), 150);
+        assert_eq!(accum.self_time.sum_nanos(), 130);
+        assert!(reg.stage(Stage::Query).is_none());
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_stages() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.incr("x", 1);
+        b.incr("x", 2);
+        b.incr("y", 7);
+        a.record_span(Stage::GroupMine, 10, 10);
+        b.record_span(Stage::GroupMine, 20, 15);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        let g = a.stage(Stage::GroupMine).unwrap();
+        assert_eq!(g.total.count(), 2);
+        assert_eq!(g.total.sum_nanos(), 30);
+        assert_eq!(g.self_time.sum_nanos(), 25);
+    }
+}

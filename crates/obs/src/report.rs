@@ -1,0 +1,274 @@
+//! Serializable mining reports: the stable schema every pipeline run,
+//! experiment binary and external consumer shares.
+
+use crate::hist::LogHistogram;
+use crate::registry::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier embedded in every serialized report.
+pub const SCHEMA_VERSION: &str = "medvid-obs/v1";
+
+/// Aggregated timing of one pipeline stage, in report form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Completed spans of this stage.
+    pub calls: u64,
+    /// Total wall-clock seconds, children included.
+    pub total_secs: f64,
+    /// Self seconds: wall clock minus time in nested stages.
+    pub self_secs: f64,
+    /// Shortest span in seconds.
+    pub min_secs: f64,
+    /// Longest span in seconds.
+    pub max_secs: f64,
+    /// Log-scale histogram of span durations (nanoseconds).
+    pub histogram: LogHistogram,
+}
+
+impl StageReport {
+    fn from_accum(accum: &crate::registry::StageAccum) -> Self {
+        StageReport {
+            calls: accum.total.count(),
+            total_secs: accum.total.sum_nanos() as f64 * 1e-9,
+            self_secs: accum.self_time.sum_nanos() as f64 * 1e-9,
+            min_secs: accum.total.min_nanos() as f64 * 1e-9,
+            max_secs: accum.total.max_nanos() as f64 * 1e-9,
+            histogram: accum.total.clone(),
+        }
+    }
+}
+
+/// Everything one mining run reported: per-stage timings plus domain
+/// counters. `video`/`title` are set when the report covers a single video
+/// and empty for thread- or corpus-level aggregates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MiningReport {
+    /// Report schema identifier.
+    #[serde(default)]
+    pub schema: String,
+    /// Video identifier (e.g. `"V3"`), if the report covers one video.
+    #[serde(default)]
+    pub video: Option<String>,
+    /// Video title, if the report covers one video.
+    #[serde(default)]
+    pub title: Option<String>,
+    /// Per-stage timings, keyed by [`crate::Stage::name`].
+    pub stages: BTreeMap<String, StageReport>,
+    /// Domain counters, keyed by the names in [`crate::counters`].
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MiningReport {
+    /// Builds a report from everything `registry` has recorded.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        MiningReport {
+            schema: SCHEMA_VERSION.to_string(),
+            video: None,
+            title: None,
+            stages: registry
+                .stages_snapshot()
+                .iter()
+                .map(|(name, accum)| (name.to_string(), StageReport::from_accum(accum)))
+                .collect(),
+            counters: registry
+                .counters_snapshot()
+                .iter()
+                .map(|(name, v)| (name.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    /// Labels the report as covering one video.
+    pub fn for_video(mut self, video: impl Into<String>, title: impl Into<String>) -> Self {
+        self.video = Some(video.into());
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.counters.is_empty()
+    }
+
+    /// Total wall-clock seconds of one stage (0 if it never ran).
+    pub fn stage_total_secs(&self, stage: crate::Stage) -> f64 {
+        self.stages
+            .get(stage.name())
+            .map(|s| s.total_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Reads one counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders a fixed-width human-readable stage/counter table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let (Some(v), Some(t)) = (&self.video, &self.title) {
+            let _ = writeln!(out, "report for {v} '{t}'");
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12}",
+            "stage", "calls", "total ms", "self ms", "min ms", "max ms"
+        );
+        for (name, s) in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                name,
+                s.calls,
+                s.total_secs * 1e3,
+                s.self_secs * 1e3,
+                s.min_secs * 1e3,
+                s.max_secs * 1e3
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<32} {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<32} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+/// A corpus-level report: one [`MiningReport`] per video plus the merged
+/// totals (which also carry corpus-only stages such as `index_build`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorpusReport {
+    /// Report schema identifier.
+    #[serde(default)]
+    pub schema: String,
+    /// Per-video reports, in corpus order.
+    pub videos: Vec<MiningReport>,
+    /// Aggregate over the whole run.
+    pub totals: MiningReport,
+}
+
+impl CorpusReport {
+    /// Assembles a corpus report from per-video reports and the merged
+    /// totals.
+    pub fn new(videos: Vec<MiningReport>, totals: MiningReport) -> Self {
+        CorpusReport {
+            schema: SCHEMA_VERSION.to_string(),
+            videos,
+            totals,
+        }
+    }
+
+    /// A corpus report carrying only aggregate telemetry (no per-video
+    /// breakdown) — what a fan-out with merged thread registries produces.
+    pub fn from_totals(totals: MiningReport) -> Self {
+        Self::new(Vec::new(), totals)
+    }
+
+    /// A report with no telemetry at all (for experiments that do not run
+    /// the mining pipeline but still emit the shared schema).
+    pub fn empty() -> Self {
+        Self::new(Vec::new(), MiningReport::default())
+    }
+
+    /// Whether no telemetry was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty() && self.totals.is_empty()
+    }
+
+    /// Renders the totals (and per-video summaries) as fixed-width text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== corpus totals ({} videos) ==", self.videos.len());
+        out.push_str(&self.totals.render_text());
+        for v in &self.videos {
+            out.push('\n');
+            out.push_str(&v.render_text());
+        }
+        out
+    }
+}
+
+/// The shared artefact envelope experiment binaries write: a named payload
+/// plus the telemetry of the run that produced it, under one schema.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportEnvelope<'a, T: Serialize> {
+    /// Report schema identifier.
+    pub schema: &'static str,
+    /// Experiment/artefact name (e.g. `"fig12"`).
+    pub name: &'a str,
+    /// Pipeline telemetry gathered while producing the payload.
+    pub telemetry: &'a CorpusReport,
+    /// The experiment's own structured results.
+    pub payload: &'a T,
+}
+
+impl<'a, T: Serialize> ReportEnvelope<'a, T> {
+    /// Wraps a payload and its telemetry under the shared schema.
+    pub fn new(name: &'a str, telemetry: &'a CorpusReport, payload: &'a T) -> Self {
+        ReportEnvelope {
+            schema: SCHEMA_VERSION,
+            name,
+            telemetry,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.incr(crate::counters::SHOTS_DETECTED, 42);
+        reg.record_span(Stage::ShotDetect, 1_500_000, 1_500_000);
+        reg.record_span(Stage::GroupMine, 2_000_000, 1_250_000);
+        reg
+    }
+
+    #[test]
+    fn report_reflects_registry() {
+        let report = MiningReport::from_registry(&sample_registry());
+        assert_eq!(report.schema, SCHEMA_VERSION);
+        assert_eq!(report.counter(crate::counters::SHOTS_DETECTED), 42);
+        assert!(report.stage_total_secs(Stage::ShotDetect) > 0.0);
+        assert_eq!(report.stage_total_secs(Stage::Query), 0.0);
+        let g = &report.stages["group_mine"];
+        assert_eq!(g.calls, 1);
+        assert!(g.self_secs < g.total_secs);
+    }
+
+    #[test]
+    fn render_text_mentions_stages_and_counters() {
+        let report = MiningReport::from_registry(&sample_registry()).for_video("V0", "test tape");
+        let text = report.render_text();
+        assert!(text.contains("shot_detect"));
+        assert!(text.contains("shots_detected"));
+        assert!(text.contains("test tape"));
+    }
+
+    #[test]
+    fn corpus_report_round_trips_through_json() {
+        let per_video = MiningReport::from_registry(&sample_registry()).for_video("V0", "tape");
+        let totals = MiningReport::from_registry(&sample_registry());
+        let corpus = CorpusReport::new(vec![per_video], totals);
+        let json = serde_json::to_string_pretty(&corpus).unwrap();
+        let back: CorpusReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(corpus, back);
+    }
+
+    #[test]
+    fn envelope_serializes_with_schema() {
+        let corpus = CorpusReport::empty();
+        let payload = vec![1u32, 2, 3];
+        let env = ReportEnvelope::new("fig0", &corpus, &payload);
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(json.contains(SCHEMA_VERSION));
+        assert!(json.contains("fig0"));
+    }
+}

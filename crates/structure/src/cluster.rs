@@ -38,6 +38,17 @@ struct Cluster {
     centroid: GroupId,
 }
 
+/// Work counters of one PCS run, reported into the telemetry layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcsStats {
+    /// Pairwise merge steps performed.
+    pub iterations: usize,
+    /// Candidate partitions scored by the validity index.
+    pub candidates: usize,
+    /// The chosen cluster count `N*`.
+    pub final_clusters: usize,
+}
+
 /// Clusters scenes with PCS and returns the chosen partition.
 pub fn cluster_scenes(
     scenes: &[Scene],
@@ -46,9 +57,21 @@ pub fn cluster_scenes(
     w: SimilarityWeights,
     config: &ClusterConfig,
 ) -> Vec<ClusteredScene> {
+    cluster_scenes_stats(scenes, groups, shots, w, config).0
+}
+
+/// Like [`cluster_scenes`], additionally returning the PCS work counters.
+pub fn cluster_scenes_stats(
+    scenes: &[Scene],
+    groups: &[Group],
+    shots: &[Shot],
+    w: SimilarityWeights,
+    config: &ClusterConfig,
+) -> (Vec<ClusteredScene>, PcsStats) {
+    let mut stats = PcsStats::default();
     let m = scenes.len();
     if m == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     let mut clusters: Vec<Cluster> = scenes
         .iter()
@@ -92,6 +115,7 @@ pub fn cluster_scenes(
             }
         }
         let Some((i, j, _)) = best else { break };
+        stats.iterations += 1;
         // Merge j into i and recompute the centroid over all member groups.
         let moved = clusters.remove(j);
         clusters[i].scenes.extend(moved.scenes);
@@ -108,6 +132,7 @@ pub fn cluster_scenes(
     if candidates.is_empty() {
         candidates.push(clusters);
     }
+    stats.candidates = candidates.len();
 
     // Pick the partition minimising rho(N) (Eq. 16).
     let chosen = candidates
@@ -118,8 +143,9 @@ pub fn cluster_scenes(
                 .expect("finite validity index")
         })
         .expect("at least one candidate");
+    stats.final_clusters = chosen.len();
 
-    chosen
+    let clustered = chosen
         .iter()
         .enumerate()
         .map(|(i, c)| ClusteredScene {
@@ -127,7 +153,8 @@ pub fn cluster_scenes(
             scenes: c.scenes.clone(),
             centroid_group: c.centroid,
         })
-        .collect()
+        .collect();
+    (clustered, stats)
 }
 
 /// The validity index rho(N) (Eqs. 14–15): a Davies–Bouldin ratio where the

@@ -247,7 +247,11 @@ mod tests {
     #[test]
     fn dialog_and_static_separate_into_two_groups() {
         let shots = dialog_then_static();
-        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        let det = detect_groups(
+            &shots,
+            SimilarityWeights::default(),
+            &GroupConfig::default(),
+        );
         assert!(
             det.groups.len() >= 2,
             "expected >= 2 groups, got {}",
@@ -255,7 +259,9 @@ mod tests {
         );
         // The boundary must fall at shot 6 (bin change 2 -> 100).
         assert!(
-            det.groups.iter().any(|g| g.shots.first() == Some(&ShotId(6))),
+            det.groups
+                .iter()
+                .any(|g| g.shots.first() == Some(&ShotId(6))),
             "no group starts at the true boundary"
         );
     }
@@ -263,7 +269,11 @@ mod tests {
     #[test]
     fn groups_partition_shots_in_order() {
         let shots = dialog_then_static();
-        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        let det = detect_groups(
+            &shots,
+            SimilarityWeights::default(),
+            &GroupConfig::default(),
+        );
         let mut all: Vec<ShotId> = det.groups.iter().flat_map(|g| g.shots.clone()).collect();
         let expected: Vec<ShotId> = (0..shots.len()).map(ShotId).collect();
         all.sort_unstable();
@@ -302,7 +312,11 @@ mod tests {
     #[test]
     fn rep_shot_of_two_prefers_longer() {
         let shots = vec![shot_with_bin(0, 1, 10), shot_with_bin(1, 1, 40)];
-        let rep = select_rep_shot(&[ShotId(0), ShotId(1)], &shots, SimilarityWeights::default());
+        let rep = select_rep_shot(
+            &[ShotId(0), ShotId(1)],
+            &shots,
+            SimilarityWeights::default(),
+        );
         assert_eq!(rep, ShotId(1));
     }
 
@@ -341,7 +355,11 @@ mod tests {
     #[test]
     fn single_shot_is_one_group() {
         let shots = vec![shot_with_bin(0, 1, 10)];
-        let det = detect_groups(&shots, SimilarityWeights::default(), &GroupConfig::default());
+        let det = detect_groups(
+            &shots,
+            SimilarityWeights::default(),
+            &GroupConfig::default(),
+        );
         assert_eq!(det.groups.len(), 1);
         assert_eq!(det.groups[0].shots, vec![ShotId(0)]);
     }

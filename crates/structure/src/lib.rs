@@ -28,5 +28,5 @@ pub mod shot;
 pub mod similarity;
 pub mod stream;
 
-pub use mine::{mine_structure, MiningConfig};
+pub use mine::{mine_structure, mine_structure_observed, MiningConfig};
 pub use similarity::{group_similarity, shot_group_similarity, shot_similarity, SimilarityWeights};

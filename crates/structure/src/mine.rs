@@ -1,10 +1,11 @@
 //! The end-to-end content-structure mining pipeline (paper Fig. 3, left).
 
-use crate::cluster::{cluster_scenes, ClusterConfig};
+use crate::cluster::{cluster_scenes_stats, ClusterConfig};
 use crate::group::{detect_groups, GroupConfig};
 use crate::scene::{detect_scenes, SceneConfig};
 use crate::shot::{detect_shots, ShotDetectorConfig};
 use crate::similarity::SimilarityWeights;
+use medvid_obs::{counters, Recorder, Stage};
 use medvid_types::{ContentStructure, Video};
 
 /// Configuration of the full mining pipeline.
@@ -25,12 +26,47 @@ pub struct MiningConfig {
 /// Mines the full content structure of a video: shots, groups, scenes and
 /// clustered scenes.
 pub fn mine_structure(video: &Video, config: &MiningConfig) -> ContentStructure {
-    let detection = detect_shots(video, &config.shot);
+    mine_structure_observed(video, config, &Recorder::disabled())
+}
+
+/// Like [`mine_structure`], reporting per-stage timings and domain counters
+/// (shots detected, groups formed, scenes merged/dropped, PCS iterations and
+/// the chosen `N*`) through `rec`.
+///
+/// Telemetry is recorded once per stage, never inside per-frame loops, so a
+/// disabled recorder makes this identical to [`mine_structure`].
+pub fn mine_structure_observed(
+    video: &Video,
+    config: &MiningConfig,
+    rec: &Recorder,
+) -> ContentStructure {
+    let detection = {
+        let _span = rec.span(Stage::ShotDetect);
+        detect_shots(video, &config.shot)
+    };
     let shots = detection.shots;
-    let groups = detect_groups(&shots, config.weights, &config.group).groups;
-    let scenes = detect_scenes(&groups, &shots, config.weights, &config.scene).scenes;
-    let clustered_scenes =
-        cluster_scenes(&scenes, &groups, &shots, config.weights, &config.cluster);
+    rec.incr(counters::SHOTS_DETECTED, shots.len() as u64);
+    let groups = {
+        let _span = rec.span(Stage::GroupMine);
+        detect_groups(&shots, config.weights, &config.group).groups
+    };
+    rec.incr(counters::GROUPS_FORMED, groups.len() as u64);
+    let scene_detection = {
+        let _span = rec.span(Stage::SceneMerge);
+        detect_scenes(&groups, &shots, config.weights, &config.scene)
+    };
+    rec.incr(
+        counters::SCENES_DETECTED,
+        scene_detection.scenes.len() as u64,
+    );
+    rec.incr(counters::SCENES_DROPPED, scene_detection.dropped as u64);
+    let scenes = scene_detection.scenes;
+    let (clustered_scenes, pcs) = {
+        let _span = rec.span(Stage::PcsCluster);
+        cluster_scenes_stats(&scenes, &groups, &shots, config.weights, &config.cluster)
+    };
+    rec.incr(counters::PCS_ITERATIONS, pcs.iterations as u64);
+    rec.incr(counters::PCS_FINAL_CLUSTERS, pcs.final_clusters as u64);
     ContentStructure {
         shots,
         groups,
@@ -60,6 +96,40 @@ mod tests {
         assert!(cs.shots.len() > cs.groups.len());
         assert!(cs.groups.len() >= cs.scenes.len());
         assert!(cs.scenes.len() >= cs.clustered_scenes.len());
+    }
+
+    #[test]
+    fn observed_mining_matches_plain_and_reports_telemetry() {
+        use medvid_obs::{counters, Recorder, Stage};
+        let spec = programme_spec("t", CorpusScale::Tiny, 7);
+        let video = generate_video(VideoId(0), &spec, 7);
+        let rec = Recorder::new();
+        let cs = mine_structure_observed(&video, &MiningConfig::default(), &rec);
+        assert_eq!(cs, mine_structure(&video, &MiningConfig::default()));
+        let report = rec.report();
+        assert_eq!(
+            report.counter(counters::SHOTS_DETECTED),
+            cs.shots.len() as u64
+        );
+        assert_eq!(
+            report.counter(counters::GROUPS_FORMED),
+            cs.groups.len() as u64
+        );
+        assert_eq!(
+            report.counter(counters::PCS_FINAL_CLUSTERS),
+            cs.clustered_scenes.len() as u64
+        );
+        for stage in [
+            Stage::ShotDetect,
+            Stage::GroupMine,
+            Stage::SceneMerge,
+            Stage::PcsCluster,
+        ] {
+            assert!(
+                report.stage_total_secs(stage) > 0.0,
+                "stage {stage} has no recorded wall clock"
+            );
+        }
     }
 
     #[test]

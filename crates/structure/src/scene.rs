@@ -30,6 +30,9 @@ pub struct SceneDetection {
     pub scenes: Vec<Scene>,
     /// The merge threshold `TG` used.
     pub merge_threshold: f32,
+    /// Candidate scenes eliminated for having fewer than
+    /// [`SceneConfig::min_scene_shots`] shots.
+    pub dropped: usize,
 }
 
 /// Merges adjacent groups into scenes (steps 1–4 of Sec. 3.4) and selects
@@ -44,6 +47,7 @@ pub fn detect_scenes(
         return SceneDetection {
             scenes: Vec::new(),
             merge_threshold: 0.0,
+            dropped: 0,
         };
     }
     // Step 1: similarities between all neighbouring groups (Eq. 10).
@@ -68,7 +72,8 @@ pub fn detect_scenes(
         }
     }
     // Step 4: eliminate scenes with too few shots, select representatives.
-    let scenes = scenes_groups
+    let candidates = scenes_groups.len();
+    let scenes: Vec<Scene> = scenes_groups
         .into_iter()
         .filter(|gs| {
             let shot_count: usize = gs.iter().map(|&g| groups[g.index()].len()).sum();
@@ -85,6 +90,7 @@ pub fn detect_scenes(
         })
         .collect();
     SceneDetection {
+        dropped: candidates - scenes.len(),
         scenes,
         merge_threshold: tg,
     }
@@ -130,12 +136,7 @@ pub fn select_rep_group(
                             .iter()
                             .filter(|&&o| o != g)
                             .map(|&o| {
-                                group_similarity(
-                                    &groups[g.index()],
-                                    &groups[o.index()],
-                                    shots,
-                                    w,
-                                )
+                                group_similarity(&groups[g.index()], &groups[o.index()], shots, w)
                             })
                             .sum::<f32>()
                             / (members.len() - 1) as f32
@@ -262,10 +263,7 @@ mod tests {
 
     #[test]
     fn rep_group_tie_broken_by_duration() {
-        let shots = vec![
-            shot_with_bin(0, 1, 10),
-            shot_with_bin(1, 1, 50),
-        ];
+        let shots = vec![shot_with_bin(0, 1, 10), shot_with_bin(1, 1, 50)];
         let groups = vec![group_of(0, &[0]), group_of(1, &[1])];
         let rep = select_rep_group(
             &[GroupId(0), GroupId(1)],

@@ -85,8 +85,7 @@ pub fn detect_cuts(
         let local = &diffs[lo..hi];
         let te = entropy_threshold(local);
         let mean = local.iter().sum::<f32>() / local.len() as f32;
-        let var =
-            local.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / local.len() as f32;
+        let var = local.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / local.len() as f32;
         let activity = mean + config.activity_factor * var.sqrt();
         *t = te.max(activity).max(config.floor);
     }

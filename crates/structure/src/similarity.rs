@@ -55,7 +55,12 @@ pub fn shot_similarity(a: &Shot, b: &Shot, w: SimilarityWeights) -> f32 {
 
 /// Eq. (8): similarity between a shot and a group is the maximum similarity
 /// between the shot and any member shot.
-pub fn shot_group_similarity(shot: &Shot, group: &Group, shots: &[Shot], w: SimilarityWeights) -> f32 {
+pub fn shot_group_similarity(
+    shot: &Shot,
+    group: &Group,
+    shots: &[Shot],
+    w: SimilarityWeights,
+) -> f32 {
     group
         .shots
         .iter()
@@ -81,9 +86,7 @@ pub fn group_similarity(a: &Group, b: &Group, shots: &[Shot], w: SimilarityWeigh
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medvid_types::{
-        ColorHistogram, GroupId, GroupKind, ShotId, TamuraTexture,
-    };
+    use medvid_types::{ColorHistogram, GroupId, GroupKind, ShotId, TamuraTexture};
 
     fn features(bin: usize, tex_dim: usize) -> FrameFeatures {
         let mut bins = vec![0.0f32; 256];

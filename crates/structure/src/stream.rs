@@ -119,11 +119,8 @@ impl StreamingShotDetector {
         let slice: Vec<f32> = self.window.iter().copied().collect();
         let te = entropy_threshold(&slice);
         let mean = slice.iter().sum::<f32>() / slice.len().max(1) as f32;
-        let var = slice
-            .iter()
-            .map(|x| (x - mean) * (x - mean))
-            .sum::<f32>()
-            / slice.len().max(1) as f32;
+        let var =
+            slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / slice.len().max(1) as f32;
         let threshold = te
             .max(mean + self.config.activity_factor * var.sqrt())
             .max(self.config.floor);

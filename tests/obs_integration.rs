@@ -1,0 +1,126 @@
+//! Telemetry integration: the `medvid` CLI's `--report-json` output must be
+//! valid `medvid-obs/v1` JSON with non-zero wall clock for every pipeline
+//! stage the run exercised.
+
+use medvid::obs::{counters, CorpusReport, MiningReport, Stage, SCHEMA_VERSION};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("medvid_obs_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_medvid(args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_medvid"))
+        .args(args)
+        .output()
+        .expect("spawn medvid");
+    assert!(
+        out.status.success(),
+        "medvid {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+const MINING_STAGES: [Stage; 7] = [
+    Stage::ShotDetect,
+    Stage::GroupMine,
+    Stage::SceneMerge,
+    Stage::PcsCluster,
+    Stage::VisualCues,
+    Stage::AudioBic,
+    Stage::EventRules,
+];
+
+fn assert_stages_timed(report: &MiningReport, stages: &[Stage], context: &str) {
+    for &stage in stages {
+        assert!(
+            report.stage_total_secs(stage) > 0.0,
+            "{context}: stage {stage} has no recorded wall clock; stages: {:?}",
+            report.stages.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn mine_report_json_times_all_mining_stages() {
+    let dir = scratch_dir("mine");
+    let json_path = dir.join("mine_report.json");
+    let text_path = dir.join("mine_report.txt");
+    run_medvid(&[
+        "mine",
+        "--scale",
+        "tiny",
+        "--seed",
+        "41",
+        "--report-json",
+        json_path.to_str().unwrap(),
+        "--report",
+        text_path.to_str().unwrap(),
+    ]);
+
+    let body = std::fs::read_to_string(&json_path).expect("report JSON written");
+    let report: MiningReport = serde_json::from_str(&body).expect("valid MiningReport JSON");
+    assert_eq!(report.schema, SCHEMA_VERSION);
+    assert_eq!(report.video.as_deref(), Some("V0"));
+    assert_stages_timed(&report, &MINING_STAGES, "mine");
+    assert!(report.counter(counters::SHOTS_DETECTED) > 0);
+    assert!(report.counter(counters::GROUPS_FORMED) > 0);
+    assert!(report.counter(counters::PCS_FINAL_CLUSTERS) > 0);
+
+    let text = std::fs::read_to_string(&text_path).expect("text report written");
+    assert!(
+        text.contains("shot_detect"),
+        "text table lists stages: {text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_report_json_covers_corpus_and_index_build() {
+    let dir = scratch_dir("index");
+    let db_path = dir.join("db.json");
+    let json_path = dir.join("index_report.json");
+    run_medvid(&[
+        "index",
+        "--scale",
+        "tiny",
+        "--seed",
+        "31",
+        "--out",
+        db_path.to_str().unwrap(),
+        "--report-json",
+        json_path.to_str().unwrap(),
+    ]);
+
+    let body = std::fs::read_to_string(&json_path).expect("report JSON written");
+    let report: CorpusReport = serde_json::from_str(&body).expect("valid CorpusReport JSON");
+    assert_eq!(report.schema, SCHEMA_VERSION);
+    assert!(!report.videos.is_empty(), "per-video reports present");
+    assert_stages_timed(&report.totals, &MINING_STAGES, "index totals");
+    assert!(
+        report.totals.stage_total_secs(Stage::IndexBuild) > 0.0,
+        "index_build stage timed in totals"
+    );
+    assert!(report.totals.counter(counters::INDEX_SHOTS) > 0);
+    for video in &report.videos {
+        assert!(video.video.is_some(), "per-video report labelled");
+        assert_stages_timed(video, &MINING_STAGES, "per-video report");
+    }
+    // Totals aggregate the per-video counters exactly.
+    let per_video_shots: u64 = report
+        .videos
+        .iter()
+        .map(|r| r.counter(counters::SHOTS_DETECTED))
+        .sum();
+    assert_eq!(
+        report.totals.counter(counters::SHOTS_DETECTED),
+        per_video_shots
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
