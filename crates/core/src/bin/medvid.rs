@@ -6,7 +6,15 @@
 //! medvid index      [--scale ...] [--seed N] --out DB.json [--report PATH] [--report-json PATH]
 //! medvid query      --db DB.json [--event presentation|dialog|clinical] [--limit N]
 //! medvid storyboard [--scale ...] [--seed N] [--video I] --out DIR
+//! medvid serve      --db DB.json [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! medvid client     --addr HOST:PORT [--event ...] [--limit N] [--strategy flat|hierarchical]
+//! medvid client     --addr HOST:PORT --stats | --shutdown
 //! ```
+//!
+//! `serve` loads a persisted database snapshot and answers queries over the
+//! `medvid-serve/v1` TCP protocol until a client requests shutdown;
+//! `client` issues one request against a running server and prints the
+//! response.
 //!
 //! `--report` writes a human-readable per-stage telemetry table;
 //! `--report-json` writes the same data as a `medvid-obs/v1` JSON report.
@@ -17,13 +25,16 @@
 
 use medvid::index::{Strategy, VideoDatabase};
 use medvid::obs::Recorder;
+use medvid::serve::{Client, QueryRequest, Response, ServerConfig, WireStrategy};
 use medvid::skim::storyboard::{export_storyboard, storyboard};
 use medvid::skim::SkimLevel;
 use medvid::synth::{standard_corpus, CorpusScale};
 use medvid::types::EventKind;
 use medvid::{ClassMiner, ClassMinerConfig};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +49,13 @@ struct Options {
     limit: usize,
     report: Option<PathBuf>,
     report_json: Option<PathBuf>,
+    addr: Option<String>,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    strategy: Option<WireStrategy>,
+    stats: bool,
+    shutdown: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -52,6 +70,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         limit: 10,
         report: None,
         report_json: None,
+        addr: None,
+        workers: 4,
+        queue: 64,
+        cache: 256,
+        strategy: None,
+        stats: false,
+        shutdown: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -97,6 +122,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.report_json = Some(PathBuf::from(value()?));
                 i += 2;
             }
+            "--addr" => {
+                opts.addr = Some(value()?.clone());
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+                i += 2;
+            }
+            "--queue" => {
+                opts.queue = value()?.parse().map_err(|e| format!("--queue: {e}"))?;
+                i += 2;
+            }
+            "--cache" => {
+                opts.cache = value()?.parse().map_err(|e| format!("--cache: {e}"))?;
+                i += 2;
+            }
+            "--strategy" => {
+                opts.strategy = Some(match value()?.as_str() {
+                    "flat" => WireStrategy::Flat,
+                    "hierarchical" | "hier" => WireStrategy::Hierarchical,
+                    other => return Err(format!("unknown strategy '{other}'")),
+                });
+                i += 2;
+            }
+            "--stats" => {
+                opts.stats = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                opts.shutdown = true;
+                i += 1;
+            }
             "--event" => {
                 opts.event = Some(match value()?.as_str() {
                     "presentation" => EventKind::Presentation,
@@ -113,10 +170,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: medvid <corpus|mine|index|query|storyboard> [flags]\n\
+    "usage: medvid <corpus|mine|index|query|storyboard|serve|client> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
-     --report PATH  --report-json PATH"
+     --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
+     --queue N  --cache N  --strategy flat|hierarchical  --stats  --shutdown"
         .to_string()
 }
 
@@ -226,7 +284,120 @@ fn run(opts: &Options) -> Result<(), String> {
             );
             Ok(())
         }
+        "serve" => {
+            let db_path = opts.db.as_ref().ok_or("serve needs --db DB.json")?;
+            let db = VideoDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+            let records = db.len();
+            let rec = Recorder::new();
+            let config = ServerConfig {
+                addr: opts
+                    .addr
+                    .clone()
+                    .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                workers: opts.workers,
+                queue_capacity: opts.queue,
+                cache_capacity: opts.cache,
+                default_limit: opts.limit,
+                ..ServerConfig::default()
+            };
+            let handle = medvid::serve::spawn(db, config, rec.clone()).map_err(|e| e.to_string())?;
+            let addr = handle.addr();
+            println!(
+                "{} serving {records} records on {addr}",
+                medvid::serve::PROTOCOL_VERSION
+            );
+            println!("stop with: medvid client --addr {addr} --shutdown");
+            handle.join();
+            println!("server drained");
+            let report = rec.report();
+            write_report_outputs(opts, &report.render_text(), &report)
+        }
+        "client" => {
+            let addr = opts.addr.as_ref().ok_or("client needs --addr HOST:PORT")?;
+            let addr: SocketAddr = addr.parse().map_err(|e| format!("--addr: {e}"))?;
+            let mut client =
+                Client::connect(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+            let response = if opts.stats {
+                client.stats()
+            } else if opts.shutdown {
+                client.shutdown()
+            } else {
+                client.query(QueryRequest {
+                    event: opts.event,
+                    limit: Some(opts.limit),
+                    strategy: opts.strategy,
+                    ..QueryRequest::default()
+                })
+            }
+            .map_err(|e| e.to_string())?;
+            print_response(&response);
+            Ok(())
+        }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Renders a serve response for the terminal.
+fn print_response(response: &Response) {
+    match response {
+        Response::Results {
+            epoch,
+            cached,
+            hits,
+            stats,
+        } => {
+            let origin = if *cached { "cache" } else { "index" };
+            println!(
+                "{} hits from {origin} at epoch {epoch} ({} comparisons, {} nodes visited, {} subtrees pruned)",
+                hits.len(),
+                stats.comparisons,
+                stats.nodes_visited,
+                stats.pruned_subtrees
+            );
+            for h in hits {
+                println!(
+                    "  video {} shot {}: distance {:.4}",
+                    h.video, h.shot, h.distance
+                );
+            }
+        }
+        Response::Ingested { accepted, epoch } => {
+            println!("ingested {accepted} shots; database is now at epoch {epoch}");
+        }
+        Response::Stats {
+            protocol,
+            epoch,
+            records,
+            cache,
+            executor,
+        } => {
+            println!("{protocol}: epoch {epoch}, {records} records");
+            println!(
+                "  cache: {} hits / {} misses / {} evictions / {} invalidations ({}/{} entries)",
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.invalidations,
+                cache.entries,
+                cache.capacity
+            );
+            println!(
+                "  executor: {} workers, queue {}/{}, {} executed, {} rejected, {} deadline misses",
+                executor.workers,
+                executor.queue_depth,
+                executor.queue_capacity,
+                executor.executed,
+                executor.rejected,
+                executor.deadline_misses
+            );
+        }
+        Response::SnapshotWritten { path, epoch } => {
+            println!("snapshot of epoch {epoch} written to {path}");
+        }
+        Response::Bye => println!("server acknowledged shutdown and is draining"),
+        Response::Error { kind, message } => {
+            println!("server error ({kind:?}): {message}");
+        }
     }
 }
 
@@ -318,5 +489,31 @@ mod tests {
         assert!(parse(&["mine", "--seed"]).is_err());
         assert!(parse(&["mine", "--frobnicate", "1"]).is_err());
         assert!(parse(&["query", "--event", "opera"]).is_err());
+        assert!(parse(&["client", "--strategy", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let o = parse(&[
+            "serve", "--db", "db.json", "--addr", "127.0.0.1:4100", "--workers", "8", "--queue",
+            "128", "--cache", "512",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:4100"));
+        assert_eq!(o.workers, 8);
+        assert_eq!(o.queue, 128);
+        assert_eq!(o.cache, 512);
+    }
+
+    #[test]
+    fn parses_client_flags() {
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--strategy", "flat"]).unwrap();
+        assert_eq!(o.strategy, Some(WireStrategy::Flat));
+        assert!(!o.stats && !o.shutdown);
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--stats"]).unwrap();
+        assert!(o.stats);
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--shutdown"]).unwrap();
+        assert!(o.shutdown);
     }
 }

@@ -35,6 +35,7 @@
 //! | [`index`] | hierarchical database, retrieval, access control |
 //! | [`obs`] | pipeline telemetry: spans, counters, mining reports |
 //! | [`skim`] | scalable skimming, colour bar, viewer study |
+//! | [`serve`] | concurrent query serving: snapshots, cache, TCP front-end |
 //! | [`baselines`] | Rui et al. and Lin–Zhang scene detectors |
 
 #![forbid(unsafe_code)]
@@ -46,6 +47,7 @@ pub use medvid_codec as codec;
 pub use medvid_events as events;
 pub use medvid_index as index;
 pub use medvid_obs as obs;
+pub use medvid_serve as serve;
 pub use medvid_signal as signal;
 pub use medvid_skim as skim;
 pub use medvid_structure as structure;

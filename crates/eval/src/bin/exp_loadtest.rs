@@ -1,0 +1,101 @@
+//! E-SERVE: concurrent serving throughput and latency, flat scan (Eq. 24)
+//! vs cluster-based hierarchical retrieval (Eq. 25), through the full
+//! `medvid-serve/v1` stack (TCP framing, admission control, result cache).
+
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_obs::{CorpusReport, Recorder};
+use medvid_serve::loadgen::{self, LoadConfig};
+use medvid_serve::{ServerConfig, WireStrategy};
+use medvid_synth::{standard_corpus, CorpusScale};
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: &'static str,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    ok: usize,
+    cached: usize,
+    rejected: usize,
+    errors: usize,
+}
+
+fn main() {
+    let full = std::env::args().nth(1).as_deref() == Some("full");
+    let (scale, clients, requests) = if full {
+        (CorpusScale::Small, 8, 200)
+    } else {
+        (CorpusScale::Tiny, 4, 50)
+    };
+    let corpus = standard_corpus(scale, 2003);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 2003).expect("default miner config");
+    let (db, _) = miner.index_corpus(&corpus);
+    // Query by example with real indexed vectors so both strategies do
+    // meaningful distance work (and the cache sees repeats).
+    let vector_pool: Vec<Vec<f32>> = db
+        .records_iter()
+        .step_by(7)
+        .take(32)
+        .map(|r| r.features.clone())
+        .collect();
+    let rec = Recorder::new();
+    let handle = medvid_serve::spawn(db, ServerConfig::default(), rec.clone())
+        .expect("bind loopback server");
+    let addr = handle.addr();
+    println!("serving on {addr}; {clients} clients x {requests} requests per strategy");
+    let mut rows = Vec::new();
+    for strategy in [WireStrategy::Flat, WireStrategy::Hierarchical] {
+        let config = LoadConfig {
+            clients,
+            requests_per_client: requests,
+            strategy,
+            vector_pool: vector_pool.clone(),
+            timeout: Duration::from_secs(30),
+            ..LoadConfig::default()
+        };
+        let report = loadgen::run(addr, &config).expect("load run against live server");
+        let label = match strategy {
+            WireStrategy::Flat => "flat",
+            WireStrategy::Hierarchical => "hierarchical",
+        };
+        rows.push(Row {
+            strategy: label,
+            throughput_rps: report.throughput_rps(),
+            p50_ms: report.quantile_ms(0.50),
+            p99_ms: report.quantile_ms(0.99),
+            ok: report.ok,
+            cached: report.cached,
+            rejected: report.rejected,
+            errors: report.errors,
+        });
+    }
+    handle.shutdown();
+    handle.join();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy.to_string(),
+                f3(r.throughput_rps),
+                f3(r.p50_ms),
+                f3(r.p99_ms),
+                r.ok.to_string(),
+                r.cached.to_string(),
+                r.rejected.to_string(),
+                r.errors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-SERVE — concurrent serving, flat vs hierarchical",
+        &[
+            "strategy", "req/s", "p50 ms", "p99 ms", "ok", "cached", "rejected", "errors",
+        ],
+        &table,
+    );
+    let telemetry = CorpusReport::from_totals(rec.report());
+    write_report("loadtest", &telemetry, &rows);
+}

@@ -26,7 +26,21 @@ where
 {
     let threads = worker_count(corpus.len());
     if threads <= 1 || corpus.len() <= 1 {
-        return corpus.iter().map(f).collect();
+        // Sequential fallback honours the same contract as the parallel
+        // path: every video is attempted, failures are reported by index.
+        let mut failed = Vec::new();
+        let mut out = Vec::with_capacity(corpus.len());
+        for (i, video) in corpus.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(video))) {
+                Ok(value) => out.push(value),
+                Err(_) => failed.push(i),
+            }
+        }
+        assert!(
+            failed.is_empty(),
+            "map_videos: worker panicked on corpus video indices {failed:?}"
+        );
+        return out;
     }
     // One slot per video: workers write disjoint indices without contending
     // on a corpus-wide lock.
@@ -137,6 +151,34 @@ mod tests {
         assert!(
             msg.contains("video indices [1]"),
             "panic message should name index 1: {msg}"
+        );
+    }
+
+    #[test]
+    fn panicking_workers_report_every_failing_index_sorted() {
+        let mut corpus = standard_corpus(CorpusScale::Tiny, 59);
+        corpus.extend(standard_corpus(CorpusScale::Tiny, 60));
+        assert!(corpus.len() >= 4, "corpus: {}", corpus.len());
+        // Titles and ids repeat across the concatenated corpora, so mark the
+        // failing videos by element address.
+        let bad: Vec<usize> = [1usize, 3]
+            .iter()
+            .map(|&i| std::ptr::from_ref(&corpus[i]) as usize)
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            map_videos(&corpus, |v| {
+                assert!(!bad.contains(&(std::ptr::from_ref(v) as usize)), "boom");
+                v.frame_count()
+            })
+        }))
+        .expect_err("map_videos must propagate the panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            msg.contains("video indices [1, 3]"),
+            "panic message should name both failing indices in order: {msg}"
         );
     }
 

@@ -33,6 +33,55 @@ pub struct ShotRecord {
     pub scene_node: NodeId,
 }
 
+/// Why a shot record was rejected by a validated ingest path
+/// ([`VideoDatabase::try_insert_shot`], snapshot restore, network ingest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The scene node does not exist in the hierarchy.
+    UnknownNode(NodeId),
+    /// The node exists but is not a scene-level (leaf) node.
+    NotSceneNode(NodeId),
+    /// The feature vector is empty.
+    EmptyFeatures(ShotRef),
+    /// The feature vector length disagrees with the records already indexed.
+    DimensionMismatch {
+        /// The offending shot.
+        shot: ShotRef,
+        /// Length shared by the indexed records.
+        expected: usize,
+        /// Length of the rejected vector.
+        got: usize,
+    },
+    /// The shot reference is already indexed.
+    DuplicateShot(ShotRef),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::UnknownNode(n) => write!(f, "unknown concept node {n:?}"),
+            RecordError::NotSceneNode(n) => write!(f, "node {n:?} is not a scene node"),
+            RecordError::EmptyFeatures(s) => {
+                write!(f, "shot {}/{} has an empty feature vector", s.video, s.shot)
+            }
+            RecordError::DimensionMismatch {
+                shot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shot {}/{} has {got} feature dims, database has {expected}",
+                shot.video, shot.shot
+            ),
+            RecordError::DuplicateShot(s) => {
+                write!(f, "shot {}/{} is already indexed", s.video, s.shot)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
 /// Retrieval cost counters, the empirical counterpart of Eqs. 24–25.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetrievalStats {
@@ -175,6 +224,68 @@ impl VideoDatabase {
     /// Iterates over all indexed records.
     pub fn records_iter(&self) -> impl Iterator<Item = &ShotRecord> {
         self.records.iter()
+    }
+
+    /// Feature dimensionality of the indexed shots, if any are present.
+    /// Every record shares one length (enforced by [`Self::validate_record`]
+    /// at every validated ingest path).
+    pub fn feature_len(&self) -> Option<usize> {
+        self.records.first().map(|r| r.features.len())
+    }
+
+    /// Checks whether a record could join the index without corrupting it.
+    ///
+    /// # Errors
+    /// Rejects records whose scene node is missing or non-leaf, whose
+    /// feature vector is empty or disagrees in length with the records
+    /// already indexed, or whose shot reference is already present.
+    pub fn validate_record(
+        &self,
+        shot: ShotRef,
+        features: &[f32],
+        scene_node: NodeId,
+    ) -> Result<(), RecordError> {
+        if scene_node.0 >= self.hierarchy.len() {
+            return Err(RecordError::UnknownNode(scene_node));
+        }
+        if self.hierarchy.node(scene_node).kind != NodeKind::Scene {
+            return Err(RecordError::NotSceneNode(scene_node));
+        }
+        if features.is_empty() {
+            return Err(RecordError::EmptyFeatures(shot));
+        }
+        if let Some(expected) = self.feature_len() {
+            if features.len() != expected {
+                return Err(RecordError::DimensionMismatch {
+                    shot,
+                    expected,
+                    got: features.len(),
+                });
+            }
+        }
+        if self.shot_lookup.contains_key(&shot) {
+            return Err(RecordError::DuplicateShot(shot));
+        }
+        Ok(())
+    }
+
+    /// Validated ingest of a single shot: like [`Self::insert_shot`] but
+    /// returns an error instead of corrupting (or panicking over) the index
+    /// on malformed input. This is the path untrusted inputs — snapshot
+    /// restores, network ingest — must take.
+    ///
+    /// # Errors
+    /// See [`Self::validate_record`].
+    pub fn try_insert_shot(
+        &mut self,
+        shot: ShotRef,
+        features: Vec<f32>,
+        event: EventKind,
+        scene_node: NodeId,
+    ) -> Result<(), RecordError> {
+        self.validate_record(shot, &features, scene_node)?;
+        self.insert_shot(shot, features, event, scene_node);
+        Ok(())
     }
 
     /// Ingests a mined video: every shot of every scene is indexed under the

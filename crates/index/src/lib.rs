@@ -35,6 +35,6 @@ pub mod query;
 pub use access::{AccessPolicy, Clearance, UserContext};
 pub use browse::{BrowseEntry, BrowseView};
 pub use concepts::{ConceptHierarchy, ConceptNode, NodeId, NodeKind};
-pub use db::{QueryResult, RetrievalStats, ShotRecord, ShotRef, VideoDatabase};
+pub use db::{QueryResult, RecordError, RetrievalStats, ShotRecord, ShotRef, VideoDatabase};
 pub use persist::{DatabaseSnapshot, PersistError};
 pub use query::{Query, Strategy};

@@ -38,6 +38,9 @@ pub enum PersistError {
     Format(serde_json::Error),
     /// The snapshot's version is not supported.
     Version(u32),
+    /// The snapshot parsed but its contents are inconsistent (bad node
+    /// references, mismatched feature dimensions, duplicate shots, ...).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "I/O: {e}"),
             PersistError::Format(e) => write!(f, "format: {e}"),
             PersistError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
         }
     }
 }
@@ -79,15 +83,19 @@ impl VideoDatabase {
     /// Restores a database from a snapshot and rebuilds its indexes.
     ///
     /// # Errors
-    /// Returns [`PersistError::Version`] for unknown versions.
+    /// Returns [`PersistError::Version`] for unknown versions and
+    /// [`PersistError::Corrupt`] when any record fails validation — a
+    /// snapshot assembled from damaged bytes must never panic the restore
+    /// path or build a silently inconsistent index.
     pub fn from_snapshot(snapshot: DatabaseSnapshot) -> Result<Self, PersistError> {
         if snapshot.version != SNAPSHOT_VERSION {
             return Err(PersistError::Version(snapshot.version));
         }
         let mut db = VideoDatabase::new(snapshot.hierarchy, snapshot.config);
         db.set_policy(snapshot.policy);
-        for r in snapshot.records {
-            db.insert_shot(r.shot, r.features, r.event, r.scene_node);
+        for (i, r) in snapshot.records.into_iter().enumerate() {
+            db.try_insert_shot(r.shot, r.features, r.event, r.scene_node)
+                .map_err(|e| PersistError::Corrupt(format!("record {i}: {e}")))?;
         }
         db.build();
         Ok(db)
@@ -203,5 +211,88 @@ mod tests {
             Err(PersistError::Format(_))
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("medvid_db_truncated.json");
+        db.save_json(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            VideoDatabase::load_json(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_garbage_rejected() {
+        let path = std::env::temp_dir().join("medvid_db_garbage.json");
+        let garbage: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(197) >> 3) as u8).collect();
+        std::fs::write(&path, garbage).unwrap();
+        assert!(matches!(
+            VideoDatabase::load_json(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_scene_node_rejected() {
+        let db = sample_db();
+        let mut snap = db.snapshot();
+        snap.records[4].scene_node = crate::concepts::NodeId(9999);
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_scene_node_rejected() {
+        let db = sample_db();
+        let root = db.hierarchy().root();
+        let mut snap = db.snapshot();
+        snap.records[0].scene_node = root;
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_feature_dims_rejected() {
+        let db = sample_db();
+        let mut snap = db.snapshot();
+        snap.records[7].features.truncate(12);
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_features_rejected() {
+        let db = sample_db();
+        let mut snap = db.snapshot();
+        snap.records[0].features.clear();
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_shot_rejected() {
+        let db = sample_db();
+        let mut snap = db.snapshot();
+        let dupe = snap.records[0].clone();
+        snap.records.push(dupe);
+        assert!(matches!(
+            VideoDatabase::from_snapshot(snap),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 }

@@ -274,4 +274,140 @@ mod tests {
         let (hits, _) = db.query().run();
         assert_eq!(hits.len(), 10);
     }
+
+    #[test]
+    fn limit_zero_returns_nothing_under_both_strategies() {
+        let db = db();
+        let probe = db
+            .record(ShotRef {
+                video: VideoId(0),
+                shot: ShotId(11),
+            })
+            .unwrap()
+            .features
+            .clone();
+        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+            let (hits, _) = db.query().limit(0).strategy(strategy).run();
+            assert!(hits.is_empty(), "semantic {strategy:?}");
+            let (hits, _) = db
+                .query()
+                .similar_to(probe.clone())
+                .limit(0)
+                .strategy(strategy)
+                .run();
+            assert!(hits.is_empty(), "similarity {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_database_answers_cleanly_under_both_strategies() {
+        let mut empty = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        empty.build();
+        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+            let (hits, stats) = empty.query().strategy(strategy).run();
+            assert!(hits.is_empty(), "semantic {strategy:?}");
+            assert_eq!(stats.ranked, 0);
+            let (hits, _) = empty
+                .query()
+                .similar_to(vec![0.25f32; 266])
+                .strategy(strategy)
+                .limit(5)
+                .run();
+            assert!(hits.is_empty(), "similarity {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn clearance_can_filter_everything_under_both_strategies() {
+        let mut db = db();
+        let mut policy = AccessPolicy::allow_all();
+        // A rule on the root sits on every record's path, so the whole
+        // database requires ADMIN.
+        policy.require_node(db.hierarchy().root(), Clearance::ADMIN);
+        db.set_policy(policy);
+        let public = UserContext::new(Clearance::PUBLIC);
+        let probe = db
+            .record(ShotRef {
+                video: VideoId(0),
+                shot: ShotId(2),
+            })
+            .unwrap()
+            .features
+            .clone();
+        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+            let (hits, _) = db
+                .query()
+                .as_user(&public)
+                .strategy(strategy)
+                .limit(50)
+                .run();
+            assert!(hits.is_empty(), "semantic {strategy:?}");
+            let (hits, _) = db
+                .query()
+                .similar_to(probe.clone())
+                .as_user(&public)
+                .strategy(strategy)
+                .limit(50)
+                .run();
+            assert!(hits.is_empty(), "similarity {strategy:?}");
+        }
+    }
+
+    /// A database whose feature geometry matches its concept placement:
+    /// every scene node's records share a strong signature dimension, plus
+    /// one weak per-record dimension. Routing then descends to the right
+    /// leaf and the leaf subspace separates all its members, which is the
+    /// regime in which the paper's Eq. 25 path agrees with Eq. 24.
+    fn aligned_db() -> VideoDatabase {
+        let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..100 {
+            let s = i % scenes.len();
+            let mut f = vec![0.0f32; 266];
+            f[s] = 4.0;
+            f[40 + i] = 1.0;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(i),
+                },
+                f,
+                EventKind::DETERMINATE[i % 3],
+                scenes[s],
+            );
+        }
+        db.build();
+        db
+    }
+
+    #[test]
+    fn flat_and_hierarchical_agree_on_top_hit() {
+        let db = aligned_db();
+        for i in [3usize, 17, 42, 88] {
+            let shot = ShotRef {
+                video: VideoId(0),
+                shot: ShotId(i),
+            };
+            let probe = db.record(shot).unwrap().features.clone();
+            let (flat, _) = db
+                .query()
+                .similar_to(probe.clone())
+                .strategy(Strategy::Flat)
+                .limit(1)
+                .run();
+            let (hier, _) = db
+                .query()
+                .similar_to(probe)
+                .strategy(Strategy::Hierarchical)
+                .limit(1)
+                .run();
+            // An exact duplicate of an indexed vector is a zero-distance
+            // self match; both paths must surface it.
+            assert_eq!(flat[0].shot, shot, "flat self match for shot {i}");
+            assert_eq!(hier[0].shot, shot, "hierarchical self match for shot {i}");
+            assert_eq!(flat[0].shot, hier[0].shot);
+            assert_eq!(flat[0].distance, 0.0);
+            assert_eq!(hier[0].distance, 0.0);
+        }
+    }
 }

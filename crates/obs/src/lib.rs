@@ -84,4 +84,30 @@ pub mod counters {
     pub const INDEX_PRUNED_SUBTREES: &str = "index_pruned_subtrees";
     /// Queries executed against the database.
     pub const QUERIES_RUN: &str = "queries_run";
+    /// Requests accepted by the serving front-end.
+    pub const SERVE_REQUESTS: &str = "serve_requests";
+    /// Requests shed because the executor queue was full.
+    pub const SERVE_REJECTED: &str = "serve_rejected";
+    /// Queued requests abandoned because their deadline passed before a
+    /// worker picked them up.
+    pub const SERVE_DEADLINE_MISSES: &str = "serve_deadline_misses";
+    /// Result-cache lookups answered from the cache.
+    pub const SERVE_CACHE_HITS: &str = "serve_cache_hits";
+    /// Result-cache lookups that missed.
+    pub const SERVE_CACHE_MISSES: &str = "serve_cache_misses";
+    /// Result-cache entries evicted by the LRU capacity bound.
+    pub const SERVE_CACHE_EVICTIONS: &str = "serve_cache_evictions";
+    /// Result-cache entries dropped wholesale by an epoch bump.
+    pub const SERVE_CACHE_INVALIDATIONS: &str = "serve_cache_invalidations";
+    /// Shots ingested online through the serving layer.
+    pub const SERVE_INGESTED_SHOTS: &str = "serve_ingested_shots";
+    /// Snapshot swaps installed by the serving layer (epoch bumps).
+    pub const SERVE_EPOCH_SWAPS: &str = "serve_epoch_swaps";
+}
+
+/// Names of the value histograms the serving layer records (dimensionless
+/// samples, unlike the nanosecond stage histograms).
+pub mod values {
+    /// Executor queue depth sampled at each admission decision.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
 }

@@ -58,6 +58,13 @@ impl Recorder {
         }
     }
 
+    /// Records one sample into a named value histogram. No-op when disabled.
+    pub fn record_value(&self, name: &'static str, value: u64) {
+        if let Some(reg) = &self.registry {
+            reg.record_value(name, value);
+        }
+    }
+
     /// Opens an RAII span timing `stage`; inert when disabled.
     pub fn span(&self, stage: Stage) -> Span {
         match &self.registry {

@@ -33,6 +33,7 @@ impl StageAccum {
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     stages: Mutex<BTreeMap<&'static str, StageAccum>>,
+    values: Mutex<BTreeMap<&'static str, LogHistogram>>,
 }
 
 impl MetricsRegistry {
@@ -65,9 +66,26 @@ impl MetricsRegistry {
         lock(&self.stages).get(stage.name()).cloned()
     }
 
+    /// Records one sample into a named value histogram (dimensionless, e.g.
+    /// a queue depth — unlike stage histograms, which hold nanoseconds).
+    pub fn record_value(&self, name: &'static str, value: u64) {
+        let mut values = lock(&self.values);
+        values.entry(name).or_default().record(value);
+    }
+
+    /// The named value histogram, if it ever recorded a sample.
+    pub fn value(&self, name: &str) -> Option<LogHistogram> {
+        lock(&self.values).get(name).cloned()
+    }
+
     /// Snapshot of all counters.
     pub fn counters_snapshot(&self) -> BTreeMap<&'static str, u64> {
         lock(&self.counters).clone()
+    }
+
+    /// Snapshot of all value histograms.
+    pub fn values_snapshot(&self) -> BTreeMap<&'static str, LogHistogram> {
+        lock(&self.values).clone()
     }
 
     /// Snapshot of all stage accumulators.
@@ -94,11 +112,20 @@ impl MetricsRegistry {
                 ours.entry(name).or_default().merge(&accum);
             }
         }
+        {
+            let theirs = lock(&other.values).clone();
+            let mut ours = lock(&self.values);
+            for (name, hist) in theirs {
+                ours.entry(name).or_default().merge(&hist);
+            }
+        }
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        lock(&self.counters).is_empty() && lock(&self.stages).is_empty()
+        lock(&self.counters).is_empty()
+            && lock(&self.stages).is_empty()
+            && lock(&self.values).is_empty()
     }
 }
 
@@ -135,6 +162,22 @@ mod tests {
         assert_eq!(accum.total.sum_nanos(), 150);
         assert_eq!(accum.self_time.sum_nanos(), 130);
         assert!(reg.stage(Stage::Query).is_none());
+    }
+
+    #[test]
+    fn value_histograms_record_and_merge() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.record_value("queue_depth", 3);
+        a.record_value("queue_depth", 5);
+        b.record_value("queue_depth", 9);
+        assert!(a.value("missing").is_none());
+        a.merge_from(&b);
+        let h = a.value("queue_depth").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_nanos(), 17);
+        assert_eq!(h.max_nanos(), 9);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct MiningReport {
     pub stages: BTreeMap<String, StageReport>,
     /// Domain counters, keyed by the names in [`crate::counters`].
     pub counters: BTreeMap<String, u64>,
+    /// Dimensionless value histograms (e.g. queue depths), keyed by the
+    /// names in [`crate::values`].
+    #[serde(default)]
+    pub values: BTreeMap<String, LogHistogram>,
 }
 
 impl MiningReport {
@@ -77,6 +81,11 @@ impl MiningReport {
                 .iter()
                 .map(|(name, v)| (name.to_string(), *v))
                 .collect(),
+            values: registry
+                .values_snapshot()
+                .iter()
+                .map(|(name, h)| (name.to_string(), h.clone()))
+                .collect(),
         }
     }
 
@@ -89,7 +98,7 @@ impl MiningReport {
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty() && self.counters.is_empty()
+        self.stages.is_empty() && self.counters.is_empty() && self.values.is_empty()
     }
 
     /// Total wall-clock seconds of one stage (0 if it never ran).
@@ -132,6 +141,25 @@ impl MiningReport {
             let _ = writeln!(out, "{:<32} {:>12}", "counter", "value");
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "{name:<32} {v:>12}");
+            }
+        }
+        if !self.values.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>8} {:>8} {:>10} {:>10}",
+                "value histogram", "samples", "min", "max", "~p50", "~p99"
+            );
+            for (name, h) in &self.values {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>8} {:>8} {:>8} {:>10} {:>10}",
+                    name,
+                    h.count(),
+                    h.min_nanos(),
+                    h.max_nanos(),
+                    h.quantile_nanos(0.5),
+                    h.quantile_nanos(0.99)
+                );
             }
         }
         out
@@ -229,6 +257,21 @@ mod tests {
         reg.record_span(Stage::ShotDetect, 1_500_000, 1_500_000);
         reg.record_span(Stage::GroupMine, 2_000_000, 1_250_000);
         reg
+    }
+
+    #[test]
+    fn value_histograms_flow_into_reports() {
+        let reg = sample_registry();
+        reg.record_value(crate::values::SERVE_QUEUE_DEPTH, 4);
+        reg.record_value(crate::values::SERVE_QUEUE_DEPTH, 12);
+        let report = MiningReport::from_registry(&reg);
+        let h = &report.values[crate::values::SERVE_QUEUE_DEPTH];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_nanos(), 12);
+        assert!(report.render_text().contains("serve_queue_depth"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MiningReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
     }
 
     #[test]

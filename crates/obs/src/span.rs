@@ -28,11 +28,17 @@ pub enum Stage {
     IndexBuild,
     /// Query execution against the database (Sec. 6.2).
     Query,
+    /// End-to-end handling of one serving request (`medvid-serve`): framing,
+    /// cache lookup, queueing and response. Queue wait is included.
+    ServeRequest,
+    /// Query execution on a serving worker thread (the post-dequeue slice of
+    /// a [`Stage::ServeRequest`]).
+    ServeExec,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 11] = [
         Stage::ShotDetect,
         Stage::GroupMine,
         Stage::SceneMerge,
@@ -42,6 +48,8 @@ impl Stage {
         Stage::EventRules,
         Stage::IndexBuild,
         Stage::Query,
+        Stage::ServeRequest,
+        Stage::ServeExec,
     ];
 
     /// The stable snake_case name used in reports.
@@ -56,6 +64,8 @@ impl Stage {
             Stage::EventRules => "event_rules",
             Stage::IndexBuild => "index_build",
             Stage::Query => "query",
+            Stage::ServeRequest => "serve_request",
+            Stage::ServeExec => "serve_exec",
         }
     }
 }

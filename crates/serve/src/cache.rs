@@ -1,0 +1,305 @@
+//! Bounded LRU cache over query results, invalidated wholesale on epoch
+//! swaps.
+//!
+//! The key canonicalises a [`QueryRequest`](crate::protocol::QueryRequest):
+//! the feature vector is folded to a 64-bit FNV-1a hash of its bit patterns
+//! (plus its length), and every filter that changes the result set — event,
+//! subtree, clearance, limit, strategy — participates. Recency is tracked
+//! with a lazy-deletion queue: each touch appends `(key, tick)` and bumps
+//! the entry's tick; eviction pops stale queue entries until it finds one
+//! whose tick still matches the live entry, which is the true LRU victim.
+
+use crate::protocol::{QueryRequest, WireStrategy};
+use medvid_index::{NodeId, QueryResult, RetrievalStats};
+use medvid_obs::{counters, Recorder};
+use medvid_types::EventKind;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Canonical cache key for a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    vector: Option<(u64, usize)>,
+    event: Option<EventKind>,
+    under: Option<NodeId>,
+    clearance: Option<u8>,
+    limit: usize,
+    strategy: WireStrategy,
+}
+
+impl QueryKey {
+    /// Builds the canonical key; `default_limit` fills an absent `limit` so
+    /// that explicit and implied defaults share an entry.
+    pub fn canonicalize(req: &QueryRequest, default_limit: usize) -> Self {
+        QueryKey {
+            vector: req.vector.as_ref().map(|v| (hash_f32s(v), v.len())),
+            event: req.event,
+            under: req.under,
+            clearance: req.clearance,
+            limit: req.limit.unwrap_or(default_limit),
+            strategy: req.strategy.unwrap_or_default(),
+        }
+    }
+}
+
+/// FNV-1a over the raw bit patterns of the floats (NaN-stable, no float
+/// comparison semantics involved).
+fn hash_f32s(values: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A cached execution: the hits plus the cost counters of the original run.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// Ranked hits.
+    pub hits: Vec<QueryResult>,
+    /// Retrieval cost of the execution that populated the entry.
+    pub stats: RetrievalStats,
+}
+
+struct Entry {
+    value: Arc<CachedResult>,
+    tick: u64,
+}
+
+struct Inner {
+    epoch: u64,
+    map: HashMap<QueryKey, Entry>,
+    /// Lazy-deletion recency queue of `(key, tick)`; stale pairs are
+    /// discarded when popped.
+    order: VecDeque<(QueryKey, u64)>,
+    tick: u64,
+}
+
+/// Bounded, epoch-aware LRU result cache. All methods take `&self`.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    recorder: Recorder,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize, recorder: Recorder) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                epoch: 0,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            recorder,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key` at `epoch`. Observing a different epoch than the one
+    /// the cache was filled at clears it wholesale first.
+    pub fn get(&self, epoch: u64, key: &QueryKey) -> Option<Arc<CachedResult>> {
+        let mut inner = self.inner.lock();
+        self.sync_epoch(&mut inner, epoch);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let value = Arc::clone(&entry.value);
+                inner.order.push_back((key.clone(), tick));
+                // Keep the lazy-deletion queue proportional to capacity even
+                // under get-only workloads by discarding stale front entries.
+                loop {
+                    if inner.order.len() <= self.capacity.saturating_mul(8) {
+                        break;
+                    }
+                    let stale = match inner.order.front() {
+                        Some((k, t)) => inner.map.get(k).is_none_or(|e| e.tick != *t),
+                        None => break,
+                    };
+                    if stale {
+                        inner.order.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.recorder.incr(counters::SERVE_CACHE_HITS, 1);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.recorder.incr(counters::SERVE_CACHE_MISSES, 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a result computed at `epoch`, evicting the least recently
+    /// used entries beyond capacity. A result from a stale epoch is dropped
+    /// rather than poisoning the newer generation.
+    pub fn put(&self, epoch: u64, key: QueryKey, value: Arc<CachedResult>) {
+        let mut inner = self.inner.lock();
+        if epoch < inner.epoch {
+            return;
+        }
+        self.sync_epoch(&mut inner, epoch);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.order.push_back((key.clone(), tick));
+        inner.map.insert(key, Entry { value, tick });
+        while inner.map.len() > self.capacity {
+            let Some((victim, victim_tick)) = inner.order.pop_front() else {
+                break;
+            };
+            let live = inner
+                .map
+                .get(&victim)
+                .is_some_and(|e| e.tick == victim_tick);
+            if live {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.recorder.incr(counters::SERVE_CACHE_EVICTIONS, 1);
+            }
+        }
+    }
+
+    fn sync_epoch(&self, inner: &mut Inner, epoch: u64) {
+        if inner.epoch != epoch {
+            if !inner.map.is_empty() {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.recorder.incr(counters::SERVE_CACHE_INVALIDATIONS, 1);
+            }
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> crate::protocol::CacheStats {
+        crate::protocol::CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.inner.lock().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(limit: usize) -> QueryKey {
+        QueryKey::canonicalize(
+            &QueryRequest {
+                limit: Some(limit),
+                ..QueryRequest::default()
+            },
+            10,
+        )
+    }
+
+    fn value() -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            hits: Vec::new(),
+            stats: RetrievalStats::default(),
+        })
+    }
+
+    #[test]
+    fn canonical_key_folds_default_limit() {
+        let explicit = QueryKey::canonicalize(
+            &QueryRequest {
+                limit: Some(10),
+                ..QueryRequest::default()
+            },
+            10,
+        );
+        let implied = QueryKey::canonicalize(&QueryRequest::default(), 10);
+        assert_eq!(explicit, implied);
+        assert_ne!(explicit, key(11));
+    }
+
+    #[test]
+    fn vector_bits_distinguish_keys() {
+        let a = QueryKey::canonicalize(
+            &QueryRequest {
+                vector: Some(vec![1.0, 2.0]),
+                ..QueryRequest::default()
+            },
+            10,
+        );
+        let b = QueryKey::canonicalize(
+            &QueryRequest {
+                vector: Some(vec![1.0, 2.5]),
+                ..QueryRequest::default()
+            },
+            10,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = ResultCache::new(2, Recorder::disabled());
+        assert!(cache.get(1, &key(1)).is_none());
+        cache.put(1, key(1), value());
+        cache.put(1, key(2), value());
+        assert!(cache.get(1, &key(1)).is_some()); // key(1) is now most recent
+        cache.put(1, key(3), value()); // evicts key(2), the LRU
+        assert!(cache.get(1, &key(2)).is_none());
+        assert!(cache.get(1, &key(1)).is_some());
+        assert!(cache.get(1, &key(3)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn epoch_swap_invalidates_wholesale() {
+        let cache = ResultCache::new(8, Recorder::disabled());
+        cache.put(1, key(1), value());
+        assert!(cache.get(1, &key(1)).is_some());
+        assert!(cache.get(2, &key(1)).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        // A stale-epoch put after the swap is dropped.
+        cache.put(1, key(5), value());
+        assert!(cache.get(2, &key(5)).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn repeated_touches_do_not_leak_queue_entries() {
+        let cache = ResultCache::new(2, Recorder::disabled());
+        cache.put(1, key(1), value());
+        cache.put(1, key(2), value());
+        for _ in 0..100 {
+            assert!(cache.get(1, &key(1)).is_some());
+        }
+        // key(1) was touched 100 times; eviction must still pick key(2).
+        cache.put(1, key(3), value());
+        assert!(cache.get(1, &key(2)).is_none());
+        assert!(cache.get(1, &key(1)).is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! Blocking client for the `medvid-serve/v1` protocol.
+
+use crate::protocol::{self, IngestShot, QueryRequest, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection to a serve instance. Requests are strictly
+/// request/response, so a client is usable from one thread at a time;
+/// spawn one per thread for concurrent load.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to the connection attempt and both
+    /// socket directions.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        protocol::send_message(&mut self.stream, request)?;
+        protocol::recv_message(&mut self.stream)
+    }
+
+    /// Runs a query.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn query(&mut self, query: QueryRequest) -> io::Result<Response> {
+        self.request(&Request::Query(query))
+    }
+
+    /// Ingests a batch of shots.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn ingest(&mut self, shots: Vec<IngestShot>) -> io::Result<Response> {
+        self.request(&Request::Ingest { shots })
+    }
+
+    /// Fetches server statistics.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the server to persist its current epoch at `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn snapshot(&mut self, path: impl Into<String>) -> io::Result<Response> {
+        self.request(&Request::Snapshot { path: path.into() })
+    }
+
+    /// Requests a graceful drain.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,40 @@
+//! Concurrent query serving over the medical video database.
+//!
+//! The paper's closing sections pitch the mined hierarchy as the backbone
+//! of a *database service* — many clinicians querying one index while new
+//! material streams in. This crate provides that serving layer as four
+//! pieces, each independently testable:
+//!
+//! * [`service::DbService`] — an epoch-numbered, snapshot-swapped handle
+//!   over [`medvid_index::VideoDatabase`]: readers run on immutable `Arc`
+//!   snapshots, writers rebuild off to the side and atomically swap.
+//! * [`cache::ResultCache`] — a bounded LRU over canonicalised queries,
+//!   invalidated wholesale whenever the epoch moves.
+//! * [`executor::Executor`] — a fixed worker pool behind a bounded
+//!   admission queue: full queues shed load with a typed rejection, and
+//!   queries that outwait their deadline are abandoned, not executed.
+//! * [`server`]/[`client`] — a length-prefixed JSON TCP protocol
+//!   (`medvid-serve/v1`) carrying queries, ingest batches, stats,
+//!   snapshot writes and graceful shutdown.
+//!
+//! [`loadgen`] drives N concurrent clients against a server and reports
+//! throughput and latency quantiles via the same `medvid-obs` histograms
+//! the server records into.
+
+pub mod cache;
+pub mod client;
+pub mod executor;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{CachedResult, QueryKey, ResultCache};
+pub use client::Client;
+pub use executor::Executor;
+pub use protocol::{
+    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, QueryRequest, Request, Response,
+    WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use service::{DbEpoch, DbService};

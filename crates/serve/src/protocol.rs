@@ -1,0 +1,343 @@
+//! The `medvid-serve/v1` wire protocol.
+//!
+//! Frames are a 4-byte big-endian length prefix followed by that many bytes
+//! of JSON. One request frame yields exactly one response frame, so clients
+//! can pipeline over a single connection without correlation ids.
+
+use medvid_index::{NodeId, RetrievalStats, Strategy};
+use medvid_types::{EventKind, ShotId, VideoId};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Protocol identifier, reported by [`Response::Stats`].
+pub const PROTOCOL_VERSION: &str = "medvid-serve/v1";
+
+/// Upper bound on a frame body; larger prefixes are treated as corruption
+/// so a garbage length cannot make the server allocate gigabytes.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Retrieval path selector on the wire ([`Strategy`] itself is not serde).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WireStrategy {
+    /// Cluster-based hierarchical retrieval (Eq. 25).
+    #[default]
+    Hierarchical,
+    /// Exhaustive flat scan (Eq. 24).
+    Flat,
+}
+
+impl From<WireStrategy> for Strategy {
+    fn from(w: WireStrategy) -> Self {
+        match w {
+            WireStrategy::Hierarchical => Strategy::Hierarchical,
+            WireStrategy::Flat => Strategy::Flat,
+        }
+    }
+}
+
+/// A retrieval request. All fields are optional filters, mirroring the
+/// fluent [`medvid_index::Query`] builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Query-by-example feature vector (dimensionality must match the
+    /// database's records).
+    #[serde(default)]
+    pub vector: Option<Vec<f32>>,
+    /// Keep only shots of this mined event category.
+    #[serde(default)]
+    pub event: Option<EventKind>,
+    /// Keep only shots under this concept node's subtree.
+    #[serde(default)]
+    pub under: Option<NodeId>,
+    /// Apply access control at this clearance level.
+    #[serde(default)]
+    pub clearance: Option<u8>,
+    /// Maximum results (server default applies when absent).
+    #[serde(default)]
+    pub limit: Option<usize>,
+    /// Retrieval path (default hierarchical).
+    #[serde(default)]
+    pub strategy: Option<WireStrategy>,
+    /// Artificial execution delay, for load tests and admission-control
+    /// exercises only — production clients leave this unset.
+    #[serde(default)]
+    pub delay_ms: Option<u64>,
+}
+
+/// One shot to ingest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestShot {
+    /// Owning video.
+    pub video: VideoId,
+    /// Shot within that video.
+    pub shot: ShotId,
+    /// Concatenated feature vector.
+    pub features: Vec<f32>,
+    /// Mined event of the owning scene.
+    pub event: EventKind,
+    /// Scene-level concept node to index under.
+    pub scene_node: NodeId,
+}
+
+/// A client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Run a retrieval.
+    Query(QueryRequest),
+    /// Add shots; the server rebuilds off to the side and swaps epochs.
+    Ingest {
+        /// The shots to index.
+        shots: Vec<IngestShot>,
+    },
+    /// Server statistics (epoch, cache, executor, protocol version).
+    Stats,
+    /// Persist the current epoch's database as JSON at a server-side path.
+    Snapshot {
+        /// Target path on the server's filesystem.
+        path: String,
+    },
+    /// Begin a graceful drain: in-flight work completes, then the server
+    /// stops accepting connections.
+    Shutdown,
+}
+
+/// Machine-readable error category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorKind {
+    /// The admission queue is full; retry with backoff.
+    Overloaded,
+    /// The request waited in the queue past its deadline.
+    DeadlineExceeded,
+    /// The request was malformed or referenced unknown entities.
+    BadRequest,
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+/// One ranked hit on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Owning video.
+    pub video: VideoId,
+    /// Shot within that video.
+    pub shot: ShotId,
+    /// Squared feature distance (0.0 for pure semantic queries).
+    pub distance: f32,
+}
+
+/// Retrieval cost counters on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Feature-distance evaluations performed.
+    pub comparisons: usize,
+    /// Candidates that entered ranking.
+    pub ranked: usize,
+    /// Index nodes visited.
+    pub nodes_visited: usize,
+    /// Total feature dimensions touched.
+    pub dims_touched: usize,
+    /// Sibling subtrees pruned.
+    pub pruned_subtrees: usize,
+}
+
+impl From<RetrievalStats> for WireStats {
+    fn from(s: RetrievalStats) -> Self {
+        WireStats {
+            comparisons: s.comparisons,
+            ranked: s.ranked,
+            nodes_visited: s.nodes_visited,
+            dims_touched: s.dims_touched,
+            pruned_subtrees: s.pruned_subtrees,
+        }
+    }
+}
+
+/// Result-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that went to the index.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Wholesale clears triggered by epoch swaps.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+}
+
+/// Executor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutorStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Jobs completed.
+    pub executed: u64,
+    /// Jobs refused because the queue was full.
+    pub rejected: u64,
+    /// Jobs abandoned because their deadline passed while queued.
+    pub deadline_misses: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Retrieval results.
+    Results {
+        /// Epoch the query executed against.
+        epoch: u64,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Ranked hits.
+        hits: Vec<Hit>,
+        /// Retrieval cost counters (of the original execution if cached).
+        stats: WireStats,
+    },
+    /// Ingest acknowledged.
+    Ingested {
+        /// Shots accepted.
+        accepted: usize,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Server statistics.
+    Stats {
+        /// Protocol identifier ([`PROTOCOL_VERSION`]).
+        protocol: String,
+        /// Current epoch.
+        epoch: u64,
+        /// Indexed shots in the current epoch.
+        records: usize,
+        /// Result-cache statistics.
+        cache: CacheStats,
+        /// Executor statistics.
+        executor: ExecutorStats,
+    },
+    /// Snapshot persisted.
+    SnapshotWritten {
+        /// Where it was written.
+        path: String,
+        /// Epoch that was persisted.
+        epoch: u64,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the connection closes after.
+    Bye,
+    /// Typed failure.
+    Error {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Propagates I/O failures; oversized payloads are `InvalidInput`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+/// Propagates I/O failures; a length prefix beyond [`MAX_FRAME_BYTES`] is
+/// `InvalidData` (corrupt or hostile peer).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Serialises `msg` and writes it as one frame.
+///
+/// # Errors
+/// Propagates I/O failures; serialisation failures are `InvalidData`.
+pub fn send_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, &payload)
+}
+
+/// Reads one frame and deserialises it.
+///
+/// # Errors
+/// Propagates I/O failures; malformed payloads are `InvalidData`.
+pub fn recv_message<R: Read, T: serde::de::DeserializeOwned>(r: &mut R) -> io::Result<T> {
+    let payload = read_frame(r)?;
+    serde_json::from_slice(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &5u32.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"xx");
+        let mut cursor = std::io::Cursor::new(bytes);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! TCP front-end: accept loop, per-connection request loop, dispatch.
+//!
+//! Each connection gets its own thread (the executor bounds *query*
+//! concurrency, not connection count — cheap requests like `Stats` never
+//! queue behind expensive ones). Queries flow through the admission queue;
+//! the connection thread waits on a one-shot channel for the worker's
+//! response so replies stay ordered per connection. Shutdown is a graceful
+//! drain: the flag flips, a self-connection wakes the accept loop, no new
+//! connections or requests are admitted, in-flight work completes, and the
+//! executor joins its workers.
+
+use crate::cache::{CachedResult, QueryKey, ResultCache};
+use crate::executor::Executor;
+use crate::protocol::{self, ErrorKind, Hit, QueryRequest, Request, Response, PROTOCOL_VERSION};
+use crate::service::DbService;
+use medvid_index::{Clearance, Strategy, UserContext, VideoDatabase};
+use medvid_obs::{counters, Recorder, Stage};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Query worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity (pending queries beyond the workers).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Default per-query result limit when the request leaves it unset.
+    pub default_limit: usize,
+    /// Queries abandoned if still queued after this long.
+    pub deadline: Duration,
+    /// Per-connection socket read timeout (an idle connection wakes this
+    /// often to observe the shutdown flag).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_limit: 10,
+            deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Shared {
+    service: DbService,
+    cache: ResultCache,
+    executor: Executor,
+    config: ServerConfig,
+    recorder: Recorder,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain, without waiting for it to finish.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the accept loop (and every connection it spawned) to
+    /// finish draining.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            begin_shutdown(&self.shared, self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    }
+}
+
+/// Binds and spawns a server over `db`. Returns once the listener is live,
+/// so a client may connect immediately.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn spawn(
+    db: VideoDatabase,
+    config: ServerConfig,
+    recorder: Recorder,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service: DbService::new(db, recorder.clone()),
+        cache: ResultCache::new(config.cache_capacity, recorder.clone()),
+        executor: Executor::new(config.workers, config.queue_capacity, recorder.clone()),
+        config,
+        recorder,
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_connection(stream, conn_shared))
+        {
+            connections.push(h);
+        }
+        // Reap finished connection threads so long-lived servers do not
+        // accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for h in connections {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    loop {
+        let request: Request = match protocol::recv_message(&mut stream) {
+            Ok(r) => r,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle tick: drop the connection once draining, else keep
+                // waiting.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::error(ErrorKind::BadRequest, e.to_string());
+                let _ = protocol::send_message(&mut stream, &resp);
+                return;
+            }
+            // EOF or hard I/O failure: the peer is gone.
+            Err(_) => return,
+        };
+        shared.recorder.incr(counters::SERVE_REQUESTS, 1);
+        let span = shared.recorder.span(Stage::ServeRequest);
+        if shared.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+            let resp = Response::error(ErrorKind::ShuttingDown, "server is draining");
+            let _ = protocol::send_message(&mut stream, &resp);
+            drop(span);
+            return;
+        }
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = dispatch(request, &shared);
+        drop(span);
+        if protocol::send_message(&mut stream, &response).is_err() {
+            return;
+        }
+        if shutting_down {
+            if let Ok(addr) = stream.local_addr() {
+                begin_shutdown(&shared, addr);
+            }
+            return;
+        }
+    }
+}
+
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Query(q) => dispatch_query(q, shared),
+        Request::Ingest { shots } => match shared.service.ingest(&shots) {
+            Ok((accepted, epoch)) => Response::Ingested { accepted, epoch },
+            Err((i, e)) => Response::error(ErrorKind::BadRequest, format!("ingest shot {i}: {e}")),
+        },
+        Request::Stats => {
+            let snap = shared.service.snapshot();
+            Response::Stats {
+                protocol: PROTOCOL_VERSION.to_string(),
+                epoch: snap.epoch,
+                records: snap.db.len(),
+                cache: shared.cache.stats(),
+                executor: shared.executor.stats(),
+            }
+        }
+        Request::Snapshot { path } => {
+            let snap = shared.service.snapshot();
+            match snap.db.save_json(std::path::Path::new(&path)) {
+                Ok(()) => Response::SnapshotWritten {
+                    path,
+                    epoch: snap.epoch,
+                },
+                Err(e) => Response::error(ErrorKind::Internal, e.to_string()),
+            }
+        }
+        Request::Shutdown => Response::Bye,
+    }
+}
+
+fn dispatch_query(req: QueryRequest, shared: &Arc<Shared>) -> Response {
+    let snap = shared.service.snapshot();
+    // Reject vectors the index cannot measure distances over (a mismatched
+    // length would panic deep inside the subspace projections).
+    if let (Some(v), Some(expected)) = (req.vector.as_ref(), snap.db.feature_len()) {
+        if v.len() != expected {
+            return Response::error(
+                ErrorKind::BadRequest,
+                format!("query vector has {} dims, database has {expected}", v.len()),
+            );
+        }
+    }
+    if let Some(node) = req.under {
+        if node.0 >= snap.db.hierarchy().len() {
+            return Response::error(
+                ErrorKind::BadRequest,
+                format!("unknown concept node {node:?}"),
+            );
+        }
+    }
+    let key = QueryKey::canonicalize(&req, shared.config.default_limit);
+    if req.delay_ms.is_none() {
+        if let Some(cached) = shared.cache.get(snap.epoch, &key) {
+            return results_response(snap.epoch, true, &cached);
+        }
+    }
+    // Miss: run on the worker pool under admission control.
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<Response>(1);
+    let job_shared = Arc::clone(shared);
+    let job_snap = Arc::clone(&snap);
+    let deadline = Instant::now() + shared.config.deadline;
+    let expired_tx = done_tx.clone();
+    let submitted = shared.executor.submit(
+        Some(deadline),
+        Box::new(move || {
+            let _span = job_shared.recorder.span(Stage::ServeExec);
+            if let Some(ms) = req.delay_ms {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            let result = execute_query(&req, &job_snap.db, job_shared.config.default_limit);
+            let result = Arc::new(result);
+            if req.delay_ms.is_none() {
+                job_shared
+                    .cache
+                    .put(job_snap.epoch, key, Arc::clone(&result));
+            }
+            let _ = done_tx.send(results_response(job_snap.epoch, false, &result));
+        }),
+        Box::new(move || {
+            let _ = expired_tx.send(Response::error(
+                ErrorKind::DeadlineExceeded,
+                "request waited in queue past its deadline",
+            ));
+        }),
+    );
+    if submitted.is_err() {
+        return Response::error(ErrorKind::Overloaded, "admission queue is full");
+    }
+    // Workers always send exactly one message per admitted job; the margin
+    // covers execution time after a just-in-time dequeue.
+    let wait = shared.config.deadline + shared.config.write_timeout + Duration::from_secs(30);
+    match done_rx.recv_timeout(wait) {
+        Ok(resp) => resp,
+        Err(_) => Response::error(ErrorKind::Internal, "worker did not produce a response"),
+    }
+}
+
+fn execute_query(req: &QueryRequest, db: &VideoDatabase, default_limit: usize) -> CachedResult {
+    let user = req.clearance.map(|c| UserContext::new(Clearance(c)));
+    let mut q = db.query();
+    if let Some(v) = &req.vector {
+        q = q.similar_to(v.clone());
+    }
+    if let Some(e) = req.event {
+        q = q.event(e);
+    }
+    if let Some(n) = req.under {
+        q = q.under(n);
+    }
+    if let Some(u) = user.as_ref() {
+        q = q.as_user(u);
+    }
+    q = q.limit(req.limit.unwrap_or(default_limit));
+    q = q.strategy(Strategy::from(req.strategy.unwrap_or_default()));
+    let (hits, stats) = q.run();
+    CachedResult { hits, stats }
+}
+
+fn results_response(epoch: u64, cached: bool, result: &CachedResult) -> Response {
+    Response::Results {
+        epoch,
+        cached,
+        hits: result
+            .hits
+            .iter()
+            .map(|h| Hit {
+                video: h.shot.video,
+                shot: h.shot.shot,
+                distance: h.distance,
+            })
+            .collect(),
+        stats: result.stats.into(),
+    }
+}

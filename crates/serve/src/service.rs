@@ -1,0 +1,163 @@
+//! Snapshot-swapped database service.
+//!
+//! Readers never block on writers: every query clones an `Arc` to the
+//! current [`DbEpoch`] under a briefly-held read lock and runs against that
+//! immutable snapshot for as long as it likes. Writers rebuild a fresh
+//! [`medvid_index::VideoDatabase`] off to the side (serialised by a writer
+//! mutex) and atomically swap it in with a bumped epoch number. The epoch is
+//! what ties the layers together — the result cache invalidates itself
+//! wholesale when it observes a new epoch.
+
+use crate::protocol::IngestShot;
+use medvid_index::{RecordError, VideoDatabase};
+use medvid_obs::{counters, Recorder};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// One immutable generation of the database.
+#[derive(Debug)]
+pub struct DbEpoch {
+    /// Monotonic generation number, starting at 1.
+    pub epoch: u64,
+    /// The built database of this generation.
+    pub db: VideoDatabase,
+}
+
+/// Concurrent handle over a [`VideoDatabase`]: cheap snapshot reads,
+/// copy-on-write ingest.
+pub struct DbService {
+    current: RwLock<Arc<DbEpoch>>,
+    /// Serialises writers so concurrent ingests cannot both clone the same
+    /// base generation and silently drop each other's shots.
+    writer: Mutex<()>,
+    recorder: Recorder,
+}
+
+impl DbService {
+    /// Wraps a built database as epoch 1.
+    pub fn new(db: VideoDatabase, recorder: Recorder) -> Self {
+        DbService {
+            current: RwLock::new(Arc::new(DbEpoch { epoch: 1, db })),
+            writer: Mutex::new(()),
+            recorder,
+        }
+    }
+
+    /// The current generation. The lock is held only for the `Arc` clone;
+    /// the returned snapshot stays valid (and immutable) across any number
+    /// of concurrent swaps.
+    pub fn snapshot(&self) -> Arc<DbEpoch> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Ingests a batch of shots: validates every record against the current
+    /// generation, clones it, inserts, rebuilds the index structures, and
+    /// swaps the result in as the next epoch. All-or-nothing: one bad record
+    /// fails the whole batch and the current epoch stays untouched.
+    ///
+    /// # Errors
+    /// Returns the index of the offending shot and why it was rejected.
+    pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), (usize, RecordError)> {
+        let _writer = self.writer.lock();
+        let base = self.snapshot();
+        let mut db = base.db.clone();
+        for (i, s) in shots.iter().enumerate() {
+            let shot = medvid_index::ShotRef {
+                video: s.video,
+                shot: s.shot,
+            };
+            db.try_insert_shot(shot, s.features.clone(), s.event, s.scene_node)
+                .map_err(|e| (i, e))?;
+        }
+        db.build();
+        let epoch = base.epoch + 1;
+        *self.current.write() = Arc::new(DbEpoch { epoch, db });
+        self.recorder
+            .incr(counters::SERVE_INGESTED_SHOTS, shots.len() as u64);
+        self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
+        Ok((shots.len(), epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn shot(i: usize, db: &VideoDatabase) -> IngestShot {
+        let scenes = db.hierarchy().scene_nodes();
+        let mut f = vec![0.0f32; 266];
+        f[i % 266] = 1.0;
+        IngestShot {
+            video: VideoId(100),
+            shot: ShotId(i),
+            features: f,
+            event: EventKind::Dialog,
+            scene_node: scenes[i % scenes.len()],
+        }
+    }
+
+    #[test]
+    fn ingest_bumps_epoch_and_preserves_old_snapshots() {
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let before = svc.snapshot();
+        assert_eq!(before.epoch, 1);
+        let batch: Vec<_> = (0..4).map(|i| shot(i, &before.db)).collect();
+        let (accepted, epoch) = svc.ingest(&batch).unwrap();
+        assert_eq!((accepted, epoch), (4, 2));
+        // The old snapshot is untouched; the new one holds the shots.
+        assert_eq!(before.db.len(), 0);
+        assert_eq!(svc.snapshot().db.len(), 4);
+        assert_eq!(svc.epoch(), 2);
+    }
+
+    #[test]
+    fn bad_record_fails_whole_batch() {
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let base = svc.snapshot();
+        let mut batch: Vec<_> = (0..3).map(|i| shot(i, &base.db)).collect();
+        batch[1].scene_node = base.db.hierarchy().root();
+        let (idx, err) = svc.ingest(&batch).unwrap_err();
+        assert_eq!(idx, 1);
+        assert!(matches!(err, RecordError::NotSceneNode(_)));
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.snapshot().db.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_generations() {
+        let svc = Arc::new(DbService::new(
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        ));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let snap = svc.snapshot();
+                        // A generation's record count is frozen at swap time.
+                        let a = snap.db.len();
+                        let b = snap.db.len();
+                        assert_eq!(a, b);
+                    }
+                })
+            })
+            .collect();
+        for generation in 0..5 {
+            let base = svc.snapshot();
+            let batch = vec![shot(generation, &base.db)];
+            svc.ingest(&batch).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(svc.epoch(), 6);
+        assert_eq!(svc.snapshot().db.len(), 5);
+    }
+}

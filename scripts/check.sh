@@ -13,6 +13,11 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+# The serving stack binds loopback sockets and spawns real worker pools, so
+# its integration suite gets an explicit, visible run of its own.
+echo "== cargo test -q --test serve_integration =="
+cargo test -q --test serve_integration
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Serving load test: spins up an in-process medvid-serve instance over a
+# freshly mined corpus and drives concurrent clients against it, reporting
+# throughput, p50/p99 latency and cache hit-rate for the flat scan vs the
+# cluster-based hierarchical index.
+#
+# Usage: scripts/loadtest.sh [full]
+#   full — larger corpus, more clients, more requests per client.
+# Results (table + telemetry JSON) land in target/experiments/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p medvid-eval --bin exp_loadtest -- "${1:-}"
