@@ -1,18 +1,24 @@
 //! Clean-speech vs non-clean-speech GMM classification (paper Sec. 4.2).
 
-use crate::features::clip_features;
+use crate::features::ClipFeatureExtractor;
 use medvid_signal::gmm::{GmmClassifier, GmmError};
 use rand::Rng;
 
 /// A two-class GMM classifier over the 14 clip features.
+///
+/// The clip-feature extractor (Hamming window + FFT plan) is built once at
+/// construction and shared by training and every subsequent
+/// [`SpeechClassifier::classify`] call.
 #[derive(Debug, Clone)]
 pub struct SpeechClassifier {
     inner: GmmClassifier,
-    sample_rate: u32,
+    extractor: ClipFeatureExtractor,
 }
 
 impl SpeechClassifier {
-    /// Trains the classifier from labelled waveform clips.
+    /// Trains the classifier from labelled waveform clips. Clips are
+    /// featurised in parallel (order-preserving, so training is
+    /// deterministic for a given `rng`).
     ///
     /// # Errors
     /// Returns [`GmmError`] when either class has too few usable clips.
@@ -23,24 +29,25 @@ impl SpeechClassifier {
         components: usize,
         rng: &mut R,
     ) -> Result<Self, GmmError> {
+        let extractor = ClipFeatureExtractor::new(sample_rate);
         let featurise = |clips: &[Vec<f32>]| -> Vec<Vec<f64>> {
-            clips
-                .iter()
-                .filter_map(|c| clip_features(c, sample_rate))
+            medvid_par::par_map_indexed(clips.len(), |i| extractor.extract(&clips[i]))
+                .into_iter()
+                .flatten()
                 .collect()
         };
         let pos = featurise(speech_clips);
         let neg = featurise(nonspeech_clips);
         Ok(Self {
             inner: GmmClassifier::train(&pos, &neg, components, 40, rng)?,
-            sample_rate,
+            extractor,
         })
     }
 
     /// Classifies a waveform clip. Returns `None` for clips too short to
     /// featurise; otherwise `(is_speech, margin)`.
     pub fn classify(&self, clip: &[f32]) -> Option<(bool, f64)> {
-        let f = clip_features(clip, self.sample_rate)?;
+        let f = self.extractor.extract(clip)?;
         Some(self.inner.classify(&f))
     }
 
@@ -52,7 +59,7 @@ impl SpeechClassifier {
 
     /// The sample rate the classifier was trained at.
     pub fn sample_rate(&self) -> u32 {
-        self.sample_rate
+        self.extractor.sample_rate()
     }
 }
 

@@ -60,6 +60,11 @@ impl AudioMiner {
     /// Like [`Self::analyze_shots`], timing the pass under the `audio_bic`
     /// stage and counting speech vs non-speech representative clips (plus
     /// shots too short to carry one) through `rec`.
+    ///
+    /// Shots are analysed in parallel (each shot's clip scoring and MFCC
+    /// extraction is independent); results keep shot order and the counters
+    /// are tallied from the ordered results, so output and telemetry are
+    /// identical at any thread count.
     pub fn analyze_shots_observed(
         &self,
         video: &Video,
@@ -67,46 +72,38 @@ impl AudioMiner {
         rec: &Recorder,
     ) -> Vec<ShotAudio> {
         let _span = rec.span(Stage::AudioBic);
-        let mut speech = 0u64;
-        let mut nonspeech = 0u64;
-        let mut silent = 0u64;
-        let analyses: Vec<ShotAudio> = shots
-            .iter()
-            .map(|shot| {
-                let (s0, s1) = video.frame_range_to_samples(shot.start_frame, shot.end_frame);
-                let clips = shot_clips(&video.audio, s0, s1);
-                // Representative clip: highest speech score (paper: "select
-                // the clip most like the speech clip").
-                let best = clips
-                    .iter()
-                    .filter_map(|&c| {
-                        self.classifier
-                            .speech_score(video.audio.clip_samples(c))
-                            .map(|score| (c, score))
-                    })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite score"));
-                match best {
-                    Some((clip, score)) => {
-                        let samples = video.audio.clip_samples(clip);
-                        let is_speech = score > 0.0;
-                        if is_speech {
-                            speech += 1;
-                        } else {
-                            nonspeech += 1;
-                        }
-                        ShotAudio {
-                            representative_clip: Some(clip),
-                            is_speech,
-                            mfcc: crate::bic::voiced_frames(&self.mfcc.extract(samples)),
-                        }
-                    }
-                    None => {
-                        silent += 1;
-                        ShotAudio::silent()
+        let analyses: Vec<ShotAudio> = medvid_par::par_map_indexed(shots.len(), |i| {
+            let shot = &shots[i];
+            let (s0, s1) = video.frame_range_to_samples(shot.start_frame, shot.end_frame);
+            let clips = shot_clips(&video.audio, s0, s1);
+            // Representative clip: highest speech score (paper: "select
+            // the clip most like the speech clip").
+            let best = clips
+                .iter()
+                .filter_map(|&c| {
+                    self.classifier
+                        .speech_score(video.audio.clip_samples(c))
+                        .map(|score| (c, score))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite score"));
+            match best {
+                Some((clip, score)) => {
+                    let samples = video.audio.clip_samples(clip);
+                    ShotAudio {
+                        representative_clip: Some(clip),
+                        is_speech: score > 0.0,
+                        mfcc: crate::bic::voiced_frames(&self.mfcc.extract(samples)),
                     }
                 }
-            })
-            .collect();
+                None => ShotAudio::silent(),
+            }
+        });
+        let silent = analyses
+            .iter()
+            .filter(|a| a.representative_clip.is_none())
+            .count() as u64;
+        let speech = analyses.iter().filter(|a| a.is_speech).count() as u64;
+        let nonspeech = analyses.len() as u64 - silent - speech;
         rec.incr(counters::SPEECH_CLIPS, speech);
         rec.incr(counters::NONSPEECH_CLIPS, nonspeech);
         rec.incr(counters::SILENT_SHOTS, silent);

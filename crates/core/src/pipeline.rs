@@ -104,6 +104,7 @@ impl ClassMiner {
     /// Like [`Self::mine`], reporting per-stage timings and domain counters
     /// from every pipeline stage through `rec`.
     pub fn mine_observed(&self, video: &Video, rec: &Recorder) -> MinedVideo {
+        rec.record_value(medvid_obs::values::PAR_THREADS, medvid_par::max_threads() as u64);
         let structure = mine_structure_observed(video, &self.config.mining, rec);
         let events = self.event_miner.mine_observed(video, &structure, rec);
         MinedVideo { structure, events }

@@ -1,0 +1,172 @@
+//! E-BENCH: end-to-end mining throughput as a function of the `medvid-par`
+//! thread budget.
+//!
+//! Mines the same synthesised corpus at thread counts 1, 2, 4 and the host's
+//! available parallelism, reporting wall clock, frames/second, per-stage
+//! milliseconds (from the telemetry spans) and speedup over the sequential
+//! run — and asserting that every run produced bit-identical structures.
+//!
+//! Writes two artefacts: the standard experiment envelope under
+//! `target/experiments/bench_pipeline.json`, and the benchmark-trajectory
+//! snapshot `BENCH_pipeline.json` at the repository root. `--smoke` shrinks
+//! the corpus and the thread set so the tier-1 gate can run it in seconds.
+
+use medvid::{ClassMiner, ClassMinerConfig, MinedVideo};
+use medvid_eval::report::{f3, print_table, write_report};
+use medvid_obs::{CorpusReport, Recorder, Stage};
+use medvid_synth::{standard_corpus, CorpusScale};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct StageMs {
+    stage: String,
+    total_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ThreadRun {
+    threads: usize,
+    wall_secs: f64,
+    frames_per_sec: f64,
+    speedup_vs_1: f64,
+    stage_ms: Vec<StageMs>,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// `available_parallelism` of the machine that produced these numbers —
+    /// speedups are meaningless without it.
+    host_cpus: usize,
+    corpus_videos: usize,
+    corpus_frames: usize,
+    deterministic_across_threads: bool,
+    runs: Vec<ThreadRun>,
+}
+
+/// Mines the whole corpus under one thread budget, returning the mined
+/// results, the wall-clock seconds and the per-stage totals.
+fn mine_at(
+    miner: &ClassMiner,
+    corpus: &[medvid_types::Video],
+    threads: usize,
+) -> (Vec<MinedVideo>, f64, Vec<StageMs>) {
+    medvid_par::with_threads(threads, || {
+        let rec = Recorder::new();
+        let start = Instant::now();
+        let mined: Vec<MinedVideo> = corpus
+            .iter()
+            .map(|v| miner.mine_observed(v, &rec))
+            .collect();
+        let wall = start.elapsed().as_secs_f64();
+        let report = rec.report();
+        let stage_ms = Stage::ALL
+            .iter()
+            .map(|&s| StageMs {
+                stage: s.name().to_string(),
+                total_ms: report.stage_total_secs(s) * 1e3,
+            })
+            .filter(|s| s.total_ms > 0.0)
+            .collect();
+        (mined, wall, stage_ms)
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The full thread ladder runs either way (extra budgets cost nothing on
+    // a small corpus); --smoke only shrinks the corpus.
+    let mut thread_counts = vec![1, 2, 4, host_cpus];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let scale = if smoke {
+        CorpusScale::Tiny
+    } else {
+        CorpusScale::Small
+    };
+    let corpus = standard_corpus(scale, 2003);
+    let corpus_frames: usize = corpus.iter().map(|v| v.frame_count()).sum();
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 2003).expect("default miner config");
+    println!(
+        "benchmarking {} videos / {corpus_frames} frames on a {host_cpus}-cpu host; threads {thread_counts:?}",
+        corpus.len()
+    );
+
+    let mut runs: Vec<ThreadRun> = Vec::new();
+    let mut reference: Option<Vec<MinedVideo>> = None;
+    let mut deterministic = true;
+    let mut wall_1 = None;
+    for &threads in &thread_counts {
+        let (mined, wall, stage_ms) = mine_at(&miner, &corpus, threads);
+        match &reference {
+            None => reference = Some(mined),
+            Some(r) => {
+                let same = r.len() == mined.len()
+                    && r.iter()
+                        .zip(&mined)
+                        .all(|(a, b)| a.structure == b.structure && a.events == b.events);
+                if !same {
+                    deterministic = false;
+                    eprintln!("warning: output at {threads} threads differs from sequential run");
+                }
+            }
+        }
+        if threads == 1 {
+            wall_1 = Some(wall);
+        }
+        runs.push(ThreadRun {
+            threads,
+            wall_secs: wall,
+            frames_per_sec: corpus_frames as f64 / wall.max(1e-9),
+            speedup_vs_1: 0.0, // filled below once the sequential wall is known
+            stage_ms,
+        });
+    }
+    let base = wall_1.unwrap_or_else(|| runs[0].wall_secs);
+    for r in &mut runs {
+        r.speedup_vs_1 = base / r.wall_secs.max(1e-9);
+    }
+    assert!(deterministic, "parallel mining must be bit-identical");
+
+    let table: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                f3(r.wall_secs),
+                f3(r.frames_per_sec),
+                f3(r.speedup_vs_1),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-BENCH — mining throughput vs thread budget",
+        &["threads", "wall s", "frames/s", "speedup"],
+        &table,
+    );
+
+    let bench = BenchReport {
+        host_cpus,
+        corpus_videos: corpus.len(),
+        corpus_frames,
+        deterministic_across_threads: deterministic,
+        runs,
+    };
+    // The benchmark trajectory lives at the repository root so successive
+    // PRs can diff it; the manifest dir anchors the path regardless of cwd.
+    let root_artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    match serde_json::to_string_pretty(&bench) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(root_artifact, json + "\n") {
+                eprintln!("warning: cannot write {root_artifact}: {e}");
+            } else {
+                println!("[artefact] {root_artifact}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise bench report: {e}"),
+    }
+    write_report("bench_pipeline", &CorpusReport::empty(), &bench);
+}

@@ -1,74 +1,38 @@
 //! Parallel per-video fan-out for the experiment harnesses.
 //!
 //! Corpus experiments are embarrassingly parallel across videos; this module
-//! fans a pure per-video function out over crossbeam scoped threads and
-//! returns results in corpus order. [`map_videos_observed`] additionally
-//! gives each worker its own telemetry registry and merges them into the
-//! caller's at the end, so hot per-video work never contends on a shared
-//! lock.
+//! fans a pure per-video function out over the shared `medvid-par` executor
+//! and returns results in corpus order. Because workers of a `medvid-par`
+//! region mark themselves as inside one, intra-video parallel loops (frame
+//! diffs, MFCC windows, similarity rows) automatically run sequentially on
+//! each worker — corpus- and video-level parallelism share one thread budget
+//! instead of multiplying. [`map_videos_observed`] additionally gives each
+//! worker its own telemetry registry and merges them into the caller's at
+//! the end, so hot per-video work never contends on a shared lock.
 
 use medvid_obs::{MetricsRegistry, Recorder};
 use medvid_types::Video;
-use parking_lot::Mutex;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-/// Applies `f` to every video concurrently (one thread per video, capped at
-/// the available parallelism) and returns results in input order.
+/// Applies `f` to every video concurrently (bounded by the `medvid-par`
+/// thread budget — `MEDVID_THREADS` or the available parallelism) and
+/// returns results in input order.
 ///
 /// # Panics
 /// If `f` panics for any video, panics after all workers stop, naming the
-/// corpus indices that failed.
+/// corpus indices that failed. Every video is attempted even after earlier
+/// ones fail.
 pub fn map_videos<T, F>(corpus: &[Video], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&Video) -> T + Sync,
 {
-    let threads = worker_count(corpus.len());
-    if threads <= 1 || corpus.len() <= 1 {
-        // Sequential fallback honours the same contract as the parallel
-        // path: every video is attempted, failures are reported by index.
-        let mut failed = Vec::new();
-        let mut out = Vec::with_capacity(corpus.len());
-        for (i, video) in corpus.iter().enumerate() {
-            match catch_unwind(AssertUnwindSafe(|| f(video))) {
-                Ok(value) => out.push(value),
-                Err(_) => failed.push(i),
-            }
+    match medvid_par::try_par_map_indexed(corpus.len(), |i| f(&corpus[i])) {
+        Ok(out) => out,
+        Err(failed) => {
+            panic!("map_videos: worker panicked on corpus video indices {failed:?}")
         }
-        assert!(
-            failed.is_empty(),
-            "map_videos: worker panicked on corpus video indices {failed:?}"
-        );
-        return out;
     }
-    // One slot per video: workers write disjoint indices without contending
-    // on a corpus-wide lock.
-    let slots: Vec<Mutex<Option<T>>> = (0..corpus.len()).map(|_| Mutex::new(None)).collect();
-    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let scope_result = crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(video) = corpus.get(i) else { break };
-                match catch_unwind(AssertUnwindSafe(|| f(video))) {
-                    Ok(value) => *slots[i].lock() = Some(value),
-                    Err(_) => failed.lock().push(i),
-                }
-            });
-        }
-    });
-    let mut failed = failed.into_inner();
-    failed.sort_unstable();
-    assert!(
-        scope_result.is_ok() && failed.is_empty(),
-        "map_videos: worker panicked on corpus video indices {failed:?}"
-    );
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every video processed"))
-        .collect()
 }
 
 /// Like [`map_videos`], threading a per-worker telemetry [`Recorder`] into
@@ -80,7 +44,8 @@ where
     T: Send,
     F: Fn(&Video, &Recorder) -> T + Sync,
 {
-    let locals: Vec<Arc<MetricsRegistry>> = (0..worker_count(corpus.len()).max(1))
+    let workers = medvid_par::max_threads().min(corpus.len()).max(1);
+    let locals: Vec<Arc<MetricsRegistry>> = (0..workers)
         .map(|_| Arc::new(MetricsRegistry::new()))
         .collect();
     let worker = std::sync::atomic::AtomicUsize::new(0);
@@ -97,18 +62,12 @@ where
     results
 }
 
-fn worker_count(videos: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(videos.max(1))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use medvid_obs::counters;
     use medvid_synth::{standard_corpus, CorpusScale};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn results_arrive_in_corpus_order() {
@@ -124,6 +83,17 @@ mod tests {
         let par = map_videos(&corpus, |v| v.frame_count());
         let seq: Vec<usize> = corpus.iter().map(|v| v.frame_count()).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn thread_budget_does_not_change_results() {
+        let corpus = standard_corpus(CorpusScale::Tiny, 61);
+        let reference =
+            medvid_par::with_threads(1, || map_videos(&corpus, |v| v.frame_count()));
+        for threads in [2, 4] {
+            let out = medvid_par::with_threads(threads, || map_videos(&corpus, |v| v.frame_count()));
+            assert_eq!(out, reference, "threads={threads}");
+        }
     }
 
     #[test]

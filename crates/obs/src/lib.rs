@@ -110,4 +110,7 @@ pub mod counters {
 pub mod values {
     /// Executor queue depth sampled at each admission decision.
     pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+    /// Worker-thread budget of the `medvid-par` executor, sampled once per
+    /// mined video (so reports show which parallelism the timings ran at).
+    pub const PAR_THREADS: &str = "par_threads";
 }

@@ -1,0 +1,393 @@
+//! **medvid-par** — the chunked scoped-thread executor behind every parallel
+//! loop in the pipeline.
+//!
+//! The mining pipeline has two levels of parallelism: corpus-level fan-out
+//! (one task per video, `medvid-eval`'s `map_videos`) and intra-video hot
+//! loops (frame diffs, window thresholds, representative-frame features,
+//! per-shot audio, pairwise similarity rows). Both ride on this crate so
+//! thread budgeting, determinism and panic reporting live in exactly one
+//! place.
+//!
+//! Design rules:
+//!
+//! * **Ordered, deterministic reduction.** Work is split into contiguous
+//!   chunks of the input index space; each output lands in its own slot and
+//!   results are assembled in input order. Because every task is a pure
+//!   function of its index, the output is bit-identical at any thread count
+//!   (including 1).
+//! * **One thread budget.** [`max_threads`] resolves, in order: the
+//!   [`with_threads`] scoped override (tests and benches), the
+//!   `MEDVID_THREADS` environment variable, and finally
+//!   `std::thread::available_parallelism()`.
+//! * **No nested oversubscription.** A parallel region entered from inside a
+//!   worker of another parallel region runs sequentially on that worker.
+//!   Corpus-level fan-out therefore keeps intra-video loops sequential, and
+//!   the machine is never oversubscribed.
+//! * **Panic indices are surfaced.** Every failing task index (or chunk
+//!   index) is collected and reported in the propagated panic message, the
+//!   same contract `map_videos` has always had.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Scoped thread-count override (`0` = none).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Whether this thread is a worker inside a live parallel region.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The environment variable overriding the worker-thread budget.
+pub const THREADS_ENV: &str = "MEDVID_THREADS";
+
+/// Resolves the worker-thread budget: the [`with_threads`] override if one
+/// is active on this thread, else `MEDVID_THREADS` (values `>= 1`), else the
+/// machine's available parallelism.
+pub fn max_threads() -> usize {
+    let scoped = THREAD_OVERRIDE.with(|o| o.get());
+    if scoped > 0 {
+        return scoped;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the thread budget pinned to `threads` on the current
+/// thread. Parallel regions entered inside `f` (on this thread) see the
+/// override; it is restored on exit even if `f` panics.
+///
+/// This is how tests and benches compare thread counts without touching the
+/// process environment (environment mutation is racy under `cargo test`).
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(threads.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether the current thread is already inside a parallel region (in which
+/// case nested parallel calls run sequentially).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|f| f.get())
+}
+
+/// Picks the chunk length for `n` tasks on `threads` workers: ~4 chunks per
+/// worker for dynamic load balancing, never empty.
+fn auto_chunk(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.saturating_mul(4).max(1)).max(1)
+}
+
+/// The chunk length [`par_map_indexed`] would use for `n` tasks under the
+/// current thread budget. Callers of [`par_map_chunks`] that amortise
+/// per-chunk state (scratch buffers, FFT plans) use this to match the
+/// executor's load-balancing granularity.
+///
+/// Note the returned value depends on [`max_threads`]; pass an explicit
+/// constant instead when chunk boundaries must be thread-count independent
+/// (e.g. when `f` is not pure per item).
+pub fn chunk_len_for(n: usize) -> usize {
+    auto_chunk(n, max_threads())
+}
+
+/// Applies `f` to every index in `0..n` and returns the outputs in index
+/// order, computing chunks of indices concurrently. Falls back to a
+/// sequential loop when the thread budget is 1, `n` is small, or the caller
+/// is already inside a parallel region.
+///
+/// `f` must be a pure function of its index for the output to be
+/// deterministic (it is then bit-identical at any thread count).
+///
+/// # Panics
+/// If `f` panics for any index, panics after all workers stop, naming every
+/// failing index in ascending order.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_par_map_indexed(n, f) {
+        Ok(out) => out,
+        Err(failed) => panic!("medvid-par: worker panicked on task indices {failed:?}"),
+    }
+}
+
+/// Like [`par_map_indexed`], but returns the sorted failing indices instead
+/// of panicking, so callers can phrase the failure in their own vocabulary
+/// (e.g. `map_videos` reports *corpus video* indices). Every index is
+/// attempted even after earlier ones fail.
+///
+/// # Errors
+/// Returns `Err(indices)` with every index whose task panicked, ascending.
+pub fn try_par_map_indexed<T, F>(n: usize, f: F) -> Result<Vec<T>, Vec<usize>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = chunk_ranges(n, auto_chunk(n, max_threads()));
+    let results = run_chunked(&chunks, |range| {
+        let mut ok = Vec::with_capacity(range.len());
+        let mut failed = Vec::new();
+        for i in range.clone() {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => ok.push(v),
+                Err(_) => failed.push(i),
+            }
+        }
+        (ok, failed)
+    });
+    let mut out = Vec::with_capacity(n);
+    let mut failed = Vec::new();
+    for (ok, bad) in results {
+        if bad.is_empty() {
+            out.extend(ok);
+        } else {
+            failed.extend(bad);
+        }
+    }
+    if failed.is_empty() {
+        Ok(out)
+    } else {
+        failed.sort_unstable();
+        Err(failed)
+    }
+}
+
+/// Splits `items` into contiguous chunks of at most `chunk_len` items,
+/// applies `f(chunk_index, chunk)` to each concurrently, and concatenates
+/// the per-chunk outputs in chunk order.
+///
+/// Chunk boundaries depend only on `items.len()` and `chunk_len`, so the
+/// work decomposition — and with a pure `f`, the result — is deterministic.
+/// Use this over [`par_map_indexed`] when per-task state is worth amortising
+/// across a chunk (scratch buffers, FFT plans).
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, or after all workers stop if `f` panicked for
+/// any chunk, naming every failing chunk index in ascending order.
+pub fn par_map_chunks<T, U, F>(items: &[T], chunk_len: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> Vec<U> + Sync,
+{
+    assert!(chunk_len > 0, "par_map_chunks: chunk_len must be positive");
+    let chunks = chunk_ranges(items.len(), chunk_len);
+    let results = run_chunked(&chunks, |range| {
+        let idx = range.start / chunk_len;
+        catch_unwind(AssertUnwindSafe(|| f(idx, &items[range.clone()]))).map_err(|_| idx)
+    });
+    let mut out = Vec::new();
+    let mut failed = Vec::new();
+    for r in results {
+        match r {
+            Ok(part) => out.extend(part),
+            Err(idx) => failed.push(idx),
+        }
+    }
+    if !failed.is_empty() {
+        failed.sort_unstable();
+        panic!("medvid-par: worker panicked on chunk indices {failed:?}");
+    }
+    out
+}
+
+/// Contiguous index ranges of at most `chunk_len` covering `0..n`.
+fn chunk_ranges(n: usize, chunk_len: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n.div_ceil(chunk_len.max(1)))
+        .map(|c| c * chunk_len..((c + 1) * chunk_len).min(n))
+        .collect()
+}
+
+/// The executor core: runs `work` over every chunk range and returns the
+/// per-chunk outputs in chunk order. `work` is responsible for its own panic
+/// containment (the executor itself never loses a chunk).
+fn run_chunked<R, W>(chunks: &[std::ops::Range<usize>], work: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(&std::ops::Range<usize>) -> R + Sync,
+{
+    let threads = max_threads().min(chunks.len());
+    if threads <= 1 || in_parallel_region() {
+        return chunks.iter().map(&work).collect();
+    }
+    // One slot per chunk: workers write disjoint indices, the contended
+    // state is a single fetch-add cursor.
+    let slots: Vec<Mutex<Option<R>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_PARALLEL_REGION.with(|f| f.set(true));
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = chunks.get(c) else { break };
+                    *slots[c].lock().expect("slot lock") = Some(work(range));
+                }
+                IN_PARALLEL_REGION.with(|f| f.set(false));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every chunk processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_map_preserves_order() {
+        let out = par_map_indexed(1000, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_map_is_identical_across_thread_counts() {
+        let reference = with_threads(1, || par_map_indexed(517, |i| (i as f64).sqrt()));
+        for threads in [2, 3, 8] {
+            let out = with_threads(threads, || par_map_indexed(517, |i| (i as f64).sqrt()));
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(par_map_indexed(0, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+        let none: Vec<usize> = par_map_chunks(&[] as &[usize], 4, |_, c| c.to_vec());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn chunked_map_concatenates_in_chunk_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map_chunks(&items, 10, |_, chunk| {
+            chunk.iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out, (1..104).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_map_passes_stable_chunk_indices() {
+        let items: Vec<usize> = (0..25).collect();
+        let out = par_map_chunks(&items, 10, |idx, chunk| vec![(idx, chunk.len())]);
+        assert_eq!(out, vec![(0, 10), (1, 10), (2, 5)]);
+    }
+
+    #[test]
+    fn indexed_panics_name_every_failing_task_index() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed(50, |i| {
+                assert!(i != 3 && i != 31, "boom");
+                i
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            msg.contains("task indices [3, 31]"),
+            "panic message should name both indices: {msg}"
+        );
+    }
+
+    #[test]
+    fn chunked_panics_name_failing_chunk_indices() {
+        let items: Vec<usize> = (0..40).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_chunks(&items, 10, |idx, chunk| {
+                assert!(idx != 1 && idx != 3, "boom");
+                chunk.to_vec()
+            })
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".into());
+        assert!(
+            msg.contains("chunk indices [1, 3]"),
+            "panic message should name chunks 1 and 3: {msg}"
+        );
+    }
+
+    #[test]
+    fn try_variant_attempts_every_index() {
+        let attempted = AtomicUsize::new(0);
+        let result = try_par_map_indexed(20, |i| {
+            attempted.fetch_add(1, Ordering::Relaxed);
+            assert!(i % 7 != 0, "boom");
+            i
+        });
+        assert_eq!(result.unwrap_err(), vec![0, 7, 14]);
+        assert_eq!(attempted.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn nested_regions_run_sequentially_and_correctly() {
+        let outer = par_map_indexed(8, |i| {
+            // On a multi-core host this inner call runs on a worker thread
+            // and must take the sequential path rather than spawning again.
+            let inner = par_map_indexed(5, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|i| (0..5).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(outer, expected);
+        assert!(!in_parallel_region(), "flag must reset after the region");
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = max_threads();
+        let inside = with_threads(3, max_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(max_threads(), before);
+        // Restored even when the closure panics.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(5, || panic!("boom"));
+        }));
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        assert_eq!(chunk_ranges(0, 4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 100), vec![0..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_rejected() {
+        let items = [1, 2, 3];
+        let _ = par_map_chunks(&items, 0, |_, c| c.to_vec());
+    }
+}

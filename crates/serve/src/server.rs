@@ -47,7 +47,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 4,
+            // Scale the worker pool with the same thread budget the mining
+            // engine uses (MEDVID_THREADS respected), but never below the
+            // seed's fixed pool of 4.
+            workers: medvid_par::max_threads().max(4),
             queue_capacity: 64,
             cache_capacity: 256,
             default_limit: 10,

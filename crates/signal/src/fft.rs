@@ -160,6 +160,122 @@ pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
     spec[..=half].iter().map(|c| c.norm_sq()).collect()
 }
 
+/// A precomputed FFT plan for one transform length: bit-reversal permutation
+/// table plus per-stage twiddle factors, amortised across every window of an
+/// MFCC extraction instead of being recomputed (and reallocated) per call.
+///
+/// The twiddle table is filled by the same incremental recurrence
+/// `w ← w · w_len` that [`fft_in_place`] evaluates on the fly, so
+/// [`FftPlan::forward_in_place`] is **bit-identical** to
+/// `fft_in_place(buf, false)` — swapping the plan into a pipeline changes no
+/// output, only the allocation profile.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `rev[i]` = bit-reversed index of `i` (swap applied once when `i < rev[i]`).
+    rev: Vec<usize>,
+    /// Forward twiddles flattened per stage: stage with butterfly span `len`
+    /// starts at offset `len/2 - 1` and holds `len/2` factors (`n - 1` total).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let mut rev = vec![0usize; n];
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            rev[i] = j;
+        }
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let wlen = Complex::from_angle(-2.0 * PI / len as f64);
+            let mut w = Complex::new(1.0, 0.0);
+            for _ in 0..len / 2 {
+                twiddles.push(w);
+                w = w * wlen;
+            }
+            len <<= 1;
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the transform length is zero (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward FFT in place using the precomputed tables.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward_in_place(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match the plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.rev[i];
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut offset = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage = &self.twiddles[offset..offset + half];
+            let mut i = 0;
+            while i < n {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = buf[i + k];
+                    let v = buf[i + k + half] * w;
+                    buf[i + k] = u + v;
+                    buf[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+
+    /// One-sided power spectrum of a real signal into caller-owned buffers:
+    /// `signal` is zero-padded (or truncated) to the planned length in
+    /// `scratch`, transformed in place, and `out` receives the `n/2 + 1` bins
+    /// of `|X_k|^2`. Neither buffer allocates after its first use at this
+    /// plan's length — this is the zero-allocation hot path under per-window
+    /// MFCC extraction.
+    pub fn power_spectrum_into(&self, signal: &[f64], scratch: &mut Vec<Complex>, out: &mut Vec<f64>) {
+        scratch.clear();
+        scratch.resize(self.n, Complex::default());
+        for (b, &s) in scratch.iter_mut().zip(signal.iter()) {
+            b.re = s;
+        }
+        self.forward_in_place(scratch);
+        let half = self.n / 2;
+        out.clear();
+        out.extend(scratch[..=half].iter().map(|c| c.norm_sq()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +357,43 @@ mod tests {
     fn non_pow2_rejected() {
         let mut buf = vec![Complex::default(); 3];
         fft_in_place(&mut buf, false);
+    }
+
+    #[test]
+    fn plan_forward_is_bit_identical_to_fft_in_place() {
+        for n in [1usize, 2, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            let mut a: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.73).sin(), (i as f64 * 0.31).cos()))
+                .collect();
+            let mut b = a.clone();
+            fft_in_place(&mut a, false);
+            plan.forward_in_place(&mut b);
+            // Exact equality: the plan replays the same incremental twiddle
+            // recurrence, so outputs must match bit for bit.
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_power_spectrum_matches_free_function() {
+        let sig: Vec<f64> = (0..200).map(|i| (i as f64 * 0.11).sin()).collect();
+        let reference = power_spectrum(&sig);
+        let plan = FftPlan::new(next_pow2(sig.len()));
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        plan.power_spectrum_into(&sig, &mut scratch, &mut out);
+        assert_eq!(out, reference);
+        // Reuse with a second signal: buffers are recycled, result unchanged.
+        let sig2: Vec<f64> = (0..200).map(|i| (i as f64 * 0.29).cos()).collect();
+        plan.power_spectrum_into(&sig2, &mut scratch, &mut out);
+        assert_eq!(out, power_spectrum(&sig2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_pow2() {
+        let _ = FftPlan::new(12);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! separate speakers with different levels).
 
 use crate::dct::dct2;
-use crate::fft::power_spectrum;
-use crate::window::{apply_window, frames, hamming};
+use crate::fft::FftPlan;
+use crate::window::{apply_window_into, hamming};
 
 /// Number of MFCC coefficients the paper uses.
 pub const MFCC_DIMS: usize = 14;
@@ -79,15 +79,21 @@ impl MelFilterbank {
 
     /// Applies the bank to a power spectrum, returning per-filter energies.
     pub fn apply(&self, power: &[f64]) -> Vec<f64> {
-        self.filters
-            .iter()
-            .map(|f| {
-                f.iter()
-                    .zip(power.iter())
-                    .map(|(w, p)| w * p)
-                    .sum::<f64>()
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.apply_into(power, &mut out);
+        out
+    }
+
+    /// Applies the bank into a caller-owned buffer (cleared first), avoiding
+    /// the per-window allocation of [`MelFilterbank::apply`] on hot paths.
+    pub fn apply_into(&self, power: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.filters.iter().map(|f| {
+            f.iter()
+                .zip(power.iter())
+                .map(|(w, p)| w * p)
+                .sum::<f64>()
+        }));
     }
 
     /// Number of filters.
@@ -110,6 +116,7 @@ pub struct MfccExtractor {
     hop: usize,
     window: Vec<f64>,
     bank: MelFilterbank,
+    plan: FftPlan,
     n_coeffs: usize,
 }
 
@@ -144,6 +151,7 @@ impl MfccExtractor {
             hop,
             window: hamming(frame_len),
             bank,
+            plan: FftPlan::new(fft_len),
             n_coeffs,
         }
     }
@@ -165,20 +173,47 @@ impl MfccExtractor {
 
     /// Extracts one MFCC vector per frame of `signal`.
     ///
+    /// Frames are processed in parallel chunks (see `medvid-par`); each chunk
+    /// reuses one set of scratch buffers and the shared [`FftPlan`], so the
+    /// steady-state hot loop performs no per-window allocation beyond the
+    /// returned coefficient vectors. Every frame is a pure function of the
+    /// input, so the output is bit-identical at any thread count.
+    ///
     /// Returns an empty vector for signals shorter than one frame.
     pub fn extract(&self, signal: &[f32]) -> Vec<Vec<f64>> {
         let pre = pre_emphasis(signal, 0.97);
-        frames(&pre, self.frame_len, self.hop)
-            .map(|frame| {
-                let windowed = apply_window(frame, &self.window);
-                let power = power_spectrum(&windowed);
-                let energies = self.bank.apply(&power);
-                let logs: Vec<f64> = energies.iter().map(|&e| (e + 1e-12).ln()).collect();
-                let mut c = dct2(&logs);
-                c.truncate(self.n_coeffs);
-                c
-            })
-            .collect()
+        let n_frames = if pre.len() < self.frame_len {
+            0
+        } else {
+            (pre.len() - self.frame_len) / self.hop + 1
+        };
+        let starts: Vec<usize> = (0..n_frames).map(|i| i * self.hop).collect();
+        medvid_par::par_map_chunks(
+            &starts,
+            medvid_par::chunk_len_for(starts.len()),
+            |_, chunk| {
+                let mut windowed = Vec::with_capacity(self.frame_len);
+                let mut scratch = Vec::new();
+                let mut power = Vec::new();
+                let mut energies = Vec::new();
+                let mut logs = Vec::new();
+                chunk
+                    .iter()
+                    .map(|&start| {
+                        let frame = &pre[start..start + self.frame_len];
+                        apply_window_into(frame, &self.window, &mut windowed);
+                        self.plan
+                            .power_spectrum_into(&windowed, &mut scratch, &mut power);
+                        self.bank.apply_into(&power, &mut energies);
+                        logs.clear();
+                        logs.extend(energies.iter().map(|&e| (e + 1e-12).ln()));
+                        let mut c = dct2(&logs);
+                        c.truncate(self.n_coeffs);
+                        c
+                    })
+                    .collect()
+            },
+        )
     }
 }
 
@@ -264,6 +299,28 @@ mod tests {
     fn short_signal_gives_no_frames() {
         let ex = MfccExtractor::paper_default(8000);
         assert!(ex.extract(&[0.0; 100]).is_empty());
+    }
+
+    #[test]
+    fn extract_is_bit_identical_across_thread_counts() {
+        let ex = MfccExtractor::paper_default(8000);
+        let sig: Vec<f32> = (0..16000)
+            .map(|i| (2.0 * PI * 330.0 * i as f32 / 8000.0).sin() * (1.0 + (i as f32 * 1e-3).cos()))
+            .collect();
+        let reference = medvid_par::with_threads(1, || ex.extract(&sig));
+        for threads in [2, 4, 8] {
+            let out = medvid_par::with_threads(threads, || ex.extract(&sig));
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let bank = MelFilterbank::new(12, 65, 8000);
+        let power: Vec<f64> = (0..65).map(|i| (i as f64 * 0.3).sin().abs()).collect();
+        let mut out = vec![1.0; 3];
+        bank.apply_into(&power, &mut out);
+        assert_eq!(out, bank.apply(&power));
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub fn apply_window(frame: &[f32], window: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Applies a window into a caller-owned buffer (cleared first), avoiding the
+/// per-frame allocation of [`apply_window`] on hot paths.
+pub fn apply_window_into(frame: &[f32], window: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        frame
+            .iter()
+            .zip(window.iter())
+            .map(|(&s, &w)| s as f64 * w),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +108,14 @@ mod tests {
     fn apply_window_multiplies_pairwise() {
         let out = apply_window(&[2.0, 4.0], &[0.5, 0.25]);
         assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_window_into_matches_and_reuses_buffer() {
+        let mut buf = vec![9.0; 17];
+        apply_window_into(&[2.0, 4.0], &[0.5, 0.25], &mut buf);
+        assert_eq!(buf, apply_window(&[2.0, 4.0], &[0.5, 0.25]));
+        apply_window_into(&[1.0, 3.0, 5.0], &[1.0, 2.0, 3.0], &mut buf);
+        assert_eq!(buf, vec![1.0, 6.0, 15.0]);
     }
 }

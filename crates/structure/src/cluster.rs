@@ -7,8 +7,8 @@
 //! `rho(N)` (a Davies–Bouldin-style ratio of intra- to inter-cluster
 //! distances, Eqs. 14–15).
 
-use crate::scene::select_rep_group;
-use crate::similarity::{group_similarity, SimilarityWeights};
+use crate::scene::select_rep_group_cached;
+use crate::similarity::{GroupSimMatrix, SimilarityWeights};
 use medvid_types::{ClusterId, ClusteredScene, Group, GroupId, Scene, SceneId, Shot};
 
 /// Scene-clustering parameters.
@@ -73,6 +73,11 @@ pub fn cluster_scenes_stats(
     if m == 0 {
         return (Vec::new(), stats);
     }
+    // Every pair PCS ever compares — merge search, centroid re-selection,
+    // validity scoring — is between groups of this fixed slice, so one
+    // parallel matrix pass replaces the O(iterations * k^2) recomputation of
+    // Eq. (9). The cells are the exact values direct calls would produce.
+    let sims = GroupSimMatrix::compute(groups, shots, w);
     let mut clusters: Vec<Cluster> = scenes
         .iter()
         .map(|s| Cluster {
@@ -103,12 +108,7 @@ pub fn cluster_scenes_stats(
         let mut best: Option<(usize, usize, f32)> = None;
         for i in 0..clusters.len() {
             for j in i + 1..clusters.len() {
-                let sim = group_similarity(
-                    &groups[clusters[i].centroid.index()],
-                    &groups[clusters[j].centroid.index()],
-                    shots,
-                    w,
-                );
+                let sim = sims.get(clusters[i].centroid, clusters[j].centroid);
                 if best.map(|(_, _, b)| sim > b).unwrap_or(true) {
                     best = Some((i, j, sim));
                 }
@@ -124,7 +124,7 @@ pub fn cluster_scenes_stats(
             .iter()
             .flat_map(|&sid| scenes[sid.index()].groups.clone())
             .collect();
-        clusters[i].centroid = select_rep_group(&member_groups, groups, shots, w);
+        clusters[i].centroid = select_rep_group_cached(&member_groups, groups, shots, &sims);
         if clusters.len() <= c_max && clusters.len() >= c_min {
             candidates.push(clusters.clone());
         }
@@ -138,8 +138,8 @@ pub fn cluster_scenes_stats(
     let chosen = candidates
         .iter()
         .min_by(|a, b| {
-            validity(a, scenes, groups, shots, w)
-                .partial_cmp(&validity(b, scenes, groups, shots, w))
+            validity(a, scenes, &sims)
+                .partial_cmp(&validity(b, scenes, &sims))
                 .expect("finite validity index")
         })
         .expect("at least one candidate");
@@ -160,14 +160,8 @@ pub fn cluster_scenes_stats(
 /// The validity index rho(N) (Eqs. 14–15): a Davies–Bouldin ratio where the
 /// intra-cluster distance of cluster `i` is the mean `1 - GpSim(member,
 /// centroid)` and the inter-cluster distance is `1 - GpSim(centroid_i,
-/// centroid_j)`.
-fn validity(
-    clusters: &[Cluster],
-    scenes: &[Scene],
-    groups: &[Group],
-    shots: &[Shot],
-    w: SimilarityWeights,
-) -> f64 {
+/// centroid_j)`. All similarities come from the precomputed matrix.
+fn validity(clusters: &[Cluster], scenes: &[Scene], sims: &GroupSimMatrix) -> f64 {
     let n = clusters.len();
     if n <= 1 {
         // A single cluster has no inter-cluster distance; treat as worst.
@@ -180,12 +174,7 @@ fn validity(
                 .scenes
                 .iter()
                 .map(|&sid| {
-                    1.0 - group_similarity(
-                        &groups[scenes[sid.index()].representative_group.index()],
-                        &groups[c.centroid.index()],
-                        shots,
-                        w,
-                    ) as f64
+                    1.0 - sims.get(scenes[sid.index()].representative_group, c.centroid) as f64
                 })
                 .sum();
             sum / c.scenes.len() as f64
@@ -198,13 +187,7 @@ fn validity(
             if i == j {
                 continue;
             }
-            let inter = 1.0
-                - group_similarity(
-                    &groups[clusters[i].centroid.index()],
-                    &groups[clusters[j].centroid.index()],
-                    shots,
-                    w,
-                ) as f64;
+            let inter = 1.0 - sims.get(clusters[i].centroid, clusters[j].centroid) as f64;
             let ratio = (intra[i] + intra[j]) / inter.max(1e-6);
             worst = worst.max(ratio);
         }

@@ -31,24 +31,27 @@ pub struct GroupDetection {
 }
 
 /// Left/right correlations of Eqs. (2)–(5): the best similarity between shot
-/// `i` and its up-to-two neighbours on each side.
+/// `i` and its up-to-two neighbours on each side. Each shot's pair is an
+/// independent computation, so the scan runs in parallel.
 fn correlations(shots: &[Shot], w: SimilarityWeights) -> (Vec<f32>, Vec<f32>) {
     let n = shots.len();
-    let mut cl = vec![0.0f32; n];
-    let mut cr = vec![0.0f32; n];
-    for i in 0..n {
+    medvid_par::par_map_indexed(n, |i| {
+        let mut cl = 0.0f32;
+        let mut cr = 0.0f32;
         for back in 1..=2usize {
             if i >= back {
-                cl[i] = cl[i].max(shot_similarity(&shots[i], &shots[i - back], w));
+                cl = cl.max(shot_similarity(&shots[i], &shots[i - back], w));
             }
         }
         for fwd in 1..=2usize {
             if i + fwd < n {
-                cr[i] = cr[i].max(shot_similarity(&shots[i], &shots[i + fwd], w));
+                cr = cr.max(shot_similarity(&shots[i], &shots[i + fwd], w));
             }
         }
-    }
-    (cl, cr)
+        (cl, cr)
+    })
+    .into_iter()
+    .unzip()
 }
 
 /// Eq. (6): separation factor `R(i) = (CR_i + CR_{i+1}) / (CL_i + CL_{i+1})`.

@@ -1,6 +1,6 @@
 //! Group merging for scene detection (paper Sec. 3.4).
 
-use crate::similarity::{group_similarity, SimilarityWeights};
+use crate::similarity::{group_similarity, GroupSimMatrix, SimilarityWeights};
 use medvid_signal::entropy::entropy_threshold;
 use medvid_types::{Group, GroupId, Scene, SceneId, Shot};
 
@@ -50,11 +50,11 @@ pub fn detect_scenes(
             dropped: 0,
         };
     }
-    // Step 1: similarities between all neighbouring groups (Eq. 10).
-    let sims: Vec<f32> = groups
-        .windows(2)
-        .map(|pair| group_similarity(&pair[0], &pair[1], shots, w))
-        .collect();
+    // Step 1: similarities between all neighbouring groups (Eq. 10),
+    // computed in parallel (each pair is independent).
+    let sims: Vec<f32> = medvid_par::par_map_indexed(groups.len() - 1, |i| {
+        group_similarity(&groups[i], &groups[i + 1], shots, w)
+    });
     // Step 2: entropy merge threshold.
     let tg = config
         .merge_threshold
@@ -103,6 +103,30 @@ pub fn select_rep_group(
     shots: &[Shot],
     w: SimilarityWeights,
 ) -> GroupId {
+    select_rep_group_by(members, groups, shots, |a, b| {
+        group_similarity(&groups[a.index()], &groups[b.index()], shots, w)
+    })
+}
+
+/// [`select_rep_group`] served from a precomputed [`GroupSimMatrix`] instead
+/// of recomputing Eq. (9) per pair. The matrix stores the same values a
+/// direct call would produce, so the selection is identical.
+pub fn select_rep_group_cached(
+    members: &[GroupId],
+    groups: &[Group],
+    shots: &[Shot],
+    sims: &GroupSimMatrix,
+) -> GroupId {
+    select_rep_group_by(members, groups, shots, |a, b| sims.get(a, b))
+}
+
+/// The selection core, generic over how a pair similarity is obtained.
+fn select_rep_group_by(
+    members: &[GroupId],
+    groups: &[Group],
+    shots: &[Shot],
+    sim: impl Fn(GroupId, GroupId) -> f32,
+) -> GroupId {
     match members.len() {
         0 => panic!("empty scene has no representative group"),
         1 => members[0],
@@ -135,9 +159,7 @@ pub fn select_rep_group(
                         members
                             .iter()
                             .filter(|&&o| o != g)
-                            .map(|&o| {
-                                group_similarity(&groups[g.index()], &groups[o.index()], shots, w)
-                            })
+                            .map(|&o| sim(g, o))
                             .sum::<f32>()
                             / (members.len() - 1) as f32
                     };

@@ -63,6 +63,12 @@ pub fn detect_shots(video: &Video, config: &ShotDetectorConfig) -> ShotDetection
 
 /// Detects cut positions (frame indices at which a new shot starts).
 /// Returns `(cuts, frame_diffs, thresholds)`.
+///
+/// Frame differencing and the per-index adaptive thresholds run in parallel
+/// (each is a pure function of its index); the window statistics come from
+/// sequentially-built rolling prefix sums, so the output is identical at any
+/// thread count. Only the final cut scan — inherently sequential through its
+/// minimum-shot-length suppression — runs on one thread.
 pub fn detect_cuts(
     frames: &[Image],
     config: &ShotDetectorConfig,
@@ -73,22 +79,18 @@ pub fn detect_cuts(
     }
     // d[i] = difference between frame i and frame i+1; a cut at d[i] means a
     // new shot starts at frame i+1.
-    let diffs: Vec<f32> = frames
-        .windows(2)
-        .map(|w| w[0].mean_abs_diff(&w[1]))
-        .collect();
+    let diffs: Vec<f32> =
+        medvid_par::par_map_indexed(n - 1, |i| frames[i].mean_abs_diff(&frames[i + 1]));
     let win = config.window.max(4);
-    let mut thresholds = vec![0.0f32; diffs.len()];
-    for (i, t) in thresholds.iter_mut().enumerate() {
+    let stats = rolling_window_stats(&diffs, win);
+    let thresholds: Vec<f32> = medvid_par::par_map_indexed(diffs.len(), |i| {
         let lo = i.saturating_sub(win / 2);
         let hi = (i + win / 2).min(diffs.len());
-        let local = &diffs[lo..hi];
-        let te = entropy_threshold(local);
-        let mean = local.iter().sum::<f32>() / local.len() as f32;
-        let var = local.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / local.len() as f32;
-        let activity = mean + config.activity_factor * var.sqrt();
-        *t = te.max(activity).max(config.floor);
-    }
+        let te = entropy_threshold(&diffs[lo..hi]);
+        let (mean, var) = stats[i];
+        let activity = (mean + config.activity_factor as f64 * var.sqrt()) as f32;
+        te.max(activity).max(config.floor)
+    });
     let mut cuts = Vec::new();
     let mut last_cut = 0usize; // frame index of the current shot's start
     for i in 0..diffs.len() {
@@ -111,8 +113,50 @@ pub fn detect_cuts(
     (cuts, diffs, thresholds)
 }
 
+/// Centered sliding-window mean and population variance for every index of
+/// `values`: index `i`'s window covers `[i - win/2, min(i + win/2, n))`
+/// (clamped at the edges), matching the threshold windows of [`detect_cuts`].
+///
+/// Built from `f64` rolling prefix sums (sum and sum of squares), so the
+/// whole pass is O(n) instead of the O(n·win) of recomputing each window —
+/// and being a sequential prefix scan, the result is independent of the
+/// thread count of any surrounding parallel region.
+pub fn rolling_window_stats(values: &[f32], win: usize) -> Vec<(f64, f64)> {
+    let n = values.len();
+    // prefix[i] = (sum, sum of squares) of values[..i].
+    let mut sum = vec![0.0f64; n + 1];
+    let mut sq = vec![0.0f64; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        let v = v as f64;
+        sum[i + 1] = sum[i] + v;
+        sq[i + 1] = sq[i] + v * v;
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(win / 2);
+            let hi = (i + win / 2).min(n);
+            let cnt = (hi - lo) as f64;
+            let mean = (sum[hi] - sum[lo]) / cnt;
+            let var = ((sq[hi] - sq[lo]) / cnt - mean * mean).max(0.0);
+            (mean, var)
+        })
+        .collect()
+}
+
+/// Extracts the representative-frame feature pair the paper indexes shots by
+/// (Sec. 3.1): the 256-bin HSV colour histogram and the 10-dim Tamura
+/// coarseness descriptor.
+pub fn frame_features(frame: &Image) -> FrameFeatures {
+    FrameFeatures {
+        color: hsv_histogram(frame),
+        texture: coarseness(frame),
+    }
+}
+
 /// Builds [`Shot`]s from cut positions, extracting features from each shot's
-/// representative frame.
+/// representative frame. Feature extraction (histogram + Tamura, the
+/// dominant cost) runs in parallel across shots; shot ids and order are
+/// positional, so the output is identical at any thread count.
 pub fn build_shots(frames: &[Image], cuts: &[usize]) -> Vec<Shot> {
     if frames.is_empty() {
         return Vec::new();
@@ -121,20 +165,18 @@ pub fn build_shots(frames: &[Image], cuts: &[usize]) -> Vec<Shot> {
     boundaries.push(0);
     boundaries.extend_from_slice(cuts);
     boundaries.push(frames.len());
-    boundaries
+    let spans: Vec<(usize, usize, usize)> = boundaries
         .windows(2)
         .enumerate()
         .filter(|(_, w)| w[1] > w[0])
-        .map(|(i, w)| {
-            let rep = Shot::representative_frame(w[0], w[1]);
-            let frame = &frames[rep.min(frames.len() - 1)];
-            let features = FrameFeatures {
-                color: hsv_histogram(frame),
-                texture: coarseness(frame),
-            };
-            Shot::new(ShotId(i), w[0], w[1], features).expect("non-empty span")
-        })
-        .collect()
+        .map(|(i, w)| (i, w[0], w[1]))
+        .collect();
+    medvid_par::par_map_indexed(spans.len(), |s| {
+        let (i, start, end) = spans[s];
+        let rep = Shot::representative_frame(start, end);
+        let frame = &frames[rep.min(frames.len() - 1)];
+        Shot::new(ShotId(i), start, end, frame_features(frame)).expect("non-empty span")
+    })
 }
 
 #[cfg(test)]
@@ -217,5 +259,48 @@ mod tests {
         let frames = vec![Image::black(16, 16); 50];
         let (cuts, ..) = detect_cuts(&frames, &ShotDetectorConfig::default());
         assert!(cuts.is_empty(), "static video must not cut: {cuts:?}");
+    }
+
+    #[test]
+    fn rolling_stats_match_naive_windows() {
+        // Deterministic pseudo-random values in the range frame diffs live in.
+        let values: Vec<f32> = (0..500u32)
+            .map(|i| ((i * 37 % 101) as f32) * 0.37 + ((i * 13 % 7) as f32) * 4.1)
+            .collect();
+        for win in [4usize, 30, 101] {
+            let stats = rolling_window_stats(&values, win);
+            assert_eq!(stats.len(), values.len());
+            for (i, &(mean, var)) in stats.iter().enumerate() {
+                let lo = i.saturating_sub(win / 2);
+                let hi = (i + win / 2).min(values.len());
+                let local = &values[lo..hi];
+                let naive_mean =
+                    local.iter().map(|&v| v as f64).sum::<f64>() / local.len() as f64;
+                let naive_var = local
+                    .iter()
+                    .map(|&v| (v as f64 - naive_mean) * (v as f64 - naive_mean))
+                    .sum::<f64>()
+                    / local.len() as f64;
+                assert!(
+                    (mean - naive_mean).abs() <= 1e-5,
+                    "win {win} idx {i}: rolling mean {mean} vs naive {naive_mean}"
+                );
+                assert!(
+                    (var - naive_var).abs() <= 1e-5,
+                    "win {win} idx {i}: rolling var {var} vs naive {naive_var}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_is_identical_across_thread_counts() {
+        let video = test_video();
+        let cfg = ShotDetectorConfig::default();
+        let reference = medvid_par::with_threads(1, || detect_cuts(&video.frames, &cfg));
+        for threads in [2, 4] {
+            let out = medvid_par::with_threads(threads, || detect_cuts(&video.frames, &cfg));
+            assert_eq!(out, reference, "threads={threads}");
+        }
     }
 }

@@ -1,6 +1,7 @@
-//! Shot and group similarity (paper Eqs. 1, 8, 9).
+//! Shot and group similarity (paper Eqs. 1, 8, 9) and the precomputed
+//! group-similarity matrix behind PCS scene clustering.
 
-use medvid_types::{FrameFeatures, Group, Shot};
+use medvid_types::{FrameFeatures, Group, GroupId, Shot};
 
 /// Colour/texture weights of Eq. (1). The paper fixes `WC = 0.7, WT = 0.3`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,10 +84,64 @@ pub fn group_similarity(a: &Group, b: &Group, shots: &[Shot], w: SimilarityWeigh
     sum / bench.len() as f32
 }
 
+/// A dense matrix of Eq. (9) group similarities over one fixed group slice.
+///
+/// PCS scene clustering evaluates `group_similarity` between the same groups
+/// over and over — every merge iteration rescans all centroid pairs, every
+/// candidate partition is scored by the validity index, and every merge
+/// re-selects a representative group. Computing the full matrix once (rows
+/// in parallel) turns all of that into O(1) lookups of the *same* `f32`
+/// values a direct call would produce, so clustering results are unchanged.
+///
+/// Note Eq. (9) is not symmetric for equal-size groups (the benchmark tie
+/// breaks on argument order), so all `n^2` cells are computed rather than
+/// mirroring a triangle — exactness over cleverness.
+#[derive(Debug, Clone)]
+pub struct GroupSimMatrix {
+    n: usize,
+    /// Row-major: `sims[i * n + j] = group_similarity(groups[i], groups[j])`.
+    sims: Vec<f32>,
+}
+
+impl GroupSimMatrix {
+    /// Computes the matrix for `groups` (rows in parallel; every cell is a
+    /// pure function of its indices, so the result is identical at any
+    /// thread count).
+    pub fn compute(groups: &[Group], shots: &[Shot], w: SimilarityWeights) -> Self {
+        let n = groups.len();
+        let rows: Vec<Vec<f32>> = medvid_par::par_map_indexed(n, |i| {
+            (0..n)
+                .map(|j| group_similarity(&groups[i], &groups[j], shots, w))
+                .collect()
+        });
+        let mut sims = Vec::with_capacity(n * n);
+        for row in rows {
+            sims.extend(row);
+        }
+        Self { n, sims }
+    }
+
+    /// Number of groups the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no groups.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The Eq. (9) similarity between groups `a` and `b` of the slice the
+    /// matrix was computed from.
+    pub fn get(&self, a: GroupId, b: GroupId) -> f32 {
+        self.sims[a.index() * self.n + b.index()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medvid_types::{ColorHistogram, GroupId, GroupKind, ShotId, TamuraTexture};
+    use medvid_types::{ColorHistogram, GroupKind, ShotId, TamuraTexture};
 
     fn features(bin: usize, tex_dim: usize) -> FrameFeatures {
         let mut bins = vec![0.0f32; 256];
@@ -177,5 +232,53 @@ mod tests {
         let b = shot(1, 5, 9);
         let s = shot_similarity(&a, &b, SimilarityWeights::color_only());
         assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sim_matrix_cells_equal_direct_calls() {
+        let shots = vec![
+            shot(0, 5, 2),
+            shot(1, 5, 7),
+            shot(2, 50, 5),
+            shot(3, 100, 1),
+            shot(4, 100, 1),
+        ];
+        let groups = vec![
+            group(0, &[0, 1]),
+            group(1, &[2]),
+            group(2, &[3, 4]),
+            group(3, &[1, 2, 3]),
+        ];
+        let w = SimilarityWeights::default();
+        let m = GroupSimMatrix::compute(&groups, &shots, w);
+        assert_eq!(m.len(), groups.len());
+        for a in &groups {
+            for b in &groups {
+                assert_eq!(
+                    m.get(a.id, b.id),
+                    group_similarity(a, b, &shots, w),
+                    "cell ({:?}, {:?})",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_matrix_is_identical_across_thread_counts() {
+        let shots: Vec<Shot> = (0..12).map(|i| shot(i, (i * 20) % 256, i % 10)).collect();
+        let groups: Vec<Group> = (0..6).map(|g| group(g, &[g * 2, g * 2 + 1])).collect();
+        let w = SimilarityWeights::default();
+        let reference =
+            medvid_par::with_threads(1, || GroupSimMatrix::compute(&groups, &shots, w));
+        for threads in [2, 4] {
+            let m = medvid_par::with_threads(threads, || GroupSimMatrix::compute(&groups, &shots, w));
+            for a in &groups {
+                for b in &groups {
+                    assert_eq!(m.get(a.id, b.id), reference.get(a.id, b.id));
+                }
+            }
+        }
     }
 }

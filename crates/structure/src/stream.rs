@@ -13,10 +13,8 @@
 //! centred window near sharp activity changes; both enforce the same
 //! local-maximum and minimum-length rules.
 
-use crate::shot::ShotDetectorConfig;
+use crate::shot::{frame_features, ShotDetectorConfig};
 use medvid_signal::entropy::entropy_threshold;
-use medvid_signal::hist::hsv_histogram;
-use medvid_signal::tamura::coarseness;
 use medvid_types::{FrameFeatures, Image, Shot, ShotId};
 use std::collections::VecDeque;
 
@@ -141,7 +139,7 @@ impl StreamingShotDetector {
     fn emit_shot(&mut self, cut_frame: usize) -> Option<Shot> {
         let start = self.shot_start;
         self.shot_start = cut_frame;
-        let features = self.take_features(start, cut_frame)?;
+        let features = self.take_features()?;
         let shot = Shot::new(ShotId(self.emitted), start, cut_frame, features).ok()?;
         self.emitted += 1;
         // The new shot's representative frame may already have passed; it is
@@ -151,22 +149,14 @@ impl StreamingShotDetector {
         Some(shot)
     }
 
-    fn take_features(&mut self, start: usize, end: usize) -> Option<FrameFeatures> {
-        let rep_target = Shot::representative_frame(start, end);
+    /// Features of the captured representative frame (falling back to the
+    /// last pushed frame on degenerate shots), via the same
+    /// [`frame_features`] extractor the batch path uses.
+    fn take_features(&mut self) -> Option<FrameFeatures> {
         match self.rep_frame.take() {
-            Some((idx, img)) if idx <= rep_target => Some(FrameFeatures {
-                color: hsv_histogram(&img),
-                texture: coarseness(&img),
-            }),
-            Some((_, img)) => Some(FrameFeatures {
-                color: hsv_histogram(&img),
-                texture: coarseness(&img),
-            }),
+            Some((_, img)) => Some(frame_features(&img)),
             // Degenerate: no frame captured (can only happen on empty shots).
-            None => self.prev_frame.as_ref().map(|img| FrameFeatures {
-                color: hsv_histogram(img),
-                texture: coarseness(img),
-            }),
+            None => self.prev_frame.as_ref().map(frame_features),
         }
     }
 
@@ -177,7 +167,7 @@ impl StreamingShotDetector {
         }
         let start = self.shot_start;
         let end = self.frames_seen;
-        let features = self.take_features(start, end)?;
+        let features = self.take_features()?;
         Shot::new(ShotId(self.emitted), start, end, features).ok()
     }
 }

@@ -21,6 +21,16 @@ cargo test -q --test serve_integration
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+# Benchmarks must keep compiling even though the gate never runs them fully.
+echo "== cargo bench --no-run =="
+cargo bench --no-run
+
+# Smoke-size run of the throughput benchmark: exercises the parallel engine
+# end-to-end (including its cross-thread determinism assertion) and refreshes
+# BENCH_pipeline.json.
+echo "== scripts/bench.sh --smoke =="
+scripts/bench.sh --smoke
+
 # Advisory only: the seed predates the toolchain's rustfmt style, so a hard
 # --check would fail on files no PR touched.
 echo "== cargo fmt --check (advisory) =="

@@ -1,0 +1,64 @@
+//! Determinism of the parallel mining engine: the full pipeline must produce
+//! bit-identical results at every thread count. Every parallel region in the
+//! workspace (frame diffs, representative-frame features, MFCC windows, clip
+//! classification, similarity matrices, corpus fan-out) computes pure
+//! per-index values into ordered slots, so the thread budget can only change
+//! wall-clock time — never output.
+
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_synth::{standard_corpus, CorpusScale};
+
+#[test]
+fn mine_is_identical_across_thread_counts() {
+    let corpus = standard_corpus(CorpusScale::Tiny, 91);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 91).expect("train miner");
+    let video = &corpus[0];
+    let reference = medvid_par::with_threads(1, || miner.mine(video));
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for threads in [2, available.max(2)] {
+        let mined = medvid_par::with_threads(threads, || miner.mine(video));
+        assert_eq!(
+            mined.structure, reference.structure,
+            "content structure must not depend on thread count (threads={threads})"
+        );
+        assert_eq!(
+            mined.events, reference.events,
+            "mined events must not depend on thread count (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn index_corpus_is_identical_across_thread_counts() {
+    let corpus = standard_corpus(CorpusScale::Tiny, 92);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), 92).expect("train miner");
+    let (_, ref_mined) = medvid_par::with_threads(1, || miner.index_corpus(&corpus));
+    let (_, par_mined) = medvid_par::with_threads(4, || miner.index_corpus(&corpus));
+    assert_eq!(ref_mined.len(), par_mined.len());
+    for (a, b) in ref_mined.iter().zip(&par_mined) {
+        assert_eq!(a.structure, b.structure);
+        assert_eq!(a.events, b.events);
+    }
+}
+
+#[test]
+fn par_map_chunks_panic_names_chunk_indices() {
+    let items: Vec<u32> = (0..40).collect();
+    let err = std::panic::catch_unwind(|| {
+        medvid_par::par_map_chunks(&items, 10, |chunk_idx, chunk| {
+            assert!(chunk_idx != 2, "boom");
+            chunk.iter().map(|&x| x * 2).collect()
+        })
+    })
+    .expect_err("panic must propagate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        msg.contains("chunk indices [2]"),
+        "panic message should name the failing chunk: {msg}"
+    );
+}
