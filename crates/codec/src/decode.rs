@@ -47,6 +47,10 @@ impl From<ReadError> for DecodeError {
 const MAX_DIM: u64 = 1 << 16;
 /// Sanity limit on frame count.
 const MAX_FRAMES: u64 = 1 << 24;
+/// Sanity limit on pixels per frame: the per-side cap alone still admits
+/// a 65536x65536 header, whose reconstruction planes would allocate tens
+/// of gigabytes before the first (likely garbage) frame byte is read.
+const MAX_PIXELS: u64 = 1 << 24;
 
 /// Decodes a bitstream produced by [`crate::encode_video`].
 ///
@@ -65,6 +69,9 @@ pub fn decode_video(bits: &[u8]) -> Result<Vec<Image>, DecodeError> {
     if width > MAX_DIM || height > MAX_DIM || n_frames > MAX_FRAMES {
         return Err(DecodeError::BadHeader);
     }
+    if width * height > MAX_PIXELS {
+        return Err(DecodeError::BadHeader);
+    }
     let (width, height) = (width as usize, height as usize);
     let quality = r.read_byte()?;
     let _gop = r.read_uvarint()?;
@@ -77,7 +84,10 @@ pub fn decode_video(bits: &[u8]) -> Result<Vec<Image>, DecodeError> {
     let (pw, ph) = Planes::padded_dims(width.max(1), height.max(1));
     let (bw, bh) = (pw / BLOCK, ph / BLOCK);
     let mut prev = Planes::zero(pw, ph);
-    let mut frames = Vec::with_capacity(n_frames as usize);
+    // Reserve against the bytes actually present, not the header's claim:
+    // every frame costs at least one stream byte, so a lying `n_frames`
+    // on a short buffer cannot force a huge up-front allocation.
+    let mut frames = Vec::with_capacity((n_frames as usize).min(r.remaining()));
 
     for _ in 0..n_frames {
         let ftype = r.read_byte()?;
@@ -132,8 +142,7 @@ pub fn decode_video(bits: &[u8]) -> Result<Vec<Image>, DecodeError> {
                             (bx * BLOCK) as isize + dx as isize,
                             (by * BLOCK) as isize + dy as isize,
                         );
-                        for ((o, &v), &p) in rec.iter_mut().zip(residual.iter()).zip(pred.iter())
-                        {
+                        for ((o, &v), &p) in rec.iter_mut().zip(residual.iter()).zip(pred.iter()) {
                             *o = (v + p).clamp(0.0, 255.0);
                         }
                     }
@@ -153,11 +162,7 @@ fn planes_to_image(p: &Planes, width: usize, height: usize) -> Image {
     for y in 0..height {
         for x in 0..width {
             let i = y * p.w + x;
-            img.set(
-                x,
-                y,
-                ycbcr_to_rgb(p.data[0][i], p.data[1][i], p.data[2][i]),
-            );
+            img.set(x, y, ycbcr_to_rgb(p.data[0][i], p.data[1][i], p.data[2][i]));
         }
     }
     img
@@ -184,7 +189,10 @@ mod tests {
         // Frame type byte follows magic(4) + w/h/count varints (3 x 1 byte
         // here) + quality byte + gop varint (1 byte) = offset 9.
         bits[9] = 7;
-        assert_eq!(decode_video(&bits).unwrap_err(), DecodeError::BadFrameType(7));
+        assert_eq!(
+            decode_video(&bits).unwrap_err(),
+            DecodeError::BadFrameType(7)
+        );
     }
 
     #[test]

@@ -129,7 +129,13 @@ fn main() {
     for r in &mut runs {
         r.speedup_vs_1 = base / r.wall_secs.max(1e-9);
     }
-    assert!(deterministic, "parallel mining must be bit-identical");
+    assert!(
+        deterministic,
+        "parallel mining must be bit-identical across thread budgets \
+         (corpus scale {scale:?}, seed 2003, threads {thread_counts:?}).\n\
+         Reproduce with: cargo run --release -p medvid-eval --bin exp_bench{}",
+        if smoke { " -- --smoke" } else { "" }
+    );
 
     let table: Vec<Vec<String>> = runs
         .iter()

@@ -1,0 +1,182 @@
+//! Snapshot persistence under byte-level corruption, driven by
+//! medvid-testkit: damaged snapshot bytes must surface as typed
+//! [`PersistError`]s — never a panic, never a silently inconsistent index.
+//!
+//! Failures print a one-line reproduction; replay with
+//! `MEDVID_TESTKIT_SEED=<seed> MEDVID_TESTKIT_CASES=<case + 1>`.
+
+use medvid_index::{AccessPolicy, DatabaseSnapshot, PersistError, ShotRef, VideoDatabase};
+use medvid_testkit::{corrupt_bytes, forall, require, Fault, NoShrink, TkRng};
+use medvid_types::{EventKind, ShotId, VideoId};
+
+/// The persistence fixture the crate's unit tests use: a medical hierarchy
+/// with 30 one-hot shots and the clinical access policy.
+fn sample_db(rng: &mut TkRng) -> VideoDatabase {
+    let mut db = VideoDatabase::medical();
+    let scenes = db.hierarchy().scene_nodes();
+    for i in 0..30 {
+        let mut f = vec![0.0f32; 266];
+        f[rng.usize_in(0, 265)] = rng.f32_in(0.25, 1.0);
+        db.insert_shot(
+            ShotRef {
+                video: VideoId(i / 10),
+                shot: ShotId(i),
+            },
+            f,
+            EventKind::DETERMINATE[i % 3],
+            scenes[i % scenes.len()],
+        );
+    }
+    db.set_policy(AccessPolicy::clinical_protection());
+    db.build();
+    db
+}
+
+fn snapshot_bytes(rng: &mut TkRng) -> Vec<u8> {
+    serde_json::to_vec(&sample_db(rng).snapshot()).expect("snapshot serialises")
+}
+
+/// Parse damaged bytes and, when they still parse, restore — the whole
+/// path must produce a database or a typed error.
+fn restore(bytes: &[u8]) -> Result<VideoDatabase, PersistError> {
+    let snapshot: DatabaseSnapshot = serde_json::from_slice(bytes)?;
+    VideoDatabase::from_snapshot(snapshot)
+}
+
+#[test]
+fn clean_snapshot_bytes_restore_identically() {
+    forall(
+        "serde roundtrip restores every record",
+        |rng| NoShrink(snapshot_bytes(rng)),
+        |bytes| {
+            let db = restore(&bytes.0).map_err(|e| format!("clean restore failed: {e}"))?;
+            require!(db.len() == 30, "restored {} of 30 records", db.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_snapshots_error_typed() {
+    forall(
+        "every proper prefix of a snapshot is a typed error",
+        |rng| {
+            let bytes = snapshot_bytes(rng);
+            let cut = rng.usize_in(0, bytes.len().saturating_sub(1));
+            (NoShrink(bytes), cut)
+        },
+        |(bytes, cut)| {
+            let bytes = &bytes.0;
+            if *cut >= bytes.len() {
+                return Ok(()); // a shrunk candidate left the domain
+            }
+            let mauled = corrupt_bytes(bytes, Fault::TruncateAfter(*cut));
+            match restore(&mauled) {
+                Ok(_) => Err(format!(
+                    "prefix of {cut}/{} bytes restored successfully",
+                    bytes.len()
+                )),
+                Err(PersistError::Format(_)) => Ok(()), // truncated JSON
+                Err(e) => Err(format!("unexpected error class: {e}")),
+            }
+        },
+    );
+}
+
+#[test]
+fn garbage_spliced_snapshots_never_panic() {
+    forall(
+        "seeded garbage in the byte stream yields Ok or a typed error",
+        |rng| {
+            let bytes = snapshot_bytes(rng);
+            let fault = Fault::Garbage {
+                len: rng.usize_in(1, 512),
+                seed: rng.next_u64(),
+            };
+            (NoShrink(bytes), NoShrink(fault))
+        },
+        |(bytes, fault)| {
+            let mauled = corrupt_bytes(&bytes.0, fault.0);
+            // Reaching a Result at all is the property; a lucky splice may
+            // still parse, in which case the restore must have validated.
+            match restore(&mauled) {
+                Ok(db) => {
+                    require!(db.len() <= 30, "restored more records than persisted");
+                    Ok(())
+                }
+                Err(
+                    PersistError::Format(_) | PersistError::Version(_) | PersistError::Corrupt(_),
+                ) => Ok(()),
+                Err(PersistError::Io(e)) => Err(format!("phantom I/O error: {e}")),
+            }
+        },
+    );
+}
+
+#[test]
+fn tampered_snapshot_fields_are_rejected_not_trusted() {
+    forall(
+        "semantic tampering is caught by version/validation checks",
+        |rng| {
+            let bytes = snapshot_bytes(rng);
+            let mode = rng.usize_in(0, 2);
+            let arg = rng.u64_in(2, 1 << 20);
+            (NoShrink(bytes), mode, arg)
+        },
+        |(bytes, mode, arg)| {
+            let mut snapshot: DatabaseSnapshot =
+                serde_json::from_slice(&bytes.0).map_err(|e| format!("fixture invalid: {e}"))?;
+            match mode {
+                0 => {
+                    // Unknown version number.
+                    snapshot.version = *arg as u32;
+                    match VideoDatabase::from_snapshot(snapshot) {
+                        Err(PersistError::Version(v)) => {
+                            require!(v == *arg as u32, "error reports version {v}");
+                        }
+                        other => {
+                            return Err(format!(
+                                "version {arg} accepted: {:?}",
+                                other.map(|db| db.len())
+                            ))
+                        }
+                    }
+                }
+                1 => {
+                    // A record pointing at a concept node that does not exist.
+                    let Some(r) = snapshot.records.first_mut() else {
+                        return Ok(());
+                    };
+                    r.scene_node =
+                        medvid_index::NodeId(snapshot.hierarchy.nodes().len() + *arg as usize);
+                    match VideoDatabase::from_snapshot(snapshot) {
+                        Err(PersistError::Corrupt(_)) => {}
+                        other => {
+                            return Err(format!(
+                                "dangling node accepted: {:?}",
+                                other.map(|db| db.len())
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // A record whose feature dimension disagrees with the rest.
+                    let Some(r) = snapshot.records.last_mut() else {
+                        return Ok(());
+                    };
+                    r.features.truncate(r.features.len() / 2);
+                    match VideoDatabase::from_snapshot(snapshot) {
+                        Err(PersistError::Corrupt(_)) => {}
+                        other => {
+                            return Err(format!(
+                                "mismatched dimensions accepted: {:?}",
+                                other.map(|db| db.len())
+                            ))
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,175 @@
+//! Parallel-executor laws checked with the medvid-testkit property runner.
+//!
+//! Failures print a one-line reproduction; replay with
+//! `MEDVID_TESTKIT_SEED=<seed> MEDVID_TESTKIT_CASES=<case + 1>`.
+
+use medvid_par::{par_map_chunks, par_map_indexed, try_par_map_indexed, with_threads};
+use medvid_testkit::{forall, require};
+
+/// A cheap but index-sensitive pure task, seeded per case so different
+/// cases exercise different value patterns.
+fn task(seed: u64, i: usize) -> u64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+#[test]
+fn par_map_indexed_matches_sequential_at_any_thread_count() {
+    forall(
+        "par_map_indexed == sequential map for all thread counts",
+        |rng| {
+            let n = rng.usize_in(0, 600);
+            let threads = rng.usize_in(1, 9);
+            let seed = rng.next_u64();
+            (n, threads, seed)
+        },
+        |&(n, threads, seed)| {
+            let expected: Vec<u64> = (0..n).map(|i| task(seed, i)).collect();
+            let got = with_threads(threads.max(1), || par_map_indexed(n, |i| task(seed, i)));
+            require!(
+                got == expected,
+                "n={n} threads={threads}: parallel map diverged from sequential"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn par_map_chunks_matches_chunked_sequential() {
+    forall(
+        "par_map_chunks == sequential chunk walk",
+        |rng| {
+            let n = rng.usize_in(0, 400);
+            let items: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let chunk_len = rng.usize_in(1, 64);
+            let threads = rng.usize_in(1, 9);
+            (items, chunk_len, threads)
+        },
+        |(items, chunk_len, threads)| {
+            let chunk_len = (*chunk_len).max(1); // shrinking may drive it to 0
+            let per_chunk = |idx: usize, chunk: &[u64]| -> Vec<u64> {
+                chunk.iter().map(|&v| v ^ (idx as u64)).collect()
+            };
+            let expected: Vec<u64> = items
+                .chunks(chunk_len)
+                .enumerate()
+                .flat_map(|(idx, chunk)| per_chunk(idx, chunk))
+                .collect();
+            let got = with_threads((*threads).max(1), || {
+                par_map_chunks(items, chunk_len, per_chunk)
+            });
+            require!(
+                got == expected,
+                "len={} chunk_len={chunk_len} threads={threads}: chunked map diverged",
+                items.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn try_par_map_reports_exactly_the_failing_indices() {
+    forall(
+        "try_par_map_indexed error == sorted panicking indices",
+        |rng| {
+            // Kept small: every scripted failure is a real panic, and panic
+            // output from worker threads escapes libtest's capture.
+            let n = rng.usize_in(1, 48);
+            let fail_seed = rng.next_u64();
+            let fail_rate_pct = rng.usize_in(0, 25);
+            let threads = rng.usize_in(1, 9);
+            (n, fail_seed, fail_rate_pct as u64, threads)
+        },
+        |&(n, fail_seed, fail_rate_pct, threads)| {
+            let should_fail = |i: usize| task(fail_seed, i) % 100 < fail_rate_pct;
+            let expected_failures: Vec<usize> = (0..n).filter(|&i| should_fail(i)).collect();
+            let result = with_threads(threads.max(1), || {
+                try_par_map_indexed(n, |i| {
+                    if should_fail(i) {
+                        panic!("scripted failure at {i}");
+                    }
+                    task(fail_seed, i)
+                })
+            });
+            match result {
+                Ok(out) => {
+                    require!(
+                        expected_failures.is_empty(),
+                        "succeeded despite {} scripted failures",
+                        expected_failures.len()
+                    );
+                    require!(out.len() == n, "got {} of {n} results", out.len());
+                    for (i, &v) in out.iter().enumerate() {
+                        require!(v == task(fail_seed, i), "index {i} wrong");
+                    }
+                }
+                Err(failed) => {
+                    require!(
+                        failed == expected_failures,
+                        "failure set {failed:?} != scripted {expected_failures:?}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn with_threads_is_reentrant_safe_for_nested_maps() {
+    forall(
+        "nested parallel regions degrade to sequential, same answer",
+        |rng| {
+            let outer = rng.usize_in(1, 40);
+            let inner = rng.usize_in(0, 40);
+            let seed = rng.next_u64();
+            (outer, inner, seed)
+        },
+        |&(outer, inner, seed)| {
+            if outer == 0 {
+                return Ok(()); // a shrunk candidate left the domain
+            }
+            let expected: Vec<u64> = (0..outer)
+                .map(|i| (0..inner).map(|j| task(seed, i * inner + j)).sum())
+                .collect();
+            let got = with_threads(4, || {
+                par_map_indexed(outer, |i| {
+                    par_map_indexed(inner, |j| task(seed, i * inner + j))
+                        .into_iter()
+                        .sum::<u64>()
+                })
+            });
+            require!(
+                got == expected,
+                "nested map diverged at outer={outer} inner={inner}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn thread_schedule_never_leaks_into_results() {
+    // Metamorphic check: the same work under two different thread budgets
+    // (drawn from the same case) must agree bit-for-bit.
+    forall(
+        "results identical across two random thread budgets",
+        |rng| {
+            let n = rng.usize_in(0, 300);
+            let t1 = rng.usize_in(1, 12);
+            let t2 = rng.usize_in(1, 12);
+            let seed = rng.next_u64();
+            (n, t1, t2, seed)
+        },
+        |&(n, t1, t2, seed)| {
+            let a = with_threads(t1.max(1), || par_map_indexed(n, |i| task(seed, i)));
+            let b = with_threads(t2.max(1), || par_map_indexed(n, |i| task(seed, i)));
+            require!(a == b, "thread budgets {t1} vs {t2} disagree for n={n}");
+            Ok(())
+        },
+    );
+}

@@ -1,18 +1,22 @@
 //! Blocking client for the `medvid-serve/v1` protocol.
 
 use crate::protocol::{self, IngestShot, QueryRequest, Request, Response};
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// One connection to a serve instance. Requests are strictly
 /// request/response, so a client is usable from one thread at a time;
 /// spawn one per thread for concurrent load.
-pub struct Client {
-    stream: TcpStream,
+///
+/// The transport is generic so tests can speak the protocol over an
+/// in-memory or fault-injected stream ([`Client::over`]); production
+/// code uses the `TcpStream` default via [`Client::connect`].
+pub struct Client<S: Read + Write = TcpStream> {
+    stream: S,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connects with `timeout` applied to the connection attempt and both
     /// socket directions.
     ///
@@ -23,6 +27,18 @@ impl Client {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         Ok(Client { stream })
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-established transport.
+    pub fn over(stream: S) -> Self {
+        Client { stream }
+    }
+
+    /// Consumes the client, returning the transport.
+    pub fn into_inner(self) -> S {
+        self.stream
     }
 
     /// Sends one request and reads its response.

@@ -26,6 +26,7 @@ pub mod client;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod service;
 
@@ -36,5 +37,6 @@ pub use protocol::{
     CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, QueryRequest, Request, Response,
     WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use retry::{connect_with_retry, ClientError, RetryPolicy, RetryingClient};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::{DbEpoch, DbService};

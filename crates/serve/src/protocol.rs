@@ -270,6 +270,12 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Granularity of the frame-body read loop: the buffer grows chunk by
+/// chunk as bytes actually arrive, so a lying length prefix on a
+/// truncated stream costs at most one chunk of allocation, not the
+/// claimed frame size.
+const READ_CHUNK_BYTES: usize = 64 * 1024;
+
 /// Reads one length-prefixed frame.
 ///
 /// # Errors
@@ -285,8 +291,14 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds limit"),
         ));
     }
-    let mut buf = vec![0u8; len as usize];
-    r.read_exact(&mut buf)?;
+    let len = len as usize;
+    let mut buf = Vec::with_capacity(len.min(READ_CHUNK_BYTES));
+    while buf.len() < len {
+        let chunk = (len - buf.len()).min(READ_CHUNK_BYTES);
+        let start = buf.len();
+        buf.resize(start + chunk, 0);
+        r.read_exact(&mut buf[start..])?;
+    }
     Ok(buf)
 }
 

@@ -1,0 +1,330 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! The serving layer sheds load with typed `Overloaded` rejections and a
+//! flaky network surfaces as transport errors; both are transient, and
+//! the correct client reaction is the same: reconnect if needed, back
+//! off, try again — a bounded number of times. [`RetryPolicy`] describes
+//! the schedule, [`RetryingClient`] applies it around the plain
+//! [`Client`], and [`ClientError::RetriesExhausted`] is the typed
+//! terminal failure.
+//!
+//! Jitter is drawn from a seeded SplitMix64 stream keyed by the attempt
+//! number, never from ambient entropy: the delay before attempt `k` is a
+//! pure function of `(policy.seed, k)`, so tests replay schedules
+//! bit-for-bit.
+
+use crate::client::Client;
+use crate::protocol::{ErrorKind, QueryRequest, Request, Response};
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// One SplitMix64 output for `state` (same mixer the testkit uses, but
+/// independent — serve must not depend on test crates).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Backoff schedule: `max_attempts` tries, exponentially growing delays
+/// with deterministic multiplicative jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each retry after that.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay (applied before jitter).
+    pub max_delay: Duration,
+    /// Jitter amplitude as a fraction of the delay: the delay is scaled
+    /// by a factor in `[1 - jitter, 1 + jitter]`. 0 disables jitter.
+    pub jitter: f64,
+    /// Seed of the jitter stream; the delay before attempt `k` depends
+    /// only on `(seed, k)`.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: 0.25,
+            seed: 0x2003_1CDE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A zero-delay schedule of `max_attempts` tries — for tests, where
+    /// backing off only slows the suite down.
+    pub fn no_delay(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The effective attempt budget (at least 1).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The delay before attempt `attempt` (0-based). Attempt 0 is
+    /// immediate; attempt `k > 0` waits `base * 2^(k-1)`, capped at
+    /// `max_delay`, scaled by the jitter factor for `k`.
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base_delay.as_secs_f64() * 2f64.powi(attempt as i32 - 1);
+        let capped = exp.min(self.max_delay.as_secs_f64()).max(0.0);
+        let jittered = if self.jitter > 0.0 {
+            // Uniform in [0, 1) from (seed, attempt) alone.
+            let u = (splitmix64(self.seed ^ attempt as u64) >> 11) as f64 / (1u64 << 53) as f64;
+            capped * (1.0 + self.jitter * (2.0 * u - 1.0))
+        } else {
+            capped
+        };
+        Duration::from_secs_f64(jittered.max(0.0))
+    }
+}
+
+/// Typed failure of a retried operation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt the policy allowed failed; carries the budget that
+    /// was spent and the error of the final attempt.
+    RetriesExhausted {
+        /// Attempts performed (== the policy's budget).
+        attempts: u32,
+        /// The last attempt's failure.
+        last: io::Error,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::RetriesExhausted { last, .. } => Some(last),
+        }
+    }
+}
+
+/// Connects with the policy's schedule applied to connection failures.
+///
+/// # Errors
+/// [`ClientError::RetriesExhausted`] when every attempt failed.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> Result<Client, ClientError> {
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..policy.attempts() {
+        let delay = policy.delay_before(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        match Client::connect(addr, timeout) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClientError::RetriesExhausted {
+        attempts: policy.attempts(),
+        last: last.unwrap_or_else(|| io::Error::other("no attempt was made")),
+    })
+}
+
+/// A [`Client`] wrapper that reconnects and retries under a
+/// [`RetryPolicy`].
+///
+/// Transport errors tear the connection down and retry on a fresh one;
+/// typed `Overloaded` responses retry on the same connection (the server
+/// shed load, the socket is fine). All other responses — including other
+/// typed errors like `BadRequest` — are returned to the caller: retrying
+/// a request the server rejected as malformed cannot succeed.
+///
+/// Requests are retried whole, so non-idempotent requests (ingest) get
+/// at-least-once semantics under this wrapper; queries are idempotent
+/// and safe.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    last_attempts: u32,
+}
+
+impl RetryingClient {
+    /// A lazy client of `addr`: the first request connects.
+    pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> Self {
+        RetryingClient {
+            addr,
+            timeout,
+            policy,
+            conn: None,
+            last_attempts: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// How many attempts the most recent [`Self::request`] spent
+    /// (1 = first try succeeded).
+    pub fn last_attempts(&self) -> u32 {
+        self.last_attempts
+    }
+
+    /// Sends `request`, retrying per the policy.
+    ///
+    /// # Errors
+    /// [`ClientError::RetriesExhausted`] once the attempt budget is
+    /// spent; the final attempt's transport error (or a synthesised
+    /// `Overloaded` description) is carried inside.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..self.policy.attempts() {
+            let delay = self.policy.delay_before(attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            self.last_attempts = attempt + 1;
+            if self.conn.is_none() {
+                match Client::connect(self.addr, self.timeout) {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection established above");
+            match conn.request(request) {
+                Ok(Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message,
+                }) => {
+                    // Load shedding: same connection, back off and retry.
+                    last = Some(io::Error::other(format!("server overloaded: {message}")));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // Transport failure: this connection is suspect.
+                    self.conn = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: self.policy.attempts(),
+            last: last.unwrap_or_else(|| io::Error::other("no attempt was made")),
+        })
+    }
+
+    /// Runs a query with retries.
+    ///
+    /// # Errors
+    /// See [`Self::request`].
+    pub fn query(&mut self, query: QueryRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Query(query))
+    }
+
+    /// Fetches server statistics with retries.
+    ///
+    /// # Errors
+    /// See [`Self::request`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter: 0.5,
+            seed: 42,
+        };
+        for attempt in 0..6 {
+            let a = policy.delay_before(attempt);
+            let b = policy.delay_before(attempt);
+            assert_eq!(a, b, "jitter must be a pure function of (seed, attempt)");
+            let cap = policy.max_delay.as_secs_f64() * (1.0 + policy.jitter);
+            assert!(a.as_secs_f64() <= cap + 1e-9, "attempt {attempt}: {a:?}");
+        }
+        assert_eq!(policy.delay_before(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let base = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 1,
+        };
+        let other = RetryPolicy {
+            seed: 2,
+            ..base.clone()
+        };
+        let differs = (1..4).any(|k| base.delay_before(k) != other.delay_before(k));
+        assert!(differs, "jitter seed must matter");
+    }
+
+    #[test]
+    fn no_delay_policy_never_sleeps() {
+        let policy = RetryPolicy::no_delay(5);
+        for attempt in 0..5 {
+            assert_eq!(policy.delay_before(attempt), Duration::ZERO);
+        }
+        assert_eq!(policy.attempts(), 5);
+    }
+
+    #[test]
+    fn exhausted_connect_is_typed() {
+        // A port nothing listens on: loopback with an ephemeral port we
+        // bind and immediately drop.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = connect_with_retry(addr, Duration::from_millis(200), &RetryPolicy::no_delay(3))
+            .expect_err("nothing is listening");
+        let ClientError::RetriesExhausted { attempts, .. } = err;
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_tries_once() {
+        assert_eq!(RetryPolicy::no_delay(0).attempts(), 1);
+    }
+}

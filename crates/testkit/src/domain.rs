@@ -1,0 +1,298 @@
+//! Domain generators: frames, histograms, audio buffers and
+//! shot/group/scene fixtures drawn from a [`TkRng`].
+//!
+//! Generators return plain `medvid-types` values so every crate in the
+//! workspace can dev-depend on the testkit without a dependency cycle.
+
+use crate::rng::TkRng;
+use crate::shrink::Shrink;
+use medvid_types::{
+    ColorHistogram, FrameFeatures, Group, GroupId, GroupKind, Image, Rgb, Scene, SceneId, Shot,
+    ShotId, TamuraTexture, COLOR_BINS, TAMURA_DIMS,
+};
+
+// Foreign domain values participate in `Vec` shrinking but are atomic
+// themselves: removing whole frames/shots is the useful reduction.
+impl Shrink for Image {}
+impl Shrink for Shot {}
+impl Shrink for Group {}
+impl Shrink for Scene {}
+impl Shrink for FrameFeatures {}
+
+/// A random image of uniform independent pixels.
+pub fn image(rng: &mut TkRng, width: usize, height: usize) -> Image {
+    let mut img = Image::black(width, height);
+    rng.fill_bytes(img.raw_mut());
+    img
+}
+
+/// An image whose channels sit near `base` with uniform noise of at most
+/// `±noise` per channel, saturating at the u8 bounds.
+pub fn noisy_image(rng: &mut TkRng, width: usize, height: usize, base: Rgb, noise: i16) -> Image {
+    let mut img = Image::black(width, height);
+    let jitter = |rng: &mut TkRng, c: u8| -> u8 {
+        (c as i16 + rng.i64_in(-(noise as i64), noise as i64) as i16).clamp(0, 255) as u8
+    };
+    for y in 0..height {
+        for x in 0..width {
+            img.set(
+                x,
+                y,
+                Rgb {
+                    r: jitter(rng, base.r),
+                    g: jitter(rng, base.g),
+                    b: jitter(rng, base.b),
+                },
+            );
+        }
+    }
+    img
+}
+
+/// A synthetic frame sequence with designed hard cuts.
+#[derive(Debug, Clone)]
+pub struct FrameSeq {
+    /// The frames, shot after shot.
+    pub frames: Vec<Image>,
+    /// Index of the first frame of every shot after the first (i.e. the
+    /// designed cut positions).
+    pub cuts: Vec<usize>,
+}
+
+impl Shrink for FrameSeq {}
+
+/// Generates `shots` shots of `frames_per_shot` frames each.
+///
+/// Every pixel channel stays inside `[40 + noise, 210 - noise]`
+/// pre-noise, so adding any constant offset in `[-30, 30]` never
+/// saturates a channel — the precondition of the luminance-offset
+/// metamorphic law.
+pub fn frame_seq(rng: &mut TkRng, shots: usize, frames_per_shot: usize) -> FrameSeq {
+    let (w, h) = (32, 24);
+    let noise = 6i16;
+    let mut frames = Vec::with_capacity(shots * frames_per_shot);
+    let mut cuts = Vec::new();
+    let mut last_base: Option<Rgb> = None;
+    for s in 0..shots {
+        // Force consecutive shot bases far apart so the cut is sharp.
+        let base = loop {
+            let b = Rgb {
+                r: rng.usize_in(46, 204) as u8,
+                g: rng.usize_in(46, 204) as u8,
+                b: rng.usize_in(46, 204) as u8,
+            };
+            match last_base {
+                Some(p)
+                    if (p.r as i16 - b.r as i16).abs()
+                        + (p.g as i16 - b.g as i16).abs()
+                        + (p.b as i16 - b.b as i16).abs()
+                        < 180 =>
+                {
+                    continue
+                }
+                _ => break b,
+            }
+        };
+        last_base = Some(base);
+        if s > 0 {
+            cuts.push(frames.len());
+        }
+        for _ in 0..frames_per_shot {
+            frames.push(noisy_image(rng, w, h, base, noise));
+        }
+    }
+    FrameSeq { frames, cuts }
+}
+
+/// Adds `delta` to every channel of every frame, saturating at u8 bounds.
+///
+/// For sequences from [`frame_seq`] and `|delta| <= 30` no channel
+/// saturates, so frame-difference signals are exactly preserved.
+pub fn shift_luminance(frames: &[Image], delta: i16) -> Vec<Image> {
+    frames
+        .iter()
+        .map(|f| {
+            let mut out = f.clone();
+            for c in out.raw_mut() {
+                *c = (*c as i16 + delta).clamp(0, 255) as u8;
+            }
+            out
+        })
+        .collect()
+}
+
+/// A normalised colour histogram with `1..=nonzero_max` active bins.
+pub fn histogram(rng: &mut TkRng, nonzero_max: usize) -> ColorHistogram {
+    let k = rng.usize_in(1, nonzero_max.max(1));
+    let mut bins = vec![0.0f32; COLOR_BINS];
+    let mut total = 0.0f32;
+    for _ in 0..k {
+        let b = rng.usize_in(0, COLOR_BINS - 1);
+        let mass = rng.f32_in(0.05, 1.0);
+        bins[b] += mass;
+        total += mass;
+    }
+    for b in &mut bins {
+        *b /= total;
+    }
+    ColorHistogram::new(bins).expect("generated histogram is well-formed")
+}
+
+/// A Tamura texture vector with each dimension in `[0, 1]`.
+pub fn texture(rng: &mut TkRng) -> TamuraTexture {
+    let dims = (0..TAMURA_DIMS).map(|_| rng.f32_in(0.0, 1.0)).collect();
+    TamuraTexture::new(dims).expect("generated texture is well-formed")
+}
+
+/// Random per-frame features (histogram + texture).
+pub fn frame_features(rng: &mut TkRng) -> FrameFeatures {
+    FrameFeatures {
+        color: histogram(rng, 8),
+        texture: texture(rng),
+    }
+}
+
+/// `n` contiguous shots of 30 frames each with random features.
+pub fn shots(rng: &mut TkRng, n: usize) -> Vec<Shot> {
+    (0..n)
+        .map(|i| {
+            Shot::new(ShotId(i), i * 30, (i + 1) * 30, frame_features(rng))
+                .expect("generated shot span is valid")
+        })
+        .collect()
+}
+
+/// A full shot/group/scene fixture with `n_scenes` scenes.
+///
+/// Groups partition the shots contiguously (1–3 shots each), scenes
+/// partition the groups contiguously (1–3 groups each), and every
+/// representative is a member — the invariants the structure-mining
+/// stages rely on.
+pub fn structure_fixture(rng: &mut TkRng, n_scenes: usize) -> (Vec<Shot>, Vec<Group>, Vec<Scene>) {
+    let mut groups = Vec::new();
+    let mut scenes = Vec::new();
+    let mut shot_count = 0usize;
+    for s in 0..n_scenes {
+        let n_groups = rng.usize_in(1, 3);
+        let first_group = groups.len();
+        for _ in 0..n_groups {
+            let n_shots = rng.usize_in(1, 3);
+            let members: Vec<ShotId> = (shot_count..shot_count + n_shots).map(ShotId).collect();
+            shot_count += n_shots;
+            let kind = if rng.bool_p(0.5) {
+                GroupKind::SpatiallyRelated
+            } else {
+                GroupKind::TemporallyRelated
+            };
+            groups.push(Group {
+                id: GroupId(groups.len()),
+                shots: members.clone(),
+                kind,
+                shot_clusters: members.iter().map(|&m| vec![m]).collect(),
+                representative_shots: members,
+            });
+        }
+        let member_groups: Vec<GroupId> = (first_group..groups.len()).map(GroupId).collect();
+        let rep = *rng.pick(&member_groups);
+        scenes.push(Scene {
+            id: SceneId(s),
+            groups: member_groups,
+            representative_group: rep,
+        });
+    }
+    (shots(rng, shot_count), groups, scenes)
+}
+
+/// A synthetic audio buffer: a mixture of 1–4 sine partials plus uniform
+/// noise, every sample within `[-1, 1]`.
+pub fn audio_buffer(rng: &mut TkRng, len: usize, sample_rate: u32) -> Vec<f32> {
+    let partials = rng.usize_in(1, 4);
+    let specs: Vec<(f64, f64, f64)> = (0..partials)
+        .map(|_| {
+            (
+                rng.f64_in(40.0, sample_rate as f64 / 4.0), // frequency
+                rng.f64_in(0.05, 0.8 / partials as f64),    // amplitude
+                rng.f64_in(0.0, std::f64::consts::TAU),     // phase
+            )
+        })
+        .collect();
+    let noise_amp = rng.f64_in(0.0, 0.05);
+    (0..len)
+        .map(|i| {
+            let t = i as f64 / sample_rate as f64;
+            let mut s = 0.0;
+            for &(f, a, p) in &specs {
+                s += a * (std::f64::consts::TAU * f * t + p).sin();
+            }
+            s += noise_amp * (rng.f64_unit() * 2.0 - 1.0);
+            (s as f32).clamp(-1.0, 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_seq_has_declared_cuts() {
+        let mut rng = TkRng::new(1);
+        let seq = frame_seq(&mut rng, 4, 10);
+        assert_eq!(seq.frames.len(), 40);
+        assert_eq!(seq.cuts, vec![10, 20, 30]);
+        // Cuts are sharp: cross-cut diff dwarfs the within-shot diff.
+        let within = seq.frames[0].mean_abs_diff(&seq.frames[1]);
+        let across = seq.frames[9].mean_abs_diff(&seq.frames[10]);
+        assert!(across > within * 3.0, "across={across} within={within}");
+    }
+
+    #[test]
+    fn shift_never_saturates_generated_frames() {
+        let mut rng = TkRng::new(2);
+        let seq = frame_seq(&mut rng, 2, 4);
+        for delta in [-30i16, 30] {
+            let shifted = shift_luminance(&seq.frames, delta);
+            for (orig, moved) in seq.frames.iter().zip(&shifted) {
+                for (&a, &b) in orig.raw().iter().zip(moved.raw()) {
+                    assert_eq!(b as i16 - a as i16, delta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_is_normalised() {
+        let mut rng = TkRng::new(3);
+        for _ in 0..50 {
+            let h = histogram(&mut rng, 8);
+            let mass: f32 = h.bins().iter().sum();
+            assert!((mass - 1.0).abs() < 1e-3, "mass {mass}");
+        }
+    }
+
+    #[test]
+    fn structure_fixture_is_consistent() {
+        let mut rng = TkRng::new(4);
+        let (shots, groups, scenes) = structure_fixture(&mut rng, 8);
+        assert_eq!(scenes.len(), 8);
+        let total_shots: usize = groups.iter().map(|g| g.shots.len()).sum();
+        assert_eq!(total_shots, shots.len());
+        for scene in &scenes {
+            assert!(scene.groups.contains(&scene.representative_group));
+        }
+        for group in &groups {
+            for rep in &group.representative_shots {
+                assert!(group.shots.contains(rep));
+            }
+        }
+    }
+
+    #[test]
+    fn audio_buffer_in_range() {
+        let mut rng = TkRng::new(5);
+        let buf = audio_buffer(&mut rng, 2048, 8000);
+        assert_eq!(buf.len(), 2048);
+        assert!(buf.iter().all(|s| (-1.0..=1.0).contains(s)));
+        assert!(buf.iter().any(|&s| s.abs() > 1e-3), "signal is not silent");
+    }
+}

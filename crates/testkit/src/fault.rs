@@ -1,0 +1,530 @@
+//! Seeded fault injection for byte streams and TCP transports.
+//!
+//! A [`FaultPlan`] is a shared, deterministic schedule of faults; each
+//! consumer (one wrapped stream, one proxied connection) takes the next
+//! entry. [`FaultyStream`] wraps any `Read + Write` transport and applies
+//! one fault to it; [`FaultProxy`] sits between a real TCP client and a
+//! real server and applies one fault per accepted connection, which lets
+//! end-to-end tests corrupt the wire without touching either endpoint.
+//! [`corrupt_bytes`] applies the same fault vocabulary to an in-memory
+//! byte buffer (e.g. a persisted snapshot).
+
+use crate::rng::TkRng;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Sever the transport immediately (connection refused/reset).
+    Drop,
+    /// Stall this long before the first byte flows.
+    Delay(Duration),
+    /// Pass through this many bytes, then sever the transport.
+    TruncateAfter(usize),
+    /// Replace the stream with this many seeded garbage bytes, then EOF.
+    Garbage {
+        /// Number of garbage bytes emitted before EOF.
+        len: usize,
+        /// Seed of the garbage byte stream.
+        seed: u64,
+    },
+}
+
+struct PlanState {
+    schedule: Vec<Option<Fault>>,
+    next: usize,
+}
+
+/// A shared, deterministic schedule of faults.
+///
+/// Entries are handed out in order; `None` entries and everything past
+/// the end of the schedule mean "no fault". [`FaultPlan::clear`] drops
+/// all remaining faults, which is how recovery tests model an outage
+/// ending.
+#[derive(Clone)]
+pub struct FaultPlan {
+    state: Arc<Mutex<PlanState>>,
+    injected: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("fault plan lock");
+        f.debug_struct("FaultPlan")
+            .field("schedule", &state.schedule)
+            .field("next", &state.next)
+            .field("injected", &self.injected.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn clean() -> Self {
+        Self::scripted(Vec::new())
+    }
+
+    /// A plan that replays exactly this schedule, then stays clean.
+    pub fn scripted(schedule: Vec<Option<Fault>>) -> Self {
+        FaultPlan {
+            state: Arc::new(Mutex::new(PlanState { schedule, next: 0 })),
+            injected: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// A seeded random schedule of `ops` entries, each a fault with
+    /// probability `rate`. Delays stay well under typical test timeouts.
+    pub fn seeded(seed: u64, rate: f64, ops: usize) -> Self {
+        let mut rng = TkRng::new(seed);
+        let schedule = (0..ops)
+            .map(|_| {
+                if !rng.bool_p(rate) {
+                    return None;
+                }
+                Some(match rng.usize_in(0, 3) {
+                    0 => Fault::Drop,
+                    1 => Fault::Delay(Duration::from_millis(rng.u64_in(1, 50))),
+                    2 => Fault::TruncateAfter(rng.usize_in(0, 32)),
+                    _ => Fault::Garbage {
+                        len: rng.usize_in(1, 256),
+                        seed: rng.next_u64(),
+                    },
+                })
+            })
+            .collect();
+        FaultPlan {
+            state: Arc::new(Mutex::new(PlanState { schedule, next: 0 })),
+            injected: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Takes the next scheduled fault (advancing the schedule).
+    pub fn next_fault(&self) -> Option<Fault> {
+        let mut state = self.state.lock().expect("fault plan lock");
+        let fault = state.schedule.get(state.next).copied().flatten();
+        if state.next < state.schedule.len() {
+            state.next += 1;
+        }
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        fault
+    }
+
+    /// Drops every remaining fault: all subsequent consumers run clean.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("fault plan lock");
+        let n = state.schedule.len();
+        state.next = n;
+    }
+
+    /// How many faults have been handed out so far.
+    pub fn faults_injected(&self) -> usize {
+        self.injected.load(Ordering::SeqCst)
+    }
+}
+
+/// A `Read + Write` transport with one fault applied to it.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    fault: Option<Fault>,
+    /// Bytes that have crossed the stream in either direction.
+    passed: usize,
+    garbage_rng: Option<TkRng>,
+    delayed: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner`, taking the next fault from `plan`.
+    pub fn new(inner: S, plan: &FaultPlan) -> Self {
+        Self::with_fault(inner, plan.next_fault())
+    }
+
+    /// Wraps `inner` with an explicit fault (or none).
+    pub fn with_fault(inner: S, fault: Option<Fault>) -> Self {
+        let garbage_rng = match fault {
+            Some(Fault::Garbage { seed, .. }) => Some(TkRng::new(seed)),
+            _ => None,
+        };
+        FaultyStream {
+            inner,
+            fault,
+            passed: 0,
+            garbage_rng,
+            delayed: false,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn apply_delay(&mut self) {
+        if let Some(Fault::Delay(d)) = self.fault {
+            if !self.delayed {
+                self.delayed = true;
+                std::thread::sleep(d);
+            }
+        }
+    }
+
+    fn severed() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionAborted, "injected fault: severed")
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            None | Some(Fault::Delay(_)) => {
+                self.apply_delay();
+                self.inner.read(buf)
+            }
+            Some(Fault::Drop) => Err(Self::severed()),
+            Some(Fault::TruncateAfter(limit)) => {
+                if self.passed >= limit {
+                    return Ok(0); // injected EOF
+                }
+                let allowed = (limit - self.passed).min(buf.len());
+                let n = self.inner.read(&mut buf[..allowed])?;
+                self.passed += n;
+                Ok(n)
+            }
+            Some(Fault::Garbage { len, .. }) => {
+                if self.passed >= len {
+                    return Ok(0);
+                }
+                let n = (len - self.passed).min(buf.len());
+                let rng = self.garbage_rng.as_mut().expect("garbage rng present");
+                rng.fill_bytes(&mut buf[..n]);
+                self.passed += n;
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            None | Some(Fault::Delay(_)) => {
+                self.apply_delay();
+                self.inner.write(buf)
+            }
+            Some(Fault::Drop) => Err(Self::severed()),
+            Some(Fault::TruncateAfter(limit)) => {
+                if self.passed >= limit {
+                    return Err(Self::severed());
+                }
+                let allowed = (limit - self.passed).min(buf.len());
+                let n = self.inner.write(&buf[..allowed])?;
+                self.passed += n;
+                Ok(n)
+            }
+            // A garbage transport swallows writes: the peer only ever
+            // sees the garbage byte stream.
+            Some(Fault::Garbage { .. }) => Ok(buf.len()),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.fault {
+            Some(Fault::Drop) => Err(Self::severed()),
+            _ => self.inner.flush(),
+        }
+    }
+}
+
+/// Applies `fault` to an in-memory byte buffer (for persisted snapshots
+/// and other at-rest formats). `Drop` empties the buffer, `Delay` leaves
+/// it intact, `TruncateAfter(n)` keeps the first `n` bytes and `Garbage`
+/// splices seeded garbage over a region (extending the buffer if needed).
+pub fn corrupt_bytes(bytes: &[u8], fault: Fault) -> Vec<u8> {
+    match fault {
+        Fault::Drop => Vec::new(),
+        Fault::Delay(_) => bytes.to_vec(),
+        Fault::TruncateAfter(n) => bytes[..n.min(bytes.len())].to_vec(),
+        Fault::Garbage { len, seed } => {
+            let mut rng = TkRng::new(seed);
+            let mut out = bytes.to_vec();
+            let start = if out.is_empty() {
+                0
+            } else {
+                (rng.next_u64() as usize) % out.len()
+            };
+            if out.len() < start + len {
+                out.resize(start + len, 0);
+            }
+            rng.fill_bytes(&mut out[start..start + len]);
+            out
+        }
+    }
+}
+
+/// A TCP proxy that forwards to `upstream`, applying one [`FaultPlan`]
+/// entry per accepted connection.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Socket timeout inside the proxy's forwarding loops; bounds how long a
+/// forwarder can linger after [`FaultProxy::stop`].
+const PROXY_IO_TIMEOUT: Duration = Duration::from_millis(200);
+
+impl FaultProxy {
+    /// Binds a loopback port and starts proxying to `upstream`.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("testkit-fault-proxy".to_string())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = stream else { continue };
+                    let fault = plan.next_fault();
+                    if let Some(Fault::Drop) = fault {
+                        // Sever before any byte flows.
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let conn_stop = Arc::clone(&accept_stop);
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name("testkit-fault-conn".to_string())
+                        .spawn(move || proxy_connection(client, upstream, fault, conn_stop))
+                    {
+                        conns.push(h);
+                    }
+                    conns.retain(|h| !h.is_finished());
+                }
+                for h in conns {
+                    let _ = h.join();
+                }
+            })?;
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards one proxied connection, applying `fault` to the
+/// upstream-to-client direction.
+fn proxy_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Option<Fault>,
+    stop: Arc<AtomicBool>,
+) {
+    if let Some(Fault::Garbage { len, seed }) = fault {
+        // Never reach the server: answer with seeded garbage and close.
+        let mut client = client;
+        let mut rng = TkRng::new(seed);
+        let garbage = rng.bytes(len);
+        let _ = client.write_all(&garbage);
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    if let Some(Fault::Delay(d)) = fault {
+        std::thread::sleep(d);
+    }
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    for s in [&client, &server] {
+        let _ = s.set_read_timeout(Some(PROXY_IO_TIMEOUT));
+        let _ = s.set_write_timeout(Some(PROXY_IO_TIMEOUT));
+    }
+    let (c2s_client, c2s_server) = (client.try_clone(), server.try_clone());
+    let uplink = match (c2s_client, c2s_server) {
+        (Ok(c), Ok(s)) => {
+            let up_stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("testkit-fault-uplink".to_string())
+                .spawn(move || forward(c, s, usize::MAX, up_stop))
+                .ok()
+        }
+        _ => None,
+    };
+    let budget = match fault {
+        Some(Fault::TruncateAfter(n)) => n,
+        _ => usize::MAX,
+    };
+    forward(server, client, budget, stop);
+    if let Some(h) = uplink {
+        let _ = h.join();
+    }
+}
+
+/// Copies bytes from `src` to `dst` until EOF, a hard error, `budget`
+/// bytes have flowed, or `stop` is raised — then severs both ends.
+fn forward(mut src: TcpStream, mut dst: TcpStream, mut budget: usize, stop: Arc<AtomicBool>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let want = buf.len().min(budget);
+        if want == 0 || stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match src.read(&mut buf[..want]) {
+            Ok(0) => break,
+            Ok(n) => {
+                budget -= n;
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle tick: loop back around to observe the stop flag.
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn scripted_plan_replays_in_order_then_stays_clean() {
+        let plan = FaultPlan::scripted(vec![Some(Fault::Drop), None, Some(Fault::Drop)]);
+        assert_eq!(plan.next_fault(), Some(Fault::Drop));
+        assert_eq!(plan.next_fault(), None);
+        assert_eq!(plan.next_fault(), Some(Fault::Drop));
+        assert_eq!(plan.next_fault(), None);
+        assert_eq!(plan.faults_injected(), 2);
+    }
+
+    #[test]
+    fn clear_drops_all_remaining_faults() {
+        let plan = FaultPlan::seeded(7, 1.0, 50);
+        assert!(plan.next_fault().is_some());
+        plan.clear();
+        for _ in 0..100 {
+            assert_eq!(plan.next_fault(), None);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(99, 0.5, 64);
+        let b = FaultPlan::seeded(99, 0.5, 64);
+        for _ in 0..64 {
+            assert_eq!(a.next_fault(), b.next_fault());
+        }
+    }
+
+    #[test]
+    fn truncate_stream_stops_after_budget() {
+        let data = (0..100u8).collect::<Vec<_>>();
+        let mut s = FaultyStream::with_fault(Cursor::new(data), Some(Fault::TruncateAfter(10)));
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out, (0..10u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn garbage_stream_is_seeded_and_finite() {
+        let fault = Some(Fault::Garbage { len: 40, seed: 3 });
+        let mut a_out = Vec::new();
+        let mut b_out = Vec::new();
+        FaultyStream::with_fault(Cursor::new(Vec::<u8>::new()), fault)
+            .read_to_end(&mut a_out)
+            .unwrap();
+        FaultyStream::with_fault(Cursor::new(Vec::<u8>::new()), fault)
+            .read_to_end(&mut b_out)
+            .unwrap();
+        assert_eq!(a_out.len(), 40);
+        assert_eq!(a_out, b_out);
+    }
+
+    #[test]
+    fn drop_stream_errors_both_directions() {
+        let mut s = FaultyStream::with_fault(Cursor::new(vec![1u8, 2, 3]), Some(Fault::Drop));
+        let mut buf = [0u8; 3];
+        assert!(s.read(&mut buf).is_err());
+        assert!(s.write(&[1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_bytes_vocabulary() {
+        let data = (0..64u8).collect::<Vec<_>>();
+        assert!(corrupt_bytes(&data, Fault::Drop).is_empty());
+        assert_eq!(
+            corrupt_bytes(&data, Fault::TruncateAfter(5)),
+            (0..5u8).collect::<Vec<_>>()
+        );
+        let g = corrupt_bytes(&data, Fault::Garbage { len: 8, seed: 1 });
+        assert!(g.len() >= data.len().min(8));
+        assert_ne!(g, data);
+    }
+
+    #[test]
+    fn proxy_forwards_cleanly_without_faults() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&buf).unwrap();
+        });
+        let mut proxy = FaultProxy::spawn(upstream, FaultPlan::clean()).unwrap();
+        let mut c = TcpStream::connect_timeout(&proxy.addr(), Duration::from_secs(2)).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        echo.join().unwrap();
+        proxy.stop();
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic property-based testing for the ClassMiner workspace.
+//!
+//! A std-only mini-framework in four pieces:
+//!
+//! * [`rng::TkRng`] — a SplitMix64 stream; every generated value is a
+//!   pure function of `(seed, case index)`, so failures replay exactly.
+//! * [`runner::forall`] — the case loop: generate, check, shrink, and
+//!   panic with a one-line reproduction
+//!   (`MEDVID_TESTKIT_SEED=<seed> MEDVID_TESTKIT_CASES=<case + 1>`).
+//! * [`domain`]/[`query`] — generators for the paper's domain objects:
+//!   frame sequences with designed cuts, histograms, audio buffers,
+//!   shot/group/scene fixtures, and serve queries.
+//! * [`fault`] — seeded fault injection: [`fault::FaultyStream`] wraps
+//!   any transport, [`fault::FaultProxy`] corrupts live TCP connections,
+//!   and [`fault::corrupt_bytes`] mangles at-rest byte buffers.
+//!
+//! The crate depends only on `medvid-types` (deliberately: it must be a
+//! cycle-free dev-dependency of every other crate) and never on `rand` —
+//! reproducibility cannot hinge on another crate's stream stability.
+//!
+//! # Environment knobs
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MEDVID_TESTKIT_SEED` | base seed (decimal or `0x…`) | `0x20031CDE` |
+//! | `MEDVID_TESTKIT_CASES` | cases per property | 32 |
+//!
+//! # Reproducing a failure
+//!
+//! A failing property panics with, e.g.:
+//!
+//! ```text
+//! testkit: property 'parseval' failed — reproduce with:
+//! MEDVID_TESTKIT_SEED=537202142 MEDVID_TESTKIT_CASES=12 (failing case 11)
+//! ```
+//!
+//! Re-running that test binary with those two variables set replays the
+//! failing case (and every case before it) bit-for-bit.
+
+pub mod domain;
+pub mod fault;
+pub mod query;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+pub use fault::{corrupt_bytes, Fault, FaultPlan, FaultProxy, FaultyStream};
+pub use query::{invalid_query, valid_query, QuerySpec};
+pub use rng::TkRng;
+pub use runner::{forall, forall_with, Config, CASES_ENV, DEFAULT_CASES, DEFAULT_SEED, SEED_ENV};
+pub use shrink::{NoShrink, Shrink};

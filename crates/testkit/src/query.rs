@@ -1,0 +1,163 @@
+//! Serve-query generation.
+//!
+//! [`QuerySpec`] is a transport-free description of a retrieval request —
+//! plain data over `medvid-types` — so the testkit stays cycle-free while
+//! serve tests map specs onto `medvid_serve::QueryRequest` and fuzz the
+//! whole dispatch path.
+
+use crate::rng::TkRng;
+use crate::shrink::Shrink;
+use medvid_types::EventKind;
+
+/// A generated retrieval request, independent of the wire types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Query-by-example vector (`None` = pure semantic query).
+    pub vector: Option<Vec<f32>>,
+    /// Event filter.
+    pub event: Option<EventKind>,
+    /// Concept-node filter, as an index into the hierarchy's node list.
+    pub node: Option<usize>,
+    /// Access-control clearance level.
+    pub clearance: Option<u8>,
+    /// Result limit.
+    pub limit: Option<usize>,
+    /// `true` = exhaustive flat scan, `false` = hierarchical retrieval.
+    pub flat: bool,
+}
+
+impl Shrink for QuerySpec {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.vector.is_some() {
+            out.push(QuerySpec {
+                vector: None,
+                ..self.clone()
+            });
+        }
+        if self.event.is_some() {
+            out.push(QuerySpec {
+                event: None,
+                ..self.clone()
+            });
+        }
+        if self.node.is_some() {
+            out.push(QuerySpec {
+                node: None,
+                ..self.clone()
+            });
+        }
+        if self.clearance.is_some() {
+            out.push(QuerySpec {
+                clearance: None,
+                ..self.clone()
+            });
+        }
+        if self.limit.is_some() {
+            out.push(QuerySpec {
+                limit: None,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+/// All event kinds a query can filter on.
+const EVENTS: [EventKind; 4] = [
+    EventKind::Presentation,
+    EventKind::Dialog,
+    EventKind::ClinicalOperation,
+    EventKind::Undetermined,
+];
+
+/// A well-formed query against a database of `feature_len`-dimensional
+/// records and `n_nodes` hierarchy nodes: every field is either absent or
+/// valid, so the server must answer with results (possibly empty), never
+/// an error.
+pub fn valid_query(rng: &mut TkRng, feature_len: usize, n_nodes: usize) -> QuerySpec {
+    QuerySpec {
+        vector: rng.bool_p(0.7).then(|| {
+            (0..feature_len)
+                .map(|_| rng.f32_in(0.0, 1.0))
+                .collect::<Vec<f32>>()
+        }),
+        event: rng.bool_p(0.4).then(|| *rng.pick(&EVENTS)),
+        node: (n_nodes > 0 && rng.bool_p(0.3)).then(|| rng.usize_in(0, n_nodes - 1)),
+        clearance: rng.bool_p(0.4).then(|| rng.usize_in(0, 3) as u8),
+        limit: rng.bool_p(0.6).then(|| rng.usize_in(1, 20)),
+        flat: rng.bool_p(0.3),
+    }
+}
+
+/// Like [`valid_query`] but with a deliberately broken field: either a
+/// vector of the wrong dimensionality or an out-of-range node index.
+/// Returns the spec and a label describing what is wrong with it.
+pub fn invalid_query(
+    rng: &mut TkRng,
+    feature_len: usize,
+    n_nodes: usize,
+) -> (QuerySpec, &'static str) {
+    let mut spec = valid_query(rng, feature_len, n_nodes);
+    if rng.bool_p(0.5) || n_nodes == 0 {
+        let wrong = loop {
+            let l = rng.usize_in(0, feature_len * 2);
+            if l != feature_len {
+                break l;
+            }
+        };
+        spec.vector = Some((0..wrong).map(|_| rng.f32_in(0.0, 1.0)).collect());
+        (spec, "vector dimensionality mismatch")
+    } else {
+        spec.node = Some(n_nodes + rng.usize_in(0, 100));
+        (spec, "concept node out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_queries_are_in_range() {
+        let mut rng = TkRng::new(8);
+        for _ in 0..200 {
+            let q = valid_query(&mut rng, 16, 5);
+            if let Some(v) = &q.vector {
+                assert_eq!(v.len(), 16);
+            }
+            if let Some(n) = q.node {
+                assert!(n < 5);
+            }
+            if let Some(l) = q.limit {
+                assert!((1..=20).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_actually_invalid() {
+        let mut rng = TkRng::new(9);
+        for _ in 0..200 {
+            let (q, label) = invalid_query(&mut rng, 16, 5);
+            let broken_vector = q.vector.as_ref().map(|v| v.len() != 16).unwrap_or(false);
+            let broken_node = q.node.map(|n| n >= 5).unwrap_or(false);
+            assert!(broken_vector || broken_node, "{label}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn spec_shrinks_by_dropping_fields() {
+        let q = QuerySpec {
+            vector: Some(vec![0.5; 4]),
+            event: Some(EventKind::Dialog),
+            node: Some(1),
+            clearance: Some(2),
+            limit: Some(5),
+            flat: false,
+        };
+        let cands = q.shrink();
+        assert_eq!(cands.len(), 5);
+        assert!(cands.iter().any(|c| c.vector.is_none()));
+    }
+}

@@ -1,0 +1,167 @@
+//! The testkit's own deterministic generator: a SplitMix64 stream.
+//!
+//! The framework deliberately does not use the `rand` crate: every value a
+//! property ever sees must be a pure function of `(seed, case index)` so a
+//! one-line reproduction (`MEDVID_TESTKIT_SEED=… MEDVID_TESTKIT_CASES=…`)
+//! replays a failure exactly, on any platform, against any `rand` version.
+
+/// Weyl-sequence increment of SplitMix64 (the 64-bit golden ratio).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Advances one SplitMix64 step from `state`, returning the output word.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded deterministic random stream (SplitMix64).
+///
+/// Cheap to construct, cheap to fork, and completely reproducible: the
+/// n-th value depends only on the seed.
+#[derive(Debug, Clone)]
+pub struct TkRng {
+    state: u64,
+}
+
+impl TkRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TkRng { state: seed }
+    }
+
+    /// The per-case stream of `case` under `seed`: every test case draws
+    /// from an independent stream, so shrinking or reordering one case
+    /// never perturbs another.
+    pub fn for_case(seed: u64, case: usize) -> Self {
+        let mut s = seed ^ (case as u64 + 1).wrapping_mul(GOLDEN_GAMMA);
+        // One warm-up step decorrelates nearby case indices.
+        let _ = splitmix64(&mut s);
+        TkRng { state: s }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// An independent child stream (for helpers that should not disturb
+    /// the parent's draw sequence).
+    pub fn fork(&mut self) -> TkRng {
+        TkRng::new(self.next_u64())
+    }
+
+    /// Uniform integer in `lo..=hi` (inclusive). `lo > hi` panics.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "usize_in: empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// Uniform `u64` in `lo..=hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "u64_in: empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform `i64` in `lo..=hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in: empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        // 53 mantissa bits of the next word.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64_unit()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64_in(lo as f64, hi as f64) as f32
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_p(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// A uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TkRng::new(7);
+        let mut b = TkRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn case_streams_differ() {
+        let a = TkRng::for_case(1, 0).next_u64();
+        let b = TkRng::for_case(1, 1).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = TkRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.usize_in(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = rng.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.i64_in(-5, 5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = TkRng::new(11);
+        let b = rng.bytes(13);
+        assert_eq!(b.len(), 13);
+        // Astronomically unlikely to be all zero.
+        assert!(b.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,248 @@
+//! Value-based shrinking.
+//!
+//! A failing input is repeatedly replaced by the first of its shrink
+//! candidates that still fails, until no candidate fails or the step
+//! budget runs out. Value-based (rather than generator-integrated)
+//! shrinking keeps generators plain functions of the RNG and keeps the
+//! shrunk value printable exactly as the property saw it.
+
+/// Types that can propose structurally smaller versions of themselves.
+///
+/// The default implementation proposes nothing, which is always sound:
+/// shrinking is an optimisation of the failure report, never required
+/// for correctness.
+pub trait Shrink: Sized {
+    /// Candidate replacements, roughly ordered most-aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.saturating_sub(1)] {
+                    if c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v - v.signum()] {
+                    if c.abs() < v.abs() && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                if !v.is_finite() || v == 0.0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0.0, v / 2.0];
+                if v.trunc() != v {
+                    out.push(v.trunc());
+                }
+                out.retain(|c| c.abs() < v.abs());
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {}
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let half: String = self.chars().take(self.chars().count() / 2).collect();
+        vec![String::new(), half]
+    }
+}
+
+/// How many element positions a `Vec` shrink samples for single-element
+/// removal and in-place element shrinking — bounds candidate fan-out on
+/// long vectors.
+const VEC_SAMPLE: usize = 8;
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<T>> = vec![Vec::new()];
+        if n > 1 {
+            out.push(self[n / 2..].to_vec()); // drop the first half
+            out.push(self[..n / 2].to_vec()); // drop the second half
+        }
+        // Remove single elements at up to VEC_SAMPLE evenly spaced spots.
+        let stride = (n / VEC_SAMPLE).max(1);
+        for i in (0..n).step_by(stride).take(VEC_SAMPLE) {
+            let mut smaller = self.clone();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+        // Shrink elements in place (first candidate only).
+        for i in (0..n).step_by(stride).take(VEC_SAMPLE) {
+            if let Some(c) = self[i].shrink().into_iter().next() {
+                let mut same_len = self.clone();
+                same_len[i] = c;
+                out.push(same_len);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<A: Clone + Shrink, B: Clone + Shrink> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Clone + Shrink, B: Clone + Shrink, C: Clone + Shrink> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone(), self.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink()
+                .into_iter()
+                .map(|b| (self.0.clone(), b, self.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink()
+                .into_iter()
+                .map(|c| (self.0.clone(), self.1.clone(), c)),
+        );
+        out
+    }
+}
+
+impl<A, B, C, D> Shrink for (A, B, C, D)
+where
+    A: Clone + Shrink,
+    B: Clone + Shrink,
+    C: Clone + Shrink,
+    D: Clone + Shrink,
+{
+    fn shrink(&self) -> Vec<Self> {
+        let (a, b, c, d) = self;
+        let mut out: Vec<Self> = a
+            .shrink()
+            .into_iter()
+            .map(|a| (a, b.clone(), c.clone(), d.clone()))
+            .collect();
+        out.extend(
+            b.shrink()
+                .into_iter()
+                .map(|b| (a.clone(), b, c.clone(), d.clone())),
+        );
+        out.extend(
+            c.shrink()
+                .into_iter()
+                .map(|c| (a.clone(), b.clone(), c, d.clone())),
+        );
+        out.extend(
+            d.shrink()
+                .into_iter()
+                .map(|d| (a.clone(), b.clone(), c.clone(), d)),
+        );
+        out
+    }
+}
+
+/// Wrapper that opts a value out of shrinking while keeping it printable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T> Shrink for NoShrink<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_shrink_toward_zero() {
+        assert!(10u32.shrink().contains(&0));
+        assert!(10u32.shrink().contains(&5));
+        assert!(0u32.shrink().is_empty());
+        assert!((-8i64).shrink().contains(&0));
+    }
+
+    #[test]
+    fn vec_shrinks_smaller() {
+        let v = vec![3u32, 4, 5, 6];
+        let cands = v.shrink();
+        assert!(cands.contains(&Vec::new()));
+        assert!(cands.iter().all(|c| c.len() < v.len() || c != &v));
+    }
+
+    #[test]
+    fn option_shrinks_to_none() {
+        assert_eq!(Some(4u32).shrink()[0], None);
+        assert!(None::<u32>.shrink().is_empty());
+    }
+}

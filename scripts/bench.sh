@@ -11,4 +11,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -p medvid-eval --bin exp_bench -- "$@"
+if ! cargo run --release -p medvid-eval --bin exp_bench -- "$@"; then
+    echo "bench failed; reproduce with:" >&2
+    echo "  cargo run --release -p medvid-eval --bin exp_bench -- $*" >&2
+    exit 1
+fi

@@ -18,6 +18,23 @@ cargo test -q
 echo "== cargo test -q --test serve_integration =="
 cargo test -q --test serve_integration
 
+# Property/fault-injection suites (medvid-testkit) under a pinned seed and a
+# small case budget, so the gate is deterministic and fast; nightly-style
+# deep runs just raise MEDVID_TESTKIT_CASES. A failing property prints its
+# one-line reproduction (seed + case index) in the panic message.
+echo "== testkit property suites (seed 2003, 16 cases) =="
+export MEDVID_TESTKIT_SEED=2003 MEDVID_TESTKIT_CASES=16
+cargo test -q -p medvid-signal --test testkit_laws
+cargo test -q -p medvid-structure --test testkit_laws
+cargo test -q -p medvid-par --test testkit_laws
+cargo test -q -p medvid-audio --test testkit_bic
+cargo test -q -p medvid-codec --test testkit_fuzz
+cargo test -q -p medvid-serve --test protocol_fuzz
+cargo test -q -p medvid-index --test persist_faults
+cargo test -q -p medvid --test serve_faults
+cargo test -q -p medvid --test golden_pipeline
+unset MEDVID_TESTKIT_SEED MEDVID_TESTKIT_CASES
+
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

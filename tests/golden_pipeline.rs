@@ -1,0 +1,144 @@
+//! Golden conformance snapshot of the end-to-end ClassMiner pipeline.
+//!
+//! The whole mining stack — synthetic corpus, shot cuts, group/scene/PCS
+//! clustering, event rules — is deterministic given a seed, so its output
+//! can be pinned as data: a JSON digest of everything downstream consumers
+//! rely on (shot spans, group membership and kinds, scene composition,
+//! clustered scenes, event labels, feature checksums). Any refactor that
+//! changes the digest is a behaviour change and must be blessed on
+//! purpose:
+//!
+//! ```text
+//! MEDVID_BLESS=1 cargo test -p medvid --test golden_pipeline
+//! ```
+//!
+//! On first run (no committed golden yet) the digest is written and the
+//! test passes — bootstrap semantics, see `tests/golden/README.md`.
+
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::types::FrameFeatures;
+use medvid::{ClassMiner, ClassMinerConfig, MinedVideo};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+/// Seed of the pinned corpus and miner; changing it invalidates the golden.
+const CORPUS_SEED: u64 = 2003;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipeline_digest.json")
+}
+
+fn mine_once() -> MinedVideo {
+    let corpus = standard_corpus(CorpusScale::Tiny, CORPUS_SEED);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), CORPUS_SEED).expect("miner config");
+    miner.mine(&corpus[0])
+}
+
+/// A locality-free checksum of one feature vector, rounded to 3 decimals
+/// so the digest stays readable while still catching any real change.
+fn checksum(features: &FrameFeatures) -> f64 {
+    let sum: f64 = features.concat().iter().map(|&x| x as f64).sum();
+    (sum * 1000.0).round() / 1000.0
+}
+
+fn digest(mined: &MinedVideo) -> Value {
+    let s = &mined.structure;
+    json!({
+        "corpus": { "scale": "tiny", "seed": CORPUS_SEED, "video": 0 },
+        "shots": {
+            "count": s.shots.len(),
+            "spans": s.shots.iter()
+                .map(|sh| json!([sh.start_frame, sh.end_frame, sh.rep_frame]))
+                .collect::<Vec<_>>(),
+            "feature_checksums": s.shots.iter()
+                .map(|sh| checksum(&sh.features))
+                .collect::<Vec<_>>(),
+        },
+        "groups": {
+            "count": s.groups.len(),
+            "kinds": s.groups.iter()
+                .map(|g| format!("{:?}", g.kind))
+                .collect::<Vec<_>>(),
+            "members": s.groups.iter()
+                .map(|g| g.shots.iter().map(|id| id.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        },
+        "scenes": {
+            "count": s.scenes.len(),
+            "members": s.scenes.iter()
+                .map(|sc| sc.groups.iter().map(|id| id.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            "representatives": s.scenes.iter()
+                .map(|sc| sc.representative_group.0)
+                .collect::<Vec<_>>(),
+        },
+        "clustered_scenes": {
+            "count": s.clustered_scenes.len(),
+            "members": s.clustered_scenes.iter()
+                .map(|c| c.scenes.iter().map(|id| id.0).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+            "centroids": s.clustered_scenes.iter()
+                .map(|c| c.centroid_group.0)
+                .collect::<Vec<_>>(),
+        },
+        "events": mined.events.iter()
+            .map(|e| json!([e.scene.0, e.event.to_string()]))
+            .collect::<Vec<_>>(),
+    })
+}
+
+fn render(digest: &Value) -> String {
+    let mut text = serde_json::to_string_pretty(digest).expect("digest serialises");
+    text.push('\n');
+    text
+}
+
+/// The first line where two renderings disagree, for a readable failure.
+fn first_diff(current: &str, golden: &str) -> String {
+    for (i, (c, g)) in current.lines().zip(golden.lines()).enumerate() {
+        if c != g {
+            return format!("line {}:\n  golden:  {g}\n  current: {c}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs current {}",
+        golden.lines().count(),
+        current.lines().count()
+    )
+}
+
+#[test]
+fn pipeline_digest_matches_the_committed_golden() {
+    let current = render(&digest(&mine_once()));
+    let path = golden_path();
+    let bless = std::env::var("MEDVID_BLESS").is_ok_and(|v| v == "1");
+    if bless || !path.exists() {
+        // Bless (or bootstrap: no golden committed yet) — the digest just
+        // produced becomes the golden.
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, &current).expect("write golden digest");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("read committed golden");
+    assert!(
+        current == golden,
+        "pipeline output diverged from the committed golden digest.\n\
+         first difference at {}\n\
+         If this change is intentional, re-bless with:\n\
+         MEDVID_BLESS=1 cargo test -p medvid --test golden_pipeline",
+        first_diff(&current, &golden)
+    );
+}
+
+#[test]
+fn pipeline_digest_is_deterministic_across_miners() {
+    // Two independent miners over two independently generated corpora must
+    // agree bit-for-bit — the precondition for the golden being meaningful.
+    let a = digest(&mine_once());
+    let b = digest(&mine_once());
+    assert_eq!(
+        a, b,
+        "two miners with the same seed disagree; the pipeline is not \
+         deterministic, so a golden digest cannot hold"
+    );
+}

@@ -1,0 +1,207 @@
+//! End-to-end fault injection against a live serve instance: every fault
+//! the [`medvid_testkit::FaultProxy`] can inject must surface to the
+//! client as a typed error (or a clean answer) within the client timeout
+//! — never a hang, never a panic — and the retry path must recover the
+//! moment the fault plan clears.
+
+use medvid::index::NodeId;
+use medvid::obs::Recorder;
+use medvid::serve::{
+    self, Client, ClientError, ErrorKind, QueryRequest, Response, RetryPolicy, RetryingClient,
+    ServerConfig, WireStrategy,
+};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_testkit::{
+    forall, invalid_query, require, valid_query, Fault, FaultPlan, FaultProxy, NoShrink, QuerySpec,
+};
+use std::time::{Duration, Instant};
+
+fn build_db(seed: u64) -> medvid::index::VideoDatabase {
+    let corpus = standard_corpus(CorpusScale::Tiny, seed);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), seed).unwrap();
+    miner.index_corpus(&corpus).0
+}
+
+fn spawn_server(db: medvid::index::VideoDatabase) -> serve::ServerHandle {
+    serve::spawn(db, ServerConfig::default(), Recorder::new()).expect("bind loopback server")
+}
+
+fn to_wire(spec: &QuerySpec) -> QueryRequest {
+    QueryRequest {
+        vector: spec.vector.clone(),
+        event: spec.event,
+        under: spec.node.map(NodeId),
+        clearance: spec.clearance,
+        limit: spec.limit,
+        strategy: Some(if spec.flat {
+            WireStrategy::Flat
+        } else {
+            WireStrategy::Hierarchical
+        }),
+        delay_ms: None,
+    }
+}
+
+/// The client-side timeout every faulted request must resolve within —
+/// plus scheduling slack for the bound we assert on.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+const RESOLUTION_BOUND: Duration = Duration::from_secs(10);
+
+#[test]
+fn every_fault_kind_resolves_typed_within_the_timeout() {
+    let handle = spawn_server(build_db(500));
+    let faults = [
+        Fault::Drop,
+        Fault::Delay(Duration::from_millis(20)),
+        Fault::TruncateAfter(8),
+        Fault::Garbage { len: 64, seed: 7 },
+    ];
+    let plan = FaultPlan::scripted(faults.iter().map(|f| Some(*f)).collect());
+    let mut proxy = FaultProxy::spawn(handle.addr(), plan).expect("spawn fault proxy");
+
+    for fault in faults {
+        let started = Instant::now();
+        let outcome =
+            Client::connect(proxy.addr(), CLIENT_TIMEOUT).and_then(|mut client| client.stats());
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < RESOLUTION_BOUND,
+            "{fault:?}: request took {elapsed:?}, the client must not hang"
+        );
+        match fault {
+            // A short delay is transparent: the request must succeed.
+            Fault::Delay(_) => {
+                let resp =
+                    outcome.unwrap_or_else(|e| panic!("{fault:?}: expected answer, got {e}"));
+                assert!(
+                    matches!(resp, Response::Stats { .. }),
+                    "{fault:?}: {resp:?}"
+                );
+            }
+            // Severed, starved or garbage transports must be typed errors.
+            _ => {
+                let err = match outcome {
+                    Err(e) => e,
+                    Ok(resp) => panic!("{fault:?}: produced a clean answer {resp:?}"),
+                };
+                // Any io::ErrorKind is acceptable; surfacing *as* an
+                // io::Error (instead of a hang or panic) is the contract.
+                let _ = err.kind();
+            }
+        }
+    }
+    proxy.stop();
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn retrying_client_rides_out_a_scripted_fault_burst() {
+    let handle = spawn_server(build_db(501));
+    // Two severed connections, then the proxy forwards cleanly.
+    let plan = FaultPlan::scripted(vec![Some(Fault::Drop), Some(Fault::Drop), None]);
+    let mut proxy = FaultProxy::spawn(handle.addr(), plan.clone()).expect("spawn fault proxy");
+
+    let mut client = RetryingClient::new(proxy.addr(), CLIENT_TIMEOUT, RetryPolicy::no_delay(4));
+    let resp = client.stats().expect("third attempt goes through");
+    assert!(matches!(resp, Response::Stats { .. }), "got {resp:?}");
+    assert_eq!(
+        client.last_attempts(),
+        3,
+        "two drops then success must cost exactly three attempts"
+    );
+    assert_eq!(plan.faults_injected(), 2, "both scripted drops were spent");
+    proxy.stop();
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn retrying_client_recovers_the_moment_the_plan_clears() {
+    let handle = spawn_server(build_db(502));
+    let plan = FaultPlan::scripted(vec![Some(Fault::Drop); 6]);
+    let mut proxy = FaultProxy::spawn(handle.addr(), plan.clone()).expect("spawn fault proxy");
+
+    let mut client = RetryingClient::new(proxy.addr(), CLIENT_TIMEOUT, RetryPolicy::no_delay(3));
+    let err = client.stats().expect_err("every connection is severed");
+    let ClientError::RetriesExhausted { attempts, .. } = err;
+    assert_eq!(attempts, 3, "the whole budget must be spent");
+
+    // The network heals: all remaining scripted faults are dropped, and
+    // the very next attempt must succeed.
+    plan.clear();
+    let resp = client.stats().expect("healed proxy forwards cleanly");
+    assert!(matches!(resp, Response::Stats { .. }), "got {resp:?}");
+    assert_eq!(
+        client.last_attempts(),
+        1,
+        "no faults left, no retries needed"
+    );
+    proxy.stop();
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn fuzzed_valid_queries_always_get_results() {
+    let db = build_db(503);
+    let feature_len = db.feature_len().expect("indexed corpus has records");
+    let n_nodes = db.hierarchy().len();
+    let handle = spawn_server(db);
+    forall(
+        "a well-formed query yields Results, never an error",
+        |rng| NoShrink(valid_query(rng, feature_len, n_nodes)),
+        |spec| {
+            let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT)
+                .map_err(|e| format!("connect: {e}"))?;
+            let resp = client
+                .query(to_wire(&spec.0))
+                .map_err(|e| format!("transport: {e}"))?;
+            match resp {
+                Response::Results { hits, .. } => {
+                    if let Some(limit) = spec.0.limit {
+                        require!(
+                            hits.len() <= limit,
+                            "{} hits over limit {limit}",
+                            hits.len()
+                        );
+                    }
+                    Ok(())
+                }
+                other => Err(format!("expected results, got {other:?}")),
+            }
+        },
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn fuzzed_invalid_queries_get_bad_request_not_panic() {
+    let db = build_db(504);
+    let feature_len = db.feature_len().expect("indexed corpus has records");
+    let n_nodes = db.hierarchy().len();
+    let handle = spawn_server(db);
+    forall(
+        "a malformed query yields a typed BadRequest",
+        |rng| NoShrink(invalid_query(rng, feature_len, n_nodes)),
+        |case| {
+            let (spec, why) = &case.0;
+            let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT)
+                .map_err(|e| format!("connect: {e}"))?;
+            let resp = client
+                .query(to_wire(spec))
+                .map_err(|e| format!("transport: {e}"))?;
+            match resp {
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    ..
+                } => Ok(()),
+                other => Err(format!("{why}: expected BadRequest, got {other:?}")),
+            }
+        },
+    );
+    handle.shutdown();
+    handle.join();
+}
