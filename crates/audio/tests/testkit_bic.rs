@@ -42,8 +42,10 @@ fn delta_bic_is_monotone_in_lambda() {
         |rng| {
             let p = rng.usize_in(2, 6);
             let needed = (2 * p).max(4);
-            let xi = frames(rng, rng.usize_in(needed, needed + 30), p);
-            let xj = frames(rng, rng.usize_in(needed, needed + 30), p);
+            let ni = rng.usize_in(needed, needed + 30);
+            let xi = frames(rng, ni, p);
+            let nj = rng.usize_in(needed, needed + 30);
+            let xj = frames(rng, nj, p);
             let l1 = rng.f64_in(0.0, 2.0);
             let l2 = rng.f64_in(l1, 3.0);
             ((xi, xj), l1, l2)
@@ -77,8 +79,10 @@ fn bic_is_symmetric_under_argument_swap() {
         |rng| {
             let p = rng.usize_in(2, 5);
             let needed = (2 * p).max(4);
-            let xi = frames(rng, rng.usize_in(needed, needed + 24), p);
-            let xj = frames(rng, rng.usize_in(needed, needed + 24), p);
+            let ni = rng.usize_in(needed, needed + 24);
+            let xi = frames(rng, ni, p);
+            let nj = rng.usize_in(needed, needed + 24);
+            let xj = frames(rng, nj, p);
             (xi, xj)
         },
         |(xi, xj)| {
@@ -115,7 +119,8 @@ fn too_few_frames_is_a_typed_error() {
         |rng| {
             let p = rng.usize_in(2, 6);
             let needed = (2 * p).max(4);
-            let short = frames(rng, rng.usize_in(1, needed - 1), p);
+            let n_short = rng.usize_in(1, needed - 1);
+            let short = frames(rng, n_short, p);
             let long = frames(rng, needed + 4, p);
             (short, long)
         },

@@ -87,7 +87,8 @@ fn truncated_valid_streams_error_cleanly() {
     forall(
         "every proper prefix of a valid stream is Err, not a panic",
         |rng| {
-            let stream = valid_stream(rng, rng.usize_in(1, 3));
+            let frames = rng.usize_in(1, 3);
+            let stream = valid_stream(rng, frames);
             let cut = rng.usize_in(0, stream.len().saturating_sub(1));
             (NoShrink(stream), cut)
         },
@@ -112,7 +113,8 @@ fn bit_flipped_streams_never_panic() {
     forall(
         "decode_video(bit-flipped valid stream) returns Ok or typed Err",
         |rng| {
-            let stream = valid_stream(rng, rng.usize_in(1, 3));
+            let frames = rng.usize_in(1, 3);
+            let stream = valid_stream(rng, frames);
             let flips: Vec<(usize, u8)> = (0..rng.usize_in(1, 8))
                 .map(|_| (rng.usize_in(0, stream.len() - 1), 1u8 << rng.usize_in(0, 7)))
                 .collect();
@@ -147,7 +149,8 @@ fn lying_frame_count_cannot_force_a_huge_allocation() {
             bytes.extend_from_slice(&[0xFF, 0xFF, 0x7F]);
             bytes.push(75); // quality
             bytes.push(12); // gop varint
-            bytes.extend(rng.bytes(rng.usize_in(0, 64)));
+            let body = rng.usize_in(0, 64);
+            bytes.extend(rng.bytes(body));
             bytes
         },
         |bytes| {

@@ -7,14 +7,23 @@
 //! medvid query      --db DB.json [--event presentation|dialog|clinical] [--limit N]
 //! medvid storyboard [--scale ...] [--seed N] [--video I] --out DIR
 //! medvid serve      --db DB.json [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! medvid serve      --store DIR [--fsync always|never|N] [--wal-bytes N] [--wal-records N] [...]
 //! medvid client     --addr HOST:PORT [--event ...] [--limit N] [--strategy flat|hierarchical]
-//! medvid client     --addr HOST:PORT --stats | --shutdown
+//! medvid client     --addr HOST:PORT --stats | --restore PATH | --shutdown
+//! medvid store      info|checkpoint|verify --store DIR
 //! ```
 //!
 //! `serve` loads a persisted database snapshot and answers queries over the
 //! `medvid-serve/v1` TCP protocol until a client requests shutdown;
 //! `client` issues one request against a running server and prints the
 //! response.
+//!
+//! With `--store DIR`, `serve` runs durably: the database is recovered from
+//! the directory's checkpoint plus write-ahead-log tail at startup, every
+//! ingest is logged before it is acknowledged, and the log is folded into a
+//! fresh checkpoint in the background. `medvid store` inspects such a
+//! directory offline: `info` prints its vitals, `verify` dry-runs recovery
+//! (exit code 1 if the data is damaged), `checkpoint` folds the WAL down.
 //!
 //! `--report` writes a human-readable per-stage telemetry table;
 //! `--report-json` writes the same data as a `medvid-obs/v1` JSON report.
@@ -26,6 +35,7 @@
 use medvid::index::{Strategy, VideoDatabase};
 use medvid::obs::Recorder;
 use medvid::serve::{Client, QueryRequest, Response, ServerConfig, WireStrategy};
+use medvid::store::{FsyncPolicy, Store, StoreConfig};
 use medvid::skim::storyboard::{export_storyboard, storyboard};
 use medvid::skim::SkimLevel;
 use medvid::synth::{standard_corpus, CorpusScale};
@@ -40,6 +50,8 @@ use std::time::Duration;
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
     command: String,
+    /// Sub-action for commands that take one (`store info|checkpoint|verify`).
+    action: Option<String>,
     scale: CorpusScale,
     seed: u64,
     video: usize,
@@ -56,11 +68,17 @@ struct Options {
     strategy: Option<WireStrategy>,
     stats: bool,
     shutdown: bool,
+    restore: Option<String>,
+    store: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    wal_bytes: Option<u64>,
+    wal_records: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         command: args.first().cloned().ok_or_else(usage)?,
+        action: None,
         scale: CorpusScale::Tiny,
         seed: 2003,
         video: 0,
@@ -77,8 +95,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strategy: None,
         stats: false,
         shutdown: false,
+        restore: None,
+        store: None,
+        fsync: FsyncPolicy::Always,
+        wal_bytes: None,
+        wal_records: None,
     };
     let mut i = 1;
+    // A bare word right after the command is its sub-action
+    // (`medvid store verify ...`).
+    if args.get(1).is_some_and(|a| !a.starts_with("--")) {
+        opts.action = Some(args[1].clone());
+        i = 2;
+    }
     while i < args.len() {
         let flag = args[i].as_str();
         let value = || -> Result<&String, String> {
@@ -146,6 +175,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 });
                 i += 2;
             }
+            "--store" => {
+                opts.store = Some(PathBuf::from(value()?));
+                i += 2;
+            }
+            "--fsync" => {
+                opts.fsync = match value()?.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    n => FsyncPolicy::EveryN(
+                        n.parse()
+                            .map_err(|_| format!("--fsync wants always|never|N, got '{n}'"))?,
+                    ),
+                };
+                i += 2;
+            }
+            "--wal-bytes" => {
+                opts.wal_bytes = Some(value()?.parse().map_err(|e| format!("--wal-bytes: {e}"))?);
+                i += 2;
+            }
+            "--wal-records" => {
+                opts.wal_records = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--wal-records: {e}"))?,
+                );
+                i += 2;
+            }
+            "--restore" => {
+                opts.restore = Some(value()?.clone());
+                i += 2;
+            }
             "--stats" => {
                 opts.stats = true;
                 i += 1;
@@ -170,12 +230,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: medvid <corpus|mine|index|query|storyboard|serve|client> [flags]\n\
+    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|store> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
      --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
-     --queue N  --cache N  --strategy flat|hierarchical  --stats  --shutdown"
+     --queue N  --cache N  --strategy flat|hierarchical  --stats  \
+     --restore PATH  --shutdown\n\
+     durability: --store DIR  --fsync always|never|N  --wal-bytes N  \
+     --wal-records N;  store takes an action: info|checkpoint|verify"
         .to_string()
+}
+
+/// Builds the store tuning from the parsed flags.
+fn store_config(opts: &Options) -> StoreConfig {
+    let mut config = StoreConfig {
+        fsync: opts.fsync,
+        ..StoreConfig::default()
+    };
+    if let Some(b) = opts.wal_bytes {
+        config.checkpoint_wal_bytes = b;
+    }
+    if let Some(r) = opts.wal_records {
+        config.checkpoint_wal_records = r;
+    }
+    config
 }
 
 fn main() -> ExitCode {
@@ -285,9 +363,6 @@ fn run(opts: &Options) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            let db_path = opts.db.as_ref().ok_or("serve needs --db DB.json")?;
-            let db = VideoDatabase::load_json(db_path).map_err(|e| e.to_string())?;
-            let records = db.len();
             let rec = Recorder::new();
             let config = ServerConfig {
                 addr: opts
@@ -300,17 +375,88 @@ fn run(opts: &Options) -> Result<(), String> {
                 default_limit: opts.limit,
                 ..ServerConfig::default()
             };
-            let handle = medvid::serve::spawn(db, config, rec.clone()).map_err(|e| e.to_string())?;
+            let handle = if let Some(dir) = &opts.store {
+                // Durable: recover from the store; --db only seeds a brand
+                // new directory.
+                let initial = match &opts.db {
+                    Some(p) => VideoDatabase::load_json(p).map_err(|e| e.to_string())?,
+                    None => VideoDatabase::medical(),
+                };
+                let (handle, report) =
+                    medvid::serve::spawn_durable(dir, store_config(opts), initial, config, rec.clone())
+                        .map_err(|e| e.to_string())?;
+                println!("recovered from {}: {report}", dir.display());
+                handle
+            } else {
+                let db_path = opts.db.as_ref().ok_or("serve needs --db DB.json or --store DIR")?;
+                let db = VideoDatabase::load_json(db_path).map_err(|e| e.to_string())?;
+                println!("loaded {} records (in-memory, no durability)", db.len());
+                medvid::serve::spawn(db, config, rec.clone()).map_err(|e| e.to_string())?
+            };
             let addr = handle.addr();
-            println!(
-                "{} serving {records} records on {addr}",
-                medvid::serve::PROTOCOL_VERSION
-            );
+            println!("{} serving on {addr}", medvid::serve::PROTOCOL_VERSION);
             println!("stop with: medvid client --addr {addr} --shutdown");
             handle.join();
             println!("server drained");
             let report = rec.report();
             write_report_outputs(opts, &report.render_text(), &report)
+        }
+        "store" => {
+            let dir = opts.store.as_ref().ok_or("store needs --store DIR")?;
+            match opts.action.as_deref() {
+                Some("info") | Some("verify") => {
+                    let verify_mode = opts.action.as_deref() == Some("verify");
+                    let report = medvid::store::verify(dir).map_err(|e| e.to_string())?;
+                    println!("store at {}:", dir.display());
+                    match report.checkpoint_seq {
+                        Some(seq) => println!(
+                            "  checkpoint: seq {seq}, {} records",
+                            report.checkpoint_records.unwrap_or(0)
+                        ),
+                        None => println!(
+                            "  checkpoint: unreadable ({})",
+                            report.checkpoint_error.as_deref().unwrap_or("missing")
+                        ),
+                    }
+                    println!(
+                        "  wal: {} records, {}/{} bytes valid, last seq {}",
+                        report.wal_records,
+                        report.wal_valid_bytes,
+                        report.wal_total_bytes,
+                        report.last_seq
+                    );
+                    match &report.fault {
+                        Some(fault) => println!("  tail fault: {fault}"),
+                        None => println!("  tail: clean"),
+                    }
+                    if verify_mode && !report.healthy() {
+                        return Err("store is damaged (see tail fault above)".into());
+                    }
+                    if verify_mode {
+                        println!("verify: ok — recovery would replay cleanly");
+                    }
+                    Ok(())
+                }
+                Some("checkpoint") => {
+                    let recovered = Store::open(
+                        dir,
+                        store_config(opts),
+                        VideoDatabase::medical(),
+                        Recorder::disabled(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    println!("recovered: {}", recovered.report);
+                    let mut store = recovered.store;
+                    let stats = store.checkpoint(&recovered.db).map_err(|e| e.to_string())?;
+                    println!(
+                        "checkpointed seq {}: {} snapshot bytes, {} WAL bytes retired",
+                        stats.last_seq, stats.snapshot_bytes, stats.wal_bytes_truncated
+                    );
+                    Ok(())
+                }
+                Some(other) => Err(format!("unknown store action '{other}'\n{}", usage())),
+                None => Err(format!("store needs an action\n{}", usage())),
+            }
         }
         "client" => {
             let addr = opts.addr.as_ref().ok_or("client needs --addr HOST:PORT")?;
@@ -319,6 +465,8 @@ fn run(opts: &Options) -> Result<(), String> {
                 Client::connect(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
             let response = if opts.stats {
                 client.stats()
+            } else if let Some(path) = &opts.restore {
+                client.restore(path.clone())
             } else if opts.shutdown {
                 client.shutdown()
             } else {
@@ -370,6 +518,7 @@ fn print_response(response: &Response) {
             records,
             cache,
             executor,
+            store,
         } => {
             println!("{protocol}: epoch {epoch}, {records} records");
             println!(
@@ -390,9 +539,24 @@ fn print_response(response: &Response) {
                 executor.rejected,
                 executor.deadline_misses
             );
+            match store {
+                Some(s) => println!(
+                    "  store: seq {} (checkpoint {}), wal {} records / {} bytes, {} unsynced, fsync {}",
+                    s.last_seq,
+                    s.checkpoint_seq,
+                    s.wal_records,
+                    s.wal_bytes,
+                    s.unsynced_records,
+                    s.fsync
+                ),
+                None => println!("  store: none (in-memory)"),
+            }
         }
         Response::SnapshotWritten { path, epoch } => {
             println!("snapshot of epoch {epoch} written to {path}");
+        }
+        Response::Restored { epoch, records } => {
+            println!("restored {records} records; database is now at epoch {epoch}");
         }
         Response::Bye => println!("server acknowledged shutdown and is draining"),
         Response::Error { kind, message } => {
@@ -504,6 +668,37 @@ mod tests {
         assert_eq!(o.workers, 8);
         assert_eq!(o.queue, 128);
         assert_eq!(o.cache, 512);
+    }
+
+    #[test]
+    fn parses_store_flags_and_actions() {
+        let o = parse(&[
+            "serve",
+            "--store",
+            "/tmp/db",
+            "--fsync",
+            "8",
+            "--wal-bytes",
+            "1024",
+            "--wal-records",
+            "32",
+        ])
+        .unwrap();
+        assert_eq!(o.store, Some(PathBuf::from("/tmp/db")));
+        assert_eq!(o.fsync, FsyncPolicy::EveryN(8));
+        assert_eq!(o.wal_bytes, Some(1024));
+        assert_eq!(o.wal_records, Some(32));
+
+        let o = parse(&["serve", "--store", "d", "--fsync", "never"]).unwrap();
+        assert_eq!(o.fsync, FsyncPolicy::Never);
+        assert!(parse(&["serve", "--fsync", "sometimes"]).is_err());
+
+        let o = parse(&["store", "verify", "--store", "d"]).unwrap();
+        assert_eq!(o.command, "store");
+        assert_eq!(o.action.as_deref(), Some("verify"));
+
+        let o = parse(&["client", "--addr", "127.0.0.1:1", "--restore", "x.json"]).unwrap();
+        assert_eq!(o.restore.as_deref(), Some("x.json"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! | [`obs`] | pipeline telemetry: spans, counters, mining reports |
 //! | [`skim`] | scalable skimming, colour bar, viewer study |
 //! | [`serve`] | concurrent query serving: snapshots, cache, TCP front-end |
+//! | [`store`] | durable storage: write-ahead log, checkpoints, recovery |
 //! | [`baselines`] | Rui et al. and Lin–Zhang scene detectors |
 
 #![forbid(unsafe_code)]
@@ -50,6 +51,7 @@ pub use medvid_obs as obs;
 pub use medvid_serve as serve;
 pub use medvid_signal as signal;
 pub use medvid_skim as skim;
+pub use medvid_store as store;
 pub use medvid_structure as structure;
 pub use medvid_synth as synth;
 pub use medvid_types as types;

@@ -6,6 +6,10 @@
 //! milliseconds (from the telemetry spans) and speedup over the sequential
 //! run — and asserting that every run produced bit-identical structures.
 //!
+//! Also measures ingest durability: single-shot WAL appends per second
+//! under each fsync policy (`always`, `every 8`, `never`), quantifying
+//! what the crash-safety guarantee costs at the storage layer.
+//!
 //! Writes two artefacts: the standard experiment envelope under
 //! `target/experiments/bench_pipeline.json`, and the benchmark-trajectory
 //! snapshot `BENCH_pipeline.json` at the repository root. `--smoke` shrinks
@@ -13,8 +17,11 @@
 
 use medvid::{ClassMiner, ClassMinerConfig, MinedVideo};
 use medvid_eval::report::{f3, print_table, write_report};
+use medvid_index::VideoDatabase;
 use medvid_obs::{CorpusReport, Recorder, Stage};
+use medvid_store::{FsyncPolicy, Store, StoreConfig, StoredShot, WalOp};
 use medvid_synth::{standard_corpus, CorpusScale};
+use medvid_types::{EventKind, ShotId, VideoId};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -34,6 +41,15 @@ struct ThreadRun {
 }
 
 #[derive(Serialize)]
+struct DurabilityRun {
+    fsync: String,
+    appends: usize,
+    wall_secs: f64,
+    appends_per_sec: f64,
+    wal_bytes: u64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     /// `available_parallelism` of the machine that produced these numbers —
     /// speedups are meaningless without it.
@@ -42,6 +58,57 @@ struct BenchReport {
     corpus_frames: usize,
     deterministic_across_threads: bool,
     runs: Vec<ThreadRun>,
+    durability: Vec<DurabilityRun>,
+}
+
+/// Times `appends` single-shot group commits under one fsync policy,
+/// against a scratch store that is removed afterwards.
+fn ingest_durability_at(policy: FsyncPolicy, appends: usize) -> DurabilityRun {
+    let dir = std::env::temp_dir().join(format!(
+        "medvid-bench-durab-{}-{policy}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let recovered = Store::open(
+        &dir,
+        StoreConfig {
+            fsync: policy,
+            // Keep checkpoints out of the measurement window.
+            checkpoint_wal_bytes: u64::MAX,
+            checkpoint_wal_records: u64::MAX,
+        },
+        VideoDatabase::medical(),
+        Recorder::disabled(),
+    )
+    .expect("open scratch store");
+    let mut store = recovered.store;
+    let scene = recovered.db.hierarchy().scene_nodes()[0];
+    let features = vec![0.25f32; 266];
+    let start = Instant::now();
+    for i in 0..appends {
+        let op = WalOp::IngestShot {
+            shot: StoredShot {
+                video: VideoId(i / 64),
+                shot: ShotId(i),
+                features: features.clone(),
+                event: EventKind::ClinicalOperation,
+                scene_node: scene,
+            },
+        };
+        store.append(&[op]).expect("append");
+    }
+    store.sync().expect("final sync");
+    let wall = start.elapsed().as_secs_f64();
+    let wal_bytes = store.status().wal_bytes;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    DurabilityRun {
+        fsync: policy.to_string(),
+        appends,
+        wall_secs: wall,
+        appends_per_sec: appends as f64 / wall.max(1e-9),
+        wal_bytes,
+    }
 }
 
 /// Mines the whole corpus under one thread budget, returning the mined
@@ -154,12 +221,42 @@ fn main() {
         &table,
     );
 
+    // Ingest durability: the cost of the WAL's crash-safety guarantee at
+    // each fsync policy, single-shot appends (the serve ingest hot path).
+    let append_count = if smoke { 200 } else { 2_000 };
+    let durability: Vec<DurabilityRun> = [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(8),
+        FsyncPolicy::Never,
+    ]
+    .into_iter()
+    .map(|p| ingest_durability_at(p, append_count))
+    .collect();
+    let durab_table: Vec<Vec<String>> = durability
+        .iter()
+        .map(|r| {
+            vec![
+                r.fsync.clone(),
+                r.appends.to_string(),
+                f3(r.wall_secs),
+                f3(r.appends_per_sec),
+                r.wal_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-BENCH — ingest durability vs fsync policy",
+        &["fsync", "appends", "wall s", "appends/s", "wal bytes"],
+        &durab_table,
+    );
+
     let bench = BenchReport {
         host_cpus,
         corpus_videos: corpus.len(),
         corpus_frames,
         deterministic_across_threads: deterministic,
         runs,
+        durability,
     };
     // The benchmark trajectory lives at the repository root so successive
     // PRs can diff it; the manifest dir anchors the path regardless of cwd.

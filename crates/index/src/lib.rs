@@ -36,5 +36,5 @@ pub use access::{AccessPolicy, Clearance, UserContext};
 pub use browse::{BrowseEntry, BrowseView};
 pub use concepts::{ConceptHierarchy, ConceptNode, NodeId, NodeKind};
 pub use db::{QueryResult, RecordError, RetrievalStats, ShotRecord, ShotRef, VideoDatabase};
-pub use persist::{DatabaseSnapshot, PersistError};
+pub use persist::{atomic_write, DatabaseSnapshot, PersistError};
 pub use query::{Query, Strategy};

@@ -68,6 +68,41 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// Writes `bytes` to `path` all-or-nothing: the payload goes to
+/// `<path>.tmp` first, is fsynced, and is renamed over `path` (an atomic
+/// replacement on POSIX filesystems). The parent directory is fsynced
+/// afterwards on a best-effort basis so the rename itself is durable.
+///
+/// Every durable artefact in the workspace (database snapshots, store
+/// checkpoints) goes through this helper — a crash at any instant leaves
+/// either the old file or the new one, never a torn hybrid.
+///
+/// # Errors
+/// Propagates I/O failures; on error the destination is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Durability of the rename needs the directory entry flushed too; not
+    // all platforms allow opening a directory, so failures are advisory.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 impl VideoDatabase {
     /// Takes a snapshot of the database's logical state.
     pub fn snapshot(&self) -> DatabaseSnapshot {
@@ -101,13 +136,18 @@ impl VideoDatabase {
         Ok(db)
     }
 
-    /// Saves the database as JSON.
+    /// Saves the database as JSON, atomically.
+    ///
+    /// The snapshot is written to `<path>.tmp`, fsynced, and renamed over
+    /// `path`, so a crash mid-write can never leave a torn snapshot where a
+    /// good one used to be — the worst case is a stale `.tmp` beside an
+    /// intact previous snapshot.
     ///
     /// # Errors
     /// Propagates I/O and serialisation failures.
     pub fn save_json(&self, path: &Path) -> Result<(), PersistError> {
         let json = serde_json::to_vec(&self.snapshot())?;
-        std::fs::write(path, json)?;
+        atomic_write(path, &json)?;
         Ok(())
     }
 
@@ -189,6 +229,34 @@ mod tests {
         let restored = VideoDatabase::load_json(&path).unwrap();
         assert_eq!(restored.len(), db.len());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("medvid_db_atomic.json");
+        db.save_json(&path).unwrap();
+        let tmp = std::env::temp_dir().join("medvid_db_atomic.json.tmp");
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        assert!(VideoDatabase::load_json(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crashed_tmp_write_does_not_damage_existing_snapshot() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("medvid_db_torn.json");
+        db.save_json(&path).unwrap();
+        // A writer that died mid-write leaves a torn .tmp — the published
+        // snapshot must still load, and a later save must replace cleanly.
+        let tmp = std::env::temp_dir().join("medvid_db_torn.json.tmp");
+        std::fs::write(&tmp, b"{\"version\":1,\"hier").unwrap();
+        let restored = VideoDatabase::load_json(&path).unwrap();
+        assert_eq!(restored.len(), db.len());
+        db.save_json(&path).unwrap();
+        assert!(VideoDatabase::load_json(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&tmp);
     }
 
     #[test]

@@ -114,6 +114,54 @@ fn garbage_spliced_snapshots_never_panic() {
 }
 
 #[test]
+fn torn_save_never_destroys_the_published_snapshot() {
+    // The crash window of the atomic save is the `.tmp` write: a writer
+    // that dies there leaves arbitrary damage in `<path>.tmp` while the
+    // published snapshot keeps its previous bytes. Model that window with
+    // the fault vocabulary and require the published snapshot to load
+    // bit-for-bit regardless of what the torn temp file holds.
+    let dir = std::env::temp_dir().join(format!("medvid-persist-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    forall(
+        "a torn .tmp write leaves the good snapshot loadable",
+        |rng| {
+            let bytes = snapshot_bytes(rng);
+            let fault = if rng.bool_p(0.5) {
+                Fault::TruncateAfter(rng.usize_in(0, bytes.len().saturating_sub(1)))
+            } else {
+                Fault::Garbage {
+                    len: rng.usize_in(1, 256),
+                    seed: rng.next_u64(),
+                }
+            };
+            (NoShrink(bytes), NoShrink(fault), rng.next_u64())
+        },
+        |(bytes, fault, tag)| {
+            let path = dir.join(format!("db-{tag}.json"));
+            let tmp = dir.join(format!("db-{tag}.json.tmp"));
+            let good = restore(&bytes.0).map_err(|e| format!("fixture invalid: {e}"))?;
+            good.save_json(&path).map_err(|e| format!("save: {e}"))?;
+            // The simulated mid-write crash: a damaged temp file appears
+            // next to the published snapshot and the rename never runs.
+            std::fs::write(&tmp, corrupt_bytes(&bytes.0, fault.0))
+                .map_err(|e| format!("write torn tmp: {e}"))?;
+            let reloaded =
+                VideoDatabase::load_json(&path).map_err(|e| format!("good snapshot lost: {e}"))?;
+            require!(
+                reloaded.len() == good.len(),
+                "published snapshot shrank from {} to {} records",
+                good.len(),
+                reloaded.len()
+            );
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&tmp);
+            Ok(())
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tampered_snapshot_fields_are_rejected_not_trusted() {
     forall(
         "semantic tampering is caught by version/validation checks",

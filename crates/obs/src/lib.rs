@@ -103,6 +103,21 @@ pub mod counters {
     pub const SERVE_INGESTED_SHOTS: &str = "serve_ingested_shots";
     /// Snapshot swaps installed by the serving layer (epoch bumps).
     pub const SERVE_EPOCH_SWAPS: &str = "serve_epoch_swaps";
+    /// Group-committed WAL append calls (`medvid-store`).
+    pub const STORE_APPENDS: &str = "store_appends";
+    /// Individual records written to the WAL.
+    pub const STORE_APPENDED_RECORDS: &str = "store_appended_records";
+    /// fsyncs issued by the WAL writer (policy-dependent).
+    pub const STORE_FSYNCS: &str = "store_fsyncs";
+    /// Checkpoint segments written (atomic snapshot + WAL truncation).
+    pub const STORE_CHECKPOINTS: &str = "store_checkpoints";
+    /// WAL records replayed by crash recovery.
+    pub const STORE_REPLAYED_RECORDS: &str = "store_replayed_records";
+    /// WAL records skipped by recovery because a checkpoint already
+    /// covered them.
+    pub const STORE_SKIPPED_RECORDS: &str = "store_skipped_records";
+    /// Bytes of torn/corrupt WAL tail discarded by recovery.
+    pub const STORE_DISCARDED_BYTES: &str = "store_discarded_bytes";
 }
 
 /// Names of the value histograms the serving layer records (dimensionless

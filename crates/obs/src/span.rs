@@ -34,11 +34,20 @@ pub enum Stage {
     /// Query execution on a serving worker thread (the post-dequeue slice of
     /// a [`Stage::ServeRequest`]).
     ServeExec,
+    /// One group-committed write-ahead-log append (`medvid-store`),
+    /// including any fsync the policy demanded.
+    StoreAppend,
+    /// One checkpoint segment: atomic snapshot write plus WAL truncation
+    /// (`medvid-store`).
+    StoreCheckpoint,
+    /// Crash recovery: checkpoint load plus WAL-tail replay
+    /// (`medvid-store`).
+    StoreRecover,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 14] = [
         Stage::ShotDetect,
         Stage::GroupMine,
         Stage::SceneMerge,
@@ -50,6 +59,9 @@ impl Stage {
         Stage::Query,
         Stage::ServeRequest,
         Stage::ServeExec,
+        Stage::StoreAppend,
+        Stage::StoreCheckpoint,
+        Stage::StoreRecover,
     ];
 
     /// The stable snake_case name used in reports.
@@ -66,6 +78,9 @@ impl Stage {
             Stage::Query => "query",
             Stage::ServeRequest => "serve_request",
             Stage::ServeExec => "serve_exec",
+            Stage::StoreAppend => "store_append",
+            Stage::StoreCheckpoint => "store_checkpoint",
+            Stage::StoreRecover => "store_recover",
         }
     }
 }

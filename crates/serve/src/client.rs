@@ -16,6 +16,12 @@ pub struct Client<S: Read + Write = TcpStream> {
     stream: S,
 }
 
+impl<S: Read + Write> std::fmt::Debug for Client<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
 impl Client<TcpStream> {
     /// Connects with `timeout` applied to the connection attempt and both
     /// socket directions.
@@ -80,6 +86,15 @@ impl<S: Read + Write> Client<S> {
     /// Propagates I/O and framing failures.
     pub fn snapshot(&mut self, path: impl Into<String>) -> io::Result<Response> {
         self.request(&Request::Snapshot { path: path.into() })
+    }
+
+    /// Asks the server to replace its serving database with the snapshot
+    /// at a server-side `path`.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn restore(&mut self, path: impl Into<String>) -> io::Result<Response> {
+        self.request(&Request::Restore { path: path.into() })
     }
 
     /// Requests a graceful drain.

@@ -20,6 +20,13 @@
 //! [`loadgen`] drives N concurrent clients against a server and reports
 //! throughput and latency quantiles via the same `medvid-obs` histograms
 //! the server records into.
+//!
+//! Servers spawned with [`server::spawn_durable`] additionally write every
+//! ingest batch to a `medvid-store` write-ahead log *before* the epoch
+//! swap acknowledges it, checkpoint in the background when the log grows
+//! past its thresholds, and recover checkpoint + WAL tail on startup — see
+//! the `medvid-store` crate for the on-disk format and crash-recovery
+//! semantics.
 
 pub mod cache;
 pub mod client;
@@ -38,5 +45,5 @@ pub use protocol::{
     WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use retry::{connect_with_retry, ClientError, RetryPolicy, RetryingClient};
-pub use server::{spawn, ServerConfig, ServerHandle};
-pub use service::{DbEpoch, DbService};
+pub use server::{spawn, spawn_durable, ServerConfig, ServerHandle};
+pub use service::{DbEpoch, DbService, IngestError};

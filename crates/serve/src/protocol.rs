@@ -98,6 +98,13 @@ pub enum Request {
         /// Target path on the server's filesystem.
         path: String,
     },
+    /// Replace the serving database with a snapshot loaded from a
+    /// server-side path. The swap bumps the epoch (it never resets), so
+    /// every cached result keyed to the old generation is invalidated.
+    Restore {
+        /// Snapshot path on the server's filesystem.
+        path: String,
+    },
     /// Begin a graceful drain: in-flight work completes, then the server
     /// stops accepting connections.
     Shutdown,
@@ -115,6 +122,10 @@ pub enum ErrorKind {
     BadRequest,
     /// The server is draining and takes no new work.
     ShuttingDown,
+    /// The durable storage layer failed (WAL append, checkpoint or
+    /// snapshot I/O). The in-memory epoch is unchanged; the operation was
+    /// not acknowledged and may be retried once storage recovers.
+    Store,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -225,6 +236,10 @@ pub enum Response {
         cache: CacheStats,
         /// Executor statistics.
         executor: ExecutorStats,
+        /// Durable-store metrics; absent when the server runs in-memory
+        /// only (and on the wire from pre-store servers).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        store: Option<medvid_store::StoreStatus>,
     },
     /// Snapshot persisted.
     SnapshotWritten {
@@ -232,6 +247,13 @@ pub enum Response {
         path: String,
         /// Epoch that was persisted.
         epoch: u64,
+    },
+    /// Snapshot restored and swapped in as the serving database.
+    Restored {
+        /// The new (bumped, never reset) epoch.
+        epoch: u64,
+        /// Indexed shots in the restored database.
+        records: usize,
     },
     /// Acknowledges [`Request::Shutdown`]; the connection closes after.
     Bye,

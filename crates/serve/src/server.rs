@@ -12,14 +12,19 @@
 use crate::cache::{CachedResult, QueryKey, ResultCache};
 use crate::executor::Executor;
 use crate::protocol::{self, ErrorKind, Hit, QueryRequest, Request, Response, PROTOCOL_VERSION};
-use crate::service::DbService;
+use crate::service::{DbService, IngestError};
 use medvid_index::{Clearance, Strategy, UserContext, VideoDatabase};
 use medvid_obs::{counters, Recorder, Stage};
+use medvid_store::{RecoveryReport, Store, StoreConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How often the background checkpointer re-examines the WAL thresholds.
+const CHECKPOINT_POLL: Duration = Duration::from_millis(250);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +80,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    checkpoint_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -89,9 +95,12 @@ impl ServerHandle {
     }
 
     /// Waits for the accept loop (and every connection it spawned) to
-    /// finish draining.
+    /// finish draining, then for the background checkpointer.
     pub fn join(mut self) {
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.checkpoint_thread.take() {
             let _ = h.join();
         }
     }
@@ -99,8 +108,13 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if let Some(h) = self.accept_thread.take() {
+        if self.accept_thread.is_some() || self.checkpoint_thread.is_some() {
             begin_shutdown(&self.shared, self.addr);
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.checkpoint_thread.take() {
             let _ = h.join();
         }
     }
@@ -113,8 +127,8 @@ fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
     }
 }
 
-/// Binds and spawns a server over `db`. Returns once the listener is live,
-/// so a client may connect immediately.
+/// Binds and spawns an in-memory server over `db`. Returns once the
+/// listener is live, so a client may connect immediately.
 ///
 /// # Errors
 /// Propagates bind failures.
@@ -123,10 +137,50 @@ pub fn spawn(
     config: ServerConfig,
     recorder: Recorder,
 ) -> io::Result<ServerHandle> {
+    let service = DbService::new(db, recorder.clone());
+    spawn_service(service, config, recorder)
+}
+
+/// Binds and spawns a durable server backed by the store at `dir`.
+///
+/// Opens (or initialises) the store, recovers the database from its latest
+/// checkpoint plus the WAL tail, and serves the recovered state as epoch 1.
+/// `initial` seeds a store directory that does not exist yet (pass
+/// [`VideoDatabase::medical`] for the standard taxonomy) and is ignored
+/// when a checkpoint already exists. The returned [`RecoveryReport`] says
+/// exactly what was replayed and whether a torn tail was discarded.
+///
+/// A background thread checkpoints the serving database whenever the WAL
+/// outgrows the thresholds in `store_config`; on graceful drain the WAL is
+/// fsynced before the handle's `join` returns.
+///
+/// # Errors
+/// Propagates bind failures; storage failures (unreadable checkpoint,
+/// unopenable WAL) surface as [`io::ErrorKind::Other`].
+pub fn spawn_durable(
+    dir: impl AsRef<Path>,
+    store_config: StoreConfig,
+    initial: VideoDatabase,
+    config: ServerConfig,
+    recorder: Recorder,
+) -> io::Result<(ServerHandle, RecoveryReport)> {
+    let recovered = Store::open(dir.as_ref(), store_config, initial, recorder.clone())
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let service = DbService::durable(recovered.db, recovered.store, recorder.clone());
+    let handle = spawn_service(service, config, recorder)?;
+    Ok((handle, recovered.report))
+}
+
+fn spawn_service(
+    service: DbService,
+    config: ServerConfig,
+    recorder: Recorder,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let durable = service.is_durable();
     let shared = Arc::new(Shared {
-        service: DbService::new(db, recorder.clone()),
+        service,
         cache: ResultCache::new(config.cache_capacity, recorder.clone()),
         executor: Executor::new(config.workers, config.queue_capacity, recorder.clone()),
         config,
@@ -137,11 +191,37 @@ pub fn spawn(
     let accept_thread = std::thread::Builder::new()
         .name("serve-accept".to_string())
         .spawn(move || accept_loop(listener, accept_shared))?;
+    let checkpoint_thread = if durable {
+        let ckpt_shared = Arc::clone(&shared);
+        Some(
+            std::thread::Builder::new()
+                .name("serve-checkpoint".to_string())
+                .spawn(move || checkpoint_loop(&ckpt_shared))?,
+        )
+    } else {
+        None
+    };
     Ok(ServerHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
+        checkpoint_thread,
     })
+}
+
+/// Background checkpointer: folds the WAL into a fresh checkpoint whenever
+/// it outgrows the configured thresholds, so recovery time stays bounded
+/// no matter how long the server runs.
+fn checkpoint_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if shared.service.wants_checkpoint() {
+            // A failed checkpoint is not fatal to serving: the WAL still
+            // holds every acknowledged record, so durability is intact and
+            // the next poll retries.
+            let _ = shared.service.checkpoint();
+        }
+        std::thread::sleep(CHECKPOINT_POLL);
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -165,6 +245,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for h in connections {
         let _ = h.join();
     }
+    // Graceful drain: with every connection retired, force any WAL records
+    // buffered under a lazy fsync policy onto stable storage before the
+    // process is allowed to exit.
+    let _ = shared.service.sync_store();
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
@@ -219,7 +303,12 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
         Request::Query(q) => dispatch_query(q, shared),
         Request::Ingest { shots } => match shared.service.ingest(&shots) {
             Ok((accepted, epoch)) => Response::Ingested { accepted, epoch },
-            Err((i, e)) => Response::error(ErrorKind::BadRequest, format!("ingest shot {i}: {e}")),
+            Err(e @ IngestError::Record { .. }) => {
+                Response::error(ErrorKind::BadRequest, e.to_string())
+            }
+            // The batch validated but never reached stable storage: the
+            // epoch is unchanged and the client may retry.
+            Err(e @ IngestError::Store(_)) => Response::error(ErrorKind::Store, e.to_string()),
         },
         Request::Stats => {
             let snap = shared.service.snapshot();
@@ -229,11 +318,12 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
                 records: snap.db.len(),
                 cache: shared.cache.stats(),
                 executor: shared.executor.stats(),
+                store: shared.service.store_status(),
             }
         }
         Request::Snapshot { path } => {
             let snap = shared.service.snapshot();
-            match snap.db.save_json(std::path::Path::new(&path)) {
+            match snap.db.save_json(Path::new(&path)) {
                 Ok(()) => Response::SnapshotWritten {
                     path,
                     epoch: snap.epoch,
@@ -241,6 +331,18 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
                 Err(e) => Response::error(ErrorKind::Internal, e.to_string()),
             }
         }
+        Request::Restore { path } => match VideoDatabase::load_json(Path::new(&path)) {
+            Err(e) => Response::error(ErrorKind::BadRequest, format!("restore {path}: {e}")),
+            Ok(db) => {
+                let records = db.len();
+                match shared.service.replace(db) {
+                    // The epoch bump invalidates every cached result mined
+                    // from the superseded database.
+                    Ok(epoch) => Response::Restored { epoch, records },
+                    Err(e) => Response::error(ErrorKind::Store, e.to_string()),
+                }
+            }
+        },
         Request::Shutdown => Response::Bye,
     }
 }

@@ -1,4 +1,5 @@
-//! Snapshot-swapped database service.
+//! Snapshot-swapped database service, optionally backed by a durable
+//! store.
 //!
 //! Readers never block on writers: every query clones an `Arc` to the
 //! current [`DbEpoch`] under a briefly-held read lock and runs against that
@@ -7,10 +8,20 @@
 //! mutex) and atomically swap it in with a bumped epoch number. The epoch is
 //! what ties the layers together — the result cache invalidates itself
 //! wholesale when it observes a new epoch.
+//!
+//! In durable mode the writer mutex also owns a [`medvid_store::Store`].
+//! Ingest order is: validate against a clone, **append to the WAL** (the
+//! durability point — under `FsyncPolicy::Always` the batch has hit stable
+//! storage before anything is acknowledged), then build and swap. A crash
+//! after the append but before the swap is safe: recovery replays the WAL
+//! and reproduces exactly the acknowledged state. Checkpoints take the
+//! same writer lock so the snapshotted database always agrees with the
+//! store's sequence-number watermark.
 
 use crate::protocol::IngestShot;
 use medvid_index::{RecordError, VideoDatabase};
 use medvid_obs::{counters, Recorder};
+use medvid_store::{CheckpointStats, Store, StoreError, StoreStatus, StoredShot, WalOp};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
@@ -23,24 +34,68 @@ pub struct DbEpoch {
     pub db: VideoDatabase,
 }
 
+/// Why an ingest batch was refused.
+#[derive(Debug)]
+pub enum IngestError {
+    /// One shot failed validation; the whole batch was rejected before
+    /// anything was logged or swapped.
+    Record {
+        /// Index of the offending shot within the batch.
+        index: usize,
+        /// Why the database refused it.
+        error: RecordError,
+    },
+    /// The batch validated but could not be made durable. Nothing was
+    /// acknowledged and the serving epoch is unchanged.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Record { index, error } => write!(f, "ingest shot {index}: {error}"),
+            IngestError::Store(e) => write!(f, "durable append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// Concurrent handle over a [`VideoDatabase`]: cheap snapshot reads,
-/// copy-on-write ingest.
+/// copy-on-write ingest, optional write-ahead durability.
 pub struct DbService {
     current: RwLock<Arc<DbEpoch>>,
     /// Serialises writers so concurrent ingests cannot both clone the same
-    /// base generation and silently drop each other's shots.
-    writer: Mutex<()>,
+    /// base generation and silently drop each other's shots. In durable
+    /// mode it also owns the store, so WAL appends and checkpoints are
+    /// ordered with the swaps they describe.
+    writer: Mutex<Option<Store>>,
     recorder: Recorder,
 }
 
 impl DbService {
-    /// Wraps a built database as epoch 1.
+    /// Wraps a built database as epoch 1, in-memory only.
     pub fn new(db: VideoDatabase, recorder: Recorder) -> Self {
         DbService {
             current: RwLock::new(Arc::new(DbEpoch { epoch: 1, db })),
-            writer: Mutex::new(()),
+            writer: Mutex::new(None),
             recorder,
         }
+    }
+
+    /// Wraps a recovered database as epoch 1 with `store` as its
+    /// durability backend (pass [`medvid_store::Recovered`]'s pieces).
+    pub fn durable(db: VideoDatabase, store: Store, recorder: Recorder) -> Self {
+        DbService {
+            current: RwLock::new(Arc::new(DbEpoch { epoch: 1, db })),
+            writer: Mutex::new(Some(store)),
+            recorder,
+        }
+    }
+
+    /// Whether ingests are write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.writer.lock().is_some()
     }
 
     /// The current generation. The lock is held only for the `Arc` clone;
@@ -56,14 +111,18 @@ impl DbService {
     }
 
     /// Ingests a batch of shots: validates every record against the current
-    /// generation, clones it, inserts, rebuilds the index structures, and
-    /// swaps the result in as the next epoch. All-or-nothing: one bad record
-    /// fails the whole batch and the current epoch stays untouched.
+    /// generation, clones it, inserts, appends the batch to the WAL (in
+    /// durable mode — this is the durability point, *before* the epoch
+    /// swap), rebuilds the index structures, and swaps the result in as
+    /// the next epoch. All-or-nothing: one bad record fails the whole
+    /// batch and the current epoch stays untouched.
     ///
     /// # Errors
-    /// Returns the index of the offending shot and why it was rejected.
-    pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), (usize, RecordError)> {
-        let _writer = self.writer.lock();
+    /// [`IngestError::Record`] carries the index of the offending shot;
+    /// [`IngestError::Store`] means the WAL append failed and nothing was
+    /// acknowledged.
+    pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), IngestError> {
+        let mut writer = self.writer.lock();
         let base = self.snapshot();
         let mut db = base.db.clone();
         for (i, s) in shots.iter().enumerate() {
@@ -72,7 +131,18 @@ impl DbService {
                 shot: s.shot,
             };
             db.try_insert_shot(shot, s.features.clone(), s.event, s.scene_node)
-                .map_err(|e| (i, e))?;
+                .map_err(|error| IngestError::Record { index: i, error })?;
+        }
+        if let Some(store) = writer.as_mut() {
+            let op = match shots {
+                [one] => WalOp::IngestShot {
+                    shot: to_stored(one),
+                },
+                many => WalOp::IngestVideo {
+                    shots: many.iter().map(to_stored).collect(),
+                },
+            };
+            store.append(&[op]).map_err(IngestError::Store)?;
         }
         db.build();
         let epoch = base.epoch + 1;
@@ -82,11 +152,86 @@ impl DbService {
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
         Ok((shots.len(), epoch))
     }
+
+    /// Replaces the serving database wholesale (the restore/replay path).
+    /// The epoch is **bumped, never reset** — a cache keyed to the old
+    /// generation must observe a number it has never seen, or it would
+    /// keep serving results mined from the pre-restore database. In
+    /// durable mode the restored state is immediately checkpointed so the
+    /// store agrees with what is being served.
+    ///
+    /// # Errors
+    /// A failed checkpoint leaves the old epoch serving and the store
+    /// unchanged.
+    pub fn replace(&self, db: VideoDatabase) -> Result<u64, StoreError> {
+        let mut writer = self.writer.lock();
+        if let Some(store) = writer.as_mut() {
+            store.checkpoint(&db)?;
+        }
+        let epoch = self.current.read().epoch + 1;
+        *self.current.write() = Arc::new(DbEpoch { epoch, db });
+        self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
+        Ok(epoch)
+    }
+
+    /// Checkpoints the current generation into the store. Returns `None`
+    /// in in-memory mode.
+    ///
+    /// # Errors
+    /// Propagates storage failures; the WAL keeps its records on failure.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointStats>, StoreError> {
+        let mut writer = self.writer.lock();
+        let Some(store) = writer.as_mut() else {
+            return Ok(None);
+        };
+        // The writer lock is held: the current snapshot reflects every
+        // operation appended so far, so the watermark is consistent.
+        let snap = self.snapshot();
+        store.checkpoint(&snap.db).map(Some)
+    }
+
+    /// True when the store's WAL has outgrown its thresholds (always
+    /// false in in-memory mode).
+    pub fn wants_checkpoint(&self) -> bool {
+        self.writer
+            .lock()
+            .as_ref()
+            .is_some_and(Store::wants_checkpoint)
+    }
+
+    /// Forces buffered WAL records to stable storage (graceful-drain
+    /// flush). No-op in in-memory mode or when everything is synced.
+    ///
+    /// # Errors
+    /// Propagates storage failures.
+    pub fn sync_store(&self) -> Result<(), StoreError> {
+        match self.writer.lock().as_mut() {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Live store metrics, when durable.
+    pub fn store_status(&self) -> Option<StoreStatus> {
+        self.writer.lock().as_ref().map(Store::status)
+    }
+}
+
+fn to_stored(s: &IngestShot) -> StoredShot {
+    StoredShot {
+        video: s.video,
+        shot: s.shot,
+        features: s.features.clone(),
+        event: s.event,
+        scene_node: s.scene_node,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{CachedResult, QueryKey, ResultCache};
+    use crate::protocol::QueryRequest;
     use medvid_types::{EventKind, ShotId, VideoId};
 
     fn shot(i: usize, db: &VideoDatabase) -> IngestShot {
@@ -122,9 +267,14 @@ mod tests {
         let base = svc.snapshot();
         let mut batch: Vec<_> = (0..3).map(|i| shot(i, &base.db)).collect();
         batch[1].scene_node = base.db.hierarchy().root();
-        let (idx, err) = svc.ingest(&batch).unwrap_err();
-        assert_eq!(idx, 1);
-        assert!(matches!(err, RecordError::NotSceneNode(_)));
+        let err = svc.ingest(&batch).unwrap_err();
+        match err {
+            IngestError::Record { index, error } => {
+                assert_eq!(index, 1);
+                assert!(matches!(error, RecordError::NotSceneNode(_)));
+            }
+            IngestError::Store(e) => panic!("unexpected store error: {e}"),
+        }
         assert_eq!(svc.epoch(), 1);
         assert_eq!(svc.snapshot().db.len(), 0);
     }
@@ -159,5 +309,118 @@ mod tests {
         }
         assert_eq!(svc.epoch(), 6);
         assert_eq!(svc.snapshot().db.len(), 5);
+    }
+
+    #[test]
+    fn replace_bumps_epoch_so_caches_invalidate() {
+        // Regression: restoring a database from disk must never leave the
+        // epoch where it was (or reset it to 1) — either way a populated
+        // cache would keep answering queries from the superseded database.
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let batch: Vec<_> = {
+            let base = svc.snapshot();
+            (0..3).map(|i| shot(i, &base.db)).collect()
+        };
+        svc.ingest(&batch).unwrap();
+        let epoch_before = svc.epoch();
+
+        let cache = ResultCache::new(8, Recorder::disabled());
+        let key = QueryKey::canonicalize(&QueryRequest::default(), 10);
+        cache.put(
+            epoch_before,
+            key.clone(),
+            Arc::new(CachedResult {
+                hits: Vec::new(),
+                stats: Default::default(),
+            }),
+        );
+        assert!(cache.get(epoch_before, &key).is_some(), "entry is live");
+
+        let restored_epoch = svc.replace(VideoDatabase::medical()).unwrap();
+        assert!(
+            restored_epoch > epoch_before,
+            "epoch must move forward on restore: {restored_epoch} vs {epoch_before}"
+        );
+        assert_eq!(svc.snapshot().db.len(), 0, "restored database serves");
+        assert!(
+            cache.get(restored_epoch, &key).is_none(),
+            "stale pre-restore result must not survive the swap"
+        );
+    }
+
+    #[test]
+    fn durable_ingest_survives_service_restart() {
+        let dir = std::env::temp_dir().join(format!("medvid-svc-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recovered = Store::open(
+            &dir,
+            medvid_store::StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let svc = DbService::durable(recovered.db, recovered.store, Recorder::disabled());
+        let batch: Vec<_> = {
+            let base = svc.snapshot();
+            (0..5).map(|i| shot(i, &base.db)).collect()
+        };
+        svc.ingest(&batch).unwrap();
+        assert_eq!(svc.store_status().unwrap().wal_records, 2); // marker + batch
+        drop(svc);
+
+        // "Restart": recover from the same directory.
+        let recovered = Store::open(
+            &dir,
+            medvid_store::StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(recovered.db.len(), 5);
+        assert!(recovered.report.clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_retires_wal_records() {
+        let dir = std::env::temp_dir().join(format!("medvid-svc-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recovered = Store::open(
+            &dir,
+            medvid_store::StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let svc = DbService::durable(recovered.db, recovered.store, Recorder::disabled());
+        let batch: Vec<_> = {
+            let base = svc.snapshot();
+            (0..4).map(|i| shot(i, &base.db)).collect()
+        };
+        svc.ingest(&batch).unwrap();
+        let stats = svc.checkpoint().unwrap().expect("durable mode");
+        assert!(stats.wal_bytes_truncated > 0);
+        assert_eq!(svc.store_status().unwrap().wal_records, 1); // fresh marker
+        drop(svc);
+        let recovered = Store::open(
+            &dir,
+            medvid_store::StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(recovered.db.len(), 4);
+        assert_eq!(recovered.report.checkpoint_records, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_mode_has_no_store_surface() {
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        assert!(!svc.is_durable());
+        assert!(svc.store_status().is_none());
+        assert!(!svc.wants_checkpoint());
+        assert!(svc.checkpoint().unwrap().is_none());
+        svc.sync_store().unwrap();
     }
 }

@@ -40,7 +40,10 @@ fn to_wire(spec: &QuerySpec) -> QueryRequest {
 fn arbitrary_bytes_never_panic_the_frame_reader() {
     forall(
         "recv_message(arbitrary bytes) is Ok or a typed io::Error",
-        |rng| rng.bytes(rng.usize_in(0, 512)),
+        |rng| {
+            let len = rng.usize_in(0, 512);
+            rng.bytes(len)
+        },
         |bytes| {
             let mut cursor = Cursor::new(bytes.as_slice());
             // Any outcome but a panic is in-contract; an Ok means the
@@ -97,7 +100,8 @@ fn frames_roundtrip_and_survive_corruption_typed() {
     forall(
         "write_frame -> read_frame is identity; corrupted frames never panic",
         |rng| {
-            let payload = rng.bytes(rng.usize_in(0, 2048));
+            let len = rng.usize_in(0, 2048);
+            let payload = rng.bytes(len);
             let fault_seed = rng.next_u64();
             (payload, fault_seed)
         },
@@ -140,7 +144,10 @@ fn frames_roundtrip_and_survive_corruption_typed() {
 fn query_requests_roundtrip_through_the_wire_codec() {
     forall(
         "send_message -> recv_message preserves QueryRequest",
-        |rng| NoShrink(valid_query(rng, rng.usize_in(1, 32), rng.usize_in(1, 12))),
+        |rng| {
+            let (dims, k) = (rng.usize_in(1, 32), rng.usize_in(1, 12));
+            NoShrink(valid_query(rng, dims, k))
+        },
         |spec| {
             let wire = to_wire(&spec.0);
             let mut buf = Vec::new();
@@ -215,6 +222,7 @@ fn flaky_server(flaky: usize, serve_requests: usize) -> std::net::SocketAddr {
                     records: 0,
                     cache: Default::default(),
                     executor: Default::default(),
+                    store: None,
                 };
                 if send_message(&mut stream, &resp).is_err() {
                     return;

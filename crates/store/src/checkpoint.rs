@@ -1,0 +1,109 @@
+//! Checkpoint segments: full database snapshots that bound WAL replay.
+//!
+//! A checkpoint is a [`DatabaseSnapshot`] wrapped with the highest WAL
+//! sequence number it covers. It is written through
+//! [`medvid_index::atomic_write`], so a crash mid-checkpoint leaves either
+//! the previous checkpoint or the new one — never a torn hybrid. Recovery
+//! restores the snapshot and replays only WAL records with
+//! `seq > last_seq`, which makes the checkpoint → WAL-truncation window
+//! crash-safe: replaying a covered record is skipped by its sequence
+//! number, not re-applied.
+
+use medvid_index::{atomic_write, DatabaseSnapshot, PersistError, VideoDatabase};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Checkpoint document version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File name of the checkpoint segment inside a store directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// A durable checkpoint: snapshot plus the WAL coverage mark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreCheckpoint {
+    /// Document version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Highest WAL sequence number the snapshot includes.
+    pub last_seq: u64,
+    /// The database's logical state at `last_seq`.
+    pub snapshot: DatabaseSnapshot,
+}
+
+impl StoreCheckpoint {
+    /// Wraps a database's snapshot at WAL position `last_seq`.
+    pub fn of(db: &VideoDatabase, last_seq: u64) -> Self {
+        StoreCheckpoint {
+            version: CHECKPOINT_VERSION,
+            last_seq,
+            snapshot: db.snapshot(),
+        }
+    }
+
+    /// Writes the checkpoint atomically, returning the byte size written.
+    ///
+    /// # Errors
+    /// Propagates serialisation and I/O failures; the previous checkpoint
+    /// (if any) survives every failure.
+    pub fn write(&self, path: &Path) -> Result<u64, PersistError> {
+        let bytes = serde_json::to_vec(self)?;
+        atomic_write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads a checkpoint; `Ok(None)` when the file does not exist (a
+    /// fresh store directory).
+    ///
+    /// # Errors
+    /// Damaged contents surface as typed [`PersistError`]s — a checkpoint
+    /// that fails to parse or carries an unknown version is corruption, not
+    /// an empty store.
+    pub fn read(path: &Path) -> Result<Option<Self>, PersistError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let doc: StoreCheckpoint = serde_json::from_slice(&bytes)?;
+        if doc.version != CHECKPOINT_VERSION {
+            return Err(PersistError::Version(doc.version));
+        }
+        Ok(Some(doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_missing_is_none() {
+        let dir = std::env::temp_dir().join(format!("medvid-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        assert!(StoreCheckpoint::read(&path).unwrap().is_none());
+        let db = VideoDatabase::medical();
+        let ckpt = StoreCheckpoint::of(&db, 17);
+        let bytes = ckpt.write(&path).unwrap();
+        assert!(bytes > 0);
+        let back = StoreCheckpoint::read(&path).unwrap().expect("written");
+        assert_eq!(back.last_seq, 17);
+        assert_eq!(back.snapshot.records.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let dir = std::env::temp_dir().join(format!("medvid-ckpt-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut ckpt = StoreCheckpoint::of(&VideoDatabase::medical(), 1);
+        ckpt.version = 9;
+        ckpt.write(&path).unwrap();
+        assert!(matches!(
+            StoreCheckpoint::read(&path),
+            Err(PersistError::Version(9))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

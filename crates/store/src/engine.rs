@@ -1,0 +1,769 @@
+//! The storage engine: one directory holding a checkpoint segment and a
+//! write-ahead log, with group-committed appends, threshold-driven
+//! checkpoints and crash recovery on open.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/checkpoint.json   full DatabaseSnapshot + last covered WAL seq
+//! <dir>/wal.log           magic header + checksummed record frames
+//! ```
+//!
+//! The durability contract: once [`Store::append`] returns with
+//! `fsynced == true` (always, under [`FsyncPolicy::Always`]), the logged
+//! operations survive an immediate power cut — [`Store::open`] restores
+//! the checkpoint and replays the WAL tail back to the exact acknowledged
+//! state. A torn tail is truncated and reported, never replayed partially.
+
+use crate::checkpoint::{StoreCheckpoint, CHECKPOINT_FILE};
+use crate::recovery::{replay, RecoveryReport};
+use crate::wal::{scan_wal, FsyncPolicy, TailFault, WalOp, WalRecord, WalWriter, WAL_MAGIC};
+use medvid_index::{PersistError, VideoDatabase};
+use medvid_obs::{counters, Recorder, Stage};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the WAL inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// When appends force stable storage.
+    pub fsync: FsyncPolicy,
+    /// WAL payload size (bytes past the header) that triggers
+    /// [`Store::wants_checkpoint`].
+    pub checkpoint_wal_bytes: u64,
+    /// WAL record count that triggers [`Store::wants_checkpoint`].
+    pub checkpoint_wal_records: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_wal_bytes: 4 * 1024 * 1024,
+            checkpoint_wal_records: 4096,
+        }
+    }
+}
+
+/// Errors from the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Checkpoint (de)serialisation or validation failure.
+    Persist(PersistError),
+    /// The store directory's contents are not a usable store.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O: {e}"),
+            StoreError::Persist(e) => write!(f, "checkpoint: {e}"),
+            StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> Self {
+        StoreError::Persist(e)
+    }
+}
+
+/// Live metrics of an open store (serialisable for the serving protocol).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStatus {
+    /// Highest assigned WAL sequence number.
+    pub last_seq: u64,
+    /// Sequence number the newest checkpoint covers.
+    pub checkpoint_seq: u64,
+    /// Current WAL file length in bytes.
+    pub wal_bytes: u64,
+    /// Records in the current WAL.
+    pub wal_records: u64,
+    /// Records written since the last fsync (the at-risk window).
+    pub unsynced_records: u64,
+    /// The fsync policy, rendered for humans.
+    pub fsync: String,
+}
+
+/// Result of one group-committed append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Sequence number of the first appended record.
+    pub first_seq: u64,
+    /// Sequence number of the last appended record.
+    pub last_seq: u64,
+    /// Frame bytes written.
+    pub bytes: u64,
+    /// Whether the append ended with an fsync.
+    pub fsynced: bool,
+}
+
+/// Result of one checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Sequence number the checkpoint covers.
+    pub last_seq: u64,
+    /// Byte size of the checkpoint document.
+    pub snapshot_bytes: u64,
+    /// WAL payload bytes retired by the truncation.
+    pub wal_bytes_truncated: u64,
+}
+
+/// A recovered store: the engine handle, the database it reconstructed
+/// and the report of how reconstruction went.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The open engine, ready to append.
+    pub store: Store,
+    /// The database as of the last durable operation.
+    pub db: VideoDatabase,
+    /// What recovery replayed, skipped and discarded.
+    pub report: RecoveryReport,
+}
+
+/// An open storage engine over one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    wal: WalWriter,
+    last_seq: u64,
+    checkpoint_seq: u64,
+    recorder: Recorder,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store in `dir` and recovers the
+    /// database it holds. `initial` seeds a store that has no checkpoint
+    /// yet — its hierarchy, config and policy become the durable baseline,
+    /// written as checkpoint zero so later recoveries are self-contained.
+    ///
+    /// # Errors
+    /// I/O failures, and [`StoreError::Persist`] when an existing
+    /// checkpoint is unreadable (a damaged checkpoint is not silently
+    /// replaced — it needs operator attention, unlike a damaged WAL tail
+    /// which is truncated and reported).
+    pub fn open(
+        dir: &Path,
+        config: StoreConfig,
+        initial: VideoDatabase,
+        recorder: Recorder,
+    ) -> Result<Recovered, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let _span = recorder.span(Stage::StoreRecover);
+        let ckpt_path = dir.join(CHECKPOINT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+
+        let checkpoint = StoreCheckpoint::read(&ckpt_path)?;
+        let had_checkpoint = checkpoint.is_some();
+        let (mut db, covered_seq, checkpoint_records) = match checkpoint {
+            Some(c) => {
+                let records = c.snapshot.records.len() as u64;
+                (VideoDatabase::from_snapshot(c.snapshot)?, c.last_seq, records)
+            }
+            None => (initial, 0, 0),
+        };
+
+        let mut report = RecoveryReport {
+            checkpoint_seq: had_checkpoint.then_some(covered_seq),
+            checkpoint_records,
+            replayed_records: 0,
+            skipped_records: 0,
+            valid_wal_bytes: 0,
+            discarded_bytes: 0,
+            fault: None,
+            last_seq: covered_seq,
+        };
+
+        let wal = match scan_wal(&wal_path)? {
+            None => WalWriter::create(&wal_path, config.fsync)?,
+            Some(scan) => {
+                if matches!(scan.fault, Some(TailFault::BadMagic)) {
+                    // Eight-plus bytes that are not our magic: this file was
+                    // never (or is no longer) a WAL. Truncating it would
+                    // destroy evidence; refuse instead, like a damaged
+                    // checkpoint.
+                    return Err(StoreError::Corrupt(format!(
+                        "{} exists but does not start with the WAL magic",
+                        wal_path.display()
+                    )));
+                }
+                let out = replay(
+                    &mut db,
+                    &scan.records,
+                    &scan.offsets,
+                    scan.valid_bytes,
+                    covered_seq,
+                );
+                report.replayed_records = out.replayed;
+                report.skipped_records = out.skipped;
+                report.valid_wal_bytes = out.accepted_bytes;
+                report.discarded_bytes = scan.total_bytes - out.accepted_bytes;
+                report.fault = out.fault.or(scan.fault);
+                report.last_seq = out.last_seq;
+                let surviving = out.replayed + out.skipped;
+                if out.accepted_bytes < WAL_MAGIC.len() as u64 {
+                    // A crash during WAL creation tore the magic header
+                    // itself. `create` fsyncs the header before any append
+                    // is acknowledged, so a torn header proves the log held
+                    // no durable records — rebuild it rather than letting
+                    // `open_at` truncate to a headerless file that the next
+                    // scan would reject wholesale.
+                    WalWriter::create(&wal_path, config.fsync)?
+                } else {
+                    WalWriter::open_at(&wal_path, out.accepted_bytes, surviving, config.fsync)?
+                }
+            }
+        };
+
+        db.build();
+        recorder.incr(counters::STORE_REPLAYED_RECORDS, report.replayed_records);
+        recorder.incr(counters::STORE_SKIPPED_RECORDS, report.skipped_records);
+        recorder.incr(counters::STORE_DISCARDED_BYTES, report.discarded_bytes);
+
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            config,
+            wal,
+            last_seq: report.last_seq,
+            checkpoint_seq: covered_seq,
+            recorder,
+        };
+        if !had_checkpoint {
+            // Make the baseline durable so the next open does not depend on
+            // the caller passing the same `initial` database again.
+            store.write_checkpoint_segment(&db)?;
+        }
+        Ok(Recovered { store, db, report })
+    }
+
+    /// Appends `ops` as one group commit, assigning consecutive sequence
+    /// numbers. With [`FsyncPolicy::Always`] the returned stats have
+    /// `fsynced == true` and the operations are crash-durable.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; the store should be reopened (recovered)
+    /// after any append error.
+    pub fn append(&mut self, ops: &[WalOp]) -> Result<AppendStats, StoreError> {
+        let _span = self.recorder.span(Stage::StoreAppend);
+        let first_seq = self.last_seq + 1;
+        let records: Vec<WalRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| WalRecord {
+                seq: first_seq + i as u64,
+                op: op.clone(),
+            })
+            .collect();
+        let outcome = self.wal.append(&records)?;
+        self.last_seq += ops.len() as u64;
+        self.recorder.incr(counters::STORE_APPENDS, 1);
+        self.recorder
+            .incr(counters::STORE_APPENDED_RECORDS, ops.len() as u64);
+        if outcome.fsynced {
+            self.recorder.incr(counters::STORE_FSYNCS, 1);
+        }
+        Ok(AppendStats {
+            first_seq,
+            last_seq: self.last_seq,
+            bytes: outcome.bytes,
+            fsynced: outcome.fsynced,
+        })
+    }
+
+    /// Forces every appended record to stable storage (used by graceful
+    /// shutdown under the relaxed fsync policies).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.wal.sync()? {
+            self.recorder.incr(counters::STORE_FSYNCS, 1);
+        }
+        Ok(())
+    }
+
+    /// Checkpoints `db`, which must reflect every operation appended so
+    /// far (callers serialise appends and checkpoints behind one writer
+    /// lock). Writes the snapshot atomically, truncates the WAL and logs a
+    /// [`WalOp::Checkpoint`] marker in the fresh log.
+    ///
+    /// # Errors
+    /// Propagates I/O and serialisation failures; the previous checkpoint
+    /// and WAL survive any failure before the truncation point.
+    pub fn checkpoint(&mut self, db: &VideoDatabase) -> Result<CheckpointStats, StoreError> {
+        let _span = self.recorder.span(Stage::StoreCheckpoint);
+        let stats = self.write_checkpoint_segment(db)?;
+        self.recorder.incr(counters::STORE_CHECKPOINTS, 1);
+        Ok(stats)
+    }
+
+    fn write_checkpoint_segment(&mut self, db: &VideoDatabase) -> Result<CheckpointStats, StoreError> {
+        let covered = self.last_seq;
+        let doc = StoreCheckpoint::of(db, covered);
+        let snapshot_bytes = doc.write(&self.dir.join(CHECKPOINT_FILE))?;
+        self.checkpoint_seq = covered;
+        // The snapshot is durable: every record in the current WAL is now
+        // covered, so the log restarts empty with a checkpoint marker.
+        let retired = self.wal.bytes() - WAL_MAGIC.len() as u64;
+        let wal_path = self.dir.join(WAL_FILE);
+        self.wal = WalWriter::create(&wal_path, self.config.fsync)?;
+        self.append(&[WalOp::Checkpoint { last_seq: covered }])?;
+        self.wal.sync()?;
+        Ok(CheckpointStats {
+            last_seq: covered,
+            snapshot_bytes,
+            wal_bytes_truncated: retired,
+        })
+    }
+
+    /// True when the WAL has outgrown the configured thresholds and the
+    /// owner should checkpoint at the next quiet moment.
+    pub fn wants_checkpoint(&self) -> bool {
+        let payload = self.wal.bytes().saturating_sub(WAL_MAGIC.len() as u64);
+        payload >= self.config.checkpoint_wal_bytes
+            || self.wal.records() >= self.config.checkpoint_wal_records
+    }
+
+    /// Live metrics.
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            last_seq: self.last_seq,
+            checkpoint_seq: self.checkpoint_seq,
+            wal_bytes: self.wal.bytes(),
+            wal_records: self.wal.records(),
+            unsynced_records: self.wal.unsynced_records(),
+            fsync: self.config.fsync.to_string(),
+        }
+    }
+
+    /// Highest assigned sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+}
+
+/// Read-only health report of a store directory (see [`verify`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Sequence number the checkpoint covers, when one parses.
+    pub checkpoint_seq: Option<u64>,
+    /// Shot records inside the checkpoint snapshot.
+    pub checkpoint_records: Option<u64>,
+    /// Why the checkpoint is unusable, when it is.
+    pub checkpoint_error: Option<String>,
+    /// Records in the WAL's valid prefix.
+    pub wal_records: u64,
+    /// Byte length of the valid prefix.
+    pub wal_valid_bytes: u64,
+    /// Total WAL length.
+    pub wal_total_bytes: u64,
+    /// First structural damage in the WAL, if any.
+    pub fault: Option<crate::wal::TailFault>,
+    /// Highest sequence that would be live after recovery.
+    pub last_seq: u64,
+}
+
+impl VerifyReport {
+    /// True when recovery would lose nothing: checkpoint readable (or
+    /// absent with an empty log) and no WAL damage.
+    pub fn healthy(&self) -> bool {
+        self.checkpoint_error.is_none() && self.fault.is_none()
+    }
+}
+
+/// Inspects a store directory without mutating it: parses the checkpoint,
+/// scans the WAL and — when the checkpoint is usable — dry-runs the
+/// replay to surface operations the database would reject.
+///
+/// # Errors
+/// Only genuine I/O failures error; damaged contents land in the report.
+pub fn verify(dir: &Path) -> Result<VerifyReport, StoreError> {
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let wal_path = dir.join(WAL_FILE);
+    let mut report = VerifyReport {
+        checkpoint_seq: None,
+        checkpoint_records: None,
+        checkpoint_error: None,
+        wal_records: 0,
+        wal_valid_bytes: 0,
+        wal_total_bytes: 0,
+        fault: None,
+        last_seq: 0,
+    };
+    let mut base = None;
+    match StoreCheckpoint::read(&ckpt_path) {
+        Ok(Some(c)) => {
+            report.checkpoint_seq = Some(c.last_seq);
+            report.checkpoint_records = Some(c.snapshot.records.len() as u64);
+            report.last_seq = c.last_seq;
+            match VideoDatabase::from_snapshot(c.snapshot) {
+                Ok(db) => base = Some((db, c.last_seq)),
+                Err(e) => report.checkpoint_error = Some(e.to_string()),
+            }
+        }
+        Ok(None) => {
+            if !wal_path.exists() {
+                return Err(StoreError::Corrupt(format!(
+                    "{} holds neither a checkpoint nor a WAL",
+                    dir.display()
+                )));
+            }
+            report.checkpoint_error = Some("checkpoint file missing".to_string());
+        }
+        Err(e) => report.checkpoint_error = Some(e.to_string()),
+    }
+    if let Some(scan) = scan_wal(&wal_path)? {
+        report.wal_total_bytes = scan.total_bytes;
+        report.wal_valid_bytes = scan.valid_bytes;
+        report.wal_records = scan.records.len() as u64;
+        report.fault = scan.fault.clone();
+        if let Some((mut db, covered)) = base {
+            let out = replay(
+                &mut db,
+                &scan.records,
+                &scan.offsets,
+                scan.valid_bytes,
+                covered,
+            );
+            report.last_seq = out.last_seq;
+            report.wal_valid_bytes = out.accepted_bytes;
+            report.wal_records = out.replayed + out.skipped;
+            report.fault = out.fault.or(scan.fault);
+        } else if let Some(last) = scan.records.last() {
+            report.last_seq = last.seq;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::StoredShot;
+    use medvid_index::ShotRef;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "medvid-engine-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn stored_shot(db: &VideoDatabase, video: usize, idx: usize) -> StoredShot {
+        let mut features = vec![0.0f32; 16];
+        features[idx % 16] = 1.0;
+        StoredShot {
+            video: VideoId(video),
+            shot: ShotId(idx),
+            features,
+            event: EventKind::Dialog,
+            scene_node: db.hierarchy().scene_nodes()[idx % 4],
+        }
+    }
+
+    fn apply(db: &mut VideoDatabase, shot: &StoredShot) {
+        db.try_insert_shot(
+            ShotRef {
+                video: shot.video,
+                shot: shot.shot,
+            },
+            shot.features.clone(),
+            shot.event,
+            shot.scene_node,
+        )
+        .unwrap();
+        db.build();
+    }
+
+    #[test]
+    fn fresh_store_writes_a_baseline_checkpoint() {
+        let dir = scratch("fresh");
+        let recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(recovered.report.checkpoint_seq, None);
+        assert!(recovered.report.clean());
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        assert!(dir.join(WAL_FILE).exists());
+        drop(recovered);
+        // Reopening with a *different* initial database must ignore it: the
+        // baseline checkpoint wins.
+        let again = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(again.report.checkpoint_seq, Some(0));
+        assert_eq!(again.report.replayed_records, 1); // the checkpoint marker
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appended_ops_survive_reopen() {
+        let dir = scratch("survive");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let mut ops = Vec::new();
+        for i in 0..6 {
+            let s = stored_shot(&recovered.db, i / 3, i);
+            apply(&mut recovered.db, &s);
+            ops.push(WalOp::IngestShot { shot: s });
+        }
+        let stats = recovered.store.append(&ops).unwrap();
+        assert!(stats.fsynced);
+        assert_eq!(stats.last_seq - stats.first_seq + 1, 6);
+        drop(recovered);
+
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(back.db.len(), 6);
+        assert_eq!(back.report.replayed_records, 6 + 1); // + checkpoint marker
+        assert!(back.report.clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_reopen_skips_covered() {
+        let dir = scratch("ckpt");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            let s = stored_shot(&recovered.db, 0, i);
+            apply(&mut recovered.db, &s);
+            recovered
+                .store
+                .append(&[WalOp::IngestShot { shot: s }])
+                .unwrap();
+        }
+        let before = recovered.store.status().wal_bytes;
+        let stats = recovered.store.checkpoint(&recovered.db).unwrap();
+        assert!(stats.wal_bytes_truncated > 0);
+        assert!(recovered.store.status().wal_bytes < before);
+        // One more op after the checkpoint.
+        let s = stored_shot(&recovered.db, 1, 10);
+        apply(&mut recovered.db, &s);
+        recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        drop(recovered);
+
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(back.db.len(), 5);
+        // Replay = checkpoint marker + the post-checkpoint ingest.
+        assert_eq!(back.report.replayed_records, 2);
+        assert_eq!(back.report.skipped_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = scratch("torn");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let s = stored_shot(&recovered.db, 0, 0);
+        apply(&mut recovered.db, &s);
+        recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        drop(recovered);
+        // A crash mid-append leaves half a frame.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(WAL_FILE))
+                .unwrap();
+            f.write_all(&[0, 0, 0, 99, 1, 2]).unwrap();
+        }
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(back.db.len(), 1);
+        assert_eq!(back.report.discarded_bytes, 6);
+        assert!(matches!(
+            back.report.fault,
+            Some(crate::wal::TailFault::TornRecord { .. })
+        ));
+        // The tail was physically truncated: the next open is clean.
+        drop(back);
+        let clean = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(clean.report.clean());
+        assert_eq!(clean.db.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wants_checkpoint_follows_record_threshold() {
+        let dir = scratch("thresh");
+        let config = StoreConfig {
+            checkpoint_wal_records: 3,
+            ..StoreConfig::default()
+        };
+        let mut recovered = Store::open(
+            &dir,
+            config,
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(!recovered.store.wants_checkpoint());
+        for i in 0..3 {
+            let s = stored_shot(&recovered.db, 0, i);
+            apply(&mut recovered.db, &s);
+            recovered
+                .store
+                .append(&[WalOp::IngestShot { shot: s }])
+                .unwrap();
+        }
+        assert!(recovered.store.wants_checkpoint());
+        recovered.store.checkpoint(&recovered.db).unwrap();
+        assert!(!recovered.store.wants_checkpoint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_health_and_damage() {
+        let dir = scratch("verify");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let s = stored_shot(&recovered.db, 0, 0);
+        apply(&mut recovered.db, &s);
+        recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        drop(recovered);
+        let healthy = verify(&dir).unwrap();
+        assert!(healthy.healthy(), "{healthy:?}");
+        assert_eq!(healthy.wal_records, 2); // marker + ingest
+        // Damage the tail: verify sees it, does not repair it.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(WAL_FILE))
+                .unwrap();
+            f.write_all(&[7; 5]).unwrap();
+        }
+        let damaged = verify(&dir).unwrap();
+        assert!(!damaged.healthy());
+        assert_eq!(damaged.wal_total_bytes - damaged.wal_valid_bytes, 5);
+        let damaged_again = verify(&dir).unwrap();
+        assert_eq!(damaged, damaged_again, "verify is read-only");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_rejects_a_directory_that_is_not_a_store() {
+        let dir = scratch("notastore");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(verify(&dir), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_n_store_syncs_on_demand() {
+        let dir = scratch("everyn");
+        let config = StoreConfig {
+            fsync: FsyncPolicy::EveryN(100),
+            ..StoreConfig::default()
+        };
+        let mut recovered = Store::open(
+            &dir,
+            config,
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let s = stored_shot(&recovered.db, 0, 0);
+        apply(&mut recovered.db, &s);
+        let stats = recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        assert!(!stats.fsynced);
+        assert!(recovered.store.status().unsynced_records > 0);
+        recovered.store.sync().unwrap();
+        assert_eq!(recovered.store.status().unsynced_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

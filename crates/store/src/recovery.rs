@@ -1,0 +1,268 @@
+//! Crash recovery: checkpoint restore plus WAL tail replay.
+//!
+//! Recovery is a pure function of the bytes on disk: restore the newest
+//! checkpoint (if any), then re-apply every WAL record whose sequence
+//! number the checkpoint does not cover, stopping cleanly at the first
+//! torn, corrupt or rejected record. The outcome is always a database plus
+//! a [`RecoveryReport`] saying exactly what was replayed, what was skipped
+//! as already-covered, and how many bytes of tail were discarded and why —
+//! damage is truncated and reported, never propagated and never a panic.
+
+use crate::wal::{StoredShot, TailFault, WalOp, WalRecord};
+use medvid_index::VideoDatabase;
+use serde::{Deserialize, Serialize};
+
+/// What recovery did, in numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Sequence number covered by the restored checkpoint (`None` for a
+    /// store that never checkpointed).
+    pub checkpoint_seq: Option<u64>,
+    /// Shot records restored from the checkpoint snapshot.
+    pub checkpoint_records: u64,
+    /// WAL records re-applied (operations past the checkpoint).
+    pub replayed_records: u64,
+    /// WAL records skipped because the checkpoint already covers them.
+    pub skipped_records: u64,
+    /// Bytes of WAL that survived as the valid prefix.
+    pub valid_wal_bytes: u64,
+    /// Bytes of torn/corrupt WAL tail discarded.
+    pub discarded_bytes: u64,
+    /// Why replay stopped before end-of-log, if it did.
+    pub fault: Option<TailFault>,
+    /// Highest sequence number in effect after recovery.
+    pub last_seq: u64,
+}
+
+impl RecoveryReport {
+    /// True when the log was fully intact (nothing discarded, no fault).
+    pub fn clean(&self) -> bool {
+        self.fault.is_none() && self.discarded_bytes == 0
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint seq {} ({} records), replayed {} WAL records (skipped {}), seq now {}",
+            self.checkpoint_seq
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            self.checkpoint_records,
+            self.replayed_records,
+            self.skipped_records,
+            self.last_seq
+        )?;
+        if let Some(fault) = &self.fault {
+            write!(f, "; discarded {} tail bytes: {fault}", self.discarded_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of applying scanned WAL records on top of a restored base.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Records applied.
+    pub replayed: u64,
+    /// Records skipped as covered by the checkpoint.
+    pub skipped: u64,
+    /// Byte length of the WAL prefix whose records were all accepted
+    /// (valid frames up to but excluding the first rejected operation).
+    pub accepted_bytes: u64,
+    /// The first rejected operation, if replay stopped early.
+    pub fault: Option<TailFault>,
+    /// Highest sequence number seen (checkpoint seq if nothing replayed).
+    pub last_seq: u64,
+}
+
+fn apply_shot(db: &mut VideoDatabase, shot: &StoredShot) -> Result<(), String> {
+    db.try_insert_shot(
+        medvid_index::ShotRef {
+            video: shot.video,
+            shot: shot.shot,
+        },
+        shot.features.clone(),
+        shot.event,
+        shot.scene_node,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Re-applies `records` (with their file `offsets`) to `db`, skipping
+/// sequence numbers at or below `covered_seq`. The database is mutated
+/// in-place and left unbuilt; the caller builds once at the end.
+///
+/// Replay stops at the first operation the database rejects — everything
+/// at and beyond a rejected record is treated as tail damage, because a
+/// log written by a correct engine only holds operations that were once
+/// accepted.
+pub fn replay(
+    db: &mut VideoDatabase,
+    records: &[WalRecord],
+    offsets: &[u64],
+    valid_bytes: u64,
+    covered_seq: u64,
+) -> ReplayOutcome {
+    let mut out = ReplayOutcome {
+        replayed: 0,
+        skipped: 0,
+        accepted_bytes: valid_bytes,
+        fault: None,
+        last_seq: covered_seq,
+    };
+    for (i, record) in records.iter().enumerate() {
+        let offset = offsets[i];
+        if record.seq <= covered_seq {
+            out.skipped += 1;
+            continue;
+        }
+        let result: Result<(), String> = match &record.op {
+            WalOp::IngestShot { shot } => apply_shot(db, shot),
+            WalOp::IngestVideo { shots } => {
+                shots.iter().try_for_each(|shot| apply_shot(db, shot))
+            }
+            WalOp::RemoveVideo { video } => {
+                remove_video(db, *video);
+                Ok(())
+            }
+            WalOp::Checkpoint { .. } => Ok(()),
+        };
+        if let Err(detail) = result {
+            out.fault = Some(TailFault::RejectedOp {
+                offset,
+                seq: record.seq,
+                detail,
+            });
+            out.accepted_bytes = offset;
+            return out;
+        }
+        out.replayed += 1;
+        out.last_seq = record.seq;
+    }
+    out
+}
+
+/// Drops every shot of `video` by rebuilding the database from its
+/// remaining records (the index has no in-place delete).
+pub fn remove_video(db: &mut VideoDatabase, video: medvid_types::VideoId) {
+    let mut snapshot = db.snapshot();
+    snapshot.records.retain(|r| r.shot.video != video);
+    let mut rebuilt = VideoDatabase::new(snapshot.hierarchy, snapshot.config);
+    rebuilt.set_policy(snapshot.policy);
+    for r in snapshot.records {
+        rebuilt
+            .try_insert_shot(r.shot, r.features, r.event, r.scene_node)
+            .expect("surviving records were valid before the removal");
+    }
+    *db = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_index::NodeId;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn shot(video: usize, idx: usize, dim: usize) -> StoredShot {
+        let mut features = vec![0.0f32; dim];
+        features[idx % dim] = 1.0;
+        StoredShot {
+            video: VideoId(video),
+            shot: ShotId(idx),
+            features,
+            event: EventKind::Dialog,
+            scene_node: scene_node(),
+        }
+    }
+
+    fn scene_node() -> NodeId {
+        let db = VideoDatabase::medical();
+        db.hierarchy().scene_nodes()[0]
+    }
+
+    fn ingest(seq: u64, video: usize, idx: usize) -> (WalRecord, u64) {
+        (
+            WalRecord {
+                seq,
+                op: WalOp::IngestShot {
+                    shot: shot(video, idx, 8),
+                },
+            },
+            seq * 100,
+        )
+    }
+
+    #[test]
+    fn skips_covered_and_applies_the_rest() {
+        let mut db = VideoDatabase::medical();
+        let (records, offsets): (Vec<_>, Vec<_>) =
+            (1..=4).map(|s| ingest(s, 0, s as usize)).unzip();
+        let out = replay(&mut db, &records, &offsets, 500, 2);
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.replayed, 2);
+        assert_eq!(out.last_seq, 4);
+        assert!(out.fault.is_none());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn rejected_op_stops_replay_with_offset() {
+        let mut db = VideoDatabase::medical();
+        let (mut records, offsets): (Vec<_>, Vec<_>) =
+            (1..=3).map(|s| ingest(s, 0, s as usize)).unzip();
+        // Record 2 becomes a duplicate of record 1.
+        records[1] = WalRecord {
+            seq: 2,
+            op: records[0].op.clone(),
+        };
+        let out = replay(&mut db, &records, &offsets, 400, 0);
+        assert_eq!(out.replayed, 1);
+        assert_eq!(out.last_seq, 1);
+        assert_eq!(out.accepted_bytes, 200);
+        assert!(matches!(
+            out.fault,
+            Some(TailFault::RejectedOp { seq: 2, .. })
+        ));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_video_drops_only_that_video() {
+        let mut db = VideoDatabase::medical();
+        for (v, i) in [(0, 0), (0, 1), (1, 2)] {
+            let s = shot(v, i, 8);
+            db.try_insert_shot(
+                medvid_index::ShotRef {
+                    video: s.video,
+                    shot: s.shot,
+                },
+                s.features,
+                s.event,
+                s.scene_node,
+            )
+            .unwrap();
+        }
+        remove_video(&mut db, VideoId(0));
+        db.build();
+        assert_eq!(db.len(), 1);
+        assert!(db
+            .record(medvid_index::ShotRef {
+                video: VideoId(1),
+                shot: ShotId(2),
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn checkpoint_markers_are_noops() {
+        let mut db = VideoDatabase::medical();
+        let records = vec![WalRecord {
+            seq: 1,
+            op: WalOp::Checkpoint { last_seq: 0 },
+        }];
+        let out = replay(&mut db, &records, &[8], 50, 0);
+        assert_eq!(out.replayed, 1);
+        assert_eq!(db.len(), 0);
+    }
+}

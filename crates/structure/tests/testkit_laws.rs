@@ -35,7 +35,8 @@ fn cut_detection_is_invariant_under_luminance_offset() {
     forall(
         "detect_cuts(x + c) == detect_cuts(x) for non-saturating c",
         |rng| {
-            let seq = frame_seq(rng, rng.usize_in(2, 4), rng.usize_in(8, 14));
+            let (cuts, span) = (rng.usize_in(2, 4), rng.usize_in(8, 14));
+            let seq = frame_seq(rng, cuts, span);
             let delta = rng.i64_in(-30, 30);
             (NoShrink(seq), delta)
         },
@@ -66,7 +67,10 @@ fn cut_detection_is_invariant_under_luminance_offset() {
 fn build_shots_partitions_the_frame_range() {
     forall(
         "build_shots yields a contiguous partition of [0, n)",
-        |rng| NoShrink(frame_seq(rng, rng.usize_in(1, 5), rng.usize_in(6, 12))),
+        |rng| {
+            let (cuts, span) = (rng.usize_in(1, 5), rng.usize_in(6, 12));
+            NoShrink(frame_seq(rng, cuts, span))
+        },
         |seq| {
             let seq = &seq.0;
             let shots = build_shots(&seq.frames, &seq.cuts);
@@ -151,7 +155,10 @@ fn shot_similarity_is_bounded_and_symmetric() {
 fn group_sim_matrix_matches_direct_eq9() {
     forall(
         "GroupSimMatrix cell == group_similarity, bit-for-bit",
-        |rng| structure_fixture(rng, rng.usize_in(1, 5)),
+        |rng| {
+            let scenes = rng.usize_in(1, 5);
+            structure_fixture(rng, scenes)
+        },
         |(shots, groups, scenes)| {
             if !fixture_consistent(shots, groups, scenes) {
                 return Ok(()); // a shrunk candidate left the domain
@@ -185,7 +192,8 @@ fn scene_count_is_monotone_in_merge_threshold() {
     forall(
         "higher TG never merges more: scenes(t2) >= scenes(t1) for t2 >= t1",
         |rng| {
-            let fixture = structure_fixture(rng, rng.usize_in(2, 6));
+            let scenes = rng.usize_in(2, 6);
+            let fixture = structure_fixture(rng, scenes);
             let t1 = rng.f32_in(0.0, 1.0);
             let t2 = rng.f32_in(t1, 1.0);
             (NoShrink(fixture), t1, t2)
@@ -234,7 +242,10 @@ fn scene_count_is_monotone_in_merge_threshold() {
 fn pcs_cluster_count_stays_within_paper_bounds() {
     forall(
         "PCS picks N* in [0.5 M, 0.7 M] and partitions the scenes",
-        |rng| structure_fixture(rng, rng.usize_in(2, 9)),
+        |rng| {
+            let scenes = rng.usize_in(2, 9);
+            structure_fixture(rng, scenes)
+        },
         |(shots, groups, scenes)| {
             if !fixture_consistent(shots, groups, scenes) {
                 return Ok(()); // a shrunk candidate left the domain
@@ -283,7 +294,8 @@ fn pcs_fixed_target_is_respected() {
     forall(
         "ClusterConfig::target overrides the validity search",
         |rng| {
-            let fixture = structure_fixture(rng, rng.usize_in(2, 7));
+            let scenes = rng.usize_in(2, 7);
+            let fixture = structure_fixture(rng, scenes);
             let target = rng.usize_in(1, 9);
             (NoShrink(fixture), target)
         },

@@ -31,7 +31,9 @@ cargo test -q -p medvid-audio --test testkit_bic
 cargo test -q -p medvid-codec --test testkit_fuzz
 cargo test -q -p medvid-serve --test protocol_fuzz
 cargo test -q -p medvid-index --test persist_faults
+cargo test -q -p medvid-store --test crash_consistency
 cargo test -q -p medvid --test serve_faults
+cargo test -q -p medvid --test serve_durability
 cargo test -q -p medvid --test golden_pipeline
 unset MEDVID_TESTKIT_SEED MEDVID_TESTKIT_CASES
 

@@ -1,0 +1,279 @@
+//! End-to-end durability: a durable server's acknowledged ingests survive
+//! an abrupt stop plus a torn WAL tail, the recovery report says exactly
+//! what was lost (nothing acknowledged), stats expose the store, and a
+//! restore invalidates cached results by bumping the epoch.
+
+use medvid::index::VideoDatabase;
+use medvid::obs::Recorder;
+use medvid::serve::{self, Client, IngestShot, QueryRequest, Response, ServerConfig};
+use medvid::store::{FsyncPolicy, StoreConfig, WAL_FILE};
+use medvid::types::{EventKind, ShotId, VideoId};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("medvid-durab-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn connect(handle: &serve::ServerHandle) -> Client {
+    Client::connect(handle.addr(), Duration::from_secs(30)).expect("connect to server")
+}
+
+/// A valid 266-dim ingest shot under one of the medical scene nodes.
+fn shot(db: &VideoDatabase, video: usize, idx: usize) -> IngestShot {
+    let scenes = db.hierarchy().scene_nodes();
+    let mut features = vec![0.0f32; 266];
+    features[idx % 266] = 1.0;
+    IngestShot {
+        video: VideoId(video),
+        shot: ShotId(idx),
+        features,
+        event: EventKind::ClinicalOperation,
+        scene_node: scenes[idx % scenes.len()],
+    }
+}
+
+fn durable_config() -> StoreConfig {
+    StoreConfig {
+        fsync: FsyncPolicy::Always,
+        ..StoreConfig::default()
+    }
+}
+
+#[test]
+fn acked_ingests_survive_abrupt_stop_and_torn_tail() {
+    let dir = scratch("torn");
+
+    // Generation one: serve durably, ingest ten acknowledged shots.
+    let (handle, report) = serve::spawn_durable(
+        &dir,
+        durable_config(),
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("spawn durable server");
+    assert!(report.clean(), "fresh store must recover clean: {report}");
+    let taxonomy = VideoDatabase::medical();
+    let mut client = connect(&handle);
+    for i in 0..10 {
+        let resp = client
+            .ingest(vec![shot(&taxonomy, 7, i)])
+            .expect("ingest round-trip");
+        let Response::Ingested { accepted, .. } = resp else {
+            panic!("expected ack, got {resp:?}");
+        };
+        assert_eq!(accepted, 1);
+    }
+    // Abrupt stop: drop the handle without a client-side drain dance. The
+    // appends were fsynced before each ack, so nothing depends on shutdown
+    // niceties.
+    drop(client);
+    handle.shutdown();
+    handle.join();
+
+    // The crash: a torn half-written record at the WAL tail, as a power cut
+    // mid-write would leave it.
+    let wal_path = dir.join(WAL_FILE);
+    let mut wal = std::fs::read(&wal_path).expect("read wal");
+    let intact = wal.len();
+    wal.extend_from_slice(&[0x42, 0x00, 0x13, 0x37, 0xff]);
+    std::fs::write(&wal_path, &wal).expect("tear the tail");
+
+    // Generation two: recovery must keep all ten acked shots, discard
+    // exactly the torn bytes, and say so.
+    let (handle, report) = serve::spawn_durable(
+        &dir,
+        durable_config(),
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("recover after torn tail");
+    assert_eq!(
+        report.discarded_bytes,
+        (wal.len() - intact) as u64,
+        "must discard exactly the torn bytes: {report}"
+    );
+    assert!(report.fault.is_some(), "the tear must be reported");
+    let mut client = connect(&handle);
+    let resp = client.stats().expect("stats round-trip");
+    let Response::Stats { records, store, .. } = resp else {
+        panic!("expected stats, got {resp:?}");
+    };
+    assert_eq!(records, 10, "every acknowledged shot survives");
+    let status = store.expect("durable server reports its store");
+    assert_eq!(status.unsynced_records, 0, "fsync=always leaves no window");
+
+    // The recovered data answers queries.
+    let probe = shot(&taxonomy, 7, 3).features;
+    let resp = client
+        .query(QueryRequest {
+            vector: Some(probe),
+            limit: Some(3),
+            ..QueryRequest::default()
+        })
+        .expect("query round-trip");
+    let Response::Results { hits, .. } = resp else {
+        panic!("expected results, got {resp:?}");
+    };
+    assert!(!hits.is_empty(), "recovered records must be retrievable");
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_bumps_epoch_and_invalidates_cached_results() {
+    let dir = scratch("restore");
+    let (handle, _report) = serve::spawn_durable(
+        &dir,
+        durable_config(),
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("spawn durable server");
+    let taxonomy = VideoDatabase::medical();
+    let mut client = connect(&handle);
+    for i in 0..6 {
+        client
+            .ingest(vec![shot(&taxonomy, 1, i)])
+            .expect("ingest round-trip");
+    }
+
+    // Populate the cache, then prove the entry is hot.
+    let probe = shot(&taxonomy, 1, 2).features;
+    let query = QueryRequest {
+        vector: Some(probe),
+        limit: Some(4),
+        ..QueryRequest::default()
+    };
+    let resp = client.query(query.clone()).expect("first query");
+    let Response::Results {
+        epoch: epoch_before,
+        cached: false,
+        hits: hits_before,
+        ..
+    } = resp
+    else {
+        panic!("expected uncached results, got {resp:?}");
+    };
+    assert!(!hits_before.is_empty());
+    let resp = client.query(query.clone()).expect("second query");
+    let Response::Results { cached: true, .. } = resp else {
+        panic!("expected a cache hit, got {resp:?}");
+    };
+
+    // Snapshot an *empty* database and restore it: a stale cache entry
+    // would keep answering with the six pre-restore shots.
+    let empty_path = dir.join("empty.json");
+    VideoDatabase::medical()
+        .save_json(&empty_path)
+        .expect("write empty snapshot");
+    let resp = client
+        .restore(empty_path.to_string_lossy().into_owned())
+        .expect("restore round-trip");
+    let Response::Restored { epoch, records } = resp else {
+        panic!("expected restore ack, got {resp:?}");
+    };
+    assert_eq!(records, 0, "the restored database is empty");
+    assert!(
+        epoch > epoch_before,
+        "restore must move the epoch forward ({epoch} vs {epoch_before})"
+    );
+
+    let resp = client.query(query).expect("post-restore query");
+    let Response::Results {
+        epoch: epoch_after,
+        cached,
+        hits,
+        ..
+    } = resp
+    else {
+        panic!("expected results, got {resp:?}");
+    };
+    assert!(!cached, "pre-restore cache entries must not survive");
+    assert!(hits.is_empty(), "the empty database has nothing to return");
+    assert_eq!(epoch_after, epoch);
+
+    // Restore checkpointed the new state: a restart serves it too.
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let (handle, report) = serve::spawn_durable(
+        &dir,
+        durable_config(),
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("reopen after restore");
+    assert!(report.clean());
+    assert_eq!(report.checkpoint_records, 0, "restored emptiness persists");
+    let mut client = connect(&handle);
+    let Response::Stats { records, .. } = client.stats().expect("stats") else {
+        panic!("expected stats");
+    };
+    assert_eq!(records, 0);
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lazy_fsync_is_flushed_by_graceful_drain() {
+    let dir = scratch("lazy");
+    let (handle, _report) = serve::spawn_durable(
+        &dir,
+        StoreConfig {
+            fsync: FsyncPolicy::Never,
+            ..StoreConfig::default()
+        },
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("spawn durable server");
+    let taxonomy = VideoDatabase::medical();
+    let mut client = connect(&handle);
+    for i in 0..4 {
+        client
+            .ingest(vec![shot(&taxonomy, 2, i)])
+            .expect("ingest round-trip");
+    }
+    let Response::Stats { store, .. } = client.stats().expect("stats") else {
+        panic!("expected stats");
+    };
+    assert!(
+        store.expect("durable").unsynced_records > 0,
+        "fsync=never must be leaving records in the at-risk window"
+    );
+    // Graceful drain syncs the WAL before the accept loop exits.
+    drop(client);
+    handle.shutdown();
+    handle.join();
+
+    let (handle, report) = serve::spawn_durable(
+        &dir,
+        durable_config(),
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("reopen after drain");
+    assert!(report.clean(), "drained WAL must replay clean: {report}");
+    let mut client = connect(&handle);
+    let Response::Stats { records, .. } = client.stats().expect("stats") else {
+        panic!("expected stats");
+    };
+    assert_eq!(records, 4, "drain must have flushed every lazy record");
+    drop(client);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
