@@ -540,15 +540,20 @@ fn print_response(response: &Response) {
                 executor.deadline_misses
             );
             match store {
-                Some(s) => println!(
-                    "  store: seq {} (checkpoint {}), wal {} records / {} bytes, {} unsynced, fsync {}",
-                    s.last_seq,
-                    s.checkpoint_seq,
-                    s.wal_records,
-                    s.wal_bytes,
-                    s.unsynced_records,
-                    s.fsync
-                ),
+                Some(s) => {
+                    println!(
+                        "  store: seq {} (checkpoint {}), wal {} records / {} bytes, {} unsynced, fsync {}",
+                        s.last_seq,
+                        s.checkpoint_seq,
+                        s.wal_records,
+                        s.wal_bytes,
+                        s.unsynced_records,
+                        s.fsync
+                    );
+                    if let Some(why) = &s.poisoned {
+                        println!("  store POISONED (writes refused until restart): {why}");
+                    }
+                }
                 None => println!("  store: none (in-memory)"),
             }
         }

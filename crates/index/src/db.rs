@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A database-wide shot reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ShotRef {
     /// Owning video.
     pub video: VideoId,
@@ -464,10 +464,15 @@ impl VideoDatabase {
             })
             .collect();
         stats.ranked = hits.len();
+        // Ties broken by shot id: candidate order comes from hash-table
+        // iteration, so without this two identical databases (e.g. one
+        // restored from a snapshot of the other) could rank equidistant
+        // shots differently.
         hits.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)
                 .expect("finite distance")
+                .then_with(|| a.shot.cmp(&b.shot))
         });
         hits.truncate(top_k);
         (hits, stats)
@@ -548,10 +553,13 @@ impl VideoDatabase {
             })
             .collect();
         stats.ranked = hits.len();
+        // Same shot-id tie-break as flat_search (probe order is
+        // hash-table order, which must not leak into the ranking).
         hits.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)
                 .expect("finite distance")
+                .then_with(|| a.shot.cmp(&b.shot))
         });
         hits.truncate(top_k);
         (hits, stats)

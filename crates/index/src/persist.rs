@@ -68,10 +68,16 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-/// Writes `bytes` to `path` all-or-nothing: the payload goes to
-/// `<path>.tmp` first, is fsynced, and is renamed over `path` (an atomic
-/// replacement on POSIX filesystems). The parent directory is fsynced
-/// afterwards on a best-effort basis so the rename itself is durable.
+/// Writes `bytes` to `path` all-or-nothing: the payload goes to a
+/// uniquely named `<path>.<pid>.<seq>.tmp` sibling first, is fsynced, and
+/// is renamed over `path` (an atomic replacement on POSIX filesystems).
+/// The parent directory is fsynced afterwards on a best-effort basis so
+/// the rename itself is durable.
+///
+/// The staging name is unique per call, never a fixed `<path>.tmp`:
+/// concurrent writers to the same destination must not share a staging
+/// file, or one writer's `File::create` truncates the other's bytes
+/// between its write and its rename — publishing a torn file.
 ///
 /// Every durable artefact in the workspace (database snapshots, store
 /// checkpoints) goes through this helper — a crash at any instant leaves
@@ -81,8 +87,11 @@ impl From<serde_json::Error> for PersistError {
 /// Propagates I/O failures; on error the destination is untouched.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.{seq}.tmp", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -138,10 +147,10 @@ impl VideoDatabase {
 
     /// Saves the database as JSON, atomically.
     ///
-    /// The snapshot is written to `<path>.tmp`, fsynced, and renamed over
-    /// `path`, so a crash mid-write can never leave a torn snapshot where a
-    /// good one used to be — the worst case is a stale `.tmp` beside an
-    /// intact previous snapshot.
+    /// The snapshot is written to a unique temp sibling, fsynced, and
+    /// renamed over `path` (see [`atomic_write`]), so a crash mid-write can
+    /// never leave a torn snapshot where a good one used to be — the worst
+    /// case is a stale `.tmp` beside an intact previous snapshot.
     ///
     /// # Errors
     /// Propagates I/O and serialisation failures.
@@ -234,11 +243,68 @@ mod tests {
     #[test]
     fn save_leaves_no_tmp_file_behind() {
         let db = sample_db();
-        let path = std::env::temp_dir().join("medvid_db_atomic.json");
+        let dir = std::env::temp_dir().join(format!("medvid_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("medvid_db_atomic.json");
         db.save_json(&path).unwrap();
-        let tmp = std::env::temp_dir().join("medvid_db_atomic.json.tmp");
-        assert!(!tmp.exists(), "temp file must be renamed away");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "medvid_db_atomic.json")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
         assert!(VideoDatabase::load_json(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_publish_a_torn_file() {
+        // Offline builds may link a type-check-only serde_json stub whose
+        // runtime errors on every call; there is nothing to race then.
+        if serde_json::to_vec(&0u8).is_err() {
+            return;
+        }
+        // Regression: a fixed `<path>.tmp` staging name let two concurrent
+        // writers interleave — B's create truncating A's staged bytes
+        // before A's rename published them. With unique staging names every
+        // published generation is some writer's complete snapshot.
+        let small = {
+            let mut db = VideoDatabase::medical();
+            let scenes = db.hierarchy().scene_nodes();
+            let mut f = vec![0.0f32; 266];
+            f[0] = 1.0;
+            db.insert_shot(
+                ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(0),
+                },
+                f,
+                EventKind::Dialog,
+                scenes[0],
+            );
+            db.build();
+            db
+        };
+        let large = sample_db();
+        let path = std::env::temp_dir().join(format!("medvid_db_race_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::thread::scope(|s| {
+            for db in [&small, &large, &small, &large] {
+                let path = &path;
+                s.spawn(move || {
+                    for _ in 0..6 {
+                        db.save_json(path).unwrap();
+                    }
+                });
+            }
+        });
+        let restored = VideoDatabase::load_json(&path).expect("published file is whole");
+        assert!(
+            restored.len() == small.len() || restored.len() == large.len(),
+            "published snapshot is exactly one writer's: {}",
+            restored.len()
+        );
         let _ = std::fs::remove_file(&path);
     }
 

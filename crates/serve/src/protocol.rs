@@ -123,8 +123,10 @@ pub enum ErrorKind {
     /// The server is draining and takes no new work.
     ShuttingDown,
     /// The durable storage layer failed (WAL append, checkpoint or
-    /// snapshot I/O). The in-memory epoch is unchanged; the operation was
-    /// not acknowledged and may be retried once storage recovers.
+    /// snapshot I/O). The in-memory epoch is unchanged and the operation
+    /// was not acknowledged. A failed WAL append poisons the store, so
+    /// retrying the write is refused until the server restarts and
+    /// recovers — blind client retries cannot corrupt the log.
     Store,
     /// Unexpected server-side failure.
     Internal,

@@ -307,7 +307,10 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
                 Response::error(ErrorKind::BadRequest, e.to_string())
             }
             // The batch validated but never reached stable storage: the
-            // epoch is unchanged and the client may retry.
+            // epoch is unchanged and nothing was acknowledged. The failed
+            // append poisons the store, so a retry is refused (Poisoned)
+            // rather than appending past a possibly-torn WAL region —
+            // queries keep serving; writes need a restart to recover.
             Err(e @ IngestError::Store(_)) => Response::error(ErrorKind::Store, e.to_string()),
         },
         Request::Stats => {

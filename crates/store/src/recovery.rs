@@ -120,7 +120,21 @@ pub fn replay(
         let result: Result<(), String> = match &record.op {
             WalOp::IngestShot { shot } => apply_shot(db, shot),
             WalOp::IngestVideo { shots } => {
-                shots.iter().try_for_each(|shot| apply_shot(db, shot))
+                // All-or-nothing, like the ingest that logged the batch:
+                // build it against a scratch copy and merge only on full
+                // success. Applying directly would leave a mid-batch
+                // rejection's earlier shots in the recovered database
+                // while the whole record is truncated from the WAL — a
+                // partial batch no log record describes, which the next
+                // checkpoint would persist durably.
+                let mut scratch = db.clone();
+                match shots.iter().try_for_each(|shot| apply_shot(&mut scratch, shot)) {
+                    Ok(()) => {
+                        *db = scratch;
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
             }
             WalOp::RemoveVideo { video } => {
                 remove_video(db, *video);
@@ -225,6 +239,47 @@ mod tests {
             Some(TailFault::RejectedOp { seq: 2, .. })
         ));
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn rejected_batch_replays_all_or_nothing() {
+        // Regression: a mid-batch rejection used to leave the batch's
+        // earlier shots in the recovered database while the whole record
+        // was truncated from the WAL — a partial batch no log record
+        // describes, durably persisted by the next checkpoint.
+        let mut db = VideoDatabase::medical();
+        let single = shot(0, 0, 8);
+        let records = vec![
+            WalRecord {
+                seq: 1,
+                op: WalOp::IngestShot {
+                    shot: single.clone(),
+                },
+            },
+            WalRecord {
+                seq: 2,
+                op: WalOp::IngestVideo {
+                    // The middle shot duplicates seq 1's: the batch must be
+                    // rejected without its first shot surviving.
+                    shots: vec![shot(1, 10, 8), single, shot(1, 11, 8)],
+                },
+            },
+        ];
+        let out = replay(&mut db, &records, &[100, 200], 400, 0);
+        assert_eq!(out.replayed, 1);
+        assert_eq!(out.accepted_bytes, 200);
+        assert!(matches!(
+            out.fault,
+            Some(TailFault::RejectedOp { seq: 2, .. })
+        ));
+        assert_eq!(db.len(), 1, "no partial batch survives");
+        db.build();
+        assert!(db
+            .record(medvid_index::ShotRef {
+                video: VideoId(1),
+                shot: ShotId(10),
+            })
+            .is_none());
     }
 
     #[test]

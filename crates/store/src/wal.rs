@@ -105,6 +105,12 @@ pub enum TailFault {
     TornHeader,
     /// The header bytes are not the WAL magic.
     BadMagic,
+    /// The WAL file is missing beside an existing checkpoint. An
+    /// engine-created store always has a log (every checkpoint writes a
+    /// fresh one), so this means deletion — every acknowledged record past
+    /// the checkpoint is lost, which must not look like a freshly
+    /// checkpointed store.
+    MissingWal,
     /// A frame's length prefix or payload extends past end-of-file.
     TornRecord {
         /// Offset of the incomplete frame.
@@ -161,6 +167,9 @@ impl std::fmt::Display for TailFault {
         match self {
             TailFault::TornHeader => write!(f, "torn file header"),
             TailFault::BadMagic => write!(f, "bad magic bytes"),
+            TailFault::MissingWal => {
+                write!(f, "WAL file missing beside an existing checkpoint")
+            }
             TailFault::TornRecord { offset } => write!(f, "torn record at byte {offset}"),
             TailFault::Oversized { offset, len } => {
                 write!(f, "oversized length {len} at byte {offset}")
