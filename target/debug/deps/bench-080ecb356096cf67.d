@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-080ecb356096cf67.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-080ecb356096cf67.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-080ecb356096cf67.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

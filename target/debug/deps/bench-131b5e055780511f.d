@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-131b5e055780511f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-131b5e055780511f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

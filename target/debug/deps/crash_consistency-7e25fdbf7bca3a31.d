@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-7e25fdbf7bca3a31.d: crates/store/tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-7e25fdbf7bca3a31: crates/store/tests/crash_consistency.rs
+
+crates/store/tests/crash_consistency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-80085d1b52f4adee.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80085d1b52f4adee.rlib: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-80085d1b52f4adee.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

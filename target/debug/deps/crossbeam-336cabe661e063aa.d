@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-336cabe661e063aa.d: /tmp/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-336cabe661e063aa.rlib: /tmp/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-336cabe661e063aa.rmeta: /tmp/depstubs/crossbeam/src/lib.rs
+
+/tmp/depstubs/crossbeam/src/lib.rs:

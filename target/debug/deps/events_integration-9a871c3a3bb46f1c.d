@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/events_integration-9a871c3a3bb46f1c.d: crates/core/../../tests/events_integration.rs
+
+/root/repo/target/debug/deps/events_integration-9a871c3a3bb46f1c: crates/core/../../tests/events_integration.rs
+
+crates/core/../../tests/events_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exp_bench-50c5d82d2863b85d.d: crates/eval/src/bin/exp_bench.rs
+
+/root/repo/target/debug/deps/exp_bench-50c5d82d2863b85d: crates/eval/src/bin/exp_bench.rs
+
+crates/eval/src/bin/exp_bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/eval

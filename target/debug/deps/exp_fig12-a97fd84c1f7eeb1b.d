@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig12-a97fd84c1f7eeb1b.d: crates/eval/src/bin/exp_fig12.rs
+
+/root/repo/target/debug/deps/exp_fig12-a97fd84c1f7eeb1b: crates/eval/src/bin/exp_fig12.rs
+
+crates/eval/src/bin/exp_fig12.rs:

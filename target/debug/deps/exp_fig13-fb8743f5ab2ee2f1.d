@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig13-fb8743f5ab2ee2f1.d: crates/eval/src/bin/exp_fig13.rs
+
+/root/repo/target/debug/deps/exp_fig13-fb8743f5ab2ee2f1: crates/eval/src/bin/exp_fig13.rs
+
+crates/eval/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig14-cf2d97522f05b54f.d: crates/eval/src/bin/exp_fig14.rs
+
+/root/repo/target/debug/deps/exp_fig14-cf2d97522f05b54f: crates/eval/src/bin/exp_fig14.rs
+
+crates/eval/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig15-1bafb4cac2e5813c.d: crates/eval/src/bin/exp_fig15.rs
+
+/root/repo/target/debug/deps/exp_fig15-1bafb4cac2e5813c: crates/eval/src/bin/exp_fig15.rs
+
+crates/eval/src/bin/exp_fig15.rs:

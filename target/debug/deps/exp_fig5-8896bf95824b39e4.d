@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-8896bf95824b39e4.d: crates/eval/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-8896bf95824b39e4: crates/eval/src/bin/exp_fig5.rs
+
+crates/eval/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig8-434f6aa44f230cbd.d: crates/eval/src/bin/exp_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig8-434f6aa44f230cbd: crates/eval/src/bin/exp_fig8.rs
+
+crates/eval/src/bin/exp_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_indexing-1ee3a731e6374270.d: crates/eval/src/bin/exp_indexing.rs
+
+/root/repo/target/debug/deps/exp_indexing-1ee3a731e6374270: crates/eval/src/bin/exp_indexing.rs
+
+crates/eval/src/bin/exp_indexing.rs:

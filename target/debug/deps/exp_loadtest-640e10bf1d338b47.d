@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_loadtest-640e10bf1d338b47.d: crates/eval/src/bin/exp_loadtest.rs
+
+/root/repo/target/debug/deps/exp_loadtest-640e10bf1d338b47: crates/eval/src/bin/exp_loadtest.rs
+
+crates/eval/src/bin/exp_loadtest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-08fd9fdf9a326e03.d: crates/eval/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-08fd9fdf9a326e03: crates/eval/src/bin/exp_table1.rs
+
+crates/eval/src/bin/exp_table1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_pipeline-31e0ce5ffe011882.d: crates/core/../../tests/golden_pipeline.rs
+
+/root/repo/target/debug/deps/golden_pipeline-31e0ce5ffe011882: crates/core/../../tests/golden_pipeline.rs
+
+crates/core/../../tests/golden_pipeline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_integration-2d40424a478ee837.d: crates/core/../../tests/index_integration.rs
+
+/root/repo/target/debug/deps/index_integration-2d40424a478ee837: crates/core/../../tests/index_integration.rs
+
+crates/core/../../tests/index_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medvid-3111fb66a6ce4e83.d: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmedvid-3111fb66a6ce4e83.rlib: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libmedvid-3111fb66a6ce4e83.rmeta: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dataset.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medvid-4c7d5e456d0e2054.d: crates/core/src/bin/medvid.rs
+
+/root/repo/target/debug/deps/medvid-4c7d5e456d0e2054: crates/core/src/bin/medvid.rs
+
+crates/core/src/bin/medvid.rs:

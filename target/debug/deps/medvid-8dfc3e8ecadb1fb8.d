@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medvid-8dfc3e8ecadb1fb8.d: crates/core/src/bin/medvid.rs
+
+/root/repo/target/debug/deps/medvid-8dfc3e8ecadb1fb8: crates/core/src/bin/medvid.rs
+
+crates/core/src/bin/medvid.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medvid-a9f445071a2e15b7.d: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/medvid-a9f445071a2e15b7: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dataset.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medvid_audio-a38540b01b61daed.d: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/debug/deps/medvid_audio-a38540b01b61daed: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+crates/audio/src/lib.rs:
+crates/audio/src/bic.rs:
+crates/audio/src/classifier.rs:
+crates/audio/src/clips.rs:
+crates/audio/src/features.rs:
+crates/audio/src/pipeline.rs:
+crates/audio/src/segmentation.rs:

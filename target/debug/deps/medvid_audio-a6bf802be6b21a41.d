@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medvid_audio-a6bf802be6b21a41.d: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/debug/deps/libmedvid_audio-a6bf802be6b21a41.rlib: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/debug/deps/libmedvid_audio-a6bf802be6b21a41.rmeta: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+crates/audio/src/lib.rs:
+crates/audio/src/bic.rs:
+crates/audio/src/classifier.rs:
+crates/audio/src/clips.rs:
+crates/audio/src/features.rs:
+crates/audio/src/pipeline.rs:
+crates/audio/src/segmentation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medvid_baselines-127d5df16a6a4f12.d: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/debug/deps/libmedvid_baselines-127d5df16a6a4f12.rlib: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/debug/deps/libmedvid_baselines-127d5df16a6a4f12.rmeta: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/linzhang.rs:
+crates/baselines/src/rui.rs:
+crates/baselines/src/stg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/medvid_baselines-85df97e7475ad560.d: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/debug/deps/medvid_baselines-85df97e7475ad560: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/linzhang.rs:
+crates/baselines/src/rui.rs:
+crates/baselines/src/stg.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medvid_codec-341715fc8fc71b3e.d: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/debug/deps/libmedvid_codec-341715fc8fc71b3e.rlib: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/debug/deps/libmedvid_codec-341715fc8fc71b3e.rmeta: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/color.rs:
+crates/codec/src/decode.rs:
+crates/codec/src/encode.rs:
+crates/codec/src/psnr.rs:
+crates/codec/src/quant.rs:
+crates/codec/src/zigzag.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_codec-ddff61a355c18704.d: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/debug/deps/medvid_codec-ddff61a355c18704: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/color.rs:
+crates/codec/src/decode.rs:
+crates/codec/src/encode.rs:
+crates/codec/src/psnr.rs:
+crates/codec/src/quant.rs:
+crates/codec/src/zigzag.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medvid_eval-fedd3f6d7d02ccfb.d: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+/root/repo/target/debug/deps/libmedvid_eval-fedd3f6d7d02ccfb.rlib: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+/root/repo/target/debug/deps/libmedvid_eval-fedd3f6d7d02ccfb.rmeta: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/corpus.rs:
+crates/eval/src/events_exp.rs:
+crates/eval/src/fig5.rs:
+crates/eval/src/indexing_exp.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/parallel.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scenedet.rs:
+crates/eval/src/skim_exp.rs:

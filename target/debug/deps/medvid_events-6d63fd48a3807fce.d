@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medvid_events-6d63fd48a3807fce.d: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/debug/deps/libmedvid_events-6d63fd48a3807fce.rlib: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/debug/deps/libmedvid_events-6d63fd48a3807fce.rmeta: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+crates/events/src/lib.rs:
+crates/events/src/miner.rs:
+crates/events/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medvid_events-b89d0c3dd360a691.d: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/debug/deps/medvid_events-b89d0c3dd360a691: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+crates/events/src/lib.rs:
+crates/events/src/miner.rs:
+crates/events/src/rules.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medvid_index-4c15f7498af051c9.d: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs
+
+/root/repo/target/debug/deps/medvid_index-4c15f7498af051c9: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs
+
+crates/index/src/lib.rs:
+crates/index/src/access.rs:
+crates/index/src/browse.rs:
+crates/index/src/centers.rs:
+crates/index/src/concepts.rs:
+crates/index/src/db.rs:
+crates/index/src/features.rs:
+crates/index/src/hash.rs:
+crates/index/src/persist.rs:
+crates/index/src/query.rs:

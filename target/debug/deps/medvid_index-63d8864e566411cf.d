@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/medvid_index-63d8864e566411cf.d: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs
+
+/root/repo/target/debug/deps/libmedvid_index-63d8864e566411cf.rlib: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs
+
+/root/repo/target/debug/deps/libmedvid_index-63d8864e566411cf.rmeta: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs
+
+crates/index/src/lib.rs:
+crates/index/src/access.rs:
+crates/index/src/browse.rs:
+crates/index/src/centers.rs:
+crates/index/src/concepts.rs:
+crates/index/src/db.rs:
+crates/index/src/features.rs:
+crates/index/src/hash.rs:
+crates/index/src/persist.rs:
+crates/index/src/query.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medvid_obs-15eca198f4a427de.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/medvid_obs-15eca198f4a427de: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

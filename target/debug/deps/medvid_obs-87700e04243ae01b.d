@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_obs-87700e04243ae01b.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libmedvid_obs-87700e04243ae01b.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libmedvid_obs-87700e04243ae01b.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medvid_par-3ff145a9422a3429.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/medvid_par-3ff145a9422a3429: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

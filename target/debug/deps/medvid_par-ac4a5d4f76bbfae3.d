@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/medvid_par-ac4a5d4f76bbfae3.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libmedvid_par-ac4a5d4f76bbfae3.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libmedvid_par-ac4a5d4f76bbfae3.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medvid_serve-1cec54b061948b89.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+/root/repo/target/debug/deps/medvid_serve-1cec54b061948b89: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/retry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/medvid_serve-73af604443125f9c.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+/root/repo/target/debug/deps/libmedvid_serve-73af604443125f9c.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+/root/repo/target/debug/deps/libmedvid_serve-73af604443125f9c.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/retry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/medvid_signal-14e8a57459b0b97c.d: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs
+
+/root/repo/target/debug/deps/libmedvid_signal-14e8a57459b0b97c.rlib: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs
+
+/root/repo/target/debug/deps/libmedvid_signal-14e8a57459b0b97c.rmeta: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs
+
+crates/signal/src/lib.rs:
+crates/signal/src/dct.rs:
+crates/signal/src/entropy.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/gaussian.rs:
+crates/signal/src/gmm.rs:
+crates/signal/src/hist.rs:
+crates/signal/src/kmeans.rs:
+crates/signal/src/matrix.rs:
+crates/signal/src/mel.rs:
+crates/signal/src/rng.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/tamura.rs:
+crates/signal/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_skim-4d4edfbf00704db0.d: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/debug/deps/libmedvid_skim-4d4edfbf00704db0.rlib: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/debug/deps/libmedvid_skim-4d4edfbf00704db0.rmeta: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+crates/skim/src/lib.rs:
+crates/skim/src/colorbar.rs:
+crates/skim/src/levels.rs:
+crates/skim/src/player.rs:
+crates/skim/src/storyboard.rs:
+crates/skim/src/study.rs:

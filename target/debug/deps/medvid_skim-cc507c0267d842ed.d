@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medvid_skim-cc507c0267d842ed.d: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/debug/deps/medvid_skim-cc507c0267d842ed: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+crates/skim/src/lib.rs:
+crates/skim/src/colorbar.rs:
+crates/skim/src/levels.rs:
+crates/skim/src/player.rs:
+crates/skim/src/storyboard.rs:
+crates/skim/src/study.rs:

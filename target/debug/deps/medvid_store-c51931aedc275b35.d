@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medvid_store-c51931aedc275b35.d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/debug/deps/medvid_store-c51931aedc275b35: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+crates/store/src/lib.rs:
+crates/store/src/checkpoint.rs:
+crates/store/src/crc.rs:
+crates/store/src/engine.rs:
+crates/store/src/recovery.rs:
+crates/store/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_store-d0f6119ab75f26f0.d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/debug/deps/libmedvid_store-d0f6119ab75f26f0.rlib: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/debug/deps/libmedvid_store-d0f6119ab75f26f0.rmeta: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+crates/store/src/lib.rs:
+crates/store/src/checkpoint.rs:
+crates/store/src/crc.rs:
+crates/store/src/engine.rs:
+crates/store/src/recovery.rs:
+crates/store/src/wal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_structure-874bfed57ee7d9c6.d: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/debug/deps/medvid_structure-874bfed57ee7d9c6: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/cluster.rs:
+crates/structure/src/group.rs:
+crates/structure/src/mine.rs:
+crates/structure/src/scene.rs:
+crates/structure/src/shot.rs:
+crates/structure/src/similarity.rs:
+crates/structure/src/stream.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medvid_structure-a0036691e1ef7cf5.d: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/debug/deps/libmedvid_structure-a0036691e1ef7cf5.rlib: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/debug/deps/libmedvid_structure-a0036691e1ef7cf5.rmeta: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/cluster.rs:
+crates/structure/src/group.rs:
+crates/structure/src/mine.rs:
+crates/structure/src/scene.rs:
+crates/structure/src/shot.rs:
+crates/structure/src/similarity.rs:
+crates/structure/src/stream.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medvid_synth-31d318528152cbc2.d: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/debug/deps/medvid_synth-31d318528152cbc2: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/palette.rs:
+crates/synth/src/render.rs:
+crates/synth/src/script.rs:
+crates/synth/src/voice.rs:

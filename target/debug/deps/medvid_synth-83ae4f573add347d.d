@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medvid_synth-83ae4f573add347d.d: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/debug/deps/libmedvid_synth-83ae4f573add347d.rlib: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/debug/deps/libmedvid_synth-83ae4f573add347d.rmeta: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/palette.rs:
+crates/synth/src/render.rs:
+crates/synth/src/script.rs:
+crates/synth/src/voice.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/medvid_testkit-a748c701b4be000b.d: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/medvid_testkit-a748c701b4be000b: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/domain.rs:
+crates/testkit/src/fault.rs:
+crates/testkit/src/query.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

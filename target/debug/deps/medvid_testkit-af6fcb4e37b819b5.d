@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/medvid_testkit-af6fcb4e37b819b5.d: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/libmedvid_testkit-af6fcb4e37b819b5.rlib: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/debug/deps/libmedvid_testkit-af6fcb4e37b819b5.rmeta: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/domain.rs:
+crates/testkit/src/fault.rs:
+crates/testkit/src/query.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

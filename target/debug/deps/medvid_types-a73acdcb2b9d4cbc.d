@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/medvid_types-a73acdcb2b9d4cbc.d: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs
+
+/root/repo/target/debug/deps/medvid_types-a73acdcb2b9d4cbc: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs
+
+crates/types/src/lib.rs:
+crates/types/src/audio.rs:
+crates/types/src/error.rs:
+crates/types/src/events.rs:
+crates/types/src/features.rs:
+crates/types/src/id.rs:
+crates/types/src/image.rs:
+crates/types/src/structure.rs:
+crates/types/src/truth.rs:
+crates/types/src/video.rs:

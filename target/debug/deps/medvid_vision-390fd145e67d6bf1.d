@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/medvid_vision-390fd145e67d6bf1.d: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/debug/deps/libmedvid_vision-390fd145e67d6bf1.rlib: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/debug/deps/libmedvid_vision-390fd145e67d6bf1.rmeta: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/cues.rs:
+crates/vision/src/face.rs:
+crates/vision/src/region.rs:
+crates/vision/src/skin.rs:
+crates/vision/src/special.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/medvid_vision-4be1680a6f8da4de.d: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/debug/deps/medvid_vision-4be1680a6f8da4de: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/cues.rs:
+crates/vision/src/face.rs:
+crates/vision/src/region.rs:
+crates/vision/src/skin.rs:
+crates/vision/src/special.rs:

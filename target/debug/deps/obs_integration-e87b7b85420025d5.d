@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_integration-e87b7b85420025d5.d: crates/core/../../tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-e87b7b85420025d5: crates/core/../../tests/obs_integration.rs
+
+crates/core/../../tests/obs_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_medvid=/root/repo/target/debug/medvid

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_threads-dcc3c80e6df03690.d: crates/obs/tests/obs_threads.rs
+
+/root/repo/target/debug/deps/obs_threads-dcc3c80e6df03690: crates/obs/tests/obs_threads.rs
+
+crates/obs/tests/obs_threads.rs:

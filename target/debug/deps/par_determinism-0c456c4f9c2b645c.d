@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-0c456c4f9c2b645c.d: crates/core/../../tests/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-0c456c4f9c2b645c: crates/core/../../tests/par_determinism.rs
+
+crates/core/../../tests/par_determinism.rs:

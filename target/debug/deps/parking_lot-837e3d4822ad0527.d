@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-837e3d4822ad0527.d: /tmp/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-837e3d4822ad0527.rlib: /tmp/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-837e3d4822ad0527.rmeta: /tmp/depstubs/parking_lot/src/lib.rs
+
+/tmp/depstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persist_faults-3bf4e857f32049f7.d: crates/index/tests/persist_faults.rs
+
+/root/repo/target/debug/deps/persist_faults-3bf4e857f32049f7: crates/index/tests/persist_faults.rs
+
+crates/index/tests/persist_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-e16f0747f3a6267f.d: crates/core/../../tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-e16f0747f3a6267f: crates/core/../../tests/pipeline_integration.rs
+
+crates/core/../../tests/pipeline_integration.rs:

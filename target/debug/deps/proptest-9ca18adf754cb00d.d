@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9ca18adf754cb00d.d: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9ca18adf754cb00d.rlib: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9ca18adf754cb00d.rmeta: /tmp/depstubs/proptest/src/lib.rs
+
+/tmp/depstubs/proptest/src/lib.rs:

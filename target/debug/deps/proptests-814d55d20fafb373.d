@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-814d55d20fafb373.d: crates/index/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-814d55d20fafb373: crates/index/tests/proptests.rs
+
+crates/index/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8560ba7a98bfafb5.d: crates/skim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8560ba7a98bfafb5: crates/skim/tests/proptests.rs
+
+crates/skim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cb9f54ad0441e8ff.d: crates/types/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cb9f54ad0441e8ff: crates/types/tests/proptests.rs
+
+crates/types/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d3b725eef06f07d3.d: crates/structure/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d3b725eef06f07d3: crates/structure/tests/proptests.rs
+
+crates/structure/tests/proptests.rs:

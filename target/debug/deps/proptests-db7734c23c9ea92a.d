@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-db7734c23c9ea92a.d: crates/codec/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-db7734c23c9ea92a: crates/codec/tests/proptests.rs
+
+crates/codec/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e2a4451c2c16c588.d: crates/audio/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e2a4451c2c16c588: crates/audio/tests/proptests.rs
+
+crates/audio/tests/proptests.rs:

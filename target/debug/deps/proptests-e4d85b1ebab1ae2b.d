@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e4d85b1ebab1ae2b.d: crates/signal/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e4d85b1ebab1ae2b: crates/signal/tests/proptests.rs
+
+crates/signal/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fdb4a43f48d74fb0.d: crates/events/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fdb4a43f48d74fb0: crates/events/tests/proptests.rs
+
+crates/events/tests/proptests.rs:

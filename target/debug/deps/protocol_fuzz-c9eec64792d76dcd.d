@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_fuzz-c9eec64792d76dcd.d: crates/serve/tests/protocol_fuzz.rs
+
+/root/repo/target/debug/deps/protocol_fuzz-c9eec64792d76dcd: crates/serve/tests/protocol_fuzz.rs
+
+crates/serve/tests/protocol_fuzz.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-87cccb6f7f993cac.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-87cccb6f7f993cac.rlib: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-87cccb6f7f993cac.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

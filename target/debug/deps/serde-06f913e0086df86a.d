@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-06f913e0086df86a.d: /tmp/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-06f913e0086df86a.rlib: /tmp/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-06f913e0086df86a.rmeta: /tmp/depstubs/serde/src/lib.rs
+
+/tmp/depstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-af2c7fe89b456bbc.d: /tmp/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-af2c7fe89b456bbc.so: /tmp/depstubs/serde_derive/src/lib.rs
+
+/tmp/depstubs/serde_derive/src/lib.rs:

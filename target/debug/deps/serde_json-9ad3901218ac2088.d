@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9ad3901218ac2088.d: /tmp/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9ad3901218ac2088.rlib: /tmp/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9ad3901218ac2088.rmeta: /tmp/depstubs/serde_json/src/lib.rs
+
+/tmp/depstubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_durability-5f79bc4d00679cec.d: crates/core/../../tests/serve_durability.rs
+
+/root/repo/target/debug/deps/serve_durability-5f79bc4d00679cec: crates/core/../../tests/serve_durability.rs
+
+crates/core/../../tests/serve_durability.rs:

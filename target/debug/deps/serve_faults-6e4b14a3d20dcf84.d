@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_faults-6e4b14a3d20dcf84.d: crates/core/../../tests/serve_faults.rs
+
+/root/repo/target/debug/deps/serve_faults-6e4b14a3d20dcf84: crates/core/../../tests/serve_faults.rs
+
+crates/core/../../tests/serve_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_integration-36d0858b6a3b5a9e.d: crates/core/../../tests/serve_integration.rs
+
+/root/repo/target/debug/deps/serve_integration-36d0858b6a3b5a9e: crates/core/../../tests/serve_integration.rs
+
+crates/core/../../tests/serve_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skim_integration-139aa853240ab1b1.d: crates/core/../../tests/skim_integration.rs
+
+/root/repo/target/debug/deps/skim_integration-139aa853240ab1b1: crates/core/../../tests/skim_integration.rs
+
+crates/core/../../tests/skim_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_integration-37e5cc6b3051feb6.d: crates/core/../../tests/structure_integration.rs
+
+/root/repo/target/debug/deps/structure_integration-37e5cc6b3051feb6: crates/core/../../tests/structure_integration.rs
+
+crates/core/../../tests/structure_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_bic-99f87ba77ab3aa60.d: crates/audio/tests/testkit_bic.rs
+
+/root/repo/target/debug/deps/testkit_bic-99f87ba77ab3aa60: crates/audio/tests/testkit_bic.rs
+
+crates/audio/tests/testkit_bic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_fuzz-648ddd14c483c1d6.d: crates/codec/tests/testkit_fuzz.rs
+
+/root/repo/target/debug/deps/testkit_fuzz-648ddd14c483c1d6: crates/codec/tests/testkit_fuzz.rs
+
+crates/codec/tests/testkit_fuzz.rs:

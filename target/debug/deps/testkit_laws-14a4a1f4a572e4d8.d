@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_laws-14a4a1f4a572e4d8.d: crates/par/tests/testkit_laws.rs
+
+/root/repo/target/debug/deps/testkit_laws-14a4a1f4a572e4d8: crates/par/tests/testkit_laws.rs
+
+crates/par/tests/testkit_laws.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_laws-6b4c8c8271948602.d: crates/structure/tests/testkit_laws.rs
+
+/root/repo/target/debug/deps/testkit_laws-6b4c8c8271948602: crates/structure/tests/testkit_laws.rs
+
+crates/structure/tests/testkit_laws.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_laws-bf1dd00051eb4adc.d: crates/signal/tests/testkit_laws.rs
+
+/root/repo/target/debug/deps/testkit_laws-bf1dd00051eb4adc: crates/signal/tests/testkit_laws.rs
+
+crates/signal/tests/testkit_laws.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/access_control-fa2683892f2ae404.d: crates/core/../../examples/access_control.rs
+
+/root/repo/target/debug/examples/access_control-fa2683892f2ae404: crates/core/../../examples/access_control.rs
+
+crates/core/../../examples/access_control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/corpus_indexing-f475e27bde275a73.d: crates/core/../../examples/corpus_indexing.rs
+
+/root/repo/target/debug/examples/corpus_indexing-f475e27bde275a73: crates/core/../../examples/corpus_indexing.rs
+
+crates/core/../../examples/corpus_indexing.rs:

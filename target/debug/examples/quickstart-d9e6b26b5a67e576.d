@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d9e6b26b5a67e576.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d9e6b26b5a67e576: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

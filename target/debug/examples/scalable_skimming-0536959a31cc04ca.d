@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalable_skimming-0536959a31cc04ca.d: crates/core/../../examples/scalable_skimming.rs
+
+/root/repo/target/debug/examples/scalable_skimming-0536959a31cc04ca: crates/core/../../examples/scalable_skimming.rs
+
+crates/core/../../examples/scalable_skimming.rs:

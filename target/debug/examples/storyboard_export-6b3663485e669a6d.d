@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storyboard_export-6b3663485e669a6d.d: crates/core/../../examples/storyboard_export.rs
+
+/root/repo/target/debug/examples/storyboard_export-6b3663485e669a6d: crates/core/../../examples/storyboard_export.rs
+
+crates/core/../../examples/storyboard_export.rs:

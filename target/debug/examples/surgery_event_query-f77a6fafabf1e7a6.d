@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surgery_event_query-f77a6fafabf1e7a6.d: crates/core/../../examples/surgery_event_query.rs
+
+/root/repo/target/debug/examples/surgery_event_query-f77a6fafabf1e7a6: crates/core/../../examples/surgery_event_query.rs
+
+crates/core/../../examples/surgery_event_query.rs:

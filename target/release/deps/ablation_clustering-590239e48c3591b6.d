@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_clustering-590239e48c3591b6.d: crates/bench/benches/ablation_clustering.rs
+
+/root/repo/target/release/deps/ablation_clustering-590239e48c3591b6: crates/bench/benches/ablation_clustering.rs
+
+crates/bench/benches/ablation_clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_features-6d6fca501607b9ef.d: crates/bench/benches/ablation_features.rs
+
+/root/repo/target/release/deps/ablation_features-6d6fca501607b9ef: crates/bench/benches/ablation_features.rs
+
+crates/bench/benches/ablation_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_thresholds-6ae9ebc2ca2bde80.d: crates/bench/benches/ablation_thresholds.rs
+
+/root/repo/target/release/deps/ablation_thresholds-6ae9ebc2ca2bde80: crates/bench/benches/ablation_thresholds.rs
+
+crates/bench/benches/ablation_thresholds.rs:

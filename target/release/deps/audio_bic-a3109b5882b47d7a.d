@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audio_bic-a3109b5882b47d7a.d: crates/bench/benches/audio_bic.rs
+
+/root/repo/target/release/deps/audio_bic-a3109b5882b47d7a: crates/bench/benches/audio_bic.rs
+
+crates/bench/benches/audio_bic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-223d0630a1f25da2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-223d0630a1f25da2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-5da13afb9850b825.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-5da13afb9850b825: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-bfd231f30d7dffb7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-bfd231f30d7dffb7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-bfd231f30d7dffb7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

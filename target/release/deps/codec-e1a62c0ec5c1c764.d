@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-e1a62c0ec5c1c764.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-e1a62c0ec5c1c764: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1877b1c7fa272357.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1877b1c7fa272357.rlib: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1877b1c7fa272357.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-60ae73026df94c61.d: /tmp/depstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-60ae73026df94c61.rmeta: /tmp/depstubs/criterion/src/lib.rs
+
+/tmp/depstubs/criterion/src/lib.rs:

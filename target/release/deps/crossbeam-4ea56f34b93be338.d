@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-4ea56f34b93be338.d: /tmp/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-4ea56f34b93be338.rmeta: /tmp/depstubs/crossbeam/src/lib.rs
+
+/tmp/depstubs/crossbeam/src/lib.rs:

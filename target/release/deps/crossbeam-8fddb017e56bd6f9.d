@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-8fddb017e56bd6f9.d: /tmp/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-8fddb017e56bd6f9.rlib: /tmp/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-8fddb017e56bd6f9.rmeta: /tmp/depstubs/crossbeam/src/lib.rs
+
+/tmp/depstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/event_mining-5e06699649758509.d: crates/bench/benches/event_mining.rs
+
+/root/repo/target/release/deps/event_mining-5e06699649758509: crates/bench/benches/event_mining.rs
+
+crates/bench/benches/event_mining.rs:

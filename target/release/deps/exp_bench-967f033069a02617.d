@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exp_bench-967f033069a02617.d: crates/eval/src/bin/exp_bench.rs
+
+/root/repo/target/release/deps/exp_bench-967f033069a02617: crates/eval/src/bin/exp_bench.rs
+
+crates/eval/src/bin/exp_bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/eval

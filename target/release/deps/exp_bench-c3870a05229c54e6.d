@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/exp_bench-c3870a05229c54e6.d: crates/eval/src/bin/exp_bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_bench-c3870a05229c54e6.rmeta: crates/eval/src/bin/exp_bench.rs Cargo.toml
+
+crates/eval/src/bin/exp_bench.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/eval
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

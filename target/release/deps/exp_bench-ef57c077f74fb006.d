@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exp_bench-ef57c077f74fb006.d: crates/eval/src/bin/exp_bench.rs
+
+/root/repo/target/release/deps/exp_bench-ef57c077f74fb006: crates/eval/src/bin/exp_bench.rs
+
+crates/eval/src/bin/exp_bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/eval

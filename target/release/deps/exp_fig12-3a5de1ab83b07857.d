@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig12-3a5de1ab83b07857.d: crates/eval/src/bin/exp_fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig12-3a5de1ab83b07857.rmeta: crates/eval/src/bin/exp_fig12.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-d859a6b9e3e8b0f0.d: crates/eval/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-d859a6b9e3e8b0f0: crates/eval/src/bin/exp_fig12.rs
+
+crates/eval/src/bin/exp_fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig12-f74681e022c7526f.d: crates/eval/src/bin/exp_fig12.rs
+
+/root/repo/target/release/deps/exp_fig12-f74681e022c7526f: crates/eval/src/bin/exp_fig12.rs
+
+crates/eval/src/bin/exp_fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig13-011a1963810a5ce1.d: crates/eval/src/bin/exp_fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig13-011a1963810a5ce1.rmeta: crates/eval/src/bin/exp_fig13.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13-1dcc1198d3d8ca48.d: crates/eval/src/bin/exp_fig13.rs
+
+/root/repo/target/release/deps/exp_fig13-1dcc1198d3d8ca48: crates/eval/src/bin/exp_fig13.rs
+
+crates/eval/src/bin/exp_fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig13-244741b4352d3f2d.d: crates/eval/src/bin/exp_fig13.rs
+
+/root/repo/target/release/deps/exp_fig13-244741b4352d3f2d: crates/eval/src/bin/exp_fig13.rs
+
+crates/eval/src/bin/exp_fig13.rs:

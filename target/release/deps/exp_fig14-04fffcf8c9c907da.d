@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-04fffcf8c9c907da.d: crates/eval/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-04fffcf8c9c907da: crates/eval/src/bin/exp_fig14.rs
+
+crates/eval/src/bin/exp_fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig14-69c078e50dc7f2bf.d: crates/eval/src/bin/exp_fig14.rs
+
+/root/repo/target/release/deps/exp_fig14-69c078e50dc7f2bf: crates/eval/src/bin/exp_fig14.rs
+
+crates/eval/src/bin/exp_fig14.rs:

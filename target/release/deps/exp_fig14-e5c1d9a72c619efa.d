@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig14-e5c1d9a72c619efa.d: crates/eval/src/bin/exp_fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig14-e5c1d9a72c619efa.rmeta: crates/eval/src/bin/exp_fig14.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

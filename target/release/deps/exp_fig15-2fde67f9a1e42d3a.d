@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-2fde67f9a1e42d3a.d: crates/eval/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-2fde67f9a1e42d3a: crates/eval/src/bin/exp_fig15.rs
+
+crates/eval/src/bin/exp_fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig15-3a6626bcd7c6344c.d: crates/eval/src/bin/exp_fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig15-3a6626bcd7c6344c.rmeta: crates/eval/src/bin/exp_fig15.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

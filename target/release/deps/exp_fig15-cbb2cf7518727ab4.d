@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig15-cbb2cf7518727ab4.d: crates/eval/src/bin/exp_fig15.rs
+
+/root/repo/target/release/deps/exp_fig15-cbb2cf7518727ab4: crates/eval/src/bin/exp_fig15.rs
+
+crates/eval/src/bin/exp_fig15.rs:

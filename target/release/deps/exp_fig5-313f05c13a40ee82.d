@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig5-313f05c13a40ee82.d: crates/eval/src/bin/exp_fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig5-313f05c13a40ee82.rmeta: crates/eval/src/bin/exp_fig5.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-3ca33dfa266f6f49.d: crates/eval/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-3ca33dfa266f6f49: crates/eval/src/bin/exp_fig5.rs
+
+crates/eval/src/bin/exp_fig5.rs:

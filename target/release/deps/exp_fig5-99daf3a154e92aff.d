@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-99daf3a154e92aff.d: crates/eval/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-99daf3a154e92aff: crates/eval/src/bin/exp_fig5.rs
+
+crates/eval/src/bin/exp_fig5.rs:

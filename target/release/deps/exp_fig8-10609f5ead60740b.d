@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-10609f5ead60740b.d: crates/eval/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-10609f5ead60740b: crates/eval/src/bin/exp_fig8.rs
+
+crates/eval/src/bin/exp_fig8.rs:

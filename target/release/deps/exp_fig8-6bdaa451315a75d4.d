@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig8-6bdaa451315a75d4.d: crates/eval/src/bin/exp_fig8.rs
+
+/root/repo/target/release/deps/exp_fig8-6bdaa451315a75d4: crates/eval/src/bin/exp_fig8.rs
+
+crates/eval/src/bin/exp_fig8.rs:

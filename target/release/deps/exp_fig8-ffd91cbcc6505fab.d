@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_fig8-ffd91cbcc6505fab.d: crates/eval/src/bin/exp_fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_fig8-ffd91cbcc6505fab.rmeta: crates/eval/src/bin/exp_fig8.rs Cargo.toml
+
+crates/eval/src/bin/exp_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

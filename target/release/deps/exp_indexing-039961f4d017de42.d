@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_indexing-039961f4d017de42.d: crates/eval/src/bin/exp_indexing.rs
+
+/root/repo/target/release/deps/exp_indexing-039961f4d017de42: crates/eval/src/bin/exp_indexing.rs
+
+crates/eval/src/bin/exp_indexing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_indexing-1078a65d4c625fd6.d: crates/eval/src/bin/exp_indexing.rs
+
+/root/repo/target/release/deps/exp_indexing-1078a65d4c625fd6: crates/eval/src/bin/exp_indexing.rs
+
+crates/eval/src/bin/exp_indexing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_indexing-2b87838dff8a524d.d: crates/eval/src/bin/exp_indexing.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_indexing-2b87838dff8a524d.rmeta: crates/eval/src/bin/exp_indexing.rs Cargo.toml
+
+crates/eval/src/bin/exp_indexing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_loadtest-33a4fdb3b23558ea.d: crates/eval/src/bin/exp_loadtest.rs
+
+/root/repo/target/release/deps/exp_loadtest-33a4fdb3b23558ea: crates/eval/src/bin/exp_loadtest.rs
+
+crates/eval/src/bin/exp_loadtest.rs:

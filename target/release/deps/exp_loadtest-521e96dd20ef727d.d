@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_loadtest-521e96dd20ef727d.d: crates/eval/src/bin/exp_loadtest.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_loadtest-521e96dd20ef727d.rmeta: crates/eval/src/bin/exp_loadtest.rs Cargo.toml
+
+crates/eval/src/bin/exp_loadtest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

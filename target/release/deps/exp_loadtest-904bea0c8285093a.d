@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_loadtest-904bea0c8285093a.d: crates/eval/src/bin/exp_loadtest.rs
+
+/root/repo/target/release/deps/exp_loadtest-904bea0c8285093a: crates/eval/src/bin/exp_loadtest.rs
+
+crates/eval/src/bin/exp_loadtest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-1ade8365efe8aae1.d: crates/eval/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-1ade8365efe8aae1: crates/eval/src/bin/exp_table1.rs
+
+crates/eval/src/bin/exp_table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exp_table1-2b087aae9f09e853.d: crates/eval/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libexp_table1-2b087aae9f09e853.rmeta: crates/eval/src/bin/exp_table1.rs Cargo.toml
+
+crates/eval/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-cbb5ebba2f785a09.d: crates/eval/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-cbb5ebba2f785a09: crates/eval/src/bin/exp_table1.rs
+
+crates/eval/src/bin/exp_table1.rs:

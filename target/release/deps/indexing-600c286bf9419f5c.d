@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/indexing-600c286bf9419f5c.d: crates/bench/benches/indexing.rs
+
+/root/repo/target/release/deps/indexing-600c286bf9419f5c: crates/bench/benches/indexing.rs
+
+crates/bench/benches/indexing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medvid-0d4ae261e5c837a4.d: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid-0d4ae261e5c837a4.rmeta: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dataset.rs:
+crates/core/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medvid-10f15c3e7ca6a931.d: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libmedvid-10f15c3e7ca6a931.rlib: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libmedvid-10f15c3e7ca6a931.rmeta: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dataset.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medvid-6a89bd96a5df08ab.d: crates/core/src/bin/medvid.rs
+
+/root/repo/target/release/deps/medvid-6a89bd96a5df08ab: crates/core/src/bin/medvid.rs
+
+crates/core/src/bin/medvid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medvid-719231c04145f11d.d: crates/core/src/bin/medvid.rs
+
+/root/repo/target/release/deps/medvid-719231c04145f11d: crates/core/src/bin/medvid.rs
+
+crates/core/src/bin/medvid.rs:

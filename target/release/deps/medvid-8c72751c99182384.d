@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medvid-8c72751c99182384.d: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/medvid-8c72751c99182384: crates/core/src/lib.rs crates/core/src/dataset.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dataset.rs:
+crates/core/src/pipeline.rs:

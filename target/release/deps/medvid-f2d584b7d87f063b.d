@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medvid-f2d584b7d87f063b.d: crates/core/src/bin/medvid.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid-f2d584b7d87f063b.rmeta: crates/core/src/bin/medvid.rs Cargo.toml
+
+crates/core/src/bin/medvid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medvid_audio-03ac5db310fae855.d: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_audio-03ac5db310fae855.rmeta: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs Cargo.toml
+
+crates/audio/src/lib.rs:
+crates/audio/src/bic.rs:
+crates/audio/src/classifier.rs:
+crates/audio/src/clips.rs:
+crates/audio/src/features.rs:
+crates/audio/src/pipeline.rs:
+crates/audio/src/segmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medvid_audio-d601299b3abc2ff5.d: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/release/deps/libmedvid_audio-d601299b3abc2ff5.rlib: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/release/deps/libmedvid_audio-d601299b3abc2ff5.rmeta: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+crates/audio/src/lib.rs:
+crates/audio/src/bic.rs:
+crates/audio/src/classifier.rs:
+crates/audio/src/clips.rs:
+crates/audio/src/features.rs:
+crates/audio/src/pipeline.rs:
+crates/audio/src/segmentation.rs:

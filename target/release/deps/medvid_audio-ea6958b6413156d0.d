@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medvid_audio-ea6958b6413156d0.d: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+/root/repo/target/release/deps/medvid_audio-ea6958b6413156d0: crates/audio/src/lib.rs crates/audio/src/bic.rs crates/audio/src/classifier.rs crates/audio/src/clips.rs crates/audio/src/features.rs crates/audio/src/pipeline.rs crates/audio/src/segmentation.rs
+
+crates/audio/src/lib.rs:
+crates/audio/src/bic.rs:
+crates/audio/src/classifier.rs:
+crates/audio/src/clips.rs:
+crates/audio/src/features.rs:
+crates/audio/src/pipeline.rs:
+crates/audio/src/segmentation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_baselines-55d686d748bfc9bb.d: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_baselines-55d686d748bfc9bb.rmeta: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/linzhang.rs:
+crates/baselines/src/rui.rs:
+crates/baselines/src/stg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medvid_baselines-976c8698e82de0d3.d: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/release/deps/libmedvid_baselines-976c8698e82de0d3.rlib: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/release/deps/libmedvid_baselines-976c8698e82de0d3.rmeta: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/linzhang.rs:
+crates/baselines/src/rui.rs:
+crates/baselines/src/stg.rs:

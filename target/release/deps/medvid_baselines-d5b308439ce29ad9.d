@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/medvid_baselines-d5b308439ce29ad9.d: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+/root/repo/target/release/deps/medvid_baselines-d5b308439ce29ad9: crates/baselines/src/lib.rs crates/baselines/src/linzhang.rs crates/baselines/src/rui.rs crates/baselines/src/stg.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/linzhang.rs:
+crates/baselines/src/rui.rs:
+crates/baselines/src/stg.rs:

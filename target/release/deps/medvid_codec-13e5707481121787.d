@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_codec-13e5707481121787.d: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/release/deps/medvid_codec-13e5707481121787: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/color.rs:
+crates/codec/src/decode.rs:
+crates/codec/src/encode.rs:
+crates/codec/src/psnr.rs:
+crates/codec/src/quant.rs:
+crates/codec/src/zigzag.rs:

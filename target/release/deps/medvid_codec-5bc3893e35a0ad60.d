@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/medvid_codec-5bc3893e35a0ad60.d: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_codec-5bc3893e35a0ad60.rmeta: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs Cargo.toml
+
+crates/codec/src/lib.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/color.rs:
+crates/codec/src/decode.rs:
+crates/codec/src/encode.rs:
+crates/codec/src/psnr.rs:
+crates/codec/src/quant.rs:
+crates/codec/src/zigzag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_codec-994546fd60ef8130.d: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/release/deps/libmedvid_codec-994546fd60ef8130.rlib: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+/root/repo/target/release/deps/libmedvid_codec-994546fd60ef8130.rmeta: crates/codec/src/lib.rs crates/codec/src/bitio.rs crates/codec/src/color.rs crates/codec/src/decode.rs crates/codec/src/encode.rs crates/codec/src/psnr.rs crates/codec/src/quant.rs crates/codec/src/zigzag.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/bitio.rs:
+crates/codec/src/color.rs:
+crates/codec/src/decode.rs:
+crates/codec/src/encode.rs:
+crates/codec/src/psnr.rs:
+crates/codec/src/quant.rs:
+crates/codec/src/zigzag.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/medvid_eval-2bf90f173f623f03.d: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+/root/repo/target/release/deps/libmedvid_eval-2bf90f173f623f03.rlib: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+/root/repo/target/release/deps/libmedvid_eval-2bf90f173f623f03.rmeta: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/corpus.rs:
+crates/eval/src/events_exp.rs:
+crates/eval/src/fig5.rs:
+crates/eval/src/indexing_exp.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/parallel.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scenedet.rs:
+crates/eval/src/skim_exp.rs:

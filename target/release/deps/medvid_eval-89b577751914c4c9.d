@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/medvid_eval-89b577751914c4c9.d: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_eval-89b577751914c4c9.rmeta: crates/eval/src/lib.rs crates/eval/src/corpus.rs crates/eval/src/events_exp.rs crates/eval/src/fig5.rs crates/eval/src/indexing_exp.rs crates/eval/src/metrics.rs crates/eval/src/parallel.rs crates/eval/src/report.rs crates/eval/src/scenedet.rs crates/eval/src/skim_exp.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/corpus.rs:
+crates/eval/src/events_exp.rs:
+crates/eval/src/fig5.rs:
+crates/eval/src/indexing_exp.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/parallel.rs:
+crates/eval/src/report.rs:
+crates/eval/src/scenedet.rs:
+crates/eval/src/skim_exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

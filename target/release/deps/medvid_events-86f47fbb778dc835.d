@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medvid_events-86f47fbb778dc835.d: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/release/deps/medvid_events-86f47fbb778dc835: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+crates/events/src/lib.rs:
+crates/events/src/miner.rs:
+crates/events/src/rules.rs:

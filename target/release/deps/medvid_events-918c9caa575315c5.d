@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medvid_events-918c9caa575315c5.d: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_events-918c9caa575315c5.rmeta: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs Cargo.toml
+
+crates/events/src/lib.rs:
+crates/events/src/miner.rs:
+crates/events/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medvid_events-9b0714180c701a06.d: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/release/deps/libmedvid_events-9b0714180c701a06.rlib: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+/root/repo/target/release/deps/libmedvid_events-9b0714180c701a06.rmeta: crates/events/src/lib.rs crates/events/src/miner.rs crates/events/src/rules.rs
+
+crates/events/src/lib.rs:
+crates/events/src/miner.rs:
+crates/events/src/rules.rs:

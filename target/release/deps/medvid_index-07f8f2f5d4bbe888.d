@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/medvid_index-07f8f2f5d4bbe888.d: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_index-07f8f2f5d4bbe888.rmeta: crates/index/src/lib.rs crates/index/src/access.rs crates/index/src/browse.rs crates/index/src/centers.rs crates/index/src/concepts.rs crates/index/src/db.rs crates/index/src/features.rs crates/index/src/hash.rs crates/index/src/persist.rs crates/index/src/query.rs Cargo.toml
+
+crates/index/src/lib.rs:
+crates/index/src/access.rs:
+crates/index/src/browse.rs:
+crates/index/src/centers.rs:
+crates/index/src/concepts.rs:
+crates/index/src/db.rs:
+crates/index/src/features.rs:
+crates/index/src/hash.rs:
+crates/index/src/persist.rs:
+crates/index/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_obs-2825a2116319effc.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_obs-2825a2116319effc.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_obs-68bcaa6cf3fa93de.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libmedvid_obs-68bcaa6cf3fa93de.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libmedvid_obs-68bcaa6cf3fa93de.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medvid_obs-8642f686e576eb4b.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/medvid_obs-8642f686e576eb4b: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/medvid_par-7b22069515f27711.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libmedvid_par-7b22069515f27711.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libmedvid_par-7b22069515f27711.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medvid_par-9739cda3a68e0eae.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_par-9739cda3a68e0eae.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medvid_par-de5bf5aeb10bec96.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/medvid_par-de5bf5aeb10bec96: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

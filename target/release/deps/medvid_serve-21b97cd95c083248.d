@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/medvid_serve-21b97cd95c083248.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_serve-21b97cd95c083248.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/retry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medvid_serve-b375f2747e46c644.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+/root/repo/target/release/deps/libmedvid_serve-b375f2747e46c644.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+/root/repo/target/release/deps/libmedvid_serve-b375f2747e46c644.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/executor.rs crates/serve/src/loadgen.rs crates/serve/src/protocol.rs crates/serve/src/retry.rs crates/serve/src/server.rs crates/serve/src/service.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/executor.rs:
+crates/serve/src/loadgen.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/retry.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/medvid_signal-85480769c83c87b3.d: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs
+
+/root/repo/target/release/deps/medvid_signal-85480769c83c87b3: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs
+
+crates/signal/src/lib.rs:
+crates/signal/src/dct.rs:
+crates/signal/src/entropy.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/gaussian.rs:
+crates/signal/src/gmm.rs:
+crates/signal/src/hist.rs:
+crates/signal/src/kmeans.rs:
+crates/signal/src/matrix.rs:
+crates/signal/src/mel.rs:
+crates/signal/src/rng.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/tamura.rs:
+crates/signal/src/window.rs:

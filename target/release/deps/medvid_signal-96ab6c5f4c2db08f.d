@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/medvid_signal-96ab6c5f4c2db08f.d: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_signal-96ab6c5f4c2db08f.rmeta: crates/signal/src/lib.rs crates/signal/src/dct.rs crates/signal/src/entropy.rs crates/signal/src/fft.rs crates/signal/src/gaussian.rs crates/signal/src/gmm.rs crates/signal/src/hist.rs crates/signal/src/kmeans.rs crates/signal/src/matrix.rs crates/signal/src/mel.rs crates/signal/src/rng.rs crates/signal/src/stats.rs crates/signal/src/tamura.rs crates/signal/src/window.rs Cargo.toml
+
+crates/signal/src/lib.rs:
+crates/signal/src/dct.rs:
+crates/signal/src/entropy.rs:
+crates/signal/src/fft.rs:
+crates/signal/src/gaussian.rs:
+crates/signal/src/gmm.rs:
+crates/signal/src/hist.rs:
+crates/signal/src/kmeans.rs:
+crates/signal/src/matrix.rs:
+crates/signal/src/mel.rs:
+crates/signal/src/rng.rs:
+crates/signal/src/stats.rs:
+crates/signal/src/tamura.rs:
+crates/signal/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_skim-0676ced81257ea3d.d: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/release/deps/libmedvid_skim-0676ced81257ea3d.rlib: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/release/deps/libmedvid_skim-0676ced81257ea3d.rmeta: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+crates/skim/src/lib.rs:
+crates/skim/src/colorbar.rs:
+crates/skim/src/levels.rs:
+crates/skim/src/player.rs:
+crates/skim/src/storyboard.rs:
+crates/skim/src/study.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medvid_skim-8d635024094735fa.d: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+/root/repo/target/release/deps/medvid_skim-8d635024094735fa: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs
+
+crates/skim/src/lib.rs:
+crates/skim/src/colorbar.rs:
+crates/skim/src/levels.rs:
+crates/skim/src/player.rs:
+crates/skim/src/storyboard.rs:
+crates/skim/src/study.rs:

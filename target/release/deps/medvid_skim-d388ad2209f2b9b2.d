@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_skim-d388ad2209f2b9b2.d: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_skim-d388ad2209f2b9b2.rmeta: crates/skim/src/lib.rs crates/skim/src/colorbar.rs crates/skim/src/levels.rs crates/skim/src/player.rs crates/skim/src/storyboard.rs crates/skim/src/study.rs Cargo.toml
+
+crates/skim/src/lib.rs:
+crates/skim/src/colorbar.rs:
+crates/skim/src/levels.rs:
+crates/skim/src/player.rs:
+crates/skim/src/storyboard.rs:
+crates/skim/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_store-36797359f0bd7a2c.d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/release/deps/libmedvid_store-36797359f0bd7a2c.rlib: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/release/deps/libmedvid_store-36797359f0bd7a2c.rmeta: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+crates/store/src/lib.rs:
+crates/store/src/checkpoint.rs:
+crates/store/src/crc.rs:
+crates/store/src/engine.rs:
+crates/store/src/recovery.rs:
+crates/store/src/wal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medvid_store-4ee4029af1ab5a6d.d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+/root/repo/target/release/deps/medvid_store-4ee4029af1ab5a6d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs
+
+crates/store/src/lib.rs:
+crates/store/src/checkpoint.rs:
+crates/store/src/crc.rs:
+crates/store/src/engine.rs:
+crates/store/src/recovery.rs:
+crates/store/src/wal.rs:

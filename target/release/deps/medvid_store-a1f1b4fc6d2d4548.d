@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_store-a1f1b4fc6d2d4548.d: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_store-a1f1b4fc6d2d4548.rmeta: crates/store/src/lib.rs crates/store/src/checkpoint.rs crates/store/src/crc.rs crates/store/src/engine.rs crates/store/src/recovery.rs crates/store/src/wal.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/checkpoint.rs:
+crates/store/src/crc.rs:
+crates/store/src/engine.rs:
+crates/store/src/recovery.rs:
+crates/store/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_structure-2bf90a03b301f5ae.d: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/release/deps/libmedvid_structure-2bf90a03b301f5ae.rlib: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/release/deps/libmedvid_structure-2bf90a03b301f5ae.rmeta: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/cluster.rs:
+crates/structure/src/group.rs:
+crates/structure/src/mine.rs:
+crates/structure/src/scene.rs:
+crates/structure/src/shot.rs:
+crates/structure/src/similarity.rs:
+crates/structure/src/stream.rs:

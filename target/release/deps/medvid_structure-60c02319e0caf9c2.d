@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_structure-60c02319e0caf9c2.d: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+/root/repo/target/release/deps/medvid_structure-60c02319e0caf9c2: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs
+
+crates/structure/src/lib.rs:
+crates/structure/src/cluster.rs:
+crates/structure/src/group.rs:
+crates/structure/src/mine.rs:
+crates/structure/src/scene.rs:
+crates/structure/src/shot.rs:
+crates/structure/src/similarity.rs:
+crates/structure/src/stream.rs:

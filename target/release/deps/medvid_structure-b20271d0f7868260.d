@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/medvid_structure-b20271d0f7868260.d: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_structure-b20271d0f7868260.rmeta: crates/structure/src/lib.rs crates/structure/src/cluster.rs crates/structure/src/group.rs crates/structure/src/mine.rs crates/structure/src/scene.rs crates/structure/src/shot.rs crates/structure/src/similarity.rs crates/structure/src/stream.rs Cargo.toml
+
+crates/structure/src/lib.rs:
+crates/structure/src/cluster.rs:
+crates/structure/src/group.rs:
+crates/structure/src/mine.rs:
+crates/structure/src/scene.rs:
+crates/structure/src/shot.rs:
+crates/structure/src/similarity.rs:
+crates/structure/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

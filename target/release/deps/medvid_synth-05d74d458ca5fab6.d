@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medvid_synth-05d74d458ca5fab6.d: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_synth-05d74d458ca5fab6.rmeta: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/palette.rs:
+crates/synth/src/render.rs:
+crates/synth/src/script.rs:
+crates/synth/src/voice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medvid_synth-8643675af0d021ee.d: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/release/deps/libmedvid_synth-8643675af0d021ee.rlib: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/release/deps/libmedvid_synth-8643675af0d021ee.rmeta: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/palette.rs:
+crates/synth/src/render.rs:
+crates/synth/src/script.rs:
+crates/synth/src/voice.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medvid_synth-cadda860783b568b.d: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+/root/repo/target/release/deps/medvid_synth-cadda860783b568b: crates/synth/src/lib.rs crates/synth/src/corpus.rs crates/synth/src/generate.rs crates/synth/src/palette.rs crates/synth/src/render.rs crates/synth/src/script.rs crates/synth/src/voice.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/palette.rs:
+crates/synth/src/render.rs:
+crates/synth/src/script.rs:
+crates/synth/src/voice.rs:

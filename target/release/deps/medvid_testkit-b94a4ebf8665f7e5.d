@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/medvid_testkit-b94a4ebf8665f7e5.d: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/release/deps/medvid_testkit-b94a4ebf8665f7e5: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/domain.rs:
+crates/testkit/src/fault.rs:
+crates/testkit/src/query.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

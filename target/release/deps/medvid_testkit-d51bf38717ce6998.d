@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/medvid_testkit-d51bf38717ce6998.d: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_testkit-d51bf38717ce6998.rmeta: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/domain.rs:
+crates/testkit/src/fault.rs:
+crates/testkit/src/query.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/medvid_testkit-e4874838ffcf0992.d: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/release/deps/libmedvid_testkit-e4874838ffcf0992.rlib: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+/root/repo/target/release/deps/libmedvid_testkit-e4874838ffcf0992.rmeta: crates/testkit/src/lib.rs crates/testkit/src/domain.rs crates/testkit/src/fault.rs crates/testkit/src/query.rs crates/testkit/src/rng.rs crates/testkit/src/runner.rs crates/testkit/src/shrink.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/domain.rs:
+crates/testkit/src/fault.rs:
+crates/testkit/src/query.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/runner.rs:
+crates/testkit/src/shrink.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/medvid_types-93fe487eceaae1a1.d: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_types-93fe487eceaae1a1.rmeta: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/audio.rs:
+crates/types/src/error.rs:
+crates/types/src/events.rs:
+crates/types/src/features.rs:
+crates/types/src/id.rs:
+crates/types/src/image.rs:
+crates/types/src/structure.rs:
+crates/types/src/truth.rs:
+crates/types/src/video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

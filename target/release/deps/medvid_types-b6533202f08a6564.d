@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_types-b6533202f08a6564.d: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs
+
+/root/repo/target/release/deps/medvid_types-b6533202f08a6564: crates/types/src/lib.rs crates/types/src/audio.rs crates/types/src/error.rs crates/types/src/events.rs crates/types/src/features.rs crates/types/src/id.rs crates/types/src/image.rs crates/types/src/structure.rs crates/types/src/truth.rs crates/types/src/video.rs
+
+crates/types/src/lib.rs:
+crates/types/src/audio.rs:
+crates/types/src/error.rs:
+crates/types/src/events.rs:
+crates/types/src/features.rs:
+crates/types/src/id.rs:
+crates/types/src/image.rs:
+crates/types/src/structure.rs:
+crates/types/src/truth.rs:
+crates/types/src/video.rs:

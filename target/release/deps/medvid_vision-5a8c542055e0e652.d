@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/medvid_vision-5a8c542055e0e652.d: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedvid_vision-5a8c542055e0e652.rmeta: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs Cargo.toml
+
+crates/vision/src/lib.rs:
+crates/vision/src/cues.rs:
+crates/vision/src/face.rs:
+crates/vision/src/region.rs:
+crates/vision/src/skin.rs:
+crates/vision/src/special.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/medvid_vision-5ba20fa4b571002b.d: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/release/deps/libmedvid_vision-5ba20fa4b571002b.rlib: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/release/deps/libmedvid_vision-5ba20fa4b571002b.rmeta: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/cues.rs:
+crates/vision/src/face.rs:
+crates/vision/src/region.rs:
+crates/vision/src/skin.rs:
+crates/vision/src/special.rs:

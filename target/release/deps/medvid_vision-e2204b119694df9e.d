@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/medvid_vision-e2204b119694df9e.d: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+/root/repo/target/release/deps/medvid_vision-e2204b119694df9e: crates/vision/src/lib.rs crates/vision/src/cues.rs crates/vision/src/face.rs crates/vision/src/region.rs crates/vision/src/skin.rs crates/vision/src/special.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/cues.rs:
+crates/vision/src/face.rs:
+crates/vision/src/region.rs:
+crates/vision/src/skin.rs:
+crates/vision/src/special.rs:

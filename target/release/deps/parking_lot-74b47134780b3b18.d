@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-74b47134780b3b18.d: /tmp/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-74b47134780b3b18.rlib: /tmp/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-74b47134780b3b18.rmeta: /tmp/depstubs/parking_lot/src/lib.rs
+
+/tmp/depstubs/parking_lot/src/lib.rs:

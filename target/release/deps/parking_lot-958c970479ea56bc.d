@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-958c970479ea56bc.d: /tmp/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-958c970479ea56bc.rmeta: /tmp/depstubs/parking_lot/src/lib.rs
+
+/tmp/depstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-39bcffbb349fe924.d: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-39bcffbb349fe924.rlib: /tmp/depstubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-39bcffbb349fe924.rmeta: /tmp/depstubs/proptest/src/lib.rs
+
+/tmp/depstubs/proptest/src/lib.rs:

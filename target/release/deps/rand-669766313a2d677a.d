@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-669766313a2d677a.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-669766313a2d677a.rlib: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-669766313a2d677a.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-721c49949e2721ac.d: /tmp/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-721c49949e2721ac.rmeta: /tmp/depstubs/rand/src/lib.rs
+
+/tmp/depstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scene_detection-0bbd2090426f6623.d: crates/bench/benches/scene_detection.rs
+
+/root/repo/target/release/deps/scene_detection-0bbd2090426f6623: crates/bench/benches/scene_detection.rs
+
+crates/bench/benches/scene_detection.rs:

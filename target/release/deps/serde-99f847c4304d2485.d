@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-99f847c4304d2485.d: /tmp/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-99f847c4304d2485.rlib: /tmp/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-99f847c4304d2485.rmeta: /tmp/depstubs/serde/src/lib.rs
+
+/tmp/depstubs/serde/src/lib.rs:

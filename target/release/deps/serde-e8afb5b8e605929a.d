@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-e8afb5b8e605929a.d: /tmp/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e8afb5b8e605929a.rmeta: /tmp/depstubs/serde/src/lib.rs
+
+/tmp/depstubs/serde/src/lib.rs:

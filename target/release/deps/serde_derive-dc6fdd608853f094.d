@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-dc6fdd608853f094.d: /tmp/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-dc6fdd608853f094.so: /tmp/depstubs/serde_derive/src/lib.rs
+
+/tmp/depstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-7d68c8c394663879.d: /tmp/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7d68c8c394663879.rmeta: /tmp/depstubs/serde_json/src/lib.rs
+
+/tmp/depstubs/serde_json/src/lib.rs:

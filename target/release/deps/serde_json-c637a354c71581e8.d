@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c637a354c71581e8.d: /tmp/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c637a354c71581e8.rlib: /tmp/depstubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c637a354c71581e8.rmeta: /tmp/depstubs/serde_json/src/lib.rs
+
+/tmp/depstubs/serde_json/src/lib.rs:

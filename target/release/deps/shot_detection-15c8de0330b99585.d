@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shot_detection-15c8de0330b99585.d: crates/bench/benches/shot_detection.rs
+
+/root/repo/target/release/deps/shot_detection-15c8de0330b99585: crates/bench/benches/shot_detection.rs
+
+crates/bench/benches/shot_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/skimming-5da8cc3f95c44554.d: crates/bench/benches/skimming.rs
+
+/root/repo/target/release/deps/skimming-5da8cc3f95c44554: crates/bench/benches/skimming.rs
+
+crates/bench/benches/skimming.rs:

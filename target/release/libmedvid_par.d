@@ -1,0 +1,1 @@
+/root/repo/target/release/libmedvid_par.rlib: /root/repo/crates/par/src/lib.rs
