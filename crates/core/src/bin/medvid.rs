@@ -10,13 +10,19 @@
 //! medvid serve      --store DIR [--fsync always|never|N] [--wal-bytes N] [--wal-records N] [...]
 //! medvid client     --addr HOST:PORT [--event ...] [--limit N] [--strategy flat|hierarchical]
 //! medvid client     --addr HOST:PORT --stats | --restore PATH | --shutdown
+//! medvid client     --addr HOST:PORT --metrics | --prometheus | --slow [--drain]
+//! medvid client     --addr HOST:PORT --trace [--trace-id ID] [...query flags]
+//! medvid top        --addr HOST:PORT [--interval SECS] [--iterations N]
 //! medvid store      info|checkpoint|verify --store DIR
 //! ```
 //!
 //! `serve` loads a persisted database snapshot and answers queries over the
 //! `medvid-serve/v1` TCP protocol until a client requests shutdown;
 //! `client` issues one request against a running server and prints the
-//! response.
+//! response. `top` polls the server's rolling-window metrics
+//! (`medvid-obs/v2`) and redraws a live terminal dashboard; `client
+//! --prometheus` emits the same snapshot in the Prometheus text format,
+//! and `--slow` dumps the server's slow-query log.
 //!
 //! With `--store DIR`, `serve` runs durably: the database is recovered from
 //! the directory's checkpoint plus write-ahead-log tail at startup, every
@@ -34,7 +40,7 @@
 
 use medvid::index::{Strategy, VideoDatabase};
 use medvid::obs::Recorder;
-use medvid::serve::{Client, QueryRequest, Response, ServerConfig, WireStrategy};
+use medvid::serve::{Client, MetricsSnapshot, QueryRequest, Response, ServerConfig, WireStrategy};
 use medvid::store::{FsyncPolicy, Store, StoreConfig};
 use medvid::skim::storyboard::{export_storyboard, storyboard};
 use medvid::skim::SkimLevel;
@@ -68,6 +74,16 @@ struct Options {
     strategy: Option<WireStrategy>,
     stats: bool,
     shutdown: bool,
+    metrics: bool,
+    prometheus: bool,
+    slow: bool,
+    drain: bool,
+    trace: bool,
+    trace_id: Option<String>,
+    /// Poll interval for `medvid top`, seconds.
+    interval: f64,
+    /// Number of `medvid top` refreshes; 0 runs until interrupted.
+    iterations: usize,
     restore: Option<String>,
     store: Option<PathBuf>,
     fsync: FsyncPolicy,
@@ -95,6 +111,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strategy: None,
         stats: false,
         shutdown: false,
+        metrics: false,
+        prometheus: false,
+        slow: false,
+        drain: false,
+        trace: false,
+        trace_id: None,
+        interval: 2.0,
+        iterations: 0,
         restore: None,
         store: None,
         fsync: FsyncPolicy::Always,
@@ -210,6 +234,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.stats = true;
                 i += 1;
             }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
+            "--prometheus" => {
+                opts.prometheus = true;
+                i += 1;
+            }
+            "--slow" => {
+                opts.slow = true;
+                i += 1;
+            }
+            "--drain" => {
+                opts.drain = true;
+                i += 1;
+            }
+            "--trace" => {
+                opts.trace = true;
+                i += 1;
+            }
+            "--trace-id" => {
+                opts.trace_id = Some(value()?.clone());
+                i += 2;
+            }
+            "--interval" => {
+                opts.interval = value()?.parse().map_err(|e| format!("--interval: {e}"))?;
+                i += 2;
+            }
+            "--iterations" => {
+                opts.iterations = value()?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+                i += 2;
+            }
             "--shutdown" => {
                 opts.shutdown = true;
                 i += 1;
@@ -230,12 +288,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|store> [flags]\n\
+    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|top|store> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
      --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
      --queue N  --cache N  --strategy flat|hierarchical  --stats  \
      --restore PATH  --shutdown\n\
+     observability: --metrics  --prometheus  --slow [--drain]  --trace  \
+     --trace-id ID;  top: --addr HOST:PORT [--interval SECS] [--iterations N]\n\
      durability: --store DIR  --fsync always|never|N  --wal-bytes N  \
      --wal-records N;  store takes an action: info|checkpoint|verify"
         .to_string()
@@ -465,6 +525,10 @@ fn run(opts: &Options) -> Result<(), String> {
                 Client::connect(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
             let response = if opts.stats {
                 client.stats()
+            } else if opts.metrics || opts.prometheus {
+                client.metrics()
+            } else if opts.slow {
+                client.slow_queries(opts.drain)
             } else if let Some(path) = &opts.restore {
                 client.restore(path.clone())
             } else if opts.shutdown {
@@ -474,15 +538,119 @@ fn run(opts: &Options) -> Result<(), String> {
                     event: opts.event,
                     limit: Some(opts.limit),
                     strategy: opts.strategy,
+                    trace_id: opts.trace_id.clone(),
+                    trace: opts.trace,
                     ..QueryRequest::default()
                 })
             }
             .map_err(|e| e.to_string())?;
+            if opts.prometheus {
+                let Response::Metrics { snapshot } = &response else {
+                    return Err(format!("expected a metrics snapshot, got {response:?}"));
+                };
+                print!("{}", snapshot.render_prometheus());
+                return Ok(());
+            }
             print_response(&response);
             Ok(())
         }
+        "top" => {
+            let addr = opts.addr.as_ref().ok_or("top needs --addr HOST:PORT")?;
+            let addr: SocketAddr = addr.parse().map_err(|e| format!("--addr: {e}"))?;
+            run_top(addr, opts)
+        }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+/// `medvid top`: poll [`Request::Metrics`] and redraw a terminal
+/// dashboard every `--interval` seconds. `--iterations N` stops after N
+/// refreshes (0 = run until the connection drops or ^C).
+fn run_top(addr: SocketAddr, opts: &Options) -> Result<(), String> {
+    let mut client = Client::connect(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    let mut drawn = 0usize;
+    loop {
+        let response = client.metrics().map_err(|e| e.to_string())?;
+        let Response::Metrics { snapshot } = response else {
+            return Err(format!("expected a metrics snapshot, got {response:?}"));
+        };
+        drawn += 1;
+        // Repaint in place on refresh; the first frame scrolls normally so
+        // one-shot runs compose with pipes and logs.
+        if drawn > 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_dashboard(&snapshot, addr));
+        if opts.iterations > 0 && drawn >= opts.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(opts.interval.max(0.1)));
+    }
+}
+
+/// Renders the `medvid top` dashboard from one metrics snapshot.
+fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
+    let w = &snapshot.window;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "medvid top — {addr} — {} / {} — up {:.0}s\n",
+        snapshot.protocol, snapshot.schema, snapshot.uptime_secs
+    ));
+    out.push_str(&format!(
+        "db      epoch {}  records {}\n",
+        snapshot.epoch, snapshot.records
+    ));
+    out.push_str(&format!(
+        "window  {:.0}s: {} req ({:.1}/s)  errors {} ({:.1}%)\n",
+        w.span_secs,
+        w.requests,
+        w.qps,
+        w.errors,
+        w.error_rate * 100.0
+    ));
+    out.push_str(&format!(
+        "latency p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms  queue p99 {:.2} ms\n",
+        w.p50_ms, w.p99_ms, w.max_ms, w.queue_p99_ms
+    ));
+    out.push_str(&format!(
+        "cache   {} hits / {} misses in window ({:.0}% hit)  {}/{} entries\n",
+        w.cache_hits,
+        w.cache_misses,
+        w.cache_hit_rate * 100.0,
+        snapshot.cache.entries,
+        snapshot.cache.capacity
+    ));
+    out.push_str(&format!(
+        "exec    {} workers  queue {}/{}  {} done  {} rejected  {} deadline misses\n",
+        snapshot.executor.workers,
+        snapshot.executor.queue_depth,
+        snapshot.executor.queue_capacity,
+        snapshot.executor.executed,
+        snapshot.executor.rejected,
+        snapshot.executor.deadline_misses
+    ));
+    match &snapshot.store {
+        Some(s) => {
+            out.push_str(&format!(
+                "store   seq {}  wal {} records / {} bytes  {} unsynced{}\n",
+                s.last_seq,
+                s.wal_records,
+                s.wal_bytes,
+                s.unsynced_records,
+                if s.poisoned.is_some() {
+                    "  POISONED"
+                } else {
+                    ""
+                }
+            ));
+        }
+        None => out.push_str("store   none (in-memory)\n"),
+    }
+    out.push_str(&format!(
+        "slowlog {} entries (threshold {:.0} ms)\n",
+        snapshot.slow_queries, snapshot.slow_threshold_ms
+    ));
+    out
 }
 
 /// Renders a serve response for the terminal.
@@ -493,6 +661,8 @@ fn print_response(response: &Response) {
             cached,
             hits,
             stats,
+            trace_id,
+            trace,
         } => {
             let origin = if *cached { "cache" } else { "index" };
             println!(
@@ -508,9 +678,16 @@ fn print_response(response: &Response) {
                     h.video, h.shot, h.distance
                 );
             }
+            print_trace(trace_id.as_deref(), trace.as_ref());
         }
-        Response::Ingested { accepted, epoch } => {
+        Response::Ingested {
+            accepted,
+            epoch,
+            trace_id,
+            trace,
+        } => {
             println!("ingested {accepted} shots; database is now at epoch {epoch}");
+            print_trace(trace_id.as_deref(), trace.as_ref());
         }
         Response::Stats {
             protocol,
@@ -564,9 +741,65 @@ fn print_response(response: &Response) {
             println!("restored {records} records; database is now at epoch {epoch}");
         }
         Response::Bye => println!("server acknowledged shutdown and is draining"),
-        Response::Error { kind, message } => {
-            println!("server error ({kind:?}): {message}");
+        Response::Metrics { snapshot } => {
+            // One-shot `--metrics` reuses the dashboard body (header line
+            // carries the schema, so scripts can pin the format).
+            println!(
+                "{} live snapshot ({}), up {:.0}s",
+                snapshot.schema, snapshot.protocol, snapshot.uptime_secs
+            );
+            let w = &snapshot.window;
+            println!(
+                "  window {:.0}s: {} req ({:.1}/s), {} errors, p50 {:.2} ms, p99 {:.2} ms",
+                w.span_secs, w.requests, w.qps, w.errors, w.p50_ms, w.p99_ms
+            );
+            println!(
+                "  cache hit rate {:.0}%, queue depth {}, slow-log {} entries",
+                w.cache_hit_rate * 100.0,
+                snapshot.executor.queue_depth,
+                snapshot.slow_queries
+            );
         }
+        Response::SlowQueries { records } => {
+            println!("{} slow queries logged", records.len());
+            for r in records {
+                println!(
+                    "  [{}] {:.1} ms at epoch {}: {}",
+                    r.trace_id, r.total_ms, r.epoch, r.shape
+                );
+                for s in &r.stages {
+                    println!("      {}: {:.3} ms", s.stage, s.micros as f64 / 1_000.0);
+                }
+            }
+        }
+        Response::Error {
+            kind,
+            message,
+            trace_id,
+        } => {
+            match trace_id {
+                Some(id) => println!("server error ({kind:?}) [trace {id}]: {message}"),
+                None => println!("server error ({kind:?}): {message}"),
+            }
+        }
+    }
+}
+
+/// Prints the trace line of a traced response, when present.
+fn print_trace(trace_id: Option<&str>, trace: Option<&medvid::serve::TraceReport>) {
+    match (trace_id, trace) {
+        (_, Some(t)) => {
+            println!(
+                "  trace {}: {:.3} ms total",
+                t.trace_id,
+                t.total_micros as f64 / 1_000.0
+            );
+            for s in &t.stages {
+                println!("    {}: {:.3} ms", s.stage, s.micros as f64 / 1_000.0);
+            }
+        }
+        (Some(id), None) => println!("  trace {id}"),
+        (None, None) => {}
     }
 }
 
@@ -715,5 +948,47 @@ mod tests {
         assert!(o.stats);
         let o = parse(&["client", "--addr", "127.0.0.1:4100", "--shutdown"]).unwrap();
         assert!(o.shutdown);
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--metrics"]).unwrap();
+        assert!(o.metrics && !o.prometheus);
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--prometheus"]).unwrap();
+        assert!(o.prometheus);
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--slow", "--drain"]).unwrap();
+        assert!(o.slow && o.drain);
+        let o = parse(&[
+            "client",
+            "--addr",
+            "127.0.0.1:4100",
+            "--trace",
+            "--trace-id",
+            "req-7",
+        ])
+        .unwrap();
+        assert!(o.trace);
+        assert_eq!(o.trace_id.as_deref(), Some("req-7"));
+    }
+
+    #[test]
+    fn parses_top_flags() {
+        let o = parse(&[
+            "top",
+            "--addr",
+            "127.0.0.1:4100",
+            "--interval",
+            "0.5",
+            "--iterations",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "top");
+        assert!((o.interval - 0.5).abs() < 1e-9);
+        assert_eq!(o.iterations, 3);
+        // Defaults: 2 s refresh, run until interrupted.
+        let o = parse(&["top", "--addr", "127.0.0.1:4100"]).unwrap();
+        assert!((o.interval - 2.0).abs() < 1e-9);
+        assert_eq!(o.iterations, 0);
     }
 }

@@ -49,6 +49,22 @@ struct DurabilityRun {
     wal_bytes: u64,
 }
 
+/// The serving layer observed through its own live metrics: a query burst
+/// against a spawned server, summarised by the `medvid-obs/v2` snapshot the
+/// Metrics verb returns (so the benchmark tracks what operators will see,
+/// not just client-side stopwatch numbers).
+#[derive(Serialize)]
+struct ServeLiveRun {
+    queries: usize,
+    window_qps: f64,
+    window_p50_ms: f64,
+    window_p99_ms: f64,
+    window_cache_hit_rate: f64,
+    /// Round-trip latency of the Metrics verb itself, milliseconds — the
+    /// observability tax a dashboard poll puts on a serving node.
+    metrics_roundtrip_ms: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     /// `available_parallelism` of the machine that produced these numbers —
@@ -59,6 +75,52 @@ struct BenchReport {
     deterministic_across_threads: bool,
     runs: Vec<ThreadRun>,
     durability: Vec<DurabilityRun>,
+    serve_live: ServeLiveRun,
+}
+
+/// Spawns a server over `db`, drives `queries` cache-mixed lookups through
+/// one client, and reads the rolling-window snapshot back via the Metrics
+/// verb.
+fn serve_live_metrics(db: VideoDatabase, queries: usize) -> ServeLiveRun {
+    use medvid_serve::{Client, QueryRequest, Response, ServerConfig};
+    let probes: Vec<Vec<f32>> = db
+        .records_iter()
+        .step_by(5)
+        .take(8)
+        .map(|r| r.features.clone())
+        .collect();
+    let handle = medvid_serve::spawn(db, ServerConfig::default(), Recorder::disabled())
+        .expect("bind loopback server");
+    let mut client =
+        Client::connect(handle.addr(), std::time::Duration::from_secs(30)).expect("connect");
+    for i in 0..queries {
+        // Cycling a small probe pool repeats queries, so the window sees
+        // both index executions and cache hits.
+        let response = client
+            .query(QueryRequest {
+                vector: Some(probes[i % probes.len()].clone()),
+                limit: Some(5),
+                ..QueryRequest::default()
+            })
+            .expect("query");
+        assert!(matches!(response, Response::Results { .. }));
+    }
+    let poll_start = Instant::now();
+    let snapshot = match client.metrics().expect("metrics round-trip") {
+        Response::Metrics { snapshot } => snapshot,
+        other => panic!("expected a metrics snapshot, got {other:?}"),
+    };
+    let roundtrip = poll_start.elapsed().as_secs_f64() * 1e3;
+    handle.shutdown();
+    handle.join();
+    ServeLiveRun {
+        queries,
+        window_qps: snapshot.window.qps,
+        window_p50_ms: snapshot.window.p50_ms,
+        window_p99_ms: snapshot.window.p99_ms,
+        window_cache_hit_rate: snapshot.window.cache_hit_rate,
+        metrics_roundtrip_ms: roundtrip,
+    }
 }
 
 /// Times `appends` single-shot group commits under one fsync policy,
@@ -250,6 +312,23 @@ fn main() {
         &durab_table,
     );
 
+    // Serving-layer observability: index the corpus once, burst queries at
+    // a spawned server, and snapshot its rolling window over the wire.
+    let (db, _) = miner.index_corpus(&corpus);
+    let serve_live = serve_live_metrics(db, if smoke { 40 } else { 400 });
+    print_table(
+        "E-BENCH — serve live metrics (medvid-obs/v2 window)",
+        &["queries", "qps", "p50 ms", "p99 ms", "cache hit", "poll ms"],
+        &[vec![
+            serve_live.queries.to_string(),
+            f3(serve_live.window_qps),
+            f3(serve_live.window_p50_ms),
+            f3(serve_live.window_p99_ms),
+            f3(serve_live.window_cache_hit_rate),
+            f3(serve_live.metrics_roundtrip_ms),
+        ]],
+    );
+
     let bench = BenchReport {
         host_cpus,
         corpus_videos: corpus.len(),
@@ -257,6 +336,7 @@ fn main() {
         deterministic_across_threads: deterministic,
         runs,
         durability,
+        serve_live,
     };
     // The benchmark trajectory lives at the repository root so successive
     // PRs can diff it; the manifest dir anchors the path regardless of cwd.

@@ -6,7 +6,7 @@ use medvid::{ClassMiner, ClassMinerConfig};
 use medvid_eval::report::{f3, print_table, write_report};
 use medvid_obs::{CorpusReport, Recorder};
 use medvid_serve::loadgen::{self, LoadConfig};
-use medvid_serve::{ServerConfig, WireStrategy};
+use medvid_serve::{Client, MetricsSnapshot, Response, ServerConfig, WireStrategy};
 use medvid_synth::{standard_corpus, CorpusScale};
 use serde::Serialize;
 use std::time::Duration;
@@ -21,6 +21,14 @@ struct Row {
     cached: usize,
     rejected: usize,
     errors: usize,
+}
+
+/// The artefact payload: the per-strategy rows plus the server's own live
+/// (`medvid-obs/v2`) view of the run, captured right after the load.
+#[derive(Serialize)]
+struct LoadtestReport {
+    rows: Vec<Row>,
+    live: MetricsSnapshot,
 }
 
 fn main() {
@@ -72,6 +80,25 @@ fn main() {
             errors: report.errors,
         });
     }
+    // The server's own rolling-window view of the load it just absorbed:
+    // the Metrics verb must answer while the server is still live, and its
+    // window must have seen the traffic.
+    let mut probe = Client::connect(addr, Duration::from_secs(10)).expect("connect metrics probe");
+    let live = match probe.metrics().expect("metrics round-trip") {
+        Response::Metrics { snapshot } => snapshot,
+        other => panic!("expected a metrics snapshot, got {other:?}"),
+    };
+    assert!(
+        live.window.requests > 0,
+        "rolling window saw none of the load"
+    );
+    println!(
+        "metrics verb: ok — {} qps {:.1}, p99 {:.2} ms, cache hit {:.0}%",
+        live.schema,
+        live.window.qps,
+        live.window.p99_ms,
+        live.window.cache_hit_rate * 100.0
+    );
     handle.shutdown();
     handle.join();
     let table: Vec<Vec<String>> = rows
@@ -97,5 +124,5 @@ fn main() {
         &table,
     );
     let telemetry = CorpusReport::from_totals(rec.report());
-    write_report("loadtest", &telemetry, &rows);
+    write_report("loadtest", &telemetry, &LoadtestReport { rows, live });
 }

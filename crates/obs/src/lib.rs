@@ -15,7 +15,12 @@
 //!   reports its *self* time;
 //! * [`MiningReport`] / [`CorpusReport`] — serializable per-video and
 //!   per-corpus aggregations of stage timings plus domain counters (shots
-//!   detected, groups formed, BIC tests run, index comparisons, …).
+//!   detected, groups formed, BIC tests run, index comparisons, …);
+//! * [`RollingHistogram`] / [`WindowedCounter`] — fixed rings of
+//!   time-bucketed aggregates for *live* dashboards: recent p50/p99, qps
+//!   and error rates over the last couple of minutes, with deterministic
+//!   clock injection (the serving tier's `Metrics` verb and `medvid top`
+//!   are built on these).
 //!
 //! Locking discipline: counters and histograms live behind coarse mutexes
 //! that are touched once per *stage* (span drop) or once per *batch*
@@ -33,12 +38,16 @@ pub mod hist;
 pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod rolling;
 pub mod span;
 
 pub use hist::LogHistogram;
 pub use recorder::Recorder;
 pub use registry::{MetricsRegistry, StageAccum};
-pub use report::{CorpusReport, MiningReport, ReportEnvelope, StageReport, SCHEMA_VERSION};
+pub use report::{
+    CorpusReport, MiningReport, ReportEnvelope, StageReport, LIVE_SCHEMA_VERSION, SCHEMA_VERSION,
+};
+pub use rolling::{RollingHistogram, WindowedCounter};
 pub use span::{Span, Stage};
 
 /// Names of the domain counters the pipeline records.
@@ -91,6 +100,12 @@ pub mod counters {
     /// Queued requests abandoned because their deadline passed before a
     /// worker picked them up.
     pub const SERVE_DEADLINE_MISSES: &str = "serve_deadline_misses";
+    /// Requests answered with any typed error (overload, deadline, bad
+    /// request, store failure, internal).
+    pub const SERVE_ERRORS: &str = "serve_errors";
+    /// Requests whose total latency crossed the slow-query threshold and
+    /// were captured in the slow-query log.
+    pub const SERVE_SLOW_QUERIES: &str = "serve_slow_queries";
     /// Result-cache lookups answered from the cache.
     pub const SERVE_CACHE_HITS: &str = "serve_cache_hits";
     /// Result-cache lookups that missed.

@@ -10,6 +10,30 @@ use std::fmt::Write as _;
 /// Schema identifier embedded in every serialized report.
 pub const SCHEMA_VERSION: &str = "medvid-obs/v1";
 
+/// Schema identifier of the *live* snapshot a running server exposes over
+/// its `Metrics` protocol verb.
+///
+/// Where `medvid-obs/v1` ([`SCHEMA_VERSION`]) is an end-of-run batch
+/// artifact — cumulative per-stage histograms and counters since process
+/// start — `medvid-obs/v2` is a point-in-time operational snapshot:
+///
+/// * `schema` — this constant;
+/// * `uptime_secs` — seconds since the server started;
+/// * `windows` — rolling-window aggregates ([`crate::RollingHistogram`],
+///   12 × 10 s by default): recent qps, error rate and latency
+///   p50/p99/max, which go to zero when traffic stops instead of being
+///   averaged away by lifetime totals;
+/// * `cache` / `executor` / `store` — the same typed stat blocks the
+///   `Stats` verb carries (hits/misses, queue depth, WAL bytes/records,
+///   fsyncs, `poisoned`);
+/// * `epoch`, `records`, `slow_queries`, `slow_threshold_ms` — serving
+///   identity plus slow-query-log occupancy.
+///
+/// The concrete struct lives with the wire protocol
+/// (`medvid_serve::protocol::MetricsSnapshot`); this crate owns the schema
+/// name so both report families are versioned in one place.
+pub const LIVE_SCHEMA_VERSION: &str = "medvid-obs/v2";
+
 /// Aggregated timing of one pipeline stage, in report form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageReport {

@@ -1,0 +1,289 @@
+//! Rolling-window aggregation: *recent* statistics, not lifetime totals.
+//!
+//! The cumulative [`LogHistogram`](crate::LogHistogram)s in a
+//! [`MetricsRegistry`](crate::MetricsRegistry) answer "what happened since
+//! the process started" — the right shape for end-of-run reports, and the
+//! wrong one for a live dashboard, where an hour of healthy traffic hides a
+//! minute of misery. The types here keep a fixed ring of time windows
+//! (default 12 × 10 s) and expire whole windows as the clock advances, so a
+//! snapshot reflects only the last couple of minutes.
+//!
+//! Both types are plain single-threaded values (like `LogHistogram`); a
+//! concurrent caller wraps them in its own mutex. Every method takes the
+//! current time as an explicit nanosecond count, which makes window
+//! rotation deterministic under test — no hidden `Instant::now()` —
+//! and lets production callers derive it from one process-start anchor.
+
+use crate::hist::LogHistogram;
+
+/// Default number of ring windows (12 × 10 s ≈ the last two minutes).
+pub const DEFAULT_WINDOWS: usize = 12;
+
+/// Default width of one window in nanoseconds (10 s).
+pub const DEFAULT_WIDTH_NANOS: u64 = 10_000_000_000;
+
+/// One ring slot: the window index it currently holds data for, plus that
+/// window's histogram. A slot whose `window` is stale is logically empty.
+#[derive(Debug, Clone)]
+struct Slot {
+    window: u64,
+    hist: LogHistogram,
+}
+
+/// A fixed ring of [`LogHistogram`] buckets indexed by wall-clock window.
+///
+/// `record_at(now, value)` lands the sample in the window `now` falls in,
+/// lazily clearing the ring slot if it still holds an expired window;
+/// `merged_at(now)` folds every live window into one histogram for
+/// quantile queries. Values older than `windows × width` are gone.
+#[derive(Debug, Clone)]
+pub struct RollingHistogram {
+    width_nanos: u64,
+    slots: Vec<Slot>,
+}
+
+impl RollingHistogram {
+    /// A ring of `windows` buckets, each `width_nanos` wide (both forced to
+    /// at least 1).
+    pub fn new(windows: usize, width_nanos: u64) -> Self {
+        RollingHistogram {
+            width_nanos: width_nanos.max(1),
+            slots: vec![
+                Slot {
+                    // u64::MAX marks "never written": window arithmetic
+                    // starts at 0, so this can never alias a real window.
+                    window: u64::MAX,
+                    hist: LogHistogram::new(),
+                };
+                windows.max(1)
+            ],
+        }
+    }
+
+    /// The standard dashboard ring: [`DEFAULT_WINDOWS`] ×
+    /// [`DEFAULT_WIDTH_NANOS`].
+    pub fn standard() -> Self {
+        Self::new(DEFAULT_WINDOWS, DEFAULT_WIDTH_NANOS)
+    }
+
+    /// Number of ring windows.
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Width of one window in nanoseconds.
+    pub fn width_nanos(&self) -> u64 {
+        self.width_nanos
+    }
+
+    /// Window index `now_nanos` falls in.
+    fn window_of(&self, now_nanos: u64) -> u64 {
+        now_nanos / self.width_nanos
+    }
+
+    /// True when `slot` still holds live data as seen from window `now`.
+    fn live(&self, slot: &Slot, now_window: u64) -> bool {
+        slot.window != u64::MAX
+            && slot.window <= now_window
+            && now_window - slot.window < self.slots.len() as u64
+    }
+
+    /// Records `value` into the window containing `now_nanos`.
+    pub fn record_at(&mut self, now_nanos: u64, value: u64) {
+        let w = self.window_of(now_nanos);
+        let idx = (w % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.window != w {
+            slot.hist = LogHistogram::new();
+            slot.window = w;
+        }
+        slot.hist.record(value);
+    }
+
+    /// Folds every window still live at `now_nanos` into one histogram.
+    pub fn merged_at(&self, now_nanos: u64) -> LogHistogram {
+        let now_window = self.window_of(now_nanos);
+        let mut merged = LogHistogram::new();
+        for slot in &self.slots {
+            if self.live(slot, now_window) {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged
+    }
+
+    /// Total samples across the live windows at `now_nanos`.
+    pub fn count_at(&self, now_nanos: u64) -> u64 {
+        self.merged_at(now_nanos).count()
+    }
+
+    /// The wall-clock span the ring covers (windows × width), in
+    /// nanoseconds — the denominator for a rate over `merged_at` counts.
+    pub fn span_nanos(&self) -> u64 {
+        self.width_nanos.saturating_mul(self.slots.len() as u64)
+    }
+}
+
+/// A fixed ring of plain counters indexed by wall-clock window: the
+/// rate-of-events sibling of [`RollingHistogram`] (queries per second,
+/// errors per second) without histogram weight.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    width_nanos: u64,
+    /// `(window_index, count)`; `u64::MAX` marks a never-written slot.
+    slots: Vec<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    /// A ring of `windows` counters, each `width_nanos` wide (both forced
+    /// to at least 1).
+    pub fn new(windows: usize, width_nanos: u64) -> Self {
+        WindowedCounter {
+            width_nanos: width_nanos.max(1),
+            slots: vec![(u64::MAX, 0); windows.max(1)],
+        }
+    }
+
+    /// The standard dashboard ring: [`DEFAULT_WINDOWS`] ×
+    /// [`DEFAULT_WIDTH_NANOS`].
+    pub fn standard() -> Self {
+        Self::new(DEFAULT_WINDOWS, DEFAULT_WIDTH_NANOS)
+    }
+
+    /// Adds `by` to the window containing `now_nanos`.
+    pub fn incr_at(&mut self, now_nanos: u64, by: u64) {
+        let w = now_nanos / self.width_nanos;
+        let idx = (w % self.slots.len() as u64) as usize;
+        let (window, count) = &mut self.slots[idx];
+        if *window != w {
+            *window = w;
+            *count = 0;
+        }
+        *count += by;
+    }
+
+    /// Sum over the windows still live at `now_nanos`.
+    pub fn total_at(&self, now_nanos: u64) -> u64 {
+        let now_window = now_nanos / self.width_nanos;
+        let len = self.slots.len() as u64;
+        self.slots
+            .iter()
+            .filter(|(w, _)| *w != u64::MAX && *w <= now_window && now_window - *w < len)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Events per second over the ring's span, as seen at `now_nanos`.
+    ///
+    /// The denominator is the fixed ring span, not the elapsed uptime — a
+    /// freshly started process under-reports briefly rather than a
+    /// long-lived one averaging bursts away.
+    pub fn rate_at(&self, now_nanos: u64) -> f64 {
+        let span_secs =
+            (self.width_nanos.saturating_mul(self.slots.len() as u64)) as f64 / 1e9;
+        if span_secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_at(now_nanos) as f64 / span_secs
+    }
+
+    /// The wall-clock span the ring covers, in nanoseconds.
+    pub fn span_nanos(&self) -> u64 {
+        self.width_nanos.saturating_mul(self.slots.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 10; // tiny 10 ns windows make the arithmetic legible
+
+    #[test]
+    fn values_expire_after_n_windows() {
+        let mut h = RollingHistogram::new(3, W);
+        h.record_at(5, 100); // window 0
+        assert_eq!(h.count_at(5), 1);
+        // Still live while the clock stays within the ring's 3 windows.
+        assert_eq!(h.count_at(W * 2 + 9), 1, "window 2 still sees window 0");
+        // Window 3 pushes window 0 off the ring.
+        assert_eq!(h.count_at(W * 3), 0, "expired after N windows");
+    }
+
+    #[test]
+    fn ring_slot_reuse_clears_stale_data() {
+        let mut h = RollingHistogram::new(2, W);
+        h.record_at(0, 50); // window 0 → slot 0
+        h.record_at(W * 2, 70); // window 2 → slot 0 again, must clear first
+        let merged = h.merged_at(W * 2);
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.max_nanos(), 70);
+    }
+
+    #[test]
+    fn merged_quantiles_match_flat_histogram_within_one_bucket() {
+        // All samples recorded within the ring's span: the merged view must
+        // agree with a flat LogHistogram fed the same data — same buckets,
+        // so the quantile edges are identical, not merely close.
+        let mut rolling = RollingHistogram::new(4, W);
+        let mut flat = LogHistogram::new();
+        let samples: Vec<u64> = (1..=40).map(|i| i * 37 % 1000 + 1).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            rolling.record_at(i as u64, s); // spread across windows 0..4
+            flat.record(s);
+        }
+        let now = 39;
+        let merged = rolling.merged_at(now);
+        assert_eq!(merged.count(), flat.count());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let a = merged.quantile_nanos(q);
+            let b = flat.quantile_nanos(q);
+            // Same bucket ⇒ within a factor of two of each other.
+            assert!(
+                a == b || (a.max(b) <= a.min(b).saturating_mul(2)),
+                "q{q}: merged {a} vs flat {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_expiry_keeps_only_recent_windows() {
+        let mut h = RollingHistogram::new(2, W);
+        h.record_at(0, 100); // window 0
+        h.record_at(W, 2000); // window 1
+        // At window 2, window 0 is out and window 1 remains.
+        let merged = h.merged_at(W * 2);
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.max_nanos(), 2000);
+    }
+
+    #[test]
+    fn windowed_counter_rotates_and_rates() {
+        let mut c = WindowedCounter::new(2, W);
+        c.incr_at(0, 3); // window 0
+        c.incr_at(W, 4); // window 1
+        assert_eq!(c.total_at(W), 7);
+        assert_eq!(c.total_at(W * 2), 4, "window 0 expired");
+        assert_eq!(c.total_at(W * 4), 0, "everything expired");
+        // Rate over the fixed span: 7 events / 20 ns.
+        let r = c.rate_at(W);
+        assert!((r - 7.0 / (20.0 / 1e9)).abs() < 1e-3, "rate {r}");
+    }
+
+    #[test]
+    fn never_written_slots_do_not_alias_window_max() {
+        let h = RollingHistogram::new(4, W);
+        assert_eq!(h.count_at(0), 0);
+        assert_eq!(h.count_at(u64::MAX), 0);
+        let c = WindowedCounter::new(4, W);
+        assert_eq!(c.total_at(0), 0);
+    }
+
+    #[test]
+    fn standard_ring_covers_two_minutes() {
+        let h = RollingHistogram::standard();
+        assert_eq!(h.windows(), DEFAULT_WINDOWS);
+        assert_eq!(h.span_nanos(), 120_000_000_000);
+        assert_eq!(WindowedCounter::standard().span_nanos(), 120_000_000_000);
+    }
+}

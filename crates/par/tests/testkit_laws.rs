@@ -133,14 +133,20 @@ fn with_threads_is_reentrant_safe_for_nested_maps() {
             if outer == 0 {
                 return Ok(()); // a shrunk candidate left the domain
             }
+            // Wrapping folds: `task` emits full-range u64s, so a plain
+            // `sum()` trips debug overflow checks on the second element.
             let expected: Vec<u64> = (0..outer)
-                .map(|i| (0..inner).map(|j| task(seed, i * inner + j)).sum())
+                .map(|i| {
+                    (0..inner)
+                        .map(|j| task(seed, i * inner + j))
+                        .fold(0u64, u64::wrapping_add)
+                })
                 .collect();
             let got = with_threads(4, || {
                 par_map_indexed(outer, |i| {
                     par_map_indexed(inner, |j| task(seed, i * inner + j))
                         .into_iter()
-                        .sum::<u64>()
+                        .fold(0u64, u64::wrapping_add)
                 })
             });
             require!(

@@ -69,7 +69,28 @@ impl<S: Read + Write> Client<S> {
     /// # Errors
     /// Propagates I/O and framing failures.
     pub fn ingest(&mut self, shots: Vec<IngestShot>) -> io::Result<Response> {
-        self.request(&Request::Ingest { shots })
+        self.request(&Request::Ingest {
+            shots,
+            trace_id: None,
+            trace: false,
+        })
+    }
+
+    /// Ingests a batch with an explicit trace id and a per-stage timing
+    /// breakdown requested in the acknowledgement.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn ingest_traced(
+        &mut self,
+        shots: Vec<IngestShot>,
+        trace_id: Option<String>,
+    ) -> io::Result<Response> {
+        self.request(&Request::Ingest {
+            shots,
+            trace_id,
+            trace: true,
+        })
     }
 
     /// Fetches server statistics.
@@ -78,6 +99,22 @@ impl<S: Read + Write> Client<S> {
     /// Propagates I/O and framing failures.
     pub fn stats(&mut self) -> io::Result<Response> {
         self.request(&Request::Stats)
+    }
+
+    /// Fetches the live rolling-window metrics snapshot.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Fetches the slow-query log; `drain` also empties it server-side.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn slow_queries(&mut self, drain: bool) -> io::Result<Response> {
+        self.request(&Request::SlowQueries { drain })
     }
 
     /// Asks the server to persist its current epoch at `path`.

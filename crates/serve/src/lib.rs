@@ -31,19 +31,24 @@
 pub mod cache;
 pub mod client;
 pub mod executor;
+pub mod live;
 pub mod loadgen;
 pub mod protocol;
 pub mod retry;
 pub mod server;
 pub mod service;
+pub mod trace;
 
 pub use cache::{CachedResult, QueryKey, ResultCache};
 pub use client::Client;
 pub use executor::Executor;
+pub use live::LiveMetrics;
 pub use protocol::{
-    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, QueryRequest, Request, Response,
-    WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, MetricsSnapshot, QueryRequest, Request,
+    Response, SlowQueryRecord, StageTiming, TraceReport, WindowSummary, WireStats, WireStrategy,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use retry::{connect_with_retry, ClientError, RetryPolicy, RetryingClient};
 pub use server::{spawn, spawn_durable, ServerConfig, ServerHandle};
 pub use service::{DbEpoch, DbService, IngestError};
+pub use trace::TraceCtx;

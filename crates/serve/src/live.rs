@@ -1,0 +1,275 @@
+//! Live, rolling-window server metrics and the slow-query log.
+//!
+//! The cumulative counters in the [`medvid_obs::MetricsRegistry`] answer
+//! "what happened since startup"; a dashboard needs "what is happening
+//! *now*". [`LiveMetrics`] keeps the rolling rings from
+//! [`medvid_obs::rolling`] behind one mutex — request latencies, queue
+//! waits, and per-outcome event counters — plus a bounded ring of the
+//! slowest recent requests, each carrying its trace id and stage
+//! breakdown so an operator can go from "p99 spiked" to "these exact
+//! requests, stuck in this exact stage" without re-running anything.
+//!
+//! All timestamps are nanoseconds since the server's start `Instant`
+//! (one anchor per `LiveMetrics`), matching the explicit-clock contract
+//! of the rolling types.
+
+use crate::protocol::{SlowQueryRecord, StageTiming, WindowSummary};
+use medvid_obs::counters;
+use medvid_obs::rolling::{RollingHistogram, WindowedCounter};
+use medvid_obs::Recorder;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default slow-query threshold: a request slower than this is logged.
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(500);
+
+/// Default capacity of the in-memory slow-query ring.
+pub const DEFAULT_SLOW_CAPACITY: usize = 64;
+
+/// The rolling state guarded by one mutex: every request touches it once
+/// on completion, so contention stays negligible next to index search.
+#[derive(Debug)]
+struct Rings {
+    latency: RollingHistogram,
+    queue_wait: RollingHistogram,
+    requests: WindowedCounter,
+    errors: WindowedCounter,
+    cache_hits: WindowedCounter,
+    cache_misses: WindowedCounter,
+    slow: VecDeque<SlowQueryRecord>,
+}
+
+/// Concurrent rolling-window metrics hub shared by all connection threads.
+#[derive(Debug)]
+pub struct LiveMetrics {
+    anchor: Instant,
+    threshold: Duration,
+    slow_capacity: usize,
+    rings: Mutex<Rings>,
+    recorder: Recorder,
+}
+
+impl LiveMetrics {
+    /// Builds the hub: `windows × width` rolling rings, a slow-query
+    /// ring of `slow_capacity` entries, and `threshold` as the
+    /// slowness cut-off.
+    pub fn new(
+        windows: usize,
+        width: Duration,
+        threshold: Duration,
+        slow_capacity: usize,
+        recorder: Recorder,
+    ) -> Self {
+        let width_nanos = width.as_nanos().max(1) as u64;
+        LiveMetrics {
+            anchor: Instant::now(),
+            threshold,
+            slow_capacity: slow_capacity.max(1),
+            rings: Mutex::new(Rings {
+                latency: RollingHistogram::new(windows, width_nanos),
+                queue_wait: RollingHistogram::new(windows, width_nanos),
+                requests: WindowedCounter::new(windows, width_nanos),
+                errors: WindowedCounter::new(windows, width_nanos),
+                cache_hits: WindowedCounter::new(windows, width_nanos),
+                cache_misses: WindowedCounter::new(windows, width_nanos),
+                slow: VecDeque::new(),
+            }),
+            recorder,
+        }
+    }
+
+    /// Nanoseconds since this hub was created — the clock every rolling
+    /// ring is driven by.
+    pub fn now_nanos(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Seconds since this hub was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.anchor.elapsed().as_secs_f64()
+    }
+
+    /// The configured slow-query threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records one finished request: its total latency, whether it
+    /// errored, and — for queries — whether the result cache answered.
+    /// `cache` is `None` for verbs the cache never sees.
+    pub fn observe_request(&self, latency_nanos: u64, error: bool, cache: Option<bool>) {
+        let now = self.now_nanos();
+        let mut rings = self.rings.lock().expect("live metrics lock");
+        rings.latency.record_at(now, latency_nanos);
+        rings.requests.incr_at(now, 1);
+        if error {
+            rings.errors.incr_at(now, 1);
+        }
+        match cache {
+            Some(true) => rings.cache_hits.incr_at(now, 1),
+            Some(false) => rings.cache_misses.incr_at(now, 1),
+            None => {}
+        }
+    }
+
+    /// Records the queue-wait component separately so the dashboard can
+    /// distinguish "index is slow" from "queue is deep".
+    pub fn observe_queue_wait(&self, wait_nanos: u64) {
+        let now = self.now_nanos();
+        let mut rings = self.rings.lock().expect("live metrics lock");
+        rings.queue_wait.record_at(now, wait_nanos);
+    }
+
+    /// Logs a slow request if it crossed the threshold; evicts the oldest
+    /// entry when the ring is full. Returns true when logged.
+    pub fn maybe_log_slow(
+        &self,
+        latency_nanos: u64,
+        trace_id: &str,
+        stages: &[StageTiming],
+        shape: String,
+        epoch: u64,
+    ) -> bool {
+        if latency_nanos < self.threshold.as_nanos() as u64 {
+            return false;
+        }
+        self.recorder.incr(counters::SERVE_SLOW_QUERIES, 1);
+        let record = SlowQueryRecord {
+            trace_id: trace_id.to_string(),
+            total_ms: latency_nanos as f64 / 1e6,
+            stages: stages.to_vec(),
+            shape,
+            epoch,
+        };
+        let mut rings = self.rings.lock().expect("live metrics lock");
+        while rings.slow.len() >= self.slow_capacity {
+            rings.slow.pop_front();
+        }
+        rings.slow.push_back(record);
+        true
+    }
+
+    /// Snapshot of the slow-query log, oldest first; `drain` empties it.
+    pub fn slow_queries(&self, drain: bool) -> Vec<SlowQueryRecord> {
+        let mut rings = self.rings.lock().expect("live metrics lock");
+        if drain {
+            rings.slow.drain(..).collect()
+        } else {
+            rings.slow.iter().cloned().collect()
+        }
+    }
+
+    /// Number of entries currently in the slow-query log.
+    pub fn slow_len(&self) -> usize {
+        self.rings.lock().expect("live metrics lock").slow.len()
+    }
+
+    /// Summarises the live windows: rates, error share, latency
+    /// quantiles, and the cache hit rate — everything the dashboard's
+    /// top line needs, in one lock hold.
+    pub fn window_summary(&self) -> WindowSummary {
+        let now = self.now_nanos();
+        let rings = self.rings.lock().expect("live metrics lock");
+        let merged = rings.latency.merged_at(now);
+        let queue = rings.queue_wait.merged_at(now);
+        let requests = rings.requests.total_at(now);
+        let errors = rings.errors.total_at(now);
+        let hits = rings.cache_hits.total_at(now);
+        let misses = rings.cache_misses.total_at(now);
+        let lookups = hits + misses;
+        // Rate over the window actually observed so far: a server younger
+        // than the ring span divides by its uptime, not the full span,
+        // otherwise early dashboards show a flattered-down qps.
+        let span_secs = (rings.requests.span_nanos().min(now.max(1))) as f64 / 1e9;
+        WindowSummary {
+            span_secs,
+            requests,
+            errors,
+            qps: if span_secs > 0.0 {
+                requests as f64 / span_secs
+            } else {
+                0.0
+            },
+            error_rate: if requests > 0 {
+                errors as f64 / requests as f64
+            } else {
+                0.0
+            },
+            p50_ms: merged.quantile_nanos(0.5) as f64 / 1e6,
+            p99_ms: merged.quantile_nanos(0.99) as f64 / 1e6,
+            max_ms: merged.max_nanos() as f64 / 1e6,
+            queue_p99_ms: queue.quantile_nanos(0.99) as f64 / 1e6,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub(threshold_ms: u64, cap: usize) -> LiveMetrics {
+        LiveMetrics::new(
+            4,
+            Duration::from_secs(10),
+            Duration::from_millis(threshold_ms),
+            cap,
+            Recorder::new(),
+        )
+    }
+
+    #[test]
+    fn summary_reflects_observed_traffic() {
+        let live = hub(500, 8);
+        live.observe_request(2_000_000, false, Some(false));
+        live.observe_request(4_000_000, false, Some(true));
+        live.observe_request(8_000_000, true, None);
+        let s = live.window_summary();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.errors, 1);
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert!(s.qps > 0.0, "qps {}", s.qps);
+        assert!(s.p99_ms >= s.p50_ms);
+        assert!(s.max_ms >= 8.0, "max {}", s.max_ms);
+    }
+
+    #[test]
+    fn slow_log_respects_threshold() {
+        let live = hub(500, 8);
+        assert!(!live.maybe_log_slow(499_000_000, "a", &[], "q".into(), 1));
+        assert!(live.maybe_log_slow(500_000_000, "b", &[], "q".into(), 1));
+        let records = live.slow_queries(false);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].trace_id, "b");
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_evicts_oldest() {
+        let live = hub(0, 3);
+        for i in 0..5u32 {
+            live.maybe_log_slow(1_000_000, &format!("t{i}"), &[], "q".into(), 1);
+        }
+        let ids: Vec<String> = live
+            .slow_queries(false)
+            .into_iter()
+            .map(|r| r.trace_id)
+            .collect();
+        assert_eq!(ids, vec!["t2", "t3", "t4"], "oldest entries evicted");
+    }
+
+    #[test]
+    fn drain_empties_the_slow_log() {
+        let live = hub(0, 4);
+        live.maybe_log_slow(1, "x", &[], "q".into(), 0);
+        assert_eq!(live.slow_queries(true).len(), 1);
+        assert_eq!(live.slow_len(), 0);
+    }
+}

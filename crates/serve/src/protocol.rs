@@ -63,6 +63,13 @@ pub struct QueryRequest {
     /// exercises only — production clients leave this unset.
     #[serde(default)]
     pub delay_ms: Option<u64>,
+    /// Client-supplied trace id, echoed in the response; the server
+    /// generates one when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace_id: Option<String>,
+    /// Request a per-stage timing breakdown in the response.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 /// One shot to ingest.
@@ -90,9 +97,24 @@ pub enum Request {
     Ingest {
         /// The shots to index.
         shots: Vec<IngestShot>,
+        /// Client-supplied trace id, echoed in the response.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Request a per-stage timing breakdown in the response.
+        #[serde(default)]
+        trace: bool,
     },
     /// Server statistics (epoch, cache, executor, protocol version).
     Stats,
+    /// Live rolling-window metrics snapshot (`medvid-obs/v2`): recent
+    /// qps, latency quantiles, cache and executor health, store status.
+    Metrics,
+    /// Contents of the in-memory slow-query log, oldest first.
+    SlowQueries {
+        /// Also empty the log server-side after reading it.
+        #[serde(default)]
+        drain: bool,
+    },
     /// Persist the current epoch's database as JSON at a server-side path.
     Snapshot {
         /// Target path on the server's filesystem.
@@ -204,6 +226,192 @@ pub struct ExecutorStats {
     pub deadline_misses: u64,
 }
 
+/// One named stage of a traced request, in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`admission`, `cache_lookup`, `queue_wait`,
+    /// `index_search`, `store_append`, `index_build`).
+    pub stage: String,
+    /// Time spent in the stage, microseconds.
+    pub micros: u64,
+}
+
+/// Per-request timing report, returned when the request set its `trace`
+/// flag. The stages are non-overlapping sub-intervals of the request's
+/// lifetime, so their sum never exceeds `total_micros`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// The request's trace id (client-supplied or server-generated).
+    pub trace_id: String,
+    /// End-to-end server-side latency, microseconds.
+    pub total_micros: u64,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageTiming>,
+}
+
+/// One entry of the server's bounded slow-query log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowQueryRecord {
+    /// Trace id of the slow request.
+    pub trace_id: String,
+    /// End-to-end latency, milliseconds.
+    pub total_ms: f64,
+    /// Stage breakdown (empty when the request was not traced in detail —
+    /// the server still records coarse stages for its own slow log).
+    pub stages: Vec<StageTiming>,
+    /// Compact description of the request ("query vector=1 limit=5 ..."),
+    /// never the payload itself.
+    pub shape: String,
+    /// Epoch the request executed against.
+    pub epoch: u64,
+}
+
+/// Rolling-window traffic summary: what happened over roughly the last
+/// two minutes, not since startup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Wall-clock span the summary covers, seconds.
+    pub span_secs: f64,
+    /// Requests completed in the window.
+    pub requests: u64,
+    /// Requests that returned a typed error in the window.
+    pub errors: u64,
+    /// Requests per second over the window.
+    pub qps: f64,
+    /// Errors as a share of requests (0 when idle).
+    pub error_rate: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst request latency in the window, milliseconds.
+    pub max_ms: f64,
+    /// 99th-percentile admission-queue wait, milliseconds.
+    pub queue_p99_ms: f64,
+    /// Result-cache hits in the window.
+    pub cache_hits: u64,
+    /// Result-cache misses in the window.
+    pub cache_misses: u64,
+    /// Hits as a share of lookups (0 when no lookups).
+    pub cache_hit_rate: f64,
+}
+
+/// The live metrics snapshot answered to [`Request::Metrics`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot schema identifier
+    /// ([`medvid_obs::report::LIVE_SCHEMA_VERSION`]).
+    pub schema: String,
+    /// Protocol identifier ([`PROTOCOL_VERSION`]).
+    pub protocol: String,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Indexed shots in the current epoch.
+    pub records: usize,
+    /// Rolling-window traffic summary.
+    pub window: WindowSummary,
+    /// Cumulative result-cache statistics.
+    pub cache: CacheStats,
+    /// Executor statistics (including live queue depth).
+    pub executor: ExecutorStats,
+    /// Durable-store health (WAL bytes/records/fsyncs, poisoned flag);
+    /// absent for in-memory servers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub store: Option<medvid_store::StoreStatus>,
+    /// Entries currently held in the slow-query log.
+    pub slow_queries: usize,
+    /// Slow-query threshold, milliseconds.
+    pub slow_threshold_ms: f64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# TYPE` lines plus `name value` samples) so it can be scraped
+    /// from the CLI without an HTTP endpoint.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge("medvid_uptime_seconds", "Server uptime", self.uptime_secs);
+        gauge("medvid_epoch", "Current database epoch", self.epoch as f64);
+        gauge(
+            "medvid_records",
+            "Indexed shots in the current epoch",
+            self.records as f64,
+        );
+        let w = &self.window;
+        gauge("medvid_window_qps", "Rolling-window requests/s", w.qps);
+        gauge(
+            "medvid_window_error_rate",
+            "Rolling-window error share",
+            w.error_rate,
+        );
+        gauge(
+            "medvid_window_latency_p50_ms",
+            "Rolling-window median latency",
+            w.p50_ms,
+        );
+        gauge(
+            "medvid_window_latency_p99_ms",
+            "Rolling-window p99 latency",
+            w.p99_ms,
+        );
+        gauge(
+            "medvid_window_queue_wait_p99_ms",
+            "Rolling-window p99 queue wait",
+            w.queue_p99_ms,
+        );
+        gauge(
+            "medvid_window_cache_hit_rate",
+            "Rolling-window cache hit share",
+            w.cache_hit_rate,
+        );
+        gauge(
+            "medvid_cache_entries",
+            "Live result-cache entries",
+            self.cache.entries as f64,
+        );
+        gauge(
+            "medvid_executor_queue_depth",
+            "Requests waiting in the admission queue",
+            self.executor.queue_depth as f64,
+        );
+        gauge(
+            "medvid_executor_rejected_total",
+            "Requests shed at admission since startup",
+            self.executor.rejected as f64,
+        );
+        gauge(
+            "medvid_slow_queries_logged",
+            "Entries in the slow-query log",
+            self.slow_queries as f64,
+        );
+        if let Some(store) = &self.store {
+            gauge(
+                "medvid_store_wal_bytes",
+                "Write-ahead log size in bytes",
+                store.wal_bytes as f64,
+            );
+            gauge(
+                "medvid_store_wal_records",
+                "Records in the write-ahead log",
+                store.wal_records as f64,
+            );
+            gauge(
+                "medvid_store_poisoned",
+                "1 when the store refused writes after a failure",
+                if store.poisoned.is_some() { 1.0 } else { 0.0 },
+            );
+        }
+        out
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -218,6 +426,12 @@ pub enum Response {
         hits: Vec<Hit>,
         /// Retrieval cost counters (of the original execution if cached).
         stats: WireStats,
+        /// Trace id of the request (echoed or server-generated).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Per-stage timing, present when the request set its trace flag.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<TraceReport>,
     },
     /// Ingest acknowledged.
     Ingested {
@@ -225,6 +439,12 @@ pub enum Response {
         accepted: usize,
         /// The new epoch.
         epoch: u64,
+        /// Trace id of the request (echoed or server-generated).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
+        /// Per-stage timing, present when the request set its trace flag.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<TraceReport>,
     },
     /// Server statistics.
     Stats {
@@ -259,21 +479,45 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`]; the connection closes after.
     Bye,
+    /// Live rolling-window metrics, answering [`Request::Metrics`].
+    Metrics {
+        /// The snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// Slow-query log contents, answering [`Request::SlowQueries`].
+    SlowQueries {
+        /// Logged slow requests, oldest first.
+        records: Vec<SlowQueryRecord>,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable category.
         kind: ErrorKind,
         /// Human-readable detail.
         message: String,
+        /// Trace id of the failed request, when one was established
+        /// before the failure.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace_id: Option<String>,
     },
 }
 
 impl Response {
-    /// Shorthand for an error response.
+    /// Shorthand for an error response with no trace id.
     pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
         Response::Error {
             kind,
             message: message.into(),
+            trace_id: None,
+        }
+    }
+
+    /// Shorthand for an error response carrying the request's trace id.
+    pub fn traced_error(kind: ErrorKind, message: impl Into<String>, trace_id: &str) -> Self {
+        Response::Error {
+            kind,
+            message: message.into(),
+            trace_id: Some(trace_id.to_string()),
         }
     }
 }

@@ -225,6 +225,7 @@ impl RetryingClient {
                 Ok(Response::Error {
                     kind: ErrorKind::Overloaded,
                     message,
+                    ..
                 }) => {
                     // Load shedding: same connection, back off and retry.
                     last = Some(io::Error::other(format!("server overloaded: {message}")));

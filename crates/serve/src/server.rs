@@ -11,8 +11,12 @@
 
 use crate::cache::{CachedResult, QueryKey, ResultCache};
 use crate::executor::Executor;
-use crate::protocol::{self, ErrorKind, Hit, QueryRequest, Request, Response, PROTOCOL_VERSION};
+use crate::live::{LiveMetrics, DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD};
+use crate::protocol::{
+    self, ErrorKind, Hit, MetricsSnapshot, QueryRequest, Request, Response, PROTOCOL_VERSION,
+};
 use crate::service::{DbService, IngestError};
+use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_CACHE, STAGE_EXECUTE, STAGE_QUEUE_WAIT};
 use medvid_index::{Clearance, Strategy, UserContext, VideoDatabase};
 use medvid_obs::{counters, Recorder, Stage};
 use medvid_store::{RecoveryReport, Store, StoreConfig};
@@ -46,6 +50,14 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Number of rolling-metric windows kept for [`Request::Metrics`].
+    pub window_count: usize,
+    /// Width of one rolling-metric window.
+    pub window_width: Duration,
+    /// Requests slower than this land in the slow-query log.
+    pub slow_query_threshold: Duration,
+    /// Bound on the in-memory slow-query log (oldest entries evicted).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +74,10 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(2),
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(5),
+            window_count: medvid_obs::rolling::DEFAULT_WINDOWS,
+            window_width: Duration::from_nanos(medvid_obs::rolling::DEFAULT_WIDTH_NANOS),
+            slow_query_threshold: DEFAULT_SLOW_THRESHOLD,
+            slow_log_capacity: DEFAULT_SLOW_CAPACITY,
         }
     }
 }
@@ -70,6 +86,7 @@ struct Shared {
     service: DbService,
     cache: ResultCache,
     executor: Executor,
+    live: LiveMetrics,
     config: ServerConfig,
     recorder: Recorder,
     shutdown: AtomicBool,
@@ -183,6 +200,13 @@ fn spawn_service(
         service,
         cache: ResultCache::new(config.cache_capacity, recorder.clone()),
         executor: Executor::new(config.workers, config.queue_capacity, recorder.clone()),
+        live: LiveMetrics::new(
+            config.window_count,
+            config.window_width,
+            config.slow_query_threshold,
+            config.slow_log_capacity,
+            recorder.clone(),
+        ),
         config,
         recorder,
         shutdown: AtomicBool::new(false),
@@ -284,9 +308,10 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             return;
         }
         let shutting_down = matches!(request, Request::Shutdown);
-        let response = dispatch(request, &shared);
+        let outcome = dispatch(request, &shared);
         drop(span);
-        if protocol::send_message(&mut stream, &response).is_err() {
+        observe_outcome(&outcome, &shared);
+        if protocol::send_message(&mut stream, &outcome.response).is_err() {
             return;
         }
         if shutting_down {
@@ -298,20 +323,176 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+/// One dispatched request: the wire response plus the observability
+/// facts the connection loop feeds into the live metrics hub.
+struct Outcome {
+    response: Response,
+    trace: TraceCtx,
+    shape: String,
+    /// `Some(hit?)` for queries that consulted the result cache.
+    cache_hit: Option<bool>,
+}
+
+/// Compact request description for the slow-query log — structure and
+/// sizes only, never payload bytes.
+fn shape_of(request: &Request) -> String {
     match request {
-        Request::Query(q) => dispatch_query(q, shared),
-        Request::Ingest { shots } => match shared.service.ingest(&shots) {
-            Ok((accepted, epoch)) => Response::Ingested { accepted, epoch },
-            Err(e @ IngestError::Record { .. }) => {
-                Response::error(ErrorKind::BadRequest, e.to_string())
+        Request::Query(q) => {
+            let mut s = String::from("query");
+            if let Some(v) = &q.vector {
+                s.push_str(&format!(" vector[{}]", v.len()));
             }
-            // The batch validated but never reached stable storage: the
-            // epoch is unchanged and nothing was acknowledged. The failed
-            // append poisons the store, so a retry is refused (Poisoned)
-            // rather than appending past a possibly-torn WAL region —
-            // queries keep serving; writes need a restart to recover.
-            Err(e @ IngestError::Store(_)) => Response::error(ErrorKind::Store, e.to_string()),
+            if let Some(e) = q.event {
+                s.push_str(&format!(" event={e:?}"));
+            }
+            if let Some(n) = q.under {
+                s.push_str(&format!(" under={}", n.0));
+            }
+            if let Some(c) = q.clearance {
+                s.push_str(&format!(" clearance={c}"));
+            }
+            if let Some(l) = q.limit {
+                s.push_str(&format!(" limit={l}"));
+            }
+            if let Some(st) = q.strategy {
+                s.push_str(&format!(" strategy={st:?}"));
+            }
+            if let Some(d) = q.delay_ms {
+                s.push_str(&format!(" delay_ms={d}"));
+            }
+            s
+        }
+        Request::Ingest { shots, .. } => format!("ingest shots={}", shots.len()),
+        Request::Stats => "stats".to_string(),
+        Request::Metrics => "metrics".to_string(),
+        Request::SlowQueries { .. } => "slow_queries".to_string(),
+        Request::Snapshot { .. } => "snapshot".to_string(),
+        Request::Restore { .. } => "restore".to_string(),
+        Request::Shutdown => "shutdown".to_string(),
+    }
+}
+
+/// Stamps the request's trace id (and, when asked for, the stage
+/// breakdown) onto response variants that carry trace fields.
+fn attach_trace(mut response: Response, ctx: &TraceCtx, detail: bool) -> Response {
+    match &mut response {
+        Response::Results { trace_id, trace, .. } | Response::Ingested { trace_id, trace, .. } => {
+            *trace_id = Some(ctx.id().to_string());
+            if detail {
+                *trace = Some(ctx.report());
+            }
+        }
+        Response::Error { trace_id, .. } => {
+            *trace_id = Some(ctx.id().to_string());
+        }
+        _ => {}
+    }
+    response
+}
+
+/// Feeds one finished request into the rolling windows, the cumulative
+/// error counter, and (past the threshold) the slow-query log.
+fn observe_outcome(outcome: &Outcome, shared: &Arc<Shared>) {
+    let latency = outcome.trace.elapsed_nanos();
+    let error = matches!(outcome.response, Response::Error { .. });
+    if error {
+        shared.recorder.incr(counters::SERVE_ERRORS, 1);
+    }
+    shared.live.observe_request(latency, error, outcome.cache_hit);
+    shared.live.maybe_log_slow(
+        latency,
+        outcome.trace.id(),
+        outcome.trace.stages(),
+        outcome.shape.clone(),
+        shared.service.epoch(),
+    );
+}
+
+fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
+    let snap = shared.service.snapshot();
+    MetricsSnapshot {
+        schema: medvid_obs::report::LIVE_SCHEMA_VERSION.to_string(),
+        protocol: PROTOCOL_VERSION.to_string(),
+        uptime_secs: shared.live.uptime_secs(),
+        epoch: snap.epoch,
+        records: snap.db.len(),
+        window: shared.live.window_summary(),
+        cache: shared.cache.stats(),
+        executor: shared.executor.stats(),
+        store: shared.service.store_status(),
+        slow_queries: shared.live.slow_len(),
+        slow_threshold_ms: shared.live.threshold().as_secs_f64() * 1_000.0,
+    }
+}
+
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Outcome {
+    let shape = shape_of(&request);
+    match request {
+        Request::Query(q) => {
+            // Detail is always recorded server-side so the slow-query log
+            // has a breakdown even for untraced requests; the client only
+            // sees it when the request asked.
+            let mut ctx = TraceCtx::begin(q.trace_id.clone(), true);
+            let wants_detail = q.trace;
+            let (response, cache_hit) = dispatch_query(q, shared, &mut ctx);
+            Outcome {
+                response: attach_trace(response, &ctx, wants_detail),
+                trace: ctx,
+                shape,
+                cache_hit,
+            }
+        }
+        Request::Ingest {
+            shots,
+            trace_id,
+            trace,
+        } => {
+            let mut ctx = TraceCtx::begin(trace_id, true);
+            let response = match shared.service.ingest_traced(&shots, &mut ctx) {
+                Ok((accepted, epoch)) => Response::Ingested {
+                    accepted,
+                    epoch,
+                    trace_id: None,
+                    trace: None,
+                },
+                Err(e @ IngestError::Record { .. }) => {
+                    Response::error(ErrorKind::BadRequest, e.to_string())
+                }
+                // The batch validated but never reached stable storage: the
+                // epoch is unchanged and nothing was acknowledged. The failed
+                // append poisons the store, so a retry is refused (Poisoned)
+                // rather than appending past a possibly-torn WAL region —
+                // queries keep serving; writes need a restart to recover.
+                Err(e @ IngestError::Store(_)) => Response::error(ErrorKind::Store, e.to_string()),
+            };
+            Outcome {
+                response: attach_trace(response, &ctx, trace),
+                trace: ctx,
+                shape,
+                cache_hit: None,
+            }
+        }
+        other => Outcome {
+            response: dispatch_plain(other, shared),
+            trace: TraceCtx::begin(None, false),
+            shape,
+            cache_hit: None,
+        },
+    }
+}
+
+/// Verbs with no tracing surface: stats, metrics, snapshot management,
+/// shutdown.
+fn dispatch_plain(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Query(_) | Request::Ingest { .. } => {
+            unreachable!("traced verbs handled by dispatch")
+        }
+        Request::Metrics => Response::Metrics {
+            snapshot: metrics_snapshot(shared),
+        },
+        Request::SlowQueries { drain } => Response::SlowQueries {
+            records: shared.live.slow_queries(drain),
         },
         Request::Stats => {
             let snap = shared.service.snapshot();
@@ -350,41 +531,64 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
-fn dispatch_query(req: QueryRequest, shared: &Arc<Shared>) -> Response {
+/// Runs a query through validation → cache → admission queue → worker,
+/// marking stages into `ctx` as each boundary is crossed. Returns the
+/// response plus whether the cache was consulted and answered.
+fn dispatch_query(
+    req: QueryRequest,
+    shared: &Arc<Shared>,
+    ctx: &mut TraceCtx,
+) -> (Response, Option<bool>) {
     let snap = shared.service.snapshot();
     // Reject vectors the index cannot measure distances over (a mismatched
     // length would panic deep inside the subspace projections).
     if let (Some(v), Some(expected)) = (req.vector.as_ref(), snap.db.feature_len()) {
         if v.len() != expected {
-            return Response::error(
-                ErrorKind::BadRequest,
-                format!("query vector has {} dims, database has {expected}", v.len()),
+            return (
+                Response::error(
+                    ErrorKind::BadRequest,
+                    format!("query vector has {} dims, database has {expected}", v.len()),
+                ),
+                None,
             );
         }
     }
     if let Some(node) = req.under {
         if node.0 >= snap.db.hierarchy().len() {
-            return Response::error(
-                ErrorKind::BadRequest,
-                format!("unknown concept node {node:?}"),
+            return (
+                Response::error(
+                    ErrorKind::BadRequest,
+                    format!("unknown concept node {node:?}"),
+                ),
+                None,
             );
         }
     }
     let key = QueryKey::canonicalize(&req, shared.config.default_limit);
-    if req.delay_ms.is_none() {
-        if let Some(cached) = shared.cache.get(snap.epoch, &key) {
-            return results_response(snap.epoch, true, &cached);
+    ctx.mark(STAGE_ADMISSION);
+    let uses_cache = req.delay_ms.is_none();
+    if uses_cache {
+        let hit = shared.cache.get(snap.epoch, &key);
+        ctx.mark(STAGE_CACHE);
+        if let Some(cached) = hit {
+            return (results_response(snap.epoch, true, &cached), Some(true));
         }
     }
-    // Miss: run on the worker pool under admission control.
-    let (done_tx, done_rx) = crossbeam::channel::bounded::<Response>(1);
+    // Miss: run on the worker pool under admission control. The worker
+    // reports its own (queue wait, execution) split back alongside the
+    // response; both intervals nest inside this thread's blocking wait,
+    // so folding them into `ctx` preserves the stage-sum ≤ total bound.
+    let (done_tx, done_rx) = crossbeam::channel::bounded::<(Response, u64, u64)>(1);
     let job_shared = Arc::clone(shared);
     let job_snap = Arc::clone(&snap);
-    let deadline = Instant::now() + shared.config.deadline;
+    let submitted_at = Instant::now();
+    let deadline = submitted_at + shared.config.deadline;
     let expired_tx = done_tx.clone();
     let submitted = shared.executor.submit(
         Some(deadline),
         Box::new(move || {
+            let queue_wait = submitted_at.elapsed().as_nanos() as u64;
+            let exec_start = Instant::now();
             let _span = job_shared.recorder.span(Stage::ServeExec);
             if let Some(ms) = req.delay_ms {
                 std::thread::sleep(Duration::from_millis(ms));
@@ -396,24 +600,43 @@ fn dispatch_query(req: QueryRequest, shared: &Arc<Shared>) -> Response {
                     .cache
                     .put(job_snap.epoch, key, Arc::clone(&result));
             }
-            let _ = done_tx.send(results_response(job_snap.epoch, false, &result));
+            let exec = exec_start.elapsed().as_nanos() as u64;
+            let _ = done_tx.send((results_response(job_snap.epoch, false, &result), queue_wait, exec));
         }),
         Box::new(move || {
-            let _ = expired_tx.send(Response::error(
-                ErrorKind::DeadlineExceeded,
-                "request waited in queue past its deadline",
+            let queue_wait = submitted_at.elapsed().as_nanos() as u64;
+            let _ = expired_tx.send((
+                Response::error(
+                    ErrorKind::DeadlineExceeded,
+                    "request waited in queue past its deadline",
+                ),
+                queue_wait,
+                0,
             ));
         }),
     );
     if submitted.is_err() {
-        return Response::error(ErrorKind::Overloaded, "admission queue is full");
+        return (
+            Response::error(ErrorKind::Overloaded, "admission queue is full"),
+            None,
+        );
     }
     // Workers always send exactly one message per admitted job; the margin
     // covers execution time after a just-in-time dequeue.
     let wait = shared.config.deadline + shared.config.write_timeout + Duration::from_secs(30);
     match done_rx.recv_timeout(wait) {
-        Ok(resp) => resp,
-        Err(_) => Response::error(ErrorKind::Internal, "worker did not produce a response"),
+        Ok((resp, queue_wait, exec)) => {
+            ctx.add_stage(STAGE_QUEUE_WAIT, queue_wait);
+            if exec > 0 {
+                ctx.add_stage(STAGE_EXECUTE, exec);
+            }
+            shared.live.observe_queue_wait(queue_wait);
+            (resp, if uses_cache { Some(false) } else { None })
+        }
+        Err(_) => (
+            Response::error(ErrorKind::Internal, "worker did not produce a response"),
+            None,
+        ),
     }
 }
 
@@ -442,6 +665,8 @@ fn results_response(epoch: u64, cached: bool, result: &CachedResult) -> Response
     Response::Results {
         epoch,
         cached,
+        trace_id: None,
+        trace: None,
         hits: result
             .hits
             .iter()

@@ -19,6 +19,7 @@
 //! store's sequence-number watermark.
 
 use crate::protocol::IngestShot;
+use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_BUILD, STAGE_STORE_APPEND};
 use medvid_index::{RecordError, VideoDatabase};
 use medvid_obs::{counters, Recorder};
 use medvid_store::{CheckpointStats, Store, StoreError, StoreStatus, StoredShot, WalOp};
@@ -128,6 +129,20 @@ impl DbService {
     /// [`StoreError::Poisoned`] rather than appending past possibly-torn
     /// bytes or reusing an unacknowledged sequence number.
     pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), IngestError> {
+        self.ingest_traced(shots, &mut TraceCtx::begin(None, false))
+    }
+
+    /// [`DbService::ingest`], marking validation, WAL-append, and
+    /// build-and-swap stages into `trace` so the server can return a
+    /// per-stage breakdown and attribute slow ingests.
+    ///
+    /// # Errors
+    /// Same contract as [`DbService::ingest`].
+    pub fn ingest_traced(
+        &self,
+        shots: &[IngestShot],
+        trace: &mut TraceCtx,
+    ) -> Result<(usize, u64), IngestError> {
         let mut writer = self.writer.lock();
         let base = self.snapshot();
         let mut db = base.db.clone();
@@ -139,6 +154,7 @@ impl DbService {
             db.try_insert_shot(shot, s.features.clone(), s.event, s.scene_node)
                 .map_err(|error| IngestError::Record { index: i, error })?;
         }
+        trace.mark(STAGE_ADMISSION);
         if let Some(store) = writer.as_mut() {
             let op = match shots {
                 [one] => WalOp::IngestShot {
@@ -149,10 +165,12 @@ impl DbService {
                 },
             };
             store.append(&[op]).map_err(IngestError::Store)?;
+            trace.mark(STAGE_STORE_APPEND);
         }
         db.build();
         let epoch = base.epoch + 1;
         *self.current.write() = Arc::new(DbEpoch { epoch, db });
+        trace.mark(STAGE_BUILD);
         self.recorder
             .incr(counters::SERVE_INGESTED_SHOTS, shots.len() as u64);
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);

@@ -188,14 +188,14 @@ impl FftPlan {
         assert!(n.is_power_of_two(), "FFT length must be a power of two");
         let mut rev = vec![0usize; n];
         let mut j = 0usize;
-        for i in 1..n {
+        for r in rev.iter_mut().skip(1) {
             let mut bit = n >> 1;
             while j & bit != 0 {
                 j ^= bit;
                 bit >>= 1;
             }
             j |= bit;
-            rev[i] = j;
+            *r = j;
         }
         let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
         let mut len = 2;

@@ -30,6 +30,7 @@ cargo test -q -p medvid-par --test testkit_laws
 cargo test -q -p medvid-audio --test testkit_bic
 cargo test -q -p medvid-codec --test testkit_fuzz
 cargo test -q -p medvid-serve --test protocol_fuzz
+cargo test -q -p medvid-serve --test observability_integration
 cargo test -q -p medvid-index --test persist_faults
 cargo test -q -p medvid-store --test crash_consistency
 cargo test -q -p medvid --test serve_faults

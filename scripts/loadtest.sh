@@ -11,4 +11,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -p medvid-eval --bin exp_loadtest -- "${1:-}"
+# The run itself asserts the server's Metrics verb answered with a live
+# rolling window; re-check the marker line here so a refactor that drops
+# the probe fails the script, not just the artefact.
+out="$(cargo run --release -p medvid-eval --bin exp_loadtest -- "${1:-}" | tee /dev/stderr)"
+if ! grep -q "metrics verb: ok" <<<"$out"; then
+    echo "loadtest: Metrics verb did not answer with a live window" >&2
+    exit 1
+fi

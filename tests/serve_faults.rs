@@ -40,6 +40,8 @@ fn to_wire(spec: &QuerySpec) -> QueryRequest {
             WireStrategy::Hierarchical
         }),
         delay_ms: None,
+        trace_id: None,
+        trace: false,
     }
 }
 

@@ -106,9 +106,15 @@ fn overload_sheds_with_structured_rejection() {
         },
     );
     // Occupy the single worker, then the single queue slot, with slow
-    // queries; the third must be refused at admission, not queued.
+    // queries; the third must be refused at admission, not queued. The
+    // pause between the two submissions lets the worker dequeue the first
+    // before the second arrives — submitting both at once races the worker
+    // for the single queue slot and can reject the second instead.
     let slow: Vec<_> = (0..2)
-        .map(|_| {
+        .map(|i| {
+            if i > 0 {
+                std::thread::sleep(Duration::from_millis(250));
+            }
             let mut client = connect(&handle);
             let probe = probe.clone();
             std::thread::spawn(move || {
@@ -175,6 +181,7 @@ fn ingest_swaps_epochs_and_serves_the_new_shot() {
     let Response::Ingested {
         accepted,
         epoch: new_epoch,
+        ..
     } = response
     else {
         panic!("expected ingest ack, got {response:?}");
