@@ -1,0 +1,224 @@
+//! Offline vendored shim for the subset of `criterion` this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `sample_size` and `Bencher::iter`.
+//!
+//! No statistics, plots or reports — each benchmark runs a short warmup
+//! plus a fixed number of timed iterations and prints mean wall-clock per
+//! iteration. Enough to compile `cargo bench --no-run` targets and to eye
+//! relative regressions offline; not a replacement for real criterion.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier, e.g. `new("flat", 1024)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds a bare parameter id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` run.
+    last_mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warmup call, then `iters` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_mean_nanos = total.as_nanos() as f64 / self.iters.max(1) as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (mapped to timed iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.crit.iters = (n as u64).clamp(1, 1000);
+        self
+    }
+
+    /// Records a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.crit.iters,
+            last_mean_nanos: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.last_mean_nanos);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.crit.iters,
+            last_mean_nanos: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_mean_nanos);
+        self
+    }
+
+    /// Ends the group (no-op; matches the criterion API).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean_nanos: f64) {
+        let tp = match &self.throughput {
+            Some(Throughput::Elements(n)) if mean_nanos > 0.0 => {
+                format!("  ({:.1} Melem/s)", *n as f64 / mean_nanos * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean_nanos > 0.0 => {
+                format!("  ({:.1} MiB/s)", *n as f64 / mean_nanos * 1e3 / 1.048_576)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12.1} ns/iter{}",
+            self.name, id, mean_nanos, tp
+        );
+    }
+}
+
+/// Entry point: holds run configuration shared by groups.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline bench runs quick: ~20 timed iterations/bench.
+        Criterion { iters: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_mean_nanos: 0.0,
+        };
+        f(&mut b);
+        println!("{}: {:>12.1} ns/iter", id, b.last_mean_nanos);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline vendored shim for the subset of `crossbeam` this workspace
+//! uses: `crossbeam::channel` bounded MPMC channels.
+//!
+//! Implemented as a `Mutex<VecDeque>` + two condvars. Not as fast as the
+//! real lock-free channel, but the serving executor touches it once per
+//! request (not per frame), so a mutex-guarded ring is well within budget.
+
+pub mod channel {
+    //! Bounded multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    /// Sending half of a bounded channel. Cloneable (multi-producer).
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a bounded channel. Cloneable (multi-consumer).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver is gone; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Creates a bounded FIFO channel of capacity `cap` (at least 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Attempts to enqueue without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if st.queue.len() >= self.0.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues, blocking while the channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.queue.len() < self.0.cap {
+                    st.queue.push_back(msg);
+                    drop(st);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues, blocking until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Dequeues with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.0.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_order_and_capacity() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_unblocks_on_sender_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            let h = thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn cross_thread_handoff() {
+            let (tx, rx) = bounded::<u32>(1);
+            let h = thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(i));
+            }
+            h.join().unwrap();
+        }
+    }
+}

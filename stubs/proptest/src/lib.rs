@@ -1,0 +1,436 @@
+//! Offline vendored shim for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro with `in`-bound arguments, range and `any::<T>()`
+//! strategies, tuple composition, `prop::collection::vec`, `prop_map`,
+//! and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure corpus:
+//! cases are generated from a deterministic per-test seed (fn name hash ×
+//! case index, overridable via `PROPTEST_SEED`), so failures reproduce
+//! exactly on rerun. A failing case panics with the case number and seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case RNG (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one named test case.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0x5EED_0FC1_A550_0001);
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+        }
+        TestRng {
+            state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases per property (default 64).
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Scalars usable as range-strategy endpoints. The `Strategy` impls for
+/// `Range<T>`/`RangeInclusive<T>` are blanket over this trait so type
+/// inference unifies unsuffixed literals with the surrounding context.
+pub trait RangeEndpoint: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_endpoint(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! endpoint_int {
+    ($($t:ty),*) => {$(
+        impl RangeEndpoint for $t {
+            fn sample_endpoint(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range strategy");
+                // Full-domain inclusive u64/i64 ranges exceed u64: draw raw.
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+endpoint_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! endpoint_float {
+    ($($t:ty),*) => {$(
+        impl RangeEndpoint for $t {
+            fn sample_endpoint(lo: Self, hi: Self, _inclusive: bool, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+endpoint_float!(f32, f64);
+
+impl<T: RangeEndpoint> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::sample_endpoint(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: RangeEndpoint> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_endpoint(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Types with a full-domain default strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_f64() * 2.0 - 1.0) as f32 * 1e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_f64() * 2.0 - 1.0) * 1e12
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// Strategy for [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! strategy_tuples {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuples! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6, 7 S7)
+}
+
+/// Built-in strategy combinators (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Length specifications accepted by [`vec`].
+        pub trait SizeRange {
+            /// Draws a length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + (rng.next_u64() as usize) % (self.end - self.start)
+            }
+        }
+
+        /// Strategy for vectors of `element` values.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A vector strategy with element strategy and length spec.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in STRATEGY, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..(__config.cases as u64) {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(__msg) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}",
+                                __case + 1,
+                                __config.cases,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u8..=255, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            let _ = y;
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_composition(
+            v in prop::collection::vec(any::<u64>(), 0..20),
+            (a, b) in (1usize..5, 1usize..5).prop_map(|(a, b)| (a, a + b)),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(b > a);
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

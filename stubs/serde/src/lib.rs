@@ -1,0 +1,667 @@
+//! Offline vendored shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde streams through a 29-method visitor API; this shim routes
+//! everything through one owned value tree ([`__private::Content`]). A
+//! [`Serializer`] receives the fully built tree; a [`Deserializer`] hands
+//! one back. That keeps the trait surface tiny while preserving the public
+//! signatures the workspace compiles against:
+//!
+//! * `derive(Serialize, Deserialize)` via the companion `serde_derive`
+//!   shim (enabled by the `derive` feature, like upstream);
+//! * hand-written impls of the form
+//!   `fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`
+//!   that forward to another type's impl;
+//! * `serde::de::DeserializeOwned` bounds;
+//! * `serde::ser::Error` / `serde::de::Error` `custom(..)` constructors.
+//!
+//! Formats (here: the sibling `serde_json` shim) implement the two traits
+//! by rendering/parsing `Content`.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half: types that can describe themselves to a
+/// [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that consumes one [`__private::Content`] tree.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Consumes the fully built value tree.
+    fn serialize_content(self, content: __private::Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Deserialization half: types reconstructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that produces one [`__private::Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Parses the input into a value tree.
+    fn deserialize_content(self) -> Result<__private::Content, Self::Error>;
+}
+
+/// Serialization error support.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`Serializer`](crate::Serializer) can produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error support and owned-deserialization marker.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`Deserializer`](crate::Deserializer) can produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable from any lifetime (all of this
+    /// shim's types: `Content` is owned).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// The shim's shared error type (used by `Content` round-trips).
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Support machinery shared by the derive macro and format crates. Public
+/// because generated code and `serde_json` call into it; not a stable API.
+pub mod __private {
+    use super::{de, Deserializer, Error, Serialize, Serializer};
+
+    /// The owned value tree every serialization routes through. Mirrors
+    /// the JSON data model (which is all this workspace needs).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// Absent / null.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Sequence.
+        Seq(Vec<Content>),
+        /// Key-ordered map (insertion order preserved).
+        Map(Vec<(String, Content)>),
+    }
+
+    /// Serializer that just hands the built tree back.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = Error;
+
+        fn serialize_content(self, content: Content) -> Result<Content, Error> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer over an owned tree.
+    pub struct ContentDeserializer(pub Content);
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = Error;
+
+        fn deserialize_content(self) -> Result<Content, Error> {
+            Ok(self.0)
+        }
+    }
+
+    /// Serializes any value into a [`Content`] tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, Error> {
+        value.serialize(ContentSerializer)
+    }
+
+    /// Deserializes any owned value out of a [`Content`] tree.
+    pub fn from_content<T: de::DeserializeOwned>(content: Content) -> Result<T, Error> {
+        T::deserialize(ContentDeserializer(content))
+    }
+
+    fn type_name(c: &Content) -> &'static str {
+        match c {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Unwraps a map tree (derive support for struct bodies).
+    pub fn content_map(c: Content) -> Result<Vec<(String, Content)>, Error> {
+        match c {
+            Content::Map(m) => Ok(m),
+            other => Err(Error(format!("expected a map, found {}", type_name(&other)))),
+        }
+    }
+
+    /// Unwraps a sequence tree (derive support for tuple bodies).
+    pub fn content_seq(c: Content) -> Result<Vec<Content>, Error> {
+        match c {
+            Content::Seq(s) => Ok(s),
+            other => Err(Error(format!(
+                "expected a sequence, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+
+    /// Removes and deserializes a required field; errors when missing.
+    pub fn take_req<T: de::DeserializeOwned>(
+        map: &mut Vec<(String, Content)>,
+        key: &str,
+    ) -> Result<T, Error> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                let (_, v) = map.remove(i);
+                from_content(v).map_err(|e| Error(format!("field `{key}`: {}", e.0)))
+            }
+            None => Err(Error(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Removes and deserializes an optional/defaulted field; missing →
+    /// `Default::default()` (covers both `Option<T>` fields and
+    /// `#[serde(default)]`).
+    pub fn take_opt<T: de::DeserializeOwned + Default>(
+        map: &mut Vec<(String, Content)>,
+        key: &str,
+    ) -> Result<T, Error> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                let (_, v) = map.remove(i);
+                if matches!(v, Content::Null) {
+                    return Ok(T::default());
+                }
+                from_content(v).map_err(|e| Error(format!("field `{key}`: {}", e.0)))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Renders a map key: JSON object keys are strings, so non-string
+    /// serializable keys (e.g. integer newtype ids) are stringified.
+    pub fn key_string(c: Content) -> Result<String, Error> {
+        match c {
+            Content::Str(s) => Ok(s),
+            Content::U64(n) => Ok(n.to_string()),
+            Content::I64(n) => Ok(n.to_string()),
+            Content::Bool(b) => Ok(b.to_string()),
+            other => Err(Error(format!(
+                "map key must be scalar, found {}",
+                type_name(&other)
+            ))),
+        }
+    }
+
+    /// Re-exported so generated code can spell trait method calls.
+    pub use super::{de as de_mod, ser as ser_mod};
+    #[allow(unused_imports)]
+    use super::impls as _;
+}
+
+mod impls {
+    //! `Serialize`/`Deserialize` for std types, mirroring serde's built-in
+    //! impl set (restricted to what this workspace touches).
+
+    use super::__private::{content_map, content_seq, key_string, to_content, Content};
+    #[cfg(test)]
+    use super::__private::from_content;
+    use super::{Deserialize, Deserializer, Error, Serialize, Serializer};
+    use std::collections::{BTreeMap, HashMap};
+    use std::hash::{BuildHasher, Hash};
+
+    fn de_err<E: super::de::Error>(e: Error) -> E {
+        E::custom(e)
+    }
+
+    fn ser_err<E: super::ser::Error>(e: Error) -> E {
+        E::custom(e)
+    }
+
+    macro_rules! ser_de_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.serialize_content(Content::U64(*self as u64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let c = d.deserialize_content()?;
+                    let v: u64 = match c {
+                        Content::U64(n) => n,
+                        Content::I64(n) if n >= 0 => n as u64,
+                        Content::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                            f as u64
+                        }
+                        Content::Str(s) => s
+                            .parse::<u64>()
+                            .map_err(|_| de_err(Error(format!("invalid integer `{s}`"))))?,
+                        other => {
+                            return Err(de_err(Error(format!(
+                                "expected unsigned integer, found {other:?}"
+                            ))))
+                        }
+                    };
+                    <$t>::try_from(v)
+                        .map_err(|_| de_err(Error(format!("integer {v} out of range"))))
+                }
+            }
+        )*};
+    }
+    ser_de_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! ser_de_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let v = *self as i64;
+                    if v >= 0 {
+                        s.serialize_content(Content::U64(v as u64))
+                    } else {
+                        s.serialize_content(Content::I64(v))
+                    }
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let c = d.deserialize_content()?;
+                    let v: i64 = match c {
+                        Content::I64(n) => n,
+                        Content::U64(n) if n <= i64::MAX as u64 => n as i64,
+                        Content::F64(f) if f.fract() == 0.0 => f as i64,
+                        Content::Str(s) => s
+                            .parse::<i64>()
+                            .map_err(|_| de_err(Error(format!("invalid integer `{s}`"))))?,
+                        other => {
+                            return Err(de_err(Error(format!(
+                                "expected integer, found {other:?}"
+                            ))))
+                        }
+                    };
+                    <$t>::try_from(v)
+                        .map_err(|_| de_err(Error(format!("integer {v} out of range"))))
+                }
+            }
+        )*};
+    }
+    ser_de_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! ser_de_float {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.serialize_content(Content::F64(*self as f64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let c = d.deserialize_content()?;
+                    let v = match c {
+                        Content::F64(f) => f,
+                        Content::U64(n) => n as f64,
+                        Content::I64(n) => n as f64,
+                        Content::Null => f64::NAN,
+                        other => {
+                            return Err(de_err(Error(format!(
+                                "expected float, found {other:?}"
+                            ))))
+                        }
+                    };
+                    Ok(v as $t)
+                }
+            }
+        )*};
+    }
+    ser_de_float!(f32, f64);
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Bool(*self))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.deserialize_content()? {
+                Content::Bool(b) => Ok(b),
+                other => Err(de_err(Error(format!("expected bool, found {other:?}")))),
+            }
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Str(self.to_string()))
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Str(self.clone()))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.deserialize_content()? {
+                Content::Str(s) => Ok(s),
+                other => Err(de_err(Error(format!("expected string, found {other:?}")))),
+            }
+        }
+    }
+
+    impl Serialize for char {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Str(self.to_string()))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for char {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.deserialize_content()? {
+                Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+                other => Err(de_err(Error(format!("expected char, found {other:?}")))),
+            }
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Box::new)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => v.serialize(s),
+                None => s.serialize_content(Content::Null),
+            }
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.deserialize_content()? {
+                Content::Null => Ok(None),
+                c => T::deserialize(super::__private::ContentDeserializer(c))
+                    .map(Some)
+                    .map_err(de_err),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = Vec::with_capacity(self.len());
+            for item in self {
+                seq.push(to_content(item).map_err(ser_err)?);
+            }
+            s.serialize_content(Content::Seq(seq))
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let seq = content_seq(d.deserialize_content()?).map_err(de_err)?;
+            seq.into_iter()
+                .map(|c| {
+                    T::deserialize(super::__private::ContentDeserializer(c)).map_err(de_err)
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! ser_de_tuple {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let seq = vec![$(to_content(&self.$n).map_err(ser_err::<S::Error>)?),+];
+                    s.serialize_content(Content::Seq(seq))
+                }
+            }
+            impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let seq = content_seq(d.deserialize_content()?).map_err(de_err::<D::Error>)?;
+                    let expect = [$($n),+].len();
+                    if seq.len() != expect {
+                        return Err(de_err(Error(format!(
+                            "expected a tuple of {expect}, found {} elements",
+                            seq.len()
+                        ))));
+                    }
+                    let mut it = seq.into_iter();
+                    Ok(($(
+                        $t::deserialize(super::__private::ContentDeserializer(
+                            it.next().expect("length checked"),
+                        ))
+                        .map_err(de_err::<D::Error>)?,
+                    )+))
+                }
+            }
+        )*};
+    }
+    ser_de_tuple! {
+        (0 T0)
+        (0 T0, 1 T1)
+        (0 T0, 1 T1, 2 T2)
+        (0 T0, 1 T1, 2 T2, 3 T3)
+        (0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+        (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+    }
+
+    fn map_to_content<'a, K: Serialize + 'a, V: Serialize + 'a>(
+        entries: impl Iterator<Item = (&'a K, &'a V)>,
+    ) -> Result<Content, Error> {
+        let mut out = Vec::new();
+        for (k, v) in entries {
+            out.push((key_string(to_content(k)?)?, to_content(v)?));
+        }
+        Ok(Content::Map(out))
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let c = map_to_content(self.iter()).map_err(ser_err)?;
+            s.serialize_content(c)
+        }
+    }
+
+    impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            // Deterministic output: sort by rendered key.
+            let mut entries: Vec<(String, Content)> = Vec::new();
+            for (k, v) in self {
+                entries.push((
+                    key_string(to_content(k).map_err(ser_err::<S::Error>)?)
+                        .map_err(ser_err::<S::Error>)?,
+                    to_content(v).map_err(ser_err::<S::Error>)?,
+                ));
+            }
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            s.serialize_content(Content::Map(entries))
+        }
+    }
+
+    fn map_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>, E: super::de::Error>(
+        c: Content,
+    ) -> Result<Vec<(K, V)>, E> {
+        let m = content_map(c).map_err(de_err::<E>)?;
+        m.into_iter()
+            .map(|(k, v)| {
+                let key = K::deserialize(super::__private::ContentDeserializer(Content::Str(k)))
+                    .map_err(de_err::<E>)?;
+                let val =
+                    V::deserialize(super::__private::ContentDeserializer(v)).map_err(de_err::<E>)?;
+                Ok((key, val))
+            })
+            .collect()
+    }
+
+    impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Ok(map_entries::<K, V, D::Error>(d.deserialize_content()?)?
+                .into_iter()
+                .collect())
+        }
+    }
+
+    impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>, H: BuildHasher + Default>
+        Deserialize<'de> for HashMap<K, V, H>
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            Ok(map_entries::<K, V, D::Error>(d.deserialize_content()?)?
+                .into_iter()
+                .collect())
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(Content::Null)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for () {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let _ = d.deserialize_content()?;
+            Ok(())
+        }
+    }
+
+    impl Serialize for Content {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_content(self.clone())
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Content {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            d.deserialize_content()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scalar_roundtrips() {
+            for v in [0u64, 1, u64::MAX] {
+                let c = to_content(&v).unwrap();
+                assert_eq!(from_content::<u64>(c).unwrap(), v);
+            }
+            let c = to_content(&-42i64).unwrap();
+            assert_eq!(from_content::<i64>(c).unwrap(), -42);
+            let c = to_content(&1.5f64).unwrap();
+            assert_eq!(from_content::<f64>(c).unwrap(), 1.5);
+            let c = to_content(&true).unwrap();
+            assert!(from_content::<bool>(c).unwrap());
+        }
+
+        #[test]
+        fn containers_roundtrip() {
+            let v = vec![(1usize, 2.0f32), (3, 4.0)];
+            let c = to_content(&v).unwrap();
+            assert_eq!(from_content::<Vec<(usize, f32)>>(c).unwrap(), v);
+
+            let mut m = BTreeMap::new();
+            m.insert("a".to_string(), 1u64);
+            let c = to_content(&m).unwrap();
+            assert_eq!(from_content::<BTreeMap<String, u64>>(c).unwrap(), m);
+
+            let o: Option<u32> = None;
+            assert_eq!(to_content(&o).unwrap(), Content::Null);
+            assert_eq!(from_content::<Option<u32>>(Content::Null).unwrap(), None);
+        }
+
+        #[test]
+        fn int_keyed_maps_stringify() {
+            let mut m = BTreeMap::new();
+            m.insert(7u64, "x".to_string());
+            let c = to_content(&m).unwrap();
+            assert_eq!(
+                c,
+                Content::Map(vec![("7".into(), Content::Str("x".into()))])
+            );
+            assert_eq!(from_content::<BTreeMap<u64, String>>(c).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! Offline vendored shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly over `proc_macro` token
+//! trees (no `syn`/`quote`), targeting the companion `serde` shim's
+//! `Content` value-tree model.
+//!
+//! Supported container shapes: named-field structs, newtype/tuple structs,
+//! enums with unit/newtype/tuple/struct variants. Supported attributes —
+//! the set this workspace uses:
+//!
+//! * container: `#[serde(tag = "...")]` (internal tagging),
+//!   `#[serde(rename_all = "snake_case")]`, `#[serde(transparent)]`
+//! * field: `#[serde(default)]`, `#[serde(rename = "...")]`,
+//!   `#[serde(skip_serializing_if = "path")]`
+//!
+//! Missing `Option<T>` fields deserialize to `None` (matching serde), and
+//! unknown fields are ignored (matching `serde_json`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed intermediate representation
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+    transparent: bool,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn key(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
+
+    fn is_option(&self) -> bool {
+        self.ty.starts_with("Option <")
+            || self.ty.starts_with(":: std :: option :: Option <")
+            || self.ty.starts_with("std :: option :: Option <")
+            || self.ty.starts_with("core :: option :: Option <")
+    }
+
+    fn lenient(&self) -> bool {
+        self.attrs.default || self.is_option()
+    }
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    impl_generics: String,
+    type_args: String,
+    where_clause: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+}
+
+/// Joins token trees back into surface syntax. A single space between
+/// tokens is always valid Rust except inside lifetimes, which are glued.
+fn tts_to_string(toks: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut glue_next = false;
+    for t in toks {
+        let s = match t {
+            TokenTree::Group(g) => {
+                let inner = tts_to_string(&g.stream().into_iter().collect::<Vec<_>>());
+                match g.delimiter() {
+                    Delimiter::Parenthesis => format!("( {inner} )"),
+                    Delimiter::Brace => format!("{{ {inner} }}"),
+                    Delimiter::Bracket => format!("[ {inner} ]"),
+                    Delimiter::None => inner,
+                }
+            }
+            other => other.to_string(),
+        };
+        if !out.is_empty() && !glue_next {
+            out.push(' ');
+        }
+        glue_next = matches!(t, TokenTree::Punct(p) if p.as_char() == '\'');
+        out.push_str(&s);
+    }
+    out
+}
+
+fn lit_string(tok: &TokenTree) -> String {
+    let s = tok.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Consumes leading attributes, folding `#[serde(...)]` metas into
+/// container/field attr structs via `on_meta`.
+fn parse_attrs(c: &mut Cursor, mut on_meta: impl FnMut(&str, Option<String>)) {
+    while c.at_punct('#') {
+        c.next(); // '#'
+        let Some(TokenTree::Group(g)) = c.next() else {
+            return;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let is_serde = matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let mut ac = Cursor::new(args.stream());
+        while let Some(tok) = ac.next() {
+            let TokenTree::Ident(key) = tok else {
+                continue;
+            };
+            let key = key.to_string();
+            let value = if ac.at_punct('=') {
+                ac.next();
+                ac.next().map(|v| lit_string(&v))
+            } else {
+                None
+            };
+            on_meta(&key, value);
+            if ac.at_punct(',') {
+                ac.next();
+            }
+        }
+    }
+}
+
+/// Collects the `<...>` generics group (cursor positioned on `<`). Returns
+/// `(impl_generics, type_args)` — e.g. `("<'a, T: Serialize>", "<'a, T>")`.
+fn parse_generics(c: &mut Cursor) -> (String, String) {
+    c.next(); // '<'
+    let mut depth = 1usize;
+    let mut toks: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let Some(t) = c.next() else { break };
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        toks.push(t);
+    }
+    // Split parameters at top-level commas, take each parameter's name.
+    let mut names: Vec<String> = Vec::new();
+    let mut d = 0usize;
+    let mut start_of_param = true;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => d += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => d = d.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && d == 0 => start_of_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && d == 0 && start_of_param => {
+                if let Some(TokenTree::Ident(id)) = toks.get(i + 1) {
+                    names.push(format!("'{id}"));
+                }
+                start_of_param = false;
+                i += 1;
+            }
+            TokenTree::Ident(id) if d == 0 && start_of_param => {
+                let id = id.to_string();
+                if id != "const" {
+                    names.push(id);
+                    start_of_param = false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (
+        format!("< {} >", tts_to_string(&toks)),
+        format!("< {} >", names.join(", ")),
+    )
+}
+
+/// Parses the fields of a braced (named-field) body.
+fn parse_named_fields(group_stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group_stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        parse_attrs(&mut c, |key, value| match key {
+            "default" => attrs.default = true,
+            "rename" => attrs.rename = value,
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            _ => {}
+        });
+        if c.at_ident("pub") {
+            c.next();
+            if matches!(c.peek(), Some(TokenTree::Group(_))) {
+                c.next(); // pub(crate) etc.
+            }
+        }
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        c.next(); // ':'
+        let mut depth = 0usize;
+        let mut ty: Vec<TokenTree> = Vec::new();
+        while let Some(t) = c.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        c.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.push(c.next().expect("peeked"));
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            ty: tts_to_string(&ty),
+            attrs,
+        });
+    }
+    fields
+}
+
+/// Counts the elements of a parenthesised (tuple) body.
+fn parse_tuple_arity(group_stream: TokenStream) -> usize {
+    let mut c = Cursor::new(group_stream);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut arity = 1usize;
+    let mut depth = 0usize;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' | '(' => depth += 1,
+                '>' | ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 && c.peek().is_some() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(group_stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group_stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        parse_attrs(&mut c, |_, _| {});
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                c.next();
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    parse_attrs(&mut c, |key, value| match key {
+        "tag" => attrs.tag = value,
+        "rename_all" => attrs.rename_all_snake = true,
+        "transparent" => attrs.transparent = true,
+        _ => {}
+    });
+    if c.at_ident("pub") {
+        c.next();
+        if matches!(c.peek(), Some(TokenTree::Group(_))) {
+            c.next();
+        }
+    }
+    let Some(TokenTree::Ident(kw)) = c.next() else {
+        panic!("serde_derive shim: expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("serde_derive shim: expected type name");
+    };
+    let (impl_generics, type_args) = if c.at_punct('<') {
+        parse_generics(&mut c)
+    } else {
+        (String::new(), String::new())
+    };
+    let mut where_clause = String::new();
+    if c.at_ident("where") {
+        let mut toks: Vec<TokenTree> = Vec::new();
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Group(g) if g.delimiter() != Delimiter::None) {
+                break;
+            }
+            toks.push(c.next().expect("peeked"));
+        }
+        where_clause = tts_to_string(&toks);
+    }
+    let body = match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(parse_tuple_arity(g.stream())))
+            }
+            _ => Body::Struct(Shape::Unit),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: enum without a body"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    Input {
+        name: name.to_string(),
+        impl_generics,
+        type_args,
+        where_clause,
+        attrs,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i != 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_key(input: &Input, variant: &str) -> String {
+    if input.attrs.rename_all_snake {
+        snake(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// `__m.push(("key", to_content(expr)?));` with optional skip predicate.
+fn ser_push(field: &Field, expr: &str, out: &mut String) {
+    let key = field.key();
+    let push = format!(
+        "__m.push((::std::string::String::from(\"{key}\"), \
+         ::serde::__private::to_content({expr}).map_err({SER_ERR})?));"
+    );
+    match &field.attrs.skip_serializing_if {
+        Some(pred) => out.push_str(&format!("if !({pred})({expr}) {{ {push} }}\n")),
+        None => {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+}
+
+fn de_take(field: &Field) -> String {
+    let key = field.key();
+    let take = if field.lenient() { "take_opt" } else { "take_req" };
+    format!("::serde::__private::{take}(&mut __m, \"{key}\").map_err({DE_ERR})?")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let ig = &input.impl_generics;
+    let ta = &input.type_args;
+    let wc = &input.where_clause;
+    let mut body = String::new();
+    match &input.body {
+        Body::Struct(Shape::Unit) => {
+            body.push_str("__s.serialize_content(::serde::__private::Content::Null)");
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            // Newtype (and `#[serde(transparent)]`): forward to the inner
+            // value, exactly like upstream serde.
+            body.push_str("::serde::Serialize::serialize(&self.0, __s)");
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            body.push_str("let mut __seq: ::std::vec::Vec<::serde::__private::Content> = ::std::vec::Vec::new();\n");
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "__seq.push(::serde::__private::to_content(&self.{i}).map_err({SER_ERR})?);\n"
+                ));
+            }
+            body.push_str("__s.serialize_content(::serde::__private::Content::Seq(__seq))");
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            if input.attrs.transparent && fields.len() == 1 {
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize(&self.{}, __s)",
+                    fields[0].name
+                ));
+            } else {
+                body.push_str(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::__private::Content)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    ser_push(f, &format!("&self.{}", f.name), &mut body);
+                }
+                body.push_str("__s.serialize_content(::serde::__private::Content::Map(__m))");
+            }
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vkey = variant_key(input, &v.name);
+                match (&input.attrs.tag, &v.shape) {
+                    (Some(tag), Shape::Unit) => body.push_str(&format!(
+                        "{name}::{v} => __s.serialize_content(::serde::__private::Content::Map(\
+                         vec![(::std::string::String::from(\"{tag}\"), \
+                         ::serde::__private::Content::Str(::std::string::String::from(\"{vkey}\")))])),\n",
+                        v = v.name
+                    )),
+                    (Some(tag), Shape::Named(fields)) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::__private::Content)> = vec![(::std::string::String::from(\"{tag}\"), \
+                             ::serde::__private::Content::Str(::std::string::String::from(\"{vkey}\")))];\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                        for f in fields {
+                            ser_push(f, &f.name, &mut body);
+                        }
+                        body.push_str(
+                            "__s.serialize_content(::serde::__private::Content::Map(__m))\n}\n",
+                        );
+                    }
+                    (Some(tag), Shape::Tuple(1)) => body.push_str(&format!(
+                        "{name}::{v}(__x0) => {{\n\
+                         let __inner = ::serde::__private::to_content(__x0).map_err({SER_ERR})?;\n\
+                         let mut __m = ::serde::__private::content_map(__inner).map_err({SER_ERR})?;\n\
+                         __m.insert(0, (::std::string::String::from(\"{tag}\"), \
+                         ::serde::__private::Content::Str(::std::string::String::from(\"{vkey}\"))));\n\
+                         __s.serialize_content(::serde::__private::Content::Map(__m))\n}}\n",
+                        v = v.name
+                    )),
+                    (Some(_), Shape::Tuple(_)) => panic!(
+                        "serde_derive shim: internally tagged tuple variants are unsupported"
+                    ),
+                    (None, Shape::Unit) => body.push_str(&format!(
+                        "{name}::{v} => __s.serialize_content(\
+                         ::serde::__private::Content::Str(::std::string::String::from(\"{vkey}\"))),\n",
+                        v = v.name
+                    )),
+                    (None, Shape::Tuple(1)) => body.push_str(&format!(
+                        "{name}::{v}(__x0) => __s.serialize_content(::serde::__private::Content::Map(\
+                         vec![(::std::string::String::from(\"{vkey}\"), \
+                         ::serde::__private::to_content(__x0).map_err({SER_ERR})?)])),\n",
+                        v = v.name
+                    )),
+                    (None, Shape::Tuple(n)) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __seq: ::std::vec::Vec<::serde::__private::Content> = \
+                             ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                        for b in &binds {
+                            body.push_str(&format!(
+                                "__seq.push(::serde::__private::to_content({b}).map_err({SER_ERR})?);\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "__s.serialize_content(::serde::__private::Content::Map(\
+                             vec![(::std::string::String::from(\"{vkey}\"), \
+                             ::serde::__private::Content::Seq(__seq))]))\n}}\n"
+                        ));
+                    }
+                    (None, Shape::Named(fields)) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::__private::Content)> = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                        for f in fields {
+                            ser_push(f, &f.name, &mut body);
+                        }
+                        body.push_str(&format!(
+                            "__s.serialize_content(::serde::__private::Content::Map(\
+                             vec![(::std::string::String::from(\"{vkey}\"), \
+                             ::serde::__private::Content::Map(__m))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl {ig} ::serde::Serialize for {name} {ta} {wc} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_ctor(prefix: &str, fields: &[Field]) -> String {
+    let mut out = format!("{prefix} {{\n");
+    for f in fields {
+        out.push_str(&format!("{}: {},\n", f.name, de_take(f)));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let ta = &input.type_args;
+    let wc = &input.where_clause;
+    // Merge 'de into the declared generics (none of this workspace's
+    // Deserialize types are generic, but keep the general form correct).
+    let ig = if input.impl_generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        format!(
+            "<'de, {}",
+            input.impl_generics.trim_start().trim_start_matches('<')
+        )
+    };
+    let mut body = String::new();
+    match &input.body {
+        Body::Struct(Shape::Unit) => {
+            body.push_str("let _ = __d.deserialize_content()?;\n");
+            body.push_str(&format!("::core::result::Result::Ok({name})"));
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))"
+            ));
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            body.push_str(&format!(
+                "let __seq = ::serde::__private::content_seq(__d.deserialize_content()?)\
+                 .map_err({DE_ERR})?;\n\
+                 if __seq.len() != {n} {{\n\
+                 return ::core::result::Result::Err({DE_ERR}(\
+                 format!(\"expected {n} elements, found {{}}\", __seq.len())));\n}}\n\
+                 let mut __it = __seq.into_iter();\n"
+            ));
+            body.push_str(&format!("::core::result::Result::Ok({name}(\n"));
+            for _ in 0..*n {
+                body.push_str(&format!(
+                    "::serde::__private::from_content(__it.next().expect(\"length checked\"))\
+                     .map_err({DE_ERR})?,\n"
+                ));
+            }
+            body.push_str("))");
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            if input.attrs.transparent && fields.len() == 1 {
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::deserialize(__d)? }})",
+                    fields[0].name
+                ));
+            } else {
+                body.push_str(&format!(
+                    "let mut __m = ::serde::__private::content_map(__d.deserialize_content()?)\
+                     .map_err({DE_ERR})?;\n"
+                ));
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({})",
+                    gen_named_ctor(name, fields)
+                ));
+            }
+        }
+        Body::Enum(variants) => match &input.attrs.tag {
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let mut __m = ::serde::__private::content_map(__d.deserialize_content()?)\
+                     .map_err({DE_ERR})?;\n\
+                     let __tag: ::std::string::String = \
+                     ::serde::__private::take_req(&mut __m, \"{tag}\").map_err({DE_ERR})?;\n\
+                     match __tag.as_str() {{\n"
+                ));
+                for v in variants {
+                    let vkey = variant_key(input, &v.name);
+                    match &v.shape {
+                        Shape::Unit => body.push_str(&format!(
+                            "\"{vkey}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        Shape::Named(fields) => {
+                            body.push_str(&format!(
+                                "\"{vkey}\" => ::core::result::Result::Ok({}),\n",
+                                gen_named_ctor(&format!("{name}::{}", v.name), fields)
+                            ));
+                        }
+                        Shape::Tuple(1) => body.push_str(&format!(
+                            "\"{vkey}\" => ::core::result::Result::Ok({name}::{v}(\
+                             ::serde::__private::from_content(\
+                             ::serde::__private::Content::Map(__m)).map_err({DE_ERR})?)),\n",
+                            v = v.name
+                        )),
+                        Shape::Tuple(_) => panic!(
+                            "serde_derive shim: internally tagged tuple variants are unsupported"
+                        ),
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"unknown {tag} variant `{{__other}}`\"))),\n}}\n"
+                ));
+            }
+            None => {
+                body.push_str("match __d.deserialize_content()? {\n");
+                body.push_str("::serde::__private::Content::Str(__s0) => match __s0.as_str() {\n");
+                for v in variants {
+                    if matches!(v.shape, Shape::Unit) {
+                        let vkey = variant_key(input, &v.name);
+                        body.push_str(&format!(
+                            "\"{vkey}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"unknown variant `{{__other}}`\"))),\n}},\n"
+                ));
+                body.push_str(
+                    "::serde::__private::Content::Map(__m0) if __m0.len() == 1 => {\n\
+                     let (__k, __v) = __m0.into_iter().next().expect(\"length checked\");\n\
+                     match __k.as_str() {\n",
+                );
+                for v in variants {
+                    let vkey = variant_key(input, &v.name);
+                    match &v.shape {
+                        Shape::Unit => body.push_str(&format!(
+                            "\"{vkey}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        Shape::Tuple(1) => body.push_str(&format!(
+                            "\"{vkey}\" => ::core::result::Result::Ok({name}::{v}(\
+                             ::serde::__private::from_content(__v).map_err({DE_ERR})?)),\n",
+                            v = v.name
+                        )),
+                        Shape::Tuple(n) => {
+                            body.push_str(&format!(
+                                "\"{vkey}\" => {{\n\
+                                 let __seq = ::serde::__private::content_seq(__v).map_err({DE_ERR})?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                 return ::core::result::Result::Err({DE_ERR}(\
+                                 format!(\"expected {n} elements, found {{}}\", __seq.len())));\n}}\n\
+                                 let mut __it = __seq.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{v}(\n",
+                                v = v.name
+                            ));
+                            for _ in 0..*n {
+                                body.push_str(&format!(
+                                    "::serde::__private::from_content(\
+                                     __it.next().expect(\"length checked\")).map_err({DE_ERR})?,\n"
+                                ));
+                            }
+                            body.push_str("))\n}\n");
+                        }
+                        Shape::Named(fields) => {
+                            body.push_str(&format!(
+                                "\"{vkey}\" => {{\n\
+                                 let mut __m = ::serde::__private::content_map(__v)\
+                                 .map_err({DE_ERR})?;\n\
+                                 ::core::result::Result::Ok({})\n}}\n",
+                                gen_named_ctor(&format!("{name}::{}", v.name), fields)
+                            ));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"unknown variant `{{__other}}`\"))),\n}}\n}},\n"
+                ));
+                body.push_str(&format!(
+                    "__other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"invalid enum form: {{__other:?}}\"))),\n}}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl {ig} ::serde::Deserialize<'de> for {name} {ta} {wc} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
