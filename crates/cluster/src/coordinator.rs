@@ -1,0 +1,492 @@
+//! Scatter-gather query coordination and per-shard ingest routing.
+//!
+//! A [`Coordinator`] holds a [`ClusterTopology`] and speaks the ordinary
+//! `medvid-serve/v1` protocol to every shard. Queries fan out to all
+//! shards in parallel and merge their top-k by the same deterministic
+//! `(distance, video, shot)` order the single-node index ranks with, so
+//! for exhaustive (`Flat`) retrieval the merged answer is bit-identical
+//! to one node holding the whole corpus. Hierarchical retrieval remains
+//! available but is approximate per shard — each shard routes through a
+//! hierarchy built from its own records — so its sharded answer may
+//! differ from single-node, exactly as two differently-built indexes may.
+//!
+//! Failure handling is typed, never silent: a shard whose primary and
+//! replicas are all unreachable within the per-shard deadline is reported
+//! in [`GatherStatus::Degraded`] alongside the merged hits of the shards
+//! that did answer; a shard that *rejects* the query (bad request, store
+//! failure) fails the whole query with the culprit's shard id attached.
+
+use crate::topology::ClusterTopology;
+use medvid_obs::{counters, Recorder};
+use medvid_serve::protocol::{
+    ErrorKind, Hit, IngestShot, MetricsSnapshot, QueryRequest, Request, Response,
+};
+use medvid_serve::retry::{ClientError, RetryClassifier, RetryPolicy, RetryingClient};
+use std::fmt;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Per-shard time budget: socket connect/read/write timeout for every
+    /// attempt against that shard. A shard that cannot produce an answer
+    /// within its attempts' deadlines is degraded, not waited for.
+    pub shard_deadline: Duration,
+    /// Retry schedule per address (connect faults fail over immediately;
+    /// overload backs off in place per this schedule).
+    pub retry: RetryPolicy,
+    /// Result limit applied when a query leaves `limit` unset — must
+    /// match the shards' configured default so merged truncation agrees
+    /// with single-node truncation.
+    pub default_limit: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            shard_deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            default_limit: 10,
+        }
+    }
+}
+
+/// Whether a gathered answer covers the whole corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatherStatus {
+    /// Every shard answered: the merged top-k covers the full corpus.
+    Complete,
+    /// These shards had no reachable primary or replica; the hits are the
+    /// correct top-k of the *remaining* corpus.
+    Degraded {
+        /// Shards absent from the merge, ascending.
+        missing_shards: Vec<u32>,
+    },
+}
+
+impl GatherStatus {
+    /// True when no shard is missing.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, GatherStatus::Complete)
+    }
+}
+
+/// A merged scatter-gather answer.
+#[derive(Debug, Clone)]
+pub struct GatherOutcome {
+    /// Merged, globally ranked hits (truncated to the effective limit).
+    pub hits: Vec<Hit>,
+    /// Coverage of the merge.
+    pub status: GatherStatus,
+    /// Shards whose answer came from a replica after primary failover.
+    pub failovers: Vec<u32>,
+}
+
+/// Typed coordinator-level failure.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A shard answered with a typed rejection — retrying elsewhere
+    /// cannot help (the request itself is at fault, or the shard's store
+    /// refused a write).
+    Rejected {
+        /// Culprit shard (from the response when stamped, else the
+        /// coordinator's routing).
+        shard: u32,
+        /// Machine-readable category from the shard.
+        kind: ErrorKind,
+        /// Human-readable detail from the shard.
+        message: String,
+    },
+    /// An ingest could not reach the shard that owns its videos. Shards
+    /// acknowledged before this one keep their batches (per-shard
+    /// at-least-once, like the single-node retry wrapper).
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: u32,
+        /// The final attempt's failure.
+        detail: String,
+    },
+    /// The topology has no shards.
+    EmptyTopology,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Rejected {
+                shard,
+                kind,
+                message,
+            } => write!(
+                f,
+                "shard {shard} rejected the request ({kind:?}): {message}"
+            ),
+            ClusterError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} is unreachable: {detail}")
+            }
+            ClusterError::EmptyTopology => write!(f, "cluster topology has no shards"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-shard ingest acknowledgement.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Total shots acknowledged durably across shards.
+    pub accepted: usize,
+    /// `(shard, shots accepted, shard epoch after the swap)` per shard
+    /// that received part of the batch, ascending by shard.
+    pub by_shard: Vec<(u32, usize, u64)>,
+}
+
+/// One shard's metrics, gathered for `cluster status`.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// The shard.
+    pub shard: u32,
+    /// Its snapshot, when some node of the shard answered.
+    pub snapshot: Option<MetricsSnapshot>,
+    /// Why no node answered, otherwise.
+    pub error: Option<String>,
+}
+
+/// What one shard contributed to a gathered query.
+enum ShardRead {
+    /// Hits, plus whether they came from a replica.
+    Answer(Vec<Hit>, bool),
+    /// Typed rejection: fail the whole query.
+    Rejected(u32, ErrorKind, String),
+    /// No node of the shard was reachable.
+    Missing,
+}
+
+/// Scatter-gather front-end over a [`ClusterTopology`].
+pub struct Coordinator {
+    topology: ClusterTopology,
+    config: CoordinatorConfig,
+    recorder: Recorder,
+}
+
+impl Coordinator {
+    /// A coordinator routing against `topology`.
+    pub fn new(topology: ClusterTopology, config: CoordinatorConfig, recorder: Recorder) -> Self {
+        Coordinator {
+            topology,
+            config,
+            recorder,
+        }
+    }
+
+    /// The topology being routed against.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// One read attempt chain against a shard: primary first, then each
+    /// replica, failing over on connection faults only.
+    fn shard_request(&self, shard: u32, request: &Request) -> Result<(Response, bool), String> {
+        let spec = self.topology.spec(shard).expect("shard ids are dense");
+        let mut last = String::from("no address configured");
+        let addrs: Vec<(SocketAddr, bool)> = std::iter::once((spec.primary, false))
+            .chain(spec.replicas.iter().map(|&a| (a, true)))
+            .collect();
+        for (addr, is_replica) in addrs {
+            let mut client = RetryingClient::with_classifier(
+                addr,
+                self.config.shard_deadline,
+                self.config.retry.clone(),
+                RetryClassifier::fail_fast(),
+            );
+            match client.request(request) {
+                Ok(resp) => {
+                    if is_replica {
+                        self.recorder.incr(counters::CLUSTER_FAILOVERS, 1);
+                    }
+                    return Ok((resp, is_replica));
+                }
+                Err(ClientError::RetriesExhausted { last: e, .. }) => {
+                    last = e.to_string();
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Fans `req` to every shard, merges per-shard top-k, and reports
+    /// coverage. Shards with no reachable node degrade the answer; a
+    /// typed rejection from any shard fails it.
+    ///
+    /// # Errors
+    /// [`ClusterError::Rejected`] when a shard refuses the query;
+    /// [`ClusterError::EmptyTopology`] when there is nothing to ask.
+    pub fn query(&self, req: &QueryRequest) -> Result<GatherOutcome, ClusterError> {
+        if self.topology.is_empty() {
+            return Err(ClusterError::EmptyTopology);
+        }
+        self.recorder.incr(counters::CLUSTER_QUERIES, 1);
+        let reads: Vec<ShardRead> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.topology.len() as u32)
+                .map(|shard| {
+                    let req = req.clone();
+                    scope.spawn(
+                        move || match self.shard_request(shard, &Request::Query(req)) {
+                            Ok((Response::Results { hits, .. }, via_replica)) => {
+                                ShardRead::Answer(hits, via_replica)
+                            }
+                            Ok((
+                                Response::Error {
+                                    kind,
+                                    message,
+                                    shard: origin,
+                                    ..
+                                },
+                                _,
+                            )) => ShardRead::Rejected(origin.unwrap_or(shard), kind, message),
+                            Ok((other, _)) => ShardRead::Rejected(
+                                shard,
+                                ErrorKind::Internal,
+                                format!("unexpected response to a query: {other:?}"),
+                            ),
+                            Err(_) => ShardRead::Missing,
+                        },
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard reader panicked"))
+                .collect()
+        });
+
+        let mut hits = Vec::new();
+        let mut missing = Vec::new();
+        let mut failovers = Vec::new();
+        for (shard, read) in reads.into_iter().enumerate() {
+            match read {
+                ShardRead::Answer(part, via_replica) => {
+                    hits.extend(part);
+                    if via_replica {
+                        failovers.push(shard as u32);
+                    }
+                }
+                ShardRead::Rejected(shard, kind, message) => {
+                    return Err(ClusterError::Rejected {
+                        shard,
+                        kind,
+                        message,
+                    });
+                }
+                ShardRead::Missing => missing.push(shard as u32),
+            }
+        }
+        let limit = req.limit.unwrap_or(self.config.default_limit);
+        merge_topk(&mut hits, limit);
+        let status = if missing.is_empty() {
+            GatherStatus::Complete
+        } else {
+            self.recorder.incr(counters::CLUSTER_DEGRADED, 1);
+            GatherStatus::Degraded {
+                missing_shards: missing,
+            }
+        };
+        Ok(GatherOutcome {
+            hits,
+            status,
+            failovers,
+        })
+    }
+
+    /// Routes each shot to the shard that owns its video and sends one
+    /// ingest batch per shard, in parallel. Each shard acknowledges only
+    /// after its own durable WAL append, so a reported shard is
+    /// crash-safe the moment it appears in the report.
+    ///
+    /// # Errors
+    /// [`ClusterError::Rejected`] when a shard refuses its batch (the
+    /// whole batch to that shard was refused — validation is
+    /// all-or-nothing per shard); [`ClusterError::ShardUnavailable`] when
+    /// a shard cannot be reached. Either way, *other* shards may already
+    /// have acknowledged their sub-batches: per-shard at-least-once, the
+    /// same contract the single-node retry wrapper gives.
+    pub fn ingest(&self, shots: Vec<IngestShot>) -> Result<IngestReport, ClusterError> {
+        if self.topology.is_empty() {
+            return Err(ClusterError::EmptyTopology);
+        }
+        let mut by_shard: Vec<Vec<IngestShot>> = vec![Vec::new(); self.topology.len()];
+        for s in shots {
+            by_shard[self.topology.shard_of(s.video) as usize].push(s);
+        }
+        let outcomes: Vec<Option<Result<(usize, u64), ClusterError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = by_shard
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, batch)| {
+                        scope.spawn(move || {
+                            if batch.is_empty() {
+                                return None;
+                            }
+                            let shard = shard as u32;
+                            let spec = self.topology.spec(shard).expect("dense ids");
+                            // Writes go to the primary only (it owns the
+                            // WAL); replicas learn via log shipping.
+                            let mut client = RetryingClient::new(
+                                spec.primary,
+                                self.config.shard_deadline,
+                                self.config.retry.clone(),
+                            );
+                            Some(
+                                match client.request(&Request::Ingest {
+                                    shots: batch,
+                                    trace_id: None,
+                                    trace: false,
+                                }) {
+                                    Ok(Response::Ingested {
+                                        accepted, epoch, ..
+                                    }) => Ok((accepted, epoch)),
+                                    Ok(Response::Error {
+                                        kind,
+                                        message,
+                                        shard: origin,
+                                        ..
+                                    }) => Err(ClusterError::Rejected {
+                                        shard: origin.unwrap_or(shard),
+                                        kind,
+                                        message,
+                                    }),
+                                    Ok(other) => Err(ClusterError::Rejected {
+                                        shard,
+                                        kind: ErrorKind::Internal,
+                                        message: format!(
+                                            "unexpected response to ingest: {other:?}"
+                                        ),
+                                    }),
+                                    Err(ClientError::RetriesExhausted { last, .. }) => {
+                                        Err(ClusterError::ShardUnavailable {
+                                            shard,
+                                            detail: last.to_string(),
+                                        })
+                                    }
+                                },
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard writer panicked"))
+                    .collect()
+            });
+        let mut report = IngestReport {
+            accepted: 0,
+            by_shard: Vec::new(),
+        };
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                None => {}
+                Some(Ok((accepted, epoch))) => {
+                    report.accepted += accepted;
+                    report.by_shard.push((shard as u32, accepted, epoch));
+                }
+                Some(Err(e)) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Gathers a metrics snapshot from every shard (primary first, then
+    /// replicas), for `medvid cluster status` and the tests' lag
+    /// assertions. Never fails: unreachable shards carry their error.
+    pub fn metrics(&self) -> Vec<ShardMetrics> {
+        (0..self.topology.len() as u32)
+            .map(|shard| match self.shard_request(shard, &Request::Metrics) {
+                Ok((Response::Metrics { snapshot }, _)) => ShardMetrics {
+                    shard,
+                    snapshot: Some(snapshot),
+                    error: None,
+                },
+                Ok((other, _)) => ShardMetrics {
+                    shard,
+                    snapshot: None,
+                    error: Some(format!("unexpected response: {other:?}")),
+                },
+                Err(e) => ShardMetrics {
+                    shard,
+                    snapshot: None,
+                    error: Some(e),
+                },
+            })
+            .collect()
+    }
+}
+
+/// Sorts hits by the index's deterministic rank order — distance, then
+/// `(video, shot)` as the tie-break — and truncates to `limit`. f32
+/// distances from the index are always finite; a NaN (impossible from
+/// squared distances) would sort last rather than poison the order.
+pub fn merge_topk(hits: &mut Vec<Hit>, limit: usize) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.video, a.shot).cmp(&(b.video, b.shot)))
+    });
+    hits.truncate(limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_types::{ShotId, VideoId};
+
+    fn hit(video: usize, shot: usize, distance: f32) -> Hit {
+        Hit {
+            video: VideoId(video),
+            shot: ShotId(shot),
+            distance,
+        }
+    }
+
+    #[test]
+    fn merge_ranks_by_distance_then_shot_ref() {
+        let mut hits = vec![
+            hit(2, 0, 0.5),
+            hit(1, 3, 0.25),
+            hit(1, 1, 0.5),
+            hit(0, 9, 0.5),
+        ];
+        merge_topk(&mut hits, 3);
+        assert_eq!(
+            hits,
+            vec![hit(1, 3, 0.25), hit(0, 9, 0.5), hit(1, 1, 0.5)],
+            "ties break by (video, shot), ascending"
+        );
+    }
+
+    #[test]
+    fn merge_limit_zero_is_empty() {
+        let mut hits = vec![hit(0, 0, 0.0)];
+        merge_topk(&mut hits, 0);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn empty_topology_is_typed() {
+        let coord = Coordinator::new(
+            ClusterTopology::of_primaries(&[]),
+            CoordinatorConfig::default(),
+            Recorder::disabled(),
+        );
+        assert!(matches!(
+            coord.query(&QueryRequest::default()),
+            Err(ClusterError::EmptyTopology)
+        ));
+        assert!(matches!(
+            coord.ingest(Vec::new()),
+            Err(ClusterError::EmptyTopology)
+        ));
+    }
+}

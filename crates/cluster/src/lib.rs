@@ -1,0 +1,44 @@
+//! **medvid-cluster** — sharded scatter-gather serving with WAL-shipping
+//! replication.
+//!
+//! The paper's hierarchy makes a single node fast; this crate makes many
+//! nodes act as one database, in three layers:
+//!
+//! * [`topology`] — the static cluster map: video id → shard via a
+//!   seeded SplitMix64 hash, each shard naming one primary and any
+//!   number of read replicas.
+//! * [`coordinator`] — the scatter-gather query front-end: a
+//!   [`coordinator::Coordinator`] fans each query to every shard over
+//!   the ordinary `medvid-serve/v1` protocol, merges per-shard top-k by
+//!   the same deterministic `(distance, video, shot)` order the index
+//!   uses, fails over to replicas on connection faults, and returns
+//!   typed partial results ([`coordinator::GatherStatus::Degraded`])
+//!   instead of failing the whole query when a shard is down. Ingest
+//!   routes each shot to the shard that owns its video and is
+//!   acknowledged only after that shard's durable WAL append.
+//! * [`replica`] — WAL shipping: a [`replica::Follower`] tails a leader
+//!   shard's log with `FetchLog { from_seq }`, applies shipped
+//!   checkpoint + suffix segments through the exact replay path crash
+//!   recovery uses, and a [`replica::Replica`] wraps that in a serving
+//!   node that answers reads behind the coordinator and exposes its lag
+//!   through `Metrics`.
+//!
+//! [`local::LocalCluster`] spins up an N-shard durable cluster inside
+//! one process — the unit the integration tests, the CLI
+//! (`medvid cluster serve`) and the benchmarks all drive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod local;
+pub mod replica;
+pub mod topology;
+
+pub use coordinator::{
+    ClusterError, Coordinator, CoordinatorConfig, GatherOutcome, GatherStatus, IngestReport,
+    ShardMetrics,
+};
+pub use local::LocalCluster;
+pub use replica::{Follower, Replica, ReplicaConfig};
+pub use topology::{shard_of, ClusterTopology, ShardSpec};

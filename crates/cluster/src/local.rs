@@ -1,0 +1,138 @@
+//! In-process cluster bring-up: N durable shard primaries in one
+//! process, each with its own store directory, WAL and checkpoints.
+//!
+//! This is the deployment unit everything else drives — the integration
+//! tests, `medvid cluster serve`, and the benchmarks. Every shard is a
+//! full `medvid-serve` durable server (epoch-swapped service, admission
+//! control, result cache, background checkpointer) configured with its
+//! cluster identity, so errors and metrics it emits name their shard.
+
+use crate::topology::ClusterTopology;
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::{self as serve, ServerConfig, ServerHandle};
+use medvid_store::{RecoveryReport, StoreConfig};
+use std::io;
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// A running N-shard cluster of durable primaries.
+pub struct LocalCluster {
+    handles: Vec<ServerHandle>,
+    reports: Vec<RecoveryReport>,
+    topology: ClusterTopology,
+}
+
+impl LocalCluster {
+    /// Spawns `shards` durable servers under `base_dir` (shard `i` stores
+    /// in `base_dir/shard-i`) and builds the matching topology. Existing
+    /// store directories are recovered, not clobbered — restarting a
+    /// cluster over the same directories replays each shard's WAL, which
+    /// is exactly how the failover tests model a shard restart.
+    ///
+    /// # Errors
+    /// Propagates bind and storage failures; shards spawned before the
+    /// failure are shut down.
+    pub fn spawn(
+        base_dir: &Path,
+        shards: u32,
+        store_config: StoreConfig,
+        server: ServerConfig,
+        recorder: Recorder,
+    ) -> io::Result<Self> {
+        let mut handles = Vec::new();
+        let mut reports = Vec::new();
+        for i in 0..shards.max(1) {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shard: Some(i),
+                ..server.clone()
+            };
+            match serve::spawn_durable(
+                base_dir.join(format!("shard-{i}")),
+                store_config,
+                VideoDatabase::medical(),
+                config,
+                recorder.clone(),
+            ) {
+                Ok((handle, report)) => {
+                    handles.push(handle);
+                    reports.push(report);
+                }
+                Err(e) => {
+                    for h in &handles {
+                        h.shutdown();
+                    }
+                    for h in handles {
+                        h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let topology = ClusterTopology::of_primaries(
+            &handles.iter().map(ServerHandle::addr).collect::<Vec<_>>(),
+        );
+        Ok(LocalCluster {
+            handles,
+            reports,
+            topology,
+        })
+    }
+
+    /// The cluster map (replica-less; register replicas with
+    /// [`ClusterTopology::add_replica`] on a clone, or via
+    /// [`Self::topology_mut`]).
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Mutable topology access, for wiring replicas in after spawn.
+    pub fn topology_mut(&mut self) -> &mut ClusterTopology {
+        &mut self.topology
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True only for the degenerate zero-shard cluster (unreachable via
+    /// [`Self::spawn`], which clamps to one).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Shard `i`'s server handle.
+    pub fn handle(&self, i: u32) -> &ServerHandle {
+        &self.handles[i as usize]
+    }
+
+    /// Shard `i`'s primary address.
+    pub fn addr(&self, i: u32) -> SocketAddr {
+        self.handles[i as usize].addr()
+    }
+
+    /// What each shard's recovery found at spawn, in shard order.
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.reports
+    }
+
+    /// Blocks until every shard has drained (each drains when it receives
+    /// a `Shutdown` request) — what `medvid cluster serve` parks on.
+    pub fn join(self) {
+        for h in self.handles {
+            h.join();
+        }
+    }
+
+    /// Gracefully drains every shard and waits for them.
+    pub fn shutdown(self) {
+        for h in &self.handles {
+            h.shutdown();
+        }
+        for h in self.handles {
+            h.join();
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! WAL-shipping replication: followers that tail a leader's durable log.
+//!
+//! A [`Follower`] is the pure state machine — apply one shipped
+//! [`LogSegment`](medvid_serve::Response::LogSegment) (optional
+//! checkpoint + WAL suffix) through the exact replay path crash recovery
+//! uses, tracking `applied_seq` against the leader's `last_seq`. A
+//! [`Replica`] wraps a follower in a serving node: an in-memory
+//! `medvid-serve` server answering reads, plus a tailer thread that
+//! periodically fetches the leader's suffix, installs the caught-up
+//! database as a new epoch, and publishes [`ReplicationStatus`] so
+//! `Metrics` (and `medvid top`) show the lag.
+//!
+//! Because the leader acknowledges only durable appends and
+//! [`FetchLog`](medvid_serve::Request::FetchLog) ships only the durable
+//! prefix (a torn tail is never shipped — the same truncation rule
+//! recovery applies), a follower's state is always a prefix of the
+//! leader's acknowledged history: bounded divergence, never invented
+//! records.
+
+use medvid_index::VideoDatabase;
+use medvid_obs::{counters, values, Recorder};
+use medvid_serve::protocol::ReplicationStatus;
+use medvid_serve::{self as serve, Client, Request, Response, ServerConfig, ServerHandle};
+use medvid_store::{recovery, StoreCheckpoint, WalRecord};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Replication state machine: a database plus its position in the
+/// leader's log.
+pub struct Follower {
+    db: VideoDatabase,
+    applied_seq: u64,
+    leader_seq: u64,
+}
+
+impl Follower {
+    /// A follower that has applied nothing; `initial` supplies the
+    /// taxonomy (pass [`VideoDatabase::medical`]) and is replaced
+    /// wholesale if the leader ships a checkpoint.
+    pub fn new(initial: VideoDatabase) -> Self {
+        Follower {
+            db: initial,
+            applied_seq: 0,
+            leader_seq: 0,
+        }
+    }
+
+    /// The replicated database (built, queryable).
+    pub fn db(&self) -> &VideoDatabase {
+        &self.db
+    }
+
+    /// Highest leader sequence number applied locally.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Leader's durable watermark as of the last applied segment.
+    pub fn leader_seq(&self) -> u64 {
+        self.leader_seq
+    }
+
+    /// Records acknowledged by the leader but not yet applied here.
+    pub fn lag(&self) -> u64 {
+        self.leader_seq.saturating_sub(self.applied_seq)
+    }
+
+    /// This follower's health, as surfaced through `Metrics`.
+    pub fn status(&self) -> ReplicationStatus {
+        ReplicationStatus {
+            role: "follower".to_string(),
+            leader_seq: self.leader_seq,
+            applied_seq: self.applied_seq,
+            lag: self.lag(),
+        }
+    }
+
+    /// Applies one shipped segment: restore the checkpoint document when
+    /// present (the leader's WAL no longer held our resume point), then
+    /// replay the record suffix — skipping anything already applied —
+    /// and rebuild the index. Returns the number of records replayed.
+    ///
+    /// # Errors
+    /// A rejected operation or an unusable checkpoint is divergence: the
+    /// follower's state no longer embeds in the leader's history, and
+    /// the caller should restart catch-up from scratch.
+    pub fn apply_segment(
+        &mut self,
+        last_seq: u64,
+        snapshot: Option<StoreCheckpoint>,
+        records: &[WalRecord],
+    ) -> Result<u64, String> {
+        if let Some(ckpt) = snapshot {
+            let covered = ckpt.last_seq;
+            self.db = VideoDatabase::from_snapshot(ckpt.snapshot)
+                .map_err(|e| format!("shipped checkpoint does not restore: {e}"))?;
+            self.applied_seq = covered;
+        }
+        // Synthetic offsets: replay reports faults by offset, and shipped
+        // records have no file position — use their index in the segment.
+        let offsets: Vec<u64> = (0..records.len() as u64).collect();
+        let outcome = recovery::replay(
+            &mut self.db,
+            records,
+            &offsets,
+            records.len() as u64,
+            self.applied_seq,
+        );
+        if let Some(fault) = outcome.fault {
+            return Err(format!(
+                "shipped record was rejected — follower has diverged: {fault}"
+            ));
+        }
+        self.db.build();
+        self.applied_seq = outcome.last_seq;
+        // The leader's watermark only moves forward; a stale answer must
+        // not roll it back.
+        self.leader_seq = self.leader_seq.max(last_seq).max(self.applied_seq);
+        Ok(outcome.replayed)
+    }
+}
+
+/// Replica tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Shard this replica follows (stamped onto its responses).
+    pub shard: u32,
+    /// How often the tailer polls the leader for new log.
+    pub poll_interval: Duration,
+    /// Socket timeout for each fetch.
+    pub fetch_timeout: Duration,
+    /// Record cap per fetched segment (None = leader's default).
+    pub fetch_budget: Option<usize>,
+    /// Base config of the replica's own serving endpoint (its `shard`
+    /// field is overridden with the one above).
+    pub server: ServerConfig,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            shard: 0,
+            poll_interval: Duration::from_millis(50),
+            fetch_timeout: Duration::from_secs(2),
+            fetch_budget: None,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// A read-serving follower node: in-memory server + WAL tailer thread.
+pub struct Replica {
+    handle: Arc<ServerHandle>,
+    addr: SocketAddr,
+    status: Arc<parking_lot::Mutex<ReplicationStatus>>,
+    stop: Arc<AtomicBool>,
+    tailer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Spawns a replica of the leader at `leader`: binds its own serving
+    /// endpoint (in-memory — durability lives with the leader's WAL) and
+    /// starts the tailer. Returns once the endpoint is live; catch-up
+    /// proceeds in the background and is observable via [`Self::status`].
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn spawn(
+        leader: SocketAddr,
+        initial: VideoDatabase,
+        config: ReplicaConfig,
+        recorder: Recorder,
+    ) -> std::io::Result<Self> {
+        let server_config = ServerConfig {
+            shard: Some(config.shard),
+            ..config.server.clone()
+        };
+        let handle = Arc::new(serve::spawn(
+            initial.clone(),
+            server_config,
+            recorder.clone(),
+        )?);
+        let addr = handle.addr();
+        // An un-ingested copy of the taxonomy, kept so divergence can
+        // restart catch-up from the same base the leader bootstrapped on.
+        let pristine = initial.clone();
+        let mut follower = Follower::new(initial);
+        handle.set_replication(Some(follower.status()));
+        let status = Arc::new(parking_lot::Mutex::new(follower.status()));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let tail_stop = Arc::clone(&stop);
+        let tail_status = Arc::clone(&status);
+        let tail_handle = Arc::clone(&handle);
+        let tailer = std::thread::Builder::new()
+            .name(format!("cluster-tail-{}", config.shard))
+            .spawn(move || {
+                while !tail_stop.load(Ordering::SeqCst) {
+                    if let Some(new_status) = fetch_once(
+                        leader,
+                        &config,
+                        &mut follower,
+                        &pristine,
+                        &tail_handle,
+                        &recorder,
+                    ) {
+                        *tail_status.lock() = new_status.clone();
+                        tail_handle.set_replication(Some(new_status));
+                    }
+                    std::thread::sleep(config.poll_interval);
+                }
+            })?;
+        Ok(Replica {
+            handle,
+            addr,
+            status,
+            stop,
+            tailer: Some(tailer),
+        })
+    }
+
+    /// The replica's own serving address (register it as a topology
+    /// replica of its shard).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The last published replication status. `leader_seq`/`lag` reflect
+    /// the last *successful* fetch — while the leader is down they stay
+    /// where they were, which is exactly the bounded-divergence claim the
+    /// tests assert.
+    pub fn status(&self) -> ReplicationStatus {
+        self.status.lock().clone()
+    }
+
+    /// Stops the tailer and drains the serving endpoint (the final Arc
+    /// drop in `Drop` performs the blocking join once the tailer's clone
+    /// is gone).
+    pub fn stop(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.tailer.take() {
+            let _ = t.join();
+        }
+        self.handle.shutdown();
+    }
+}
+
+/// One tail cycle: fetch the suffix past what is applied, apply it,
+/// install the caught-up database, and return the status to publish.
+/// `None` means the leader was unreachable or answered unusably — the
+/// previously published status stands.
+fn fetch_once(
+    leader: SocketAddr,
+    config: &ReplicaConfig,
+    follower: &mut Follower,
+    pristine: &VideoDatabase,
+    handle: &ServerHandle,
+    recorder: &Recorder,
+) -> Option<ReplicationStatus> {
+    let mut client = Client::connect(leader, config.fetch_timeout).ok()?;
+    let resp = client
+        .request(&Request::FetchLog {
+            from_seq: follower.applied_seq(),
+            max_records: config.fetch_budget,
+        })
+        .ok()?;
+    let Response::LogSegment {
+        last_seq,
+        snapshot,
+        records,
+        ..
+    } = resp
+    else {
+        return None;
+    };
+    let advanced = snapshot.is_some() || !records.is_empty();
+    match follower.apply_segment(last_seq, snapshot, &records) {
+        Ok(replayed) => {
+            if advanced {
+                // Swap the caught-up database in as a fresh epoch; a
+                // failed swap (impossible for in-memory services) keeps
+                // serving the previous state.
+                if handle.install_db(follower.db().clone()).is_err() {
+                    return None;
+                }
+                recorder.incr(counters::CLUSTER_SEGMENTS_APPLIED, 1);
+                recorder.incr(counters::CLUSTER_RECORDS_SHIPPED, replayed);
+            }
+            recorder.record_value(values::REPLICATION_LAG, follower.lag());
+            Some(follower.status())
+        }
+        // Divergence is terminal for this follower's history: restart
+        // catch-up from nothing — the next fetch (from_seq 0) makes the
+        // leader ship its checkpoint + full suffix.
+        Err(_) => {
+            *follower = Follower::new(pristine.clone());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_store::{StoredShot, WalOp};
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn stored(video: usize, idx: usize) -> StoredShot {
+        let db = VideoDatabase::medical();
+        let mut features = vec![0.0f32; 8];
+        features[idx % 8] = 1.0;
+        StoredShot {
+            video: VideoId(video),
+            shot: ShotId(idx),
+            features,
+            event: EventKind::Dialog,
+            scene_node: db.hierarchy().scene_nodes()[0],
+        }
+    }
+
+    fn record(seq: u64, video: usize, idx: usize) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::IngestShot {
+                shot: stored(video, idx),
+            },
+        }
+    }
+
+    #[test]
+    fn follower_applies_suffixes_incrementally_and_tracks_lag() {
+        let mut f = Follower::new(VideoDatabase::medical());
+        assert_eq!(f.lag(), 0);
+        let replayed = f
+            .apply_segment(3, None, &[record(1, 0, 0), record(2, 0, 1)])
+            .unwrap();
+        assert_eq!(replayed, 2);
+        assert_eq!(f.applied_seq(), 2);
+        assert_eq!(f.lag(), 1, "leader is at 3, we applied through 2");
+        assert_eq!(f.db().len(), 2);
+        // The next segment resumes exactly where we stopped; re-shipped
+        // records below applied_seq are skipped, not double-applied.
+        let replayed = f
+            .apply_segment(3, None, &[record(2, 0, 1), record(3, 0, 2)])
+            .unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(f.applied_seq(), 3);
+        assert_eq!(f.lag(), 0);
+        assert_eq!(f.db().len(), 3);
+    }
+
+    #[test]
+    fn rejected_shipped_record_reports_divergence() {
+        let mut f = Follower::new(VideoDatabase::medical());
+        f.apply_segment(1, None, &[record(1, 0, 0)]).unwrap();
+        // A duplicate shot under a fresh sequence number cannot come from
+        // the leader's real history.
+        let err = f
+            .apply_segment(2, None, &[record(2, 0, 0)])
+            .expect_err("duplicate must be rejected");
+        assert!(err.contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn stale_answer_never_rolls_the_watermark_back() {
+        let mut f = Follower::new(VideoDatabase::medical());
+        f.apply_segment(5, None, &[record(1, 0, 0)]).unwrap();
+        assert_eq!(f.leader_seq(), 5);
+        f.apply_segment(3, None, &[]).unwrap();
+        assert_eq!(f.leader_seq(), 5, "watermark is monotonic");
+    }
+
+    #[test]
+    fn checkpoint_marker_records_are_transparent() {
+        let mut f = Follower::new(VideoDatabase::medical());
+        let marker = WalRecord {
+            seq: 1,
+            op: WalOp::Checkpoint { last_seq: 0 },
+        };
+        f.apply_segment(2, None, &[marker, record(2, 0, 0)])
+            .unwrap();
+        assert_eq!(f.applied_seq(), 2);
+        assert_eq!(f.db().len(), 1);
+    }
+
+    #[test]
+    fn shipped_checkpoint_resets_the_base_state() {
+        // Build a "leader" database of two shots and wrap it as a
+        // checkpoint covering seq 10.
+        let mut leader = VideoDatabase::medical();
+        for s in [stored(0, 0), stored(0, 1)] {
+            leader
+                .try_insert_shot(
+                    medvid_index::ShotRef {
+                        video: s.video,
+                        shot: s.shot,
+                    },
+                    s.features,
+                    s.event,
+                    s.scene_node,
+                )
+                .unwrap();
+        }
+        leader.build();
+        let ckpt = StoreCheckpoint::of(&leader, 10);
+        let mut f = Follower::new(VideoDatabase::medical());
+        // Without the checkpoint the suffix alone could not reach seq 11.
+        f.apply_segment(11, Some(ckpt), &[record(11, 1, 5)])
+            .unwrap();
+        assert_eq!(f.applied_seq(), 11);
+        assert_eq!(f.db().len(), 3);
+        assert_eq!(f.lag(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The static cluster map: which shard owns which video, and where each
+//! shard's primary and replicas listen.
+//!
+//! Placement is a pure function of the video id — `splitmix64(video) mod
+//! shards` — so every coordinator, client and test agrees on ownership
+//! without any coordination service. Hashing (rather than `video mod
+//! shards`) keeps the assignment balanced under the sequential ids the
+//! synthetic corpora use.
+
+use medvid_types::VideoId;
+use std::net::SocketAddr;
+
+/// SplitMix64 mixer (the same finaliser the retry jitter and the testkit
+/// rng use; duplicated because cluster must not depend on test crates).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard that owns `video` in an `n`-shard cluster. Total and
+/// deterministic; `n = 0` is treated as a single shard.
+pub fn shard_of(video: VideoId, n: u32) -> u32 {
+    let n = n.max(1);
+    (splitmix64(video.0 as u64) % n as u64) as u32
+}
+
+/// One shard's addresses: the primary (which owns the WAL and takes
+/// writes) plus read replicas the coordinator may fail over to.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Shard identity (dense, 0-based).
+    pub id: u32,
+    /// The write side: durable, WAL-owning server.
+    pub primary: SocketAddr,
+    /// Read-only followers, tried in order when the primary is down.
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// The full cluster map a coordinator routes against.
+#[derive(Debug, Clone)]
+pub struct ClusterTopology {
+    shards: Vec<ShardSpec>,
+}
+
+impl ClusterTopology {
+    /// Wraps shard specs; their order is their identity (spec `i` must
+    /// carry `id == i`).
+    ///
+    /// # Panics
+    /// When a spec's `id` disagrees with its position — a topology whose
+    /// labels lie would route acks to the wrong WAL.
+    pub fn new(shards: Vec<ShardSpec>) -> Self {
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(
+                s.id, i as u32,
+                "shard spec at position {i} claims id {}",
+                s.id
+            );
+        }
+        ClusterTopology { shards }
+    }
+
+    /// A replica-less topology over primary addresses in shard order.
+    pub fn of_primaries(primaries: &[SocketAddr]) -> Self {
+        Self::new(
+            primaries
+                .iter()
+                .enumerate()
+                .map(|(i, &primary)| ShardSpec {
+                    id: i as u32,
+                    primary,
+                    replicas: Vec::new(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True for the degenerate empty topology.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// All shard specs, in id order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The spec of shard `id`.
+    pub fn spec(&self, id: u32) -> Option<&ShardSpec> {
+        self.shards.get(id as usize)
+    }
+
+    /// The shard that owns `video` under this topology.
+    pub fn shard_of(&self, video: VideoId) -> u32 {
+        shard_of(video, self.shards.len() as u32)
+    }
+
+    /// Registers `addr` as a read replica of shard `id`.
+    ///
+    /// # Panics
+    /// When `id` names no shard.
+    pub fn add_replica(&mut self, id: u32, addr: SocketAddr) {
+        self.shards[id as usize].replicas.push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for n in 1..=8u32 {
+            for v in 0..200usize {
+                let s = shard_of(VideoId(v), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(VideoId(v), n), "pure function of (video, n)");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_reasonably_balanced() {
+        let n = 4u32;
+        let mut counts = vec![0usize; n as usize];
+        for v in 0..1000usize {
+            counts[shard_of(VideoId(v), n) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (150..=350).contains(c),
+                "shard {i} owns {c} of 1000 videos — hash is skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        assert_eq!(shard_of(VideoId(42), 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "claims id")]
+    fn mislabelled_spec_is_refused() {
+        ClusterTopology::new(vec![ShardSpec {
+            id: 3,
+            primary: addr(9000),
+            replicas: Vec::new(),
+        }]);
+    }
+
+    #[test]
+    fn of_primaries_labels_in_order() {
+        let topo = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.spec(1).unwrap().primary, addr(9001));
+        assert!(topo.spec(2).is_none());
+    }
+}

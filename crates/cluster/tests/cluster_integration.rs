@@ -1,0 +1,333 @@
+//! End-to-end cluster serving: 3 durable shards plus a WAL-shipping
+//! replica, with the shard-0 network paths routed through
+//! [`medvid_testkit::FaultProxy`] so the test can sever and restore them
+//! at will.
+//!
+//! The scenario the acceptance criteria name: under load, killing one
+//! shard yields typed `Degraded` partial results (never a hang or
+//! panic); a registered replica keeps the shard's reads flowing during
+//! the outage; and once the path heals, catch-up replays exactly the
+//! leader's durable suffix, with the lag visible through `Metrics`.
+
+use medvid_cluster::{
+    shard_of, ClusterError, Coordinator, CoordinatorConfig, GatherStatus, LocalCluster, Replica,
+    ReplicaConfig,
+};
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::protocol::{Hit, IngestShot, QueryRequest, Response, WireStrategy};
+use medvid_serve::{Client, RetryPolicy, ServerConfig};
+use medvid_store::StoreConfig;
+use medvid_testkit::{Fault, FaultPlan, FaultProxy};
+use medvid_types::{ShotId, VideoId};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn serde_runtime_available() -> bool {
+    serde_json::to_vec(&0u8).is_ok()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("medvid-cluster-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `per_video` shots for each video in `videos`, with globally unique
+/// ascending shot ids starting at `first_shot`, in `ShotRef` order.
+fn shots_batch(
+    videos: std::ops::Range<usize>,
+    per_video: usize,
+    first_shot: usize,
+) -> Vec<IngestShot> {
+    let taxonomy = VideoDatabase::medical();
+    let scenes = taxonomy.hierarchy().scene_nodes();
+    let mut shot_id = first_shot;
+    let mut out = Vec::new();
+    for v in videos {
+        for _ in 0..per_video {
+            let mut features = vec![0.0f32; 8];
+            features[shot_id % 8] = 1.0;
+            out.push(IngestShot {
+                video: VideoId(v),
+                shot: ShotId(shot_id),
+                features,
+                event: medvid_types::EventKind::Dialog,
+                scene_node: scenes[shot_id % scenes.len()],
+            });
+            shot_id += 1;
+        }
+    }
+    out
+}
+
+/// An exhaustive read: every record, globally ranked (no vector means
+/// insertion order per node, which the coordinator merges into `ShotRef`
+/// order — the batches above are generated in that order).
+fn all_query() -> QueryRequest {
+    QueryRequest {
+        vector: None,
+        event: None,
+        under: None,
+        clearance: None,
+        limit: Some(1000),
+        strategy: Some(WireStrategy::Flat),
+        delay_ms: None,
+        trace_id: None,
+        trace: false,
+    }
+}
+
+fn coordinator(primaries: &[SocketAddr]) -> Coordinator {
+    Coordinator::new(
+        medvid_cluster::ClusterTopology::of_primaries(primaries),
+        CoordinatorConfig {
+            shard_deadline: Duration::from_millis(800),
+            retry: RetryPolicy::no_delay(2),
+            default_limit: 10,
+        },
+        Recorder::new(),
+    )
+}
+
+/// The answer a node at `addr` gives to the exhaustive read.
+fn read_all(addr: SocketAddr) -> Result<Vec<Hit>, String> {
+    let mut client =
+        Client::connect(addr, Duration::from_secs(2)).map_err(|e| format!("connect: {e}"))?;
+    match client
+        .query(all_query())
+        .map_err(|e| format!("transport: {e}"))?
+    {
+        Response::Results { hits, .. } => Ok(hits),
+        other => Err(format!("unexpected answer: {other:?}")),
+    }
+}
+
+const SHARDS: u32 = 3;
+const OUTAGE_BOUND: Duration = Duration::from_secs(20);
+const CONVERGE_BOUND: Duration = Duration::from_secs(15);
+
+#[test]
+fn killed_shard_degrades_replica_serves_and_catchup_replays_the_suffix() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    let dir = scratch("failover");
+    let cluster = LocalCluster::spawn(
+        &dir,
+        SHARDS,
+        StoreConfig::default(),
+        ServerConfig::default(),
+        Recorder::new(),
+    )
+    .expect("spawn 3-shard durable cluster");
+
+    // Shard 0's two network paths run through fault proxies: one carries
+    // client traffic, one carries the replica's log fetches. Both start
+    // severed (every accepted connection is dropped); `clear()` heals
+    // them, which is how the test models kill and restart.
+    let kill_plan = FaultPlan::scripted(vec![Some(Fault::Drop); 1 << 16]);
+    let mut kill_proxy =
+        FaultProxy::spawn(cluster.addr(0), kill_plan.clone()).expect("spawn kill proxy");
+    let rep_plan = FaultPlan::scripted(vec![Some(Fault::Drop); 1 << 16]);
+    let mut rep_proxy =
+        FaultProxy::spawn(cluster.addr(0), rep_plan.clone()).expect("spawn replication proxy");
+    let replica = Replica::spawn(
+        rep_proxy.addr(),
+        VideoDatabase::medical(),
+        ReplicaConfig {
+            shard: 0,
+            poll_interval: Duration::from_millis(20),
+            fetch_timeout: Duration::from_secs(1),
+            fetch_budget: None,
+            server: ServerConfig::default(),
+        },
+        Recorder::new(),
+    )
+    .expect("spawn shard-0 replica");
+
+    // --- Healthy phase: load the cluster through the direct paths. ---
+    let direct: Vec<SocketAddr> = (0..SHARDS).map(|i| cluster.addr(i)).collect();
+    let healthy = coordinator(&direct);
+    let batch1 = shots_batch(0..36, 2, 0);
+    let total1 = batch1.len();
+    let report = healthy.ingest(batch1).expect("healthy ingest");
+    assert_eq!(report.accepted, total1);
+    assert_eq!(
+        report.by_shard.len(),
+        SHARDS as usize,
+        "36 hashed videos must land on every shard: {:?}",
+        report.by_shard
+    );
+    let full = healthy.query(&all_query()).expect("healthy query");
+    assert!(full.status.is_complete());
+    assert_eq!(full.hits.len(), total1);
+    let shard0_down: Vec<Hit> = full
+        .hits
+        .iter()
+        .filter(|h| shard_of(h.video, SHARDS) != 0)
+        .cloned()
+        .collect();
+    assert!(
+        shard0_down.len() < total1,
+        "shard 0 must own part of the corpus for the outage to matter"
+    );
+
+    // --- Outage: shard 0 is reachable only through the severed proxy. ---
+    let mut outage_addrs = direct.clone();
+    outage_addrs[0] = kill_proxy.addr();
+    let degraded_view = coordinator(&outage_addrs);
+    // Repeated reads under the outage: every one resolves typed and
+    // bounded — partial results over the surviving shards, never a hang,
+    // never a panic.
+    for round in 0..5 {
+        let started = Instant::now();
+        let outcome = degraded_view.query(&all_query()).expect("degraded query");
+        assert!(
+            started.elapsed() < OUTAGE_BOUND,
+            "round {round}: outage query took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(
+            outcome.status,
+            GatherStatus::Degraded {
+                missing_shards: vec![0]
+            },
+            "round {round}"
+        );
+        assert_eq!(
+            outcome.hits, shard0_down,
+            "round {round}: partial results must be the exact top-k of the surviving shards"
+        );
+    }
+    // Writes owned by the dead shard fail typed, naming the culprit.
+    let owned_by_0 = (0..)
+        .find(|v| shard_of(VideoId(*v), SHARDS) == 0)
+        .expect("some video hashes to shard 0");
+    let write = degraded_view.ingest(shots_batch(owned_by_0..owned_by_0 + 1, 1, 10_000));
+    match write {
+        Err(ClusterError::ShardUnavailable { shard: 0, .. }) => {}
+        other => panic!("write to the dead shard must be ShardUnavailable: {other:?}"),
+    }
+
+    // --- Same outage, but the replica is registered: reads keep flowing.
+    // The replica has never reached its leader (its fetch path is also
+    // severed), so it serves the taxonomy it booted with — stale but
+    // available, and the gather is Complete via failover. ---
+    let mut topo = medvid_cluster::ClusterTopology::of_primaries(&outage_addrs);
+    topo.add_replica(0, replica.addr());
+    let replica_view = Coordinator::new(
+        topo,
+        CoordinatorConfig {
+            shard_deadline: Duration::from_millis(800),
+            retry: RetryPolicy::no_delay(2),
+            default_limit: 10,
+        },
+        Recorder::new(),
+    );
+    let outcome = replica_view
+        .query(&all_query())
+        .expect("replica-backed query");
+    assert!(outcome.status.is_complete(), "{:?}", outcome.status);
+    assert_eq!(
+        outcome.failovers,
+        vec![0],
+        "shard 0 answered via its replica"
+    );
+    assert_eq!(
+        outcome.hits, shard0_down,
+        "the not-yet-caught-up replica contributes nothing yet"
+    );
+
+    // --- The replication path heals: catch-up ships the leader's entire
+    // durable history and the lag drains to zero. ---
+    rep_plan.clear();
+    let deadline = Instant::now() + CONVERGE_BOUND;
+    loop {
+        let status = replica.status();
+        if status.applied_seq > 1 && status.lag == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never caught up: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let outcome = replica_view.query(&all_query()).expect("caught-up query");
+    assert!(outcome.status.is_complete());
+    assert_eq!(outcome.failovers, vec![0]);
+    assert_eq!(
+        outcome.hits, full.hits,
+        "after catch-up the replica-served answer equals the pre-outage corpus"
+    );
+
+    // The lag is visible through Metrics: the coordinator reaches shard 0
+    // via the replica, whose snapshot carries its replication status.
+    let metrics = replica_view.metrics();
+    let shard0 = metrics.iter().find(|m| m.shard == 0).expect("shard 0 row");
+    let snapshot = shard0
+        .snapshot
+        .as_ref()
+        .expect("replica must answer Metrics during the outage");
+    assert_eq!(snapshot.shard, Some(0));
+    let replication = snapshot
+        .replication
+        .as_ref()
+        .expect("a follower's snapshot must carry replication status");
+    assert_eq!(replication.role, "follower");
+    assert_eq!(replication.lag, 0);
+    for m in metrics.iter().filter(|m| m.shard != 0) {
+        let snap = m.snapshot.as_ref().expect("healthy primaries answer");
+        assert!(
+            snap.replication.is_none(),
+            "primaries ship no replication status"
+        );
+    }
+
+    // --- Restart: the client path heals and the shard serves again. ---
+    kill_plan.clear();
+    let outcome = degraded_view
+        .query(&all_query())
+        .expect("post-restart query");
+    assert!(outcome.status.is_complete(), "{:?}", outcome.status);
+    assert_eq!(outcome.hits, full.hits);
+
+    // --- Post-restart suffix: new writes reach the leader's WAL and the
+    // replica replays exactly that durable suffix. ---
+    let batch2 = shots_batch(36..45, 2, total1);
+    let total2 = batch2.len();
+    let report = healthy.ingest(batch2).expect("post-restart ingest");
+    assert_eq!(report.accepted, total2);
+    let leader_state = read_all(cluster.addr(0)).expect("leader read");
+    let deadline = Instant::now() + CONVERGE_BOUND;
+    loop {
+        let replica_state = read_all(replica.addr()).expect("replica read");
+        if replica_state == leader_state && replica.status().lag == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica never replayed the post-restart suffix: {} of {} records, status {:?}",
+            replica_state.len(),
+            leader_state.len(),
+            replica.status()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    assert!(kill_plan.faults_injected() > 0, "the outage was real");
+    assert!(
+        rep_plan.faults_injected() > 0,
+        "the replication outage was real"
+    );
+
+    replica.stop();
+    kill_proxy.stop();
+    rep_proxy.stop();
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

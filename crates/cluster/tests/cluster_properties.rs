@@ -1,0 +1,368 @@
+//! Cluster correctness properties, driven by medvid-testkit.
+//!
+//! Two invariants anchor the sharded tier to the single-node semantics:
+//!
+//! * **Merge correctness** — for exhaustive (`Flat`) retrieval, the
+//!   coordinator's scatter-gathered top-k over any number of shards and
+//!   any shard assignment is bit-identical to one node holding the whole
+//!   corpus, including clearance filtering and `limit: 0`.
+//! * **Replication catch-up** — a follower that tails a leader whose WAL
+//!   was torn at an arbitrary byte offset (the same damage model the
+//!   crash-consistency suite sweeps) ends up holding exactly the
+//!   leader's recovered durable prefix, with zero lag.
+//!
+//! Failures print a one-line reproduction; replay with
+//! `MEDVID_TESTKIT_SEED=<seed> MEDVID_TESTKIT_CASES=<case + 1>`.
+
+use medvid::index::{NodeId, VideoDatabase};
+use medvid::obs::Recorder;
+use medvid::serve::{self, Client, QueryRequest, Request, Response, ServerConfig, WireStrategy};
+use medvid::synth::{standard_corpus, CorpusScale};
+use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_cluster::{ClusterTopology, Coordinator, CoordinatorConfig, Follower, GatherStatus};
+use medvid_index::persist::DatabaseSnapshot;
+use medvid_index::ShotRef;
+use medvid_store::{Store, StoreConfig, StoredShot, WalOp, WAL_FILE, WAL_MAGIC};
+use medvid_testkit::{corrupt_bytes, forall, require, Fault, NoShrink, QuerySpec, TkRng};
+use medvid_types::{EventKind, ShotId, VideoId};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// True when the vendored serde runtime can actually serialise (stub
+/// builds parse derives but may not emit working impls); tests that need
+/// the wire or the store skip cleanly without it.
+fn serde_runtime_available() -> bool {
+    serde_json::to_vec(&0u8).is_ok()
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn build_db(seed: u64) -> VideoDatabase {
+    let corpus = standard_corpus(CorpusScale::Tiny, seed);
+    let miner = ClassMiner::new(ClassMinerConfig::default(), seed).unwrap();
+    miner.index_corpus(&corpus).0
+}
+
+fn to_wire(spec: &QuerySpec) -> QueryRequest {
+    QueryRequest {
+        vector: spec.vector.clone(),
+        event: spec.event,
+        under: spec.node.map(NodeId),
+        clearance: spec.clearance,
+        limit: spec.limit,
+        strategy: Some(if spec.flat {
+            WireStrategy::Flat
+        } else {
+            WireStrategy::Hierarchical
+        }),
+        delay_ms: None,
+        trace_id: None,
+        trace: false,
+    }
+}
+
+/// A query whose flat-strategy answer is *exact* on both one node and
+/// every shard. Exactness needs one care: with a vector plus an
+/// event/concept post-filter, retrieval over-fetches `4 * limit`
+/// candidates before filtering, so the limit must be large enough
+/// (`ceil(total / 4)`) that the over-fetch covers the whole corpus.
+/// Clearance filters records before ranking and no-vector queries scan
+/// in insertion order, so those stay exact at any limit — including 0.
+fn exact_flat_query(
+    rng: &mut TkRng,
+    feature_len: usize,
+    n_nodes: usize,
+    total: usize,
+) -> QuerySpec {
+    let mut spec = medvid_testkit::valid_query(rng, feature_len, n_nodes);
+    spec.flat = true;
+    let post_filtered = spec.vector.is_some() && (spec.event.is_some() || spec.node.is_some());
+    spec.limit = Some(if post_filtered {
+        rng.usize_in(total.div_ceil(4), total + 3)
+    } else {
+        rng.usize_in(0, total + 3)
+    });
+    spec
+}
+
+/// Restores a database holding exactly `records` (already sorted by
+/// `ShotRef`) under the mined corpus's hierarchy, config and policy.
+fn db_of(template: &DatabaseSnapshot, records: Vec<medvid_index::ShotRecord>) -> VideoDatabase {
+    VideoDatabase::from_snapshot(DatabaseSnapshot {
+        version: template.version,
+        hierarchy: template.hierarchy.clone(),
+        config: template.config,
+        policy: template.policy.clone(),
+        records,
+    })
+    .expect("records come from a valid database")
+}
+
+/// For any shard count and any assignment of records to shards, the
+/// coordinator's merged flat top-k is bit-identical to a single node
+/// holding every record.
+#[test]
+fn scatter_gather_flat_topk_matches_single_node_exactly() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    let mined = build_db(2003);
+    let feature_len = mined.feature_len().expect("mined corpus has records");
+    let n_nodes = mined.hierarchy().len();
+    let template = mined.snapshot();
+    // Insertion order is the tie-break for no-vector queries; sorting by
+    // `ShotRef` makes every node (reference and shards alike) agree on it.
+    let mut records = template.records.clone();
+    records.sort_by_key(|r| r.shot);
+    let total = records.len();
+    assert!(total > 8, "Tiny corpus must be big enough to shard");
+
+    let reference = serve::spawn(
+        db_of(&template, records.clone()),
+        ServerConfig::default(),
+        Recorder::disabled(),
+    )
+    .expect("bind reference server");
+
+    forall(
+        "sharded flat top-k is bit-identical to single-node",
+        |rng| {
+            let shards = rng.usize_in(1, 4);
+            let assign_seed = rng.next_u64();
+            let spec = exact_flat_query(rng, feature_len, n_nodes, total);
+            NoShrink((shards, assign_seed, spec))
+        },
+        |case| {
+            let (shards, assign_seed, spec) = &case.0;
+            // Any assignment whatsoever: each record lands on a seeded
+            // random shard, independent of the production placement hash.
+            let mut assign = TkRng::new(*assign_seed);
+            let mut parts: Vec<Vec<medvid_index::ShotRecord>> = vec![Vec::new(); *shards];
+            for r in &records {
+                parts[assign.usize_in(0, shards - 1)].push(r.clone());
+            }
+            let handles: Vec<_> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    serve::spawn(
+                        db_of(&template, part),
+                        ServerConfig {
+                            shard: Some(i as u32),
+                            ..ServerConfig::default()
+                        },
+                        Recorder::disabled(),
+                    )
+                    .expect("bind shard server")
+                })
+                .collect();
+            let topology = ClusterTopology::of_primaries(
+                &handles.iter().map(|h| h.addr()).collect::<Vec<_>>(),
+            );
+            let coordinator =
+                Coordinator::new(topology, CoordinatorConfig::default(), Recorder::disabled());
+
+            let wire = to_wire(spec);
+            let mut client = Client::connect(reference.addr(), CLIENT_TIMEOUT)
+                .map_err(|e| format!("connect reference: {e}"))?;
+            let single = match client
+                .query(wire.clone())
+                .map_err(|e| format!("reference transport: {e}"))?
+            {
+                Response::Results { hits, .. } => hits,
+                other => return Err(format!("reference answered {other:?}")),
+            };
+            let gathered = coordinator
+                .query(&wire)
+                .map_err(|e| format!("coordinator: {e}"))?;
+
+            for h in handles {
+                h.shutdown();
+                h.join();
+            }
+
+            require!(
+                gathered.status == GatherStatus::Complete,
+                "all shards are live yet the gather degraded: {:?}",
+                gathered.status
+            );
+            require!(
+                gathered.failovers.is_empty(),
+                "no replicas exist to fail over to"
+            );
+            require!(
+                gathered.hits == single,
+                "{shards} shards (assignment seed {assign_seed:#x}) diverged:\n  \
+                 cluster: {:?}\n  single:  {single:?}\n  query: {spec:?}",
+                gathered.hits
+            );
+            Ok(())
+        },
+    );
+    reference.shutdown();
+    reference.join();
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("medvid-cluster-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stored_shot(db: &VideoDatabase, idx: usize) -> StoredShot {
+    let mut features = vec![0.0f32; 8];
+    features[idx % 8] = 1.0;
+    StoredShot {
+        video: VideoId(idx / 4),
+        shot: ShotId(idx),
+        features,
+        event: EventKind::Dialog,
+        scene_node: db.hierarchy().scene_nodes()[idx % 4],
+    }
+}
+
+/// Shot ids held by a database, ascending (ids are assigned in append
+/// order, so equality of id lists is equality of replayed histories).
+fn held_ids(db: &VideoDatabase) -> Vec<usize> {
+    let mut ids: Vec<usize> = db
+        .snapshot()
+        .records
+        .iter()
+        .map(|r| r.shot.shot.0)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// After `FetchLog` catch-up against a leader whose WAL tail was torn at
+/// an arbitrary byte offset, the follower holds exactly the leader's
+/// recovered prefix and reports zero lag — the shipped log is the
+/// *durable* history, never the damage.
+#[test]
+fn torn_leader_tail_catch_up_converges_to_the_recovered_prefix() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    forall(
+        "follower equals the leader's recovered prefix after a torn tail",
+        |rng| {
+            let appends = rng.usize_in(2, 8);
+            let cut_pick = rng.next_u64();
+            let budget = rng.usize_in(1, 4);
+            NoShrink((appends, cut_pick, budget))
+        },
+        |case| {
+            let (appends, cut_pick, budget) = case.0;
+            let dir = scratch(&format!("torn-{cut_pick:x}"));
+
+            // A leader store with `appends` durable records past the
+            // baseline checkpoint.
+            {
+                let mut leader = Store::open(
+                    &dir,
+                    StoreConfig::default(),
+                    VideoDatabase::medical(),
+                    Recorder::disabled(),
+                )
+                .map_err(|e| format!("seed store: {e}"))?;
+                for i in 0..appends {
+                    let s = stored_shot(&leader.db, i);
+                    leader
+                        .db
+                        .try_insert_shot(
+                            ShotRef {
+                                video: s.video,
+                                shot: s.shot,
+                            },
+                            s.features.clone(),
+                            s.event,
+                            s.scene_node,
+                        )
+                        .map_err(|e| e.to_string())?;
+                    leader
+                        .store
+                        .append(&[WalOp::IngestShot { shot: s }])
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+
+            // Tear the WAL at an arbitrary byte offset past the magic
+            // header (damage inside the magic is a typed hard error, a
+            // different contract covered by the crash-consistency suite).
+            let wal_path = dir.join(WAL_FILE);
+            let wal = std::fs::read(&wal_path).map_err(|e| e.to_string())?;
+            let cut = WAL_MAGIC.len() + (cut_pick as usize) % (wal.len() - WAL_MAGIC.len() + 1);
+            std::fs::write(&wal_path, corrupt_bytes(&wal, Fault::TruncateAfter(cut)))
+                .map_err(|e| e.to_string())?;
+
+            // What recovery keeps of the damaged log is the reference the
+            // follower must converge to.
+            let expect_ids = {
+                let recovered = Store::open(
+                    &dir,
+                    StoreConfig::default(),
+                    VideoDatabase::medical(),
+                    Recorder::disabled(),
+                )
+                .map_err(|e| format!("cut at {cut}: recovery failed: {e}"))?;
+                held_ids(&recovered.db)
+            };
+
+            // Serve the recovered store and tail it with a tiny per-fetch
+            // record budget, so convergence takes several paged segments.
+            let (handle, _report) = serve::spawn_durable(
+                &dir,
+                StoreConfig::default(),
+                VideoDatabase::medical(),
+                ServerConfig::default(),
+                Recorder::disabled(),
+            )
+            .map_err(|e| e.to_string())?;
+            let mut follower = Follower::new(VideoDatabase::medical());
+            let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT)
+                .map_err(|e| format!("connect leader: {e}"))?;
+            for _ in 0..64 {
+                let resp = client
+                    .request(&Request::FetchLog {
+                        from_seq: follower.applied_seq(),
+                        max_records: Some(budget),
+                    })
+                    .map_err(|e| format!("fetch: {e}"))?;
+                let Response::LogSegment {
+                    last_seq,
+                    snapshot,
+                    records,
+                    ..
+                } = resp
+                else {
+                    return Err(format!("leader answered {resp:?}"));
+                };
+                let progressed = snapshot.is_some() || !records.is_empty();
+                follower
+                    .apply_segment(last_seq, snapshot, &records)
+                    .map_err(|e| format!("apply: {e}"))?;
+                if !progressed {
+                    break;
+                }
+            }
+            handle.shutdown();
+            handle.join();
+
+            let got = held_ids(follower.db());
+            let lag = follower.lag();
+            let _ = std::fs::remove_dir_all(&dir);
+            require!(
+                lag == 0,
+                "cut at {cut}: follower still reports lag {lag} after convergence"
+            );
+            require!(
+                got == expect_ids,
+                "cut at {cut} (budget {budget}): follower holds {got:?}, \
+                 leader recovered {expect_ids:?}"
+            );
+            Ok(())
+        },
+    );
+}

@@ -14,6 +14,9 @@
 //! medvid client     --addr HOST:PORT --trace [--trace-id ID] [...query flags]
 //! medvid top        --addr HOST:PORT [--interval SECS] [--iterations N]
 //! medvid store      info|checkpoint|verify --store DIR
+//! medvid cluster    serve --store DIR [--shards N] [--fsync ...] [--workers N] [...]
+//! medvid cluster    status --cluster A:P,B:P,... [--replicas IDX=ADDR,...]
+//! medvid client     --cluster A:P,B:P,... [--replicas IDX=ADDR,...] [...query flags]
 //! ```
 //!
 //! `serve` loads a persisted database snapshot and answers queries over the
@@ -34,10 +37,17 @@
 //! `--report` writes a human-readable per-stage telemetry table;
 //! `--report-json` writes the same data as a `medvid-obs/v1` JSON report.
 //!
+//! `cluster serve` brings up N durable shards in one process (shard `i`
+//! stores under `DIR/shard-i`); `cluster status` scatter-gathers every
+//! shard's metrics — including a replica's replication lag — and `client
+//! --cluster` runs a scatter-gather query through the coordinator,
+//! reporting partial coverage when shards are down.
+//!
 //! Everything operates on the synthetic corpus (the repository's stand-in
 //! for real tapes), so every subcommand is self-contained and reproducible
 //! from a seed.
 
+use medvid::cluster::{ClusterTopology, Coordinator, CoordinatorConfig, GatherStatus, LocalCluster};
 use medvid::index::{Strategy, VideoDatabase};
 use medvid::obs::Recorder;
 use medvid::serve::{Client, MetricsSnapshot, QueryRequest, Response, ServerConfig, WireStrategy};
@@ -89,6 +99,12 @@ struct Options {
     fsync: FsyncPolicy,
     wal_bytes: Option<u64>,
     wal_records: Option<u64>,
+    /// Shard count for `cluster serve`.
+    shards: u32,
+    /// Comma-separated shard primary addresses, in shard order.
+    cluster: Option<String>,
+    /// Comma-separated `IDX=ADDR` read-replica registrations.
+    replicas: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -124,6 +140,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fsync: FsyncPolicy::Always,
         wal_bytes: None,
         wal_records: None,
+        shards: 3,
+        cluster: None,
+        replicas: None,
     };
     let mut i = 1;
     // A bare word right after the command is its sub-action
@@ -230,6 +249,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.restore = Some(value()?.clone());
                 i += 2;
             }
+            "--shards" => {
+                opts.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                i += 2;
+            }
+            "--cluster" => {
+                opts.cluster = Some(value()?.clone());
+                i += 2;
+            }
+            "--replicas" => {
+                opts.replicas = Some(value()?.clone());
+                i += 2;
+            }
             "--stats" => {
                 opts.stats = true;
                 i += 1;
@@ -288,7 +319,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|top|store> [flags]\n\
+    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|top|store|cluster> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
      --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
@@ -297,7 +328,10 @@ fn usage() -> String {
      observability: --metrics  --prometheus  --slow [--drain]  --trace  \
      --trace-id ID;  top: --addr HOST:PORT [--interval SECS] [--iterations N]\n\
      durability: --store DIR  --fsync always|never|N  --wal-bytes N  \
-     --wal-records N;  store takes an action: info|checkpoint|verify"
+     --wal-records N;  store takes an action: info|checkpoint|verify\n\
+     cluster: serve --store DIR [--shards N];  status --cluster A,B,...  \
+     [--replicas IDX=ADDR,...];  client also takes --cluster/--replicas \
+     for scatter-gather queries"
         .to_string()
 }
 
@@ -518,6 +552,13 @@ fn run(opts: &Options) -> Result<(), String> {
                 None => Err(format!("store needs an action\n{}", usage())),
             }
         }
+        "cluster" => match opts.action.as_deref() {
+            Some("serve") => cluster_serve(opts),
+            Some("status") => cluster_status(opts),
+            Some(other) => Err(format!("unknown cluster action '{other}'\n{}", usage())),
+            None => Err(format!("cluster needs an action (serve|status)\n{}", usage())),
+        },
+        "client" if opts.cluster.is_some() => cluster_query(opts),
         "client" => {
             let addr = opts.addr.as_ref().ok_or("client needs --addr HOST:PORT")?;
             let addr: SocketAddr = addr.parse().map_err(|e| format!("--addr: {e}"))?;
@@ -563,6 +604,179 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Builds the coordinator's cluster map from `--cluster` (primary
+/// addresses in shard order) and `--replicas` (`IDX=ADDR` pairs).
+fn parse_topology(opts: &Options) -> Result<ClusterTopology, String> {
+    let list = opts
+        .cluster
+        .as_ref()
+        .ok_or("this command needs --cluster ADDR,ADDR,...")?;
+    let primaries: Vec<SocketAddr> = list
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse()
+                .map_err(|e| format!("--cluster '{}': {e}", a.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut topology = ClusterTopology::of_primaries(&primaries);
+    if let Some(pairs) = &opts.replicas {
+        for pair in pairs.split(',') {
+            let (idx, addr) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--replicas wants IDX=ADDR, got '{pair}'"))?;
+            let idx: u32 = idx
+                .trim()
+                .parse()
+                .map_err(|e| format!("--replicas shard index '{idx}': {e}"))?;
+            if idx as usize >= topology.len() {
+                return Err(format!(
+                    "--replicas: shard {idx} is not in the {}-shard --cluster list",
+                    topology.len()
+                ));
+            }
+            topology.add_replica(
+                idx,
+                addr.trim()
+                    .parse()
+                    .map_err(|e| format!("--replicas '{}': {e}", addr.trim()))?,
+            );
+        }
+    }
+    Ok(topology)
+}
+
+fn coordinator_config(opts: &Options) -> CoordinatorConfig {
+    CoordinatorConfig {
+        default_limit: opts.limit,
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// `medvid cluster serve`: N durable shards in one process, each with its
+/// own WAL and checkpoints under `--store DIR/shard-i`.
+fn cluster_serve(opts: &Options) -> Result<(), String> {
+    let dir = opts
+        .store
+        .as_ref()
+        .ok_or("cluster serve needs --store DIR")?;
+    let rec = Recorder::new();
+    let server = ServerConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache_capacity: opts.cache,
+        default_limit: opts.limit,
+        ..ServerConfig::default()
+    };
+    let cluster = LocalCluster::spawn(dir, opts.shards, store_config(opts), server, rec)
+        .map_err(|e| e.to_string())?;
+    for (i, report) in cluster.recovery_reports().iter().enumerate() {
+        println!(
+            "shard {i} on {} — recovered from {}: {report}",
+            cluster.addr(i as u32),
+            dir.join(format!("shard-{i}")).display()
+        );
+    }
+    let list = (0..cluster.len() as u32)
+        .map(|i| cluster.addr(i).to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!("cluster of {} shards is up", cluster.len());
+    println!("status: medvid cluster status --cluster {list}");
+    println!("query:  medvid client --cluster {list}");
+    println!("stop:   medvid client --addr <shard-addr> --shutdown (per shard)");
+    cluster.join();
+    println!("all shards drained");
+    Ok(())
+}
+
+/// `medvid cluster status`: scatter-gather every shard's metrics snapshot
+/// and render one status line per shard, including replication lag.
+fn cluster_status(opts: &Options) -> Result<(), String> {
+    let coordinator = Coordinator::new(
+        parse_topology(opts)?,
+        coordinator_config(opts),
+        Recorder::disabled(),
+    );
+    let mut unreachable = 0usize;
+    for m in coordinator.metrics() {
+        match (&m.snapshot, &m.error) {
+            (Some(s), _) => {
+                let w = &s.window;
+                let store = match &s.store {
+                    Some(st) => format!("seq {} / {} wal records", st.last_seq, st.wal_records),
+                    None => "in-memory".to_string(),
+                };
+                let repl = match &s.replication {
+                    Some(r) => format!(
+                        "  [{} applied {}/{} lag {}]",
+                        r.role, r.applied_seq, r.leader_seq, r.lag
+                    ),
+                    None => String::new(),
+                };
+                println!(
+                    "shard {}: epoch {}, {} records, {:.1} qps, p99 {:.2} ms, {store}{repl}",
+                    m.shard, s.epoch, s.records, w.qps, w.p99_ms
+                );
+            }
+            (None, err) => {
+                unreachable += 1;
+                println!(
+                    "shard {}: UNREACHABLE ({})",
+                    m.shard,
+                    err.as_deref().unwrap_or("no detail")
+                );
+            }
+        }
+    }
+    if unreachable > 0 {
+        return Err(format!("{unreachable} shard(s) unreachable"));
+    }
+    Ok(())
+}
+
+/// `medvid client --cluster`: one scatter-gather query through the
+/// coordinator, with typed partial-coverage reporting.
+fn cluster_query(opts: &Options) -> Result<(), String> {
+    let coordinator = Coordinator::new(
+        parse_topology(opts)?,
+        coordinator_config(opts),
+        Recorder::disabled(),
+    );
+    let outcome = coordinator
+        .query(&QueryRequest {
+            event: opts.event,
+            limit: Some(opts.limit),
+            strategy: opts.strategy,
+            trace_id: opts.trace_id.clone(),
+            trace: opts.trace,
+            ..QueryRequest::default()
+        })
+        .map_err(|e| e.to_string())?;
+    match &outcome.status {
+        GatherStatus::Complete => println!(
+            "{} hits from {} shards (complete)",
+            outcome.hits.len(),
+            coordinator.topology().len()
+        ),
+        GatherStatus::Degraded { missing_shards } => println!(
+            "{} hits — DEGRADED: shards {missing_shards:?} are unreachable, \
+             results cover the remaining corpus",
+            outcome.hits.len()
+        ),
+    }
+    if !outcome.failovers.is_empty() {
+        println!("answered via replica for shards {:?}", outcome.failovers);
+    }
+    for h in &outcome.hits {
+        println!(
+            "  video {} shot {}: distance {:.4}",
+            h.video, h.shot, h.distance
+        );
+    }
+    Ok(())
+}
+
 /// `medvid top`: poll [`Request::Metrics`] and redraw a terminal
 /// dashboard every `--interval` seconds. `--iterations N` stops after N
 /// refreshes (0 = run until the connection drops or ^C).
@@ -592,8 +806,12 @@ fn run_top(addr: SocketAddr, opts: &Options) -> Result<(), String> {
 fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
     let w = &snapshot.window;
     let mut out = String::new();
+    let shard = match snapshot.shard {
+        Some(s) => format!(" — shard {s}"),
+        None => String::new(),
+    };
     out.push_str(&format!(
-        "medvid top — {addr} — {} / {} — up {:.0}s\n",
+        "medvid top — {addr}{shard} — {} / {} — up {:.0}s\n",
         snapshot.protocol, snapshot.schema, snapshot.uptime_secs
     ));
     out.push_str(&format!(
@@ -645,6 +863,16 @@ fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
             ));
         }
         None => out.push_str("store   none (in-memory)\n"),
+    }
+    if let Some(r) = &snapshot.replication {
+        out.push_str(&format!(
+            "repl    {}  applied {} of leader {}  lag {}{}\n",
+            r.role,
+            r.applied_seq,
+            r.leader_seq,
+            r.lag,
+            if r.lag > 0 { "  CATCHING UP" } else { "" }
+        ));
     }
     out.push_str(&format!(
         "slowlog {} entries (threshold {:.0} ms)\n",
@@ -776,11 +1004,37 @@ fn print_response(response: &Response) {
             kind,
             message,
             trace_id,
+            shard,
         } => {
+            let origin = match shard {
+                Some(s) => format!(" from shard {s}"),
+                None => String::new(),
+            };
             match trace_id {
-                Some(id) => println!("server error ({kind:?}) [trace {id}]: {message}"),
-                None => println!("server error ({kind:?}): {message}"),
+                Some(id) => println!("server error ({kind:?}){origin} [trace {id}]: {message}"),
+                None => println!("server error ({kind:?}){origin}: {message}"),
             }
+        }
+        Response::LogSegment {
+            shard,
+            checkpoint_seq,
+            last_seq,
+            snapshot,
+            records,
+        } => {
+            let origin = match shard {
+                Some(s) => format!("shard {s} "),
+                None => String::new(),
+            };
+            println!(
+                "{origin}log segment: {} records, leader seq {last_seq} (checkpoint covers {checkpoint_seq}){}",
+                records.len(),
+                if snapshot.is_some() {
+                    ", full checkpoint included"
+                } else {
+                    ""
+                }
+            );
         }
     }
 }
@@ -948,6 +1202,57 @@ mod tests {
         assert!(o.stats);
         let o = parse(&["client", "--addr", "127.0.0.1:4100", "--shutdown"]).unwrap();
         assert!(o.shutdown);
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let o = parse(&["cluster", "serve", "--store", "/tmp/c", "--shards", "5"]).unwrap();
+        assert_eq!(o.command, "cluster");
+        assert_eq!(o.action.as_deref(), Some("serve"));
+        assert_eq!(o.shards, 5);
+
+        let o = parse(&[
+            "cluster",
+            "status",
+            "--cluster",
+            "127.0.0.1:4100,127.0.0.1:4101",
+            "--replicas",
+            "0=127.0.0.1:4200",
+        ])
+        .unwrap();
+        assert_eq!(o.action.as_deref(), Some("status"));
+        let topo = parse_topology(&o).unwrap();
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.spec(0).unwrap().replicas.len(), 1);
+
+        let o = parse(&["client", "--cluster", "127.0.0.1:4100", "--limit", "3"]).unwrap();
+        assert!(o.cluster.is_some());
+        assert!(parse_topology(&o).is_ok());
+
+        // Topology errors are typed at parse time, not panics at routing
+        // time: bad addresses and out-of-range replica indices.
+        let o = parse(&["cluster", "status", "--cluster", "not-an-addr"]).unwrap();
+        assert!(parse_topology(&o).is_err());
+        let o = parse(&[
+            "cluster",
+            "status",
+            "--cluster",
+            "127.0.0.1:4100",
+            "--replicas",
+            "7=127.0.0.1:4200",
+        ])
+        .unwrap();
+        assert!(parse_topology(&o).is_err());
+        let o = parse(&[
+            "cluster",
+            "status",
+            "--cluster",
+            "127.0.0.1:4100",
+            "--replicas",
+            "no-equals-sign",
+        ])
+        .unwrap();
+        assert!(parse_topology(&o).is_err());
     }
 
     #[test]

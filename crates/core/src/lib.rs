@@ -37,6 +37,7 @@
 //! | [`skim`] | scalable skimming, colour bar, viewer study |
 //! | [`serve`] | concurrent query serving: snapshots, cache, TCP front-end |
 //! | [`store`] | durable storage: write-ahead log, checkpoints, recovery |
+//! | [`cluster`] | sharded scatter-gather serving + WAL-shipping replication |
 //! | [`baselines`] | Rui et al. and Lin–Zhang scene detectors |
 
 #![forbid(unsafe_code)]
@@ -44,6 +45,7 @@
 
 pub use medvid_audio as audio;
 pub use medvid_baselines as baselines;
+pub use medvid_cluster as cluster;
 pub use medvid_codec as codec;
 pub use medvid_events as events;
 pub use medvid_index as index;

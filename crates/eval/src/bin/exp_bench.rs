@@ -8,7 +8,12 @@
 //!
 //! Also measures ingest durability: single-shot WAL appends per second
 //! under each fsync policy (`always`, `every 8`, `never`), quantifying
-//! what the crash-safety guarantee costs at the storage layer.
+//! what the crash-safety guarantee costs at the storage layer — and the
+//! scatter-gather serving tier: query throughput at shard counts 1, 2
+//! and 4 with the corpus hash-partitioned, plus the coordinator's
+//! overhead over a direct single-node client (fan-out, merge and the
+//! extra hop, isolated by comparing a one-shard cluster to the same
+//! records behind a plain `Client`).
 //!
 //! Writes two artefacts: the standard experiment envelope under
 //! `target/experiments/bench_pipeline.json`, and the benchmark-trajectory
@@ -16,8 +21,10 @@
 //! the corpus and the thread set so the tier-1 gate can run it in seconds.
 
 use medvid::{ClassMiner, ClassMinerConfig, MinedVideo};
+use medvid_cluster::{shard_of, ClusterTopology, Coordinator, CoordinatorConfig};
 use medvid_eval::report::{f3, print_table, write_report};
-use medvid_index::VideoDatabase;
+use medvid_index::persist::DatabaseSnapshot;
+use medvid_index::{ShotRecord, VideoDatabase};
 use medvid_obs::{CorpusReport, Recorder, Stage};
 use medvid_store::{FsyncPolicy, Store, StoreConfig, StoredShot, WalOp};
 use medvid_synth::{standard_corpus, CorpusScale};
@@ -65,6 +72,29 @@ struct ServeLiveRun {
     metrics_roundtrip_ms: f64,
 }
 
+/// One shard count of the scatter-gather ladder.
+#[derive(Serialize)]
+struct ClusterGatherRun {
+    shards: u32,
+    queries: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// The serving tier scattered across shards, against a direct
+/// single-node baseline over the identical records and query stream.
+#[derive(Serialize)]
+struct ClusterBench {
+    direct_qps: f64,
+    direct_p50_ms: f64,
+    /// Coordinator p50 over ONE shard minus the direct p50 — the price of
+    /// the fan-out/merge hop itself, with sharding's parallelism factored
+    /// out.
+    coordinator_overhead_p50_ms: f64,
+    runs: Vec<ClusterGatherRun>,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     /// `available_parallelism` of the machine that produced these numbers —
@@ -76,6 +106,133 @@ struct BenchReport {
     runs: Vec<ThreadRun>,
     durability: Vec<DurabilityRun>,
     serve_live: ServeLiveRun,
+    cluster: ClusterBench,
+}
+
+/// Sorted-latency quantile, milliseconds.
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Restores a database holding exactly `records` under the mined
+/// corpus's hierarchy, config and policy.
+fn db_of(template: &DatabaseSnapshot, records: Vec<ShotRecord>) -> VideoDatabase {
+    VideoDatabase::from_snapshot(DatabaseSnapshot {
+        version: template.version,
+        hierarchy: template.hierarchy.clone(),
+        config: template.config,
+        policy: template.policy.clone(),
+        records,
+    })
+    .expect("records come from a valid database")
+}
+
+/// Measures the scatter-gather tier: the same flat query stream against
+/// (a) one node behind a plain client and (b) coordinators over 1, 2 and
+/// 4 hash-partitioned shards.
+fn cluster_gather_bench(template: &DatabaseSnapshot, queries: usize) -> ClusterBench {
+    use medvid_serve::{Client, QueryRequest, Response, ServerConfig, WireStrategy};
+    let probes: Vec<Vec<f32>> = template
+        .records
+        .iter()
+        .step_by(5)
+        .take(8)
+        .map(|r| r.features.clone())
+        .collect();
+    let request_at = |i: usize| QueryRequest {
+        vector: Some(probes[i % probes.len()].clone()),
+        limit: Some(5),
+        strategy: Some(WireStrategy::Flat),
+        ..QueryRequest::default()
+    };
+
+    // Direct baseline: every record on one node, one connection per
+    // request — the same connection discipline the coordinator applies
+    // per shard, so the difference isolates fan-out and merge rather
+    // than connection reuse.
+    let handle = medvid_serve::spawn(
+        db_of(template, template.records.clone()),
+        ServerConfig::default(),
+        Recorder::disabled(),
+    )
+    .expect("bind baseline server");
+    let mut direct: Vec<f64> = Vec::with_capacity(queries);
+    let started = Instant::now();
+    for i in 0..queries {
+        let t0 = Instant::now();
+        let mut client =
+            Client::connect(handle.addr(), std::time::Duration::from_secs(30)).expect("connect");
+        let response = client.query(request_at(i)).expect("baseline query");
+        assert!(matches!(response, Response::Results { .. }));
+        direct.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let direct_wall = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    handle.join();
+    direct.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let direct_p50 = quantile_ms(&direct, 0.50);
+
+    let mut runs = Vec::new();
+    let mut one_shard_p50 = 0.0;
+    for shards in [1u32, 2, 4] {
+        let mut parts: Vec<Vec<ShotRecord>> = vec![Vec::new(); shards as usize];
+        for r in &template.records {
+            parts[shard_of(r.shot.video, shards) as usize].push(r.clone());
+        }
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                medvid_serve::spawn(
+                    db_of(template, part),
+                    ServerConfig {
+                        shard: Some(i as u32),
+                        ..ServerConfig::default()
+                    },
+                    Recorder::disabled(),
+                )
+                .expect("bind shard server")
+            })
+            .collect();
+        let topology =
+            ClusterTopology::of_primaries(&handles.iter().map(|h| h.addr()).collect::<Vec<_>>());
+        let coordinator =
+            Coordinator::new(topology, CoordinatorConfig::default(), Recorder::disabled());
+        let mut latencies: Vec<f64> = Vec::with_capacity(queries);
+        let started = Instant::now();
+        for i in 0..queries {
+            let t0 = Instant::now();
+            let outcome = coordinator.query(&request_at(i)).expect("gathered query");
+            assert!(outcome.status.is_complete(), "no shard ever went away");
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let wall = started.elapsed().as_secs_f64();
+        for h in handles {
+            h.shutdown();
+            h.join();
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p50 = quantile_ms(&latencies, 0.50);
+        if shards == 1 {
+            one_shard_p50 = p50;
+        }
+        runs.push(ClusterGatherRun {
+            shards,
+            queries,
+            qps: queries as f64 / wall.max(1e-9),
+            p50_ms: p50,
+            p99_ms: quantile_ms(&latencies, 0.99),
+        });
+    }
+    ClusterBench {
+        direct_qps: queries as f64 / direct_wall.max(1e-9),
+        direct_p50_ms: direct_p50,
+        coordinator_overhead_p50_ms: one_shard_p50 - direct_p50,
+        runs,
+    }
 }
 
 /// Spawns a server over `db`, drives `queries` cache-mixed lookups through
@@ -315,6 +472,7 @@ fn main() {
     // Serving-layer observability: index the corpus once, burst queries at
     // a spawned server, and snapshot its rolling window over the wire.
     let (db, _) = miner.index_corpus(&corpus);
+    let template = db.snapshot();
     let serve_live = serve_live_metrics(db, if smoke { 40 } else { 400 });
     print_table(
         "E-BENCH — serve live metrics (medvid-obs/v2 window)",
@@ -329,6 +487,33 @@ fn main() {
         ]],
     );
 
+    // The scatter-gather tier: direct single-node baseline, then the
+    // same query stream through coordinators at shard counts 1, 2, 4.
+    let cluster = cluster_gather_bench(&template, if smoke { 60 } else { 300 });
+    let mut cluster_table: Vec<Vec<String>> = vec![vec![
+        "direct".to_string(),
+        f3(cluster.direct_qps),
+        f3(cluster.direct_p50_ms),
+        String::from("-"),
+    ]];
+    cluster_table.extend(cluster.runs.iter().map(|r| {
+        vec![
+            format!("{} shard(s)", r.shards),
+            f3(r.qps),
+            f3(r.p50_ms),
+            f3(r.p99_ms),
+        ]
+    }));
+    print_table(
+        "E-BENCH — scatter-gather qps vs shard count",
+        &["tier", "qps", "p50 ms", "p99 ms"],
+        &cluster_table,
+    );
+    println!(
+        "coordinator overhead (1-shard cluster p50 minus direct p50): {} ms",
+        f3(cluster.coordinator_overhead_p50_ms)
+    );
+
     let bench = BenchReport {
         host_cpus,
         corpus_videos: corpus.len(),
@@ -337,6 +522,7 @@ fn main() {
         runs,
         durability,
         serve_live,
+        cluster,
     };
     // The benchmark trajectory lives at the repository root so successive
     // PRs can diff it; the manifest dir anchors the path regardless of cwd.

@@ -1,15 +1,20 @@
 //! E-SERVE: concurrent serving throughput and latency, flat scan (Eq. 24)
 //! vs cluster-based hierarchical retrieval (Eq. 25), through the full
-//! `medvid-serve/v1` stack (TCP framing, admission control, result cache).
+//! `medvid-serve/v1` stack (TCP framing, admission control, result cache) —
+//! plus the same load scattered across a sharded cluster through the
+//! `medvid-cluster` coordinator.
 
 use medvid::{ClassMiner, ClassMinerConfig};
+use medvid_cluster::{shard_of, ClusterTopology, Coordinator, CoordinatorConfig};
 use medvid_eval::report::{f3, print_table, write_report};
+use medvid_index::persist::DatabaseSnapshot;
+use medvid_index::{ShotRecord, VideoDatabase};
 use medvid_obs::{CorpusReport, Recorder};
 use medvid_serve::loadgen::{self, LoadConfig};
-use medvid_serve::{Client, MetricsSnapshot, Response, ServerConfig, WireStrategy};
+use medvid_serve::{Client, MetricsSnapshot, QueryRequest, Response, ServerConfig, WireStrategy};
 use medvid_synth::{standard_corpus, CorpusScale};
 use serde::Serialize;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[derive(Serialize)]
 struct Row {
@@ -23,12 +28,139 @@ struct Row {
     errors: usize,
 }
 
+/// The scatter-gather tier under the same client mix: every query fans
+/// out to all shards and merges, so the row measures the coordinator's
+/// end-to-end path, not a single node.
+#[derive(Serialize)]
+struct ClusterRow {
+    shards: u32,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    complete: usize,
+    degraded: usize,
+    errors: usize,
+}
+
 /// The artefact payload: the per-strategy rows plus the server's own live
 /// (`medvid-obs/v2`) view of the run, captured right after the load.
 #[derive(Serialize)]
 struct LoadtestReport {
     rows: Vec<Row>,
+    cluster: Vec<ClusterRow>,
     live: MetricsSnapshot,
+}
+
+/// Restores a database holding exactly `records` under the mined
+/// corpus's hierarchy, config and policy.
+fn db_of(template: &DatabaseSnapshot, records: Vec<ShotRecord>) -> VideoDatabase {
+    VideoDatabase::from_snapshot(DatabaseSnapshot {
+        version: template.version,
+        hierarchy: template.hierarchy.clone(),
+        config: template.config,
+        policy: template.policy.clone(),
+        records,
+    })
+    .expect("records come from a valid database")
+}
+
+/// Drives `clients x requests` flat queries through a coordinator over
+/// `shards` in-memory shard servers holding a production-hash partition
+/// of the mined corpus.
+fn cluster_run(
+    template: &DatabaseSnapshot,
+    shards: u32,
+    clients: usize,
+    requests: usize,
+    vector_pool: &[Vec<f32>],
+) -> ClusterRow {
+    let mut parts: Vec<Vec<ShotRecord>> = vec![Vec::new(); shards as usize];
+    for r in &template.records {
+        parts[shard_of(r.shot.video, shards) as usize].push(r.clone());
+    }
+    let handles: Vec<_> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            medvid_serve::spawn(
+                db_of(template, part),
+                ServerConfig {
+                    shard: Some(i as u32),
+                    ..ServerConfig::default()
+                },
+                Recorder::disabled(),
+            )
+            .expect("bind shard server")
+        })
+        .collect();
+    let topology =
+        ClusterTopology::of_primaries(&handles.iter().map(|h| h.addr()).collect::<Vec<_>>());
+    let coordinator = Coordinator::new(topology, CoordinatorConfig::default(), Recorder::disabled());
+
+    let started = Instant::now();
+    let per_client: Vec<(Vec<f64>, usize, usize, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let coordinator = &coordinator;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests);
+                    let (mut complete, mut degraded, mut errors) = (0usize, 0usize, 0usize);
+                    for i in 0..requests {
+                        let vector = vector_pool[(c + i * 7) % vector_pool.len()].clone();
+                        let req = QueryRequest {
+                            vector: Some(vector),
+                            limit: Some(10),
+                            strategy: Some(WireStrategy::Flat),
+                            ..QueryRequest::default()
+                        };
+                        let t0 = Instant::now();
+                        match coordinator.query(&req) {
+                            Ok(outcome) if outcome.status.is_complete() => complete += 1,
+                            Ok(_) => degraded += 1,
+                            Err(_) => errors += 1,
+                        }
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (latencies, complete, degraded, errors)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    for h in handles {
+        h.shutdown();
+        h.join();
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut complete, mut degraded, mut errors) = (0usize, 0usize, 0usize);
+    for (l, c, d, e) in per_client {
+        latencies.extend(l);
+        complete += c;
+        degraded += d;
+        errors += e;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    ClusterRow {
+        shards,
+        throughput_rps: (clients * requests) as f64 / wall.max(1e-9),
+        p50_ms: quantile(0.50),
+        p99_ms: quantile(0.99),
+        complete,
+        degraded,
+        errors,
+    }
 }
 
 fn main() {
@@ -101,6 +233,23 @@ fn main() {
     );
     handle.shutdown();
     handle.join();
+
+    // The same client mix through the scatter-gather tier at shard counts
+    // 1, 2 and 4: each record lands on the shard the production placement
+    // hash assigns its video, and every query fans out and merges.
+    let template = {
+        let (db, _) = miner.index_corpus(&corpus);
+        db.snapshot()
+    };
+    let cluster: Vec<ClusterRow> = [1u32, 2, 4]
+        .into_iter()
+        .map(|shards| cluster_run(&template, shards, clients, requests, &vector_pool))
+        .collect();
+    for c in &cluster {
+        assert_eq!(c.degraded, 0, "no shard ever went away");
+        assert_eq!(c.errors, 0, "every scatter-gather query must resolve");
+    }
+
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -123,6 +272,27 @@ fn main() {
         ],
         &table,
     );
+    let cluster_table: Vec<Vec<String>> = cluster
+        .iter()
+        .map(|c| {
+            vec![
+                c.shards.to_string(),
+                f3(c.throughput_rps),
+                f3(c.p50_ms),
+                f3(c.p99_ms),
+                c.complete.to_string(),
+                c.degraded.to_string(),
+                c.errors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-SERVE — scatter-gather cluster, flat queries vs shard count",
+        &[
+            "shards", "req/s", "p50 ms", "p99 ms", "complete", "degraded", "errors",
+        ],
+        &cluster_table,
+    );
     let telemetry = CorpusReport::from_totals(rec.report());
-    write_report("loadtest", &telemetry, &LoadtestReport { rows, live });
+    write_report("loadtest", &telemetry, &LoadtestReport { rows, cluster, live });
 }

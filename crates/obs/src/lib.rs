@@ -133,6 +133,18 @@ pub mod counters {
     pub const STORE_SKIPPED_RECORDS: &str = "store_skipped_records";
     /// Bytes of torn/corrupt WAL tail discarded by recovery.
     pub const STORE_DISCARDED_BYTES: &str = "store_discarded_bytes";
+    /// Scatter-gather queries fanned out by a cluster coordinator.
+    pub const CLUSTER_QUERIES: &str = "cluster_queries";
+    /// Scatter-gather queries that returned a degraded (partial) result
+    /// because at least one shard had no reachable primary or replica.
+    pub const CLUSTER_DEGRADED: &str = "cluster_degraded";
+    /// Per-shard read requests answered by a replica because the primary
+    /// was unreachable.
+    pub const CLUSTER_FAILOVERS: &str = "cluster_failovers";
+    /// Log segments a follower fetched and applied during WAL shipping.
+    pub const CLUSTER_SEGMENTS_APPLIED: &str = "cluster_segments_applied";
+    /// WAL records a follower replayed from shipped segments.
+    pub const CLUSTER_RECORDS_SHIPPED: &str = "cluster_records_shipped";
 }
 
 /// Names of the value histograms the serving layer records (dimensionless
@@ -143,4 +155,7 @@ pub mod values {
     /// Worker-thread budget of the `medvid-par` executor, sampled once per
     /// mined video (so reports show which parallelism the timings ran at).
     pub const PAR_THREADS: &str = "par_threads";
+    /// Follower replication lag (leader seq minus applied seq), sampled
+    /// after each fetch cycle.
+    pub const REPLICATION_LAG: &str = "replication_lag";
 }

@@ -27,6 +27,16 @@
 //! past its thresholds, and recover checkpoint + WAL tail on startup — see
 //! the `medvid-store` crate for the on-disk format and crash-recovery
 //! semantics.
+//!
+//! Durable servers also serve as replication leaders: the
+//! `Request::FetchLog { from_seq }` verb answers a
+//! `Response::LogSegment` (a checkpoint snapshot when the follower's
+//! cursor predates the oldest retained record, then pages of WAL
+//! suffix), which `medvid-cluster` followers apply through the crash
+//! recovery replay path. A node configured with a shard id
+//! ([`ServerConfig::shard`]) stamps it into its errors and metrics, and
+//! a follower's [`MetricsSnapshot`] carries its [`ReplicationStatus`]
+//! (role, applied/leader sequence, lag).
 
 pub mod cache;
 pub mod client;
@@ -44,11 +54,13 @@ pub use client::Client;
 pub use executor::Executor;
 pub use live::LiveMetrics;
 pub use protocol::{
-    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, MetricsSnapshot, QueryRequest, Request,
-    Response, SlowQueryRecord, StageTiming, TraceReport, WindowSummary, WireStats, WireStrategy,
-    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, MetricsSnapshot, QueryRequest,
+    ReplicationStatus, Request, Response, SlowQueryRecord, StageTiming, TraceReport, WindowSummary,
+    WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use retry::{connect_with_retry, ClientError, RetryPolicy, RetryingClient};
+pub use retry::{
+    connect_with_retry, ClientError, RetryAction, RetryClassifier, RetryPolicy, RetryingClient,
+};
 pub use server::{spawn, spawn_durable, ServerConfig, ServerHandle};
 pub use service::{DbEpoch, DbService, IngestError};
 pub use trace::TraceCtx;

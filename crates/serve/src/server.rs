@@ -13,7 +13,8 @@ use crate::cache::{CachedResult, QueryKey, ResultCache};
 use crate::executor::Executor;
 use crate::live::{LiveMetrics, DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD};
 use crate::protocol::{
-    self, ErrorKind, Hit, MetricsSnapshot, QueryRequest, Request, Response, PROTOCOL_VERSION,
+    self, ErrorKind, Hit, MetricsSnapshot, QueryRequest, ReplicationStatus, Request, Response,
+    PROTOCOL_VERSION,
 };
 use crate::service::{DbService, IngestError};
 use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_CACHE, STAGE_EXECUTE, STAGE_QUEUE_WAIT};
@@ -29,6 +30,10 @@ use std::time::{Duration, Instant};
 
 /// How often the background checkpointer re-examines the WAL thresholds.
 const CHECKPOINT_POLL: Duration = Duration::from_millis(250);
+
+/// Record cap on one shipped `LogSegment` when the follower does not name
+/// its own budget — bounds segment size well under `MAX_FRAME_BYTES`.
+const FETCH_LOG_MAX_RECORDS: usize = 4096;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -58,6 +63,10 @@ pub struct ServerConfig {
     pub slow_query_threshold: Duration,
     /// Bound on the in-memory slow-query log (oldest entries evicted).
     pub slow_log_capacity: usize,
+    /// Cluster shard id this server owns, when part of a sharded
+    /// deployment. Stamped onto every outgoing error and `LogSegment`
+    /// so coordinator-level degradation reports can name the culprit.
+    pub shard: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +87,7 @@ impl Default for ServerConfig {
             window_width: Duration::from_nanos(medvid_obs::rolling::DEFAULT_WIDTH_NANOS),
             slow_query_threshold: DEFAULT_SLOW_THRESHOLD,
             slow_log_capacity: DEFAULT_SLOW_CAPACITY,
+            shard: None,
         }
     }
 }
@@ -90,6 +100,9 @@ struct Shared {
     config: ServerConfig,
     recorder: Recorder,
     shutdown: AtomicBool,
+    /// Published by the replication tailer (follower role) or the cluster
+    /// layer (leader role); surfaced verbatim in [`MetricsSnapshot`].
+    replication: parking_lot::Mutex<Option<ReplicationStatus>>,
 }
 
 /// Handle to a running server.
@@ -109,6 +122,29 @@ impl ServerHandle {
     /// Requests a graceful drain, without waiting for it to finish.
     pub fn shutdown(&self) {
         begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Replaces the serving database wholesale (the replication catch-up
+    /// path: a follower installs the leader's replayed state). The epoch
+    /// bump invalidates every cached result of the superseded database.
+    ///
+    /// # Errors
+    /// Propagates storage failures from the checkpoint a durable service
+    /// takes before swapping.
+    pub fn install_db(&self, db: VideoDatabase) -> Result<u64, medvid_store::StoreError> {
+        self.shared.service.replace(db)
+    }
+
+    /// Publishes (or clears) the replication status reported by
+    /// [`Request::Metrics`]. Called by the cluster layer's tailer after
+    /// each applied `LogSegment`.
+    pub fn set_replication(&self, status: Option<ReplicationStatus>) {
+        *self.shared.replication.lock() = status;
+    }
+
+    /// The shard id this server was configured with, if any.
+    pub fn shard(&self) -> Option<u32> {
+        self.shared.config.shard
     }
 
     /// Waits for the accept loop (and every connection it spawned) to
@@ -210,6 +246,7 @@ fn spawn_service(
         config,
         recorder,
         shutdown: AtomicBool::new(false),
+        replication: parking_lot::Mutex::new(None),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -292,7 +329,8 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let resp = Response::error(ErrorKind::BadRequest, e.to_string());
+                let mut resp = Response::error(ErrorKind::BadRequest, e.to_string());
+                resp.stamp_shard(shared.config.shard);
                 let _ = protocol::send_message(&mut stream, &resp);
                 return;
             }
@@ -302,13 +340,15 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         shared.recorder.incr(counters::SERVE_REQUESTS, 1);
         let span = shared.recorder.span(Stage::ServeRequest);
         if shared.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
-            let resp = Response::error(ErrorKind::ShuttingDown, "server is draining");
+            let mut resp = Response::error(ErrorKind::ShuttingDown, "server is draining");
+            resp.stamp_shard(shared.config.shard);
             let _ = protocol::send_message(&mut stream, &resp);
             drop(span);
             return;
         }
         let shutting_down = matches!(request, Request::Shutdown);
-        let outcome = dispatch(request, &shared);
+        let mut outcome = dispatch(request, &shared);
+        outcome.response.stamp_shard(shared.config.shard);
         drop(span);
         observe_outcome(&outcome, &shared);
         if protocol::send_message(&mut stream, &outcome.response).is_err() {
@@ -369,6 +409,7 @@ fn shape_of(request: &Request) -> String {
         Request::Snapshot { .. } => "snapshot".to_string(),
         Request::Restore { .. } => "restore".to_string(),
         Request::Shutdown => "shutdown".to_string(),
+        Request::FetchLog { from_seq, .. } => format!("fetch_log from_seq={from_seq}"),
     }
 }
 
@@ -422,6 +463,8 @@ fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
         store: shared.service.store_status(),
         slow_queries: shared.live.slow_len(),
         slow_threshold_ms: shared.live.threshold().as_secs_f64() * 1_000.0,
+        shard: shared.config.shard,
+        replication: shared.replication.lock().clone(),
     }
 }
 
@@ -528,6 +571,26 @@ fn dispatch_plain(request: Request, shared: &Arc<Shared>) -> Response {
             }
         },
         Request::Shutdown => Response::Bye,
+        Request::FetchLog {
+            from_seq,
+            max_records,
+        } => {
+            let budget = max_records.unwrap_or(FETCH_LOG_MAX_RECORDS);
+            match shared.service.log_suffix(from_seq, budget) {
+                Ok(Some(suffix)) => Response::LogSegment {
+                    shard: None, // stamped by the connection loop
+                    checkpoint_seq: suffix.checkpoint_seq,
+                    last_seq: suffix.last_seq,
+                    snapshot: suffix.checkpoint,
+                    records: suffix.records,
+                },
+                Ok(None) => Response::error(
+                    ErrorKind::BadRequest,
+                    "server is in-memory: there is no durable log to ship",
+                ),
+                Err(e) => Response::error(ErrorKind::Store, e.to_string()),
+            }
+        }
     }
 }
 

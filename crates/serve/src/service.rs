@@ -239,6 +239,24 @@ impl DbService {
     pub fn store_status(&self) -> Option<StoreStatus> {
         self.writer.lock().as_ref().map(Store::status)
     }
+
+    /// The durable log suffix past `from_seq`, for WAL-shipping
+    /// replication. Holding the writer lock serialises the scan with
+    /// appends, so a shipped segment never ends in a half-written frame.
+    /// Returns `Ok(None)` in in-memory mode — there is no log to ship.
+    ///
+    /// # Errors
+    /// Propagates storage failures (unreadable WAL, missing checkpoint).
+    pub fn log_suffix(
+        &self,
+        from_seq: u64,
+        max_records: usize,
+    ) -> Result<Option<medvid_store::LogSuffix>, StoreError> {
+        match self.writer.lock().as_ref() {
+            Some(store) => store.log_suffix(from_seq, max_records).map(Some),
+            None => Ok(None),
+        }
+    }
 }
 
 fn to_stored(s: &IngestShot) -> StoredShot {

@@ -138,6 +138,24 @@ pub struct CheckpointStats {
     pub wal_bytes_truncated: u64,
 }
 
+/// A readable suffix of the durable log, produced by [`Store::log_suffix`]
+/// for WAL-shipping replication. When the requested resume point predates
+/// the newest checkpoint (the WAL no longer holds those records), the
+/// checkpoint document rides along so a follower can bootstrap exactly the
+/// way crash recovery does: restore the snapshot, replay the records.
+#[derive(Debug, Clone)]
+pub struct LogSuffix {
+    /// Sequence number the newest checkpoint covers.
+    pub checkpoint_seq: u64,
+    /// Highest durable sequence number (the replication-lag watermark).
+    pub last_seq: u64,
+    /// Checkpoint document, present only when `from_seq < checkpoint_seq`.
+    pub checkpoint: Option<StoreCheckpoint>,
+    /// Durable records with `seq > max(from_seq, shipped checkpoint_seq)`,
+    /// ascending, capped at the caller's record budget.
+    pub records: Vec<WalRecord>,
+}
+
 /// A recovered store: the engine handle, the database it reconstructed
 /// and the report of how reconstruction went.
 #[derive(Debug)]
@@ -432,6 +450,51 @@ impl Store {
     /// Highest assigned sequence number.
     pub fn last_seq(&self) -> u64 {
         self.last_seq
+    }
+
+    /// Reads the durable log suffix past `from_seq`, for shipping to a
+    /// replication follower. Returns at most `max_records` records; the
+    /// follower keeps fetching until its applied seq reaches `last_seq`.
+    /// When `from_seq` predates the newest checkpoint, the checkpoint
+    /// document is included and the records resume after it.
+    ///
+    /// The scan re-reads the WAL file, accepting only whole, checksummed
+    /// frames — a concurrent append in progress looks like a torn tail and
+    /// is simply not shipped yet. Callers who need `last_seq` to agree
+    /// with the shipped records serialise this with appends (the serving
+    /// layer holds its writer lock).
+    ///
+    /// # Errors
+    /// Propagates I/O failures and an unreadable checkpoint. A poisoned
+    /// store still ships its durable prefix — reads stay available.
+    pub fn log_suffix(&self, from_seq: u64, max_records: usize) -> Result<LogSuffix, StoreError> {
+        let mut suffix = LogSuffix {
+            checkpoint_seq: self.checkpoint_seq,
+            last_seq: self.last_seq,
+            checkpoint: None,
+            records: Vec::new(),
+        };
+        let mut resume = from_seq;
+        if from_seq < self.checkpoint_seq {
+            let doc = StoreCheckpoint::read(&self.dir.join(CHECKPOINT_FILE))?.ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "checkpoint covering seq {} is missing from {}",
+                    self.checkpoint_seq,
+                    self.dir.display()
+                ))
+            })?;
+            resume = doc.last_seq;
+            suffix.checkpoint = Some(doc);
+        }
+        if let Some(scan) = scan_wal(&self.dir.join(WAL_FILE))? {
+            suffix.records = scan
+                .records
+                .into_iter()
+                .filter(|r| r.seq > resume)
+                .take(max_records)
+                .collect();
+        }
+        Ok(suffix)
     }
 
     /// The store directory.
@@ -962,6 +1025,90 @@ mod tests {
         assert!(recovered.store.status().unsynced_records > 0);
         recovered.store.sync().unwrap();
         assert_eq!(recovered.store.status().unsynced_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_suffix_ships_exactly_the_records_past_the_resume_point() {
+        let dir = scratch("suffix");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            let s = stored_shot(&recovered.db, 0, i);
+            apply(&mut recovered.db, &s);
+            recovered
+                .store
+                .append(&[WalOp::IngestShot { shot: s }])
+                .unwrap();
+        }
+        let all = recovered.store.log_suffix(0, usize::MAX).unwrap();
+        assert!(all.checkpoint.is_none(), "nothing is checkpointed yet");
+        assert_eq!(all.last_seq, recovered.store.last_seq());
+        // Baseline checkpoint marker (seq 1) + the four ingests.
+        assert_eq!(all.records.len(), 5);
+        assert!(all.records.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Resuming mid-log ships only the strict suffix.
+        let tail = recovered.store.log_suffix(3, usize::MAX).unwrap();
+        assert_eq!(
+            tail.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // The record budget caps a segment without losing the watermark.
+        let capped = recovered.store.log_suffix(0, 2).unwrap();
+        assert_eq!(capped.records.len(), 2);
+        assert_eq!(capped.last_seq, all.last_seq);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_suffix_falls_back_to_the_checkpoint_for_truncated_history() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let dir = scratch("suffixckpt");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        for i in 0..3 {
+            let s = stored_shot(&recovered.db, 0, i);
+            apply(&mut recovered.db, &s);
+            recovered
+                .store
+                .append(&[WalOp::IngestShot { shot: s }])
+                .unwrap();
+        }
+        recovered.store.checkpoint(&recovered.db).unwrap();
+        // One post-checkpoint append the suffix must still carry.
+        let s = stored_shot(&recovered.db, 1, 9);
+        apply(&mut recovered.db, &s);
+        recovered
+            .store
+            .append(&[WalOp::IngestShot { shot: s }])
+            .unwrap();
+        // A brand-new follower (from_seq 0) predates the checkpoint: the
+        // truncated records are gone from the WAL, so the checkpoint
+        // document must ride along and the records resume after it.
+        let boot = recovered.store.log_suffix(0, usize::MAX).unwrap();
+        let ckpt = boot.checkpoint.as_ref().expect("checkpoint shipped");
+        assert_eq!(ckpt.last_seq, boot.checkpoint_seq);
+        assert_eq!(ckpt.snapshot.records.len(), 3);
+        assert!(boot.records.iter().all(|r| r.seq > ckpt.last_seq));
+        assert_eq!(boot.last_seq, recovered.store.last_seq());
+        // A follower already past the checkpoint gets records only.
+        let caught = recovered
+            .store
+            .log_suffix(recovered.store.status().checkpoint_seq, usize::MAX)
+            .unwrap();
+        assert!(caught.checkpoint.is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -33,8 +33,8 @@ pub mod wal;
 pub use checkpoint::{StoreCheckpoint, CHECKPOINT_FILE};
 pub use crc::crc32;
 pub use engine::{
-    verify, AppendStats, CheckpointStats, Recovered, Store, StoreConfig, StoreError, StoreStatus,
-    VerifyReport, WAL_FILE,
+    verify, AppendStats, CheckpointStats, LogSuffix, Recovered, Store, StoreConfig, StoreError,
+    StoreStatus, VerifyReport, WAL_FILE,
 };
 pub use recovery::{RecoveryReport, ReplayOutcome};
 pub use wal::{

@@ -36,6 +36,10 @@ cargo test -q -p medvid-store --test crash_consistency
 cargo test -q -p medvid --test serve_faults
 cargo test -q -p medvid --test serve_durability
 cargo test -q -p medvid --test golden_pipeline
+# Cluster tier: merge-correctness/replication properties, then the 3-shard
+# failover end-to-end (FaultProxy-severed shard, replica reads, catch-up).
+cargo test -q -p medvid-cluster --test cluster_properties
+cargo test -q -p medvid-cluster --test cluster_integration
 unset MEDVID_TESTKIT_SEED MEDVID_TESTKIT_CASES
 
 echo "== cargo clippy --workspace -- -D warnings =="
