@@ -8,7 +8,7 @@
 //! medvid storyboard [--scale ...] [--seed N] [--video I] --out DIR
 //! medvid serve      --db DB.json [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //! medvid serve      --store DIR [--fsync always|never|N] [--wal-bytes N] [--wal-records N] [...]
-//! medvid client     --addr HOST:PORT [--event ...] [--limit N] [--strategy flat|hierarchical]
+//! medvid client     --addr HOST:PORT [--event ...] [--limit N] [--strategy flat|hierarchical|planned]
 //! medvid client     --addr HOST:PORT --stats | --restore PATH | --shutdown
 //! medvid client     --addr HOST:PORT --metrics | --prometheus | --slow [--drain]
 //! medvid client     --addr HOST:PORT --trace [--trace-id ID] [...query flags]
@@ -214,6 +214,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.strategy = Some(match value()?.as_str() {
                     "flat" => WireStrategy::Flat,
                     "hierarchical" | "hier" => WireStrategy::Hierarchical,
+                    "planned" | "plan" => WireStrategy::Planned,
                     other => return Err(format!("unknown strategy '{other}'")),
                 });
                 i += 2;
@@ -323,7 +324,7 @@ fn usage() -> String {
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
      --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
-     --queue N  --cache N  --strategy flat|hierarchical  --stats  \
+     --queue N  --cache N  --strategy flat|hierarchical|planned  --stats  \
      --restore PATH  --shutdown\n\
      observability: --metrics  --prometheus  --slow [--drain]  --trace  \
      --trace-id ID;  top: --addr HOST:PORT [--interval SECS] [--iterations N]\n\
@@ -875,6 +876,12 @@ fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
         ));
     }
     out.push_str(&format!(
+        "knn     {} quantized cmps  {} re-ranked  {} planner flat fallbacks\n",
+        snapshot.knn.quantized_comparisons,
+        snapshot.knn.rerank_candidates,
+        snapshot.knn.planner_flat_fallbacks
+    ));
+    out.push_str(&format!(
         "slowlog {} entries (threshold {:.0} ms)\n",
         snapshot.slow_queries, snapshot.slow_threshold_ms
     ));
@@ -1198,6 +1205,8 @@ mod tests {
         let o = parse(&["client", "--addr", "127.0.0.1:4100", "--strategy", "flat"]).unwrap();
         assert_eq!(o.strategy, Some(WireStrategy::Flat));
         assert!(!o.stats && !o.shutdown);
+        let o = parse(&["client", "--addr", "127.0.0.1:4100", "--strategy", "planned"]).unwrap();
+        assert_eq!(o.strategy, Some(WireStrategy::Planned));
         let o = parse(&["client", "--addr", "127.0.0.1:4100", "--stats"]).unwrap();
         assert!(o.stats);
         let o = parse(&["client", "--addr", "127.0.0.1:4100", "--shutdown"]).unwrap();

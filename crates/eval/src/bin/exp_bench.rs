@@ -72,6 +72,34 @@ struct ServeLiveRun {
     metrics_roundtrip_ms: f64,
 }
 
+/// One `k` of the Eq. 24–25 planner ladder: the verdict, its predicted
+/// comparison count, and the comparisons the planned execution actually
+/// charged.
+#[derive(Serialize)]
+struct PlannerProbe {
+    top_k: usize,
+    choice: String,
+    estimated_comparisons: usize,
+    actual_comparisons: usize,
+}
+
+/// The retrieval kernel head to head: quantized integer squared-L2 versus
+/// the scalar f32 scan over the identical corpus, plus the planner's
+/// estimate-vs-actual ledger against the mined database.
+#[derive(Serialize)]
+struct KernelBench {
+    vectors: usize,
+    dims: usize,
+    f32_ns_per_distance: f64,
+    quantized_ns_per_distance: f64,
+    /// f32 scalar time over quantized kernel time (higher is better).
+    speedup: f64,
+    /// Quantized-kernel distance evaluations charged by one flat query on
+    /// the mined database — zero would mean the scan fell back to scalar.
+    quantized_comparisons: u64,
+    planner: Vec<PlannerProbe>,
+}
+
 /// One shard count of the scatter-gather ladder.
 #[derive(Serialize)]
 struct ClusterGatherRun {
@@ -107,6 +135,7 @@ struct BenchReport {
     durability: Vec<DurabilityRun>,
     serve_live: ServeLiveRun,
     cluster: ClusterBench,
+    kernel: KernelBench,
 }
 
 /// Sorted-latency quantile, milliseconds.
@@ -232,6 +261,102 @@ fn cluster_gather_bench(template: &DatabaseSnapshot, queries: usize) -> ClusterB
         direct_p50_ms: direct_p50,
         coordinator_overhead_p50_ms: one_shard_p50 - direct_p50,
         runs,
+    }
+}
+
+/// The full feature space, matching the 266-dim colour+texture vectors
+/// the database indexes.
+const KERNEL_DIMS: usize = 266;
+
+fn sq_dist_f32(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Times both distance kernels over a synthetic corpus (`n` vectors of
+/// 266 dims), then charges one flat and three planned queries against the
+/// mined database so the kernel counters and planner verdicts in the
+/// artefact come from real executions, not the microbenchmark.
+fn kernel_bench(db: &VideoDatabase, smoke: bool) -> KernelBench {
+    use medvid_knn::QuantizedBlock;
+    let n = if smoke { 512 } else { 4096 };
+    let reps = if smoke { 20 } else { 50 };
+    // Deterministic xorshift corpus: no run-to-run drift in the artefact
+    // beyond the timings themselves.
+    let mut state = 0x2003_1cde_u64;
+    let mut unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..KERNEL_DIMS).map(|_| unit()).collect())
+        .collect();
+    let query: Vec<f32> = (0..KERNEL_DIMS).map(|_| unit()).collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    let block = QuantizedBlock::build(&refs).expect("finite corpus quantizes");
+
+    // Scalar f32 baseline: the pre-kernel flat scan's inner loop.
+    let start = Instant::now();
+    let mut sink = 0f32;
+    for _ in 0..reps {
+        for row in &rows {
+            sink += sq_dist_f32(std::hint::black_box(&query), row);
+        }
+    }
+    let f32_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+
+    // Quantized integer kernel over the same vectors. Encoding the query
+    // is inside the loop — the flat path pays it once per query too.
+    let mut dists = Vec::new();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let enc = block.encode_query(std::hint::black_box(&query));
+        block.scan_into(&enc.codes, &mut dists);
+        std::hint::black_box(&dists);
+    }
+    let quant_secs = start.elapsed().as_secs_f64();
+
+    let per = |secs: f64| secs * 1e9 / (reps * n) as f64;
+
+    // Real executions against the mined database: the flat path must have
+    // gone through the kernel (a zero counter means it silently fell back
+    // to the scalar scan), and each planner verdict is recorded with the
+    // comparisons the chosen path then actually charged.
+    let probe: Vec<f32> = db
+        .records_iter()
+        .next()
+        .map(|r| r.features.clone())
+        .unwrap_or_else(|| vec![0.0; KERNEL_DIMS]);
+    let (_, flat_stats) = db.flat_search(&probe, 10, None);
+    assert!(
+        flat_stats.quantized_comparisons > 0,
+        "flat search on the mined database bypassed the quantized kernel"
+    );
+    let planner = [1usize, 10, 100]
+        .into_iter()
+        .map(|top_k| {
+            let (_, stats) = db.planned_search(&probe, top_k, None);
+            PlannerProbe {
+                top_k,
+                choice: format!("{:?}", stats.planner_path),
+                estimated_comparisons: stats.planner_estimated_comparisons,
+                actual_comparisons: stats.comparisons,
+            }
+        })
+        .collect();
+    KernelBench {
+        vectors: n,
+        dims: KERNEL_DIMS,
+        f32_ns_per_distance: per(f32_secs),
+        quantized_ns_per_distance: per(quant_secs),
+        speedup: f32_secs / quant_secs.max(1e-12),
+        quantized_comparisons: flat_stats.quantized_comparisons as u64,
+        planner,
     }
 }
 
@@ -473,6 +598,39 @@ fn main() {
     // a spawned server, and snapshot its rolling window over the wire.
     let (db, _) = miner.index_corpus(&corpus);
     let template = db.snapshot();
+
+    // The distance kernels head to head, plus planner verdicts against the
+    // mined database (before the server takes ownership of it).
+    let kernel = kernel_bench(&db, smoke);
+    print_table(
+        "E-BENCH — distance kernel: quantized integer vs scalar f32",
+        &["vectors", "dims", "f32 ns/dist", "quant ns/dist", "speedup"],
+        &[vec![
+            kernel.vectors.to_string(),
+            kernel.dims.to_string(),
+            f3(kernel.f32_ns_per_distance),
+            f3(kernel.quantized_ns_per_distance),
+            f3(kernel.speedup),
+        ]],
+    );
+    let planner_table: Vec<Vec<String>> = kernel
+        .planner
+        .iter()
+        .map(|p| {
+            vec![
+                p.top_k.to_string(),
+                p.choice.clone(),
+                p.estimated_comparisons.to_string(),
+                p.actual_comparisons.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-BENCH — Eq. 24–25 planner: estimate vs actual comparisons",
+        &["top-k", "choice", "estimated", "actual"],
+        &planner_table,
+    );
+
     let serve_live = serve_live_metrics(db, if smoke { 40 } else { 400 });
     print_table(
         "E-BENCH — serve live metrics (medvid-obs/v2 window)",
@@ -523,6 +681,7 @@ fn main() {
         durability,
         serve_live,
         cluster,
+        kernel,
     };
     // The benchmark trajectory lives at the repository root so successive
     // PRs can diff it; the manifest dir anchors the path regardless of cwd.

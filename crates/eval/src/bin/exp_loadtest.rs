@@ -187,7 +187,11 @@ fn main() {
     let addr = handle.addr();
     println!("serving on {addr}; {clients} clients x {requests} requests per strategy");
     let mut rows = Vec::new();
-    for strategy in [WireStrategy::Flat, WireStrategy::Hierarchical] {
+    for strategy in [
+        WireStrategy::Flat,
+        WireStrategy::Hierarchical,
+        WireStrategy::Planned,
+    ] {
         let config = LoadConfig {
             clients,
             requests_per_client: requests,
@@ -200,6 +204,7 @@ fn main() {
         let label = match strategy {
             WireStrategy::Flat => "flat",
             WireStrategy::Hierarchical => "hierarchical",
+            WireStrategy::Planned => "planned",
         };
         rows.push(Row {
             strategy: label,

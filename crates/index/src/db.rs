@@ -6,10 +6,12 @@ use crate::centers::MultiCenter;
 use crate::concepts::{ConceptHierarchy, NodeId, NodeKind};
 use crate::features::Subspace;
 use crate::hash::ShotHashIndex;
+use medvid_knn::{candidate_pool, CostModel, LevelStats, PlanChoice, QuantizedBlock};
 use medvid_obs::{counters, Recorder, Stage};
 use medvid_types::{ContentStructure, EventKind, SceneId, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A database-wide shot reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -82,6 +84,19 @@ impl std::fmt::Display for RecordError {
 
 impl std::error::Error for RecordError {}
 
+/// Which exact retrieval path a query actually ran, when the live query
+/// planner (Eqs. 24–25, [`VideoDatabase::planned_search`]) was in charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannedPath {
+    /// The planner was not consulted (an explicit strategy ran).
+    #[default]
+    Unplanned,
+    /// The planner priced the quantized flat scan cheaper (Eq. 24 side).
+    QuantizedFlat,
+    /// The planner priced the best-first descent cheaper (Eq. 25 side).
+    BestFirst,
+}
+
 /// Retrieval cost counters, the empirical counterpart of Eqs. 24–25.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetrievalStats {
@@ -98,15 +113,34 @@ pub struct RetrievalStats {
     /// Sibling subtrees skipped at routing steps (the pruning that makes
     /// Eq. 25 cheaper than Eq. 24; always 0 for flat scans).
     pub pruned_subtrees: usize,
+    /// Records scanned by the quantized integer kernel (each touches every
+    /// dimension, but at a quarter of the f32 per-dimension cost).
+    pub quantized_comparisons: usize,
+    /// Quantized-scan candidates that survived into the exact f32 re-rank.
+    pub rerank_candidates: usize,
+    /// The cost model's predicted `comparisons` for the chosen path (0
+    /// when the planner was not consulted).
+    pub planner_estimated_comparisons: usize,
+    /// Which path the planner chose, if it ran.
+    pub planner_path: PlannedPath,
 }
 
 impl RetrievalStats {
     /// Folds these counters into the telemetry layer: feature comparisons,
-    /// nodes visited, pruned subtrees and one query executed.
+    /// nodes visited, pruned subtrees, kernel activity and one query
+    /// executed.
     pub fn record_to(&self, rec: &Recorder) {
         rec.incr(counters::INDEX_COMPARISONS, self.comparisons as u64);
         rec.incr(counters::INDEX_NODES_VISITED, self.nodes_visited as u64);
         rec.incr(counters::INDEX_PRUNED_SUBTREES, self.pruned_subtrees as u64);
+        rec.incr(
+            counters::KNN_QUANTIZED_COMPARISONS,
+            self.quantized_comparisons as u64,
+        );
+        rec.incr(counters::KNN_RERANK_CANDIDATES, self.rerank_candidates as u64);
+        if self.planner_path == PlannedPath::QuantizedFlat {
+            rec.incr(counters::PLANNER_FLAT_FALLBACKS, 1);
+        }
         rec.incr(counters::QUERIES_RUN, 1);
     }
 }
@@ -160,6 +194,16 @@ pub struct VideoDatabase {
     /// precomputed at build time.
     leaf_mean: HashMap<NodeId, Vec<f32>>,
     shot_lookup: HashMap<ShotRef, usize>,
+    /// Dimension-major quantized codes over every record, powering the
+    /// integer flat-scan kernel. `None` when the corpus refuses to
+    /// quantize (empty, non-finite features) — scans fall back to f32.
+    quant: Option<QuantizedBlock>,
+    /// Full-space bounding ball per populated node: centroid plus a
+    /// radius covering every record beneath it (with floating-point
+    /// slack), powering best-first pruning with exact guarantees.
+    node_ball: HashMap<NodeId, (Vec<f32>, f64)>,
+    /// Live Eq. 24–25 cost model, captured at build time.
+    cost_model: Option<CostModel>,
     built: bool,
 }
 
@@ -177,6 +221,9 @@ impl VideoDatabase {
             leaf_records: HashMap::new(),
             leaf_mean: HashMap::new(),
             shot_lookup: HashMap::new(),
+            quant: None,
+            node_ball: HashMap::new(),
+            cost_model: None,
             built: false,
         }
     }
@@ -389,6 +436,9 @@ impl VideoDatabase {
         self.leaf_index.clear();
         self.leaf_records.clear();
         self.leaf_mean.clear();
+        self.node_ball.clear();
+        self.quant = None;
+        self.cost_model = None;
         // Population per node = records below it.
         let mut node_population: HashMap<NodeId, Vec<usize>> = HashMap::new();
         for (i, r) in self.records.iter().enumerate() {
@@ -410,6 +460,9 @@ impl VideoDatabase {
                 .iter()
                 .map(|&i| self.records[i].features.as_slice())
                 .collect();
+            if let Some(ball) = bounding_ball(&vectors) {
+                self.node_ball.insert(node.id, ball);
+            }
             let subspace = Subspace::top_variance(&vectors, dims);
             match node.kind {
                 NodeKind::Scene => {
@@ -438,11 +491,71 @@ impl VideoDatabase {
             }
             self.node_subspace.insert(node.id, subspace);
         }
+        // Quantized SoA block over the whole corpus for the flat-scan
+        // kernel (None when the corpus refuses to quantize — f32 fallback).
+        let all: Vec<&[f32]> = self.records.iter().map(|r| r.features.as_slice()).collect();
+        self.quant = QuantizedBlock::build(&all);
+        // Live Eq. 24–25 cost model from the populated hierarchy.
+        let (mut clusters, mut subclusters, mut scenes, mut leaf_pop) = (0usize, 0usize, 0usize, 0usize);
+        for node in self.hierarchy.nodes() {
+            let Some(pop) = node_population.get(&node.id) else {
+                continue;
+            };
+            match node.kind {
+                NodeKind::Root => {}
+                NodeKind::Cluster => clusters += 1,
+                NodeKind::SubCluster => subclusters += 1,
+                NodeKind::Scene => {
+                    scenes += 1;
+                    leaf_pop += pop.len();
+                }
+            }
+        }
+        self.cost_model = self.feature_len().map(|full_dims| CostModel {
+            total_records: self.records.len(),
+            full_dims,
+            cluster: LevelStats {
+                nodes: clusters,
+                centers: self.config.centers,
+                dims: self.config.cluster_dims,
+            },
+            subcluster: LevelStats {
+                nodes: subclusters,
+                centers: self.config.centers,
+                dims: self.config.subcluster_dims,
+            },
+            scene: LevelStats {
+                nodes: scenes,
+                centers: 1,
+                dims: self.config.scene_dims,
+            },
+            avg_leaf_population: leaf_pop as f64 / scenes.max(1) as f64,
+        });
         self.built = true;
     }
 
-    /// Flat-scan retrieval (Eq. 24): compares the query against every shot in
-    /// the full feature space and ranks all of them.
+    /// The live Eq. 24–25 cost model captured by the last [`Self::build`],
+    /// if the database holds any records.
+    pub fn cost_model(&self) -> Option<CostModel> {
+        if self.built {
+            self.cost_model
+        } else {
+            None
+        }
+    }
+
+    /// The quantized code matrix footprint in bytes (0 when the corpus is
+    /// not quantized).
+    pub fn quantized_bytes(&self) -> usize {
+        self.quant.as_ref().map_or(0, |b| b.code_bytes())
+    }
+
+    /// Flat-scan retrieval (Eq. 24): ranks every accessible shot against
+    /// the query in the full feature space. On a built database the scan
+    /// runs in the quantized integer kernel with an exact f32 re-rank of
+    /// the provable candidate pool — same results, bit for bit, at a
+    /// fraction of the distance cost; otherwise (or for corpora that
+    /// refuse to quantize) it falls back to the scalar f32 scan.
     pub fn flat_search(
         &self,
         query: &[f32],
@@ -450,6 +563,27 @@ impl VideoDatabase {
         user: Option<&UserContext>,
     ) -> (Vec<QueryResult>, RetrievalStats) {
         let mut stats = RetrievalStats::default();
+        let hits = self.flat_search_into(query, top_k, user, &mut stats);
+        (hits, stats)
+    }
+
+    fn flat_search_into(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+        stats: &mut RetrievalStats,
+    ) -> Vec<QueryResult> {
+        if self.built {
+            if let Some(block) = self.quant.as_ref() {
+                let usable = block.len() == self.records.len()
+                    && block.dims() == query.len()
+                    && query.iter().all(|x| x.is_finite());
+                if usable {
+                    return self.quantized_flat(block, query, top_k, user, stats);
+                }
+            }
+        }
         let mut hits: Vec<QueryResult> = self
             .records
             .iter()
@@ -463,7 +597,7 @@ impl VideoDatabase {
                 }
             })
             .collect();
-        stats.ranked = hits.len();
+        stats.ranked += hits.len();
         // Ties broken by shot id: candidate order comes from hash-table
         // iteration, so without this two identical databases (e.g. one
         // restored from a snapshot of the other) could rank equidistant
@@ -475,7 +609,190 @@ impl VideoDatabase {
                 .then_with(|| a.shot.cmp(&b.shot))
         });
         hits.truncate(top_k);
+        hits
+    }
+
+    /// Quantized Eq. 24: integer kernel over the SoA block, then exact f32
+    /// re-rank of the records whose distance bounds still admit the top-k.
+    /// Counter semantics match the scalar scan (`comparisons`/`ranked` =
+    /// accessible records considered) so Eq. 24/25 comparisons stay
+    /// meaningful; the kernel's own work lands in `quantized_comparisons`
+    /// and `rerank_candidates`.
+    fn quantized_flat(
+        &self,
+        block: &QuantizedBlock,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+        stats: &mut RetrievalStats,
+    ) -> Vec<QueryResult> {
+        let elig: Vec<bool> = self
+            .records
+            .iter()
+            .map(|r| self.accessible(r, user))
+            .collect();
+        let eligible = elig.iter().filter(|&&e| e).count();
+        stats.comparisons += eligible;
+        stats.ranked += eligible;
+        stats.dims_touched += eligible * block.dims();
+        stats.quantized_comparisons += block.len();
+        let enc = block.encode_query(query);
+        let mut dists = Vec::new();
+        block.scan_into(&enc.codes, &mut dists);
+        let pool = candidate_pool(&dists, top_k, block.scale(), enc.err_bound, |i| elig[i]);
+        stats.rerank_candidates += pool.len();
+        let mut hits: Vec<QueryResult> = pool
+            .into_iter()
+            .map(|i| {
+                let r = &self.records[i];
+                QueryResult {
+                    shot: r.shot,
+                    distance: sq_dist(query, &r.features),
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distance")
+                .then_with(|| a.shot.cmp(&b.shot))
+        });
+        hits.truncate(top_k);
+        hits
+    }
+
+    /// Planner-driven retrieval: instantiates the Eq. 24–25 cost model for
+    /// this query's `k` and runs whichever exact path it prices cheaper —
+    /// the quantized flat scan or a best-first, ball-pruned descent. Both
+    /// paths rank in the full f32 feature space with the same tie-break,
+    /// so results are bit-identical to [`Self::flat_search`]; the plan
+    /// only decides how much work finding them costs. The verdict lands in
+    /// `planner_path` / `planner_estimated_comparisons`.
+    ///
+    /// # Panics
+    /// Panics if [`Self::build`] has not been called since the last insert.
+    pub fn planned_search(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+    ) -> (Vec<QueryResult>, RetrievalStats) {
+        assert!(self.built, "call build() before planned_search()");
+        let mut stats = RetrievalStats::default();
+        let Some(model) = self.cost_model else {
+            // Empty database: nothing to plan over.
+            stats.planner_path = PlannedPath::QuantizedFlat;
+            return (Vec::new(), stats);
+        };
+        let est = model.estimate(top_k);
+        stats.planner_estimated_comparisons = est.estimated_comparisons;
+        let hits = match est.choice {
+            PlanChoice::QuantizedFlat => {
+                stats.planner_path = PlannedPath::QuantizedFlat;
+                self.flat_search_into(query, top_k, user, &mut stats)
+            }
+            PlanChoice::BestFirst => {
+                stats.planner_path = PlannedPath::BestFirst;
+                self.best_first_search(query, top_k, user, &mut stats)
+            }
+        };
         (hits, stats)
+    }
+
+    /// Best-first multi-probe descent: a frontier of hierarchy nodes
+    /// ordered by their bounding-ball lower bound, drained smallest-bound
+    /// first. Leaves rank their populations exactly (full f32 space, flat
+    /// tie-break); a node is pruned only when its lower bound *strictly*
+    /// exceeds the current k-th best distance, so the result is
+    /// bit-identical to the flat scan.
+    fn best_first_search(
+        &self,
+        query: &[f32],
+        top_k: usize,
+        user: Option<&UserContext>,
+        stats: &mut RetrievalStats,
+    ) -> Vec<QueryResult> {
+        if top_k == 0 {
+            return Vec::new();
+        }
+        // Min-heap over (squared lower bound, node id).
+        let mut frontier: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        let root = self.hierarchy.root();
+        for &c in &self.hierarchy.node(root).children {
+            if let Some(lb) = self.ball_lower_bound_sq(c, query) {
+                frontier.push(Reverse((OrdF64(lb), c.0)));
+            }
+        }
+        // Max-heap over (distance, shot): the worst current member sits on
+        // top, and distance ties are decided by shot id exactly as the
+        // flat scan's sort would.
+        let mut top: BinaryHeap<(OrdF32, ShotRef)> = BinaryHeap::new();
+        while let Some(Reverse((OrdF64(lb_sq), nid))) = frontier.pop() {
+            if top.len() == top_k {
+                let worst = top.peek().expect("non-empty heap").0 .0 as f64;
+                if lb_sq > worst {
+                    // The frontier is bound-ordered: everything left is at
+                    // least this far away too.
+                    stats.pruned_subtrees += 1 + frontier.len();
+                    break;
+                }
+            }
+            let node = NodeId(nid);
+            stats.nodes_visited += 1;
+            if self.hierarchy.node(node).kind == NodeKind::Scene {
+                let Some(pop) = self.leaf_records.get(&node) else {
+                    continue;
+                };
+                for &i in pop {
+                    let r = &self.records[i];
+                    if !self.accessible(r, user) {
+                        continue;
+                    }
+                    stats.comparisons += 1;
+                    stats.ranked += 1;
+                    stats.dims_touched += r.features.len();
+                    let entry = (OrdF32(sq_dist(query, &r.features)), r.shot);
+                    if top.len() < top_k {
+                        top.push(entry);
+                    } else if entry < *top.peek().expect("non-empty heap") {
+                        top.pop();
+                        top.push(entry);
+                    }
+                }
+            } else {
+                for &c in &self.hierarchy.node(node).children {
+                    if let Some(lb) = self.ball_lower_bound_sq(c, query) {
+                        frontier.push(Reverse((OrdF64(lb), c.0)));
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<QueryResult> = top
+            .into_iter()
+            .map(|(OrdF32(distance), shot)| QueryResult { shot, distance })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distance")
+                .then_with(|| a.shot.cmp(&b.shot))
+        });
+        hits
+    }
+
+    /// Sound squared lower bound on the distance from `query` to any
+    /// record beneath `node`, from the node's bounding ball. `None` for
+    /// unpopulated nodes. Deflated to absorb the f32 rounding of the
+    /// `sq_dist` values it is compared against.
+    fn ball_lower_bound_sq(&self, node: NodeId, query: &[f32]) -> Option<f64> {
+        let (centroid, radius) = self.node_ball.get(&node)?;
+        let mut sum = 0f64;
+        for (&q, &c) in query.iter().zip(centroid.iter()) {
+            let d = q as f64 - c as f64;
+            sum += d * d;
+        }
+        let lb = (sum.sqrt() - radius).max(0.0);
+        Some(lb * lb * (1.0 - 1e-4))
     }
 
     /// Cluster-based hierarchical retrieval (Eq. 25): routes the query down
@@ -603,6 +920,67 @@ fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
         .zip(b.iter())
         .map(|(&x, &y)| (x - y) * (x - y))
         .sum()
+}
+
+/// Total-order f32 wrapper for the best-first result heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Total-order f64 wrapper for the best-first frontier heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Full-space centroid plus a radius covering every vector, inflated for
+/// floating-point slack so `|q - centroid| - radius` soundly lower-bounds
+/// the distance from any query to any covered vector. An infinite radius
+/// (non-finite features) disables pruning for the node without ever
+/// excluding it.
+fn bounding_ball(vectors: &[&[f32]]) -> Option<(Vec<f32>, f64)> {
+    let first = vectors.first()?;
+    let mut acc = vec![0f64; first.len()];
+    for v in vectors {
+        for (a, &x) in acc.iter_mut().zip(v.iter()) {
+            *a += x as f64;
+        }
+    }
+    let n = vectors.len() as f64;
+    let centroid: Vec<f32> = acc.iter().map(|&a| (a / n) as f32).collect();
+    let mut radius = 0f64;
+    for v in vectors {
+        let d = centroid
+            .iter()
+            .zip(v.iter())
+            .map(|(&c, &x)| (c as f64 - x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        if !d.is_finite() {
+            return Some((centroid, f64::INFINITY));
+        }
+        radius = radius.max(d);
+    }
+    Some((centroid, radius * (1.0 + 1e-9) + 1e-9))
 }
 
 fn mean_projected<'a>(

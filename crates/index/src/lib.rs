@@ -35,6 +35,8 @@ pub mod query;
 pub use access::{AccessPolicy, Clearance, UserContext};
 pub use browse::{BrowseEntry, BrowseView};
 pub use concepts::{ConceptHierarchy, ConceptNode, NodeId, NodeKind};
-pub use db::{QueryResult, RecordError, RetrievalStats, ShotRecord, ShotRef, VideoDatabase};
+pub use db::{
+    PlannedPath, QueryResult, RecordError, RetrievalStats, ShotRecord, ShotRef, VideoDatabase,
+};
 pub use persist::{atomic_write, DatabaseSnapshot, PersistError};
-pub use query::{Query, Strategy};
+pub use query::{non_finite_index, Query, QueryError, Strategy};

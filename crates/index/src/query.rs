@@ -1,7 +1,8 @@
 //! Fluent query API over the video database.
 //!
-//! Wraps the two retrieval paths (flat Eq. 24, hierarchical Eq. 25) together
-//! with the semantic filters the paper motivates ("Show me all patient-doctor
+//! Wraps the retrieval paths (flat Eq. 24, hierarchical Eq. 25, and the
+//! planner that prices one against the other per query) together with the
+//! semantic filters the paper motivates ("Show me all patient-doctor
 //! dialogs within the video"): event category, concept subtree, clearance.
 
 use crate::access::UserContext;
@@ -18,6 +19,40 @@ pub enum Strategy {
     Hierarchical,
     /// Exhaustive flat scan (Eq. 24).
     Flat,
+    /// Live Eq. 24–25 cost planning: per query, run whichever exact path
+    /// (quantized flat scan or best-first descent) the model prices
+    /// cheaper. Results are bit-identical to [`Strategy::Flat`].
+    Planned,
+}
+
+/// Why a query was rejected before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The similarity vector contains a NaN or infinite component, which
+    /// would poison every distance it touches.
+    NonFiniteVector {
+        /// Index of the first offending component.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NonFiniteVector { index } => {
+                write!(f, "query vector component {index} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Index of the first non-finite component of `v`, if any. The validation
+/// every untrusted similarity vector must pass before reaching a distance
+/// kernel.
+pub fn non_finite_index(v: &[f32]) -> Option<usize> {
+    v.iter().position(|x| !x.is_finite())
 }
 
 /// A query under construction. Build with [`VideoDatabase::query`].
@@ -104,6 +139,43 @@ impl<'a> Query<'a> {
         (hits, stats)
     }
 
+    /// Checks the query for inputs [`Self::run`] would choke on.
+    ///
+    /// # Errors
+    /// Rejects similarity vectors with NaN or infinite components — the
+    /// inputs that would otherwise poison distance comparisons deep inside
+    /// the retrieval paths.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if let Some(v) = &self.vector {
+            if let Some(index) = non_finite_index(v) {
+                return Err(QueryError::NonFiniteVector { index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validated execution: like [`Self::run`] but rejects malformed
+    /// queries instead of panicking on them. The path untrusted inputs
+    /// (the serving protocol boundary) must take.
+    ///
+    /// # Errors
+    /// See [`Self::validate`].
+    pub fn try_run(self) -> Result<(Vec<QueryResult>, RetrievalStats), QueryError> {
+        self.try_run_observed(&Recorder::disabled())
+    }
+
+    /// Like [`Self::try_run`], observed through `rec`.
+    ///
+    /// # Errors
+    /// See [`Self::validate`].
+    pub fn try_run_observed(
+        self,
+        rec: &Recorder,
+    ) -> Result<(Vec<QueryResult>, RetrievalStats), QueryError> {
+        self.validate()?;
+        Ok(self.run_observed(rec))
+    }
+
     fn execute(self) -> (Vec<QueryResult>, RetrievalStats) {
         let matches_filters = |r: &crate::db::ShotRecord| {
             if let Some(e) = self.event {
@@ -149,6 +221,7 @@ impl<'a> Query<'a> {
                 let (hits, stats) = match self.strategy {
                     Strategy::Flat => self.db.flat_search(v, fetch, self.user),
                     Strategy::Hierarchical => self.db.hierarchical_search(v, fetch, self.user),
+                    Strategy::Planned => self.db.planned_search(v, fetch, self.user),
                 };
                 let filtered: Vec<QueryResult> = hits
                     .into_iter()
@@ -286,7 +359,7 @@ mod tests {
             .unwrap()
             .features
             .clone();
-        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+        for strategy in [Strategy::Flat, Strategy::Hierarchical, Strategy::Planned] {
             let (hits, _) = db.query().limit(0).strategy(strategy).run();
             assert!(hits.is_empty(), "semantic {strategy:?}");
             let (hits, _) = db
@@ -303,7 +376,7 @@ mod tests {
     fn empty_database_answers_cleanly_under_both_strategies() {
         let mut empty = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
         empty.build();
-        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+        for strategy in [Strategy::Flat, Strategy::Hierarchical, Strategy::Planned] {
             let (hits, stats) = empty.query().strategy(strategy).run();
             assert!(hits.is_empty(), "semantic {strategy:?}");
             assert_eq!(stats.ranked, 0);
@@ -334,7 +407,7 @@ mod tests {
             .unwrap()
             .features
             .clone();
-        for strategy in [Strategy::Flat, Strategy::Hierarchical] {
+        for strategy in [Strategy::Flat, Strategy::Hierarchical, Strategy::Planned] {
             let (hits, _) = db
                 .query()
                 .as_user(&public)
@@ -409,5 +482,62 @@ mod tests {
             assert_eq!(flat[0].distance, 0.0);
             assert_eq!(hier[0].distance, 0.0);
         }
+    }
+
+    #[test]
+    fn planned_strategy_matches_flat_exactly() {
+        let db = db();
+        for i in [0usize, 5, 23, 131] {
+            let probe = db
+                .record(ShotRef {
+                    video: VideoId(0),
+                    shot: ShotId(i),
+                })
+                .unwrap()
+                .features
+                .clone();
+            let (flat, _) = db
+                .query()
+                .similar_to(probe.clone())
+                .strategy(Strategy::Flat)
+                .limit(7)
+                .run();
+            let (planned, stats) = db
+                .query()
+                .similar_to(probe)
+                .strategy(Strategy::Planned)
+                .limit(7)
+                .run();
+            assert_eq!(flat, planned, "probe shot {i}");
+            assert_ne!(
+                stats.planner_path,
+                crate::db::PlannedPath::Unplanned,
+                "the planner must record its verdict"
+            );
+            assert!(stats.planner_estimated_comparisons > 0);
+        }
+    }
+
+    #[test]
+    fn non_finite_vectors_are_rejected_not_executed() {
+        let db = db();
+        let mut v = vec![0.0f32; 266];
+        v[17] = f32::NAN;
+        for strategy in [Strategy::Flat, Strategy::Hierarchical, Strategy::Planned] {
+            let err = db
+                .query()
+                .similar_to(v.clone())
+                .strategy(strategy)
+                .try_run()
+                .unwrap_err();
+            assert_eq!(err, QueryError::NonFiniteVector { index: 17 });
+        }
+        v[17] = f32::INFINITY;
+        assert_eq!(
+            db.query().similar_to(v).validate(),
+            Err(QueryError::NonFiniteVector { index: 17 })
+        );
+        // Finite queries sail through.
+        assert!(db.query().similar_to(vec![0.5; 266]).try_run().is_ok());
     }
 }

@@ -1,0 +1,224 @@
+//! Property suite for the retrieval-kernel rebase: the quantized flat
+//! scan, the planner, and the best-first descent must all return results
+//! **bit-identical** to the pure-f32 scalar flat scan — the kernels are
+//! allowed to change how much finding the answer costs, never the answer.
+//!
+//! Corpora are generated from `medvid-testkit` seeds (pin with
+//! `MEDVID_TESTKIT_SEED` / `MEDVID_TESTKIT_CASES`); duplicate feature
+//! vectors are injected deliberately so distance ties exercise the
+//! shot-id tie-break on every path.
+
+use medvid_index::db::{IndexConfig, ShotRef, VideoDatabase};
+use medvid_index::{
+    AccessPolicy, Clearance, ConceptHierarchy, PlannedPath, QueryError, Strategy, UserContext,
+};
+use medvid_testkit::{forall, require, TkRng};
+use medvid_types::{EventKind, ShotId, VideoId};
+
+const DIMS: usize = 64;
+
+/// Deterministically expands per-record seeds into a built database.
+/// Roughly one record in four reuses an earlier record's feature vector,
+/// so equidistant shots are common rather than astronomically rare.
+fn corpus(seeds: &[u64], protect_clinical: bool) -> VideoDatabase {
+    let mut db = VideoDatabase::new(ConceptHierarchy::medical(), IndexConfig::default());
+    if protect_clinical {
+        let mut policy = AccessPolicy::allow_all();
+        policy.require_event(EventKind::ClinicalOperation, Clearance(2));
+        db.set_policy(policy);
+    }
+    let scenes = db.hierarchy().scene_nodes();
+    let mut vectors: Vec<Vec<f32>> = Vec::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        let mut rng = TkRng::new(s ^ 0x9e37_79b9_7f4a_7c15);
+        let f = if i > 0 && rng.bool_p(0.25) {
+            vectors[rng.usize_in(0, i - 1)].clone()
+        } else {
+            (0..DIMS).map(|_| rng.f32_in(-1.0, 1.0)).collect()
+        };
+        vectors.push(f.clone());
+        db.insert_shot(
+            ShotRef {
+                video: VideoId(i / 7),
+                shot: ShotId(i),
+            },
+            f,
+            EventKind::DETERMINATE[(s % 3) as usize],
+            scenes[(s as usize) % scenes.len()],
+        );
+    }
+    db.build();
+    db
+}
+
+fn query_vector(seed: u64) -> Vec<f32> {
+    let mut rng = TkRng::new(seed ^ 0x2003_1cde);
+    (0..DIMS).map(|_| rng.f32_in(-1.0, 1.0)).collect()
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Pure-f32 reference scan, written against the public record iterator —
+/// deliberately independent of every retrieval path in `db.rs`.
+fn reference_flat(
+    db: &VideoDatabase,
+    q: &[f32],
+    top_k: usize,
+    user: Option<&UserContext>,
+) -> Vec<(ShotRef, u32)> {
+    let mut hits: Vec<(ShotRef, f32)> = db
+        .records_iter()
+        .filter(|r| {
+            db.policy()
+                .allows(db.hierarchy(), r.scene_node, r.event, user)
+        })
+        .map(|r| (r.shot, sq_dist(q, &r.features)))
+        .collect();
+    hits.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite distance")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    hits.truncate(top_k);
+    hits.into_iter().map(|(s, d)| (s, d.to_bits())).collect()
+}
+
+fn as_bits(hits: &[medvid_index::QueryResult]) -> Vec<(ShotRef, u32)> {
+    hits.iter()
+        .map(|h| (h.shot, h.distance.to_bits()))
+        .collect()
+}
+
+#[test]
+fn quantized_flat_scan_is_bit_identical_to_the_scalar_reference() {
+    forall(
+        "quantized flat == scalar reference",
+        |rng| {
+            let n = rng.usize_in(1, 120);
+            let seeds: Vec<u64> = (0..n).map(|_| rng.u64_in(0, 1 << 40)).collect();
+            (seeds, rng.u64_in(0, 1 << 40), rng.usize_in(0, 15))
+        },
+        |(seeds, qseed, limit)| {
+            let db = corpus(seeds, false);
+            let q = query_vector(*qseed);
+            let (hits, stats) = db.flat_search(&q, *limit, None);
+            require!(
+                stats.quantized_comparisons == seeds.len(),
+                "built db must scan through the quantized kernel \
+                 (quantized_comparisons {} != {})",
+                stats.quantized_comparisons,
+                seeds.len()
+            );
+            require!(
+                *limit == 0 || stats.rerank_candidates >= hits.len(),
+                "candidate pool smaller than the answer it produced"
+            );
+            let expected = reference_flat(&db, &q, *limit, None);
+            require!(
+                as_bits(&hits) == expected,
+                "quantized scan diverged from the scalar reference:\n  got {:?}\n  want {:?}",
+                as_bits(&hits),
+                expected
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn planned_search_is_bit_identical_to_flat_under_clearance_filters() {
+    forall(
+        "planned == flat under access control",
+        |rng| {
+            let n = rng.usize_in(1, 120);
+            let seeds: Vec<u64> = (0..n).map(|_| rng.u64_in(0, 1 << 40)).collect();
+            (
+                seeds,
+                rng.u64_in(0, 1 << 40),
+                rng.usize_in(0, 15),
+                rng.usize_in(0, 3) as u8,
+            )
+        },
+        |(seeds, qseed, limit, clearance)| {
+            let db = corpus(seeds, true);
+            let q = query_vector(*qseed);
+            let user = UserContext::new(Clearance(*clearance));
+            let (flat, _) = db.flat_search(&q, *limit, Some(&user));
+            let (planned, stats) = db.planned_search(&q, *limit, Some(&user));
+            require!(
+                stats.planner_path != PlannedPath::Unplanned,
+                "planned_search must record its verdict"
+            );
+            require!(
+                stats.planner_estimated_comparisons > 0,
+                "a non-empty corpus must cost something"
+            );
+            require!(
+                as_bits(&planned) == as_bits(&flat),
+                "planner path {:?} diverged from flat:\n  got {:?}\n  want {:?}",
+                stats.planner_path,
+                as_bits(&planned),
+                as_bits(&flat)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn every_strategy_rejects_non_finite_queries_before_executing() {
+    forall(
+        "non-finite queries are typed errors",
+        |rng| {
+            let n = rng.usize_in(1, 24);
+            let seeds: Vec<u64> = (0..n).map(|_| rng.u64_in(0, 1 << 40)).collect();
+            let poison_at = rng.usize_in(0, DIMS - 1);
+            let kind = rng.usize_in(0, 2);
+            (seeds, rng.u64_in(0, 1 << 40), poison_at, kind)
+        },
+        |(seeds, qseed, poison_at, kind)| {
+            let db = corpus(seeds, false);
+            let mut q = query_vector(*qseed);
+            q[*poison_at] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][*kind];
+            for strategy in [Strategy::Flat, Strategy::Hierarchical, Strategy::Planned] {
+                let got = db
+                    .query()
+                    .similar_to(q.clone())
+                    .strategy(strategy)
+                    .limit(5)
+                    .try_run();
+                match got {
+                    Err(QueryError::NonFiniteVector { index }) => {
+                        require!(
+                            index == *poison_at,
+                            "{strategy:?}: reported index {index}, poisoned {poison_at}"
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "{strategy:?}: expected NonFiniteVector, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `limit: 0` is a legal request on every path and always yields nothing.
+#[test]
+fn limit_zero_is_empty_on_every_path() {
+    let seeds: Vec<u64> = (0..40).map(|i| i * 977).collect();
+    let db = corpus(&seeds, false);
+    let q = query_vector(7);
+    assert!(db.flat_search(&q, 0, None).0.is_empty());
+    assert!(db.planned_search(&q, 0, None).0.is_empty());
+    let (hits, _) = db.query().similar_to(q).limit(0).run();
+    assert!(hits.is_empty());
+}

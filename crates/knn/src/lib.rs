@@ -1,0 +1,42 @@
+//! Retrieval kernels for the video database hot path.
+//!
+//! The paper's efficiency argument (Eqs. 24–25) is that cluster-based
+//! access beats a flat scan because each level touches fewer vectors in
+//! fewer dimensions. This crate supplies the machinery that makes both
+//! sides of that comparison fast *and* keeps results exact:
+//!
+//! * [`quant`] — per-dimension affine u8 quantization fitted from the
+//!   corpus ([`QuantParams`]): a per-dimension `zero_point` with a single
+//!   shared `scale`, the deliberate deviation from fully per-dimension
+//!   scales that keeps integer distances comparable to the true metric
+//!   (and therefore keeps the candidate-pool bounds provable);
+//! * [`block`] — [`QuantizedBlock`], the structure-of-arrays codes laid
+//!   out dimension-major and padded to [`LANE`] records, with an integer
+//!   squared-L2 kernel written so the autovectorizer emits SIMD
+//!   (fixed-width inner loops, `u8 -> i32` accumulators) plus a scalar
+//!   reference implementation the kernel is differentially tested
+//!   against;
+//! * [`pool`] — exact candidate-pool selection: every record whose
+//!   provable distance lower bound could still beat the k-th best upper
+//!   bound survives, so an exact f32 re-rank of the pool reproduces the
+//!   full-scan ranking bit for bit;
+//! * [`planner`] — the paper's own cost model (Eqs. 24–25) as a live
+//!   query planner: [`CostModel::estimate`] compares `T_c + T_sc + T_s +
+//!   T_o` against the (quantized) flat `T_m` from live node populations
+//!   and picks the cheaper exact path.
+//!
+//! The crate is storage-agnostic and std-only: `medvid-index` owns the
+//! records and the hierarchy and feeds plain slices in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod planner;
+pub mod pool;
+pub mod quant;
+
+pub use block::{EncodedQuery, QuantizedBlock, LANE};
+pub use planner::{CostModel, LevelStats, PlanChoice, PlanEstimate};
+pub use pool::candidate_pool;
+pub use quant::QuantParams;

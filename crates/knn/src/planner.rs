@@ -1,0 +1,211 @@
+//! The paper's retrieval cost model (Eqs. 24–25) as a live query planner.
+//!
+//! Eq. 24 prices the flat scan: `T_m = N_T * D` distance work over every
+//! record in full dimensionality. Eq. 25 prices cluster-based access as
+//! `T_c + T_sc + T_s + T_o`: route through the cluster level, the
+//! subcluster level and the scene level, then rank only the reached
+//! leaves' populations. The paper's claim is `T_c + T_sc + T_s + T_o <<
+//! T_m` *for well-clustered corpora* — which is exactly why it must be a
+//! *live* decision: a tiny corpus, a huge `k`, or a flat hierarchy can
+//! invert the inequality.
+//!
+//! [`CostModel`] carries the live node populations and per-level
+//! [`IndexConfig`]-derived dimensionalities captured at `build()` time;
+//! [`CostModel::estimate`] instantiates both equations for a concrete
+//! `k` and picks the cheaper side. Two calibration constants adapt the
+//! 2003-era model to this engine: the flat side runs in the quantized
+//! integer kernel (a per-dimension cost discount), and the hierarchical
+//! side is a best-first multi-probe search rather than a single greedy
+//! descent (a probe-width multiplier on the levels below the clusters,
+//! and full-dimensional exact ranking at the leaves).
+
+/// Measured per-dimension cost of the quantized integer kernel relative
+/// to the scalar f32 scan it replaces (the `exp_bench` kernel rows keep
+/// this honest; the planner only needs the right order of magnitude).
+pub const QUANT_COST_RATIO: f64 = 0.25;
+
+/// Expected number of leaf subtrees a best-first search drains before
+/// its bound exhausts — the multi-probe analogue of Eq. 25's single
+/// descent.
+pub const PROBE_WIDTH: f64 = 3.0;
+
+/// One level of the built hierarchy, as the cost model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelStats {
+    /// Populated nodes at this level.
+    pub nodes: usize,
+    /// Centres fitted per node (1 for scene nodes, which route by mean).
+    pub centers: usize,
+    /// Subspace dimensionality compared at this level (`IndexConfig`).
+    pub dims: usize,
+}
+
+/// Live index statistics captured at `build()` time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostModel {
+    /// Indexed records (`N_T` in Eq. 24).
+    pub total_records: usize,
+    /// Full feature dimensionality (`D`).
+    pub full_dims: usize,
+    /// Cluster level (`T_c`).
+    pub cluster: LevelStats,
+    /// Subcluster level (`T_sc`).
+    pub subcluster: LevelStats,
+    /// Scene level (`T_s`).
+    pub scene: LevelStats,
+    /// Mean records per populated scene node (the `T_o` population).
+    pub avg_leaf_population: f64,
+}
+
+/// Which exact retrieval path the model chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanChoice {
+    /// Quantized flat scan + exact re-rank (Eq. 24 side).
+    QuantizedFlat,
+    /// Best-first bound-pruned descent (Eq. 25 side).
+    BestFirst,
+}
+
+/// Both sides of the Eq. 24 / Eq. 25 comparison for one query, in
+/// dimension-touch units, plus the verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimate {
+    /// Eq. 24 flat cost `T_m` (quantized-kernel discounted, including
+    /// the exact re-rank of the expected candidate pool).
+    pub t_m: f64,
+    /// Eq. 25 cluster-level routing cost `T_c`.
+    pub t_c: f64,
+    /// Eq. 25 subcluster-level routing cost `T_sc`.
+    pub t_sc: f64,
+    /// Eq. 25 scene-level routing cost `T_s`.
+    pub t_s: f64,
+    /// Eq. 25 leaf ranking cost `T_o` (full dimensionality — the
+    /// best-first path ranks exactly).
+    pub t_o: f64,
+    /// The cheaper side.
+    pub choice: PlanChoice,
+    /// Predicted feature-distance evaluations on the chosen path, the
+    /// number `RetrievalStats::comparisons` is judged against.
+    pub estimated_comparisons: usize,
+}
+
+impl PlanEstimate {
+    /// Total Eq. 25 cost `T_c + T_sc + T_s + T_o`.
+    pub fn hierarchical_cost(&self) -> f64 {
+        self.t_c + self.t_sc + self.t_s + self.t_o
+    }
+}
+
+impl CostModel {
+    /// Instantiates Eqs. 24–25 for a `k`-result query and picks the
+    /// cheaper exact path. Both candidate paths return bit-identical
+    /// results, so a miscalibrated estimate can only cost time, never
+    /// correctness.
+    pub fn estimate(&self, k: usize) -> PlanEstimate {
+        let n = self.total_records as f64;
+        let d = self.full_dims as f64;
+        // Eq. 24, adapted: the scan runs in the integer kernel, then the
+        // candidate pool (the query layer over-fetches 4k) re-ranks in f32.
+        let pool = ((k.max(1) * 4) as f64).min(n);
+        let t_m = n * d * QUANT_COST_RATIO + pool * d;
+        // Eq. 25: every cluster is priced (the best-first frontier seeds
+        // with all of them), then PROBE_WIDTH subtrees drain to leaves.
+        let probes = PROBE_WIDTH.min(self.scene.nodes.max(1) as f64);
+        let per = |level: &LevelStats, parents: usize| -> f64 {
+            let fanout = level.nodes as f64 / parents.max(1) as f64;
+            probes * fanout * level.centers.max(1) as f64 * level.dims as f64
+        };
+        let t_c = self.cluster.nodes as f64
+            * self.cluster.centers.max(1) as f64
+            * self.cluster.dims as f64;
+        let t_sc = per(&self.subcluster, self.cluster.nodes);
+        let t_s = per(&self.scene, self.subcluster.nodes);
+        let t_o = probes * self.avg_leaf_population * d;
+        let hier = t_c + t_sc + t_s + t_o;
+        let (choice, estimated_comparisons) = if t_m <= hier || self.scene.nodes == 0 {
+            (PlanChoice::QuantizedFlat, self.total_records)
+        } else {
+            let routed = self.cluster.nodes as f64 * self.cluster.centers.max(1) as f64
+                + probes
+                    * (self.subcluster.nodes.max(1) as f64 / self.cluster.nodes.max(1) as f64
+                        + self.scene.nodes.max(1) as f64 / self.subcluster.nodes.max(1) as f64);
+            (
+                PlanChoice::BestFirst,
+                (routed + probes * self.avg_leaf_population).round() as usize,
+            )
+        };
+        PlanEstimate {
+            t_m,
+            t_c,
+            t_sc,
+            t_s,
+            t_o,
+            choice,
+            estimated_comparisons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(records: usize, scenes: usize) -> CostModel {
+        CostModel {
+            total_records: records,
+            full_dims: 266,
+            cluster: LevelStats {
+                nodes: 2,
+                centers: 4,
+                dims: 16,
+            },
+            subcluster: LevelStats {
+                nodes: 4,
+                centers: 4,
+                dims: 24,
+            },
+            scene: LevelStats {
+                nodes: scenes,
+                centers: 1,
+                dims: 32,
+            },
+            avg_leaf_population: records as f64 / scenes.max(1) as f64,
+        }
+    }
+
+    #[test]
+    fn large_clustered_corpora_go_best_first() {
+        let est = model(100_000, 20).estimate(10);
+        assert_eq!(est.choice, PlanChoice::BestFirst);
+        assert!(est.hierarchical_cost() < est.t_m);
+        assert!(est.estimated_comparisons < 100_000);
+    }
+
+    #[test]
+    fn fat_leaves_fall_back_flat() {
+        // Two scene nodes holding 500 records each: draining even a couple
+        // of probes ranks most of the corpus in full dimensionality, so
+        // the discounted flat scan is the cheaper exact path.
+        let est = model(1_000, 2).estimate(10);
+        assert_eq!(est.choice, PlanChoice::QuantizedFlat);
+        assert_eq!(est.estimated_comparisons, 1_000);
+    }
+
+    #[test]
+    fn huge_k_erodes_the_hierarchy_advantage() {
+        let m = model(2_000, 20);
+        let small_k = m.estimate(5);
+        let huge_k = m.estimate(2_000);
+        // The flat side's re-rank term grows with k; the hierarchy side
+        // does not, so the margin must shrink (and the model stays
+        // monotone in k).
+        assert!(huge_k.t_m > small_k.t_m);
+        assert_eq!(huge_k.t_o, small_k.t_o);
+    }
+
+    #[test]
+    fn empty_hierarchy_never_chooses_best_first() {
+        let est = model(1_000, 0).estimate(10);
+        assert_eq!(est.choice, PlanChoice::QuantizedFlat);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact candidate-pool selection over integer scan results.
+//!
+//! With the shared-scale quantization of [`crate::quant`], the true
+//! distance of record `i` satisfies
+//!
+//! ```text
+//! | true_dist(i) - scale * sqrt(I_i) | <= E
+//! ```
+//!
+//! where `I_i` is the integer squared distance and `E` the encoded
+//! query's [`err_bound`](crate::EncodedQuery::err_bound). At least `k`
+//! records therefore have true distance at most `scale * sqrt(I_(k)) + E`
+//! (the `k`-th smallest integer distance's upper bound), and any record
+//! whose lower bound exceeds that — `sqrt(I_i) > sqrt(I_(k)) + 2E/scale`
+//! — is *strictly* farther than the true `k`-th best and can never enter
+//! the top-`k`, not even through a tie-break. Everything else survives
+//! into the pool, so an exact f32 re-rank of the pool reproduces the full
+//! scan's ranking bit for bit.
+
+/// Selects the indices that could still occupy the exact top-`k` among
+/// the eligible records, given their integer scan distances.
+///
+/// `eligible` gates records (access control, filters); ineligible records
+/// are never returned and do not count toward `k`. The returned order is
+/// unspecified — callers re-rank exactly. `err_bound` is in feature
+/// units (the encoded query's bound), `scale` the block's shared step.
+pub fn candidate_pool<F>(
+    dists: &[u32],
+    k: usize,
+    scale: f32,
+    err_bound: f64,
+    eligible: F,
+) -> Vec<usize>
+where
+    F: Fn(usize) -> bool,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut pool: Vec<(u32, usize)> = dists
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(i, _)| eligible(i))
+        .map(|(i, d)| (d, i))
+        .collect();
+    if pool.len() > k {
+        // k-th smallest integer distance in O(n).
+        pool.select_nth_unstable_by_key(k - 1, |&(d, _)| d);
+        let kth = pool[k - 1].0;
+        let eps = err_bound / scale as f64; // bound in integer units
+        let cutoff = ((kth as f64).sqrt() + 2.0 * eps).powi(2) * (1.0 + 1e-9) + 1e-9;
+        pool.retain(|&(d, _)| (d as f64) <= cutoff);
+    }
+    pool.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_k_returns_nothing() {
+        assert!(candidate_pool(&[1, 2, 3], 0, 1.0, 0.0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn small_corpora_return_everything_eligible() {
+        let pool = candidate_pool(&[5, 1, 9], 10, 1.0, 0.0, |i| i != 1);
+        let mut sorted = pool.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_error_pool_is_the_exact_top_k_plus_integer_ties() {
+        // err_bound 0: the cutoff is the k-th distance itself, so exactly
+        // the records at or below it survive (ties included).
+        let dists = [10u32, 3, 7, 3, 12, 7];
+        let mut pool = candidate_pool(&dists, 3, 1.0, 0.0, |_| true);
+        pool.sort_unstable();
+        // 3rd smallest is 7; records with distance <= 7: indices 1,3,2,5.
+        assert_eq!(pool, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn error_bound_widens_the_pool() {
+        let dists = [0u32, 100, 400, 10_000];
+        // eps = 5 integer units: cutoff = (sqrt(100) + 10)^2 = 400.
+        let mut pool = candidate_pool(&dists, 2, 2.0, 10.0, |_| true);
+        pool.sort_unstable();
+        assert_eq!(pool, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eligibility_excludes_and_shifts_the_kth() {
+        let dists = [1u32, 2, 3, 4];
+        // With record 0 ineligible, k=2 selects {1, 2} (distances 2, 3).
+        let mut pool = candidate_pool(&dists, 2, 1.0, 0.0, |i| i != 0);
+        pool.sort_unstable();
+        assert_eq!(pool, vec![1, 2]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Affine u8 quantization fitted from the corpus.
+//!
+//! Codes are `c = round((x - zero_point[d]) / scale)` clamped to `0..=255`.
+//! The `zero_point` is per-dimension (the corpus minimum), but the `scale`
+//! is a *single* step shared by every dimension — the widest per-dimension
+//! range divided by 255. This is a deliberate deviation from fully
+//! per-dimension affine quantization: with one shared step, the integer
+//! squared distance `sum((qc_d - c_d)^2)` is the true squared distance in
+//! units of `scale^2`, so a provable bound on the quantization error per
+//! dimension yields a provable bound on the *metric* — which is what lets
+//! the exact re-rank pool of [`crate::pool`] guarantee bit-identical
+//! rankings. Per-dimension scales would quantize narrow dimensions more
+//! finely but make integer distances incomparable across dimensions,
+//! collapsing those bounds to the worst-case scale ratio.
+
+/// Fitted quantization parameters: per-dimension offsets, one shared step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantParams {
+    /// Per-dimension zero point (the corpus minimum of that dimension).
+    zero: Vec<f32>,
+    /// Shared quantization step: widest per-dimension corpus range / 255.
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Fits parameters over a corpus of equal-length vectors.
+    ///
+    /// Returns `None` when the corpus is empty, zero-dimensional, or
+    /// contains non-finite values (callers fall back to the scalar f32
+    /// path rather than building unsound bounds).
+    pub fn fit(vectors: &[&[f32]]) -> Option<Self> {
+        let first = vectors.first()?;
+        let dims = first.len();
+        if dims == 0 {
+            return None;
+        }
+        let mut lo = vec![f32::INFINITY; dims];
+        let mut hi = vec![f32::NEG_INFINITY; dims];
+        for v in vectors {
+            debug_assert_eq!(v.len(), dims, "corpus vectors share one length");
+            for d in 0..dims {
+                let x = v[d];
+                if !x.is_finite() {
+                    return None;
+                }
+                lo[d] = lo[d].min(x);
+                hi[d] = hi[d].max(x);
+            }
+        }
+        let widest = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| h - l)
+            .fold(0.0f32, f32::max);
+        // A constant corpus (widest == 0) quantizes exactly at any step.
+        let scale = if widest > 0.0 { widest / 255.0 } else { 1.0 };
+        if !scale.is_finite() || scale <= 0.0 {
+            return None;
+        }
+        Some(QuantParams { zero: lo, scale })
+    }
+
+    /// Number of dimensions the parameters were fitted over.
+    pub fn dims(&self) -> usize {
+        self.zero.len()
+    }
+
+    /// The shared quantization step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The per-dimension zero points.
+    pub fn zero_points(&self) -> &[f32] {
+        &self.zero
+    }
+
+    /// Quantizes one component. Out-of-range values clamp to the code
+    /// range; the (exactly measured) residual then carries the clamping
+    /// error into the pool bound, so clamped queries stay sound.
+    pub fn encode(&self, d: usize, x: f32) -> u8 {
+        let c = ((x - self.zero[d]) / self.scale).round();
+        // NaN fails both clamp comparisons and falls out at 0; callers
+        // validate queries upstream, this just keeps the cast defined.
+        if c >= 255.0 {
+            255
+        } else if c > 0.0 {
+            c as u8
+        } else {
+            0
+        }
+    }
+
+    /// Dequantizes one code back to feature space (in f64 so the residual
+    /// measurement below is exact to well under the bound slack).
+    pub fn decode(&self, d: usize, code: u8) -> f64 {
+        self.zero[d] as f64 + self.scale as f64 * code as f64
+    }
+
+    /// Encodes one component and returns `(code, |x - decode(code)|)` —
+    /// the exactly measured residual, which is what the distance bounds
+    /// are built from (never the analytic `scale / 2`, so clamping and
+    /// floating-point rounding are automatically covered).
+    pub fn encode_measured(&self, d: usize, x: f32) -> (u8, f64) {
+        let code = self.encode(d, x);
+        let residual = (x as f64 - self.decode(d, code)).abs();
+        (code, residual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_spans_the_corpus_range() {
+        let a = [0.0f32, 10.0];
+        let b = [1.0f32, -10.0];
+        let p = QuantParams::fit(&[&a, &b]).unwrap();
+        assert_eq!(p.dims(), 2);
+        // Widest range is dim 1 (20.0).
+        assert!((p.scale() - 20.0 / 255.0).abs() < 1e-6);
+        assert_eq!(p.zero_points(), &[0.0, -10.0]);
+    }
+
+    #[test]
+    fn corpus_values_quantize_within_half_step() {
+        let vs: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![i as f32 * 0.173, (i * i) as f32 * 0.01])
+            .collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let p = QuantParams::fit(&refs).unwrap();
+        let half = p.scale() as f64 / 2.0;
+        for v in &vs {
+            for d in 0..2 {
+                let (_, residual) = p.encode_measured(d, v[d]);
+                assert!(
+                    residual <= half * (1.0 + 1e-6),
+                    "residual {residual} exceeds half step {half}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_and_measure_honestly() {
+        let a = [0.0f32];
+        let b = [1.0f32];
+        let p = QuantParams::fit(&[&a, &b]).unwrap();
+        let (code, residual) = p.encode_measured(0, 100.0);
+        assert_eq!(code, 255);
+        assert!((residual - 99.0).abs() < 1e-4);
+        let (code, residual) = p.encode_measured(0, -5.0);
+        assert_eq!(code, 0);
+        assert!((residual - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_corpus_quantizes_exactly() {
+        let a = [3.5f32, 3.5];
+        let b = [3.5f32, 3.5];
+        let p = QuantParams::fit(&[&a, &b]).unwrap();
+        for d in 0..2 {
+            let (_, residual) = p.encode_measured(d, 3.5);
+            assert_eq!(residual, 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_corpora_refuse_to_fit() {
+        assert!(QuantParams::fit(&[]).is_none());
+        let empty: [f32; 0] = [];
+        assert!(QuantParams::fit(&[&empty]).is_none());
+        let bad = [f32::NAN, 1.0];
+        assert!(QuantParams::fit(&[&bad]).is_none());
+        let inf = [1.0, f32::INFINITY];
+        assert!(QuantParams::fit(&[&inf]).is_none());
+    }
+}

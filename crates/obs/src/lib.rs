@@ -93,6 +93,13 @@ pub mod counters {
     pub const INDEX_PRUNED_SUBTREES: &str = "index_pruned_subtrees";
     /// Queries executed against the database.
     pub const QUERIES_RUN: &str = "queries_run";
+    /// Records scanned by the quantized integer distance kernel.
+    pub const KNN_QUANTIZED_COMPARISONS: &str = "knn_quantized_comparisons";
+    /// Candidates re-ranked exactly in f32 after a quantized scan.
+    pub const KNN_RERANK_CANDIDATES: &str = "knn_rerank_candidates";
+    /// Planned queries the Eq. 24–25 cost model sent down the quantized
+    /// flat path instead of the hierarchy.
+    pub const PLANNER_FLAT_FALLBACKS: &str = "planner_flat_fallbacks";
     /// Requests accepted by the serving front-end.
     pub const SERVE_REQUESTS: &str = "serve_requests";
     /// Requests shed because the executor queue was full.

@@ -30,16 +30,24 @@ pub struct QueryKey {
 }
 
 impl QueryKey {
-    /// Builds the canonical key; `default_limit` fills an absent `limit` so
-    /// that explicit and implied defaults share an entry.
-    pub fn canonicalize(req: &QueryRequest, default_limit: usize) -> Self {
+    /// Builds the canonical key; `default_limit` and `default_strategy`
+    /// fill absent fields so that explicit and implied defaults share an
+    /// entry. The *server's* default strategy (not the protocol's) is what
+    /// an absent strategy resolves to, so a server planning by default
+    /// never serves a planner result to a client that asked for — or would
+    /// get — a different path's cost profile, and vice versa.
+    pub fn canonicalize(
+        req: &QueryRequest,
+        default_limit: usize,
+        default_strategy: WireStrategy,
+    ) -> Self {
         QueryKey {
             vector: req.vector.as_ref().map(|v| (hash_f32s(v), v.len())),
             event: req.event,
             under: req.under,
             clearance: req.clearance,
             limit: req.limit.unwrap_or(default_limit),
-            strategy: req.strategy.unwrap_or_default(),
+            strategy: req.strategy.unwrap_or(default_strategy),
         }
     }
 }
@@ -215,6 +223,7 @@ mod tests {
                 ..QueryRequest::default()
             },
             10,
+            WireStrategy::default(),
         )
     }
 
@@ -233,10 +242,45 @@ mod tests {
                 ..QueryRequest::default()
             },
             10,
+            WireStrategy::default(),
         );
-        let implied = QueryKey::canonicalize(&QueryRequest::default(), 10);
+        let implied =
+            QueryKey::canonicalize(&QueryRequest::default(), 10, WireStrategy::default());
         assert_eq!(explicit, implied);
         assert_ne!(explicit, key(11));
+    }
+
+    #[test]
+    fn strategy_and_server_default_participate_in_the_key() {
+        let req = QueryRequest {
+            vector: Some(vec![1.0, 2.0]),
+            ..QueryRequest::default()
+        };
+        // The same implicit-strategy request under servers with different
+        // default strategies must NOT share a key — the planner path and
+        // the hierarchical path may return different results.
+        let under_hier = QueryKey::canonicalize(&req, 10, WireStrategy::Hierarchical);
+        let under_planned = QueryKey::canonicalize(&req, 10, WireStrategy::Planned);
+        assert_ne!(under_hier, under_planned);
+        // An explicit strategy equal to the server default folds into the
+        // implicit entry.
+        let explicit = QueryRequest {
+            strategy: Some(WireStrategy::Planned),
+            ..req.clone()
+        };
+        assert_eq!(
+            QueryKey::canonicalize(&explicit, 10, WireStrategy::Planned),
+            under_planned
+        );
+        // And an explicit strategy differing from the default gets its own.
+        let flat = QueryRequest {
+            strategy: Some(WireStrategy::Flat),
+            ..req
+        };
+        assert_ne!(
+            QueryKey::canonicalize(&flat, 10, WireStrategy::Planned),
+            under_planned
+        );
     }
 
     #[test]
@@ -247,6 +291,7 @@ mod tests {
                 ..QueryRequest::default()
             },
             10,
+            WireStrategy::default(),
         );
         let b = QueryKey::canonicalize(
             &QueryRequest {
@@ -254,6 +299,7 @@ mod tests {
                 ..QueryRequest::default()
             },
             10,
+            WireStrategy::default(),
         );
         assert_ne!(a, b);
     }

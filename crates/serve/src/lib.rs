@@ -54,9 +54,9 @@ pub use client::Client;
 pub use executor::Executor;
 pub use live::LiveMetrics;
 pub use protocol::{
-    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, MetricsSnapshot, QueryRequest,
-    ReplicationStatus, Request, Response, SlowQueryRecord, StageTiming, TraceReport, WindowSummary,
-    WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, KnnKernelStats, MetricsSnapshot,
+    QueryRequest, ReplicationStatus, Request, Response, SlowQueryRecord, StageTiming, TraceReport,
+    WindowSummary, WirePlannedPath, WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use retry::{
     connect_with_retry, ClientError, RetryAction, RetryClassifier, RetryPolicy, RetryingClient,

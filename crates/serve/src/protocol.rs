@@ -4,7 +4,7 @@
 //! of JSON. One request frame yields exactly one response frame, so clients
 //! can pipeline over a single connection without correlation ids.
 
-use medvid_index::{NodeId, RetrievalStats, Strategy};
+use medvid_index::{NodeId, PlannedPath, RetrievalStats, Strategy};
 use medvid_types::{EventKind, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -25,6 +25,8 @@ pub enum WireStrategy {
     Hierarchical,
     /// Exhaustive flat scan (Eq. 24).
     Flat,
+    /// Live Eq. 24–25 cost planning (exact, flat-identical results).
+    Planned,
 }
 
 impl From<WireStrategy> for Strategy {
@@ -32,6 +34,31 @@ impl From<WireStrategy> for Strategy {
         match w {
             WireStrategy::Hierarchical => Strategy::Hierarchical,
             WireStrategy::Flat => Strategy::Flat,
+            WireStrategy::Planned => Strategy::Planned,
+        }
+    }
+}
+
+/// [`PlannedPath`] on the wire. Serde-defaulted to `Unplanned`, so
+/// pre-planner peers interoperate unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WirePlannedPath {
+    /// No planner decision (explicit strategy).
+    #[default]
+    Unplanned,
+    /// The planner ran the quantized flat scan.
+    QuantizedFlat,
+    /// The planner ran the best-first descent.
+    BestFirst,
+}
+
+impl From<PlannedPath> for WirePlannedPath {
+    fn from(p: PlannedPath) -> Self {
+        match p {
+            PlannedPath::Unplanned => WirePlannedPath::Unplanned,
+            PlannedPath::QuantizedFlat => WirePlannedPath::QuantizedFlat,
+            PlannedPath::BestFirst => WirePlannedPath::BestFirst,
         }
     }
 }
@@ -179,7 +206,8 @@ pub struct Hit {
     pub distance: f32,
 }
 
-/// Retrieval cost counters on the wire.
+/// Retrieval cost counters on the wire. The kernel/planner fields are
+/// serde-defaulted so pre-planner peers interoperate unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireStats {
     /// Feature-distance evaluations performed.
@@ -192,6 +220,18 @@ pub struct WireStats {
     pub dims_touched: usize,
     /// Sibling subtrees pruned.
     pub pruned_subtrees: usize,
+    /// Records scanned by the quantized integer kernel.
+    #[serde(default)]
+    pub quantized_comparisons: usize,
+    /// Quantized candidates re-ranked exactly in f32.
+    #[serde(default)]
+    pub rerank_candidates: usize,
+    /// The planner's predicted `comparisons` (0 when unplanned).
+    #[serde(default)]
+    pub planner_estimated_comparisons: usize,
+    /// Which path the planner chose, if it ran.
+    #[serde(default)]
+    pub planner_path: WirePlannedPath,
 }
 
 impl From<RetrievalStats> for WireStats {
@@ -202,8 +242,23 @@ impl From<RetrievalStats> for WireStats {
             nodes_visited: s.nodes_visited,
             dims_touched: s.dims_touched,
             pruned_subtrees: s.pruned_subtrees,
+            quantized_comparisons: s.quantized_comparisons,
+            rerank_candidates: s.rerank_candidates,
+            planner_estimated_comparisons: s.planner_estimated_comparisons,
+            planner_path: s.planner_path.into(),
         }
     }
+}
+
+/// Cumulative retrieval-kernel activity, surfaced in [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnnKernelStats {
+    /// Records scanned by the quantized integer kernel since startup.
+    pub quantized_comparisons: u64,
+    /// Quantized candidates re-ranked exactly in f32 since startup.
+    pub rerank_candidates: u64,
+    /// Planned queries sent down the quantized flat path.
+    pub planner_flat_fallbacks: u64,
 }
 
 /// Result-cache statistics.
@@ -355,6 +410,10 @@ pub struct MetricsSnapshot {
     pub slow_queries: usize,
     /// Slow-query threshold, milliseconds.
     pub slow_threshold_ms: f64,
+    /// Cumulative retrieval-kernel activity (quantized scans, re-ranks,
+    /// planner fallbacks). Serde-defaulted for pre-planner peers.
+    #[serde(default)]
+    pub knn: KnnKernelStats,
     /// Shard identity of this server within a cluster; absent for
     /// standalone servers (and on the wire from pre-cluster servers).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -428,6 +487,21 @@ impl MetricsSnapshot {
             "medvid_slow_queries_logged",
             "Entries in the slow-query log",
             self.slow_queries as f64,
+        );
+        gauge(
+            "medvid_knn_quantized_comparisons_total",
+            "Records scanned by the quantized integer kernel",
+            self.knn.quantized_comparisons as f64,
+        );
+        gauge(
+            "medvid_knn_rerank_candidates_total",
+            "Quantized candidates re-ranked exactly in f32",
+            self.knn.rerank_candidates as f64,
+        );
+        gauge(
+            "medvid_planner_flat_fallbacks_total",
+            "Planned queries sent down the quantized flat path",
+            self.knn.planner_flat_fallbacks as f64,
         );
         if let Some(shard) = self.shard {
             gauge(

@@ -13,18 +13,18 @@ use crate::cache::{CachedResult, QueryKey, ResultCache};
 use crate::executor::Executor;
 use crate::live::{LiveMetrics, DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD};
 use crate::protocol::{
-    self, ErrorKind, Hit, MetricsSnapshot, QueryRequest, ReplicationStatus, Request, Response,
-    PROTOCOL_VERSION,
+    self, ErrorKind, Hit, KnnKernelStats, MetricsSnapshot, QueryRequest, ReplicationStatus,
+    Request, Response, WireStrategy, PROTOCOL_VERSION,
 };
 use crate::service::{DbService, IngestError};
 use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_CACHE, STAGE_EXECUTE, STAGE_QUEUE_WAIT};
-use medvid_index::{Clearance, Strategy, UserContext, VideoDatabase};
+use medvid_index::{non_finite_index, Clearance, PlannedPath, Strategy, UserContext, VideoDatabase};
 use medvid_obs::{counters, Recorder, Stage};
 use medvid_store::{RecoveryReport, Store, StoreConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,6 +67,10 @@ pub struct ServerConfig {
     /// deployment. Stamped onto every outgoing error and `LogSegment`
     /// so coordinator-level degradation reports can name the culprit.
     pub shard: Option<u32>,
+    /// Retrieval strategy applied when a request leaves `strategy` unset.
+    /// Participates in the cache key, so flipping it between restarts can
+    /// never serve one path's cached cost profile as another's.
+    pub default_strategy: WireStrategy,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +92,36 @@ impl Default for ServerConfig {
             slow_query_threshold: DEFAULT_SLOW_THRESHOLD,
             slow_log_capacity: DEFAULT_SLOW_CAPACITY,
             shard: None,
+            default_strategy: WireStrategy::Hierarchical,
+        }
+    }
+}
+
+/// Cumulative retrieval-kernel counters, accumulated by query workers and
+/// surfaced through [`MetricsSnapshot`].
+#[derive(Default)]
+struct KnnCounters {
+    quantized_comparisons: AtomicU64,
+    rerank_candidates: AtomicU64,
+    planner_flat_fallbacks: AtomicU64,
+}
+
+impl KnnCounters {
+    fn absorb(&self, stats: &medvid_index::RetrievalStats) {
+        self.quantized_comparisons
+            .fetch_add(stats.quantized_comparisons as u64, Ordering::Relaxed);
+        self.rerank_candidates
+            .fetch_add(stats.rerank_candidates as u64, Ordering::Relaxed);
+        if stats.planner_path == PlannedPath::QuantizedFlat {
+            self.planner_flat_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> KnnKernelStats {
+        KnnKernelStats {
+            quantized_comparisons: self.quantized_comparisons.load(Ordering::Relaxed),
+            rerank_candidates: self.rerank_candidates.load(Ordering::Relaxed),
+            planner_flat_fallbacks: self.planner_flat_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +137,8 @@ struct Shared {
     /// Published by the replication tailer (follower role) or the cluster
     /// layer (leader role); surfaced verbatim in [`MetricsSnapshot`].
     replication: parking_lot::Mutex<Option<ReplicationStatus>>,
+    /// Retrieval-kernel activity, accumulated per executed (uncached) query.
+    knn: KnnCounters,
 }
 
 /// Handle to a running server.
@@ -247,6 +283,7 @@ fn spawn_service(
         recorder,
         shutdown: AtomicBool::new(false),
         replication: parking_lot::Mutex::new(None),
+        knn: KnnCounters::default(),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -465,6 +502,7 @@ fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
         slow_threshold_ms: shared.live.threshold().as_secs_f64() * 1_000.0,
         shard: shared.config.shard,
         replication: shared.replication.lock().clone(),
+        knn: shared.knn.snapshot(),
     }
 }
 
@@ -627,7 +665,22 @@ fn dispatch_query(
             );
         }
     }
-    let key = QueryKey::canonicalize(&req, shared.config.default_limit);
+    // Reject non-finite vectors at the protocol boundary, before they can
+    // reach a distance kernel or poison a cache entry.
+    if let Some(index) = req.vector.as_deref().and_then(non_finite_index) {
+        return (
+            Response::error(
+                ErrorKind::BadRequest,
+                format!("query vector component {index} is not finite"),
+            ),
+            None,
+        );
+    }
+    let key = QueryKey::canonicalize(
+        &req,
+        shared.config.default_limit,
+        shared.config.default_strategy,
+    );
     ctx.mark(STAGE_ADMISSION);
     let uses_cache = req.delay_ms.is_none();
     if uses_cache {
@@ -656,15 +709,28 @@ fn dispatch_query(
             if let Some(ms) = req.delay_ms {
                 std::thread::sleep(Duration::from_millis(ms));
             }
-            let result = execute_query(&req, &job_snap.db, job_shared.config.default_limit);
-            let result = Arc::new(result);
-            if req.delay_ms.is_none() {
-                job_shared
-                    .cache
-                    .put(job_snap.epoch, key, Arc::clone(&result));
-            }
+            let response = match execute_query(
+                &req,
+                &job_snap.db,
+                job_shared.config.default_limit,
+                job_shared.config.default_strategy,
+            ) {
+                Ok(result) => {
+                    job_shared.knn.absorb(&result.stats);
+                    let result = Arc::new(result);
+                    if req.delay_ms.is_none() {
+                        job_shared
+                            .cache
+                            .put(job_snap.epoch, key, Arc::clone(&result));
+                    }
+                    results_response(job_snap.epoch, false, &result)
+                }
+                // Validation failures are never cached: the rejection is
+                // cheap to recompute and must not occupy result capacity.
+                Err(e) => Response::error(ErrorKind::BadRequest, e.to_string()),
+            };
             let exec = exec_start.elapsed().as_nanos() as u64;
-            let _ = done_tx.send((results_response(job_snap.epoch, false, &result), queue_wait, exec));
+            let _ = done_tx.send((response, queue_wait, exec));
         }),
         Box::new(move || {
             let queue_wait = submitted_at.elapsed().as_nanos() as u64;
@@ -703,7 +769,12 @@ fn dispatch_query(
     }
 }
 
-fn execute_query(req: &QueryRequest, db: &VideoDatabase, default_limit: usize) -> CachedResult {
+fn execute_query(
+    req: &QueryRequest,
+    db: &VideoDatabase,
+    default_limit: usize,
+    default_strategy: WireStrategy,
+) -> Result<CachedResult, medvid_index::QueryError> {
     let user = req.clearance.map(|c| UserContext::new(Clearance(c)));
     let mut q = db.query();
     if let Some(v) = &req.vector {
@@ -719,9 +790,11 @@ fn execute_query(req: &QueryRequest, db: &VideoDatabase, default_limit: usize) -
         q = q.as_user(u);
     }
     q = q.limit(req.limit.unwrap_or(default_limit));
-    q = q.strategy(Strategy::from(req.strategy.unwrap_or_default()));
-    let (hits, stats) = q.run();
-    CachedResult { hits, stats }
+    q = q.strategy(Strategy::from(req.strategy.unwrap_or(default_strategy)));
+    // Validated even though the protocol boundary already screens vectors:
+    // this is the last line of defence in front of the distance kernels.
+    let (hits, stats) = q.try_run()?;
+    Ok(CachedResult { hits, stats })
 }
 
 fn results_response(epoch: u64, cached: bool, result: &CachedResult) -> Response {

@@ -367,7 +367,11 @@ mod tests {
         let epoch_before = svc.epoch();
 
         let cache = ResultCache::new(8, Recorder::disabled());
-        let key = QueryKey::canonicalize(&QueryRequest::default(), 10);
+        let key = QueryKey::canonicalize(
+            &QueryRequest::default(),
+            10,
+            crate::protocol::WireStrategy::default(),
+        );
         cache.put(
             epoch_before,
             key.clone(),

@@ -1,0 +1,171 @@
+//! Serving-layer contracts for the retrieval-kernel rebase, end to end
+//! over TCP: non-finite query vectors are rejected at the protocol
+//! boundary with a typed error (and never crash the worker pool), the
+//! result cache keeps differently-planned executions of the same vector
+//! apart, and the kernel's work surfaces through the metrics snapshot.
+
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::{
+    spawn, Client, ErrorKind, IngestShot, QueryRequest, Response, ServerConfig, ServerHandle,
+    WirePlannedPath, WireStrategy,
+};
+use medvid_testkit::{adversarial_vector_query, forall, require, NoShrink};
+use medvid_types::{EventKind, ShotId, VideoId};
+use std::cell::RefCell;
+use std::time::Duration;
+
+const DIMS: usize = 266;
+
+fn shot(i: usize) -> IngestShot {
+    let scenes = VideoDatabase::medical().hierarchy().scene_nodes();
+    let mut features = vec![0.0f32; DIMS];
+    features[i % DIMS] = 1.0;
+    features[(i * 31) % DIMS] = 0.5;
+    IngestShot {
+        video: VideoId(3),
+        shot: ShotId(i),
+        features,
+        event: EventKind::DETERMINATE[i % 3],
+        scene_node: scenes[i % scenes.len()],
+    }
+}
+
+fn serve() -> (ServerHandle, Client) {
+    let handle = spawn(
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::disabled(),
+    )
+    .expect("bind loopback");
+    let client = Client::connect(handle.addr(), Duration::from_secs(10)).expect("connect");
+    (handle, client)
+}
+
+fn probe(seed: usize, strategy: Option<WireStrategy>) -> QueryRequest {
+    let mut v = vec![0.0f32; DIMS];
+    v[seed % DIMS] = 1.0;
+    QueryRequest {
+        vector: Some(v),
+        strategy,
+        limit: Some(5),
+        ..QueryRequest::default()
+    }
+}
+
+#[test]
+fn non_finite_vectors_are_rejected_at_the_protocol_boundary() {
+    let (handle, client) = serve();
+    let client = RefCell::new(client);
+    client
+        .borrow_mut()
+        .ingest((0..8).map(shot).collect())
+        .expect("ingest");
+    forall(
+        "poisoned vector -> BadRequest naming the component",
+        |rng| NoShrink(adversarial_vector_query(rng, DIMS, 0)),
+        |NoShrink((spec, first))| {
+            let req = QueryRequest {
+                vector: spec.vector.clone(),
+                limit: Some(5),
+                ..QueryRequest::default()
+            };
+            let mut c = client.borrow_mut();
+            match c.query(req).expect("server answers, never disconnects") {
+                Response::Error { kind, message, .. } => {
+                    require!(
+                        kind == ErrorKind::BadRequest,
+                        "expected BadRequest, got {kind:?}: {message}"
+                    );
+                    require!(
+                        message.contains(&first.to_string()),
+                        "error {message:?} does not name component {first}"
+                    );
+                }
+                other => return Err(format!("poisoned query executed: {other:?}")),
+            }
+            // The rejection happened before the worker pool: the very next
+            // well-formed query on the same connection still answers.
+            match c.query(probe(1, None)).expect("follow-up query") {
+                Response::Results { .. } => Ok(()),
+                other => Err(format!("healthy follow-up failed: {other:?}")),
+            }
+        },
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn cache_keeps_search_strategies_apart_but_results_agree() {
+    let (handle, mut client) = serve();
+    client.ingest((0..24).map(shot).collect()).expect("ingest");
+
+    let run = |client: &mut Client, strategy: Option<WireStrategy>| {
+        match client.query(probe(7, strategy)).expect("query") {
+            Response::Results {
+                cached, hits, stats, ..
+            } => (cached, hits, stats),
+            other => panic!("expected Results, got {other:?}"),
+        }
+    };
+
+    let (cached, flat_hits, _) = run(&mut client, Some(WireStrategy::Flat));
+    assert!(!cached, "cold flat probe cannot be cached");
+    // Same vector, different strategy: a fresh execution, not the flat
+    // path's cache entry.
+    let (cached, planned_hits, stats) = run(&mut client, Some(WireStrategy::Planned));
+    assert!(!cached, "strategy participates in the cache key");
+    assert_ne!(
+        stats.planner_path,
+        WirePlannedPath::Unplanned,
+        "planned execution reports its verdict"
+    );
+    // ...and the planner's answer is the flat answer, bit for bit.
+    assert_eq!(planned_hits, flat_hits, "exact paths must agree");
+    // Repeating the planned probe is now a hit on its own entry.
+    let (cached, _, _) = run(&mut client, Some(WireStrategy::Planned));
+    assert!(cached, "repeat planned probe hits its own cache entry");
+    // An implicit-strategy probe resolves to the server default
+    // (hierarchical), which is yet another entry.
+    let (cached, _, _) = run(&mut client, None);
+    assert!(!cached, "implicit default strategy has its own key");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn metrics_surface_the_kernel_counters() {
+    let (handle, mut client) = serve();
+    client.ingest((0..24).map(shot).collect()).expect("ingest");
+    for i in 0..4 {
+        client
+            .query(probe(i, Some(WireStrategy::Flat)))
+            .expect("flat probe");
+        client
+            .query(probe(i, Some(WireStrategy::Planned)))
+            .expect("planned probe");
+    }
+    let snapshot = match client.metrics().expect("metrics") {
+        Response::Metrics { snapshot } => snapshot,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    assert!(
+        snapshot.knn.quantized_comparisons > 0,
+        "flat probes must run through the quantized kernel"
+    );
+    assert!(
+        snapshot.knn.rerank_candidates > 0,
+        "the candidate pool must be re-ranked exactly"
+    );
+    let text = snapshot.render_prometheus();
+    for series in [
+        "medvid_knn_quantized_comparisons_total",
+        "medvid_knn_rerank_candidates_total",
+        "medvid_planner_flat_fallbacks_total",
+    ] {
+        assert!(text.contains(series), "prometheus text missing {series}");
+    }
+    handle.shutdown();
+    handle.join();
+}

@@ -45,7 +45,7 @@ pub mod runner;
 pub mod shrink;
 
 pub use fault::{corrupt_bytes, Fault, FaultPlan, FaultProxy, FaultyStream};
-pub use query::{invalid_query, valid_query, QuerySpec};
+pub use query::{adversarial_vector_query, invalid_query, valid_query, QuerySpec};
 pub use rng::TkRng;
 pub use runner::{forall, forall_with, Config, CASES_ENV, DEFAULT_CASES, DEFAULT_SEED, SEED_ENV};
 pub use shrink::{NoShrink, Shrink};

@@ -114,6 +114,36 @@ pub fn invalid_query(
     }
 }
 
+/// A query whose vector is the right length but carries at least one
+/// non-finite component (`NaN`, `+inf` or `-inf`). The server must reject
+/// it with a typed error *before* execution — a non-finite component
+/// poisons every distance comparison downstream. Returns the spec and the
+/// index of the first injected component.
+pub fn adversarial_vector_query(
+    rng: &mut TkRng,
+    feature_len: usize,
+    n_nodes: usize,
+) -> (QuerySpec, usize) {
+    let mut spec = valid_query(rng, feature_len, n_nodes);
+    let mut v: Vec<f32> = (0..feature_len.max(1))
+        .map(|_| rng.f32_in(0.0, 1.0))
+        .collect();
+    let poisons = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+    let n_poison = rng.usize_in(1, v.len().min(3));
+    for _ in 0..n_poison {
+        let at = rng.usize_in(0, v.len() - 1);
+        v[at] = *rng.pick(&poisons);
+    }
+    // Poison sites may overlap, so re-scan for the index the validator
+    // must report: the first non-finite component.
+    let first = v
+        .iter()
+        .position(|x| !x.is_finite())
+        .expect("at least one poisoned component");
+    spec.vector = Some(v);
+    (spec, first)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +173,18 @@ mod tests {
             let broken_vector = q.vector.as_ref().map(|v| v.len() != 16).unwrap_or(false);
             let broken_node = q.node.map(|n| n >= 5).unwrap_or(false);
             assert!(broken_vector || broken_node, "{label}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_vectors_are_non_finite_at_the_reported_index() {
+        let mut rng = TkRng::new(10);
+        for _ in 0..200 {
+            let (q, first) = adversarial_vector_query(&mut rng, 16, 5);
+            let v = q.vector.as_ref().expect("adversarial spec has a vector");
+            assert_eq!(v.len(), 16);
+            assert!(!v[first].is_finite());
+            assert!(v[..first].iter().all(|x| x.is_finite()));
         }
     }
 

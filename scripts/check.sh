@@ -31,7 +31,12 @@ cargo test -q -p medvid-audio --test testkit_bic
 cargo test -q -p medvid-codec --test testkit_fuzz
 cargo test -q -p medvid-serve --test protocol_fuzz
 cargo test -q -p medvid-serve --test observability_integration
+cargo test -q -p medvid-serve --test knn_serving
 cargo test -q -p medvid-index --test persist_faults
+# Retrieval-kernel exactness: quantized scan / planner / best-first descent
+# must stay bit-identical to the scalar flat scan.
+cargo test -q -p medvid-knn
+cargo test -q -p medvid-index --test knn_equivalence
 cargo test -q -p medvid-store --test crash_consistency
 cargo test -q -p medvid --test serve_faults
 cargo test -q -p medvid --test serve_durability
