@@ -1,30 +1,52 @@
 //! Scatter-gather query coordination and per-shard ingest routing.
 //!
-//! A [`Coordinator`] holds a [`ClusterTopology`] and speaks the ordinary
-//! `medvid-serve/v1` protocol to every shard. Queries fan out to all
-//! shards in parallel and merge their top-k by the same deterministic
-//! `(distance, video, shot)` order the single-node index ranks with, so
-//! for exhaustive (`Flat`) retrieval the merged answer is bit-identical
-//! to one node holding the whole corpus. Hierarchical retrieval remains
-//! available but is approximate per shard — each shard routes through a
-//! hierarchy built from its own records — so its sharded answer may
-//! differ from single-node, exactly as two differently-built indexes may.
+//! A [`Coordinator`] routes against a [`SharedTopology`] — an epoch-
+//! versioned cluster map a control plane may swap at any moment — and
+//! speaks the ordinary `medvid-serve/v1` protocol to every shard. Queries
+//! fan out to all shards in parallel and merge their top-k by the same
+//! deterministic `(distance, video, shot)` order the single-node index
+//! ranks with, so for exhaustive (`Flat`) retrieval the merged answer is
+//! bit-identical to one node holding the whole corpus. Hierarchical
+//! retrieval remains available but is approximate per shard — each shard
+//! routes through a hierarchy built from its own records — so its sharded
+//! answer may differ from single-node, exactly as two differently-built
+//! indexes may.
 //!
 //! Failure handling is typed, never silent: a shard whose primary and
 //! replicas are all unreachable within the per-shard deadline is reported
 //! in [`GatherStatus::Degraded`] alongside the merged hits of the shards
 //! that did answer; a shard that *rejects* the query (bad request, store
 //! failure) fails the whole query with the culprit's shard id attached.
+//! A primary that is *hung* rather than dead — it answers, but only with
+//! `DeadlineExceeded` — counts as unavailable for reads, and the chain
+//! falls through to its replicas instead of surfacing the timeout.
+//!
+//! Two consistency knobs close the replication loop:
+//!
+//! * **Bounded-staleness reads** ([`CoordinatorConfig::max_staleness`]):
+//!   a replica is only allowed to answer a read when its published
+//!   replication lag is at or under the bound.
+//! * **Replicated acks** ([`CoordinatorConfig::replicated_ack`]): an
+//!   ingest is only acknowledged to the caller once some follower of the
+//!   owning shard has applied the acked sequence number — which is what
+//!   lets a control plane promise that promoting the most-caught-up
+//!   follower never loses an acked write.
+//!
+//! During a hash-range split the old shard still holds records the new
+//! topology assigns elsewhere; the gather merge collapses identical
+//! `(video, shot)` entries, so handed-off records are never double-counted.
 
-use crate::topology::ClusterTopology;
+use crate::topology::{ClusterTopology, SharedTopology};
 use medvid_obs::{counters, Recorder};
+use medvid_serve::client::Client;
 use medvid_serve::protocol::{
     ErrorKind, Hit, IngestShot, MetricsSnapshot, QueryRequest, Request, Response,
 };
 use medvid_serve::retry::{ClientError, RetryClassifier, RetryPolicy, RetryingClient};
 use std::fmt;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
@@ -40,6 +62,18 @@ pub struct CoordinatorConfig {
     /// match the shards' configured default so merged truncation agrees
     /// with single-node truncation.
     pub default_limit: usize,
+    /// Bounded-staleness reads: a replica may answer a query only when
+    /// its published replication lag is `<=` this many records. `None`
+    /// (the default) restores the old behaviour — any reachable replica
+    /// answers, however far behind.
+    pub max_staleness: Option<u64>,
+    /// Replicated acks: after the owning primary acknowledges an ingest
+    /// durably, wait up to this long for some follower of that shard to
+    /// apply the acked sequence number before acknowledging the caller.
+    /// `None` (the default) acknowledges on primary durability alone.
+    /// Shards with no registered replicas always ack on primary
+    /// durability (there is no follower to wait for).
+    pub replicated_ack: Option<Duration>,
 }
 
 impl Default for CoordinatorConfig {
@@ -48,6 +82,8 @@ impl Default for CoordinatorConfig {
             shard_deadline: Duration::from_secs(2),
             retry: RetryPolicy::default(),
             default_limit: 10,
+            max_staleness: None,
+            replicated_ack: None,
         }
     }
 }
@@ -98,9 +134,12 @@ pub enum ClusterError {
         /// Human-readable detail from the shard.
         message: String,
     },
-    /// An ingest could not reach the shard that owns its videos. Shards
-    /// acknowledged before this one keep their batches (per-shard
-    /// at-least-once, like the single-node retry wrapper).
+    /// An ingest could not reach the shard that owns its videos, or (under
+    /// replicated acks) the primary acknowledged durably but no follower
+    /// confirmed in time. Shards acknowledged before this one keep their
+    /// batches (per-shard at-least-once, like the single-node retry
+    /// wrapper) — and a replicated-ack timeout means the write *is*
+    /// durable on the primary, just not yet confirmed replicated.
     ShardUnavailable {
         /// The unreachable shard.
         shard: u32,
@@ -163,37 +202,86 @@ enum ShardRead {
     Missing,
 }
 
-/// Scatter-gather front-end over a [`ClusterTopology`].
+/// Scatter-gather front-end over a [`SharedTopology`].
 pub struct Coordinator {
-    topology: ClusterTopology,
+    shared: SharedTopology,
     config: CoordinatorConfig,
     recorder: Recorder,
 }
 
 impl Coordinator {
-    /// A coordinator routing against `topology`.
+    /// A coordinator routing against a private, fixed view of `topology`
+    /// (wrapped into a [`SharedTopology`] nobody else swaps).
     pub fn new(topology: ClusterTopology, config: CoordinatorConfig, recorder: Recorder) -> Self {
+        Self::with_shared(SharedTopology::new(topology), config, recorder)
+    }
+
+    /// A coordinator routing against a live shared view — the control
+    /// plane keeps a clone of `shared` and swaps successors in as it
+    /// promotes replicas and splits shards; this coordinator observes
+    /// every swap on its next request.
+    pub fn with_shared(shared: SharedTopology, config: CoordinatorConfig, recorder: Recorder) -> Self {
         Coordinator {
-            topology,
+            shared,
             config,
             recorder,
         }
     }
 
-    /// The topology being routed against.
-    pub fn topology(&self) -> &ClusterTopology {
-        &self.topology
+    /// The current topology snapshot being routed against.
+    pub fn topology(&self) -> Arc<ClusterTopology> {
+        self.shared.load()
+    }
+
+    /// The shared topology handle (for wiring a control plane).
+    pub fn shared_topology(&self) -> SharedTopology {
+        self.shared.clone()
+    }
+
+    /// True when `addr`'s published replication lag is at or under
+    /// `bound` — the bounded-staleness gate for replica reads.
+    fn replica_fresh(&self, addr: SocketAddr, bound: u64) -> bool {
+        let Ok(mut client) = Client::connect(addr, self.config.shard_deadline) else {
+            return false;
+        };
+        match client.metrics() {
+            Ok(Response::Metrics { snapshot }) => snapshot
+                .replication
+                .map(|r| r.lag <= bound)
+                .unwrap_or(false),
+            _ => false,
+        }
     }
 
     /// One read attempt chain against a shard: primary first, then each
-    /// replica, failing over on connection faults only.
-    fn shard_request(&self, shard: u32, request: &Request) -> Result<(Response, bool), String> {
-        let spec = self.topology.spec(shard).expect("shard ids are dense");
+    /// replica. The chain advances on connection faults, transport
+    /// timeouts, *and* typed `DeadlineExceeded` rejections — a hung
+    /// primary is health evidence, not an answer. Under bounded
+    /// staleness, replicas whose published lag exceeds the bound are
+    /// skipped (`check_staleness` is off for metrics gathering, which
+    /// wants to see stale nodes).
+    fn shard_request(
+        &self,
+        topo: &ClusterTopology,
+        shard: u32,
+        request: &Request,
+        check_staleness: bool,
+    ) -> Result<(Response, bool), String> {
+        let spec = topo.spec(shard).expect("shard ids are dense");
         let mut last = String::from("no address configured");
+        let mut deadline_reject: Option<(Response, bool)> = None;
         let addrs: Vec<(SocketAddr, bool)> = std::iter::once((spec.primary, false))
             .chain(spec.replicas.iter().map(|&a| (a, true)))
             .collect();
         for (addr, is_replica) in addrs {
+            if is_replica && check_staleness {
+                if let Some(bound) = self.config.max_staleness {
+                    if !self.replica_fresh(addr, bound) {
+                        last = format!("replica {addr} exceeds staleness bound of {bound}");
+                        continue;
+                    }
+                }
+            }
             let mut client = RetryingClient::with_classifier(
                 addr,
                 self.config.shard_deadline,
@@ -201,6 +289,18 @@ impl Coordinator {
                 RetryClassifier::fail_fast(),
             );
             match client.request(request) {
+                Ok(
+                    resp @ Response::Error {
+                        kind: ErrorKind::DeadlineExceeded,
+                        ..
+                    },
+                ) => {
+                    // The node is alive but not answering in time. For the
+                    // first address (the primary) that is exactly the hung-
+                    // primary case: keep walking the chain. Surface the
+                    // rejection only if nothing downstream answers either.
+                    deadline_reject.get_or_insert((resp, is_replica));
+                }
                 Ok(resp) => {
                     if is_replica {
                         self.recorder.incr(counters::CLUSTER_FAILOVERS, 1);
@@ -212,27 +312,35 @@ impl Coordinator {
                 }
             }
         }
+        if let Some(reject) = deadline_reject {
+            return Ok(reject);
+        }
         Err(last)
     }
 
     /// Fans `req` to every shard, merges per-shard top-k, and reports
     /// coverage. Shards with no reachable node degrade the answer; a
-    /// typed rejection from any shard fails it.
+    /// typed rejection from any shard fails it. The merge collapses
+    /// identical `(video, shot)` entries, so a record a split handed to
+    /// a new shard — but which the donor still physically holds — is
+    /// never counted from both its old and new home.
     ///
     /// # Errors
     /// [`ClusterError::Rejected`] when a shard refuses the query;
     /// [`ClusterError::EmptyTopology`] when there is nothing to ask.
     pub fn query(&self, req: &QueryRequest) -> Result<GatherOutcome, ClusterError> {
-        if self.topology.is_empty() {
+        let topo = self.shared.load();
+        if topo.is_empty() {
             return Err(ClusterError::EmptyTopology);
         }
         self.recorder.incr(counters::CLUSTER_QUERIES, 1);
         let reads: Vec<ShardRead> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.topology.len() as u32)
+            let handles: Vec<_> = (0..topo.len() as u32)
                 .map(|shard| {
                     let req = req.clone();
-                    scope.spawn(
-                        move || match self.shard_request(shard, &Request::Query(req)) {
+                    let topo = &topo;
+                    scope.spawn(move || {
+                        match self.shard_request(topo, shard, &Request::Query(req), true) {
                             Ok((Response::Results { hits, .. }, via_replica)) => {
                                 ShardRead::Answer(hits, via_replica)
                             }
@@ -251,8 +359,8 @@ impl Coordinator {
                                 format!("unexpected response to a query: {other:?}"),
                             ),
                             Err(_) => ShardRead::Missing,
-                        },
-                    )
+                        }
+                    })
                 })
                 .collect();
             handles
@@ -299,25 +407,67 @@ impl Coordinator {
         })
     }
 
+    /// Waits until some follower of `shard` reports `applied_seq >=
+    /// acked` (the replicated-ack gate).
+    fn await_replicated(
+        &self,
+        spec_replicas: &[SocketAddr],
+        shard: u32,
+        acked: u64,
+        wait: Duration,
+    ) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            for &addr in spec_replicas {
+                let Ok(mut client) = Client::connect(addr, self.config.shard_deadline) else {
+                    continue;
+                };
+                if let Ok(Response::Metrics { snapshot }) = client.metrics() {
+                    if let Some(r) = snapshot.replication {
+                        if r.applied_seq >= acked {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::ShardUnavailable {
+                    shard,
+                    detail: format!(
+                        "write is durable on the primary (seq {acked}) but no follower \
+                         confirmed applying it within the replicated-ack window"
+                    ),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// Routes each shot to the shard that owns its video and sends one
-    /// ingest batch per shard, in parallel. Each shard acknowledges only
-    /// after its own durable WAL append, so a reported shard is
-    /// crash-safe the moment it appears in the report.
+    /// ingest batch per shard, in parallel, stamping the topology epoch
+    /// onto every batch so a fenced (deposed) primary refuses it rather
+    /// than acking a write the real leader will never see. Each shard
+    /// acknowledges only after its own durable WAL append; under
+    /// [`CoordinatorConfig::replicated_ack`] the coordinator additionally
+    /// waits for a follower of that shard to confirm the acked sequence.
     ///
     /// # Errors
     /// [`ClusterError::Rejected`] when a shard refuses its batch (the
     /// whole batch to that shard was refused — validation is
-    /// all-or-nothing per shard); [`ClusterError::ShardUnavailable`] when
-    /// a shard cannot be reached. Either way, *other* shards may already
-    /// have acknowledged their sub-batches: per-shard at-least-once, the
-    /// same contract the single-node retry wrapper gives.
+    /// all-or-nothing per shard; a `Fenced` rejection means the topology
+    /// changed mid-flight and the caller should retry, re-routing under
+    /// the new epoch); [`ClusterError::ShardUnavailable`] when a shard
+    /// cannot be reached. Either way, *other* shards may already have
+    /// acknowledged their sub-batches: per-shard at-least-once, the same
+    /// contract the single-node retry wrapper gives.
     pub fn ingest(&self, shots: Vec<IngestShot>) -> Result<IngestReport, ClusterError> {
-        if self.topology.is_empty() {
+        let topo = self.shared.load();
+        if topo.is_empty() {
             return Err(ClusterError::EmptyTopology);
         }
-        let mut by_shard: Vec<Vec<IngestShot>> = vec![Vec::new(); self.topology.len()];
+        let mut by_shard: Vec<Vec<IngestShot>> = vec![Vec::new(); topo.len()];
         for s in shots {
-            by_shard[self.topology.shard_of(s.video) as usize].push(s);
+            by_shard[topo.shard_of(s.video) as usize].push(s);
         }
         let outcomes: Vec<Option<Result<(usize, u64), ClusterError>>> =
             std::thread::scope(|scope| {
@@ -325,12 +475,13 @@ impl Coordinator {
                     .into_iter()
                     .enumerate()
                     .map(|(shard, batch)| {
+                        let topo = &topo;
                         scope.spawn(move || {
                             if batch.is_empty() {
                                 return None;
                             }
                             let shard = shard as u32;
-                            let spec = self.topology.spec(shard).expect("dense ids");
+                            let spec = topo.spec(shard).expect("dense ids");
                             // Writes go to the primary only (it owns the
                             // WAL); replicas learn via log shipping.
                             let mut client = RetryingClient::new(
@@ -343,10 +494,30 @@ impl Coordinator {
                                     shots: batch,
                                     trace_id: None,
                                     trace: false,
+                                    topology_epoch: Some(topo.epoch()),
                                 }) {
                                     Ok(Response::Ingested {
-                                        accepted, epoch, ..
-                                    }) => Ok((accepted, epoch)),
+                                        accepted,
+                                        epoch,
+                                        last_seq,
+                                        ..
+                                    }) => {
+                                        if let (Some(wait), Some(acked)) =
+                                            (self.config.replicated_ack, last_seq)
+                                        {
+                                            if !spec.replicas.is_empty() {
+                                                if let Err(e) = self.await_replicated(
+                                                    &spec.replicas,
+                                                    shard,
+                                                    acked,
+                                                    wait,
+                                                ) {
+                                                    return Some(Err(e));
+                                                }
+                                            }
+                                        }
+                                        Ok((accepted, epoch))
+                                    }
                                     Ok(Response::Error {
                                         kind,
                                         message,
@@ -401,24 +572,27 @@ impl Coordinator {
     /// replicas), for `medvid cluster status` and the tests' lag
     /// assertions. Never fails: unreachable shards carry their error.
     pub fn metrics(&self) -> Vec<ShardMetrics> {
-        (0..self.topology.len() as u32)
-            .map(|shard| match self.shard_request(shard, &Request::Metrics) {
-                Ok((Response::Metrics { snapshot }, _)) => ShardMetrics {
-                    shard,
-                    snapshot: Some(snapshot),
-                    error: None,
+        let topo = self.shared.load();
+        (0..topo.len() as u32)
+            .map(
+                |shard| match self.shard_request(&topo, shard, &Request::Metrics, false) {
+                    Ok((Response::Metrics { snapshot }, _)) => ShardMetrics {
+                        shard,
+                        snapshot: Some(snapshot),
+                        error: None,
+                    },
+                    Ok((other, _)) => ShardMetrics {
+                        shard,
+                        snapshot: None,
+                        error: Some(format!("unexpected response: {other:?}")),
+                    },
+                    Err(e) => ShardMetrics {
+                        shard,
+                        snapshot: None,
+                        error: Some(e),
+                    },
                 },
-                Ok((other, _)) => ShardMetrics {
-                    shard,
-                    snapshot: None,
-                    error: Some(format!("unexpected response: {other:?}")),
-                },
-                Err(e) => ShardMetrics {
-                    shard,
-                    snapshot: None,
-                    error: Some(e),
-                },
-            })
+            )
             .collect()
     }
 }
@@ -434,6 +608,13 @@ pub fn merge_topk(hits: &mut Vec<Hit>, limit: usize) {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| (a.video, a.shot).cmp(&(b.video, b.shot)))
     });
+    // During a split handoff the donor still physically holds its moved
+    // records, so the same shot can arrive from two shards. Duplicates
+    // carry bit-identical distances (same features, same kernel), so
+    // after the sort they are adjacent and collapse to one before the
+    // cut — a record is never counted from both its old and new home,
+    // and a duplicate can never crowd a distinct record out of the k.
+    hits.dedup_by(|a, b| (a.video, a.shot) == (b.video, b.shot));
     hits.truncate(limit);
 }
 
@@ -488,5 +669,22 @@ mod tests {
             coord.ingest(Vec::new()),
             Err(ClusterError::EmptyTopology)
         ));
+    }
+
+    #[test]
+    fn coordinator_observes_shared_swaps() {
+        let a: std::net::SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        let b: std::net::SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let shared = SharedTopology::new(ClusterTopology::of_primaries(&[a, b]));
+        let coord = Coordinator::with_shared(
+            shared.clone(),
+            CoordinatorConfig::default(),
+            Recorder::disabled(),
+        );
+        assert_eq!(coord.topology().len(), 2);
+        let (next, _) = shared.load().split(0, "127.0.0.1:9002".parse().unwrap()).unwrap();
+        assert!(shared.publish(next));
+        assert_eq!(coord.topology().len(), 3, "swap visible without rebuild");
+        assert_eq!(coord.topology().epoch(), 2);
     }
 }

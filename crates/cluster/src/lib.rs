@@ -23,6 +23,21 @@
 //!   node that answers reads behind the coordinator and exposes its lag
 //!   through `Metrics`.
 //!
+//! Above the serving tier sits the cluster's management story:
+//!
+//! * [`control`] — the control plane: a health-checker that probes every
+//!   node through the ordinary `Metrics` verb, promotes the most-caught-
+//!   up replica when a primary goes down, fences deposed primaries by
+//!   topology epoch so a resurrected node's acks are refused, and splits
+//!   an outgrown shard's hash range onto a new node via the same
+//!   checkpoint + suffix shipping replication uses.
+//! * [`sim`] — the deterministic chaos harness: a [`sim::ClusterSim`]
+//!   drives a live multi-shard cluster through seeded kill/heal/stall
+//!   schedules (faults injected by `medvid-testkit`'s `FaultProxy`) and
+//!   checks the two invariants the control plane promises — no acked
+//!   write is ever lost, and the topology reconverges after the faults
+//!   clear.
+//!
 //! [`local::LocalCluster`] spins up an N-shard durable cluster inside
 //! one process — the unit the integration tests, the CLI
 //! (`medvid cluster serve`) and the benchmarks all drive.
@@ -30,15 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod coordinator;
 pub mod local;
 pub mod replica;
+pub mod sim;
 pub mod topology;
 
+pub use control::{
+    ControlPlane, ControlPlaneConfig, NodeHealth, NodeState, SplitReport, TickReport,
+};
 pub use coordinator::{
     ClusterError, Coordinator, CoordinatorConfig, GatherOutcome, GatherStatus, IngestReport,
     ShardMetrics,
 };
 pub use local::LocalCluster;
-pub use replica::{Follower, Replica, ReplicaConfig};
-pub use topology::{shard_of, ClusterTopology, ShardSpec};
+pub use replica::{Follower, PromotedNode, Replica, ReplicaConfig};
+pub use sim::{ClusterSim, SimReport};
+pub use topology::{shard_of, ClusterTopology, HashRange, ShardSpec, SharedTopology};

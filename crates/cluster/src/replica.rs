@@ -21,8 +21,9 @@ use medvid_index::VideoDatabase;
 use medvid_obs::{counters, values, Recorder};
 use medvid_serve::protocol::ReplicationStatus;
 use medvid_serve::{self as serve, Client, Request, Response, ServerConfig, ServerHandle};
-use medvid_store::{recovery, StoreCheckpoint, WalRecord};
+use medvid_store::{recovery, Store, StoreCheckpoint, StoreConfig, WalRecord};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -136,6 +137,15 @@ pub struct ReplicaConfig {
     /// Base config of the replica's own serving endpoint (its `shard`
     /// field is overridden with the one above).
     pub server: ServerConfig,
+    /// When set, the follower mirrors every applied segment into a store
+    /// of its own under this directory — the shipped WAL a later
+    /// [`Replica::promote`] reopens as the shard's new leader log.
+    /// `None` keeps the replica purely in-memory (read serving only;
+    /// promotion refuses).
+    pub store_dir: Option<PathBuf>,
+    /// Store tuning for the local mirror (fsync policy, checkpoint
+    /// thresholds).
+    pub store_config: StoreConfig,
 }
 
 impl Default for ReplicaConfig {
@@ -146,17 +156,45 @@ impl Default for ReplicaConfig {
             fetch_timeout: Duration::from_secs(2),
             fetch_budget: None,
             server: ServerConfig::default(),
+            store_dir: None,
+            store_config: StoreConfig::default(),
         }
     }
 }
 
-/// A read-serving follower node: in-memory server + WAL tailer thread.
+/// A read-serving follower node: in-memory server + WAL tailer thread,
+/// optionally mirroring the shipped history into a local store so it can
+/// be promoted to leader.
 pub struct Replica {
     handle: Arc<ServerHandle>,
     addr: SocketAddr,
     status: Arc<parking_lot::Mutex<ReplicationStatus>>,
     stop: Arc<AtomicBool>,
     tailer: Option<std::thread::JoinHandle<()>>,
+    /// The local mirror store, shared with the tailer. `None` when the
+    /// replica was spawned without one, or after a mirror write failed
+    /// (the replica degrades to in-memory rather than serving stale
+    /// durability promises).
+    store: Arc<parking_lot::Mutex<Option<Store>>>,
+    store_dir: Option<PathBuf>,
+    store_config: StoreConfig,
+    recorder: Recorder,
+    promoted: bool,
+}
+
+/// What [`Replica::promote`] leaves behind: the same serving endpoint,
+/// now a durable leader over the reopened shipped WAL.
+pub struct PromotedNode {
+    /// The promoted server (keep this alive; dropping the last clone
+    /// shuts the node down).
+    pub handle: Arc<ServerHandle>,
+    /// The serving address — unchanged by promotion, so the topology just
+    /// re-labels it from replica to primary.
+    pub addr: SocketAddr,
+    /// Highest sequence number recovered from the shipped WAL: every
+    /// write the old leader acknowledged *and shipped* is at or below
+    /// this.
+    pub last_seq: u64,
 }
 
 impl Replica {
@@ -183,6 +221,25 @@ impl Replica {
             recorder.clone(),
         )?);
         let addr = handle.addr();
+        // The local mirror: opened (or created) up front so a mirror that
+        // cannot even open fails the spawn loudly instead of silently
+        // downgrading a node the operator meant to be promotable.
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let recovered = Store::open(
+                    dir,
+                    config.store_config,
+                    VideoDatabase::medical(),
+                    recorder.clone(),
+                )
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+                Some(recovered.store)
+            }
+        };
+        let store = Arc::new(parking_lot::Mutex::new(store));
+        let store_dir = config.store_dir.clone();
+        let store_config = config.store_config;
         // An un-ingested copy of the taxonomy, kept so divergence can
         // restart catch-up from the same base the leader bootstrapped on.
         let pristine = initial.clone();
@@ -194,6 +251,8 @@ impl Replica {
         let tail_stop = Arc::clone(&stop);
         let tail_status = Arc::clone(&status);
         let tail_handle = Arc::clone(&handle);
+        let tail_store = Arc::clone(&store);
+        let tail_recorder = recorder.clone();
         let tailer = std::thread::Builder::new()
             .name(format!("cluster-tail-{}", config.shard))
             .spawn(move || {
@@ -204,7 +263,8 @@ impl Replica {
                         &mut follower,
                         &pristine,
                         &tail_handle,
-                        &recorder,
+                        &tail_store,
+                        &tail_recorder,
                     ) {
                         *tail_status.lock() = new_status.clone();
                         tail_handle.set_replication(Some(new_status));
@@ -218,6 +278,11 @@ impl Replica {
             status,
             stop,
             tailer: Some(tailer),
+            store,
+            store_dir,
+            store_config,
+            recorder,
+            promoted: false,
         })
     }
 
@@ -235,6 +300,73 @@ impl Replica {
         self.status.lock().clone()
     }
 
+    /// Whether this replica carries a healthy local mirror — i.e. whether
+    /// [`Self::promote`] can succeed.
+    pub fn is_promotable(&self) -> bool {
+        self.store.lock().is_some()
+    }
+
+    /// Promotes this follower to the shard's leader: stops the tailer,
+    /// **reopens the shipped WAL** through the same recovery path a
+    /// restarted primary uses, installs the recovered state and store
+    /// into the already-serving endpoint, and raises its fence to
+    /// `topology_epoch` so writes routed under any older topology are
+    /// refused. The endpoint keeps its address and every open connection;
+    /// only its role changes.
+    ///
+    /// # Errors
+    /// When the replica has no local mirror (spawned without `store_dir`,
+    /// or the mirror failed and was dropped), or the mirror does not
+    /// recover. The replica is consumed either way — a node that refused
+    /// promotion is not silently still a follower.
+    pub fn promote(mut self, topology_epoch: u64) -> Result<PromotedNode, String> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.tailer.take() {
+            let _ = t.join();
+        }
+        let store = self
+            .store
+            .lock()
+            .take()
+            .ok_or_else(|| "replica has no local mirror to reopen as leader".to_string())?;
+        let dir = self
+            .store_dir
+            .clone()
+            .expect("a mirror store implies a configured directory");
+        // Close the mirror's handles, then recover it exactly as a
+        // restarted primary would — torn tails truncated, checkpoint +
+        // suffix replayed.
+        drop(store);
+        let recovered = Store::open(
+            &dir,
+            self.store_config,
+            VideoDatabase::medical(),
+            self.recorder.clone(),
+        )
+        .map_err(|e| format!("promotion cannot reopen the shipped WAL: {e}"))?;
+        let last_seq = recovered.store.last_seq();
+        self.handle
+            .adopt_store(recovered.store)
+            .map_err(|_| "serving endpoint already owns a store".to_string())?;
+        self.handle
+            .install_db(recovered.db)
+            .map_err(|e| format!("recovered state will not install: {e}"))?;
+        self.handle.set_fence(topology_epoch);
+        self.handle.set_replication(Some(ReplicationStatus {
+            role: "leader".to_string(),
+            leader_seq: last_seq,
+            applied_seq: last_seq,
+            lag: 0,
+        }));
+        self.recorder.incr(counters::CLUSTER_PROMOTIONS, 1);
+        self.promoted = true;
+        Ok(PromotedNode {
+            handle: Arc::clone(&self.handle),
+            addr: self.addr,
+            last_seq,
+        })
+    }
+
     /// Stops the tailer and drains the serving endpoint (the final Arc
     /// drop in `Drop` performs the blocking join once the tailer's clone
     /// is gone).
@@ -249,20 +381,26 @@ impl Drop for Replica {
         if let Some(t) = self.tailer.take() {
             let _ = t.join();
         }
-        self.handle.shutdown();
+        // A promoted replica's endpoint lives on as the shard's leader —
+        // shutting it down here would undo the promotion.
+        if !self.promoted {
+            self.handle.shutdown();
+        }
     }
 }
 
 /// One tail cycle: fetch the suffix past what is applied, apply it,
-/// install the caught-up database, and return the status to publish.
-/// `None` means the leader was unreachable or answered unusably — the
-/// previously published status stands.
+/// mirror it into the local store (when one is configured), install the
+/// caught-up database, and return the status to publish. `None` means
+/// the leader was unreachable or answered unusably — the previously
+/// published status stands.
 fn fetch_once(
     leader: SocketAddr,
     config: &ReplicaConfig,
     follower: &mut Follower,
     pristine: &VideoDatabase,
     handle: &ServerHandle,
+    store: &parking_lot::Mutex<Option<Store>>,
     recorder: &Recorder,
 ) -> Option<ReplicationStatus> {
     let mut client = Client::connect(leader, config.fetch_timeout).ok()?;
@@ -282,9 +420,11 @@ fn fetch_once(
         return None;
     };
     let advanced = snapshot.is_some() || !records.is_empty();
+    let had_snapshot = snapshot.is_some();
     match follower.apply_segment(last_seq, snapshot, &records) {
         Ok(replayed) => {
             if advanced {
+                mirror_segment(store, follower, had_snapshot, &records);
                 // Swap the caught-up database in as a fresh epoch; a
                 // failed swap (impossible for in-memory services) keeps
                 // serving the previous state.
@@ -304,6 +444,33 @@ fn fetch_once(
             *follower = Follower::new(pristine.clone());
             None
         }
+    }
+}
+
+/// Mirrors one applied segment into the replica's local store. A shipped
+/// checkpoint resets the mirror to a checkpoint of the follower's
+/// now-current state (covering `applied_seq`); a plain suffix appends the
+/// shipped records verbatim, preserving the leader's sequence numbers —
+/// [`Store::append_shipped`] skips anything the mirror already holds, so
+/// re-shipped prefixes and baseline checkpoint markers are harmless. A
+/// mirror that refuses a write is dropped: the replica degrades to
+/// in-memory rather than promising a durability it no longer has.
+fn mirror_segment(
+    store: &parking_lot::Mutex<Option<Store>>,
+    follower: &Follower,
+    had_snapshot: bool,
+    records: &[WalRecord],
+) {
+    let mut slot = store.lock();
+    let Some(s) = slot.as_mut() else { return };
+    let result = if had_snapshot {
+        s.install_checkpoint(follower.db(), follower.applied_seq())
+            .map(|_| ())
+    } else {
+        s.append_shipped(records).map(|_| ())
+    };
+    if result.is_err() {
+        *slot = None;
     }
 }
 

@@ -1,0 +1,572 @@
+//! Deterministic cluster chaos harness: a live multi-shard cluster under
+//! a scripted or seeded fault schedule, with the control plane's two
+//! promises checked at the end.
+//!
+//! A [`ClusterSim`] assembles the whole stack in one process:
+//!
+//! * N durable shard primaries ([`LocalCluster`]), each reachable only
+//!   through its own [`FaultProxy`] so a `Kill` severs the node for every
+//!   client — coordinator, tailing replica, and control-plane prober
+//!   alike — and a `Heal` resurrects it;
+//! * one durable, promotable [`Replica`] per shard, tailing its leader
+//!   through the same proxy (a dead primary stops shipping too);
+//! * a [`Coordinator`] running **replicated acks** — a write is only
+//!   acknowledged once a follower confirms it — and a [`ControlPlane`]
+//!   sharing its topology, single-stepped by the harness so every run is
+//!   deterministic for a given schedule and fault timing;
+//!
+//! then drives it through a [`ChaosSchedule`] and verifies:
+//!
+//! 1. **No lost acked write**: every ingest the coordinator acknowledged
+//!    is served after the dust settles, even though primaries were killed
+//!    mid-run and replicas promoted over their shipped WALs. Writes whose
+//!    ack never arrived must be *fully* applied or *fully* absent (ingest
+//!    batches are single-video, so per-shard atomicity makes partial
+//!    application a real bug, not an accounting ambiguity).
+//! 2. **Topology convergence**: within a bounded number of health ticks
+//!    after the schedule's final heal, the control plane reaches a quiet
+//!    state — no strikes, no promotions in flight, no fences owed — and
+//!    scatter-gather answers are `Complete` and **bit-identical** to a
+//!    single node holding the same acknowledged corpus.
+
+use crate::control::{ControlPlane, ControlPlaneConfig};
+use crate::coordinator::{
+    ClusterError, Coordinator, CoordinatorConfig, GatherOutcome, GatherStatus,
+};
+use crate::local::LocalCluster;
+use crate::replica::{Replica, ReplicaConfig};
+use crate::topology::{ClusterTopology, SharedTopology};
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::protocol::{Hit, IngestShot, QueryRequest, Response, WireStrategy};
+use medvid_serve::retry::RetryPolicy;
+use medvid_serve::{self as serve, Client, ServerConfig, ServerHandle};
+use medvid_store::StoreConfig;
+use medvid_testkit::{ChaosEvent, ChaosSchedule, Fault, FaultPlan, FaultProxy};
+use medvid_types::{ShotId, VideoId};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Shots per simulated video (one ingest batch = one video = one shard).
+const SHOTS_PER_VIDEO: usize = 3;
+/// Length of the wall of faults that models a killed link.
+const KILL_WALL: usize = 1 << 16;
+/// Connections a `Stall` event slows before the link self-heals.
+const STALL_CONNECTIONS: usize = 16;
+
+/// What one simulated write attempt became.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteFate {
+    /// The coordinator acknowledged it (durable + replicated).
+    Acked,
+    /// The coordinator errored; the write may or may not have applied.
+    Ambiguous,
+    /// Typed refusal (e.g. fenced mid-swap): provably not applied.
+    Refused,
+}
+
+/// One simulated ingest batch and its fate.
+#[derive(Debug, Clone)]
+struct SimWrite {
+    video: VideoId,
+    shots: Vec<IngestShot>,
+    fate: WriteFate,
+}
+
+/// The verdict of [`ClusterSim::verify`].
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Schedule steps executed.
+    pub steps: usize,
+    /// Batches the coordinator acknowledged.
+    pub acked: usize,
+    /// Ambiguous batches that turned out to be fully applied.
+    pub ambiguous_applied: usize,
+    /// Ambiguous batches that turned out to be fully absent.
+    pub ambiguous_absent: usize,
+    /// Batches refused with a typed error (provably absent).
+    pub refused: usize,
+    /// Promotions the control plane performed during the run.
+    pub promotions: usize,
+    /// Health ticks the topology needed to go quiet after the last heal.
+    pub settle_ticks: usize,
+    /// Records the converged cluster serves.
+    pub records: usize,
+    /// Topology epoch at the end of the run.
+    pub epoch: u64,
+}
+
+/// A live cluster under deterministic chaos. See the module docs.
+pub struct ClusterSim {
+    dir: PathBuf,
+    cluster: Option<LocalCluster>,
+    proxies: Vec<FaultProxy>,
+    plans: Vec<FaultPlan>,
+    killed: BTreeSet<u32>,
+    coordinator: Coordinator,
+    control: ControlPlane,
+    shared: SharedTopology,
+    writes: Vec<SimWrite>,
+    steps: usize,
+    splits: usize,
+    next_video: usize,
+    next_shot: usize,
+}
+
+impl ClusterSim {
+    /// Brings up `shards` proxied durable primaries plus one promotable
+    /// durable replica each, under `dir`, and wires the coordinator and
+    /// control plane over a shared topology.
+    ///
+    /// # Errors
+    /// Propagates bind and storage failures from bring-up.
+    pub fn new(dir: &Path, shards: u32) -> std::io::Result<Self> {
+        let recorder = Recorder::new();
+        let cluster = LocalCluster::spawn(
+            &dir.join("shards"),
+            shards,
+            StoreConfig::default(),
+            ServerConfig::default(),
+            recorder.clone(),
+        )?;
+        let mut proxies = Vec::new();
+        let mut plans = Vec::new();
+        for i in 0..shards {
+            let plan = FaultPlan::clean();
+            proxies.push(FaultProxy::spawn(cluster.addr(i), plan.clone())?);
+            plans.push(plan);
+        }
+        let mut topo =
+            ClusterTopology::of_primaries(&proxies.iter().map(FaultProxy::addr).collect::<Vec<_>>());
+        let mut replicas = Vec::new();
+        for i in 0..shards {
+            let replica = Replica::spawn(
+                proxies[i as usize].addr(),
+                VideoDatabase::medical(),
+                ReplicaConfig {
+                    shard: i,
+                    poll_interval: Duration::from_millis(15),
+                    fetch_timeout: Duration::from_millis(600),
+                    fetch_budget: None,
+                    server: ServerConfig::default(),
+                    store_dir: Some(dir.join(format!("replica-{i}"))),
+                    store_config: StoreConfig::default(),
+                },
+                recorder.clone(),
+            )?;
+            topo.add_replica(i, replica.addr());
+            replicas.push(replica);
+        }
+        let shared = SharedTopology::new(topo);
+        let coordinator = Coordinator::with_shared(
+            shared.clone(),
+            CoordinatorConfig {
+                shard_deadline: Duration::from_millis(500),
+                retry: RetryPolicy::no_delay(2),
+                default_limit: 10,
+                max_staleness: None,
+                replicated_ack: Some(Duration::from_millis(1500)),
+            },
+            recorder.clone(),
+        );
+        let mut control = ControlPlane::new(
+            shared.clone(),
+            ControlPlaneConfig {
+                probe_timeout: Duration::from_millis(300),
+                down_after: 2,
+                ..ControlPlaneConfig::default()
+            },
+            recorder,
+        );
+        for replica in replicas {
+            control.register_replica(replica);
+        }
+        Ok(ClusterSim {
+            dir: dir.to_path_buf(),
+            cluster: Some(cluster),
+            proxies,
+            plans,
+            killed: BTreeSet::new(),
+            coordinator,
+            control,
+            shared,
+            writes: Vec::new(),
+            steps: 0,
+            splits: 0,
+            next_video: 0,
+            next_shot: 0,
+        })
+    }
+
+    /// The routing front-end, for tests that issue their own queries.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The control plane (single-step it with `tick`, inspect `events`).
+    pub fn control(&mut self) -> &mut ControlPlane {
+        &mut self.control
+    }
+
+    /// Node indices currently killed by the schedule.
+    pub fn killed(&self) -> &BTreeSet<u32> {
+        &self.killed
+    }
+
+    /// Executes one chaos event, then runs one control-plane tick (the
+    /// health loop advances in lock-step with the schedule, which is what
+    /// keeps a seeded run deterministic in structure).
+    pub fn step(&mut self, event: ChaosEvent) {
+        self.steps += 1;
+        match event {
+            ChaosEvent::Kill { node } => {
+                if let Some(plan) = self.plans.get(node as usize) {
+                    plan.load(vec![Some(Fault::Drop); KILL_WALL]);
+                    self.killed.insert(node);
+                }
+            }
+            ChaosEvent::Heal { node } => {
+                if let Some(plan) = self.plans.get(node as usize) {
+                    plan.clear();
+                    self.killed.remove(&node);
+                }
+            }
+            ChaosEvent::Stall { node, millis } => {
+                // Stalling a severed link would quietly heal it; a killed
+                // node stays killed.
+                if !self.killed.contains(&node) {
+                    if let Some(plan) = self.plans.get(node as usize) {
+                        plan.load(vec![
+                            Some(Fault::Delay(Duration::from_millis(millis)));
+                            STALL_CONNECTIONS
+                        ]);
+                    }
+                }
+            }
+            ChaosEvent::Work { ops } => {
+                for _ in 0..ops {
+                    self.write_one_video();
+                }
+            }
+        }
+        self.control.tick();
+    }
+
+    /// Runs a whole schedule, then settles and verifies. The convenience
+    /// wrapper the chaos tests use; panic messages carry the verdict.
+    ///
+    /// # Errors
+    /// Whatever [`Self::settle`] or [`Self::verify`] reject.
+    pub fn run(&mut self, schedule: &ChaosSchedule, max_settle_ticks: usize) -> Result<SimReport, String> {
+        for &event in schedule.steps() {
+            self.step(event);
+        }
+        let settle_ticks = self.settle(max_settle_ticks)?;
+        self.verify(settle_ticks)
+    }
+
+    /// Ingests one fresh video (a single batch, hashed onto a single
+    /// shard) and records its fate.
+    fn write_one_video(&mut self) {
+        let video = VideoId(self.next_video);
+        self.next_video += 1;
+        let taxonomy = VideoDatabase::medical();
+        let scenes = taxonomy.hierarchy().scene_nodes();
+        let mut shots = Vec::with_capacity(SHOTS_PER_VIDEO);
+        for _ in 0..SHOTS_PER_VIDEO {
+            let mut features = vec![0.0f32; 8];
+            features[self.next_shot % 8] = 1.0;
+            shots.push(IngestShot {
+                video,
+                shot: ShotId(self.next_shot),
+                features,
+                event: medvid_types::EventKind::Dialog,
+                scene_node: scenes[self.next_shot % scenes.len()],
+            });
+            self.next_shot += 1;
+        }
+        let fate = match self.coordinator.ingest(shots.clone()) {
+            Ok(report) => {
+                assert_eq!(
+                    report.accepted,
+                    shots.len(),
+                    "an acked single-video batch must be acked whole"
+                );
+                WriteFate::Acked
+            }
+            Err(ClusterError::ShardUnavailable { .. }) => WriteFate::Ambiguous,
+            Err(ClusterError::Rejected { .. }) => WriteFate::Refused,
+            Err(ClusterError::EmptyTopology) => unreachable!("sim builds a non-empty topology"),
+        };
+        self.writes.push(SimWrite { video, shots, fate });
+    }
+
+    /// Ticks the control plane until it reports a quiet cluster — zero
+    /// strikes, nothing promoted this tick, no fences owed — for two
+    /// consecutive ticks (the no-flapping bar). Call after the schedule's
+    /// final heal.
+    ///
+    /// # Errors
+    /// When `max_ticks` ticks pass without convergence.
+    pub fn settle(&mut self, max_ticks: usize) -> Result<usize, String> {
+        let mut quiet = 0;
+        for tick in 1..=max_ticks {
+            let report = self.control.tick();
+            if report.strikes == 0 && report.promoted.is_empty() && report.fences_pending == 0 {
+                quiet += 1;
+                if quiet >= 2 {
+                    return Ok(tick);
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        Err(format!(
+            "topology did not converge within {max_ticks} ticks; health: {:?}, events: {:?}",
+            self.control.health(),
+            self.control.events()
+        ))
+    }
+
+    /// An exhaustive, globally ranked read of the whole cluster.
+    pub fn query_all(&self) -> Result<GatherOutcome, ClusterError> {
+        self.coordinator.query(&all_query())
+    }
+
+    /// Splits `shard` onto a new node stored under the sim's directory.
+    ///
+    /// # Errors
+    /// Whatever [`ControlPlane::split_shard`] rejects.
+    pub fn split_shard(&mut self, shard: u32) -> Result<crate::control::SplitReport, String> {
+        let dir = self.dir.join(format!("split-{}", self.splits));
+        self.splits += 1;
+        self.control.split_shard(
+            shard,
+            ReplicaConfig {
+                poll_interval: Duration::from_millis(15),
+                fetch_timeout: Duration::from_millis(600),
+                store_dir: Some(dir),
+                ..ReplicaConfig::default()
+            },
+            Duration::from_secs(20),
+        )
+    }
+
+    /// Checks the end-state invariants and returns the run's accounting.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn verify(&mut self, settle_ticks: usize) -> Result<SimReport, String> {
+        // The converged cluster must answer completely.
+        let gathered = self
+            .query_all()
+            .map_err(|e| format!("converged cluster refused the exhaustive read: {e}"))?;
+        if gathered.status != GatherStatus::Complete {
+            return Err(format!(
+                "converged cluster still degraded: {:?}",
+                gathered.status
+            ));
+        }
+        let served: BTreeSet<(usize, usize)> = gathered
+            .hits
+            .iter()
+            .map(|h| (h.video.0, h.shot.0))
+            .collect();
+
+        // Resolve every write's fate against what is actually served.
+        let mut acked = 0;
+        let mut ambiguous_applied = 0;
+        let mut ambiguous_absent = 0;
+        let mut refused = 0;
+        let mut reference: Vec<&SimWrite> = Vec::new();
+        for w in &self.writes {
+            let present = w
+                .shots
+                .iter()
+                .filter(|s| served.contains(&(s.video.0, s.shot.0)))
+                .count();
+            match w.fate {
+                WriteFate::Acked => {
+                    acked += 1;
+                    if present != w.shots.len() {
+                        return Err(format!(
+                            "LOST ACKED WRITE: video {} was acknowledged but serves {present} of {} shots",
+                            w.video.0,
+                            w.shots.len()
+                        ));
+                    }
+                    reference.push(w);
+                }
+                WriteFate::Ambiguous => {
+                    if present == w.shots.len() {
+                        ambiguous_applied += 1;
+                        reference.push(w);
+                    } else if present == 0 {
+                        ambiguous_absent += 1;
+                    } else {
+                        return Err(format!(
+                            "TORN WRITE: unacked video {} serves {present} of {} shots — \
+                             single-shard batches must be all-or-nothing",
+                            w.video.0,
+                            w.shots.len()
+                        ));
+                    }
+                }
+                WriteFate::Refused => {
+                    refused += 1;
+                    if present != 0 {
+                        return Err(format!(
+                            "REFUSED WRITE APPLIED: video {} was refused with a typed error \
+                             but serves {present} shots",
+                            w.video.0
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Bit-identical to a single node holding the same corpus: build
+        // the reference from exactly the surviving writes and compare a
+        // ranked vector query end to end.
+        let reference_shots: Vec<IngestShot> = reference
+            .iter()
+            .flat_map(|w| w.shots.iter().cloned())
+            .collect();
+        let expected = reference_shots.len();
+        if gathered.hits.len() != expected {
+            return Err(format!(
+                "cluster serves {} records, the acknowledged corpus has {expected}",
+                gathered.hits.len()
+            ));
+        }
+        if expected > 0 {
+            let single = single_node_reference(reference_shots)
+                .map_err(|e| format!("reference node failed: {e}"))?;
+            for probe in 0..4u32 {
+                let mut vector = vec![0.0f32; 8];
+                vector[probe as usize % 8] = 1.0;
+                let clustered = self
+                    .coordinator
+                    .query(&ranked_query(vector.clone(), expected))
+                    .map_err(|e| format!("clustered probe {probe} failed: {e}"))?;
+                if clustered.status != GatherStatus::Complete {
+                    return Err(format!("clustered probe {probe} degraded"));
+                }
+                let reference_hits = query_node(single.addr(), ranked_query(vector, expected))?;
+                if clustered.hits != reference_hits {
+                    return Err(format!(
+                        "probe {probe}: scatter-gather diverged from single-node \
+                         ({} vs {} hits; first difference at {:?})",
+                        clustered.hits.len(),
+                        reference_hits.len(),
+                        first_difference(&clustered.hits, &reference_hits)
+                    ));
+                }
+            }
+            single.shutdown();
+        }
+
+        let promotions = self
+            .control
+            .events()
+            .iter()
+            .filter(|e| e.contains("promoted"))
+            .count();
+        Ok(SimReport {
+            steps: self.steps,
+            acked,
+            ambiguous_applied,
+            ambiguous_absent,
+            refused,
+            promotions,
+            settle_ticks,
+            records: gathered.hits.len(),
+            epoch: self.shared.load().epoch(),
+        })
+    }
+
+    /// Tears the whole stack down (proxies, control plane's nodes, shard
+    /// primaries) and removes the scratch directory.
+    pub fn shutdown(mut self) {
+        for mut p in self.proxies.drain(..) {
+            p.stop();
+        }
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// An exhaustive read: every record, globally ranked.
+fn all_query() -> QueryRequest {
+    QueryRequest {
+        vector: None,
+        event: None,
+        under: None,
+        clearance: None,
+        limit: Some(100_000),
+        strategy: Some(WireStrategy::Flat),
+        delay_ms: None,
+        trace_id: None,
+        trace: false,
+    }
+}
+
+/// A ranked vector query with an explicit limit.
+fn ranked_query(vector: Vec<f32>, limit: usize) -> QueryRequest {
+    QueryRequest {
+        vector: Some(vector),
+        event: None,
+        under: None,
+        clearance: None,
+        limit: Some(limit),
+        strategy: Some(WireStrategy::Flat),
+        delay_ms: None,
+        trace_id: None,
+        trace: false,
+    }
+}
+
+/// A throwaway in-memory single node holding exactly `shots`.
+fn single_node_reference(shots: Vec<IngestShot>) -> Result<ServerHandle, String> {
+    let handle = serve::spawn(
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        Recorder::disabled(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut client =
+        Client::connect(handle.addr(), Duration::from_secs(5)).map_err(|e| e.to_string())?;
+    match client
+        .request(&medvid_serve::Request::Ingest {
+            shots,
+            trace_id: None,
+            trace: false,
+            topology_epoch: None,
+        })
+        .map_err(|e| e.to_string())?
+    {
+        Response::Ingested { .. } => Ok(handle),
+        other => Err(format!("reference ingest refused: {other:?}")),
+    }
+}
+
+/// One query against a specific node.
+fn query_node(addr: std::net::SocketAddr, query: QueryRequest) -> Result<Vec<Hit>, String> {
+    let mut client = Client::connect(addr, Duration::from_secs(5)).map_err(|e| e.to_string())?;
+    match client.query(query).map_err(|e| e.to_string())? {
+        Response::Results { hits, .. } => Ok(hits),
+        other => Err(format!("unexpected answer: {other:?}")),
+    }
+}
+
+/// The first index at which two hit lists disagree, with both sides.
+fn first_difference(a: &[Hit], b: &[Hit]) -> Option<(usize, Option<Hit>, Option<Hit>)> {
+    let n = a.len().max(b.len());
+    (0..n).find_map(|i| {
+        let (x, y) = (a.get(i), b.get(i));
+        (x != y).then(|| (i, x.cloned(), y.cloned()))
+    })
+}

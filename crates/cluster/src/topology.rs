@@ -1,14 +1,20 @@
-//! The static cluster map: which shard owns which video, and where each
-//! shard's primary and replicas listen.
+//! The epoch-versioned cluster map: which shard owns which hash range,
+//! and where each shard's primary and replicas listen.
 //!
-//! Placement is a pure function of the video id — `splitmix64(video) mod
-//! shards` — so every coordinator, client and test agrees on ownership
-//! without any coordination service. Hashing (rather than `video mod
-//! shards`) keeps the assignment balanced under the sequential ids the
-//! synthetic corpora use.
+//! Placement is a pure function of the video id: `splitmix64(video)` maps
+//! every video onto the u64 hash space, and each shard owns one
+//! contiguous, inclusive [`HashRange`] of it. A fresh topology partitions
+//! the space evenly (so placement matches the arithmetic [`shard_of`]
+//! helper exactly); [`ClusterTopology::split`] halves an outgrown shard's
+//! range and hands the upper half to a new shard. Every mutation returns
+//! a **new** topology with a bumped epoch — the epoch is the fencing
+//! token: ingest acks carry it, fenced nodes refuse older ones, and
+//! [`SharedTopology`] only ever swaps forward.
 
 use medvid_types::VideoId;
+use parking_lot::RwLock;
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 /// SplitMix64 mixer (the same finaliser the retry jitter and the testkit
 /// rng use; duplicated because cluster must not depend on test crates).
@@ -19,15 +25,84 @@ fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The shard that owns `video` in an `n`-shard cluster. Total and
-/// deterministic; `n = 0` is treated as a single shard.
-pub fn shard_of(video: VideoId, n: u32) -> u32 {
-    let n = n.max(1);
-    (splitmix64(video.0 as u64) % n as u64) as u32
+/// The position of `video` in the u64 hash space (what [`HashRange`]s
+/// partition).
+pub fn hash_of(video: VideoId) -> u64 {
+    splitmix64(video.0 as u64)
 }
 
-/// One shard's addresses: the primary (which owns the WAL and takes
-/// writes) plus read replicas the coordinator may fail over to.
+/// The shard that owns `video` in an even `n`-shard partition of the hash
+/// space. Total and deterministic; `n = 0` is treated as a single shard.
+/// Agrees exactly with a freshly built (never split) topology's
+/// [`ClusterTopology::shard_of`].
+pub fn shard_of(video: VideoId, n: u32) -> u32 {
+    let n = u128::from(n.max(1));
+    ((u128::from(hash_of(video)) * n) >> 64) as u32
+}
+
+/// One shard's contiguous, inclusive slice of the u64 hash space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashRange {
+    /// Lowest owned hash (inclusive).
+    pub start: u64,
+    /// Highest owned hash (inclusive).
+    pub end: u64,
+}
+
+impl HashRange {
+    /// The whole hash space.
+    pub fn full() -> Self {
+        HashRange {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    /// Slice `i` of an even `n`-way partition. Boundaries are
+    /// `ceil(i * 2^64 / n)`, which makes membership agree exactly with
+    /// the arithmetic `floor(hash * n / 2^64)` mapping in [`shard_of`].
+    pub fn even(i: u32, n: u32) -> Self {
+        let n = u128::from(n.max(1));
+        let bound = |k: u128| -> u128 { (k << 64).div_ceil(n) };
+        let start = bound(u128::from(i)) as u64;
+        let end = (bound(u128::from(i) + 1) - 1) as u64;
+        HashRange { start, end }
+    }
+
+    /// Whether `hash` falls in this range.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.start <= hash && hash <= self.end
+    }
+
+    /// Number of hashes owned (saturating at `u64::MAX` for the full
+    /// range — close enough for balance arithmetic).
+    pub fn width(&self) -> u64 {
+        self.end.wrapping_sub(self.start).saturating_add(1)
+    }
+
+    /// Halves the range: the lower half keeps the start, the upper half
+    /// keeps the end. `None` when the range holds a single hash and
+    /// cannot split further.
+    pub fn split(&self) -> Option<(HashRange, HashRange)> {
+        if self.start == self.end {
+            return None;
+        }
+        let mid = self.start + (self.end - self.start) / 2;
+        Some((
+            HashRange {
+                start: self.start,
+                end: mid,
+            },
+            HashRange {
+                start: mid + 1,
+                end: self.end,
+            },
+        ))
+    }
+}
+
+/// One shard's addresses and hash range: the primary (which owns the WAL
+/// and takes writes) plus read replicas the coordinator may fail over to.
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// Shard identity (dense, 0-based).
@@ -36,21 +111,27 @@ pub struct ShardSpec {
     pub primary: SocketAddr,
     /// Read-only followers, tried in order when the primary is down.
     pub replicas: Vec<SocketAddr>,
+    /// The slice of the hash space this shard owns.
+    pub range: HashRange,
 }
 
-/// The full cluster map a coordinator routes against.
+/// The full cluster map a coordinator routes against. Immutable once
+/// built — mutators return a successor topology with a bumped epoch.
 #[derive(Debug, Clone)]
 pub struct ClusterTopology {
     shards: Vec<ShardSpec>,
+    epoch: u64,
 }
 
 impl ClusterTopology {
-    /// Wraps shard specs; their order is their identity (spec `i` must
-    /// carry `id == i`).
+    /// Wraps shard specs at epoch 1; their order is their identity (spec
+    /// `i` must carry `id == i`) and their ranges must partition the hash
+    /// space exactly.
     ///
     /// # Panics
-    /// When a spec's `id` disagrees with its position — a topology whose
-    /// labels lie would route acks to the wrong WAL.
+    /// When a spec's `id` disagrees with its position (a topology whose
+    /// labels lie would route acks to the wrong WAL), or when the ranges
+    /// overlap or leave a gap (a video with no owner, or two).
     pub fn new(shards: Vec<ShardSpec>) -> Self {
         for (i, s) in shards.iter().enumerate() {
             assert_eq!(
@@ -59,11 +140,42 @@ impl ClusterTopology {
                 s.id
             );
         }
-        ClusterTopology { shards }
+        let topo = ClusterTopology { shards, epoch: 1 };
+        topo.assert_ranges_partition();
+        topo
     }
 
-    /// A replica-less topology over primary addresses in shard order.
+    fn assert_ranges_partition(&self) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let mut ranges: Vec<(u64, u64, u32)> = self
+            .shards
+            .iter()
+            .map(|s| (s.range.start, s.range.end, s.id))
+            .collect();
+        ranges.sort_unstable();
+        assert_eq!(ranges[0].0, 0, "hash space starts unowned");
+        for w in ranges.windows(2) {
+            let (_, prev_end, prev_id) = w[0];
+            let (next_start, _, next_id) = w[1];
+            assert_eq!(
+                next_start,
+                prev_end.wrapping_add(1),
+                "shards {prev_id} and {next_id} overlap or leave a gap"
+            );
+        }
+        assert_eq!(
+            ranges.last().expect("non-empty").1,
+            u64::MAX,
+            "hash space ends unowned"
+        );
+    }
+
+    /// A replica-less topology over primary addresses in shard order,
+    /// partitioning the hash space evenly.
     pub fn of_primaries(primaries: &[SocketAddr]) -> Self {
+        let n = primaries.len() as u32;
         Self::new(
             primaries
                 .iter()
@@ -72,9 +184,16 @@ impl ClusterTopology {
                     id: i as u32,
                     primary,
                     replicas: Vec::new(),
+                    range: HashRange::even(i as u32, n),
                 })
                 .collect(),
         )
+    }
+
+    /// Topology version. Starts at 1 and bumps on every promotion and
+    /// split; this is the epoch ingest acks carry and fences compare.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of shards.
@@ -97,17 +216,133 @@ impl ClusterTopology {
         self.shards.get(id as usize)
     }
 
-    /// The shard that owns `video` under this topology.
+    /// The shard that owns `video` under this topology (range lookup, so
+    /// it stays correct after splits).
     pub fn shard_of(&self, video: VideoId) -> u32 {
-        shard_of(video, self.shards.len() as u32)
+        if self.shards.is_empty() {
+            return 0;
+        }
+        let h = hash_of(video);
+        self.shards
+            .iter()
+            .find(|s| s.range.contains(h))
+            .map(|s| s.id)
+            .unwrap_or(0)
     }
 
-    /// Registers `addr` as a read replica of shard `id`.
+    /// Registers `addr` as a read replica of shard `id`. Replica
+    /// membership does not change routing correctness, so this mutates in
+    /// place without an epoch bump.
     ///
     /// # Panics
     /// When `id` names no shard.
     pub fn add_replica(&mut self, id: u32, addr: SocketAddr) {
         self.shards[id as usize].replicas.push(addr);
+    }
+
+    /// The successor topology after promoting `new_primary` (one of shard
+    /// `id`'s registered replicas) to that shard's primary. The old
+    /// primary is dropped entirely — a resurrected instance of it is
+    /// fenced by the bumped epoch, not served reads.
+    ///
+    /// # Errors
+    /// When `id` names no shard or `new_primary` is not one of its
+    /// replicas.
+    pub fn promoted(&self, id: u32, new_primary: SocketAddr) -> Result<ClusterTopology, String> {
+        let mut next = self.clone();
+        let spec = next
+            .shards
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("promotion names unknown shard {id}"))?;
+        if !spec.replicas.contains(&new_primary) {
+            return Err(format!(
+                "promotion of shard {id} names {new_primary}, which is not a registered replica"
+            ));
+        }
+        spec.replicas.retain(|&a| a != new_primary);
+        spec.primary = new_primary;
+        next.epoch = self.epoch + 1;
+        Ok(next)
+    }
+
+    /// The successor topology after splitting shard `id`'s hash range in
+    /// half: the old shard keeps the lower half, a new shard (id =
+    /// current count) serving at `new_primary` takes the upper half.
+    /// Returns the successor and the new shard's id.
+    ///
+    /// # Errors
+    /// When `id` names no shard or its range is a single hash.
+    pub fn split(
+        &self,
+        id: u32,
+        new_primary: SocketAddr,
+    ) -> Result<(ClusterTopology, u32), String> {
+        let mut next = self.clone();
+        let new_id = next.shards.len() as u32;
+        let spec = next
+            .shards
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("split names unknown shard {id}"))?;
+        let (lower, upper) = spec
+            .range
+            .split()
+            .ok_or_else(|| format!("shard {id} owns a single hash and cannot split"))?;
+        spec.range = lower;
+        next.shards.push(ShardSpec {
+            id: new_id,
+            primary: new_primary,
+            replicas: Vec::new(),
+            range: upper,
+        });
+        next.epoch = self.epoch + 1;
+        next.assert_ranges_partition();
+        Ok((next, new_id))
+    }
+}
+
+/// The live, shared view of the topology: an `Arc` swapped under a
+/// briefly-held lock, so coordinators load a consistent snapshot per
+/// request while the control plane publishes successors. Swaps are
+/// forward-only — a topology whose epoch does not exceed the current one
+/// is refused, which makes concurrent publishers race-safe (the higher
+/// epoch wins, a stale republish is a no-op).
+#[derive(Clone)]
+pub struct SharedTopology {
+    current: Arc<RwLock<Arc<ClusterTopology>>>,
+}
+
+impl SharedTopology {
+    /// Wraps `topology` as the current view.
+    pub fn new(topology: ClusterTopology) -> Self {
+        SharedTopology {
+            current: Arc::new(RwLock::new(Arc::new(topology))),
+        }
+    }
+
+    /// The current topology snapshot (cheap: one `Arc` clone).
+    pub fn load(&self) -> Arc<ClusterTopology> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Publishes `next` if (and only if) its epoch exceeds the current
+    /// one. Returns whether the swap happened.
+    pub fn publish(&self, next: ClusterTopology) -> bool {
+        let mut slot = self.current.write();
+        if next.epoch <= slot.epoch {
+            return false;
+        }
+        *slot = Arc::new(next);
+        true
+    }
+}
+
+impl std::fmt::Debug for SharedTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.load();
+        f.debug_struct("SharedTopology")
+            .field("epoch", &t.epoch())
+            .field("shards", &t.len())
+            .finish()
     }
 }
 
@@ -151,20 +386,111 @@ mod tests {
     }
 
     #[test]
+    fn even_ranges_agree_with_arithmetic_shard_of() {
+        for n in 1..=7u32 {
+            let ranges: Vec<HashRange> = (0..n).map(|i| HashRange::even(i, n)).collect();
+            for v in 0..500usize {
+                let h = hash_of(VideoId(v));
+                let by_range = ranges
+                    .iter()
+                    .position(|r| r.contains(h))
+                    .expect("hash must be owned") as u32;
+                assert_eq!(by_range, shard_of(VideoId(v), n), "video {v}, n {n}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "claims id")]
     fn mislabelled_spec_is_refused() {
         ClusterTopology::new(vec![ShardSpec {
             id: 3,
             primary: addr(9000),
             replicas: Vec::new(),
+            range: HashRange::full(),
         }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap or leave a gap")]
+    fn gapped_ranges_are_refused() {
+        ClusterTopology::new(vec![
+            ShardSpec {
+                id: 0,
+                primary: addr(9000),
+                replicas: Vec::new(),
+                range: HashRange { start: 0, end: 10 },
+            },
+            ShardSpec {
+                id: 1,
+                primary: addr(9001),
+                replicas: Vec::new(),
+                range: HashRange {
+                    start: 12,
+                    end: u64::MAX,
+                },
+            },
+        ]);
     }
 
     #[test]
     fn of_primaries_labels_in_order() {
         let topo = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
         assert_eq!(topo.len(), 2);
+        assert_eq!(topo.epoch(), 1);
         assert_eq!(topo.spec(1).unwrap().primary, addr(9001));
         assert!(topo.spec(2).is_none());
+    }
+
+    #[test]
+    fn promotion_swaps_primary_and_bumps_epoch() {
+        let mut topo = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
+        topo.add_replica(0, addr(9100));
+        let next = topo.promoted(0, addr(9100)).expect("valid promotion");
+        assert_eq!(next.epoch(), 2);
+        assert_eq!(next.spec(0).unwrap().primary, addr(9100));
+        assert!(next.spec(0).unwrap().replicas.is_empty(), "old primary dropped");
+        assert!(topo.promoted(0, addr(9999)).is_err(), "unknown replica");
+        assert!(topo.promoted(7, addr(9100)).is_err(), "unknown shard");
+    }
+
+    #[test]
+    fn split_halves_ownership_and_preserves_partition() {
+        let topo = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
+        let (next, new_id) = topo.split(0, addr(9002)).expect("splittable");
+        assert_eq!(new_id, 2);
+        assert_eq!(next.epoch(), 2);
+        assert_eq!(next.len(), 3);
+        // Every video still has exactly one owner, and videos that were
+        // not in shard 0 kept their placement.
+        for v in 0..500usize {
+            let before = topo.shard_of(VideoId(v));
+            let after = next.shard_of(VideoId(v));
+            if before != 0 {
+                assert_eq!(after, before, "video {v} moved out of an unsplit shard");
+            } else {
+                assert!(after == 0 || after == new_id, "video {v} left the split pair");
+            }
+        }
+        // Both halves are non-trivially populated for a 500-video corpus.
+        let moved = (0..500)
+            .filter(|&v| topo.shard_of(VideoId(v)) == 0 && next.shard_of(VideoId(v)) == new_id)
+            .count();
+        assert!(moved > 0, "split moved nothing");
+    }
+
+    #[test]
+    fn shared_topology_swaps_forward_only() {
+        let topo = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
+        let shared = SharedTopology::new(topo);
+        let base = shared.load();
+        assert_eq!(base.epoch(), 1);
+        let (split1, _) = base.split(0, addr(9002)).unwrap();
+        let stale = ClusterTopology::of_primaries(&[addr(9000), addr(9001)]);
+        assert!(shared.publish(split1), "forward swap accepted");
+        assert_eq!(shared.load().epoch(), 2);
+        assert!(!shared.publish(stale), "stale swap refused");
+        assert_eq!(shared.load().epoch(), 2);
+        assert_eq!(base.epoch(), 1, "old snapshots stay immutable");
     }
 }

@@ -1,0 +1,310 @@
+//! The cluster chaos suite: a live 4-shard cluster driven through
+//! scripted and seeded kill/heal/stall schedules by
+//! [`medvid_cluster::ClusterSim`], with the control plane's invariants
+//! checked after every run:
+//!
+//! * **no lost acked write** — everything the coordinator acknowledged
+//!   under replicated acks is served after convergence, across however
+//!   many promotions the schedule forced;
+//! * **metamorphic equivalence** — once the topology converges, the
+//!   scatter-gathered cluster is *bit-identical* to a single node holding
+//!   the same acknowledged corpus (same hits, same order, same
+//!   distances), and during fault epochs every answer is either that or
+//!   a *typed* `Degraded` subset — never a hang, never a panic;
+//! * **convergence without flapping** — the control plane reaches a
+//!   quiet state (no strikes, no promotions in flight, no fences owed,
+//!   two consecutive quiet ticks) within a bounded number of health
+//!   ticks after the schedule's final heal.
+//!
+//! The suite also carries the hung-primary regression: a primary whose
+//! worker queue is jammed answers with a *typed* `DeadlineExceeded`
+//! instead of refusing connections, and reads must still fail over to
+//! the replica (timeouts are health evidence, not answers).
+
+use medvid_cluster::{
+    ClusterSim, ClusterTopology, Coordinator, CoordinatorConfig, GatherStatus,
+};
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::protocol::{IngestShot, QueryRequest, Response, WireStrategy};
+use medvid_serve::{self as serve, Client, RetryPolicy, ServerConfig};
+use medvid_testkit::runner::{forall_with, Config};
+use medvid_testkit::{require, ChaosEvent, ChaosSchedule};
+use medvid_types::{ShotId, VideoId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn serde_runtime_available() -> bool {
+    serde_json::to_vec(&0u8).is_ok()
+}
+
+static CASE_DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch(name: &str) -> PathBuf {
+    let n = CASE_DIRS.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "medvid-cluster-chaos-{}-{name}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SHARDS: u32 = 4;
+const SETTLE_TICKS: usize = 300;
+
+#[test]
+fn scripted_kill_heal_schedule_preserves_acked_writes_and_converges() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    let dir = scratch("scripted");
+    let mut sim = ClusterSim::new(&dir, SHARDS).expect("sim spawns");
+
+    // Healthy warm-up, then kill two primaries back to back, work through
+    // the outage, heal one, stall another, work again, heal everything.
+    let schedule = [
+        ChaosEvent::Work { ops: 3 },
+        ChaosEvent::Kill { node: 1 },
+        ChaosEvent::Work { ops: 3 },
+        ChaosEvent::Kill { node: 3 },
+        ChaosEvent::Work { ops: 2 },
+        ChaosEvent::Heal { node: 1 },
+        ChaosEvent::Stall {
+            node: 0,
+            millis: 20,
+        },
+        ChaosEvent::Work { ops: 3 },
+        ChaosEvent::Heal { node: 3 },
+        ChaosEvent::Work { ops: 2 },
+    ];
+    for event in schedule {
+        sim.step(event);
+        // Mid-run, every scatter-gather answer must be typed: either
+        // `Complete` (replicas or promoted leaders covering the dead
+        // primaries) or `Degraded` naming the missing shards — the
+        // coordinator never hangs and never panics.
+        let outcome = sim.query_all().expect("reads stay available under faults");
+        match outcome.status {
+            GatherStatus::Complete => {}
+            GatherStatus::Degraded { ref missing_shards } => {
+                assert!(
+                    !missing_shards.is_empty(),
+                    "a degraded answer must name its missing shards"
+                );
+            }
+        }
+    }
+
+    let settle_ticks = sim.settle(SETTLE_TICKS).expect("topology converges");
+    let report = sim.verify(settle_ticks).expect("chaos invariants hold");
+    assert!(report.acked > 0, "the schedule acked work: {report:?}");
+    assert!(
+        report.promotions >= 1,
+        "two sustained primary kills must force at least one promotion: {report:?}"
+    );
+    assert!(
+        report.epoch >= 2,
+        "promotions bump the topology epoch: {report:?}"
+    );
+    sim.shutdown();
+}
+
+#[test]
+fn seeded_chaos_schedules_stay_metamorphic_with_a_single_node() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    // Each case boots a full 4-shard durable cluster plus replicas, so
+    // keep the case count small; the printed seed reproduction stays
+    // valid because a failing case index is always below the cap.
+    let mut cfg = Config::from_env();
+    cfg.cases = cfg.cases.min(3);
+    forall_with(
+        &cfg,
+        "seeded chaos keeps the cluster bit-identical to a single node",
+        |rng| {
+            let steps = rng.usize_in(6, 10);
+            let schedule = ChaosSchedule::seeded(rng, SHARDS, steps);
+            ChaosInput {
+                events: schedule.steps().to_vec(),
+            }
+        },
+        |input| {
+            let dir = scratch("seeded");
+            let mut sim =
+                ClusterSim::new(&dir, SHARDS).map_err(|e| format!("sim spawn: {e}"))?;
+            let schedule = ChaosSchedule::scripted(input.events.clone());
+            let report = sim.run(&schedule, SETTLE_TICKS)?;
+            require!(
+                report.settle_ticks <= SETTLE_TICKS,
+                "convergence took {} ticks",
+                report.settle_ticks
+            );
+            sim.shutdown();
+            Ok(())
+        },
+    );
+}
+
+/// The seeded schedule, carried as a plain event list so the testkit
+/// runner can print and shrink it (dropping events keeps a valid
+/// schedule; a shrunk counterexample is a shorter schedule).
+#[derive(Debug, Clone)]
+struct ChaosInput {
+    events: Vec<ChaosEvent>,
+}
+
+impl medvid_testkit::shrink::Shrink for ChaosInput {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.events.len() > 1 {
+            out.push(ChaosInput {
+                events: self.events[..self.events.len() / 2].to_vec(),
+            });
+            out.push(ChaosInput {
+                events: self.events[..self.events.len() - 1].to_vec(),
+            });
+        }
+        out
+    }
+}
+
+/// Regression for the hung-primary blind spot: a primary that *answers*
+/// with a typed `DeadlineExceeded` (alive TCP, jammed worker queue) used
+/// to pin reads to itself because failover only triggered on connection
+/// faults. Deadline rejections are health evidence too — the read must
+/// fall through to the replica and come back `Complete`.
+#[test]
+fn hung_primary_still_fails_over_for_reads() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    let recorder = Recorder::new();
+    // A primary with one worker, a tiny queue, and a short deadline: one
+    // slow in-flight query jams it, and every queued query after that
+    // expires into a typed DeadlineExceeded.
+    let primary = serve::spawn(
+        VideoDatabase::medical(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            deadline: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+        recorder.clone(),
+    )
+    .expect("primary spawns");
+    let replica = serve::spawn(
+        VideoDatabase::medical(),
+        ServerConfig::default(),
+        recorder.clone(),
+    )
+    .expect("replica spawns");
+
+    // Both nodes hold the same corpus (the replica is a read copy).
+    let taxonomy = VideoDatabase::medical();
+    let scenes = taxonomy.hierarchy().scene_nodes();
+    let shots: Vec<IngestShot> = (0..6)
+        .map(|i| {
+            let mut features = vec![0.0f32; 8];
+            features[i % 8] = 1.0;
+            IngestShot {
+                video: VideoId(i / 3),
+                shot: ShotId(i),
+                features,
+                event: medvid_types::EventKind::Dialog,
+                scene_node: scenes[i % scenes.len()],
+            }
+        })
+        .collect();
+    for addr in [primary.addr(), replica.addr()] {
+        let mut client = Client::connect(addr, Duration::from_secs(2)).expect("connect");
+        match client
+            .request(&medvid_serve::Request::Ingest {
+                shots: shots.clone(),
+                trace_id: None,
+                trace: false,
+                topology_epoch: None,
+            })
+            .expect("ingest transport")
+        {
+            Response::Ingested { .. } => {}
+            other => panic!("seed ingest refused: {other:?}"),
+        }
+    }
+
+    let mut topo = ClusterTopology::of_primaries(&[primary.addr()]);
+    topo.add_replica(0, replica.addr());
+    let coordinator = Coordinator::new(
+        topo,
+        CoordinatorConfig {
+            // Generous transport deadline: the failure mode under test is
+            // the *typed* rejection, not a socket timeout.
+            shard_deadline: Duration::from_secs(3),
+            retry: RetryPolicy::no_delay(1),
+            default_limit: 10,
+            ..CoordinatorConfig::default()
+        },
+        recorder,
+    );
+
+    // Jam the primary: a query that sleeps far past the server deadline
+    // occupies the only worker; the queries behind it expire in queue.
+    let jam_addr = primary.addr();
+    let jammers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(jam_addr, Duration::from_secs(10)).expect("jam connect");
+                let _ = client.query(QueryRequest {
+                    vector: None,
+                    event: None,
+                    under: None,
+                    clearance: None,
+                    limit: Some(1),
+                    strategy: Some(WireStrategy::Flat),
+                    delay_ms: Some(2500),
+                    trace_id: None,
+                    trace: false,
+                });
+            })
+        })
+        .collect();
+    // Let the jammers occupy the worker before the read under test.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let outcome = coordinator
+        .query(&QueryRequest {
+            vector: None,
+            event: None,
+            under: None,
+            clearance: None,
+            limit: Some(100),
+            strategy: Some(WireStrategy::Flat),
+            delay_ms: None,
+            trace_id: None,
+            trace: false,
+        })
+        .expect("read must not surface the primary's deadline rejection");
+    assert_eq!(
+        outcome.status,
+        GatherStatus::Complete,
+        "a hung primary with a healthy replica must serve a Complete read"
+    );
+    assert_eq!(
+        outcome.hits.len(),
+        shots.len(),
+        "the replica serves the full corpus"
+    );
+
+    for j in jammers {
+        let _ = j.join();
+    }
+    primary.shutdown();
+    replica.shutdown();
+}

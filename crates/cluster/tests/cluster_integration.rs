@@ -87,6 +87,7 @@ fn coordinator(primaries: &[SocketAddr]) -> Coordinator {
             shard_deadline: Duration::from_millis(800),
             retry: RetryPolicy::no_delay(2),
             default_limit: 10,
+            ..CoordinatorConfig::default()
         },
         Recorder::new(),
     )
@@ -144,6 +145,7 @@ fn killed_shard_degrades_replica_serves_and_catchup_replays_the_suffix() {
             fetch_timeout: Duration::from_secs(1),
             fetch_budget: None,
             server: ServerConfig::default(),
+            ..ReplicaConfig::default()
         },
         Recorder::new(),
     )
@@ -225,6 +227,7 @@ fn killed_shard_degrades_replica_serves_and_catchup_replays_the_suffix() {
             shard_deadline: Duration::from_millis(800),
             retry: RetryPolicy::no_delay(2),
             default_limit: 10,
+            ..CoordinatorConfig::default()
         },
         Recorder::new(),
     );

@@ -1,0 +1,282 @@
+//! Hash-range resharding under live traffic and network delays: split a
+//! shard *while* a writer hammers the cluster through [`FaultProxy`]
+//! `Delay` faults, then account for every record.
+//!
+//! The invariants (the crash-consistency suite's byte accounting,
+//! applied to a range handoff):
+//!
+//! * **zero lost records** — every batch the coordinator acked, before,
+//!   during, or after the cutover, is served by the split topology; a
+//!   batch refused with a typed `Fenced` error (caught mid-cutover under
+//!   the old epoch) is provably absent; an unacked batch is fully
+//!   applied or fully absent;
+//! * **zero duplicated records** — the donor physically keeps its copies
+//!   of moved records, so the coordinator's merge must collapse them
+//!   against the new shard's: no `(video, shot)` appears twice in a
+//!   merged answer;
+//! * **conservative shipping** — the [`SplitReport`]'s accounting holds:
+//!   the clone caught up to the donor's watermark before cutover
+//!   (`shipped_seq >= donor_seq`), the new node holds at least every
+//!   record its range owns, and routing flipped in one epoch bump.
+
+use medvid_cluster::{
+    ClusterError, ClusterTopology, ControlPlane, ControlPlaneConfig, Coordinator,
+    CoordinatorConfig, GatherStatus, LocalCluster, ReplicaConfig,
+};
+use medvid_index::VideoDatabase;
+use medvid_obs::Recorder;
+use medvid_serve::protocol::{ErrorKind, IngestShot, QueryRequest, WireStrategy};
+use medvid_serve::{RetryPolicy, ServerConfig};
+use medvid_store::StoreConfig;
+use medvid_testkit::{Fault, FaultPlan, FaultProxy};
+use medvid_types::{ShotId, VideoId};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn serde_runtime_available() -> bool {
+    serde_json::to_vec(&0u8).is_ok()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "medvid-cluster-reshard-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const SHOTS_PER_VIDEO: usize = 3;
+
+fn batch(video: usize) -> Vec<IngestShot> {
+    let taxonomy = VideoDatabase::medical();
+    let scenes = taxonomy.hierarchy().scene_nodes();
+    (0..SHOTS_PER_VIDEO)
+        .map(|i| {
+            let shot_id = video * SHOTS_PER_VIDEO + i;
+            let mut features = vec![0.0f32; 8];
+            features[shot_id % 8] = 1.0;
+            IngestShot {
+                video: VideoId(video),
+                shot: ShotId(shot_id),
+                features,
+                event: medvid_types::EventKind::Dialog,
+                scene_node: scenes[shot_id % scenes.len()],
+            }
+        })
+        .collect()
+}
+
+fn all_query() -> QueryRequest {
+    QueryRequest {
+        vector: None,
+        event: None,
+        under: None,
+        clearance: None,
+        limit: Some(100_000),
+        strategy: Some(WireStrategy::Flat),
+        delay_ms: None,
+        trace_id: None,
+        trace: false,
+    }
+}
+
+/// What the background writer learned about each batch it attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Acked,
+    Refused,
+    Ambiguous,
+}
+
+#[test]
+fn splitting_a_shard_mid_ingest_loses_and_duplicates_nothing() {
+    if !serde_runtime_available() {
+        eprintln!("skipping: serde runtime unavailable");
+        return;
+    }
+    let dir = scratch("mid-ingest");
+    let recorder = Recorder::new();
+    let cluster = LocalCluster::spawn(
+        &dir.join("shards"),
+        2,
+        StoreConfig::default(),
+        ServerConfig::default(),
+        recorder.clone(),
+    )
+    .expect("cluster spawns");
+
+    // Both primaries sit behind proxies; the donor's proxy will carry
+    // Delay faults during the handoff (clone shipping, fencing, and the
+    // straggler drain all cross this link).
+    let donor_plan = FaultPlan::clean();
+    let donor_proxy = FaultProxy::spawn(cluster.addr(0), donor_plan.clone()).expect("proxy");
+    let other_proxy = FaultProxy::spawn(cluster.addr(1), FaultPlan::clean()).expect("proxy");
+    let topo = ClusterTopology::of_primaries(&[donor_proxy.addr(), other_proxy.addr()]);
+    let coordinator = Arc::new(Coordinator::new(
+        topo,
+        CoordinatorConfig {
+            shard_deadline: Duration::from_millis(1500),
+            retry: RetryPolicy::no_delay(2),
+            default_limit: 10,
+            ..CoordinatorConfig::default()
+        },
+        recorder.clone(),
+    ));
+    let mut control = ControlPlane::new(
+        coordinator.shared_topology(),
+        ControlPlaneConfig {
+            probe_timeout: Duration::from_millis(500),
+            ..ControlPlaneConfig::default()
+        },
+        recorder,
+    );
+
+    // Seed corpus before the split so the clone ships a real prefix.
+    let mut fates: Vec<(usize, Fate)> = Vec::new();
+    for v in 0..20 {
+        coordinator.ingest(batch(v)).expect("healthy seed ingest");
+        fates.push((v, Fate::Acked));
+    }
+
+    // Background writer: keeps ingesting fresh videos through the whole
+    // cutover, recording each batch's fate.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_fates: Arc<Mutex<Vec<(usize, Fate)>>> = Arc::new(Mutex::new(Vec::new()));
+    let writer = {
+        let coordinator = Arc::clone(&coordinator);
+        let stop = Arc::clone(&stop);
+        let writer_fates = Arc::clone(&writer_fates);
+        std::thread::spawn(move || {
+            let mut v = 20usize;
+            while !stop.load(Ordering::SeqCst) {
+                let fate = match coordinator.ingest(batch(v)) {
+                    Ok(_) => Fate::Acked,
+                    Err(ClusterError::Rejected {
+                        kind: ErrorKind::Fenced,
+                        ..
+                    }) => Fate::Refused,
+                    Err(_) => Fate::Ambiguous,
+                };
+                writer_fates.lock().unwrap().push((v, fate));
+                v += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // Slow the donor's link while the handoff runs: every connection
+    // through the proxy (shipping fetches, the fence, the drain, and the
+    // writer's donor-bound batches) eats a small delay.
+    donor_plan.load(vec![Some(Fault::Delay(Duration::from_millis(5))); 512]);
+
+    let report = control
+        .split_shard(
+            0,
+            ReplicaConfig {
+                poll_interval: Duration::from_millis(10),
+                fetch_timeout: Duration::from_millis(1500),
+                store_dir: Some(dir.join("split")),
+                ..ReplicaConfig::default()
+            },
+            Duration::from_secs(30),
+        )
+        .expect("split completes under delays");
+
+    // Let the writer straddle the publish, then stop it.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    writer.join().expect("writer exits");
+    fates.extend(writer_fates.lock().unwrap().iter().copied());
+
+    // -- SplitReport accounting --------------------------------------
+    assert_eq!(report.shard, 0);
+    assert_eq!(report.new_shard, 2, "2 shards split into 3");
+    assert_eq!(report.epoch, 2, "one atomic epoch bump flips routing");
+    assert!(
+        report.shipped_seq >= report.donor_seq,
+        "the clone must reach the donor's watermark before cutover: \
+         shipped {} < donor {}",
+        report.shipped_seq,
+        report.donor_seq
+    );
+    let topo = control.topology();
+    assert_eq!(topo.len(), 3);
+    assert_eq!(topo.epoch(), 2);
+
+    // -- zero lost, zero duplicated ----------------------------------
+    let outcome = coordinator.query(&all_query()).expect("post-split read");
+    assert_eq!(
+        outcome.status,
+        GatherStatus::Complete,
+        "the split topology serves a complete answer"
+    );
+    let mut served: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for h in &outcome.hits {
+        assert!(
+            served.insert((h.video.0, h.shot.0)),
+            "DUPLICATED RECORD: video {} shot {} served twice (the merge \
+             must collapse the donor's moved copies)",
+            h.video.0,
+            h.shot.0
+        );
+    }
+    let mut accounted = 0usize;
+    for &(v, fate) in &fates {
+        let present = batch(v)
+            .iter()
+            .filter(|s| served.contains(&(s.video.0, s.shot.0)))
+            .count();
+        match fate {
+            Fate::Acked => {
+                assert_eq!(
+                    present, SHOTS_PER_VIDEO,
+                    "LOST RECORDS: acked video {v} serves {present} of {SHOTS_PER_VIDEO} shots"
+                );
+                accounted += SHOTS_PER_VIDEO;
+            }
+            Fate::Refused => assert_eq!(
+                present, 0,
+                "video {v} was refused with a typed Fenced error yet serves {present} shots"
+            ),
+            Fate::Ambiguous => {
+                assert!(
+                    present == 0 || present == SHOTS_PER_VIDEO,
+                    "TORN BATCH: ambiguous video {v} serves {present} of {SHOTS_PER_VIDEO} shots"
+                );
+                accounted += present;
+            }
+        }
+    }
+    assert_eq!(
+        outcome.hits.len(),
+        accounted,
+        "every served record must trace back to a known batch"
+    );
+
+    // -- the new shard really owns its range -------------------------
+    let owned_by_new: usize = outcome
+        .hits
+        .iter()
+        .filter(|h| topo.shard_of(h.video) == report.new_shard)
+        .count();
+    assert!(
+        owned_by_new > 0,
+        "the split range owns part of the corpus (rebalance landed records)"
+    );
+    assert!(
+        report.new_node_records >= owned_by_new,
+        "the new node holds at least the records its range owns: \
+         {} < {owned_by_new}",
+        report.new_node_records
+    );
+
+    drop(control);
+    drop(donor_proxy);
+    drop(other_proxy);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,8 +15,8 @@
 //! medvid top        --addr HOST:PORT [--interval SECS] [--iterations N]
 //! medvid store      info|checkpoint|verify --store DIR
 //! medvid cluster    serve --store DIR [--shards N] [--fsync ...] [--workers N] [...]
-//! medvid cluster    status --cluster A:P,B:P,... [--replicas IDX=ADDR,...]
-//! medvid client     --cluster A:P,B:P,... [--replicas IDX=ADDR,...] [...query flags]
+//! medvid cluster    status --cluster A:P,B:P,... [--replicas IDX=ADDR,...] [--watch]
+//! medvid client     --cluster A:P,B:P,... [--replicas IDX=ADDR,...] [--max-staleness N] [...query flags]
 //! ```
 //!
 //! `serve` loads a persisted database snapshot and answers queries over the
@@ -39,9 +39,12 @@
 //!
 //! `cluster serve` brings up N durable shards in one process (shard `i`
 //! stores under `DIR/shard-i`); `cluster status` scatter-gathers every
-//! shard's metrics — including a replica's replication lag — and `client
-//! --cluster` runs a scatter-gather query through the coordinator,
-//! reporting partial coverage when shards are down.
+//! shard's metrics — including a replica's replication lag and a fenced
+//! node's topology epoch — and `--watch` turns it into a live redrawing
+//! board. `client --cluster` runs a scatter-gather query through the
+//! coordinator, reporting partial coverage when shards are down;
+//! `--max-staleness N` keeps replicas more than N records behind the
+//! leader out of the read path (bounded-staleness reads).
 //!
 //! Everything operates on the synthetic corpus (the repository's stand-in
 //! for real tapes), so every subcommand is self-contained and reproducible
@@ -105,6 +108,12 @@ struct Options {
     cluster: Option<String>,
     /// Comma-separated `IDX=ADDR` read-replica registrations.
     replicas: Option<String>,
+    /// Redraw `cluster status` every `--interval` seconds.
+    watch: bool,
+    /// Bounded-staleness read routing: replicas may answer only while
+    /// their replication lag (records behind the leader) is at or under
+    /// this bound.
+    max_staleness: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -143,6 +152,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards: 3,
         cluster: None,
         replicas: None,
+        watch: false,
+        max_staleness: None,
     };
     let mut i = 1;
     // A bare word right after the command is its sub-action
@@ -262,6 +273,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.replicas = Some(value()?.clone());
                 i += 2;
             }
+            "--watch" => {
+                opts.watch = true;
+                i += 1;
+            }
+            "--max-staleness" => {
+                opts.max_staleness = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--max-staleness: {e}"))?,
+                );
+                i += 2;
+            }
             "--stats" => {
                 opts.stats = true;
                 i += 1;
@@ -331,8 +354,10 @@ fn usage() -> String {
      durability: --store DIR  --fsync always|never|N  --wal-bytes N  \
      --wal-records N;  store takes an action: info|checkpoint|verify\n\
      cluster: serve --store DIR [--shards N];  status --cluster A,B,...  \
-     [--replicas IDX=ADDR,...];  client also takes --cluster/--replicas \
-     for scatter-gather queries"
+     [--replicas IDX=ADDR,...] [--watch [--interval SECS] [--iterations N]];  \
+     client also takes --cluster/--replicas for scatter-gather queries and \
+     --max-staleness RECORDS to bound how far behind a replica may answer \
+     reads"
         .to_string()
 }
 
@@ -650,6 +675,7 @@ fn parse_topology(opts: &Options) -> Result<ClusterTopology, String> {
 fn coordinator_config(opts: &Options) -> CoordinatorConfig {
     CoordinatorConfig {
         default_limit: opts.limit,
+        max_staleness: opts.max_staleness,
         ..CoordinatorConfig::default()
     }
 }
@@ -692,12 +718,44 @@ fn cluster_serve(opts: &Options) -> Result<(), String> {
 }
 
 /// `medvid cluster status`: scatter-gather every shard's metrics snapshot
-/// and render one status line per shard, including replication lag.
+/// and render one status line per shard, including replication lag and
+/// the node's fence epoch. `--watch` redraws every `--interval` seconds
+/// (`--iterations N` stops after N refreshes; 0 = until interrupted).
 fn cluster_status(opts: &Options) -> Result<(), String> {
     let coordinator = Coordinator::new(
         parse_topology(opts)?,
         coordinator_config(opts),
         Recorder::disabled(),
+    );
+    let mut drawn = 0usize;
+    loop {
+        if opts.watch {
+            // ANSI clear + home, same convention as `medvid top`.
+            print!("\x1b[2J\x1b[H");
+        }
+        let unreachable = render_cluster_status(&coordinator);
+        if !opts.watch {
+            if unreachable > 0 {
+                return Err(format!("{unreachable} shard(s) unreachable"));
+            }
+            return Ok(());
+        }
+        drawn += 1;
+        if opts.iterations > 0 && drawn >= opts.iterations {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(opts.interval.max(0.1)));
+    }
+}
+
+/// One status frame: a line per shard (topology order), returning how
+/// many shards were unreachable.
+fn render_cluster_status(coordinator: &Coordinator) -> usize {
+    let topo = coordinator.topology();
+    println!(
+        "topology epoch {}: {} shard(s)",
+        topo.epoch(),
+        topo.len()
     );
     let mut unreachable = 0usize;
     for m in coordinator.metrics() {
@@ -715,8 +773,12 @@ fn cluster_status(opts: &Options) -> Result<(), String> {
                     ),
                     None => String::new(),
                 };
+                let fence = match s.fence_epoch {
+                    Some(e) => format!("  [fenced at epoch {e}]"),
+                    None => String::new(),
+                };
                 println!(
-                    "shard {}: epoch {}, {} records, {:.1} qps, p99 {:.2} ms, {store}{repl}",
+                    "shard {}: epoch {}, {} records, {:.1} qps, p99 {:.2} ms, {store}{repl}{fence}",
                     m.shard, s.epoch, s.records, w.qps, w.p99_ms
                 );
             }
@@ -730,10 +792,7 @@ fn cluster_status(opts: &Options) -> Result<(), String> {
             }
         }
     }
-    if unreachable > 0 {
-        return Err(format!("{unreachable} shard(s) unreachable"));
-    }
-    Ok(())
+    unreachable
 }
 
 /// `medvid client --cluster`: one scatter-gather query through the
@@ -875,6 +934,11 @@ fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
             if r.lag > 0 { "  CATCHING UP" } else { "" }
         ));
     }
+    if let Some(e) = snapshot.fence_epoch {
+        out.push_str(&format!(
+            "fence   topology epoch {e} (older-epoch writes refused)\n"
+        ));
+    }
     out.push_str(&format!(
         "knn     {} quantized cmps  {} re-ranked  {} planner flat fallbacks\n",
         snapshot.knn.quantized_comparisons,
@@ -920,8 +984,14 @@ fn print_response(response: &Response) {
             epoch,
             trace_id,
             trace,
+            last_seq,
         } => {
-            println!("ingested {accepted} shots; database is now at epoch {epoch}");
+            match last_seq {
+                Some(seq) => println!(
+                    "ingested {accepted} shots; database is now at epoch {epoch} (durable through seq {seq})"
+                ),
+                None => println!("ingested {accepted} shots; database is now at epoch {epoch}"),
+            }
             print_trace(trace_id.as_deref(), trace.as_ref());
         }
         Response::Stats {
@@ -1042,6 +1112,9 @@ fn print_response(response: &Response) {
                     ""
                 }
             );
+        }
+        Response::Fenced { epoch } => {
+            println!("node fenced at topology epoch {epoch}");
         }
     }
 }

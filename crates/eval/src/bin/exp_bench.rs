@@ -123,6 +123,27 @@ struct ClusterBench {
     runs: Vec<ClusterGatherRun>,
 }
 
+/// The control plane's two headline costs: how long a shard is
+/// leaderless during an automatic failover, and how fast a hash-range
+/// split moves records onto a new node.
+#[derive(Serialize)]
+struct ControlPlaneBench {
+    /// Records durably ingested (and replicated) before the fault.
+    records: usize,
+    /// Wall clock from severing the primary's link to the health loop
+    /// publishing the promoted replica — detection strikes included.
+    promotion_ms: f64,
+    /// Health-loop ticks the detector spent before promoting.
+    promotion_ticks: usize,
+    /// Wall clock for the full hash-range split: clone, catch up, fence,
+    /// drain stragglers, publish.
+    split_ms: f64,
+    /// Records the new node held once the split published.
+    split_records_moved: usize,
+    /// Handoff throughput: records landed on the new node per second.
+    split_records_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     /// `available_parallelism` of the machine that produced these numbers —
@@ -135,6 +156,7 @@ struct BenchReport {
     durability: Vec<DurabilityRun>,
     serve_live: ServeLiveRun,
     cluster: ClusterBench,
+    control_plane: ControlPlaneBench,
     kernel: KernelBench,
 }
 
@@ -261,6 +283,185 @@ fn cluster_gather_bench(template: &DatabaseSnapshot, queries: usize) -> ClusterB
         direct_p50_ms: direct_p50,
         coordinator_overhead_p50_ms: one_shard_p50 - direct_p50,
         runs,
+    }
+}
+
+/// Times the cluster control plane on a live durable cluster: an
+/// automatic failover (primary link severed through a `FaultProxy`,
+/// health loop detects, promotes the shipped-WAL replica) and a
+/// hash-range shard split (checkpoint + suffix handoff onto a new
+/// node), both over a freshly ingested corpus of one-hot batches.
+fn control_plane_bench(smoke: bool) -> ControlPlaneBench {
+    use medvid_cluster::{
+        ControlPlane, ControlPlaneConfig, GatherStatus, LocalCluster, Replica, ReplicaConfig,
+        SharedTopology,
+    };
+    use medvid_serve::protocol::{IngestShot, QueryRequest, WireStrategy};
+    use medvid_serve::{RetryPolicy, ServerConfig};
+    use medvid_store::StoreConfig;
+    use medvid_testkit::{Fault, FaultPlan, FaultProxy};
+    use std::time::Duration;
+
+    let videos = if smoke { 30 } else { 150 };
+    const SHOTS_PER_VIDEO: usize = 3;
+    let taxonomy = VideoDatabase::medical();
+    let scenes = taxonomy.hierarchy().scene_nodes();
+    let batch = |video: usize| -> Vec<IngestShot> {
+        (0..SHOTS_PER_VIDEO)
+            .map(|i| {
+                let shot_id = video * SHOTS_PER_VIDEO + i;
+                let mut features = vec![0.0f32; 8];
+                features[shot_id % 8] = 1.0;
+                IngestShot {
+                    video: VideoId(video),
+                    shot: ShotId(shot_id),
+                    features,
+                    event: EventKind::Dialog,
+                    scene_node: scenes[shot_id % scenes.len()],
+                }
+            })
+            .collect()
+    };
+    let all = QueryRequest {
+        limit: Some(1_000_000),
+        strategy: Some(WireStrategy::Flat),
+        ..QueryRequest::default()
+    };
+    let dir = std::env::temp_dir().join(format!("medvid-exp-bench-control-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let records = videos * SHOTS_PER_VIDEO;
+
+    // -- failover: kill the primary, clock the health loop ------------
+    let recorder = Recorder::disabled();
+    let cluster = LocalCluster::spawn(
+        &dir.join("promote"),
+        1,
+        StoreConfig::default(),
+        ServerConfig::default(),
+        recorder.clone(),
+    )
+    .expect("promotion cluster spawns");
+    let plan = FaultPlan::clean();
+    let proxy = FaultProxy::spawn(cluster.addr(0), plan.clone()).expect("proxy spawns");
+    let mut topo = ClusterTopology::of_primaries(&[proxy.addr()]);
+    let replica = Replica::spawn(
+        proxy.addr(),
+        VideoDatabase::medical(),
+        ReplicaConfig {
+            shard: 0,
+            poll_interval: Duration::from_millis(5),
+            fetch_timeout: Duration::from_millis(1000),
+            store_dir: Some(dir.join("promote-replica")),
+            ..ReplicaConfig::default()
+        },
+        recorder.clone(),
+    )
+    .expect("replica spawns");
+    topo.add_replica(0, replica.addr());
+    let shared = SharedTopology::new(topo);
+    let coordinator = Coordinator::with_shared(
+        shared.clone(),
+        CoordinatorConfig {
+            shard_deadline: Duration::from_millis(1500),
+            retry: RetryPolicy::no_delay(2),
+            replicated_ack: Some(Duration::from_secs(5)),
+            ..CoordinatorConfig::default()
+        },
+        recorder.clone(),
+    );
+    let mut control = ControlPlane::new(
+        shared,
+        ControlPlaneConfig {
+            probe_timeout: Duration::from_millis(200),
+            down_after: 2,
+            ..ControlPlaneConfig::default()
+        },
+        recorder.clone(),
+    );
+    control.register_replica(replica);
+    for v in 0..videos {
+        coordinator.ingest(batch(v)).expect("healthy ingest acks");
+    }
+    // Every ack above waited for the replica, so the mirror is current;
+    // the clock starts the instant the link dies.
+    plan.load(vec![Some(Fault::Drop); 1 << 16]);
+    let t0 = Instant::now();
+    let mut promotion_ticks = 0usize;
+    loop {
+        promotion_ticks += 1;
+        let report = control.tick();
+        if !report.promoted.is_empty() {
+            break;
+        }
+        assert!(
+            promotion_ticks < 500,
+            "health loop never promoted the replica"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let promotion_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = coordinator.query(&all).expect("promoted leader serves");
+    assert_eq!(outcome.status, GatherStatus::Complete);
+    assert_eq!(
+        outcome.hits.len(),
+        records,
+        "promoted leader serves the full acked corpus"
+    );
+    drop(control);
+    drop(coordinator);
+    let mut proxy = proxy;
+    proxy.stop();
+    cluster.shutdown();
+
+    // -- resharding: split the only shard, clock the handoff ----------
+    let cluster = LocalCluster::spawn(
+        &dir.join("split"),
+        1,
+        StoreConfig::default(),
+        ServerConfig::default(),
+        recorder.clone(),
+    )
+    .expect("split cluster spawns");
+    let shared = SharedTopology::new(ClusterTopology::of_primaries(&[cluster.addr(0)]));
+    let coordinator =
+        Coordinator::with_shared(shared.clone(), CoordinatorConfig::default(), recorder.clone());
+    let mut control = ControlPlane::new(shared, ControlPlaneConfig::default(), recorder);
+    for v in 0..videos {
+        coordinator.ingest(batch(v)).expect("healthy ingest acks");
+    }
+    let t0 = Instant::now();
+    let report = control
+        .split_shard(
+            0,
+            ReplicaConfig {
+                poll_interval: Duration::from_millis(5),
+                fetch_timeout: Duration::from_millis(1000),
+                store_dir: Some(dir.join("split-node")),
+                ..ReplicaConfig::default()
+            },
+            Duration::from_secs(30),
+        )
+        .expect("split completes");
+    let split_secs = t0.elapsed().as_secs_f64();
+    let outcome = coordinator.query(&all).expect("split topology serves");
+    assert_eq!(outcome.status, GatherStatus::Complete);
+    assert_eq!(
+        outcome.hits.len(),
+        records,
+        "split topology serves the full corpus exactly once"
+    );
+    drop(control);
+    drop(coordinator);
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ControlPlaneBench {
+        records,
+        promotion_ms,
+        promotion_ticks,
+        split_ms: split_secs * 1e3,
+        split_records_moved: report.new_node_records,
+        split_records_per_sec: report.new_node_records as f64 / split_secs.max(1e-9),
     }
 }
 
@@ -672,6 +873,29 @@ fn main() {
         f3(cluster.coordinator_overhead_p50_ms)
     );
 
+    // The control plane on a live durable cluster: how long a shard is
+    // leaderless during auto-failover, and handoff throughput of a
+    // hash-range split.
+    let control_plane = control_plane_bench(smoke);
+    print_table(
+        "E-BENCH — cluster control plane: failover and resharding",
+        &["operation", "records", "wall ms", "throughput"],
+        &[
+            vec![
+                "auto-failover".to_string(),
+                control_plane.records.to_string(),
+                f3(control_plane.promotion_ms),
+                format!("{} health tick(s)", control_plane.promotion_ticks),
+            ],
+            vec![
+                "range split".to_string(),
+                control_plane.split_records_moved.to_string(),
+                f3(control_plane.split_ms),
+                format!("{} rec/s", f3(control_plane.split_records_per_sec)),
+            ],
+        ],
+    );
+
     let bench = BenchReport {
         host_cpus,
         corpus_videos: corpus.len(),
@@ -681,6 +905,7 @@ fn main() {
         durability,
         serve_live,
         cluster,
+        control_plane,
         kernel,
     };
     // The benchmark trajectory lives at the repository root so successive

@@ -132,8 +132,8 @@ mod tests {
         let p = QuantParams::fit(&refs).unwrap();
         let half = p.scale() as f64 / 2.0;
         for v in &vs {
-            for d in 0..2 {
-                let (_, residual) = p.encode_measured(d, v[d]);
+            for (d, &x) in v.iter().enumerate() {
+                let (_, residual) = p.encode_measured(d, x);
                 assert!(
                     residual <= half * (1.0 + 1e-6),
                     "residual {residual} exceeds half step {half}"

@@ -152,6 +152,19 @@ pub mod counters {
     pub const CLUSTER_SEGMENTS_APPLIED: &str = "cluster_segments_applied";
     /// WAL records a follower replayed from shipped segments.
     pub const CLUSTER_RECORDS_SHIPPED: &str = "cluster_records_shipped";
+    /// Health probes sent by the control plane (one per node per tick).
+    pub const CLUSTER_PROBES: &str = "cluster_probes";
+    /// Health probes that failed or timed out (a strike against the node).
+    pub const CLUSTER_PROBE_STRIKES: &str = "cluster_probe_strikes";
+    /// Replica-to-leader promotions performed after a primary was declared
+    /// down.
+    pub const CLUSTER_PROMOTIONS: &str = "cluster_promotions";
+    /// Hash-range shard splits completed by the control plane.
+    pub const CLUSTER_SPLITS: &str = "cluster_splits";
+    /// Ingest batches refused by a fenced (deposed) primary.
+    pub const CLUSTER_FENCED_WRITES: &str = "cluster_fenced_writes";
+    /// Records handed from an old shard to a new one during a split.
+    pub const CLUSTER_MOVED_RECORDS: &str = "cluster_moved_records";
 }
 
 /// Names of the value histograms the serving layer records (dimensionless

@@ -73,6 +73,7 @@ impl<S: Read + Write> Client<S> {
             shots,
             trace_id: None,
             trace: false,
+            topology_epoch: None,
         })
     }
 
@@ -90,6 +91,7 @@ impl<S: Read + Write> Client<S> {
             shots,
             trace_id,
             trace: true,
+            topology_epoch: None,
         })
     }
 

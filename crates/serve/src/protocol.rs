@@ -130,6 +130,14 @@ pub enum Request {
         /// Request a per-stage timing breakdown in the response.
         #[serde(default)]
         trace: bool,
+        /// Cluster-topology epoch the sender routed under. A fenced node
+        /// (one that lost leadership of its shard) refuses writes carrying
+        /// an older epoch with [`ErrorKind::Fenced`], so a resurrected old
+        /// primary can never acknowledge a write the promoted leader does
+        /// not have. Absent for standalone (non-cluster) clients, which
+        /// are never fenced.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        topology_epoch: Option<u64>,
     },
     /// Server statistics (epoch, cache, executor, protocol version).
     Stats,
@@ -171,6 +179,25 @@ pub enum Request {
         #[serde(default, skip_serializing_if = "Option::is_none")]
         max_records: Option<usize>,
     },
+    /// Raise this node's fence epoch (control-plane verb). Once fenced at
+    /// epoch `e`, the node refuses every ingest carrying a topology epoch
+    /// `< e` — the mechanism that silences a resurrected old primary after
+    /// its shard promoted a replica or split. The fence only ever rises;
+    /// a lower epoch is a no-op.
+    Fence {
+        /// Minimum topology epoch future ingests must carry.
+        epoch: u64,
+    },
+    /// Promote this node to shard leader at the given topology epoch
+    /// (control-plane verb): fences the node at `topology_epoch` and marks
+    /// its replication role as leader. The heavy lifting of a real
+    /// promotion — reopening the shipped WAL as the write side — happens
+    /// in-process on the control plane; this verb is the wire-visible
+    /// state flip for already-durable nodes.
+    Promote {
+        /// Topology epoch of the promotion (becomes the fence).
+        topology_epoch: u64,
+    },
 }
 
 /// Machine-readable error category.
@@ -191,6 +218,12 @@ pub enum ErrorKind {
     /// retrying the write is refused until the server restarts and
     /// recovers — blind client retries cannot corrupt the log.
     Store,
+    /// The write carried a cluster-topology epoch older than this node's
+    /// fence: the node lost leadership of its shard (a replica was
+    /// promoted, or the shard split) and must not acknowledge writes
+    /// routed under the stale topology. The write was not applied; the
+    /// client should reload the topology and re-route.
+    Fenced,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -421,6 +454,11 @@ pub struct MetricsSnapshot {
     /// Replication health, present on replicating nodes.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub replication: Option<ReplicationStatus>,
+    /// Cluster-topology fence epoch, present once a control plane has
+    /// fenced or promoted this node (ingests carrying an older epoch are
+    /// refused with [`ErrorKind::Fenced`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fence_epoch: Option<u64>,
 }
 
 impl MetricsSnapshot {
@@ -549,6 +587,10 @@ impl MetricsSnapshot {
 }
 
 /// A server response.
+// One short-lived value is built per request, so the size spread between
+// `Metrics` (a full snapshot) and the small control variants costs
+// nothing worth an indirection on the wire type.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Response {
@@ -581,6 +623,18 @@ pub enum Response {
         /// Per-stage timing, present when the request set its trace flag.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         trace: Option<TraceReport>,
+        /// Highest durable WAL sequence number after this ingest, present
+        /// on durable servers. Coordinators running replicated acks wait
+        /// until a follower's `applied_seq` reaches this before answering
+        /// the client, so a promoted leader always holds every acked write.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        last_seq: Option<u64>,
+    },
+    /// Acknowledges [`Request::Fence`] / [`Request::Promote`] with the
+    /// node's effective fence epoch after the raise.
+    Fenced {
+        /// The fence now in force (fences only rise).
+        epoch: u64,
     },
     /// Server statistics.
     Stats {
@@ -847,6 +901,103 @@ mod tests {
         assert!(
             !text.contains("shard"),
             "wire compatibility: absent shard must not serialise: {text}"
+        );
+    }
+
+    #[test]
+    fn pre_control_plane_ingest_json_still_parses() {
+        if !serde_runtime_available() {
+            return;
+        }
+        // A pre-control-plane client ingests without a routing epoch; it
+        // must deserialise to `topology_epoch: None`, not a parse failure.
+        let old = br#"{"type":"ingest","shots":[]}"#;
+        let req: Request = serde_json::from_slice(old).unwrap();
+        match req {
+            Request::Ingest { topology_epoch, .. } => assert_eq!(topology_epoch, None),
+            other => panic!("expected ingest, got {other:?}"),
+        }
+        // And a pre-control-plane server acks without a durable watermark.
+        let old = br#"{"type":"ingested","accepted":3,"epoch":2}"#;
+        let resp: Response = serde_json::from_slice(old).unwrap();
+        match resp {
+            Response::Ingested { last_seq, .. } => assert_eq!(last_seq, None),
+            other => panic!("expected ingested, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_control_plane_metrics_json_still_parses() {
+        if !serde_runtime_available() {
+            return;
+        }
+        // Round-trip a current snapshot, strip the fence field, and parse
+        // as an old peer's answer: fence_epoch must default to None.
+        let snapshot = MetricsSnapshot {
+            schema: "test".to_string(),
+            protocol: PROTOCOL_VERSION.to_string(),
+            uptime_secs: 1.0,
+            epoch: 1,
+            records: 0,
+            window: WindowSummary::default(),
+            cache: CacheStats::default(),
+            executor: ExecutorStats::default(),
+            store: None,
+            slow_queries: 0,
+            slow_threshold_ms: 100.0,
+            knn: KnnKernelStats::default(),
+            shard: None,
+            replication: None,
+            fence_epoch: Some(3),
+        };
+        let text = String::from_utf8(serde_json::to_vec(&snapshot).unwrap()).unwrap();
+        assert!(text.contains("\"fence_epoch\":3"), "snapshot carries the fence: {text}");
+        let old_peer = text.replace(",\"fence_epoch\":3", "");
+        let back: MetricsSnapshot = serde_json::from_slice(old_peer.as_bytes()).unwrap();
+        assert_eq!(back.fence_epoch, None);
+    }
+
+    #[test]
+    fn fence_verbs_roundtrip_on_the_wire() {
+        if !serde_runtime_available() {
+            return;
+        }
+        for req in [
+            Request::Fence { epoch: 7 },
+            Request::Promote { topology_epoch: 9 },
+        ] {
+            let bytes = serde_json::to_vec(&req).unwrap();
+            let back: Request = serde_json::from_slice(&bytes).unwrap();
+            match (&req, &back) {
+                (Request::Fence { epoch: a }, Request::Fence { epoch: b }) => assert_eq!(a, b),
+                (
+                    Request::Promote { topology_epoch: a },
+                    Request::Promote { topology_epoch: b },
+                ) => assert_eq!(a, b),
+                other => panic!("fence verb changed shape on the wire: {other:?}"),
+            }
+        }
+        let bytes = serde_json::to_vec(&Response::Fenced { epoch: 7 }).unwrap();
+        let back: Response = serde_json::from_slice(&bytes).unwrap();
+        assert!(matches!(back, Response::Fenced { epoch: 7 }));
+    }
+
+    #[test]
+    fn epochless_ingest_serialises_without_the_field() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let bytes = serde_json::to_vec(&Request::Ingest {
+            shots: Vec::new(),
+            trace_id: None,
+            trace: false,
+            topology_epoch: None,
+        })
+        .unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            !text.contains("topology_epoch"),
+            "wire compatibility: absent routing epoch must not serialise: {text}"
         );
     }
 }

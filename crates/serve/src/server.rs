@@ -139,6 +139,11 @@ struct Shared {
     replication: parking_lot::Mutex<Option<ReplicationStatus>>,
     /// Retrieval-kernel activity, accumulated per executed (uncached) query.
     knn: KnnCounters,
+    /// Cluster-topology fence: ingests carrying an older topology epoch are
+    /// refused with [`ErrorKind::Fenced`]. 0 (the default) fences nothing;
+    /// the value only ever rises — via [`Request::Fence`]/
+    /// [`Request::Promote`] or an ingest carrying a newer epoch.
+    fence: AtomicU64,
 }
 
 /// Handle to a running server.
@@ -181,6 +186,34 @@ impl ServerHandle {
     /// The shard id this server was configured with, if any.
     pub fn shard(&self) -> Option<u32> {
         self.shared.config.shard
+    }
+
+    /// Raises the topology fence to at least `epoch` (fences only rise)
+    /// and returns the fence now in force. Ingests carrying an older
+    /// topology epoch are refused with [`ErrorKind::Fenced`] from then on.
+    pub fn set_fence(&self, epoch: u64) -> u64 {
+        self.shared.fence.fetch_max(epoch, Ordering::SeqCst).max(epoch)
+    }
+
+    /// The fence epoch currently in force (0 = never fenced).
+    pub fn fence_epoch(&self) -> u64 {
+        self.shared.fence.load(Ordering::SeqCst)
+    }
+
+    /// Installs `store` as this server's durability backend — the
+    /// replica-promotion path (see [`DbService::adopt_store`]). The
+    /// background checkpointer picks the store up on its next poll.
+    ///
+    /// # Errors
+    /// Hands `store` back when the server is already durable.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt_store(&self, store: Store) -> Result<(), Store> {
+        self.shared.service.adopt_store(store)
+    }
+
+    /// Whether ingests are currently write-ahead logged.
+    pub fn is_durable(&self) -> bool {
+        self.shared.service.is_durable()
     }
 
     /// Waits for the accept loop (and every connection it spawned) to
@@ -267,7 +300,6 @@ fn spawn_service(
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let durable = service.is_durable();
     let shared = Arc::new(Shared {
         service,
         cache: ResultCache::new(config.cache_capacity, recorder.clone()),
@@ -284,21 +316,22 @@ fn spawn_service(
         shutdown: AtomicBool::new(false),
         replication: parking_lot::Mutex::new(None),
         knn: KnnCounters::default(),
+        fence: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("serve-accept".to_string())
         .spawn(move || accept_loop(listener, accept_shared))?;
-    let checkpoint_thread = if durable {
-        let ckpt_shared = Arc::clone(&shared);
-        Some(
-            std::thread::Builder::new()
-                .name("serve-checkpoint".to_string())
-                .spawn(move || checkpoint_loop(&ckpt_shared))?,
-        )
-    } else {
-        None
-    };
+    // Spawned even for in-memory services: `wants_checkpoint` is false
+    // without a store, so the loop idles — but a replica promoted to
+    // durable leadership mid-life (`ServerHandle::adopt_store`) gets its
+    // background checkpointer without a restart.
+    let ckpt_shared = Arc::clone(&shared);
+    let checkpoint_thread = Some(
+        std::thread::Builder::new()
+            .name("serve-checkpoint".to_string())
+            .spawn(move || checkpoint_loop(&ckpt_shared))?,
+    );
     Ok(ServerHandle {
         addr,
         shared,
@@ -447,6 +480,8 @@ fn shape_of(request: &Request) -> String {
         Request::Restore { .. } => "restore".to_string(),
         Request::Shutdown => "shutdown".to_string(),
         Request::FetchLog { from_seq, .. } => format!("fetch_log from_seq={from_seq}"),
+        Request::Fence { epoch } => format!("fence epoch={epoch}"),
+        Request::Promote { topology_epoch } => format!("promote epoch={topology_epoch}"),
     }
 }
 
@@ -503,6 +538,10 @@ fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
         shard: shared.config.shard,
         replication: shared.replication.lock().clone(),
         knn: shared.knn.snapshot(),
+        fence_epoch: match shared.fence.load(Ordering::SeqCst) {
+            0 => None,
+            e => Some(e),
+        },
     }
 }
 
@@ -527,14 +566,41 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Outcome {
             shots,
             trace_id,
             trace,
+            topology_epoch,
         } => {
             let mut ctx = TraceCtx::begin(trace_id, true);
+            // Fencing: a write routed under a topology older than this
+            // node's fence must not be acknowledged — the shard has a new
+            // leader (or split) and acking here would lose the write. A
+            // *newer* carried epoch raises the fence, so once any write of
+            // the new topology lands, stragglers from the old one are
+            // refused even if the control plane's explicit Fence never
+            // arrived. Standalone clients carry no epoch and pass freely.
+            if let Some(carried) = topology_epoch {
+                let fence = shared.fence.fetch_max(carried, Ordering::SeqCst);
+                if carried < fence {
+                    shared
+                        .recorder
+                        .incr(counters::CLUSTER_FENCED_WRITES, 1);
+                    let response = Response::error(
+                        ErrorKind::Fenced,
+                        format!("write carries topology epoch {carried}, node is fenced at {fence}"),
+                    );
+                    return Outcome {
+                        response: attach_trace(response, &ctx, trace),
+                        trace: ctx,
+                        shape,
+                        cache_hit: None,
+                    };
+                }
+            }
             let response = match shared.service.ingest_traced(&shots, &mut ctx) {
-                Ok((accepted, epoch)) => Response::Ingested {
+                Ok((accepted, epoch, last_seq)) => Response::Ingested {
                     accepted,
                     epoch,
                     trace_id: None,
                     trace: None,
+                    last_seq,
                 },
                 Err(e @ IngestError::Record { .. }) => {
                     Response::error(ErrorKind::BadRequest, e.to_string())
@@ -628,6 +694,27 @@ fn dispatch_plain(request: Request, shared: &Arc<Shared>) -> Response {
                 ),
                 Err(e) => Response::error(ErrorKind::Store, e.to_string()),
             }
+        }
+        Request::Fence { epoch } => Response::Fenced {
+            epoch: shared.fence.fetch_max(epoch, Ordering::SeqCst).max(epoch),
+        },
+        Request::Promote { topology_epoch } => {
+            let epoch = shared
+                .fence
+                .fetch_max(topology_epoch, Ordering::SeqCst)
+                .max(topology_epoch);
+            // A promoted node is (or just became) its shard's write side:
+            // publish the leader role so `Metrics` consumers — the health
+            // checker, `medvid top` — see the flip without a restart.
+            if let Some(status) = shared.service.store_status() {
+                *shared.replication.lock() = Some(ReplicationStatus {
+                    role: "leader".to_string(),
+                    leader_seq: status.last_seq,
+                    applied_seq: status.last_seq,
+                    lag: 0,
+                });
+            }
+            Response::Fenced { epoch }
         }
     }
 }

@@ -130,11 +130,15 @@ impl DbService {
     /// bytes or reusing an unacknowledged sequence number.
     pub fn ingest(&self, shots: &[IngestShot]) -> Result<(usize, u64), IngestError> {
         self.ingest_traced(shots, &mut TraceCtx::begin(None, false))
+            .map(|(accepted, epoch, _)| (accepted, epoch))
     }
 
     /// [`DbService::ingest`], marking validation, WAL-append, and
     /// build-and-swap stages into `trace` so the server can return a
-    /// per-stage breakdown and attribute slow ingests.
+    /// per-stage breakdown and attribute slow ingests. The third element
+    /// of the result is the store's highest durable sequence number after
+    /// the append (`None` in in-memory mode) — coordinators running
+    /// replicated acks compare it against follower `applied_seq`s.
     ///
     /// # Errors
     /// Same contract as [`DbService::ingest`].
@@ -142,7 +146,7 @@ impl DbService {
         &self,
         shots: &[IngestShot],
         trace: &mut TraceCtx,
-    ) -> Result<(usize, u64), IngestError> {
+    ) -> Result<(usize, u64, Option<u64>), IngestError> {
         let mut writer = self.writer.lock();
         let base = self.snapshot();
         let mut db = base.db.clone();
@@ -155,6 +159,7 @@ impl DbService {
                 .map_err(|error| IngestError::Record { index: i, error })?;
         }
         trace.mark(STAGE_ADMISSION);
+        let mut last_seq = None;
         if let Some(store) = writer.as_mut() {
             let op = match shots {
                 [one] => WalOp::IngestShot {
@@ -164,7 +169,8 @@ impl DbService {
                     shots: many.iter().map(to_stored).collect(),
                 },
             };
-            store.append(&[op]).map_err(IngestError::Store)?;
+            let stats = store.append(&[op]).map_err(IngestError::Store)?;
+            last_seq = Some(stats.last_seq);
             trace.mark(STAGE_STORE_APPEND);
         }
         db.build();
@@ -174,7 +180,7 @@ impl DbService {
         self.recorder
             .incr(counters::SERVE_INGESTED_SHOTS, shots.len() as u64);
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
-        Ok((shots.len(), epoch))
+        Ok((shots.len(), epoch, last_seq))
     }
 
     /// Replaces the serving database wholesale (the restore/replay path).
@@ -196,6 +202,29 @@ impl DbService {
         *self.current.write() = Arc::new(DbEpoch { epoch, db });
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
         Ok(epoch)
+    }
+
+    /// Installs `store` as the durability backend of a previously
+    /// in-memory service — the replica-promotion path. A promoted
+    /// follower reopens the WAL its leader shipped to it as a leader
+    /// store of its own and adopts it here; from then on ingests append
+    /// to it, continuing the dead leader's sequence numbering. The
+    /// serving snapshot is untouched (callers install the recovered
+    /// database separately, which also writes the first checkpoint).
+    ///
+    /// # Errors
+    /// Hands `store` back when the service is already durable — adopting
+    /// over a live store would silently fork the log.
+    // The Err variant deliberately returns the whole rejected store so
+    // the caller keeps ownership of its open WAL.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt_store(&self, store: Store) -> Result<(), Store> {
+        let mut writer = self.writer.lock();
+        if writer.is_some() {
+            return Err(store);
+        }
+        *writer = Some(store);
+        Ok(())
     }
 
     /// Checkpoints the current generation into the store. Returns `None`

@@ -344,6 +344,107 @@ impl Store {
         })
     }
 
+    /// Appends records shipped from a replication leader, preserving their
+    /// leader-assigned sequence numbers — the follower's durable log stays
+    /// byte-for-byte aligned with the leader's numbering, so a promoted
+    /// follower can reopen it as the new leader and keep assigning from
+    /// `last_seq + 1`. Records the local log already holds
+    /// (`seq <= last_seq`) are skipped; the remainder must continue the
+    /// log exactly (consecutive from `last_seq + 1`) — a gap means the
+    /// follower diverged and must re-sync from a shipped checkpoint.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on a sequence gap (nothing is written);
+    /// I/O failures poison the store exactly like [`Store::append`].
+    pub fn append_shipped(&mut self, records: &[WalRecord]) -> Result<AppendStats, StoreError> {
+        self.check_usable()?;
+        let _span = self.recorder.span(Stage::StoreAppend);
+        let fresh: Vec<WalRecord> = records
+            .iter()
+            .filter(|r| r.seq > self.last_seq)
+            .cloned()
+            .collect();
+        let first_seq = self.last_seq + 1;
+        if fresh.is_empty() {
+            return Ok(AppendStats {
+                first_seq,
+                last_seq: self.last_seq,
+                bytes: 0,
+                fsynced: false,
+            });
+        }
+        for (i, r) in fresh.iter().enumerate() {
+            let expect = first_seq + i as u64;
+            if r.seq != expect {
+                return Err(StoreError::Corrupt(format!(
+                    "shipped record seq {} does not continue the local log (expected {})",
+                    r.seq, expect
+                )));
+            }
+        }
+        let outcome = match self.wal.append(&fresh) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
+        };
+        self.last_seq = fresh.last().expect("non-empty batch").seq;
+        self.recorder.incr(counters::STORE_APPENDS, 1);
+        self.recorder
+            .incr(counters::STORE_APPENDED_RECORDS, fresh.len() as u64);
+        if outcome.fsynced {
+            self.recorder.incr(counters::STORE_FSYNCS, 1);
+        }
+        Ok(AppendStats {
+            first_seq,
+            last_seq: self.last_seq,
+            bytes: outcome.bytes,
+            fsynced: outcome.fsynced,
+        })
+    }
+
+    /// Installs a checkpoint of `db` covering the leader-assigned
+    /// `covered_seq`, replacing the local WAL wholesale. Durable
+    /// replication followers call this after applying a leader-shipped
+    /// checkpoint: the local log restarts at exactly the leader's
+    /// numbering, so later shipped records continue it without
+    /// translation. Unlike [`Store::checkpoint`] no marker record is
+    /// appended — the next record in this log is whatever the leader
+    /// assigned to `covered_seq + 1`.
+    ///
+    /// # Errors
+    /// Propagates I/O and serialisation failures with the same poisoning
+    /// contract as [`Store::checkpoint`].
+    pub fn install_checkpoint(
+        &mut self,
+        db: &VideoDatabase,
+        covered_seq: u64,
+    ) -> Result<CheckpointStats, StoreError> {
+        self.check_usable()?;
+        let _span = self.recorder.span(Stage::StoreCheckpoint);
+        let doc = StoreCheckpoint::of(db, covered_seq);
+        let snapshot_bytes = doc.write(&self.dir.join(CHECKPOINT_FILE))?;
+        self.checkpoint_seq = covered_seq;
+        let retired = self.wal.bytes() - WAL_MAGIC.len() as u64;
+        let wal_path = self.dir.join(WAL_FILE);
+        self.wal = match WalWriter::create(&wal_path, self.config.fsync) {
+            Ok(w) => w,
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
+        };
+        self.last_seq = covered_seq;
+        self.sync()?;
+        self.recorder.incr(counters::STORE_CHECKPOINTS, 1);
+        Ok(CheckpointStats {
+            last_seq: covered_seq,
+            snapshot_bytes,
+            wal_bytes_truncated: retired,
+        })
+    }
+
     /// Forces every appended record to stable storage (used by graceful
     /// shutdown under the relaxed fsync policies).
     ///
@@ -714,6 +815,119 @@ mod tests {
         assert_eq!(back.db.len(), 6);
         assert_eq!(back.report.replayed_records, 6 + 1); // + checkpoint marker
         assert!(back.report.clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shipped_records_keep_leader_numbering_and_reopen_as_leader() {
+        let dir = scratch("shipped");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        // A fresh follower mirror starts at seq 1 (its own baseline
+        // marker); leader records ship with their leader-assigned seqs.
+        let base = recovered.store.last_seq();
+        let records: Vec<WalRecord> = (0..4)
+            .map(|i| WalRecord {
+                seq: base + 1 + i as u64,
+                op: WalOp::IngestShot {
+                    shot: stored_shot(&recovered.db, 0, i),
+                },
+            })
+            .collect();
+        let stats = recovered.store.append_shipped(&records).unwrap();
+        assert_eq!(stats.last_seq, base + 4);
+        assert_eq!(recovered.store.last_seq(), base + 4);
+
+        // Re-shipping an overlapping segment skips what the log already
+        // holds and appends only the genuinely new suffix.
+        let mut overlap = records[2..].to_vec();
+        overlap.push(WalRecord {
+            seq: base + 5,
+            op: WalOp::IngestShot {
+                shot: stored_shot(&recovered.db, 1, 4),
+            },
+        });
+        let stats = recovered.store.append_shipped(&overlap).unwrap();
+        assert_eq!(stats.last_seq, base + 5);
+
+        // A gap means divergence: refused, nothing written.
+        let gap = vec![WalRecord {
+            seq: base + 9,
+            op: WalOp::IngestShot {
+                shot: stored_shot(&recovered.db, 2, 9),
+            },
+        }];
+        assert!(matches!(
+            recovered.store.append_shipped(&gap),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert_eq!(recovered.store.last_seq(), base + 5);
+        drop(recovered);
+
+        // Promotion path: reopen the mirror through ordinary recovery and
+        // keep assigning from the leader's numbering.
+        let mut leader = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(leader.report.clean());
+        assert_eq!(leader.db.len(), 5);
+        assert_eq!(leader.store.last_seq(), base + 5);
+        let next = stored_shot(&leader.db, 3, 10);
+        apply(&mut leader.db, &next);
+        let stats = leader.store.append(&[WalOp::IngestShot { shot: next }]).unwrap();
+        assert_eq!(stats.first_seq, base + 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn installed_checkpoint_adopts_leader_numbering_without_a_marker() {
+        let dir = scratch("install-ckpt");
+        let mut recovered = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        // Leader ships a checkpoint covering seq 40: the local log restarts
+        // at the leader's numbering with no marker of its own — the next
+        // shipped record may legitimately be seq 41.
+        let mut db = VideoDatabase::medical();
+        let a = stored_shot(&db, 0, 0);
+        apply(&mut db, &a);
+        recovered.store.install_checkpoint(&db, 40).unwrap();
+        assert_eq!(recovered.store.last_seq(), 40);
+        assert_eq!(recovered.store.status().wal_records, 0);
+
+        let suffix = vec![WalRecord {
+            seq: 41,
+            op: WalOp::IngestShot {
+                shot: stored_shot(&db, 1, 1),
+            },
+        }];
+        recovered.store.append_shipped(&suffix).unwrap();
+        drop(recovered);
+
+        let back = Store::open(
+            &dir,
+            StoreConfig::default(),
+            VideoDatabase::medical(),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(back.report.clean());
+        assert_eq!(back.report.checkpoint_seq, Some(40));
+        assert_eq!(back.db.len(), 2);
+        assert_eq!(back.store.last_seq(), 41);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

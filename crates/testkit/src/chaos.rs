@@ -1,0 +1,197 @@
+//! Deterministic chaos schedules for cluster fault drills.
+//!
+//! A [`ChaosSchedule`] is an ordered script of node-level events — kill,
+//! heal, stall, plus interleaved work batches — generated either by hand
+//! ([`ChaosSchedule::scripted`]) or from a [`TkRng`]
+//! ([`ChaosSchedule::seeded`]), so a randomized drill replays bit-for-bit
+//! from `(seed, shape)`. The vocabulary is deliberately harness-agnostic:
+//! testkit knows nothing about shards or topologies, it only names nodes
+//! by index. A cluster harness maps `Kill{node}` onto its per-node
+//! [`crate::FaultPlan`] (load a wall of `Drop` faults), `Heal{node}` onto
+//! [`crate::FaultPlan::clear`], and `Stall` onto a `Delay` fault.
+//!
+//! Seeded schedules track the killed set so heals always target a
+//! currently-killed node, and every schedule ends by healing whatever is
+//! still down — a drill always hands the cluster back in a recoverable
+//! state so convergence invariants can be checked after the plan clears.
+
+use crate::rng::TkRng;
+
+/// One step of a chaos drill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Sever every future connection to this node (its link drops).
+    Kill {
+        /// Node index in the harness's node table.
+        node: u32,
+    },
+    /// Clear this node's fault plan: connections flow again.
+    Heal {
+        /// Node index in the harness's node table.
+        node: u32,
+    },
+    /// Stall this node's next connections without severing them.
+    Stall {
+        /// Node index in the harness's node table.
+        node: u32,
+        /// Stall duration in milliseconds (kept small by `seeded`).
+        millis: u64,
+    },
+    /// Run a batch of foreground work (ingest + query) between faults.
+    Work {
+        /// Number of operations the harness should perform.
+        ops: u32,
+    },
+}
+
+/// An ordered, replayable script of [`ChaosEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    steps: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// A hand-written schedule, used verbatim.
+    pub fn scripted(steps: Vec<ChaosEvent>) -> Self {
+        ChaosSchedule { steps }
+    }
+
+    /// A seeded random schedule over `nodes` nodes with `steps` fault
+    /// events, each preceded by a small work batch. Kills never target an
+    /// already-killed node, heals always target a killed one, and the
+    /// schedule ends by healing every node still down (followed by one
+    /// final work batch), so the drill always terminates in a state from
+    /// which the cluster can converge.
+    pub fn seeded(rng: &mut TkRng, nodes: u32, steps: usize) -> Self {
+        assert!(nodes > 0, "chaos schedule needs at least one node");
+        let mut out = Vec::with_capacity(steps * 2 + nodes as usize + 1);
+        let mut killed: Vec<u32> = Vec::new();
+        for _ in 0..steps {
+            out.push(ChaosEvent::Work {
+                ops: rng.u64_in(1, 4) as u32,
+            });
+            let alive: Vec<u32> = (0..nodes).filter(|n| !killed.contains(n)).collect();
+            // Weighted pick: kill when something is alive and a coin
+            // lands, heal when something is down, otherwise stall.
+            let roll = rng.usize_in(0, 2);
+            match roll {
+                0 if !alive.is_empty() => {
+                    let node = alive[rng.usize_in(0, alive.len() - 1)];
+                    killed.push(node);
+                    out.push(ChaosEvent::Kill { node });
+                }
+                1 if !killed.is_empty() => {
+                    let node = killed.swap_remove(rng.usize_in(0, killed.len() - 1));
+                    out.push(ChaosEvent::Heal { node });
+                }
+                _ => {
+                    let node = rng.u64_in(0, u64::from(nodes) - 1) as u32;
+                    out.push(ChaosEvent::Stall {
+                        node,
+                        millis: rng.u64_in(1, 40),
+                    });
+                }
+            }
+        }
+        killed.sort_unstable();
+        for node in killed {
+            out.push(ChaosEvent::Heal { node });
+        }
+        out.push(ChaosEvent::Work { ops: 2 });
+        ChaosSchedule { steps: out }
+    }
+
+    /// The script, in execution order.
+    pub fn steps(&self) -> &[ChaosEvent] {
+        &self.steps
+    }
+
+    /// Number of steps in the script.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Node indices that would be down after running the whole script.
+    /// Seeded schedules always return an empty set here; scripted ones
+    /// may not, and harnesses can use this to decide whether convergence
+    /// invariants apply at the end.
+    pub fn killed_at_end(&self) -> Vec<u32> {
+        let mut killed: Vec<u32> = Vec::new();
+        for step in &self.steps {
+            match *step {
+                ChaosEvent::Kill { node } if !killed.contains(&node) => killed.push(node),
+                ChaosEvent::Heal { node } => killed.retain(|&n| n != node),
+                _ => {}
+            }
+        }
+        killed.sort_unstable();
+        killed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_replay_bit_for_bit() {
+        let a = ChaosSchedule::seeded(&mut TkRng::new(42), 4, 12);
+        let b = ChaosSchedule::seeded(&mut TkRng::new(42), 4, 12);
+        assert_eq!(a, b);
+        let c = ChaosSchedule::seeded(&mut TkRng::new(43), 4, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeded_schedules_end_fully_healed() {
+        for seed in 0..50 {
+            let s = ChaosSchedule::seeded(&mut TkRng::new(seed), 4, 16);
+            assert!(
+                s.killed_at_end().is_empty(),
+                "seed {seed} left nodes down: {:?}",
+                s.killed_at_end()
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_kills_and_heals_are_well_formed() {
+        for seed in 0..50 {
+            let s = ChaosSchedule::seeded(&mut TkRng::new(seed), 3, 20);
+            let mut killed: Vec<u32> = Vec::new();
+            for step in s.steps() {
+                match *step {
+                    ChaosEvent::Kill { node } => {
+                        assert!(node < 3);
+                        assert!(!killed.contains(&node), "double kill of node {node}");
+                        killed.push(node);
+                    }
+                    ChaosEvent::Heal { node } => {
+                        assert!(killed.contains(&node), "heal of live node {node}");
+                        killed.retain(|&n| n != node);
+                    }
+                    ChaosEvent::Stall { node, millis } => {
+                        assert!(node < 3);
+                        assert!((1..=40).contains(&millis));
+                    }
+                    ChaosEvent::Work { ops } => assert!(ops >= 1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_killed_at_end_tracks_unhealed_kills() {
+        let s = ChaosSchedule::scripted(vec![
+            ChaosEvent::Kill { node: 2 },
+            ChaosEvent::Kill { node: 0 },
+            ChaosEvent::Heal { node: 2 },
+        ]);
+        assert_eq!(s.killed_at_end(), vec![0]);
+    }
+}

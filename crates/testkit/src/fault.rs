@@ -123,6 +123,16 @@ impl FaultPlan {
         state.next = n;
     }
 
+    /// Replaces the schedule and rewinds to its start. This is how chaos
+    /// harnesses re-arm a shared plan mid-run: `load` a wall of `Drop`
+    /// faults to model a node being killed, then [`FaultPlan::clear`] to
+    /// heal it.
+    pub fn load(&self, schedule: Vec<Option<Fault>>) {
+        let mut state = self.state.lock().expect("fault plan lock");
+        state.schedule = schedule;
+        state.next = 0;
+    }
+
     /// How many faults have been handed out so far.
     pub fn faults_injected(&self) -> usize {
         self.injected.load(Ordering::SeqCst)

@@ -37,6 +37,7 @@
 //! Re-running that test binary with those two variables set replays the
 //! failing case (and every case before it) bit-for-bit.
 
+pub mod chaos;
 pub mod domain;
 pub mod fault;
 pub mod query;
@@ -44,6 +45,7 @@ pub mod rng;
 pub mod runner;
 pub mod shrink;
 
+pub use chaos::{ChaosEvent, ChaosSchedule};
 pub use fault::{corrupt_bytes, Fault, FaultPlan, FaultProxy, FaultyStream};
 pub use query::{adversarial_vector_query, invalid_query, valid_query, QuerySpec};
 pub use rng::TkRng;

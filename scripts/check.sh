@@ -1,11 +1,27 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must pass before merging.
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--chaos]
 # Runs from the workspace root regardless of the caller's cwd.
+#
+# --chaos additionally runs the randomized cluster chaos schedules under a
+# rotating seed (printed on entry so any failure is reproducible); the
+# default gate pins every seed for determinism.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHAOS=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos) CHAOS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+# A caller-provided seed (MEDVID_TESTKIT_SEED=... scripts/check.sh --chaos)
+# replays a previous chaos run; remember it before the pinned block below
+# overwrites the variable.
+CALLER_SEED="${MEDVID_TESTKIT_SEED:-}"
 
 echo "== cargo build --release =="
 cargo build --release
@@ -45,7 +61,24 @@ cargo test -q -p medvid --test golden_pipeline
 # failover end-to-end (FaultProxy-severed shard, replica reads, catch-up).
 cargo test -q -p medvid-cluster --test cluster_properties
 cargo test -q -p medvid-cluster --test cluster_integration
+# Control plane: kill-at-every-step promotion property, scripted + seeded
+# chaos schedules over ClusterSim, and mid-ingest resharding accounting.
+cargo test -q -p medvid-cluster --test cluster_promotion
+cargo test -q -p medvid-cluster --test cluster_chaos
+cargo test -q -p medvid-cluster --test cluster_reshard
 unset MEDVID_TESTKIT_SEED MEDVID_TESTKIT_CASES
+
+if [ "$CHAOS" = 1 ]; then
+  # Rotating seed: a fresh schedule every run, reproducible because the
+  # seed is printed here and again in any failing property's panic line.
+  CHAOS_SEED="${CALLER_SEED:-$(date +%s)}"
+  echo "== chaos mode: randomized cluster schedules (seed $CHAOS_SEED) =="
+  echo "   reproduce with: MEDVID_TESTKIT_SEED=$CHAOS_SEED scripts/check.sh --chaos"
+  MEDVID_TESTKIT_SEED="$CHAOS_SEED" \
+    cargo test -q -p medvid-cluster --test cluster_chaos
+  MEDVID_TESTKIT_SEED="$CHAOS_SEED" \
+    cargo test -q -p medvid-cluster --test cluster_promotion
+fi
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
