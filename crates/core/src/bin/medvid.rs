@@ -13,6 +13,7 @@
 //! medvid client     --addr HOST:PORT --metrics | --prometheus | --slow [--drain]
 //! medvid client     --addr HOST:PORT --trace [--trace-id ID] [...query flags]
 //! medvid top        --addr HOST:PORT [--interval SECS] [--iterations N]
+//! medvid jobs       submit|status|list --addr HOST:PORT [--id N]
 //! medvid store      info|checkpoint|verify --store DIR
 //! medvid cluster    serve --store DIR [--shards N] [--fsync ...] [--workers N] [...]
 //! medvid cluster    status --cluster A:P,B:P,... [--replicas IDX=ADDR,...] [--watch]
@@ -26,6 +27,10 @@
 //! (`medvid-obs/v2`) and redraws a live terminal dashboard; `client
 //! --prometheus` emits the same snapshot in the Prometheus text format,
 //! and `--slow` dumps the server's slow-query log.
+//!
+//! `jobs` drives the server's background job queue: `submit` enqueues a
+//! compaction pass (re-running the full PCS/merge fit over the drifted
+//! index), `status --id N` polls one job, and `list` dumps the queue.
 //!
 //! With `--store DIR`, `serve` runs durably: the database is recovered from
 //! the directory's checkpoint plus write-ahead-log tail at startup, every
@@ -53,7 +58,9 @@
 use medvid::cluster::{ClusterTopology, Coordinator, CoordinatorConfig, GatherStatus, LocalCluster};
 use medvid::index::{Strategy, VideoDatabase};
 use medvid::obs::Recorder;
-use medvid::serve::{Client, MetricsSnapshot, QueryRequest, Response, ServerConfig, WireStrategy};
+use medvid::serve::{
+    Client, MetricsSnapshot, QueryRequest, Response, ServerConfig, WireJobKind, WireStrategy,
+};
 use medvid::store::{FsyncPolicy, Store, StoreConfig};
 use medvid::skim::storyboard::{export_storyboard, storyboard};
 use medvid::skim::SkimLevel;
@@ -114,6 +121,8 @@ struct Options {
     /// their replication lag (records behind the leader) is at or under
     /// this bound.
     max_staleness: Option<u64>,
+    /// Job id for `medvid jobs status`.
+    id: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -154,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         replicas: None,
         watch: false,
         max_staleness: None,
+        id: None,
     };
     let mut i = 1;
     // A bare word right after the command is its sub-action
@@ -285,6 +295,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 );
                 i += 2;
             }
+            "--id" => {
+                opts.id = Some(value()?.parse().map_err(|e| format!("--id: {e}"))?);
+                i += 2;
+            }
             "--stats" => {
                 opts.stats = true;
                 i += 1;
@@ -343,7 +357,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|top|store|cluster> [flags]\n\
+    "usage: medvid <corpus|mine|index|query|storyboard|serve|client|top|jobs|store|cluster> [flags]\n\
      flags: --scale tiny|small|full  --seed N  --video I  --out PATH  \
      --db PATH  --event presentation|dialog|clinical  --limit N  \
      --report PATH  --report-json PATH  --addr HOST:PORT  --workers N  \
@@ -353,6 +367,8 @@ fn usage() -> String {
      --trace-id ID;  top: --addr HOST:PORT [--interval SECS] [--iterations N]\n\
      durability: --store DIR  --fsync always|never|N  --wal-bytes N  \
      --wal-records N;  store takes an action: info|checkpoint|verify\n\
+     jobs: submit|status|list --addr HOST:PORT [--id N] (submit enqueues a \
+     background compaction; status needs --id)\n\
      cluster: serve --store DIR [--shards N];  status --cluster A,B,...  \
      [--replicas IDX=ADDR,...] [--watch [--interval SECS] [--iterations N]];  \
      client also takes --cluster/--replicas for scatter-gather queries and \
@@ -626,6 +642,7 @@ fn run(opts: &Options) -> Result<(), String> {
             let addr: SocketAddr = addr.parse().map_err(|e| format!("--addr: {e}"))?;
             run_top(addr, opts)
         }
+        "jobs" => jobs_command(opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -837,6 +854,28 @@ fn cluster_query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `medvid jobs submit|status|list`: drive the server's background job
+/// queue over the wire. `submit` enqueues a compaction pass; `status
+/// --id N` polls one job; `list` dumps every job in id order.
+fn jobs_command(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_ref().ok_or("jobs needs --addr HOST:PORT")?;
+    let addr: SocketAddr = addr.parse().map_err(|e| format!("--addr: {e}"))?;
+    let mut client = Client::connect(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    let response = match opts.action.as_deref() {
+        Some("submit") => client.submit_job(WireJobKind::Compaction),
+        Some("status") => {
+            let id = opts.id.ok_or("jobs status needs --id N")?;
+            client.job_status(Some(id))
+        }
+        Some("list") => client.job_status(None),
+        Some(other) => return Err(format!("unknown jobs action '{other}'\n{}", usage())),
+        None => return Err(format!("jobs needs an action (submit|status|list)\n{}", usage())),
+    }
+    .map_err(|e| e.to_string())?;
+    print_response(&response);
+    Ok(())
+}
+
 /// `medvid top`: poll [`Request::Metrics`] and redraw a terminal
 /// dashboard every `--interval` seconds. `--iterations N` stops after N
 /// refreshes (0 = run until the connection drops or ^C).
@@ -945,6 +984,16 @@ fn render_dashboard(snapshot: &MetricsSnapshot, addr: SocketAddr) -> String {
         snapshot.knn.rerank_candidates,
         snapshot.knn.planner_flat_fallbacks
     ));
+    if let Some(j) = &snapshot.jobs {
+        out.push_str(&format!(
+            "jobs    {} queued  {} running  {} done  {} failed  {} retries  {} lease expiries\n",
+            j.queued, j.leased, j.completed, j.failed, j.retries, j.lease_expiries
+        ));
+        out.push_str(&format!(
+            "index   drift {} appends since last re-fit  {} compactions\n",
+            j.drift, j.compactions
+        ));
+    }
     out.push_str(&format!(
         "slowlog {} entries (threshold {:.0} ms)\n",
         snapshot.slow_queries, snapshot.slow_threshold_ms
@@ -1115,6 +1164,28 @@ fn print_response(response: &Response) {
         }
         Response::Fenced { epoch } => {
             println!("node fenced at topology epoch {epoch}");
+        }
+        Response::JobSubmitted { id } => {
+            println!("job {id} enqueued; poll with: medvid jobs status --id {id}");
+        }
+        Response::Jobs { jobs } => {
+            println!("{} job(s)", jobs.len());
+            for j in jobs {
+                let progress = match (j.step, j.cursor) {
+                    (Some(step), Some(cursor)) => {
+                        format!("  checkpoint step {step} cursor {cursor}")
+                    }
+                    _ => String::new(),
+                };
+                let error = match &j.error {
+                    Some(e) => format!("  last error: {e}"),
+                    None => String::new(),
+                };
+                println!(
+                    "  job {} [{}] {}  attempts {}  pipeline v{}{progress}{error}",
+                    j.id, j.kind, j.state, j.attempts, j.pipeline_version
+                );
+            }
         }
     }
 }
@@ -1356,6 +1427,20 @@ mod tests {
         .unwrap();
         assert!(o.trace);
         assert_eq!(o.trace_id.as_deref(), Some("req-7"));
+    }
+
+    #[test]
+    fn parses_jobs_flags() {
+        let o = parse(&["jobs", "submit", "--addr", "127.0.0.1:4100"]).unwrap();
+        assert_eq!(o.command, "jobs");
+        assert_eq!(o.action.as_deref(), Some("submit"));
+        let o = parse(&["jobs", "status", "--addr", "127.0.0.1:4100", "--id", "7"]).unwrap();
+        assert_eq!(o.action.as_deref(), Some("status"));
+        assert_eq!(o.id, Some(7));
+        let o = parse(&["jobs", "list", "--addr", "127.0.0.1:4100"]).unwrap();
+        assert_eq!(o.action.as_deref(), Some("list"));
+        assert_eq!(o.id, None);
+        assert!(parse(&["jobs", "status", "--id", "x"]).is_err());
     }
 
     #[test]

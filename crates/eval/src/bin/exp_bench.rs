@@ -56,6 +56,27 @@ struct DurabilityRun {
     wal_bytes: u64,
 }
 
+/// One corpus size of the incremental-ingest ladder: the same shot
+/// stream landed either by appending into the live index (what
+/// `DbService::ingest` does past the first build) or by the
+/// copy-rebuild-swap discipline it replaced (clone every record held so
+/// far, insert the batch, re-run the full PCS/merge fit, swap).
+#[derive(Serialize)]
+struct IngestIncrementalRun {
+    shots: usize,
+    batches: usize,
+    incremental_wall_secs: f64,
+    incremental_shots_per_sec: f64,
+    rebuild_wall_secs: f64,
+    rebuild_shots_per_sec: f64,
+    /// Rebuild wall over incremental wall (higher favours incremental).
+    speedup: f64,
+    /// One compaction pass folding the accumulated drift back into the
+    /// fitted hierarchy — the deferred cost incremental ingest leaves to
+    /// the background job.
+    compaction_ms: f64,
+}
+
 /// The serving layer observed through its own live metrics: a query burst
 /// against a spawned server, summarised by the `medvid-obs/v2` snapshot the
 /// Metrics verb returns (so the benchmark tracks what operators will see,
@@ -154,6 +175,7 @@ struct BenchReport {
     deterministic_across_threads: bool,
     runs: Vec<ThreadRun>,
     durability: Vec<DurabilityRun>,
+    ingest_incremental: Vec<IngestIncrementalRun>,
     serve_live: ServeLiveRun,
     cluster: ClusterBench,
     control_plane: ControlPlaneBench,
@@ -606,6 +628,105 @@ fn serve_live_metrics(db: VideoDatabase, queries: usize) -> ServeLiveRun {
     }
 }
 
+/// Races the two ingest disciplines over identical shot streams, at
+/// corpus sizes 1k/10k/100k (just 1k under `--smoke`), split into the
+/// same batch sequence:
+///
+/// * **incremental** — `DbService::ingest`: first batch builds, every
+///   later batch appends into the live hierarchy and bumps drift; one
+///   timed `compact()` at the end folds the drift back in (the work the
+///   background compaction job performs).
+/// * **copy-rebuild-swap** — the pre-jobs discipline: every batch clones
+///   all records held so far into a fresh database, inserts the batch,
+///   and re-runs the full PCS/merge fit before swapping.
+fn ingest_incremental_bench(smoke: bool) -> Vec<IngestIncrementalRun> {
+    use medvid_index::ShotRef;
+    use medvid_serve::{DbService, IngestShot};
+    const BATCHES: usize = 20;
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let taxonomy = VideoDatabase::medical();
+    let scenes = taxonomy.hierarchy().scene_nodes();
+    sizes
+        .iter()
+        .map(|&n| {
+            // Compact features keep the measurement about index
+            // maintenance (fit vs append), not feature memcpy.
+            let shots: Vec<IngestShot> = (0..n)
+                .map(|i| {
+                    let mut features = vec![0.0f32; 8];
+                    features[i % 8] = 1.0;
+                    features[(i / 8) % 8] += 0.25;
+                    IngestShot {
+                        video: VideoId(i / 50),
+                        shot: ShotId(i),
+                        features,
+                        event: EventKind::DETERMINATE[i % 3],
+                        scene_node: scenes[i % scenes.len()],
+                    }
+                })
+                .collect();
+            let batch = n.div_ceil(BATCHES);
+
+            let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+            let start = Instant::now();
+            for chunk in shots.chunks(batch) {
+                svc.ingest(chunk).expect("incremental ingest");
+            }
+            let incremental_wall = start.elapsed().as_secs_f64();
+            assert_eq!(svc.snapshot().db.len(), n);
+            let start = Instant::now();
+            let folded = svc.compact().expect("compaction");
+            let compaction_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                folded.is_some() && svc.drift() == 0,
+                "compaction folded the appended drift"
+            );
+
+            let start = Instant::now();
+            let mut current = VideoDatabase::medical();
+            current.build();
+            for chunk in shots.chunks(batch) {
+                let mut next = VideoDatabase::medical();
+                for r in current.records_iter() {
+                    next.try_insert_shot(r.shot, r.features.clone(), r.event, r.scene_node)
+                        .expect("copied record re-inserts");
+                }
+                for s in chunk {
+                    next.try_insert_shot(
+                        ShotRef {
+                            video: s.video,
+                            shot: s.shot,
+                        },
+                        s.features.clone(),
+                        s.event,
+                        s.scene_node,
+                    )
+                    .expect("fresh record inserts");
+                }
+                next.build();
+                current = next;
+            }
+            let rebuild_wall = start.elapsed().as_secs_f64();
+            assert_eq!(current.len(), n);
+
+            IngestIncrementalRun {
+                shots: n,
+                batches: shots.chunks(batch).len(),
+                incremental_wall_secs: incremental_wall,
+                incremental_shots_per_sec: n as f64 / incremental_wall.max(1e-9),
+                rebuild_wall_secs: rebuild_wall,
+                rebuild_shots_per_sec: n as f64 / rebuild_wall.max(1e-9),
+                speedup: rebuild_wall / incremental_wall.max(1e-12),
+                compaction_ms,
+            }
+        })
+        .collect()
+}
+
 /// Times `appends` single-shot group commits under one fsync policy,
 /// against a scratch store that is removed afterwards.
 fn ingest_durability_at(policy: FsyncPolicy, appends: usize) -> DurabilityRun {
@@ -795,6 +916,38 @@ fn main() {
         &durab_table,
     );
 
+    // Incremental ingest vs the copy-rebuild-swap discipline it replaced,
+    // plus the deferred compaction cost, at each corpus size.
+    let ingest_incremental = ingest_incremental_bench(smoke);
+    let inc_table: Vec<Vec<String>> = ingest_incremental
+        .iter()
+        .map(|r| {
+            vec![
+                r.shots.to_string(),
+                f3(r.incremental_shots_per_sec),
+                f3(r.rebuild_shots_per_sec),
+                f3(r.speedup),
+                f3(r.compaction_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-BENCH — incremental ingest vs copy-rebuild-swap",
+        &["shots", "incr shots/s", "rebuild shots/s", "speedup", "compact ms"],
+        &inc_table,
+    );
+    let largest = ingest_incremental
+        .last()
+        .expect("at least one ingest size ran");
+    assert!(
+        largest.speedup > 1.0,
+        "incremental ingest must beat copy-rebuild-swap at {} shots \
+         (incremental {:.3}s vs rebuild {:.3}s)",
+        largest.shots,
+        largest.incremental_wall_secs,
+        largest.rebuild_wall_secs
+    );
+
     // Serving-layer observability: index the corpus once, burst queries at
     // a spawned server, and snapshot its rolling window over the wire.
     let (db, _) = miner.index_corpus(&corpus);
@@ -903,6 +1056,7 @@ fn main() {
         deterministic_across_threads: deterministic,
         runs,
         durability,
+        ingest_incremental,
         serve_live,
         cluster,
         control_plane,

@@ -12,6 +12,7 @@ use medvid_types::{ContentStructure, EventKind, SceneId, ShotId, VideoId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// A database-wide shot reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -183,7 +184,14 @@ impl Default for IndexConfig {
 pub struct VideoDatabase {
     hierarchy: ConceptHierarchy,
     config: IndexConfig,
-    records: Vec<ShotRecord>,
+    /// Record storage is split so epochs share structure: `base` is the
+    /// frozen prefix consolidated by the last [`Self::build`] (shared
+    /// across clones by the `Arc` — the heavy 266-dim feature payload is
+    /// never copied on ingest), and `tail` holds records appended
+    /// incrementally since. Logical record index `i` addresses
+    /// `base[i]` or `tail[i - base.len()]`.
+    base: Arc<Vec<ShotRecord>>,
+    tail: Vec<ShotRecord>,
     policy: AccessPolicy,
     // Built state.
     node_subspace: HashMap<NodeId, Subspace>,
@@ -194,16 +202,22 @@ pub struct VideoDatabase {
     /// precomputed at build time.
     leaf_mean: HashMap<NodeId, Vec<f32>>,
     shot_lookup: HashMap<ShotRef, usize>,
-    /// Dimension-major quantized codes over every record, powering the
-    /// integer flat-scan kernel. `None` when the corpus refuses to
+    /// Dimension-major quantized codes over the `base` records, powering
+    /// the integer flat-scan kernel. `None` when the corpus refuses to
     /// quantize (empty, non-finite features) — scans fall back to f32.
-    quant: Option<QuantizedBlock>,
+    /// Behind an `Arc` so epoch clones share the code matrix; records
+    /// appended after the freeze are scored exactly by the scan's tail
+    /// merge.
+    quant: Option<Arc<QuantizedBlock>>,
     /// Full-space bounding ball per populated node: centroid plus a
     /// radius covering every record beneath it (with floating-point
     /// slack), powering best-first pruning with exact guarantees.
     node_ball: HashMap<NodeId, (Vec<f32>, f64)>,
     /// Live Eq. 24–25 cost model, captured at build time.
     cost_model: Option<CostModel>,
+    /// Records appended incrementally since the last full fit — the
+    /// staleness measure that triggers background compaction.
+    drift: usize,
     built: bool,
 }
 
@@ -213,7 +227,8 @@ impl VideoDatabase {
         Self {
             hierarchy,
             config,
-            records: Vec::new(),
+            base: Arc::new(Vec::new()),
+            tail: Vec::new(),
             policy: AccessPolicy::default(),
             node_subspace: HashMap::new(),
             node_centers: HashMap::new(),
@@ -224,6 +239,7 @@ impl VideoDatabase {
             quant: None,
             node_ball: HashMap::new(),
             cost_model: None,
+            drift: 0,
             built: false,
         }
     }
@@ -255,29 +271,42 @@ impl VideoDatabase {
 
     /// Number of indexed shots.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.base.len() + self.tail.len()
     }
 
     /// Whether the database holds no shots.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.base.is_empty() && self.tail.is_empty()
+    }
+
+    /// The record at logical index `i` (frozen base prefix, then the
+    /// incremental tail).
+    fn rec(&self, i: usize) -> &ShotRecord {
+        if i < self.base.len() {
+            &self.base[i]
+        } else {
+            &self.tail[i - self.base.len()]
+        }
     }
 
     /// Looks up a record by shot reference.
     pub fn record(&self, shot: ShotRef) -> Option<&ShotRecord> {
-        self.shot_lookup.get(&shot).map(|&i| &self.records[i])
+        self.shot_lookup.get(&shot).map(|&i| self.rec(i))
     }
 
-    /// Iterates over all indexed records.
+    /// Iterates over all indexed records, in insertion order.
     pub fn records_iter(&self) -> impl Iterator<Item = &ShotRecord> {
-        self.records.iter()
+        self.base.iter().chain(self.tail.iter())
     }
 
     /// Feature dimensionality of the indexed shots, if any are present.
     /// Every record shares one length (enforced by [`Self::validate_record`]
     /// at every validated ingest path).
     pub fn feature_len(&self) -> Option<usize> {
-        self.records.first().map(|r| r.features.len())
+        self.base
+            .first()
+            .or_else(|| self.tail.first())
+            .map(|r| r.features.len())
     }
 
     /// Checks whether a record could join the index without corrupting it.
@@ -397,15 +426,188 @@ impl VideoDatabase {
             NodeKind::Scene,
             "shots index under scene nodes"
         );
-        let idx = self.records.len();
+        let idx = self.len();
         self.shot_lookup.insert(shot, idx);
-        self.records.push(ShotRecord {
+        self.tail.push(ShotRecord {
             shot,
             features,
             event,
             scene_node,
         });
         self.built = false;
+    }
+
+    /// Validated **incremental** ingest: the append path that keeps the
+    /// database serving. Where [`Self::insert_shot`] invalidates the built
+    /// index (forcing an O(db) [`Self::build`]), this inserts the shot into
+    /// the live structures in O(path) work: the leaf hash cell, the leaf
+    /// population and routing mean, the concept path's bounding balls
+    /// (grown so best-first pruning stays sound — planned and flat results
+    /// remain bit-identical to a from-scratch rebuild), and the cost
+    /// model's record counts. Per-node subspaces, multi-centres and the
+    /// quantized block stay frozen until [`Self::compact`] re-fits them;
+    /// each append bumps [`Self::drift`] so callers know when compaction
+    /// is due.
+    ///
+    /// On an unbuilt database this degrades to [`Self::insert_shot`] (the
+    /// caller's next [`Self::build`] does the initial fit).
+    ///
+    /// # Errors
+    /// See [`Self::validate_record`].
+    pub fn append_shot(
+        &mut self,
+        shot: ShotRef,
+        features: Vec<f32>,
+        event: EventKind,
+        scene_node: NodeId,
+    ) -> Result<(), RecordError> {
+        self.validate_record(shot, &features, scene_node)?;
+        if !self.built {
+            self.insert_shot(shot, features, event, scene_node);
+            return Ok(());
+        }
+        let idx = self.len();
+        // Grow (or seed) the bounding balls along the concept path so the
+        // best-first descent never prunes a subtree holding the new
+        // record. The centroid is left where the last fit put it; only
+        // the radius grows, which keeps the ball sound (covering) even
+        // though it is no longer minimal.
+        for node in self.hierarchy.path(scene_node) {
+            if self.hierarchy.node(node).kind == NodeKind::Root {
+                continue;
+            }
+            match self.node_ball.get_mut(&node) {
+                Some((centroid, radius)) => {
+                    let d = centroid
+                        .iter()
+                        .zip(features.iter())
+                        .map(|(&c, &x)| (c as f64 - x as f64).powi(2))
+                        .sum::<f64>()
+                        .sqrt();
+                    *radius = if d.is_finite() {
+                        radius.max(d * (1.0 + 1e-9) + 1e-9)
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                None => {
+                    self.node_ball.insert(node, (features.clone(), 1e-9));
+                }
+            }
+        }
+        // Seed routing structures for nodes this record newly populates;
+        // already-fit subspaces and centres stay frozen until compaction.
+        for node in self.hierarchy.path(scene_node) {
+            let kind = self.hierarchy.node(node).kind;
+            let dims = match kind {
+                NodeKind::Root => continue,
+                NodeKind::Cluster => self.config.cluster_dims,
+                NodeKind::SubCluster => self.config.subcluster_dims,
+                NodeKind::Scene => self.config.scene_dims,
+            };
+            if self.node_subspace.contains_key(&node) {
+                continue;
+            }
+            let subspace = Subspace::top_variance(&[features.as_slice()], dims);
+            if kind != NodeKind::Scene {
+                let projected = subspace.project(&features);
+                self.node_centers
+                    .insert(node, MultiCenter::fit(&[projected], self.config.centers));
+            }
+            self.node_subspace.insert(node, subspace);
+        }
+        // Leaf structures: hash cell, population list, running routing
+        // mean (an online mean over the leaf's projected population).
+        let projected = self.node_subspace[&scene_node].project(&features);
+        self.leaf_index
+            .entry(scene_node)
+            .or_default()
+            .insert(&projected, shot);
+        let pop = self.leaf_records.entry(scene_node).or_default();
+        pop.push(idx);
+        let n = pop.len() as f32;
+        if let Some(mean) = self.leaf_mean.get_mut(&scene_node) {
+            for (m, p) in mean.iter_mut().zip(projected.iter()) {
+                *m += (*p - *m) / n;
+            }
+        } else {
+            self.leaf_mean.insert(scene_node, projected);
+        }
+        // The record itself. The quantized block stays frozen over the
+        // base prefix; flat scans score the tail exactly, so results
+        // stay identical to a rebuilt index.
+        self.shot_lookup.insert(shot, idx);
+        self.tail.push(ShotRecord {
+            shot,
+            features,
+            event,
+            scene_node,
+        });
+        self.drift += 1;
+        self.refresh_cost_model();
+        Ok(())
+    }
+
+    /// Records appended incrementally since the last full fit
+    /// ([`Self::build`] or [`Self::compact`]). The staleness measure a
+    /// background compaction job compares against its threshold.
+    pub fn drift(&self) -> usize {
+        self.drift
+    }
+
+    /// Whether the index structures are current (searchable without a
+    /// [`Self::build`]). Incremental appends keep this true.
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Full re-fit — the compaction job's core. Unlike [`Self::build`]
+    /// (which is idempotent and no-ops on a built database) this always
+    /// re-runs the per-node subspace/centre fits and re-freezes the
+    /// quantized block over the consolidated record set, folding the
+    /// incremental drift back in. Resets [`Self::drift`] to zero.
+    pub fn compact(&mut self) {
+        self.built = false;
+        self.build();
+    }
+
+    /// Re-derives the Eq. 24–25 cost model from the live populated
+    /// structures after an incremental append (counts only — the
+    /// per-level dimensionalities are configuration).
+    fn refresh_cost_model(&mut self) {
+        let (mut clusters, mut subclusters) = (0usize, 0usize);
+        for node in self.hierarchy.nodes() {
+            if !self.node_ball.contains_key(&node.id) {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Cluster => clusters += 1,
+                NodeKind::SubCluster => subclusters += 1,
+                _ => {}
+            }
+        }
+        let scenes = self.leaf_records.len();
+        let total = self.len();
+        self.cost_model = self.feature_len().map(|full_dims| CostModel {
+            total_records: total,
+            full_dims,
+            cluster: LevelStats {
+                nodes: clusters,
+                centers: self.config.centers,
+                dims: self.config.cluster_dims,
+            },
+            subcluster: LevelStats {
+                nodes: subclusters,
+                centers: self.config.centers,
+                dims: self.config.subcluster_dims,
+            },
+            scene: LevelStats {
+                nodes: scenes,
+                centers: 1,
+                dims: self.config.scene_dims,
+            },
+            avg_leaf_population: total as f64 / scenes.max(1) as f64,
+        });
     }
 
     /// The first subcluster of the first cluster (the default ingest target
@@ -423,14 +625,23 @@ impl VideoDatabase {
         }
         let _span = rec.span(Stage::IndexBuild);
         self.build();
-        rec.incr(counters::INDEX_SHOTS, self.records.len() as u64);
+        rec.incr(counters::INDEX_SHOTS, self.len() as u64);
     }
 
-    /// Builds all per-node index structures. Idempotent.
+    /// Builds all per-node index structures. Idempotent. Consolidates the
+    /// incremental tail into the shared base prefix first, so a build (or
+    /// [`Self::compact`]) is the moment record storage re-freezes.
     pub fn build(&mut self) {
         if self.built {
             return;
         }
+        if !self.tail.is_empty() {
+            let mut all = Vec::with_capacity(self.len());
+            all.extend(self.base.iter().cloned());
+            all.append(&mut self.tail);
+            self.base = Arc::new(all);
+        }
+        let records = Arc::clone(&self.base);
         self.node_subspace.clear();
         self.node_centers.clear();
         self.leaf_index.clear();
@@ -441,7 +652,7 @@ impl VideoDatabase {
         self.cost_model = None;
         // Population per node = records below it.
         let mut node_population: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, r) in self.records.iter().enumerate() {
+        for (i, r) in records.iter().enumerate() {
             for node in self.hierarchy.path(r.scene_node) {
                 node_population.entry(node).or_default().push(i);
             }
@@ -458,7 +669,7 @@ impl VideoDatabase {
             };
             let vectors: Vec<&[f32]> = pop
                 .iter()
-                .map(|&i| self.records[i].features.as_slice())
+                .map(|&i| records[i].features.as_slice())
                 .collect();
             if let Some(ball) = bounding_ball(&vectors) {
                 self.node_ball.insert(node.id, ball);
@@ -468,15 +679,12 @@ impl VideoDatabase {
                 NodeKind::Scene => {
                     let mut index = ShotHashIndex::new();
                     for &i in pop {
-                        index.insert(
-                            &subspace.project(&self.records[i].features),
-                            self.records[i].shot,
-                        );
+                        index.insert(&subspace.project(&records[i].features), records[i].shot);
                     }
                     self.leaf_index.insert(node.id, index);
                     self.leaf_records.insert(node.id, pop.clone());
                     if let Some(mean) = mean_projected(
-                        pop.iter().map(|&i| self.records[i].features.as_slice()),
+                        pop.iter().map(|&i| records[i].features.as_slice()),
                         &subspace,
                     ) {
                         self.leaf_mean.insert(node.id, mean);
@@ -493,8 +701,8 @@ impl VideoDatabase {
         }
         // Quantized SoA block over the whole corpus for the flat-scan
         // kernel (None when the corpus refuses to quantize — f32 fallback).
-        let all: Vec<&[f32]> = self.records.iter().map(|r| r.features.as_slice()).collect();
-        self.quant = QuantizedBlock::build(&all);
+        let all: Vec<&[f32]> = records.iter().map(|r| r.features.as_slice()).collect();
+        self.quant = QuantizedBlock::build(&all).map(Arc::new);
         // Live Eq. 24–25 cost model from the populated hierarchy.
         let (mut clusters, mut subclusters, mut scenes, mut leaf_pop) = (0usize, 0usize, 0usize, 0usize);
         for node in self.hierarchy.nodes() {
@@ -512,7 +720,7 @@ impl VideoDatabase {
             }
         }
         self.cost_model = self.feature_len().map(|full_dims| CostModel {
-            total_records: self.records.len(),
+            total_records: self.len(),
             full_dims,
             cluster: LevelStats {
                 nodes: clusters,
@@ -531,6 +739,7 @@ impl VideoDatabase {
             },
             avg_leaf_population: leaf_pop as f64 / scenes.max(1) as f64,
         });
+        self.drift = 0;
         self.built = true;
     }
 
@@ -575,8 +784,11 @@ impl VideoDatabase {
         stats: &mut RetrievalStats,
     ) -> Vec<QueryResult> {
         if self.built {
-            if let Some(block) = self.quant.as_ref() {
-                let usable = block.len() == self.records.len()
+            if let Some(block) = self.quant.as_deref() {
+                // The block must cover exactly the frozen base prefix;
+                // appended tail records are scored exactly by the merge
+                // inside `quantized_flat`.
+                let usable = block.len() == self.base.len()
                     && block.dims() == query.len()
                     && query.iter().all(|x| x.is_finite());
                 if usable {
@@ -585,8 +797,7 @@ impl VideoDatabase {
             }
         }
         let mut hits: Vec<QueryResult> = self
-            .records
-            .iter()
+            .records_iter()
             .filter(|r| self.accessible(r, user))
             .map(|r| {
                 stats.comparisons += 1;
@@ -612,12 +823,15 @@ impl VideoDatabase {
         hits
     }
 
-    /// Quantized Eq. 24: integer kernel over the SoA block, then exact f32
-    /// re-rank of the records whose distance bounds still admit the top-k.
-    /// Counter semantics match the scalar scan (`comparisons`/`ranked` =
-    /// accessible records considered) so Eq. 24/25 comparisons stay
-    /// meaningful; the kernel's own work lands in `quantized_comparisons`
-    /// and `rerank_candidates`.
+    /// Quantized Eq. 24: integer kernel over the SoA block (the frozen
+    /// base prefix), then exact f32 re-rank of the records whose distance
+    /// bounds still admit the top-k, plus an exact scan of the incremental
+    /// tail (records appended after the block froze) — both merge under
+    /// the same tie-break, so results are bit-identical to the scalar
+    /// scan. Counter semantics match the scalar scan
+    /// (`comparisons`/`ranked` = accessible records considered); the
+    /// kernel's own work lands in `quantized_comparisons` and
+    /// `rerank_candidates`.
     fn quantized_flat(
         &self,
         block: &QuantizedBlock,
@@ -627,11 +841,17 @@ impl VideoDatabase {
         stats: &mut RetrievalStats,
     ) -> Vec<QueryResult> {
         let elig: Vec<bool> = self
-            .records
+            .base
             .iter()
             .map(|r| self.accessible(r, user))
             .collect();
-        let eligible = elig.iter().filter(|&&e| e).count();
+        let tail_elig: Vec<bool> = self
+            .tail
+            .iter()
+            .map(|r| self.accessible(r, user))
+            .collect();
+        let eligible = elig.iter().filter(|&&e| e).count()
+            + tail_elig.iter().filter(|&&e| e).count();
         stats.comparisons += eligible;
         stats.ranked += eligible;
         stats.dims_touched += eligible * block.dims();
@@ -644,13 +864,22 @@ impl VideoDatabase {
         let mut hits: Vec<QueryResult> = pool
             .into_iter()
             .map(|i| {
-                let r = &self.records[i];
+                let r = &self.base[i];
                 QueryResult {
                     shot: r.shot,
                     distance: sq_dist(query, &r.features),
                 }
             })
             .collect();
+        for (j, r) in self.tail.iter().enumerate() {
+            if tail_elig[j] {
+                stats.rerank_candidates += 1;
+                hits.push(QueryResult {
+                    shot: r.shot,
+                    distance: sq_dist(query, &r.features),
+                });
+            }
+        }
         hits.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)
@@ -744,7 +973,7 @@ impl VideoDatabase {
                     continue;
                 };
                 for &i in pop {
-                    let r = &self.records[i];
+                    let r = self.rec(i);
                     if !self.accessible(r, user) {
                         continue;
                     }
@@ -857,7 +1086,7 @@ impl VideoDatabase {
         let mut hits: Vec<QueryResult> = candidates
             .into_iter()
             .filter_map(|shot| {
-                let r = &self.records[self.shot_lookup[&shot]];
+                let r = self.rec(self.shot_lookup[&shot]);
                 if !self.accessible(r, user) {
                     return None;
                 }
@@ -1135,6 +1364,153 @@ mod tests {
             })
             .is_none());
         assert_eq!(db.len(), 50);
+    }
+
+    /// Flat and planned results after incremental appends must be
+    /// bit-identical to a from-scratch database over the same records.
+    fn assert_search_identical(incremental: &VideoDatabase, queries: &[Vec<f32>]) {
+        let mut rebuilt = VideoDatabase::new(incremental.hierarchy().clone(), incremental.config());
+        for r in incremental.records_iter() {
+            rebuilt
+                .try_insert_shot(r.shot, r.features.clone(), r.event, r.scene_node)
+                .unwrap();
+        }
+        rebuilt.build();
+        for q in queries {
+            let (a, _) = incremental.flat_search(q, 7, None);
+            let (b, _) = rebuilt.flat_search(q, 7, None);
+            assert_eq!(a, b, "flat results diverged");
+            let (a, _) = incremental.planned_search(q, 7, None);
+            let (b, _) = rebuilt.planned_search(q, 7, None);
+            assert_eq!(a, b, "planned results diverged");
+        }
+    }
+
+    #[test]
+    fn append_shot_keeps_results_identical_to_rebuild() {
+        let (mut db, queries) = synthetic_db(120, 7);
+        let scenes = db.hierarchy().scene_nodes();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut extra_queries = queries.clone();
+        for i in 0..40 {
+            let node = scenes[(i * 3) % scenes.len()];
+            let mut f = vec![0.0f32; 266];
+            let base = (node.0 * 11) % 260;
+            f[base] = 0.7 + rng.gen_range(-0.05..0.05);
+            f[(base + 5) % 266] = 0.3;
+            db.append_shot(
+                ShotRef {
+                    video: VideoId(9),
+                    shot: ShotId(i),
+                },
+                f.clone(),
+                EventKind::Dialog,
+                node,
+            )
+            .unwrap();
+            if i % 13 == 0 {
+                extra_queries.push(f);
+            }
+        }
+        assert!(db.is_built(), "appends keep the index serving");
+        assert_eq!(db.drift(), 40);
+        assert_eq!(db.len(), 160);
+        assert_search_identical(&db, &extra_queries);
+    }
+
+    #[test]
+    fn compact_folds_drift_back_in() {
+        let (mut db, queries) = synthetic_db(80, 8);
+        let scenes = db.hierarchy().scene_nodes();
+        for i in 0..10 {
+            let mut f = vec![0.0f32; 266];
+            f[(i * 13) % 266] = 1.0;
+            db.append_shot(
+                ShotRef {
+                    video: VideoId(5),
+                    shot: ShotId(i),
+                },
+                f,
+                EventKind::Presentation,
+                scenes[i % scenes.len()],
+            )
+            .unwrap();
+        }
+        assert_eq!(db.drift(), 10);
+        db.compact();
+        assert_eq!(db.drift(), 0);
+        assert!(db.is_built());
+        assert_eq!(db.len(), 90);
+        assert_search_identical(&db, &queries);
+        // After compaction the quantized block covers everything again.
+        assert!(db.quantized_bytes() > 0);
+    }
+
+    #[test]
+    fn append_into_empty_built_database_is_searchable() {
+        let mut db = VideoDatabase::medical();
+        db.build();
+        let scenes = db.hierarchy().scene_nodes();
+        let mut f = vec![0.0f32; 266];
+        f[4] = 1.0;
+        db.append_shot(
+            ShotRef {
+                video: VideoId(0),
+                shot: ShotId(0),
+            },
+            f.clone(),
+            EventKind::Dialog,
+            scenes[0],
+        )
+        .unwrap();
+        let (hits, _) = db.planned_search(&f, 3, None);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].distance < 1e-9);
+        let (hits, _) = db.hierarchical_search(&f, 3, None);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn append_rejects_invalid_records() {
+        let (mut db, _) = synthetic_db(10, 9);
+        let scenes = db.hierarchy().scene_nodes();
+        let dupe = ShotRef {
+            video: VideoId(0),
+            shot: ShotId(0),
+        };
+        assert!(matches!(
+            db.append_shot(dupe, vec![0.0; 266], EventKind::Dialog, scenes[0]),
+            Err(RecordError::DuplicateShot(_))
+        ));
+        let fresh = ShotRef {
+            video: VideoId(9),
+            shot: ShotId(9),
+        };
+        assert!(matches!(
+            db.append_shot(fresh, vec![0.0; 3], EventKind::Dialog, scenes[0]),
+            Err(RecordError::DimensionMismatch { .. })
+        ));
+        assert_eq!(db.drift(), 0, "rejected appends leave no drift");
+    }
+
+    #[test]
+    fn epoch_clones_share_record_storage() {
+        let (db, _) = synthetic_db(50, 10);
+        let mut next = db.clone();
+        let scenes = db.hierarchy().scene_nodes();
+        next.append_shot(
+            ShotRef {
+                video: VideoId(3),
+                shot: ShotId(0),
+            },
+            vec![0.5; 266],
+            EventKind::Dialog,
+            scenes[0],
+        )
+        .unwrap();
+        // The frozen prefix is the same allocation in both generations.
+        assert!(Arc::ptr_eq(&db.base, &next.base));
+        assert_eq!(db.len() + 1, next.len());
     }
 
     #[test]

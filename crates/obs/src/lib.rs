@@ -165,6 +165,18 @@ pub mod counters {
     pub const CLUSTER_FENCED_WRITES: &str = "cluster_fenced_writes";
     /// Records handed from an old shard to a new one during a split.
     pub const CLUSTER_MOVED_RECORDS: &str = "cluster_moved_records";
+    /// Jobs durably enqueued on the background job queue.
+    pub const JOBS_SUBMITTED: &str = "jobs_submitted";
+    /// Background jobs finished successfully.
+    pub const JOBS_COMPLETED: &str = "jobs_completed";
+    /// Background jobs terminally failed (retry budget exhausted).
+    pub const JOBS_FAILED: &str = "jobs_failed";
+    /// Job attempts re-queued with backoff after an explicit failure.
+    pub const JOBS_RETRIES: &str = "jobs_retries";
+    /// Job leases that expired and were handed to another worker.
+    pub const JOBS_LEASE_EXPIRIES: &str = "jobs_lease_expiries";
+    /// Index compaction passes published by the background job worker.
+    pub const JOBS_COMPACTIONS: &str = "jobs_compactions";
 }
 
 /// Names of the value histograms the serving layer records (dimensionless
@@ -178,4 +190,10 @@ pub mod values {
     /// Follower replication lag (leader seq minus applied seq), sampled
     /// after each fetch cycle.
     pub const REPLICATION_LAG: &str = "replication_lag";
+    /// Background-job queue depth (queued + leased), sampled by the job
+    /// worker each poll.
+    pub const JOBS_QUEUE_DEPTH: &str = "jobs_queue_depth";
+    /// Appends since the serving index's last full re-fit, sampled by the
+    /// job worker each poll.
+    pub const INDEX_DRIFT: &str = "index_drift";
 }

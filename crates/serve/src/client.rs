@@ -1,6 +1,6 @@
 //! Blocking client for the `medvid-serve/v1` protocol.
 
-use crate::protocol::{self, IngestShot, QueryRequest, Request, Response};
+use crate::protocol::{self, IngestShot, QueryRequest, Request, Response, WireJobKind};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -134,6 +134,23 @@ impl<S: Read + Write> Client<S> {
     /// Propagates I/O and framing failures.
     pub fn restore(&mut self, path: impl Into<String>) -> io::Result<Response> {
         self.request(&Request::Restore { path: path.into() })
+    }
+
+    /// Enqueues background work on the server's durable job queue.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn submit_job(&mut self, kind: WireJobKind) -> io::Result<Response> {
+        self.request(&Request::SubmitJob { kind })
+    }
+
+    /// Fetches job status: one job by id, or the whole queue when `id` is
+    /// `None`.
+    ///
+    /// # Errors
+    /// Propagates I/O and framing failures.
+    pub fn job_status(&mut self, id: Option<u64>) -> io::Result<Response> {
+        self.request(&Request::JobStatus { id })
     }
 
     /// Requests a graceful drain.

@@ -1,0 +1,484 @@
+//! The server-side job worker: executes queued background work against
+//! the [`DbService`], checkpointing progress into the durable job queue
+//! so a crashed worker's successor resumes instead of restarting.
+//!
+//! Two job kinds exist today:
+//!
+//! * **Ingest** — index a batch of mined shots in chunks of
+//!   [`JobsConfig::ingest_chunk`], heartbeating and writing one step
+//!   checkpoint per chunk. A chunk that was already applied by a crashed
+//!   predecessor (its shots are indexed, but the checkpoint after them
+//!   never made it to the log) surfaces as duplicate-shot rejections; the
+//!   worker then re-applies that chunk shot by shot, skipping the
+//!   duplicates, so re-delivery is exactly-once in effect.
+//! * **Compaction** — [`DbService::compact`]: re-run the full PCS/merge
+//!   fit over the drifted index off-lock and publish the rebuilt
+//!   hierarchy as one epoch bump. The worker auto-submits one whenever
+//!   the serving index's drift passes [`JobsConfig::drift_threshold`]
+//!   and no compaction is already queued or running.
+//!
+//! The worker core ([`run_one`]) is a plain function over an injectable
+//! clock and an optional kill switch ([`JobWorkerCtx::kill_after_steps`]),
+//! so the chaos suite can murder a worker mid-job deterministically and
+//! prove the TTL-lease handover resumes from the last checkpoint.
+
+use crate::protocol::{IngestShot, JobsStatus, WireJobKind, WireJobStatus};
+use crate::service::{DbService, IngestError};
+use medvid_index::RecordError;
+use medvid_jobs::{BackoffPolicy, JobId, JobKind, JobQueue, JobStatusView, LeasedJob};
+use medvid_obs::{counters, values, Recorder};
+use medvid_store::StoredShot;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Version stamped on submitted jobs. Bump when the mining pipeline's
+/// intermediate representation changes shape: recovery then discards
+/// step checkpoints written by the older pipeline instead of resuming
+/// into incompatible state.
+pub const PIPELINE_VERSION: u32 = 1;
+
+/// Job-worker tuning.
+#[derive(Debug, Clone)]
+pub struct JobsConfig {
+    /// How long a claim holds a job without a heartbeat.
+    pub lease_ttl: Duration,
+    /// Idle poll interval of the worker thread.
+    pub poll: Duration,
+    /// Auto-submit a compaction job once the serving index has this many
+    /// appends since its last full re-fit.
+    pub drift_threshold: usize,
+    /// Retry budget and backoff schedule for failed jobs.
+    pub backoff: BackoffPolicy,
+    /// Shots applied per step checkpoint of an ingest job.
+    pub ingest_chunk: usize,
+}
+
+impl Default for JobsConfig {
+    fn default() -> Self {
+        JobsConfig {
+            lease_ttl: Duration::from_secs(5),
+            poll: Duration::from_millis(50),
+            drift_threshold: 1024,
+            backoff: BackoffPolicy::default(),
+            ingest_chunk: 256,
+        }
+    }
+}
+
+/// The queue plus the worker-side counters that outlive any one job.
+pub struct JobsRuntime {
+    /// The shared queue; the worker thread and the dispatch path both
+    /// lock it briefly (claims, submissions, status reads — never while
+    /// executing a job's actual work).
+    pub queue: Mutex<JobQueue>,
+    /// Compaction passes published since startup.
+    pub compactions: AtomicU64,
+}
+
+impl JobsRuntime {
+    /// Wraps an opened queue.
+    pub fn new(queue: JobQueue) -> Self {
+        JobsRuntime {
+            queue: Mutex::new(queue),
+            compactions: AtomicU64::new(0),
+        }
+    }
+
+    /// The metrics-snapshot projection: queue stats plus compaction count
+    /// and the serving index's current drift.
+    pub fn status(&self, drift: usize) -> JobsStatus {
+        let s = self.queue.lock().stats();
+        JobsStatus {
+            queued: s.queued,
+            leased: s.leased,
+            completed: s.completed,
+            failed: s.failed,
+            retries: s.retries,
+            lease_expiries: s.lease_expiries,
+            compactions: self.compactions.load(Ordering::Relaxed),
+            drift: drift as u64,
+        }
+    }
+}
+
+/// Converts a wire-level submission into the queue's durable job kind.
+pub fn wire_to_kind(kind: WireJobKind) -> JobKind {
+    match kind {
+        WireJobKind::Compaction => JobKind::Compaction,
+        WireJobKind::Ingest { shots } => JobKind::Ingest {
+            shots: shots
+                .iter()
+                .map(|s| StoredShot {
+                    video: s.video,
+                    shot: s.shot,
+                    features: s.features.clone(),
+                    event: s.event,
+                    scene_node: s.scene_node,
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Projects a queue-side status view onto the wire schema.
+pub fn view_to_wire(view: &JobStatusView) -> WireJobStatus {
+    WireJobStatus {
+        id: view.id,
+        kind: view.kind.clone(),
+        state: view.state.clone(),
+        attempts: view.attempts,
+        step: view.step,
+        cursor: view.cursor,
+        error: view.error.clone(),
+        pipeline_version: view.pipeline_version,
+    }
+}
+
+fn to_ingest(s: &StoredShot) -> IngestShot {
+    IngestShot {
+        video: s.video,
+        shot: s.shot,
+        features: s.features.clone(),
+        event: s.event,
+        scene_node: s.scene_node,
+    }
+}
+
+/// Everything one worker pass needs. Borrowed so tests can drive several
+/// workers over one service/queue pair with different clocks and kill
+/// switches.
+pub struct JobWorkerCtx<'a> {
+    /// The service jobs execute against.
+    pub service: &'a DbService,
+    /// The shared job queue.
+    pub queue: &'a Mutex<JobQueue>,
+    /// This worker's lease identity.
+    pub worker: &'a str,
+    /// Millisecond clock (injectable: chaos tests advance it past lease
+    /// TTLs without sleeping).
+    pub clock: &'a (dyn Fn() -> u64 + Sync),
+    /// Shots applied per step checkpoint of an ingest job.
+    pub ingest_chunk: usize,
+    /// Test hook: abandon the job without failing it after this many step
+    /// checkpoints — exactly what a crashed worker thread looks like to
+    /// the queue (the lease simply stops being serviced).
+    pub kill_after_steps: Option<u32>,
+    /// Counter sink.
+    pub recorder: &'a Recorder,
+    /// Compaction-pass counter, shared with the metrics snapshot.
+    pub compactions: &'a AtomicU64,
+}
+
+/// Claims and runs at most one job. Returns the claimed job's id, or
+/// `None` when nothing was runnable. A worker killed by
+/// [`JobWorkerCtx::kill_after_steps`] also returns the id — the job is
+/// left leased, to be taken over after the TTL.
+pub fn run_one(ctx: &JobWorkerCtx) -> Option<JobId> {
+    let lease = match ctx.queue.lock().claim(ctx.worker, (ctx.clock)()) {
+        Ok(l) => l?,
+        Err(_) => return None,
+    };
+    let id = lease.id;
+    match &lease.kind {
+        JobKind::Compaction => run_compaction(ctx, &lease),
+        JobKind::Ingest { shots } => run_ingest(ctx, &lease, shots),
+    }
+    Some(id)
+}
+
+fn run_compaction(ctx: &JobWorkerCtx, lease: &LeasedJob) {
+    match ctx.service.compact() {
+        Ok(outcome) => {
+            if outcome.is_some() {
+                ctx.compactions.fetch_add(1, Ordering::Relaxed);
+                ctx.recorder.incr(counters::JOBS_COMPACTIONS, 1);
+            }
+            // `None` (no drift, or a racing restore) completes too: the
+            // job's goal — no un-folded drift from before its submission —
+            // holds either way.
+            finish(ctx, lease.id, Ok(()));
+        }
+        Err(e) => finish(ctx, lease.id, Err(format!("compaction checkpoint: {e}"))),
+    }
+}
+
+fn run_ingest(ctx: &JobWorkerCtx, lease: &LeasedJob, shots: &[StoredShot]) {
+    let chunk = ctx.ingest_chunk.max(1);
+    // Resume after the last durable checkpoint: `cursor` shots are known
+    // applied AND checkpointed; anything past that re-applies below.
+    let start = lease.resume.map(|(_, c)| c as usize).unwrap_or(0);
+    let mut step = lease.resume.map(|(s, _)| s + 1).unwrap_or(0);
+    let mut applied = start.min(shots.len());
+    let mut steps_done = 0u32;
+    while applied < shots.len() {
+        let end = (applied + chunk).min(shots.len());
+        let batch: Vec<IngestShot> = shots[applied..end].iter().map(to_ingest).collect();
+        if let Err(e) = apply_chunk(ctx.service, &batch) {
+            finish(ctx, lease.id, Err(e));
+            return;
+        }
+        applied = end;
+        if ctx.kill_after_steps.is_some_and(|k| steps_done >= k) {
+            // Simulated crash at the nastiest instant: the chunk's shots
+            // are in the index, but the checkpoint recording them never
+            // reaches the log. The lease is left intact, exactly like a
+            // worker thread that died.
+            return;
+        }
+        let mut queue = ctx.queue.lock();
+        let now = (ctx.clock)();
+        if queue.heartbeat(lease.id, ctx.worker, now).is_err() {
+            // Lease lost (expired and re-claimed): abandon silently — the
+            // new holder owns the job now, and every shot we applied is
+            // visible to it as skippable duplicates.
+            return;
+        }
+        if queue
+            .checkpoint_step(lease.id, ctx.worker, step, applied as u64)
+            .is_err()
+        {
+            return;
+        }
+        step += 1;
+        steps_done += 1;
+    }
+    finish(ctx, lease.id, Ok(()));
+}
+
+/// Applies one chunk through the service. A duplicate-shot rejection
+/// means a crashed predecessor already applied some of this chunk (the
+/// batch is all-or-nothing, so nothing else from it landed); re-apply
+/// shot by shot, skipping exactly the duplicates.
+fn apply_chunk(service: &DbService, batch: &[IngestShot]) -> Result<(), String> {
+    match service.ingest(batch) {
+        Ok(_) => Ok(()),
+        Err(IngestError::Record {
+            error: RecordError::DuplicateShot(_),
+            ..
+        }) => {
+            for shot in batch {
+                match service.ingest(std::slice::from_ref(shot)) {
+                    Ok(_)
+                    | Err(IngestError::Record {
+                        error: RecordError::DuplicateShot(_),
+                        ..
+                    }) => {}
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn finish(ctx: &JobWorkerCtx, id: JobId, result: Result<(), String>) {
+    let mut queue = ctx.queue.lock();
+    let now = (ctx.clock)();
+    match result {
+        Ok(()) => {
+            if queue.complete(id, ctx.worker).is_ok() {
+                ctx.recorder.incr(counters::JOBS_COMPLETED, 1);
+            }
+        }
+        Err(e) => {
+            if queue.fail(id, ctx.worker, &e, now).is_ok() {
+                let view = queue.status(id);
+                if view.is_some_and(|v| v.state == "failed") {
+                    ctx.recorder.incr(counters::JOBS_FAILED, 1);
+                } else {
+                    ctx.recorder.incr(counters::JOBS_RETRIES, 1);
+                }
+            }
+        }
+    }
+}
+
+/// Auto-submits a compaction job when the serving index's drift passed
+/// `threshold` and none is already queued or running. Returns the
+/// submitted id, if any.
+pub fn maybe_submit_compaction(
+    service: &DbService,
+    queue: &Mutex<JobQueue>,
+    threshold: usize,
+    now_ms: u64,
+    recorder: &Recorder,
+) -> Option<JobId> {
+    if threshold == 0 || service.drift() < threshold {
+        return None;
+    }
+    let mut queue = queue.lock();
+    let pending = queue
+        .list()
+        .iter()
+        .any(|j| j.kind == "compaction" && (j.state == "queued" || j.state == "leased"));
+    if pending {
+        return None;
+    }
+    match queue.submit(JobKind::Compaction, now_ms) {
+        Ok(id) => {
+            recorder.incr(counters::JOBS_SUBMITTED, 1);
+            Some(id)
+        }
+        Err(_) => None,
+    }
+}
+
+/// Samples queue depth and index drift into the value histograms (one
+/// worker-poll tick's observability).
+pub fn sample_gauges(service: &DbService, queue: &Mutex<JobQueue>, recorder: &Recorder) {
+    let stats = queue.lock().stats();
+    recorder.record_value(values::JOBS_QUEUE_DEPTH, stats.queued + stats.leased);
+    recorder.record_value(values::INDEX_DRIFT, service.drift() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvid_index::VideoDatabase;
+    use medvid_jobs::QueueConfig;
+    use medvid_types::{EventKind, ShotId, VideoId};
+
+    fn stored(i: usize, db: &VideoDatabase) -> StoredShot {
+        let scenes = db.hierarchy().scene_nodes();
+        let mut f = vec![0.0f32; 266];
+        f[i % 266] = 1.0;
+        StoredShot {
+            video: VideoId(7),
+            shot: ShotId(i),
+            features: f,
+            event: EventKind::Dialog,
+            scene_node: scenes[i % scenes.len()],
+        }
+    }
+
+    fn ctx<'a>(
+        service: &'a DbService,
+        queue: &'a Mutex<JobQueue>,
+        worker: &'a str,
+        clock: &'a (dyn Fn() -> u64 + Sync),
+        recorder: &'a Recorder,
+        compactions: &'a AtomicU64,
+        kill_after_steps: Option<u32>,
+    ) -> JobWorkerCtx<'a> {
+        JobWorkerCtx {
+            service,
+            queue,
+            worker,
+            clock,
+            ingest_chunk: 4,
+            kill_after_steps,
+            recorder,
+            compactions,
+        }
+    }
+
+    #[test]
+    fn ingest_job_runs_in_checkpointed_chunks() {
+        let service = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let queue = Mutex::new(JobQueue::in_memory(QueueConfig::default()));
+        let shots: Vec<_> = (0..10).map(|i| stored(i, &service.snapshot().db)).collect();
+        let id = queue
+            .lock()
+            .submit(JobKind::Ingest { shots }, 0)
+            .unwrap();
+        let recorder = Recorder::disabled();
+        let compactions = AtomicU64::new(0);
+        let clock = || 0u64;
+        let c = ctx(&service, &queue, "w", &clock, &recorder, &compactions, None);
+        assert_eq!(run_one(&c), Some(id));
+        let view = queue.lock().status(id).unwrap();
+        assert_eq!(view.state, "completed");
+        assert_eq!(view.cursor, Some(10), "final checkpoint covers the batch");
+        assert_eq!(service.snapshot().db.len(), 10);
+        // Chunked at 4: checkpoints at 4, 8, 10 → last step index 2.
+        assert_eq!(view.step, Some(2));
+    }
+
+    #[test]
+    fn killed_worker_leaves_the_lease_for_a_successor_to_resume() {
+        let service = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let queue = Mutex::new(JobQueue::in_memory(QueueConfig::default()));
+        let shots: Vec<_> = (0..12).map(|i| stored(i, &service.snapshot().db)).collect();
+        let id = queue
+            .lock()
+            .submit(JobKind::Ingest { shots }, 0)
+            .unwrap();
+        let recorder = Recorder::disabled();
+        let compactions = AtomicU64::new(0);
+
+        // Worker A dies after one checkpoint (4 shots applied + logged).
+        let clock_a = || 0u64;
+        let a = ctx(&service, &queue, "a", &clock_a, &recorder, &compactions, Some(1));
+        assert_eq!(run_one(&a), Some(id));
+        assert_eq!(queue.lock().status(id).unwrap().state, "leased");
+        assert_eq!(service.snapshot().db.len(), 8, "a applied 2 chunks, checkpointed 1");
+
+        // Worker B claims after the TTL and resumes from the checkpoint;
+        // the re-applied chunk's duplicates are skipped shot by shot.
+        let clock_b = || 10_000u64;
+        let b = ctx(&service, &queue, "b", &clock_b, &recorder, &compactions, None);
+        assert_eq!(run_one(&b), Some(id));
+        let view = queue.lock().status(id).unwrap();
+        assert_eq!(view.state, "completed");
+        assert_eq!(service.snapshot().db.len(), 12, "every shot exactly once");
+    }
+
+    #[test]
+    fn drift_threshold_auto_submits_one_compaction() {
+        let service = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let queue = Mutex::new(JobQueue::in_memory(QueueConfig::default()));
+        let recorder = Recorder::disabled();
+        // Build, then append past the threshold.
+        let first: Vec<_> = (0..2)
+            .map(|i| to_ingest(&stored(i, &service.snapshot().db)))
+            .collect();
+        service.ingest(&first).unwrap();
+        let more: Vec<_> = (2..8)
+            .map(|i| to_ingest(&stored(i, &service.snapshot().db)))
+            .collect();
+        service.ingest(&more).unwrap();
+        assert_eq!(service.drift(), 6);
+
+        assert!(maybe_submit_compaction(&service, &queue, 4, 0, &recorder).is_some());
+        // Idempotent while one is pending.
+        assert!(maybe_submit_compaction(&service, &queue, 4, 0, &recorder).is_none());
+
+        let compactions = AtomicU64::new(0);
+        let clock = || 0u64;
+        let c = ctx(&service, &queue, "w", &clock, &recorder, &compactions, None);
+        run_one(&c).unwrap();
+        assert_eq!(service.drift(), 0, "compaction folded the drift");
+        assert_eq!(compactions.load(Ordering::Relaxed), 1);
+        // Below threshold now: nothing new submitted.
+        assert!(maybe_submit_compaction(&service, &queue, 4, 0, &recorder).is_none());
+    }
+
+    #[test]
+    fn failing_job_is_retried_then_parked() {
+        // An ingest whose shots reference a bogus scene node fails every
+        // attempt; the queue retries it with backoff, then parks it.
+        let service = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let queue = Mutex::new(JobQueue::in_memory(QueueConfig::default()));
+        let mut bad = stored(0, &service.snapshot().db);
+        bad.scene_node = service.snapshot().db.hierarchy().root();
+        let id = queue
+            .lock()
+            .submit(JobKind::Ingest { shots: vec![bad] }, 0)
+            .unwrap();
+        let recorder = Recorder::disabled();
+        let compactions = AtomicU64::new(0);
+        let max = queue.lock().config().backoff.max_attempts;
+        for round in 0..max {
+            let now = u64::from(round) * 1_000_000;
+            let clock = move || now;
+            let c = ctx(&service, &queue, "w", &clock, &recorder, &compactions, None);
+            assert_eq!(run_one(&c), Some(id), "round {round} claims the job");
+        }
+        let view = queue.lock().status(id).unwrap();
+        assert_eq!(view.state, "failed");
+        assert!(view.error.unwrap().contains("not a scene node"));
+        assert_eq!(service.snapshot().db.len(), 0, "nothing ever landed");
+    }
+}

@@ -41,6 +41,7 @@
 pub mod cache;
 pub mod client;
 pub mod executor;
+pub mod jobs;
 pub mod live;
 pub mod loadgen;
 pub mod protocol;
@@ -52,15 +53,17 @@ pub mod trace;
 pub use cache::{CachedResult, QueryKey, ResultCache};
 pub use client::Client;
 pub use executor::Executor;
+pub use jobs::{JobWorkerCtx, JobsConfig, JobsRuntime, PIPELINE_VERSION};
 pub use live::LiveMetrics;
 pub use protocol::{
-    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, KnnKernelStats, MetricsSnapshot,
-    QueryRequest, ReplicationStatus, Request, Response, SlowQueryRecord, StageTiming, TraceReport,
-    WindowSummary, WirePlannedPath, WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    CacheStats, ErrorKind, ExecutorStats, Hit, IngestShot, JobsStatus, KnnKernelStats,
+    MetricsSnapshot, QueryRequest, ReplicationStatus, Request, Response, SlowQueryRecord,
+    StageTiming, TraceReport, WindowSummary, WireJobKind, WireJobStatus, WirePlannedPath,
+    WireStats, WireStrategy, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use retry::{
     connect_with_retry, ClientError, RetryAction, RetryClassifier, RetryPolicy, RetryingClient,
 };
 pub use server::{spawn, spawn_durable, ServerConfig, ServerHandle};
-pub use service::{DbEpoch, DbService, IngestError};
+pub use service::{CompactStats, DbEpoch, DbService, IngestError};
 pub use trace::TraceCtx;

@@ -198,6 +198,58 @@ pub enum Request {
         /// Topology epoch of the promotion (becomes the fence).
         topology_epoch: u64,
     },
+    /// Enqueue background work on the server's durable job queue
+    /// (answered with [`Response::JobSubmitted`] as soon as the
+    /// submission record is logged — the work itself runs on the job
+    /// worker and lands as later epoch bumps).
+    SubmitJob {
+        /// What to run.
+        kind: WireJobKind,
+    },
+    /// Job status: one job by id, or the whole queue when `id` is absent.
+    JobStatus {
+        /// The job to describe; `None` lists every job.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<u64>,
+    },
+}
+
+/// A job submission on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WireJobKind {
+    /// Re-run the full PCS/merge fit over the drifted index and publish
+    /// the rebuilt hierarchy as one epoch bump.
+    Compaction,
+    /// Index a batch of mined shots as checkpointed background work.
+    Ingest {
+        /// The shots to index.
+        shots: Vec<IngestShot>,
+    },
+}
+
+/// Point-in-time status of one background job on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireJobStatus {
+    /// Queue-assigned job id.
+    pub id: u64,
+    /// Kind name (`compaction` / `ingest`).
+    pub kind: String,
+    /// Phase name (`queued` / `leased` / `completed` / `failed`).
+    pub state: String,
+    /// Leases taken so far.
+    pub attempts: u32,
+    /// Last checkpointed step, when any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub step: Option<u32>,
+    /// Last checkpointed progress cursor, when any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cursor: Option<u64>,
+    /// Most recent error, when any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Pipeline version the job was submitted under.
+    pub pipeline_version: u32,
 }
 
 /// Machine-readable error category.
@@ -415,6 +467,28 @@ pub struct ReplicationStatus {
     pub lag: u64,
 }
 
+/// Job-queue health, surfaced through [`MetricsSnapshot`] so `medvid top`
+/// and the Prometheus exposition can watch background work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobsStatus {
+    /// Jobs waiting to run.
+    pub queued: u64,
+    /// Jobs currently held by a worker.
+    pub leased: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs terminally failed.
+    pub failed: u64,
+    /// Attempts re-queued after an explicit failure.
+    pub retries: u64,
+    /// Leases observed expired and handed to another worker.
+    pub lease_expiries: u64,
+    /// Compaction passes published.
+    pub compactions: u64,
+    /// Appends since the serving index's last full re-fit.
+    pub drift: u64,
+}
+
 /// The live metrics snapshot answered to [`Request::Metrics`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -459,6 +533,10 @@ pub struct MetricsSnapshot {
     /// refused with [`ErrorKind::Fenced`]).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub fence_epoch: Option<u64>,
+    /// Job-queue health, present on servers running a job worker (and
+    /// absent on the wire from pre-jobs servers).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub jobs: Option<JobsStatus>,
 }
 
 impl MetricsSnapshot {
@@ -563,6 +641,43 @@ impl MetricsSnapshot {
                 "medvid_replication_lag",
                 "Records acknowledged upstream but not yet applied here",
                 rep.lag as f64,
+            );
+        }
+        if let Some(jobs) = &self.jobs {
+            gauge(
+                "medvid_jobs_queue_depth",
+                "Jobs waiting or running on the background queue",
+                (jobs.queued + jobs.leased) as f64,
+            );
+            gauge(
+                "medvid_jobs_completed_total",
+                "Background jobs finished successfully",
+                jobs.completed as f64,
+            );
+            gauge(
+                "medvid_jobs_failed_total",
+                "Background jobs terminally failed",
+                jobs.failed as f64,
+            );
+            gauge(
+                "medvid_jobs_retries_total",
+                "Job attempts re-queued after a failure",
+                jobs.retries as f64,
+            );
+            gauge(
+                "medvid_jobs_lease_expiries_total",
+                "Job leases that expired and were handed over",
+                jobs.lease_expiries as f64,
+            );
+            gauge(
+                "medvid_jobs_compactions_total",
+                "Compaction passes published",
+                jobs.compactions as f64,
+            );
+            gauge(
+                "medvid_index_drift",
+                "Appends since the serving index's last full re-fit",
+                jobs.drift as f64,
             );
         }
         if let Some(store) = &self.store {
@@ -714,6 +829,17 @@ pub enum Response {
         snapshot: Option<medvid_store::StoreCheckpoint>,
         /// Durable WAL records past the resume point, ascending by seq.
         records: Vec<medvid_store::WalRecord>,
+    },
+    /// A job was durably enqueued, answering [`Request::SubmitJob`].
+    JobSubmitted {
+        /// Queue-assigned job id, for later [`Request::JobStatus`] polls.
+        id: u64,
+    },
+    /// Job statuses, answering [`Request::JobStatus`] (one entry for an
+    /// id lookup that matched, empty for one that did not).
+    Jobs {
+        /// The matching jobs, ascending by id.
+        jobs: Vec<WireJobStatus>,
     },
 }
 
@@ -949,6 +1075,7 @@ mod tests {
             shard: None,
             replication: None,
             fence_epoch: Some(3),
+            jobs: None,
         };
         let text = String::from_utf8(serde_json::to_vec(&snapshot).unwrap()).unwrap();
         assert!(text.contains("\"fence_epoch\":3"), "snapshot carries the fence: {text}");
@@ -980,6 +1107,88 @@ mod tests {
         let bytes = serde_json::to_vec(&Response::Fenced { epoch: 7 }).unwrap();
         let back: Response = serde_json::from_slice(&bytes).unwrap();
         assert!(matches!(back, Response::Fenced { epoch: 7 }));
+    }
+
+    #[test]
+    fn job_verbs_roundtrip_on_the_wire() {
+        if !serde_runtime_available() {
+            return;
+        }
+        let submit = Request::SubmitJob {
+            kind: WireJobKind::Compaction,
+        };
+        let bytes = serde_json::to_vec(&submit).unwrap();
+        let back: Request = serde_json::from_slice(&bytes).unwrap();
+        assert!(matches!(
+            back,
+            Request::SubmitJob {
+                kind: WireJobKind::Compaction
+            }
+        ));
+        // An id-less status poll must not serialise the field (and an
+        // explicit id must survive the roundtrip).
+        let bytes = serde_json::to_vec(&Request::JobStatus { id: None }).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(!text.contains("\"id\""), "absent id must not serialise: {text}");
+        let back: Request = serde_json::from_slice(text.as_bytes()).unwrap();
+        assert!(matches!(back, Request::JobStatus { id: None }));
+        let bytes = serde_json::to_vec(&Request::JobStatus { id: Some(7) }).unwrap();
+        let back: Request = serde_json::from_slice(&bytes).unwrap();
+        assert!(matches!(back, Request::JobStatus { id: Some(7) }));
+
+        let resp = Response::Jobs {
+            jobs: vec![WireJobStatus {
+                id: 1,
+                kind: "ingest".to_string(),
+                state: "leased".to_string(),
+                attempts: 2,
+                step: Some(3),
+                cursor: Some(512),
+                error: None,
+                pipeline_version: 1,
+            }],
+        };
+        let bytes = serde_json::to_vec(&resp).unwrap();
+        let back: Response = serde_json::from_slice(&bytes).unwrap();
+        match back {
+            Response::Jobs { jobs } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(jobs[0].cursor, Some(512));
+                assert_eq!(jobs[0].error, None);
+            }
+            other => panic!("expected jobs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_jobs_metrics_json_still_parses() {
+        if !serde_runtime_available() {
+            return;
+        }
+        // A jobless server's snapshot must not serialise the field, and a
+        // pre-jobs peer's snapshot must deserialise to `jobs: None`.
+        let snapshot = MetricsSnapshot {
+            schema: "test".to_string(),
+            protocol: PROTOCOL_VERSION.to_string(),
+            uptime_secs: 1.0,
+            epoch: 1,
+            records: 0,
+            window: WindowSummary::default(),
+            cache: CacheStats::default(),
+            executor: ExecutorStats::default(),
+            store: None,
+            slow_queries: 0,
+            slow_threshold_ms: 100.0,
+            knn: KnnKernelStats::default(),
+            shard: None,
+            replication: None,
+            fence_epoch: None,
+            jobs: None,
+        };
+        let text = String::from_utf8(serde_json::to_vec(&snapshot).unwrap()).unwrap();
+        assert!(!text.contains("\"jobs\""), "absent jobs must not serialise: {text}");
+        let back: MetricsSnapshot = serde_json::from_slice(text.as_bytes()).unwrap();
+        assert_eq!(back.jobs, None);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 
 use crate::cache::{CachedResult, QueryKey, ResultCache};
 use crate::executor::Executor;
+use crate::jobs::{self, JobsConfig, JobsRuntime};
 use crate::live::{LiveMetrics, DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD};
 use crate::protocol::{
     self, ErrorKind, Hit, KnnKernelStats, MetricsSnapshot, QueryRequest, ReplicationStatus,
     Request, Response, WireStrategy, PROTOCOL_VERSION,
 };
 use crate::service::{DbService, IngestError};
+use medvid_jobs::{JobQueue, QueueConfig};
 use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_CACHE, STAGE_EXECUTE, STAGE_QUEUE_WAIT};
 use medvid_index::{non_finite_index, Clearance, PlannedPath, Strategy, UserContext, VideoDatabase};
 use medvid_obs::{counters, Recorder, Stage};
@@ -71,6 +73,9 @@ pub struct ServerConfig {
     /// Participates in the cache key, so flipping it between restarts can
     /// never serve one path's cached cost profile as another's.
     pub default_strategy: WireStrategy,
+    /// Background job-queue tuning (lease TTL, retry backoff, compaction
+    /// drift threshold, ingest chunking).
+    pub jobs: JobsConfig,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +98,7 @@ impl Default for ServerConfig {
             slow_log_capacity: DEFAULT_SLOW_CAPACITY,
             shard: None,
             default_strategy: WireStrategy::Hierarchical,
+            jobs: JobsConfig::default(),
         }
     }
 }
@@ -144,6 +150,10 @@ struct Shared {
     /// the value only ever rises — via [`Request::Fence`]/
     /// [`Request::Promote`] or an ingest carrying a newer epoch.
     fence: AtomicU64,
+    /// The background job queue plus its worker-side counters. On durable
+    /// servers the queue's log lives next to the store's WAL, so queued
+    /// work survives a restart.
+    jobs: JobsRuntime,
 }
 
 /// Handle to a running server.
@@ -152,6 +162,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     checkpoint_thread: Option<std::thread::JoinHandle<()>>,
+    jobs_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -217,7 +228,8 @@ impl ServerHandle {
     }
 
     /// Waits for the accept loop (and every connection it spawned) to
-    /// finish draining, then for the background checkpointer.
+    /// finish draining, then for the background checkpointer and the job
+    /// worker.
     pub fn join(mut self) {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
@@ -225,18 +237,27 @@ impl ServerHandle {
         if let Some(h) = self.checkpoint_thread.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.jobs_thread.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() || self.checkpoint_thread.is_some() {
+        if self.accept_thread.is_some()
+            || self.checkpoint_thread.is_some()
+            || self.jobs_thread.is_some()
+        {
             begin_shutdown(&self.shared, self.addr);
         }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
         if let Some(h) = self.checkpoint_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.jobs_thread.take() {
             let _ = h.join();
         }
     }
@@ -260,7 +281,7 @@ pub fn spawn(
     recorder: Recorder,
 ) -> io::Result<ServerHandle> {
     let service = DbService::new(db, recorder.clone());
-    spawn_service(service, config, recorder)
+    spawn_service(service, None, config, recorder)
 }
 
 /// Binds and spawns a durable server backed by the store at `dir`.
@@ -289,17 +310,33 @@ pub fn spawn_durable(
     let recovered = Store::open(dir.as_ref(), store_config, initial, recorder.clone())
         .map_err(|e| io::Error::other(e.to_string()))?;
     let service = DbService::durable(recovered.db, recovered.store, recorder.clone());
-    let handle = spawn_service(service, config, recorder)?;
+    let handle = spawn_service(service, Some(dir.as_ref()), config, recorder)?;
     Ok((handle, recovered.report))
 }
 
 fn spawn_service(
     service: DbService,
+    jobs_dir: Option<&Path>,
     config: ServerConfig,
     recorder: Recorder,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let queue_config = QueueConfig {
+        lease_ttl_ms: config.jobs.lease_ttl.as_millis() as u64,
+        backoff: config.jobs.backoff,
+        pipeline_version: jobs::PIPELINE_VERSION,
+        fsync: medvid_store::FsyncPolicy::Always,
+    };
+    // Durable servers put the jobs log next to the store's WAL so queued
+    // work (and mid-job checkpoints) survive a restart; in-memory servers
+    // get a volatile queue.
+    let queue = match jobs_dir {
+        Some(dir) => JobQueue::open(dir, queue_config)
+            .map_err(|e| io::Error::other(format!("jobs log: {e}")))?
+            .0,
+        None => JobQueue::in_memory(queue_config),
+    };
     let shared = Arc::new(Shared {
         service,
         cache: ResultCache::new(config.cache_capacity, recorder.clone()),
@@ -317,6 +354,7 @@ fn spawn_service(
         replication: parking_lot::Mutex::new(None),
         knn: KnnCounters::default(),
         fence: AtomicU64::new(0),
+        jobs: JobsRuntime::new(queue),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -332,12 +370,66 @@ fn spawn_service(
             .name("serve-checkpoint".to_string())
             .spawn(move || checkpoint_loop(&ckpt_shared))?,
     );
+    let jobs_shared = Arc::clone(&shared);
+    let jobs_thread = Some(
+        std::thread::Builder::new()
+            .name("serve-jobs".to_string())
+            .spawn(move || jobs_loop(&jobs_shared))?,
+    );
     Ok(ServerHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
         checkpoint_thread,
+        jobs_thread,
     })
+}
+
+/// Wall-clock milliseconds since the Unix epoch — the job queue's time
+/// base. Consistent across restarts (unlike a monotonic clock), which is
+/// what lease expiries written to a durable log need; recovery releases
+/// crashed holders' leases anyway, so a backwards step can only delay a
+/// handover, never lose a job.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The background job worker: claims and executes queued jobs one at a
+/// time, auto-submits a compaction whenever the serving index's drift
+/// passes the configured threshold, and samples queue depth + drift into
+/// the live metrics each tick.
+fn jobs_loop(shared: &Arc<Shared>) {
+    let worker = format!("serve-jobs@{}", std::process::id());
+    let ctx = jobs::JobWorkerCtx {
+        service: &shared.service,
+        queue: &shared.jobs.queue,
+        worker: &worker,
+        clock: &unix_ms,
+        ingest_chunk: shared.config.jobs.ingest_chunk,
+        kill_after_steps: None,
+        recorder: &shared.recorder,
+        compactions: &shared.jobs.compactions,
+    };
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        jobs::maybe_submit_compaction(
+            &shared.service,
+            &shared.jobs.queue,
+            shared.config.jobs.drift_threshold,
+            unix_ms(),
+            &shared.recorder,
+        );
+        let ran = jobs::run_one(&ctx).is_some();
+        jobs::sample_gauges(&shared.service, &shared.jobs.queue, &shared.recorder);
+        if !ran {
+            std::thread::sleep(shared.config.jobs.poll);
+        }
+    }
+    // Graceful drain: force any buffered jobs-log bytes down before the
+    // process exits (a no-op under FsyncPolicy::Always).
+    let _ = shared.jobs.queue.lock().sync();
 }
 
 /// Background checkpointer: folds the WAL into a fresh checkpoint whenever
@@ -482,6 +574,14 @@ fn shape_of(request: &Request) -> String {
         Request::FetchLog { from_seq, .. } => format!("fetch_log from_seq={from_seq}"),
         Request::Fence { epoch } => format!("fence epoch={epoch}"),
         Request::Promote { topology_epoch } => format!("promote epoch={topology_epoch}"),
+        Request::SubmitJob { kind } => match kind {
+            protocol::WireJobKind::Compaction => "submit_job kind=compaction".to_string(),
+            protocol::WireJobKind::Ingest { shots } => {
+                format!("submit_job kind=ingest shots={}", shots.len())
+            }
+        },
+        Request::JobStatus { id: Some(id) } => format!("job_status id={id}"),
+        Request::JobStatus { id: None } => "job_status".to_string(),
     }
 }
 
@@ -542,6 +642,7 @@ fn metrics_snapshot(shared: &Arc<Shared>) -> MetricsSnapshot {
             0 => None,
             e => Some(e),
         },
+        jobs: Some(shared.jobs.status(snap.db.drift())),
     }
 }
 
@@ -715,6 +816,30 @@ fn dispatch_plain(request: Request, shared: &Arc<Shared>) -> Response {
                 });
             }
             Response::Fenced { epoch }
+        }
+        Request::SubmitJob { kind } => {
+            let job = jobs::wire_to_kind(kind);
+            match shared.jobs.queue.lock().submit(job, unix_ms()) {
+                Ok(id) => {
+                    shared.recorder.incr(counters::JOBS_SUBMITTED, 1);
+                    Response::JobSubmitted { id }
+                }
+                Err(e) => Response::error(ErrorKind::Store, format!("jobs log: {e}")),
+            }
+        }
+        Request::JobStatus { id } => {
+            let queue = shared.jobs.queue.lock();
+            match id {
+                Some(id) => match queue.status(id) {
+                    Some(view) => Response::Jobs {
+                        jobs: vec![jobs::view_to_wire(&view)],
+                    },
+                    None => Response::error(ErrorKind::BadRequest, format!("unknown job {id}")),
+                },
+                None => Response::Jobs {
+                    jobs: queue.list().iter().map(jobs::view_to_wire).collect(),
+                },
+            }
         }
     }
 }

@@ -19,20 +19,45 @@
 //! store's sequence-number watermark.
 
 use crate::protocol::IngestShot;
-use crate::trace::{TraceCtx, STAGE_ADMISSION, STAGE_BUILD, STAGE_STORE_APPEND};
+use crate::trace::{
+    TraceCtx, STAGE_ADMISSION, STAGE_BUILD, STAGE_PUBLISH, STAGE_STORE_APPEND, STAGE_WRITER_WAIT,
+};
 use medvid_index::{RecordError, VideoDatabase};
 use medvid_obs::{counters, Recorder};
 use medvid_store::{CheckpointStats, Store, StoreError, StoreStatus, StoredShot, WalOp};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One immutable generation of the database.
 #[derive(Debug)]
 pub struct DbEpoch {
     /// Monotonic generation number, starting at 1.
     pub epoch: u64,
+    /// Lineage number: bumped only by [`DbService::replace`] (restore /
+    /// replay), never by ingest or compaction. Background work that
+    /// started against one lineage must abandon its result if the lineage
+    /// moved — its input database no longer exists.
+    pub lineage: u64,
     /// The built database of this generation.
     pub db: VideoDatabase,
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records in the rebuilt index.
+    pub records: usize,
+    /// Appends folded back into the refit hierarchy (the drift counter
+    /// before the pass).
+    pub drift_folded: usize,
+    /// Records ingested *while* the off-lock refit ran, re-appended on
+    /// top of the rebuilt index before the swap.
+    pub residual: usize,
+    /// The epoch the rebuilt index was published as.
+    pub epoch: u64,
+    /// Wall-clock milliseconds of the full pass.
+    pub millis: u64,
 }
 
 /// Why an ingest batch was refused.
@@ -82,7 +107,11 @@ impl DbService {
     /// Wraps a built database as epoch 1, in-memory only.
     pub fn new(db: VideoDatabase, recorder: Recorder) -> Self {
         DbService {
-            current: RwLock::new(Arc::new(DbEpoch { epoch: 1, db })),
+            current: RwLock::new(Arc::new(DbEpoch {
+                epoch: 1,
+                lineage: 1,
+                db,
+            })),
             writer: Mutex::new(None),
             recorder,
         }
@@ -92,7 +121,11 @@ impl DbService {
     /// durability backend (pass [`medvid_store::Recovered`]'s pieces).
     pub fn durable(db: VideoDatabase, store: Store, recorder: Recorder) -> Self {
         DbService {
-            current: RwLock::new(Arc::new(DbEpoch { epoch: 1, db })),
+            current: RwLock::new(Arc::new(DbEpoch {
+                epoch: 1,
+                lineage: 1,
+                db,
+            })),
             writer: Mutex::new(Some(store)),
             recorder,
         }
@@ -116,11 +149,13 @@ impl DbService {
     }
 
     /// Ingests a batch of shots: validates every record against the current
-    /// generation, clones it, inserts, appends the batch to the WAL (in
+    /// generation *before taking the writer mutex*, clones the generation
+    /// structurally (the frozen record prefix is shared, not copied),
+    /// appends the shots incrementally, appends the batch to the WAL (in
     /// durable mode — this is the durability point, *before* the epoch
-    /// swap), rebuilds the index structures, and swaps the result in as
-    /// the next epoch. All-or-nothing: one bad record fails the whole
-    /// batch and the current epoch stays untouched.
+    /// swap), and swaps the result in as the next epoch. All-or-nothing:
+    /// one bad record fails the whole batch and the current epoch stays
+    /// untouched.
     ///
     /// # Errors
     /// [`IngestError::Record`] carries the index of the offending shot;
@@ -147,7 +182,26 @@ impl DbService {
         shots: &[IngestShot],
         trace: &mut TraceCtx,
     ) -> Result<(usize, u64, Option<u64>), IngestError> {
+        // Admission runs against a lock-free snapshot: a malformed batch
+        // is rejected without ever serialising behind other writers. The
+        // authoritative per-record check re-runs during the appends below
+        // (it also catches duplicates *within* the batch and races with
+        // writers that slipped in between snapshot and lock).
+        let admitted = self.snapshot();
+        for (i, s) in shots.iter().enumerate() {
+            let shot = medvid_index::ShotRef {
+                video: s.video,
+                shot: s.shot,
+            };
+            admitted
+                .db
+                .validate_record(shot, &s.features, s.scene_node)
+                .map_err(|error| IngestError::Record { index: i, error })?;
+        }
+        trace.mark(STAGE_ADMISSION);
+
         let mut writer = self.writer.lock();
+        trace.mark(STAGE_WRITER_WAIT);
         let base = self.snapshot();
         let mut db = base.db.clone();
         for (i, s) in shots.iter().enumerate() {
@@ -155,10 +209,14 @@ impl DbService {
                 video: s.video,
                 shot: s.shot,
             };
-            db.try_insert_shot(shot, s.features.clone(), s.event, s.scene_node)
-                .map_err(|error| IngestError::Record { index: i, error })?;
+            let res = if db.is_built() {
+                db.append_shot(shot, s.features.clone(), s.event, s.scene_node)
+            } else {
+                db.try_insert_shot(shot, s.features.clone(), s.event, s.scene_node)
+            };
+            res.map_err(|error| IngestError::Record { index: i, error })?;
         }
-        trace.mark(STAGE_ADMISSION);
+        trace.mark(STAGE_BUILD);
         let mut last_seq = None;
         if let Some(store) = writer.as_mut() {
             let op = match shots {
@@ -173,14 +231,82 @@ impl DbService {
             last_seq = Some(stats.last_seq);
             trace.mark(STAGE_STORE_APPEND);
         }
+        // First-ever ingest lands on an unbuilt database: build it once.
+        // On the incremental path this is a no-op.
         db.build();
         let epoch = base.epoch + 1;
-        *self.current.write() = Arc::new(DbEpoch { epoch, db });
-        trace.mark(STAGE_BUILD);
+        *self.current.write() = Arc::new(DbEpoch {
+            epoch,
+            lineage: base.lineage,
+            db,
+        });
+        trace.mark(STAGE_PUBLISH);
         self.recorder
             .incr(counters::SERVE_INGESTED_SHOTS, shots.len() as u64);
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
         Ok((shots.len(), epoch, last_seq))
+    }
+
+    /// Appends since the last full re-fit of the serving generation — the
+    /// signal the background compaction job watches.
+    pub fn drift(&self) -> usize {
+        self.current.read().db.drift()
+    }
+
+    /// Re-runs the full PCS/merge fit over the drifted index and publishes
+    /// the rebuilt hierarchy as one epoch bump — the compaction job's
+    /// core. The expensive refit runs **off-lock** against a snapshot;
+    /// the writer mutex is only taken to fold in records ingested
+    /// meanwhile, checkpoint (in durable mode) and swap. Returns
+    /// `Ok(None)` when there is no drift to fold, or when a
+    /// [`DbService::replace`] raced the refit (the lineage moved, so the
+    /// rebuilt index describes a database that no longer exists).
+    ///
+    /// # Errors
+    /// A failed checkpoint leaves the old epoch serving and the store
+    /// unchanged.
+    pub fn compact(&self) -> Result<Option<CompactStats>, StoreError> {
+        let before = self.snapshot();
+        if before.db.drift() == 0 {
+            return Ok(None);
+        }
+        let started = Instant::now();
+        let drift_folded = before.db.drift();
+        let mut rebuilt = before.db.clone();
+        rebuilt.compact();
+
+        let mut writer = self.writer.lock();
+        let live = self.snapshot();
+        if live.lineage != before.lineage {
+            return Ok(None);
+        }
+        // Ingest only appends (order-stable), so everything the live
+        // generation holds past our snapshot is a suffix to re-append.
+        let mut residual = 0usize;
+        for r in live.db.records_iter().skip(rebuilt.len()).cloned().collect::<Vec<_>>() {
+            rebuilt
+                .append_shot(r.shot, r.features, r.event, r.scene_node)
+                .expect("residual record was already admitted by ingest");
+            residual += 1;
+        }
+        if let Some(store) = writer.as_mut() {
+            store.checkpoint(&rebuilt)?;
+        }
+        let epoch = live.epoch + 1;
+        let stats = CompactStats {
+            records: rebuilt.len(),
+            drift_folded,
+            residual,
+            epoch,
+            millis: started.elapsed().as_millis() as u64,
+        };
+        *self.current.write() = Arc::new(DbEpoch {
+            epoch,
+            lineage: live.lineage,
+            db: rebuilt,
+        });
+        self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
+        Ok(Some(stats))
     }
 
     /// Replaces the serving database wholesale (the restore/replay path).
@@ -198,10 +324,14 @@ impl DbService {
         if let Some(store) = writer.as_mut() {
             store.checkpoint(&db)?;
         }
-        let epoch = self.current.read().epoch + 1;
-        *self.current.write() = Arc::new(DbEpoch { epoch, db });
+        let live = self.snapshot();
+        *self.current.write() = Arc::new(DbEpoch {
+            epoch: live.epoch + 1,
+            lineage: live.lineage + 1,
+            db,
+        });
         self.recorder.incr(counters::SERVE_EPOCH_SWAPS, 1);
-        Ok(epoch)
+        Ok(live.epoch + 1)
     }
 
     /// Installs `store` as the durability backend of a previously
@@ -487,6 +617,75 @@ mod tests {
         assert_eq!(recovered.db.len(), 4);
         assert_eq!(recovered.report.checkpoint_records, 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_is_incremental_and_compaction_folds_drift() {
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let base = svc.snapshot();
+        let first: Vec<_> = (0..4).map(|i| shot(i, &base.db)).collect();
+        svc.ingest(&first).unwrap();
+        // The first ingest built the index; later ones append into it.
+        assert_eq!(svc.drift(), 0);
+        let more: Vec<_> = (4..9).map(|i| shot(i, &svc.snapshot().db)).collect();
+        svc.ingest(&more).unwrap();
+        assert_eq!(svc.drift(), 5, "appends accumulate drift");
+        assert!(svc.snapshot().db.is_built());
+
+        let stats = svc.compact().unwrap().expect("drift to fold");
+        assert_eq!(stats.drift_folded, 5);
+        assert_eq!(stats.records, 9);
+        assert_eq!(stats.residual, 0);
+        assert_eq!(svc.drift(), 0);
+        assert_eq!(svc.epoch(), stats.epoch);
+        // Nothing to do on a freshly compacted index.
+        assert!(svc.compact().unwrap().is_none());
+    }
+
+    #[test]
+    fn compaction_aborts_when_replace_moves_the_lineage() {
+        // compact() snapshots, refits off-lock, then swaps — a restore
+        // landing in between must win, or the compaction would resurrect
+        // the replaced database.
+        let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+        let base = svc.snapshot();
+        let batch: Vec<_> = (0..3).map(|i| shot(i, &base.db)).collect();
+        svc.ingest(&batch).unwrap();
+        let more: Vec<_> = (3..5).map(|i| shot(i, &svc.snapshot().db)).collect();
+        svc.ingest(&more).unwrap();
+        assert!(svc.drift() > 0);
+
+        let before = svc.snapshot();
+        svc.replace(VideoDatabase::medical()).unwrap();
+        // Simulate the race: a compaction that started from `before`
+        // observes the moved lineage when it goes to publish.
+        assert_ne!(svc.snapshot().lineage, before.lineage);
+        assert!(svc.compact().unwrap().is_none(), "no drift post-restore");
+        assert_eq!(svc.snapshot().db.len(), 0, "restored database serves");
+    }
+
+    #[test]
+    fn jobs_backoff_matches_retry_policy_delays() {
+        // BackoffPolicy (medvid-jobs) replicates RetryPolicy::delay_before
+        // in milliseconds; pin the two implementations together so the
+        // queue's retry schedule never silently diverges from the
+        // client's.
+        let retry = crate::retry::RetryPolicy::default();
+        let backoff = medvid_jobs::BackoffPolicy {
+            max_attempts: retry.max_attempts,
+            base_delay_ms: retry.base_delay.as_millis() as u64,
+            max_delay_ms: retry.max_delay.as_millis() as u64,
+            jitter: retry.jitter,
+            seed: retry.seed,
+        };
+        for attempt in 0..=8u32 {
+            let want = retry.delay_before(attempt).as_secs_f64() * 1_000.0;
+            let got = backoff.delay_ms(attempt) as f64;
+            assert!(
+                (want - got).abs() <= 1.0,
+                "attempt {attempt}: retry {want}ms vs backoff {got}ms"
+            );
+        }
     }
 
     #[test]

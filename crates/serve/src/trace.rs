@@ -33,6 +33,12 @@ pub const STAGE_EXECUTE: &str = "index_search";
 pub const STAGE_STORE_APPEND: &str = "store_append";
 /// Stage label for rebuilding index structures during ingest.
 pub const STAGE_BUILD: &str = "index_build";
+/// Stage label for time spent waiting on the writer mutex — the narrowed
+/// critical section starts when this stage closes, so slow-query
+/// breakdowns separate lock contention from actual write work.
+pub const STAGE_WRITER_WAIT: &str = "writer_wait";
+/// Stage label for the epoch swap that publishes a new generation.
+pub const STAGE_PUBLISH: &str = "epoch_publish";
 
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 

@@ -1,0 +1,186 @@
+//! Property: growing the serving database incrementally through
+//! [`DbService`] — batched ingests, with a compaction pass folded in at a
+//! random point — answers queries **bit-identically** to a database built
+//! from scratch over the same records.
+//!
+//! This is the contract that makes incremental ingest safe to ship: the
+//! appended tail and the grown bounding balls may give the incremental
+//! hierarchy a different *shape* than a full re-fit, but retrieval is
+//! exact on both sides, so the top-k lists (ids, order, and the f32
+//! distance bits themselves) must agree for the exact strategies — Flat
+//! and Planned. (Raw `Hierarchical` is the paper's greedy scene-routing
+//! descent: it commits to one subtree and is approximate by design, so
+//! it is out of scope here.) A failure prints a one-line
+//! `MEDVID_TESTKIT_SEED=…` reproduction.
+
+use medvid_index::{Strategy, VideoDatabase};
+use medvid_obs::Recorder;
+use medvid_serve::{DbService, IngestShot};
+use medvid_testkit::{forall, require, NoShrink, TkRng};
+use medvid_types::{EventKind, ShotId, VideoId};
+
+const DIMS: usize = 266;
+
+#[derive(Debug, Clone)]
+struct Plan {
+    shots: Vec<IngestShot>,
+    /// Batch sizes partitioning `shots` in order.
+    batches: Vec<usize>,
+    /// Compact after this many batches (`None` = never).
+    compact_after: Option<usize>,
+    /// Probe vectors to compare on.
+    probes: Vec<Vec<f32>>,
+    limit: usize,
+}
+
+fn gen_plan(rng: &mut TkRng) -> Plan {
+    let scenes = VideoDatabase::medical().hierarchy().scene_nodes();
+    let n = rng.usize_in(8, 40);
+    let shots: Vec<IngestShot> = (0..n)
+        .map(|i| {
+            let mut features = vec![0.0f32; DIMS];
+            for f in features.iter_mut() {
+                *f = rng.f32_in(0.0, 1.0);
+            }
+            IngestShot {
+                video: VideoId(rng.usize_in(1, 3)),
+                shot: ShotId(i),
+                features,
+                event: EventKind::DETERMINATE[rng.usize_in(0, 2)],
+                scene_node: *rng.pick(&scenes),
+            }
+        })
+        .collect();
+    let mut batches = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let take = rng.usize_in(1, left.min(9));
+        batches.push(take);
+        left -= take;
+    }
+    let compact_after = if rng.bool_p(0.75) {
+        Some(rng.usize_in(1, batches.len()))
+    } else {
+        None
+    };
+    let probes = (0..3)
+        .map(|_| (0..DIMS).map(|_| rng.f32_in(0.0, 1.0)).collect())
+        .collect();
+    Plan {
+        shots,
+        batches,
+        compact_after,
+        probes,
+        limit: rng.usize_in(1, 12),
+    }
+}
+
+/// Runs one probe on `db` under `strategy`, returning `(shot, distance
+/// bits)` pairs — the bit-exact comparison key.
+fn answer(db: &VideoDatabase, probe: &[f32], limit: usize, strategy: Strategy) -> Vec<(usize, usize, u32)> {
+    let (hits, _) = db
+        .query()
+        .similar_to(probe.to_vec())
+        .limit(limit)
+        .strategy(strategy)
+        .try_run()
+        .expect("probe vectors are finite and correctly sized");
+    hits.iter()
+        .map(|h| (h.shot.video.0, h.shot.shot.0, h.distance.to_bits()))
+        .collect()
+}
+
+#[test]
+fn incremental_service_matches_full_rebuild_bit_for_bit() {
+    forall(
+        "incremental ingest + compaction ≡ from-scratch build",
+        |rng| NoShrink(gen_plan(rng)),
+        |NoShrink(plan)| {
+            // Incremental side: batched ingest through the service, with
+            // an optional mid-stream compaction (the background job's
+            // code path).
+            let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+            let mut cursor = 0usize;
+            for (b, &size) in plan.batches.iter().enumerate() {
+                svc.ingest(&plan.shots[cursor..cursor + size])
+                    .map_err(|e| format!("batch {b} refused: {e}"))?;
+                cursor += size;
+                if plan.compact_after == Some(b + 1) {
+                    svc.compact().map_err(|e| format!("compact: {e}"))?;
+                }
+            }
+            let served = svc.snapshot();
+            require!(
+                served.db.len() == plan.shots.len(),
+                "service holds {} of {} records",
+                served.db.len(),
+                plan.shots.len()
+            );
+
+            // Reference side: everything inserted up front, one build.
+            let mut reference = VideoDatabase::medical();
+            for s in &plan.shots {
+                reference
+                    .try_insert_shot(
+                        medvid_index::ShotRef {
+                            video: s.video,
+                            shot: s.shot,
+                        },
+                        s.features.clone(),
+                        s.event,
+                        s.scene_node,
+                    )
+                    .map_err(|e| format!("reference insert: {e}"))?;
+            }
+            reference.build();
+
+            for (p, probe) in plan.probes.iter().enumerate() {
+                for strategy in [Strategy::Flat, Strategy::Planned] {
+                    let inc = answer(&served.db, probe, plan.limit, strategy);
+                    let full = answer(&reference, probe, plan.limit, strategy);
+                    require!(
+                        inc == full,
+                        "probe {p} {strategy:?}: incremental {inc:?} != rebuild {full:?} \
+                         (compact_after={:?}, batches={:?})",
+                        plan.compact_after,
+                        plan.batches
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn compaction_is_invisible_to_queries() {
+    // Tighter variant pinning the compaction boundary itself: answers
+    // taken immediately before and immediately after a compaction pass
+    // must be bit-identical (the pass republishes the same records).
+    forall(
+        "compact() preserves every answer",
+        |rng| NoShrink(gen_plan(rng)),
+        |NoShrink(plan)| {
+            let svc = DbService::new(VideoDatabase::medical(), Recorder::disabled());
+            svc.ingest(&plan.shots)
+                .map_err(|e| format!("ingest refused: {e}"))?;
+            let before: Vec<_> = plan
+                .probes
+                .iter()
+                .map(|p| answer(&svc.snapshot().db, p, plan.limit, Strategy::Planned))
+                .collect();
+            svc.compact().map_err(|e| format!("compact: {e}"))?;
+            require!(svc.drift() == 0, "drift survived compaction");
+            let after: Vec<_> = plan
+                .probes
+                .iter()
+                .map(|p| answer(&svc.snapshot().db, p, plan.limit, Strategy::Planned))
+                .collect();
+            require!(
+                before == after,
+                "compaction changed answers: {before:?} != {after:?}"
+            );
+            Ok(())
+        },
+    );
+}

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must pass before merging.
 #
-# Usage: scripts/check.sh [--chaos]
+# Usage: scripts/check.sh [--chaos] [--jobs-chaos]
 # Runs from the workspace root regardless of the caller's cwd.
 #
 # --chaos additionally runs the randomized cluster chaos schedules under a
 # rotating seed (printed on entry so any failure is reproducible); the
-# default gate pins every seed for determinism.
+# default gate pins every seed for determinism. --jobs-chaos does the same
+# for the durable job queue: workers are killed mid-job at rotating seeded
+# steps and their successors must resume from the last checkpoint.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS=0
+JOBS_CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) CHAOS=1 ;;
+    --jobs-chaos) JOBS_CHAOS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -54,6 +58,12 @@ cargo test -q -p medvid-index --test persist_faults
 cargo test -q -p medvid-knn
 cargo test -q -p medvid-index --test knn_equivalence
 cargo test -q -p medvid-store --test crash_consistency
+# Job queue: torn/corrupt jobs-log recovery, incremental-ingest ≡ rebuild
+# equivalence through the service, and the seeded worker-kill chaos sweep.
+cargo test -q -p medvid-jobs
+cargo test -q -p medvid-jobs --test jobs_crash
+cargo test -q -p medvid-serve --test incremental_vs_rebuild
+cargo test -q -p medvid-serve --test jobs_chaos
 cargo test -q -p medvid --test serve_faults
 cargo test -q -p medvid --test serve_durability
 cargo test -q -p medvid --test golden_pipeline
@@ -78,6 +88,17 @@ if [ "$CHAOS" = 1 ]; then
     cargo test -q -p medvid-cluster --test cluster_chaos
   MEDVID_TESTKIT_SEED="$CHAOS_SEED" \
     cargo test -q -p medvid-cluster --test cluster_promotion
+fi
+
+if [ "$JOBS_CHAOS" = 1 ]; then
+  # Rotating seed drives fresh kill steps (which worker dies after how many
+  # checkpoints) every run; the seed printed here, and in any failing
+  # property's panic line, replays the exact schedule.
+  JOBS_SEED="${CALLER_SEED:-$(date +%s)}"
+  echo "== jobs chaos mode: seeded worker kills mid-job (seed $JOBS_SEED) =="
+  echo "   reproduce with: MEDVID_TESTKIT_SEED=$JOBS_SEED scripts/check.sh --jobs-chaos"
+  MEDVID_TESTKIT_SEED="$JOBS_SEED" MEDVID_TESTKIT_CASES=64 \
+    cargo test -q -p medvid-serve --test jobs_chaos
 fi
 
 echo "== cargo clippy --workspace -- -D warnings =="
